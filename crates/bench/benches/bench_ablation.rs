@@ -1,0 +1,40 @@
+//! E11 — ablation: FirstFit sort orders. The paper's longest-first rule is
+//! the only one with a guarantee; this measures both the quality gap
+//! (printed table) and the runtime cost of each order.
+
+use std::hint::black_box;
+
+use busytime_bench::{config, print_table};
+use busytime_core::algo::{FirstFit, Scheduler, SortOrder, TieBreak};
+use busytime_instances::random::{uniform, LengthDist};
+use busytime_lab::{experiments, Scale};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    print_table(&experiments::first_fit::e11_sort_ablation(Scale::Quick));
+
+    let inst = uniform(5_000, 1_500, LengthDist::Uniform(4, 120), 3, 9);
+    let variants = [
+        ("longest", SortOrder::LongestFirst),
+        ("shortest", SortOrder::ShortestFirst),
+        ("arrival", SortOrder::Arrival),
+    ];
+    let mut group = c.benchmark_group("ablation/sort_order");
+    for (label, order) in variants {
+        let ff = FirstFit {
+            order,
+            tie: TieBreak::Input,
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(label), &inst, |b, inst| {
+            b.iter(|| ff.schedule(black_box(inst)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! E6 — Theorem 3.2: the Bounded_Length segmentation. Times the fast
+//! (FirstFit-per-segment) configuration at scale and the exact-segment
+//! configuration at experiment size.
+
+use std::hint::black_box;
+
+use busytime_bench::{config, print_table};
+use busytime_core::algo::{BoundedLength, FirstFit, Scheduler};
+use busytime_exact::ExactBB;
+use busytime_instances::bounded::{border_stress, random_bounded};
+use busytime_lab::{experiments, Scale};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench(c: &mut Criterion) {
+    print_table(&experiments::special_cases::e6_bounded_length(Scale::Quick));
+
+    let mut group = c.benchmark_group("bounded/segmented_vs_plain");
+    for &n in &[2_000usize, 20_000] {
+        let inst = random_bounded(n, n as i64 / 2, 6, 3, 3);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(
+            BenchmarkId::new("bounded_length_ff", n),
+            &inst,
+            |b, inst| {
+                let bl = BoundedLength::first_fit().with_width(6);
+                b.iter(|| bl.schedule(black_box(inst)).unwrap())
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("plain_ff", n), &inst, |b, inst| {
+            b.iter(|| FirstFit::paper().schedule(black_box(inst)).unwrap())
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("bounded/exact_segments");
+    let inst = random_bounded(14, 28, 3, 2, 5);
+    group.bench_with_input(BenchmarkId::new("exact", 14), &inst, |b, inst| {
+        let bl = BoundedLength::with_solver(ExactBB::new()).with_width(3);
+        b.iter(|| bl.schedule(black_box(inst)).unwrap())
+    });
+    // border stress: the Lemma 3.3 worst-case shape
+    let stress = border_stress(4, 2, 4, 2, 1);
+    group.bench_with_input(BenchmarkId::new("border_stress", stress.len()), &stress, |b, inst| {
+        let bl = BoundedLength::with_solver(ExactBB::new()).with_width(4);
+        b.iter(|| bl.schedule(black_box(inst)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! E7 — Theorem A.1 / Figure 5: the clique algorithm, including the tight
+//! family that forces its factor of 2.
+
+use std::hint::black_box;
+
+use busytime_bench::{config, print_table};
+use busytime_core::algo::{CliqueScheduler, FirstFit, Scheduler};
+use busytime_instances::adversarial::clique_tight;
+use busytime_instances::clique::random_clique;
+use busytime_lab::{experiments, Scale};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench(c: &mut Criterion) {
+    print_table(&experiments::special_cases::e7_clique(Scale::Quick));
+
+    let mut group = c.benchmark_group("clique/random");
+    for &n in &[1_000usize, 10_000] {
+        let inst = random_clique(n, 1_000_000, 400_000, 8, 2);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("clique_alg", n), &inst, |b, inst| {
+            b.iter(|| CliqueScheduler::new().schedule(black_box(inst)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("first_fit", n), &inst, |b, inst| {
+            b.iter(|| FirstFit::paper().schedule(black_box(inst)).unwrap())
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("clique/tight_family");
+    for &g in &[64u32, 512] {
+        let inst = clique_tight(g, 1_000);
+        group.bench_with_input(BenchmarkId::from_parameter(g), &inst, |b, inst| {
+            b.iter(|| {
+                let sched = CliqueScheduler::new().schedule(black_box(inst)).unwrap();
+                // the trap must hold: exactly 2× the grouped optimum
+                assert_eq!(sched.cost(inst), 4 * 1_000);
+                sched
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench
+}
+criterion_main!(benches);

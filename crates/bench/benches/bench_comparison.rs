@@ -1,0 +1,71 @@
+//! E1/E12/E13 — algorithm comparison: every scheduler on the same dense
+//! workload, the exact solver at experiment size, and the capacitated
+//! demand extension.
+
+use std::hint::black_box;
+
+use busytime_bench::{config, print_table};
+use busytime_core::algo::demand::{DemandInstance, DemandJob, FirstFitDemand};
+use busytime_core::algo::{
+    BestFit, FirstFit, MinMachines, NextFitArrival, NextFitProper, RandomFit, Scheduler,
+};
+use busytime_exact::{ExactBB, ExactDp};
+use busytime_instances::random::{uniform, LengthDist};
+use busytime_interval::Interval;
+use busytime_lab::{experiments, Scale};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    print_table(&experiments::first_fit::e1_first_fit_vs_opt(Scale::Quick));
+    print_table(&experiments::systems::e12_demand(Scale::Quick));
+    print_table(&experiments::structure::e13_machine_count(Scale::Quick));
+
+    let inst = uniform(2_000, 600, LengthDist::Uniform(4, 100), 4, 3);
+    let schedulers: Vec<(&str, Box<dyn Scheduler>)> = vec![
+        ("first_fit", Box::new(FirstFit::paper())),
+        ("best_fit", Box::new(BestFit)),
+        ("next_fit_arrival", Box::new(NextFitArrival)),
+        ("next_fit_sorted", Box::new(NextFitProper::new())),
+        ("random_fit", Box::new(RandomFit::new(5))),
+        ("min_machines", Box::new(MinMachines)),
+    ];
+    let mut group = c.benchmark_group("comparison/schedulers");
+    for (label, s) in &schedulers {
+        group.bench_with_input(BenchmarkId::from_parameter(*label), &inst, |b, inst| {
+            b.iter(|| s.schedule(black_box(inst)).unwrap())
+        });
+    }
+    group.finish();
+
+    // exact solvers at experiment size
+    let small = uniform(12, 36, LengthDist::Uniform(2, 24), 3, 11);
+    let mut group = c.benchmark_group("comparison/exact");
+    group.bench_with_input(BenchmarkId::new("bb", 12), &small, |b, inst| {
+        b.iter(|| ExactBB::new().schedule(black_box(inst)).unwrap())
+    });
+    group.bench_with_input(BenchmarkId::new("dp", 12), &small, |b, inst| {
+        b.iter(|| ExactDp::new().schedule(black_box(inst)).unwrap())
+    });
+    group.finish();
+
+    // demand extension
+    let jobs: Vec<DemandJob> = (0..2_000)
+        .map(|i| DemandJob {
+            interval: Interval::with_len((i as i64 * 7) % 600, 40 + (i as i64 % 60)),
+            demand: 1 + (i as u32 % 4),
+        })
+        .collect();
+    let dinst = DemandInstance::new(jobs, 8);
+    let mut group = c.benchmark_group("comparison/demand");
+    group.bench_with_input(BenchmarkId::new("first_fit_demand", 2_000), &dinst, |b, d| {
+        b.iter(|| FirstFitDemand.schedule(black_box(d)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! E2/E5 — Theorem 2.4 / Figure 4: the adversarial family, and its
+//! ranked-shift proper variant. Regenerates the ratio series (printed) and
+//! times FirstFit/Greedy on the trap instances.
+
+use std::hint::black_box;
+
+use busytime_bench::{config, print_table};
+use busytime_core::algo::{FirstFit, NextFitProper, Scheduler};
+use busytime_instances::adversarial::{fig4, ranked_shift};
+use busytime_lab::{experiments, Scale};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    print_table(&experiments::first_fit::e2_fig4_sweep(Scale::Quick));
+    print_table(&experiments::special_cases::e5_ranked_shift(Scale::Quick));
+
+    let mut group = c.benchmark_group("fig4/first_fit");
+    for g in [4u32, 16, 64] {
+        let fam = fig4(g, 1_000, 10);
+        group.bench_with_input(BenchmarkId::from_parameter(g), &fam, |b, fam| {
+            b.iter(|| {
+                let sched = FirstFit::paper().schedule(black_box(&fam.instance)).unwrap();
+                assert_eq!(sched.cost(&fam.instance), fam.first_fit);
+                sched
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("ranked_shift");
+    for g in [4u32, 8] {
+        let eps = i64::from(g * (g - 1)) + 8;
+        let fam = ranked_shift(g, 50 * eps, eps);
+        group.bench_with_input(BenchmarkId::new("first_fit", g), &fam, |b, fam| {
+            b.iter(|| FirstFit::paper().schedule(black_box(&fam.instance)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("greedy", g), &fam, |b, fam| {
+            b.iter(|| {
+                let sched = NextFitProper::strict()
+                    .schedule(black_box(&fam.instance))
+                    .unwrap();
+                assert_eq!(sched.cost(&fam.instance), fam.opt);
+                sched
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! E9 — Section 4.2: grooming on path networks. Times the full pipeline
+//! (reduction → scheduling → cost accounting) for both solvers.
+
+use std::hint::black_box;
+
+use busytime_bench::{config, print_table};
+use busytime_core::algo::{FirstFit, MinMachines};
+use busytime_instances::optical::random_lightpaths;
+use busytime_lab::{experiments, Scale};
+use busytime_optical::solvers::GroomingSolver;
+use busytime_optical::PathNetwork;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench(c: &mut Criterion) {
+    print_table(&experiments::optical::e9_grooming(Scale::Quick));
+
+    let net = PathNetwork::new(400);
+    let mut group = c.benchmark_group("optical/grooming");
+    for &(n, g) in &[(500usize, 4u32), (2_000, 4), (2_000, 16)] {
+        let paths = random_lightpaths(&net, n, 16, 7);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(
+            BenchmarkId::new("first_fit", format!("n{n}_g{g}")),
+            &paths,
+            |b, paths| {
+                let solver = GroomingSolver::new(FirstFit::paper());
+                b.iter(|| solver.solve(black_box(paths), g).unwrap())
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("min_wavelengths", format!("n{n}_g{g}")),
+            &paths,
+            |b, paths| {
+                let solver = GroomingSolver::new(MinMachines);
+                b.iter(|| solver.solve(black_box(paths), g).unwrap())
+            },
+        );
+    }
+    group.finish();
+
+    // the ring extension (E14): full cut-solver pipeline
+    use busytime_optical::ring::{CutSolver, RingArc, RingNetwork};
+    print_table(&experiments::optical::e14_ring(Scale::Quick));
+    let ring = RingNetwork::new(64);
+    let arcs: Vec<RingArc> = (0..1_000)
+        .map(|i| {
+            let from = (i * 7) % 64;
+            RingArc::new(from, (from + 1 + i % 20) % 64)
+        })
+        .collect();
+    let mut group = c.benchmark_group("optical/ring");
+    for &g in &[2u32, 8] {
+        group.bench_with_input(BenchmarkId::new("cut_solver", g), &arcs, |b, arcs| {
+            let solver = CutSolver::new(FirstFit::paper());
+            b.iter(|| solver.solve(&ring, black_box(arcs), g).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! E10 — runtime scaling of the three greedy algorithms to large `n`.
+
+use std::hint::black_box;
+
+use busytime_bench::{config, print_table};
+use busytime_core::algo::{CliqueScheduler, FirstFit, NextFitProper, Scheduler};
+use busytime_instances::clique::random_clique;
+use busytime_instances::proper::random_proper;
+use busytime_instances::random::{uniform, LengthDist};
+use busytime_lab::{experiments, Scale};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench(c: &mut Criterion) {
+    print_table(&experiments::systems::e10_scalability(Scale::Quick));
+
+    let sizes = [1_000usize, 10_000, 50_000];
+
+    let mut group = c.benchmark_group("scalability/first_fit");
+    for &n in &sizes {
+        let inst = uniform(n, n as i64 / 2, LengthDist::Uniform(4, 100), 4, 1);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
+            b.iter(|| FirstFit::paper().schedule(black_box(inst)).unwrap())
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("scalability/greedy_proper");
+    for &n in &sizes {
+        let inst = random_proper(n, 3, 40, 10, 4, 1);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
+            b.iter(|| NextFitProper::new().schedule(black_box(inst)).unwrap())
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("scalability/clique");
+    for &n in &sizes {
+        let inst = random_clique(n, 1_000_000, 500_000, 4, 1);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
+            b.iter(|| CliqueScheduler::new().schedule(black_box(inst)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench
+}
+criterion_main!(benches);

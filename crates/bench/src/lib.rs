@@ -1,0 +1,37 @@
+//! Shared configuration for the Criterion benchmarks.
+//!
+//! One bench binary per reproduced table/figure (see DESIGN.md §4):
+//!
+//! | bench | experiment | paper artifact |
+//! |---|---|---|
+//! | `bench_fig4` | E2/E5 | Theorem 2.4 / Figure 4 + ranked shift |
+//! | `bench_scalability` | E10 | runtime scaling |
+//! | `bench_optical` | E9 | Section 4.2 grooming |
+//! | `bench_bounded` | E6 | Theorem 3.2 segmentation |
+//! | `bench_clique` | E7 | Theorem A.1 / Figure 5 |
+//! | `bench_ablation` | E11 | FirstFit sort-order ablation |
+//! | `bench_comparison` | E1/E12/E13 | algorithm comparison + extension |
+//!
+//! Every bench first prints the (quick-scale) experiment table it
+//! corresponds to, so `cargo bench` output is self-describing, then times
+//! the algorithmic kernels. Criterion is configured with small sample
+//! counts so the whole suite completes in minutes.
+
+use std::time::Duration;
+
+use criterion::Criterion;
+
+/// The workspace-wide Criterion configuration: small samples, short
+/// measurement windows, no plots (offline environment).
+pub fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(1200))
+        .warm_up_time(Duration::from_millis(300))
+        .without_plots()
+}
+
+/// Prints an experiment table ahead of the timing runs.
+pub fn print_table(table: &busytime_lab::Table) {
+    println!("\n{}", table.to_markdown());
+}

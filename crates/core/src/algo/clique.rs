@@ -1,0 +1,173 @@
+//! The clique scheduling algorithm (Appendix): a 2-approximation when all
+//! jobs pairwise overlap.
+//!
+//! By the Helly property a pairwise-overlapping interval family shares a
+//! common point `t`. With `δ_j = max(t − s_j, c_j − t)` (the farthest
+//! endpoint of `J_j` from `t`, Fig. 5):
+//!
+//! 1. sort jobs by non-increasing `δ_j`;
+//! 2. fill machines with consecutive groups of `g` jobs.
+//!
+//! Theorem A.1: each machine `M_i`'s busy interval sits inside
+//! `[t − δ_A^i, t + δ_A^i]`, and `Σ δ_A^i ≤ Σ δ_O^i ≤ OPT`, giving
+//! `ALG ≤ 2·OPT`. The tie order among equal `δ` is the input order, which is
+//! what the tight family in `busytime-instances::adversarial` manipulates to
+//! force ratio exactly 2.
+
+use crate::algo::{Scheduler, SchedulerError};
+use crate::instance::Instance;
+use crate::schedule::Schedule;
+use busytime_interval::relations;
+
+/// The Appendix algorithm for pairwise-overlapping (clique) instances.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CliqueScheduler {
+    /// Optional override for the common point `t`; by default the canonical
+    /// witness `max_j s_j` is used. Must lie in every job.
+    pub point: Option<i64>,
+}
+
+impl CliqueScheduler {
+    /// Uses the canonical common point `max_j s_j`.
+    pub fn new() -> Self {
+        CliqueScheduler { point: None }
+    }
+
+    /// Uses a caller-chosen common point (must belong to every job or
+    /// scheduling fails).
+    pub fn at_point(point: i64) -> Self {
+        CliqueScheduler { point: Some(point) }
+    }
+
+    /// The δ-sorted job order the algorithm processes (ties input-stable).
+    pub fn job_order(&self, inst: &Instance, t: i64) -> Vec<usize> {
+        let mut ids: Vec<usize> = (0..inst.len()).collect();
+        ids.sort_by_key(|&i| {
+            let iv = inst.job(i);
+            std::cmp::Reverse((t - iv.start).max(iv.end - t))
+        });
+        ids
+    }
+}
+
+impl Scheduler for CliqueScheduler {
+    fn name(&self) -> String {
+        String::from("Clique")
+    }
+
+    fn schedule(&self, inst: &Instance) -> Result<Schedule, SchedulerError> {
+        if inst.is_empty() {
+            return Ok(Schedule::from_assignment(Vec::new()));
+        }
+        let t = match self.point {
+            Some(p) => {
+                if inst.jobs().iter().all(|iv| iv.contains_time(p)) {
+                    p
+                } else {
+                    return Err(SchedulerError::UnsupportedInstance {
+                        scheduler: self.name(),
+                        reason: format!("point {p} is not contained in every job"),
+                    });
+                }
+            }
+            None => relations::common_point(inst.jobs()).ok_or_else(|| {
+                SchedulerError::UnsupportedInstance {
+                    scheduler: self.name(),
+                    reason: String::from("jobs do not share a common point (not a clique)"),
+                }
+            })?,
+        };
+        let order = self.job_order(inst, t);
+        let g = inst.g() as usize;
+        let mut raw = vec![0usize; inst.len()];
+        for (rank, &id) in order.iter().enumerate() {
+            raw[id] = rank / g;
+        }
+        Ok(Schedule::from_assignment(raw))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds;
+
+    #[test]
+    fn groups_of_g_by_delta() {
+        // common point t = 0; δ = 10, 9, 2, 1
+        let inst = Instance::from_pairs([(-10, 0), (0, 9), (-2, 1), (0, 1)], 2);
+        let sched = CliqueScheduler::new().schedule(&inst).unwrap();
+        sched.validate(&inst).unwrap();
+        // two biggest-δ jobs together, two smallest together
+        assert_eq!(sched.machine_of(0), sched.machine_of(1));
+        assert_eq!(sched.machine_of(2), sched.machine_of(3));
+        assert_ne!(sched.machine_of(0), sched.machine_of(2));
+    }
+
+    #[test]
+    fn machine_count_is_ceil_n_over_g() {
+        let inst = Instance::from_pairs([(0, 10); 7], 3);
+        let sched = CliqueScheduler::new().schedule(&inst).unwrap();
+        assert_eq!(sched.machine_count(), 3); // ⌈7/3⌉
+        sched.validate(&inst).unwrap();
+    }
+
+    #[test]
+    fn rejects_non_clique() {
+        let inst = Instance::from_pairs([(0, 1), (5, 6)], 2);
+        let err = CliqueScheduler::new().schedule(&inst).unwrap_err();
+        assert!(matches!(err, SchedulerError::UnsupportedInstance { .. }));
+    }
+
+    #[test]
+    fn explicit_point_validation() {
+        let inst = Instance::from_pairs([(0, 4), (2, 6)], 2);
+        assert!(CliqueScheduler::at_point(3).schedule(&inst).is_ok());
+        let err = CliqueScheduler::at_point(5).schedule(&inst).unwrap_err();
+        assert!(matches!(err, SchedulerError::UnsupportedInstance { .. }));
+    }
+
+    #[test]
+    fn two_approx_against_lower_bound() {
+        // identical jobs: OPT = span · ⌈n/g⌉... LB = parallelism bound
+        let inst = Instance::from_pairs([(0, 10); 9], 3);
+        let sched = CliqueScheduler::new().schedule(&inst).unwrap();
+        assert!(sched.cost(&inst) <= 2 * bounds::lower_bound(&inst));
+        // here the algorithm is actually optimal: 3 machines × 10
+        assert_eq!(sched.cost(&inst), 30);
+    }
+
+    #[test]
+    fn tight_family_hits_ratio_two() {
+        // g lefts [-L,0], g rights [0,L], alternating input order: equal δ,
+        // stable sort keeps the alternation → every machine mixes sides
+        let g = 3u32;
+        let l = 100i64;
+        let mut pairs = Vec::new();
+        for _ in 0..g {
+            pairs.push((-l, 0));
+            pairs.push((0, l));
+        }
+        let inst = Instance::from_pairs(pairs, g);
+        let sched = CliqueScheduler::new().schedule(&inst).unwrap();
+        sched.validate(&inst).unwrap();
+        // ALG: 2 machines each busy [-L, L] → 4L; OPT: one machine per side → 2L
+        assert_eq!(sched.cost(&inst), 4 * l);
+        assert_eq!(bounds::lower_bound(&inst), 2 * l);
+    }
+
+    #[test]
+    fn empty_instance() {
+        let inst = Instance::new(vec![], 2);
+        let sched = CliqueScheduler::new().schedule(&inst).unwrap();
+        assert_eq!(sched.machine_count(), 0);
+    }
+
+    #[test]
+    fn single_job() {
+        let inst = Instance::from_pairs([(3, 8)], 5);
+        let sched = CliqueScheduler::new().schedule(&inst).unwrap();
+        assert_eq!(sched.machine_count(), 1);
+        assert_eq!(sched.cost(&inst), 5);
+    }
+}

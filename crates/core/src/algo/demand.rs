@@ -1,0 +1,240 @@
+//! Extension: busy-time scheduling with *machine-capacity demands*.
+//!
+//! The paper's related work \[15\] (Khandekar, Schieber, Shachnai, Tamir,
+//! *Real-time scheduling to minimize machine busy times*) generalizes the
+//! problem so that each job `J_j` carries a demand `d_j ≤ g` and a machine
+//! may run any job set whose summed demand stays within `g` at every
+//! instant; they extend the paper's FirstFit into a 5-approximation. This
+//! module implements that generalized instance model and the generalized
+//! FirstFit so the extension can be exercised experimentally (experiment
+//! E12); the unit-demand case coincides exactly with [`crate::algo::FirstFit`].
+
+use busytime_interval::{span, Interval, OverlapProfile};
+
+use crate::schedule::Schedule;
+
+/// A job with a closed processing interval and a parallelism demand.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DemandJob {
+    /// The processing window `[s_j, c_j]`.
+    pub interval: Interval,
+    /// Units of machine capacity the job occupies while active (`1 ≤ d_j ≤ g`).
+    pub demand: u32,
+}
+
+/// A capacitated instance: jobs with demands, machine capacity `g`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DemandInstance {
+    jobs: Vec<DemandJob>,
+    g: u32,
+}
+
+impl DemandInstance {
+    /// Creates a capacitated instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g == 0` or any demand is 0 or exceeds `g`.
+    pub fn new(jobs: Vec<DemandJob>, g: u32) -> Self {
+        assert!(g >= 1, "capacity g must be at least 1");
+        for (i, job) in jobs.iter().enumerate() {
+            assert!(
+                job.demand >= 1 && job.demand <= g,
+                "job {i} demand {} outside [1, g = {g}]",
+                job.demand
+            );
+        }
+        DemandInstance { jobs, g }
+    }
+
+    /// The jobs.
+    pub fn jobs(&self) -> &[DemandJob] {
+        &self.jobs
+    }
+
+    /// Machine capacity `g`.
+    pub fn g(&self) -> u32 {
+        self.g
+    }
+
+    /// Number of jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// True iff there are no jobs.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Generalized parallelism bound: `⌈Σ_j len(J_j)·d_j / g⌉ ≤ OPT`.
+    pub fn weighted_parallelism_bound(&self) -> i64 {
+        let weighted: i64 = self
+            .jobs
+            .iter()
+            .map(|j| j.interval.len() * i64::from(j.demand))
+            .sum();
+        let g = i64::from(self.g);
+        weighted.div_euclid(g) + i64::from(weighted.rem_euclid(g) != 0)
+    }
+
+    /// Span bound: `span(J) ≤ OPT` (unchanged from Observation 1.1).
+    pub fn span_bound(&self) -> i64 {
+        span(&self.jobs.iter().map(|j| j.interval).collect::<Vec<_>>())
+    }
+
+    /// Combined lower bound.
+    pub fn lower_bound(&self) -> i64 {
+        self.weighted_parallelism_bound().max(self.span_bound())
+    }
+
+    /// Checks that a machine assignment respects capacity everywhere and
+    /// returns the total busy time, or a description of the violation.
+    pub fn validate(&self, schedule: &Schedule) -> Result<i64, String> {
+        if schedule.assignment().len() != self.jobs.len() {
+            return Err(format!(
+                "assignment covers {} jobs, instance has {}",
+                schedule.assignment().len(),
+                self.jobs.len()
+            ));
+        }
+        let mut total = 0i64;
+        for jobs in schedule.machine_jobs() {
+            let mut profile = OverlapProfile::new();
+            let mut intervals = Vec::with_capacity(jobs.len());
+            for &j in &jobs {
+                let job = self.jobs[j];
+                if !profile.can_add_weighted(&job.interval, job.demand, self.g) {
+                    return Err(format!("capacity exceeded adding job {j}"));
+                }
+                profile.add_weighted(&job.interval, job.demand);
+                intervals.push(job.interval);
+            }
+            total += span(&intervals);
+        }
+        Ok(total)
+    }
+}
+
+/// Generalized FirstFit for capacitated instances (\[15\]'s extension of
+/// Section 2.1): sort by non-increasing length, place each job on the first
+/// machine whose *residual capacity* covers the job's demand everywhere on
+/// its interval.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FirstFitDemand;
+
+impl FirstFitDemand {
+    /// Schedules a capacitated instance; the result always validates.
+    pub fn schedule(&self, inst: &DemandInstance) -> Schedule {
+        let g = inst.g();
+        let mut order: Vec<usize> = (0..inst.len()).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(inst.jobs()[i].interval.len()));
+        let mut machines: Vec<OverlapProfile> = Vec::new();
+        let mut raw = vec![0usize; inst.len()];
+        for id in order {
+            let job = inst.jobs()[id];
+            let slot = machines
+                .iter()
+                .position(|m| m.can_add_weighted(&job.interval, job.demand, g))
+                .unwrap_or_else(|| {
+                    machines.push(OverlapProfile::new());
+                    machines.len() - 1
+                });
+            machines[slot].add_weighted(&job.interval, job.demand);
+            raw[id] = slot;
+        }
+        if inst.is_empty() {
+            return Schedule::from_assignment(Vec::new());
+        }
+        Schedule::from_assignment(raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::{FirstFit, Scheduler};
+    use crate::instance::Instance;
+
+    fn dj(s: i64, c: i64, d: u32) -> DemandJob {
+        DemandJob {
+            interval: Interval::new(s, c),
+            demand: d,
+        }
+    }
+
+    #[test]
+    fn unit_demands_match_plain_first_fit() {
+        let pairs = [(0, 6), (1, 7), (2, 9), (4, 11), (5, 12), (8, 14)];
+        let plain = Instance::from_pairs(pairs, 2);
+        let demand = DemandInstance::new(
+            pairs.iter().map(|&(s, c)| dj(s, c, 1)).collect(),
+            2,
+        );
+        let a = FirstFit::paper().schedule(&plain).unwrap();
+        let b = FirstFitDemand.schedule(&demand);
+        assert_eq!(a.assignment(), b.assignment());
+        assert_eq!(demand.validate(&b).unwrap(), a.cost(&plain));
+    }
+
+    #[test]
+    fn heavy_job_blocks_machine() {
+        // a demand-3 job on a g = 3 machine leaves no room
+        let inst = DemandInstance::new(vec![dj(0, 10, 3), dj(2, 8, 1)], 3);
+        let sched = FirstFitDemand.schedule(&inst);
+        inst.validate(&sched).unwrap();
+        assert_ne!(sched.machine_of(0), sched.machine_of(1));
+    }
+
+    #[test]
+    fn mixed_demands_pack() {
+        // demands 2 + 1 fit on one g = 3 machine
+        let inst = DemandInstance::new(vec![dj(0, 10, 2), dj(2, 8, 1)], 3);
+        let sched = FirstFitDemand.schedule(&inst);
+        assert_eq!(sched.machine_of(0), sched.machine_of(1));
+        assert_eq!(inst.validate(&sched).unwrap(), 10);
+    }
+
+    #[test]
+    fn five_approx_against_lower_bound() {
+        // staggered mixed-demand jobs: [15] proves ≤ 5·OPT for the general
+        // model; check against the lower bound
+        let jobs: Vec<DemandJob> = (0..12)
+            .map(|i| dj(i, i + 4 + (i % 3), 1 + (i % 3) as u32))
+            .collect();
+        let inst = DemandInstance::new(jobs, 4);
+        let sched = FirstFitDemand.schedule(&inst);
+        let cost = inst.validate(&sched).unwrap();
+        assert!(cost <= 5 * inst.lower_bound());
+    }
+
+    #[test]
+    fn weighted_bound_exceeds_unit_bound() {
+        let inst = DemandInstance::new(vec![dj(0, 10, 3), dj(0, 10, 3)], 3);
+        // weighted: ⌈60/3⌉ = 20; unit parallelism would give ⌈20/3⌉ = 7
+        assert_eq!(inst.weighted_parallelism_bound(), 20);
+        assert_eq!(inst.lower_bound(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn demand_above_g_rejected() {
+        let _ = DemandInstance::new(vec![dj(0, 1, 5)], 2);
+    }
+
+    #[test]
+    fn validate_rejects_overpacked() {
+        let inst = DemandInstance::new(vec![dj(0, 10, 2), dj(2, 8, 2)], 3);
+        let bad = Schedule::from_assignment(vec![0, 0]);
+        assert!(inst.validate(&bad).is_err());
+    }
+
+    #[test]
+    fn empty_instance() {
+        let inst = DemandInstance::new(vec![], 2);
+        let sched = FirstFitDemand.schedule(&inst);
+        assert_eq!(inst.validate(&sched).unwrap(), 0);
+    }
+}

@@ -1,0 +1,256 @@
+//! Algorithm FirstFit (Section 2.1): the 4-approximation for general
+//! instances.
+//!
+//! 1. Sort the jobs in non-increasing order of length.
+//! 2. Assign each job to the *first* (lowest-indexed) machine that can
+//!    process it — i.e. that runs at most `g − 1` jobs at every `t ∈ J` —
+//!    opening a new machine when none fits.
+//!
+//! The paper's analysis (Theorems 2.1, 2.4, 2.5) places the approximation
+//! ratio between 3 and 4. Ties between equal-length jobs are broken by a
+//! configurable [`TieBreak`]; Theorem 2.4's lower-bound family exploits an
+//! adversarial tie order, realized here by [`TieBreak::Input`] plus a
+//! crafted input permutation (see `busytime-instances::adversarial`).
+//! [`SortOrder`] variants other than [`SortOrder::LongestFirst`] exist for
+//! the ablation experiment (E11) and carry **no** approximation guarantee.
+
+use crate::algo::{Scheduler, SchedulerError};
+use crate::instance::Instance;
+use crate::machine::MachineLoad;
+use crate::schedule::Schedule;
+
+/// Primary ordering of jobs before the greedy pass.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SortOrder {
+    /// Non-increasing length — the paper's algorithm.
+    LongestFirst,
+    /// Non-decreasing length — ablation only.
+    ShortestFirst,
+    /// Input order, no sorting — ablation only.
+    Arrival,
+}
+
+/// Secondary ordering among equal-length jobs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TieBreak {
+    /// Stable: preserve input order (lets callers hand-craft adversarial
+    /// orders, as Theorem 2.4 requires).
+    Input,
+    /// Earliest start first.
+    EarliestStart,
+    /// Deterministic pseudo-random shuffle with the given seed.
+    Seeded(u64),
+}
+
+/// The FirstFit scheduler.
+///
+/// ```
+/// use busytime_core::{algo::{FirstFit, Scheduler}, Instance};
+/// // three mutually overlapping jobs, g = 2: one must open a second machine
+/// let inst = Instance::from_pairs([(0, 10), (1, 11), (2, 12)], 2);
+/// let schedule = FirstFit::paper().schedule(&inst).unwrap();
+/// assert_eq!(schedule.machine_count(), 2);
+/// assert_eq!(schedule.cost(&inst), 11 + 10); // [0,11] and [2,12]
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct FirstFit {
+    /// Primary sort of the greedy pass.
+    pub order: SortOrder,
+    /// Tie-break among equal primary keys.
+    pub tie: TieBreak,
+}
+
+impl FirstFit {
+    /// The algorithm exactly as in Section 2.1: longest job first, input
+    /// order among ties.
+    pub fn paper() -> Self {
+        FirstFit {
+            order: SortOrder::LongestFirst,
+            tie: TieBreak::Input,
+        }
+    }
+
+    /// Longest-first with a seeded random tie-break (for averaging out
+    /// adversarial orders in experiments).
+    pub fn seeded(seed: u64) -> Self {
+        FirstFit {
+            order: SortOrder::LongestFirst,
+            tie: TieBreak::Seeded(seed),
+        }
+    }
+
+    /// The processing order of job ids this configuration induces.
+    pub fn job_order(&self, inst: &Instance) -> Vec<usize> {
+        let mut ids: Vec<usize> = (0..inst.len()).collect();
+        if let TieBreak::Seeded(seed) = self.tie {
+            shuffle(&mut ids, seed);
+        }
+        if let TieBreak::EarliestStart = self.tie {
+            ids.sort_by_key(|&i| inst.job(i).start);
+        }
+        match self.order {
+            SortOrder::LongestFirst => ids.sort_by_key(|&i| std::cmp::Reverse(inst.job(i).len())),
+            SortOrder::ShortestFirst => ids.sort_by_key(|&i| inst.job(i).len()),
+            SortOrder::Arrival => {}
+        }
+        ids
+    }
+}
+
+impl Scheduler for FirstFit {
+    fn name(&self) -> String {
+        let order = match self.order {
+            SortOrder::LongestFirst => "longest",
+            SortOrder::ShortestFirst => "shortest",
+            SortOrder::Arrival => "arrival",
+        };
+        let tie = match self.tie {
+            TieBreak::Input => String::from("input"),
+            TieBreak::EarliestStart => String::from("earliest"),
+            TieBreak::Seeded(s) => format!("seed{s}"),
+        };
+        format!("FirstFit[{order},{tie}]")
+    }
+
+    fn schedule(&self, inst: &Instance) -> Result<Schedule, SchedulerError> {
+        let g = inst.g();
+        let mut machines: Vec<MachineLoad> = Vec::new();
+        let mut raw = vec![0usize; inst.len()];
+        for id in self.job_order(inst) {
+            let iv = inst.job(id);
+            let slot = machines
+                .iter()
+                .position(|m| m.can_fit(&iv, g))
+                .unwrap_or_else(|| {
+                    machines.push(MachineLoad::new());
+                    machines.len() - 1
+                });
+            machines[slot].push(id, &iv);
+            raw[id] = slot;
+        }
+        Ok(Schedule::from_assignment(raw))
+    }
+}
+
+/// Fisher–Yates with a SplitMix64 stream — deterministic, dependency-free.
+fn shuffle(ids: &mut [usize], seed: u64) {
+    let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    for i in (1..ids.len()).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        ids.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds;
+
+    #[test]
+    fn longest_first_order() {
+        let inst = Instance::from_pairs([(0, 1), (0, 5), (0, 3)], 2);
+        let order = FirstFit::paper().job_order(&inst);
+        assert_eq!(order, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn stable_ties_preserve_input() {
+        let inst = Instance::from_pairs([(0, 2), (5, 7), (10, 12)], 2);
+        let order = FirstFit::paper().job_order(&inst);
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn disjoint_jobs_share_one_machine() {
+        // FirstFit packs non-overlapping jobs onto machine 0
+        let inst = Instance::from_pairs([(0, 2), (3, 5), (6, 8)], 1);
+        let sched = FirstFit::paper().schedule(&inst).unwrap();
+        assert_eq!(sched.machine_count(), 1);
+        assert_eq!(sched.cost(&inst), 6);
+    }
+
+    #[test]
+    fn capacity_forces_second_machine() {
+        let inst = Instance::from_pairs([(0, 10), (0, 10), (0, 10)], 2);
+        let sched = FirstFit::paper().schedule(&inst).unwrap();
+        sched.validate(&inst).unwrap();
+        assert_eq!(sched.machine_count(), 2);
+        assert_eq!(sched.cost(&inst), 20);
+    }
+
+    #[test]
+    fn respects_four_opt_via_lower_bound() {
+        let inst = Instance::from_pairs(
+            [(0, 6), (1, 7), (2, 9), (4, 11), (5, 12), (8, 14), (10, 15)],
+            2,
+        );
+        let sched = FirstFit::paper().schedule(&inst).unwrap();
+        sched.validate(&inst).unwrap();
+        assert!(sched.cost(&inst) <= 4 * bounds::lower_bound(&inst));
+    }
+
+    #[test]
+    fn empty_instance() {
+        let inst = Instance::new(vec![], 3);
+        let sched = FirstFit::paper().schedule(&inst).unwrap();
+        assert_eq!(sched.machine_count(), 0);
+        assert_eq!(sched.cost(&inst), 0);
+    }
+
+    #[test]
+    fn seeded_shuffle_is_deterministic() {
+        let inst = Instance::from_pairs([(0, 2); 10], 2);
+        let a = FirstFit::seeded(42).job_order(&inst);
+        let b = FirstFit::seeded(42).job_order(&inst);
+        let c = FirstFit::seeded(43).job_order(&inst);
+        assert_eq!(a, b);
+        assert_ne!(a, c); // overwhelmingly likely for 10! orders
+    }
+
+    #[test]
+    fn ablation_orders_differ() {
+        let inst = Instance::from_pairs([(0, 1), (0, 5), (0, 3)], 2);
+        let shortest = FirstFit {
+            order: SortOrder::ShortestFirst,
+            tie: TieBreak::Input,
+        };
+        assert_eq!(shortest.job_order(&inst), vec![0, 2, 1]);
+        let arrival = FirstFit {
+            order: SortOrder::Arrival,
+            tie: TieBreak::Input,
+        };
+        assert_eq!(arrival.job_order(&inst), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn earliest_start_tiebreak() {
+        // equal lengths: order by start
+        let inst = Instance::from_pairs([(5, 7), (0, 2), (3, 5)], 2);
+        let ff = FirstFit {
+            order: SortOrder::LongestFirst,
+            tie: TieBreak::EarliestStart,
+        };
+        assert_eq!(ff.job_order(&inst), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn first_fit_prefers_lowest_index() {
+        // two disjoint machines could host the third job; FirstFit picks 0
+        let inst = Instance::from_pairs([(0, 4), (10, 14), (20, 24)], 1);
+        let sched = FirstFit::paper().schedule(&inst).unwrap();
+        assert_eq!(sched.machine_count(), 1);
+    }
+
+    #[test]
+    fn names_reflect_parameters() {
+        assert_eq!(FirstFit::paper().name(), "FirstFit[longest,input]");
+        assert_eq!(FirstFit::seeded(7).name(), "FirstFit[longest,seed7]");
+    }
+}

@@ -1,0 +1,350 @@
+//! The literal "guess and b-match" solver of Section 3.2, step 2.
+//!
+//! For a (small) instance it enumerates, as the paper's guessing step does:
+//!
+//! * the machine count `k` and the vector of machine busy intervals
+//!   (candidate windows are hulls `[s_i, c_j]` of job endpoints — an optimal
+//!   contiguous machine starts at some job's start and ends at some job's
+//!   end);
+//! * the partition of jobs into independent sets (pairwise disjoint
+//!   intervals);
+//!
+//! and then assigns independent sets to machines by **maximum b-matching**
+//! with `b(M_i) = g` and `b(IS_h) = 1` (step 2(d)–(e)): a guess is feasible
+//! iff every IS is matched into a machine whose busy window contains it.
+//! The minimum total window length over feasible guesses is returned.
+//!
+//! In the integral tick model the window-length grid is exact, so the solver
+//! is *exact* (the paper's (1+ε) rounding exists only for real-valued busy
+//! times); setting [`GuessMatch::epsilon`] > 0 coarsens window lengths to
+//! the `(1+ε)^m` grid to reproduce the paper's rounding behaviour.
+//!
+//! Exponential in the job count — guarded by [`GuessMatch::max_jobs`]. It is
+//! meant for validating the pipeline on segment-sized instances, exactly the
+//! role it plays inside Bounded_Length.
+
+use busytime_graph::max_b_matching;
+use busytime_interval::Interval;
+
+use crate::algo::{Scheduler, SchedulerError};
+use crate::instance::Instance;
+use crate::schedule::Schedule;
+
+/// Exhaustive guess-plus-b-matching scheduler for tiny instances.
+#[derive(Clone, Copy, Debug)]
+pub struct GuessMatch {
+    /// Refuse instances with more jobs than this (default 6).
+    pub max_jobs: usize,
+    /// When positive, round candidate window lengths up to the `(1+ε)^m`
+    /// grid as the paper does (0.0 = exact integral grid).
+    pub epsilon: f64,
+}
+
+impl Default for GuessMatch {
+    fn default() -> Self {
+        GuessMatch {
+            max_jobs: 6,
+            epsilon: 0.0,
+        }
+    }
+}
+
+impl GuessMatch {
+    /// Exact configuration with the default size guard.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Configuration with the paper's (1+ε) window-length rounding.
+    pub fn with_epsilon(epsilon: f64) -> Self {
+        assert!(epsilon >= 0.0, "epsilon must be non-negative");
+        GuessMatch {
+            epsilon,
+            ..Self::default()
+        }
+    }
+
+    /// Rounds a window length up to the (1+ε)^m grid (identity when ε = 0).
+    fn snap(&self, len: i64) -> i64 {
+        if self.epsilon <= 0.0 || len <= 1 {
+            return len;
+        }
+        let mut grid = 1.0f64;
+        while (grid.ceil() as i64) < len {
+            grid *= 1.0 + self.epsilon;
+        }
+        grid.ceil() as i64
+    }
+}
+
+/// Enumerate all partitions of `jobs` into independent sets (parts of
+/// pairwise non-overlapping intervals); invoke `visit` per partition, stop
+/// early when it returns true. Returns whether any visit returned true.
+fn for_each_is_partition(
+    jobs: &[Interval],
+    visit: &mut dyn FnMut(&[Vec<usize>]) -> bool,
+) -> bool {
+    fn rec(
+        jobs: &[Interval],
+        next: usize,
+        parts: &mut Vec<Vec<usize>>,
+        visit: &mut dyn FnMut(&[Vec<usize>]) -> bool,
+    ) -> bool {
+        if next == jobs.len() {
+            return visit(parts);
+        }
+        let iv = jobs[next];
+        for p in 0..parts.len() {
+            if parts[p].iter().all(|&j| !jobs[j].overlaps(&iv)) {
+                parts[p].push(next);
+                if rec(jobs, next + 1, parts, visit) {
+                    return true;
+                }
+                parts[p].pop();
+            }
+        }
+        parts.push(vec![next]);
+        if rec(jobs, next + 1, parts, visit) {
+            return true;
+        }
+        parts.pop();
+        false
+    }
+    rec(jobs, 0, &mut Vec::new(), visit)
+}
+
+/// State of the window-vector enumeration.
+struct Search<'a> {
+    jobs: &'a [Interval],
+    windows: &'a [Interval],
+    g: u32,
+    best_cost: i64,
+    best: Option<Vec<usize>>,
+}
+
+impl Search<'_> {
+    /// Enumerates non-decreasing window-index vectors (multisets) of size
+    /// `slots_left` starting at index `from`, pruning on the running best.
+    fn enumerate(&mut self, from: usize, slots_left: usize, cost: i64, chosen: &mut Vec<usize>) {
+        if slots_left == 0 {
+            self.try_vector(chosen, cost);
+            return;
+        }
+        for w in from..self.windows.len() {
+            let c = cost + self.windows[w].len();
+            if c >= self.best_cost {
+                break; // windows sorted by length: all later ones are no shorter
+            }
+            chosen.push(w);
+            self.enumerate(w, slots_left - 1, c, chosen);
+            chosen.pop();
+        }
+    }
+
+    /// Tests one complete window vector: is there a partition of the jobs
+    /// into independent sets that b-matches into these machines?
+    fn try_vector(&mut self, vector: &[usize], cost: i64) {
+        if cost >= self.best_cost {
+            return;
+        }
+        // necessary condition: every job fits in some window of the vector
+        if !self
+            .jobs
+            .iter()
+            .all(|j| vector.iter().any(|&w| self.windows[w].contains(j)))
+        {
+            return;
+        }
+        let (jobs, windows, g) = (self.jobs, self.windows, self.g);
+        let mut winner: Option<Vec<usize>> = None;
+        for_each_is_partition(jobs, &mut |parts| {
+            // b-matching machines (b = g) × independent sets (b = 1):
+            // an IS may go to a machine whose window contains its hull
+            let mut edges = Vec::new();
+            for (mi, &w) in vector.iter().enumerate() {
+                for (pi, part) in parts.iter().enumerate() {
+                    let members: Vec<Interval> = part.iter().map(|&j| jobs[j]).collect();
+                    let hull = busytime_interval::hull(&members).expect("parts are non-empty");
+                    if windows[w].contains(&hull) {
+                        edges.push((mi as u32, pi as u32));
+                    }
+                }
+            }
+            let bm = max_b_matching(&vec![g; vector.len()], &vec![1; parts.len()], &edges);
+            if bm.size == parts.len() {
+                let mut assign = vec![0usize; jobs.len()];
+                for &(mi, pi) in &bm.edges {
+                    for &j in &parts[pi as usize] {
+                        assign[j] = mi as usize;
+                    }
+                }
+                winner = Some(assign);
+                true
+            } else {
+                false
+            }
+        });
+        if let Some(assign) = winner {
+            self.best_cost = cost;
+            self.best = Some(assign);
+        }
+    }
+}
+
+impl Scheduler for GuessMatch {
+    fn name(&self) -> String {
+        if self.epsilon > 0.0 {
+            format!("GuessMatch[eps={}]", self.epsilon)
+        } else {
+            String::from("GuessMatch")
+        }
+    }
+
+    fn schedule(&self, inst: &Instance) -> Result<Schedule, SchedulerError> {
+        let n = inst.len();
+        if n == 0 {
+            return Ok(Schedule::from_assignment(Vec::new()));
+        }
+        if n > self.max_jobs {
+            return Err(SchedulerError::TooLarge {
+                scheduler: self.name(),
+                limit: format!("n ≤ {} (got {n})", self.max_jobs),
+            });
+        }
+        let g = inst.g();
+        let jobs = inst.jobs();
+
+        // candidate machine windows: hulls of (job start, job end) pairs,
+        // with (1+ε)-snapped lengths, deduplicated and sorted by length
+        let mut windows: Vec<Interval> = Vec::new();
+        for a in jobs {
+            for b in jobs {
+                if a.start <= b.end {
+                    let len = self.snap(b.end - a.start);
+                    windows.push(Interval::new(a.start, a.start + len));
+                }
+            }
+        }
+        windows.sort_unstable_by_key(|w| (w.len(), w.start));
+        windows.dedup();
+
+        let omega = inst.max_overlap();
+        let k_min = omega.div_ceil(g as usize).max(1);
+
+        let mut search = Search {
+            jobs,
+            windows: &windows,
+            g,
+            best_cost: i64::MAX,
+            best: None,
+        };
+        for k in k_min..=n {
+            let mut chosen = Vec::with_capacity(k);
+            search.enumerate(0, k, 0, &mut chosen);
+        }
+        let assign = search.best.expect("singleton windows always feasible");
+        Ok(Schedule::from_assignment(assign))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::FirstFit;
+    use crate::bounds;
+
+    #[test]
+    fn partition_enumeration_counts() {
+        // 3 mutually disjoint jobs: partitions into independent sets = all
+        // set partitions = Bell(3) = 5
+        let jobs = [
+            Interval::new(0, 1),
+            Interval::new(2, 3),
+            Interval::new(4, 5),
+        ];
+        let mut count = 0;
+        for_each_is_partition(&jobs, &mut |_| {
+            count += 1;
+            false
+        });
+        assert_eq!(count, 5);
+        // 3 mutually overlapping jobs: only the all-singletons partition
+        let clique = [
+            Interval::new(0, 10),
+            Interval::new(1, 11),
+            Interval::new(2, 12),
+        ];
+        let mut count = 0;
+        for_each_is_partition(&clique, &mut |parts| {
+            assert_eq!(parts.len(), 3);
+            count += 1;
+            false
+        });
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn exact_on_disjoint_jobs() {
+        // disjoint jobs pack onto one machine: OPT = total length
+        let inst = Instance::from_pairs([(0, 2), (3, 5), (6, 7)], 2);
+        let sched = GuessMatch::new().schedule(&inst).unwrap();
+        sched.validate(&inst).unwrap();
+        assert_eq!(sched.cost(&inst), 5);
+    }
+
+    #[test]
+    fn exact_on_parallel_stack() {
+        // 4 identical jobs, g = 2 → two machines of span 10 each
+        let inst = Instance::from_pairs([(0, 10); 4], 2);
+        let sched = GuessMatch::new().schedule(&inst).unwrap();
+        sched.validate(&inst).unwrap();
+        assert_eq!(sched.cost(&inst), 20);
+        assert_eq!(bounds::lower_bound(&inst), 20);
+    }
+
+    #[test]
+    fn beats_or_ties_first_fit() {
+        let cases = [
+            Instance::from_pairs([(0, 4), (1, 5), (3, 7), (6, 9)], 2),
+            Instance::from_pairs([(0, 3), (2, 5), (4, 8), (0, 8)], 2),
+            Instance::from_pairs([(0, 2), (1, 3), (2, 4), (3, 5)], 3),
+        ];
+        for inst in cases {
+            let exact = GuessMatch::new().schedule(&inst).unwrap();
+            exact.validate(&inst).unwrap();
+            let ff = FirstFit::paper().schedule(&inst).unwrap();
+            assert!(exact.cost(&inst) <= ff.cost(&inst));
+            assert!(exact.cost(&inst) >= bounds::lower_bound(&inst));
+        }
+    }
+
+    #[test]
+    fn size_guard() {
+        let inst = Instance::from_pairs((0..9).map(|i| (i, i + 1)), 2);
+        assert!(matches!(
+            GuessMatch::new().schedule(&inst),
+            Err(SchedulerError::TooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn epsilon_rounding_still_feasible_and_close() {
+        let inst = Instance::from_pairs([(0, 4), (1, 5), (3, 7)], 2);
+        let exact = GuessMatch::new().schedule(&inst).unwrap().cost(&inst);
+        let rounded = GuessMatch::with_epsilon(0.5).schedule(&inst).unwrap();
+        rounded.validate(&inst).unwrap();
+        let rc = rounded.cost(&inst);
+        assert!(rc >= exact);
+        // (1+ε) rounding inflates each window by at most 1+ε (plus ceil)
+        assert!(rc as f64 <= 1.5 * exact as f64 + 3.0);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let empty = Instance::new(vec![], 2);
+        assert_eq!(GuessMatch::new().schedule(&empty).unwrap().machine_count(), 0);
+        let single = Instance::from_pairs([(2, 9)], 1);
+        let sched = GuessMatch::new().schedule(&single).unwrap();
+        assert_eq!(sched.cost(&single), 7);
+    }
+}

@@ -1,0 +1,174 @@
+//! The scheduling algorithms of the paper, plus baselines and extensions.
+//!
+//! All algorithms implement [`Scheduler`]; every produced [`Schedule`] passes
+//! [`Schedule::validate`]. Approximation guarantees (checked empirically in
+//! `busytime-lab` and, on small instances, against the exact solver of
+//! `busytime-exact`):
+//!
+//! * [`FirstFit`] — 4-approximation on general instances (Theorem 2.1);
+//!   there are instances forcing ratio ≥ 3 − ε (Theorem 2.4).
+//! * [`NextFitProper`] — 2-approximation on proper families (Theorem 3.1).
+//! * [`BoundedLength`] — (2+ε)-approximation when lengths lie in `[1, d]`
+//!   with integral starts (Theorem 3.2); in the integral tick model the
+//!   busy-length grid is exact, so the factor is 2 relative to the best
+//!   segment-respecting solution (Lemma 3.3 supplies the remaining 2).
+//! * [`CliqueScheduler`] — 2-approximation when all jobs pairwise overlap
+//!   (Theorem A.1).
+//! * [`MinMachines`] — optimizes machine *count* (⌈ω/g⌉, optimal; the
+//!   polynomially solvable objective contrasted in Section 1.1), used as a
+//!   busy-time baseline.
+
+mod baselines;
+mod bounded_length;
+mod clique;
+pub mod demand;
+mod first_fit;
+mod guess_match;
+mod next_fit_proper;
+
+pub use baselines::{BestFit, MinMachines, NextFitArrival, RandomFit};
+pub use bounded_length::BoundedLength;
+pub use clique::CliqueScheduler;
+pub use first_fit::{FirstFit, SortOrder, TieBreak};
+pub use guess_match::GuessMatch;
+pub use next_fit_proper::NextFitProper;
+
+use crate::instance::Instance;
+use crate::schedule::Schedule;
+
+/// Why a scheduler declined an instance.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SchedulerError {
+    /// The instance is outside the class the algorithm is defined for
+    /// (e.g. the clique algorithm on a non-clique).
+    UnsupportedInstance {
+        /// The scheduler that refused.
+        scheduler: String,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The instance exceeds the size limits of an exhaustive solver.
+    TooLarge {
+        /// The scheduler that refused.
+        scheduler: String,
+        /// Human-readable limit description.
+        limit: String,
+    },
+}
+
+impl std::fmt::Display for SchedulerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchedulerError::UnsupportedInstance { scheduler, reason } => {
+                write!(f, "{scheduler}: unsupported instance: {reason}")
+            }
+            SchedulerError::TooLarge { scheduler, limit } => {
+                write!(f, "{scheduler}: instance too large: {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SchedulerError {}
+
+/// A busy-time scheduling algorithm.
+pub trait Scheduler {
+    /// Human-readable name including parameterization (used in experiment
+    /// tables).
+    fn name(&self) -> String;
+
+    /// Produces a feasible schedule for `inst`, or an error when the
+    /// instance is outside the algorithm's class or size limits.
+    fn schedule(&self, inst: &Instance) -> Result<Schedule, SchedulerError>;
+}
+
+impl<S: Scheduler + ?Sized> Scheduler for &S {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn schedule(&self, inst: &Instance) -> Result<Schedule, SchedulerError> {
+        (**self).schedule(inst)
+    }
+}
+
+impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn schedule(&self, inst: &Instance) -> Result<Schedule, SchedulerError> {
+        (**self).schedule(inst)
+    }
+}
+
+/// Runs `inner` independently on every connected component of the instance
+/// and merges the results — the paper's w.l.o.g. preprocessing (Section 1.4).
+/// Lossless for the busy-time objective.
+#[derive(Clone, Debug)]
+pub struct Decomposed<S> {
+    /// The scheduler applied per component.
+    pub inner: S,
+}
+
+impl<S: Scheduler> Decomposed<S> {
+    /// Wraps a scheduler with component decomposition.
+    pub fn new(inner: S) -> Self {
+        Decomposed { inner }
+    }
+}
+
+impl<S: Scheduler> Scheduler for Decomposed<S> {
+    fn name(&self) -> String {
+        format!("Decomposed({})", self.inner.name())
+    }
+
+    fn schedule(&self, inst: &Instance) -> Result<Schedule, SchedulerError> {
+        let mut raw = vec![0usize; inst.len()];
+        let mut offset = 0usize;
+        for (sub, ids) in inst.components() {
+            let sched = self.inner.schedule(&sub)?;
+            for (local, &orig) in ids.iter().enumerate() {
+                raw[orig] = offset + sched.machine_of(local);
+            }
+            offset += sched.machine_count();
+        }
+        Ok(Schedule::from_assignment(raw))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decomposed_matches_inner_on_connected() {
+        let inst = Instance::from_pairs([(0, 4), (2, 6), (3, 8)], 2);
+        let inner = FirstFit::paper();
+        let direct = inner.schedule(&inst).unwrap();
+        let decomposed = Decomposed::new(FirstFit::paper()).schedule(&inst).unwrap();
+        assert_eq!(direct.cost(&inst), decomposed.cost(&inst));
+    }
+
+    #[test]
+    fn decomposed_never_mixes_components() {
+        let inst = Instance::from_pairs([(0, 2), (100, 102), (1, 3), (101, 103)], 4);
+        let sched = Decomposed::new(FirstFit::paper()).schedule(&inst).unwrap();
+        sched.validate(&inst).unwrap();
+        // jobs 0,2 form one component; 1,3 the other
+        assert_ne!(sched.machine_of(0), sched.machine_of(1));
+        assert_eq!(sched.machine_of(0), sched.machine_of(2));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = SchedulerError::UnsupportedInstance {
+            scheduler: "Clique".into(),
+            reason: "no common point".into(),
+        };
+        assert!(e.to_string().contains("Clique"));
+        let e = SchedulerError::TooLarge {
+            scheduler: "GuessMatch".into(),
+            limit: "n ≤ 6".into(),
+        };
+        assert!(e.to_string().contains("too large"));
+    }
+}

@@ -1,0 +1,203 @@
+//! Problem instances: a job family plus the parallelism parameter `g`.
+
+use busytime_interval::{relations, span, sweep, total_len, Interval};
+
+/// Index of a job within an [`Instance`] (position in the input job list).
+pub type JobId = usize;
+
+/// An instance of busy-time scheduling: jobs `J = {J_1..J_n}` given as closed
+/// intervals, and the parallelism parameter `g ≥ 1` — the maximum number of
+/// jobs a single machine may process simultaneously.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Instance {
+    jobs: Vec<Interval>,
+    g: u32,
+}
+
+impl Instance {
+    /// Creates an instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g == 0`.
+    pub fn new(jobs: Vec<Interval>, g: u32) -> Self {
+        assert!(g >= 1, "parallelism parameter g must be at least 1");
+        Instance { jobs, g }
+    }
+
+    /// Convenience constructor from `(start, end)` pairs.
+    pub fn from_pairs<I>(pairs: I, g: u32) -> Self
+    where
+        I: IntoIterator<Item = (i64, i64)>,
+    {
+        Self::new(
+            pairs.into_iter().map(|(s, c)| Interval::new(s, c)).collect(),
+            g,
+        )
+    }
+
+    /// The job intervals, indexed by [`JobId`].
+    pub fn jobs(&self) -> &[Interval] {
+        &self.jobs
+    }
+
+    /// The job interval of `id`.
+    pub fn job(&self, id: JobId) -> Interval {
+        self.jobs[id]
+    }
+
+    /// The parallelism parameter `g`.
+    pub fn g(&self) -> u32 {
+        self.g
+    }
+
+    /// Number of jobs `n`.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// True iff the instance has no jobs.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// `len(J)`: the summed job lengths (Definition 1.1).
+    pub fn total_len(&self) -> i64 {
+        total_len(&self.jobs)
+    }
+
+    /// `span(J)`: the measure of `∪J` (Definition 1.2).
+    pub fn span(&self) -> i64 {
+        span(&self.jobs)
+    }
+
+    /// Maximum number of jobs sharing a time point — the clique number ω of
+    /// the induced interval graph.
+    pub fn max_overlap(&self) -> usize {
+        sweep::max_overlap(&self.jobs)
+    }
+
+    /// True iff no job is properly contained in another (Section 3.1's
+    /// proper interval families).
+    pub fn is_proper(&self) -> bool {
+        relations::is_proper(&self.jobs)
+    }
+
+    /// True iff all jobs share a common point (Appendix's cliques).
+    pub fn is_clique(&self) -> bool {
+        relations::is_clique(&self.jobs)
+    }
+
+    /// True iff the induced interval graph is connected (the paper's
+    /// w.l.o.g. preprocessing assumption).
+    pub fn is_connected(&self) -> bool {
+        relations::is_connected(&self.jobs)
+    }
+
+    /// True iff every job length lies in `[1, d]` (Section 3.2's
+    /// precondition, with integral start times implied by the tick model).
+    pub fn lengths_within(&self, d: i64) -> bool {
+        relations::lengths_within(&self.jobs, 1, d)
+    }
+
+    /// Maximum job length (0 for an empty instance).
+    pub fn max_len(&self) -> i64 {
+        self.jobs.iter().map(|iv| iv.len()).max().unwrap_or(0)
+    }
+
+    /// Minimum job length (0 for an empty instance).
+    pub fn min_len(&self) -> i64 {
+        self.jobs.iter().map(|iv| iv.len()).min().unwrap_or(0)
+    }
+
+    /// Splits the instance into connected components of its interval graph.
+    ///
+    /// Returns one sub-instance per component together with the original
+    /// [`JobId`]s of its jobs. Solving components independently and merging
+    /// is lossless for every objective in the paper (Section 1.4).
+    pub fn components(&self) -> Vec<(Instance, Vec<JobId>)> {
+        sweep::connected_components(&self.jobs)
+            .into_iter()
+            .map(|ids| {
+                let sub = Instance::new(ids.iter().map(|&i| self.jobs[i]).collect(), self.g);
+                (sub, ids)
+            })
+            .collect()
+    }
+
+    /// The sub-instance induced by a set of job ids (preserving order).
+    pub fn restrict(&self, ids: &[JobId]) -> Instance {
+        Instance::new(ids.iter().map(|&i| self.jobs[i]).collect(), self.g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(s: i64, c: i64) -> Interval {
+        Interval::new(s, c)
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let inst = Instance::from_pairs([(0, 4), (1, 5), (6, 9)], 2);
+        assert_eq!(inst.len(), 3);
+        assert_eq!(inst.g(), 2);
+        assert_eq!(inst.job(1), iv(1, 5));
+        assert_eq!(inst.total_len(), 4 + 4 + 3);
+        assert_eq!(inst.span(), 8); // [0,5] ∪ [6,9]: 5 + 3, the gap (5,6) is free
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_g_rejected() {
+        let _ = Instance::new(vec![], 0);
+    }
+
+    #[test]
+    fn span_with_gap() {
+        let inst = Instance::from_pairs([(0, 5), (6, 9)], 1);
+        assert_eq!(inst.span(), 8);
+        assert!(!inst.is_connected());
+    }
+
+    #[test]
+    fn class_predicates() {
+        let proper = Instance::from_pairs([(0, 2), (1, 3), (2, 4)], 2);
+        assert!(proper.is_proper());
+        assert!(!Instance::from_pairs([(0, 9), (1, 2)], 2).is_proper());
+        assert!(Instance::from_pairs([(0, 4), (2, 6), (3, 5)], 2).is_clique());
+        assert!(Instance::from_pairs([(0, 3), (1, 4)], 2).lengths_within(3));
+        assert!(!Instance::from_pairs([(0, 0)], 2).lengths_within(3));
+    }
+
+    #[test]
+    fn component_split_and_restrict() {
+        let inst = Instance::from_pairs([(0, 2), (10, 12), (1, 3), (11, 13)], 3);
+        let comps = inst.components();
+        assert_eq!(comps.len(), 2);
+        let (left, ids) = &comps[0];
+        assert_eq!(ids, &[0, 2]);
+        assert_eq!(left.jobs(), &[iv(0, 2), iv(1, 3)]);
+        let restricted = inst.restrict(&[1, 3]);
+        assert_eq!(restricted.jobs(), &[iv(10, 12), iv(11, 13)]);
+    }
+
+    #[test]
+    fn max_overlap_counts() {
+        let inst = Instance::from_pairs([(0, 4), (1, 5), (2, 6), (7, 8)], 2);
+        assert_eq!(inst.max_overlap(), 3);
+        assert_eq!(Instance::new(vec![], 1).max_overlap(), 0);
+    }
+
+    #[test]
+    fn empty_instance() {
+        let inst = Instance::new(vec![], 5);
+        assert!(inst.is_empty());
+        assert_eq!(inst.span(), 0);
+        assert_eq!(inst.total_len(), 0);
+        assert!(inst.components().is_empty());
+    }
+}

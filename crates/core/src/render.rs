@@ -1,0 +1,164 @@
+//! ASCII rendering of schedules (Gantt charts) and summary statistics.
+//!
+//! Rendering is for humans debugging schedules and for the examples; the
+//! statistics feed experiment tables.
+
+use crate::instance::Instance;
+use crate::schedule::Schedule;
+
+/// Summary statistics of a schedule.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ScheduleStats {
+    /// Total busy time (the objective).
+    pub cost: i64,
+    /// Number of machines.
+    pub machines: usize,
+    /// Capacity utilization: `len(J) / (g · cost)` ∈ (0, 1]. 1.0 means every
+    /// busy machine-second runs `g` jobs — the parallelism bound is tight.
+    pub utilization: f64,
+    /// `cost / best_lower_bound` — an upper bound on the true approximation
+    /// ratio of this schedule.
+    pub ratio_to_bound: f64,
+}
+
+/// Computes summary statistics for a feasible schedule.
+pub fn stats(inst: &Instance, sched: &Schedule) -> ScheduleStats {
+    let cost = sched.cost(inst);
+    let lb = crate::bounds::best_lower_bound(inst);
+    ScheduleStats {
+        cost,
+        machines: sched.machine_count(),
+        utilization: if cost == 0 {
+            1.0
+        } else {
+            inst.total_len() as f64 / (f64::from(inst.g()) * cost as f64)
+        },
+        ratio_to_bound: if lb == 0 {
+            1.0
+        } else {
+            cost as f64 / lb as f64
+        },
+    }
+}
+
+/// Renders the schedule as an ASCII Gantt chart, one row per machine,
+/// `width` characters across the instance's hull. Busy cells show the
+/// number of concurrently running jobs (`1`–`9`, `+` for ≥ 10); idle time
+/// inside a machine's hull is `·`, outside `space`.
+///
+/// Intended for small/medium instances; rows are capped at `max_machines`
+/// (a trailing line reports elision).
+pub fn gantt(inst: &Instance, sched: &Schedule, width: usize, max_machines: usize) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let Some(hull) = busytime_interval::hull(inst.jobs()) else {
+        return String::from("(empty instance)\n");
+    };
+    let width = width.max(10);
+    let span = (hull.len().max(1)) as f64;
+    let col_of = |t: i64| -> usize {
+        (((t - hull.start) as f64 / span) * (width as f64 - 1.0)).round() as usize
+    };
+    let _ = writeln!(
+        out,
+        "time {}..{} ({} ticks), g = {}, cost = {}",
+        hull.start,
+        hull.end,
+        hull.len(),
+        inst.g(),
+        sched.cost(inst)
+    );
+    for (m, jobs) in sched.machine_jobs().iter().enumerate().take(max_machines) {
+        let mut counts = vec![0u32; width];
+        for &j in jobs {
+            let iv = inst.job(j);
+            for cell in counts
+                .iter_mut()
+                .take(col_of(iv.end) + 1)
+                .skip(col_of(iv.start))
+            {
+                *cell += 1;
+            }
+        }
+        let row: String = counts
+            .iter()
+            .map(|&c| match c {
+                0 => '·',
+                1..=9 => char::from_digit(c, 10).expect("single digit"),
+                _ => '+',
+            })
+            .collect();
+        let _ = writeln!(out, "M{m:<3} {row}");
+    }
+    if sched.machine_count() > max_machines {
+        let _ = writeln!(out, "… {} more machines", sched.machine_count() - max_machines);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::{FirstFit, Scheduler};
+
+    fn example() -> (Instance, Schedule) {
+        let inst = Instance::from_pairs([(0, 10), (0, 10), (12, 20), (5, 15)], 2);
+        let sched = FirstFit::paper().schedule(&inst).unwrap();
+        (inst, sched)
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let (inst, sched) = example();
+        let s = stats(&inst, &sched);
+        assert_eq!(s.cost, sched.cost(&inst));
+        assert_eq!(s.machines, sched.machine_count());
+        assert!(s.utilization > 0.0 && s.utilization <= 1.0);
+        assert!(s.ratio_to_bound >= 1.0);
+    }
+
+    #[test]
+    fn perfect_utilization_at_full_packing() {
+        // two identical jobs, g = 2, one machine: len = 2·10, cost = 10 → 1.0
+        let inst = Instance::from_pairs([(0, 10), (0, 10)], 2);
+        let sched = FirstFit::paper().schedule(&inst).unwrap();
+        let s = stats(&inst, &sched);
+        assert!((s.utilization - 1.0).abs() < 1e-12);
+        assert!((s.ratio_to_bound - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gantt_renders_rows_per_machine() {
+        let (inst, sched) = example();
+        let chart = gantt(&inst, &sched, 40, 10);
+        let rows: Vec<&str> = chart.lines().collect();
+        assert!(rows[0].contains("cost ="));
+        assert_eq!(rows.len(), 1 + sched.machine_count());
+        // machine rows carry digits where busy
+        assert!(rows[1].contains('1') || rows[1].contains('2'));
+    }
+
+    #[test]
+    fn gantt_elides_excess_machines() {
+        let inst = Instance::from_pairs([(0, 5); 12], 1);
+        let sched = FirstFit::paper().schedule(&inst).unwrap();
+        let chart = gantt(&inst, &sched, 20, 3);
+        assert!(chart.contains("more machines"));
+    }
+
+    #[test]
+    fn gantt_empty_instance() {
+        let inst = Instance::new(vec![], 2);
+        let sched = FirstFit::paper().schedule(&inst).unwrap();
+        assert_eq!(gantt(&inst, &sched, 30, 5), "(empty instance)\n");
+    }
+
+    #[test]
+    fn stats_empty_instance() {
+        let inst = Instance::new(vec![], 2);
+        let sched = FirstFit::paper().schedule(&inst).unwrap();
+        let s = stats(&inst, &sched);
+        assert_eq!(s.cost, 0);
+        assert_eq!(s.machines, 0);
+    }
+}

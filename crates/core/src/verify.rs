@@ -1,0 +1,258 @@
+//! Structural verification: checks that concrete schedules exhibit the
+//! combinatorial structure the paper's proofs rely on.
+//!
+//! These are *not* feasibility checks (see [`Schedule::validate`]); they
+//! verify the internal invariants of the analysis itself on real runs:
+//!
+//! * [`observation_2_2`] — the blocking witnesses of FirstFit: a job placed
+//!   on machine `M_i` was rejected by every earlier machine `M_k` because
+//!   some time in the job saw `g` no-shorter jobs there (Fig. 1).
+//! * [`lemma_2_3`] — `len(J_i) ≥ (g/3)·span(J_{i+1})` for consecutive
+//!   FirstFit machines (Fig. 2/3), the engine of the 4-approximation.
+//! * [`theorem_3_1_claims`] — `N_t ≥ (M_t − 2)·g + 2` at every time for the
+//!   Greedy schedule on proper instances (Claim 1), which yields
+//!   `M^O_t ≥ M^A_t − 1` (Claim 2) and `ALG ≤ OPT + span`.
+//!
+//! The lab experiments and property tests run these on every random
+//! FirstFit/Greedy execution — a reproduction of the *proofs*, not only of
+//! the end-to-end ratios.
+
+use busytime_interval::{span, sweep, Interval};
+
+use crate::instance::Instance;
+use crate::schedule::Schedule;
+
+/// Checks Observation 2.2 on a FirstFit schedule produced with the given
+/// processing order (`order[r]` = the job placed r-th).
+///
+/// For every job `J` on machine `M_i` (i ≥ 1, 0-based) and every earlier
+/// machine `M_k` (k < i), there must be a time `t ∈ J` at which `M_k` runs
+/// `g` jobs, all processed before `J` (hence no shorter). Returns the first
+/// violation as `(job, earlier_machine)`.
+pub fn observation_2_2(
+    inst: &Instance,
+    sched: &Schedule,
+    order: &[usize],
+) -> Result<(), (usize, usize)> {
+    let g = inst.g() as usize;
+    let mut rank = vec![0usize; inst.len()];
+    for (r, &id) in order.iter().enumerate() {
+        rank[id] = r;
+    }
+    let machines = sched.machine_jobs();
+    for (i, jobs) in machines.iter().enumerate().skip(1) {
+        for &j in jobs {
+            let iv = inst.job(j);
+            for (k, earlier) in machines.iter().enumerate().take(i) {
+                // jobs on M_k processed before J, clipped to J
+                let clipped: Vec<Interval> = earlier
+                    .iter()
+                    .filter(|&&j2| rank[j2] < rank[j])
+                    .filter_map(|&j2| inst.job(j2).intersection(&iv))
+                    .collect();
+                if sweep::max_overlap(&clipped) < g {
+                    return Err((j, k));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks Lemma 2.3 on a FirstFit schedule: for every consecutive machine
+/// pair, `3·len(J_i) ≥ g·span(J_{i+1})` (integer form of
+/// `len(J_i) ≥ (g/3)·span(J_{i+1})`). Returns the first violating machine
+/// index `i`.
+pub fn lemma_2_3(inst: &Instance, sched: &Schedule) -> Result<(), usize> {
+    let machines = sched.machine_jobs();
+    let g = i64::from(inst.g());
+    for i in 0..machines.len().saturating_sub(1) {
+        let len_i: i64 = machines[i].iter().map(|&j| inst.job(j).len()).sum();
+        let next: Vec<Interval> = machines[i + 1].iter().map(|&j| inst.job(j)).collect();
+        if 3 * len_i < g * span(&next) {
+            return Err(i);
+        }
+    }
+    Ok(())
+}
+
+/// Checks Claim 1 inside Theorem 3.1 on a Greedy (NextFit) schedule of a
+/// proper instance: at every time `t`, with `M_t` = number of busy machines
+/// and `N_t` = number of active jobs, `N_t ≥ (M_t − 2)·g + 2`. Returns a
+/// violating doubled coordinate if any.
+pub fn theorem_3_1_claims(inst: &Instance, sched: &Schedule) -> Result<(), i64> {
+    let g = i64::from(inst.g());
+    // event coordinates: all job endpoints (doubled)
+    let mut keys: Vec<i64> = Vec::with_capacity(2 * inst.len());
+    for iv in inst.jobs() {
+        keys.push(iv.dkey_lo());
+        keys.push(iv.dkey_hi() - 1);
+    }
+    keys.sort_unstable();
+    keys.dedup();
+    let machines = sched.machine_jobs();
+    for &key in &keys {
+        let active_jobs = inst
+            .jobs()
+            .iter()
+            .filter(|iv| iv.dkey_lo() <= key && key < iv.dkey_hi())
+            .count() as i64;
+        let busy_machines = machines
+            .iter()
+            .filter(|jobs| {
+                jobs.iter().any(|&j| {
+                    let iv = inst.job(j);
+                    iv.dkey_lo() <= key && key < iv.dkey_hi()
+                })
+            })
+            .count() as i64;
+        if active_jobs < (busy_machines - 2) * g + 2 {
+            return Err(key);
+        }
+    }
+    Ok(())
+}
+
+/// Checks Claim 2 inside Theorem 3.1 against a *reference* schedule
+/// (typically an optimum): at every time `t`, the reference uses at least
+/// `M^A_t − 1` busy machines, where `M^A_t` counts the checked schedule's
+/// busy machines. Returns a violating doubled coordinate if any.
+///
+/// For proper instances and Greedy schedules the claim is a theorem; for
+/// anything else it is a diagnostic.
+pub fn claim_2_vs_reference(
+    inst: &Instance,
+    checked: &Schedule,
+    reference: &Schedule,
+) -> Result<(), i64> {
+    let mut keys: Vec<i64> = Vec::with_capacity(2 * inst.len());
+    for iv in inst.jobs() {
+        keys.push(iv.dkey_lo());
+        keys.push(iv.dkey_hi() - 1);
+    }
+    keys.sort_unstable();
+    keys.dedup();
+    let busy_at = |sched: &Schedule, key: i64| -> i64 {
+        sched
+            .machine_jobs()
+            .iter()
+            .filter(|jobs| {
+                jobs.iter().any(|&j| {
+                    let iv = inst.job(j);
+                    iv.dkey_lo() <= key && key < iv.dkey_hi()
+                })
+            })
+            .count() as i64
+    };
+    for &key in &keys {
+        if busy_at(reference, key) < busy_at(checked, key) - 1 {
+            return Err(key);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::{FirstFit, NextFitProper, Scheduler};
+
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn random_instance(seed: u64, n: usize, horizon: i64, max_len: i64, g: u32) -> Instance {
+        let mut state = seed;
+        let jobs: Vec<Interval> = (0..n)
+            .map(|_| {
+                let s = (splitmix(&mut state) % horizon as u64) as i64;
+                let l = 1 + (splitmix(&mut state) % max_len as u64) as i64;
+                Interval::new(s, s + l)
+            })
+            .collect();
+        Instance::new(jobs, g)
+    }
+
+    #[test]
+    fn observation_2_2_holds_on_first_fit_runs() {
+        for seed in 0..20 {
+            let inst = random_instance(seed, 40, 50, 20, 3);
+            let ff = FirstFit::paper();
+            let sched = ff.schedule(&inst).unwrap();
+            let order = ff.job_order(&inst);
+            assert_eq!(
+                observation_2_2(&inst, &sched, &order),
+                Ok(()),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn lemma_2_3_holds_on_first_fit_runs() {
+        for seed in 0..20 {
+            let inst = random_instance(seed, 50, 60, 25, 4);
+            let sched = FirstFit::paper().schedule(&inst).unwrap();
+            assert_eq!(lemma_2_3(&inst, &sched), Ok(()), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn claim_1_holds_on_greedy_proper_runs() {
+        for seed in 0..20 {
+            // proper family: staggered fixed-length jobs with jitter in start
+            let mut state = seed;
+            let mut start = 0i64;
+            let jobs: Vec<Interval> = (0..40)
+                .map(|_| {
+                    start += (splitmix(&mut state) % 3) as i64;
+                    Interval::new(start, start + 10)
+                })
+                .collect();
+            let inst = Instance::new(jobs, 3);
+            assert!(inst.is_proper());
+            let sched = NextFitProper::new().schedule(&inst).unwrap();
+            assert_eq!(theorem_3_1_claims(&inst, &sched), Ok(()), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn claim_2_accepts_identical_schedules() {
+        let inst = Instance::from_pairs([(0, 4), (1, 5), (2, 6)], 2);
+        let sched = NextFitProper::new().schedule(&inst).unwrap();
+        assert_eq!(claim_2_vs_reference(&inst, &sched, &sched), Ok(()));
+    }
+
+    #[test]
+    fn claim_2_detects_machine_blowup() {
+        // checked spreads 4 compatible jobs over 4 machines; reference packs
+        // them on 1 → difference of 3 > 1 at any active time
+        let inst = Instance::from_pairs([(0, 10), (0, 10), (0, 10), (0, 10)], 4);
+        let wasteful = Schedule::from_assignment(vec![0, 1, 2, 3]);
+        let packed = Schedule::from_assignment(vec![0, 0, 0, 0]);
+        assert!(claim_2_vs_reference(&inst, &wasteful, &packed).is_err());
+        assert_eq!(claim_2_vs_reference(&inst, &packed, &wasteful), Ok(()));
+    }
+
+    #[test]
+    fn observation_2_2_detects_corruption() {
+        // force a bogus schedule: everything on separate machines although
+        // machine 0 never blocks anything → witness must fail
+        let inst = Instance::from_pairs([(0, 10), (20, 30)], 2);
+        let sched = Schedule::from_assignment(vec![0, 1]);
+        let order = vec![0, 1];
+        assert_eq!(observation_2_2(&inst, &sched, &order), Err((1, 0)));
+    }
+
+    #[test]
+    fn lemma_2_3_detects_corruption() {
+        // machine 0 short job, machine 1 long job: 3·2 < 2·20
+        let inst = Instance::from_pairs([(0, 2), (0, 20)], 2);
+        let sched = Schedule::from_assignment(vec![0, 1]);
+        assert_eq!(lemma_2_3(&inst, &sched), Err(0));
+    }
+}

@@ -1,0 +1,143 @@
+//! Edge cases every scheduler must survive: point jobs, duplicates,
+//! negative and extreme coordinates, over-provisioned g.
+
+use busytime_core::algo::{
+    BestFit, BoundedLength, CliqueScheduler, FirstFit, MinMachines, NextFitArrival,
+    NextFitProper, RandomFit, Scheduler,
+};
+use busytime_core::{bounds, Instance};
+use busytime_interval::Interval;
+
+fn general_schedulers() -> Vec<Box<dyn Scheduler>> {
+    vec![
+        Box::new(FirstFit::paper()),
+        Box::new(NextFitProper::new()),
+        Box::new(NextFitArrival),
+        Box::new(BestFit),
+        Box::new(RandomFit::new(1)),
+        Box::new(MinMachines),
+        Box::new(BoundedLength::first_fit()),
+    ]
+}
+
+#[test]
+fn point_jobs_cost_nothing_but_consume_capacity() {
+    // five point jobs at the same instant, g = 2: capacity forces 3 machines,
+    // but the busy time is zero
+    let inst = Instance::new(vec![Interval::new(5, 5); 5], 2);
+    for s in general_schedulers() {
+        let sched = s.schedule(&inst).unwrap();
+        sched.validate(&inst).unwrap();
+        assert_eq!(sched.cost(&inst), 0, "{} billed a point job", s.name());
+        assert!(sched.machine_count() >= 3, "{} overpacked points", s.name());
+    }
+}
+
+#[test]
+fn mixed_point_and_long_jobs() {
+    let inst = Instance::new(
+        vec![
+            Interval::new(0, 10),
+            Interval::new(5, 5),
+            Interval::new(5, 5),
+            Interval::new(3, 8),
+        ],
+        2,
+    );
+    for s in general_schedulers() {
+        let sched = s.schedule(&inst).unwrap();
+        sched.validate(&inst).unwrap();
+        assert!(sched.cost(&inst) >= bounds::lower_bound(&inst));
+    }
+}
+
+#[test]
+fn duplicate_jobs_fill_machines_in_groups_of_g() {
+    let inst = Instance::new(vec![Interval::new(0, 100); 10], 3);
+    let sched = FirstFit::paper().schedule(&inst).unwrap();
+    sched.validate(&inst).unwrap();
+    assert_eq!(sched.machine_count(), 4); // ⌈10/3⌉
+    assert_eq!(sched.cost(&inst), 400);
+}
+
+#[test]
+fn negative_coordinates_work_everywhere() {
+    let inst = Instance::from_pairs([(-100, -50), (-75, -25), (-60, -10), (-5, 0)], 2);
+    for s in general_schedulers() {
+        let sched = s.schedule(&inst).unwrap();
+        sched.validate(&inst).unwrap();
+        assert!(sched.cost(&inst) >= bounds::lower_bound(&inst));
+    }
+    // clique algorithm on a negative-coordinate clique
+    let clique = Instance::from_pairs([(-100, -50), (-80, -50), (-60, -50)], 2);
+    let sched = CliqueScheduler::new().schedule(&clique).unwrap();
+    sched.validate(&clique).unwrap();
+}
+
+#[test]
+fn huge_coordinates_do_not_overflow() {
+    let base = 1_000_000_000_000i64; // 10^12 ticks; doubled fits easily in i64
+    let inst = Instance::from_pairs(
+        [
+            (base, base + 1_000_000),
+            (base + 500_000, base + 1_500_000),
+            (base + 2_000_000, base + 3_000_000),
+        ],
+        2,
+    );
+    let sched = FirstFit::paper().schedule(&inst).unwrap();
+    sched.validate(&inst).unwrap();
+    assert_eq!(sched.cost(&inst), 2_500_000);
+}
+
+#[test]
+fn over_provisioned_g_collapses_to_one_machine() {
+    // g ≥ peak overlap: a single machine suffices and cost = span
+    let inst = Instance::from_pairs([(0, 5), (1, 6), (2, 7), (3, 8)], 100);
+    for s in general_schedulers() {
+        let sched = s.schedule(&inst).unwrap();
+        sched.validate(&inst).unwrap();
+        assert_eq!(sched.cost(&inst), inst.span(), "{}", s.name());
+    }
+}
+
+#[test]
+fn single_job_is_trivial_everywhere() {
+    let inst = Instance::from_pairs([(7, 19)], 1);
+    for s in general_schedulers() {
+        let sched = s.schedule(&inst).unwrap();
+        assert_eq!(sched.machine_count(), 1);
+        assert_eq!(sched.cost(&inst), 12);
+    }
+    let sched = CliqueScheduler::new().schedule(&inst).unwrap();
+    assert_eq!(sched.cost(&inst), 12);
+}
+
+#[test]
+fn interleaved_touching_chain() {
+    // chain where consecutive jobs share exactly one endpoint; g = 1 forces
+    // alternation between two machines
+    let inst = Instance::from_pairs([(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)], 1);
+    let sched = FirstFit::paper().schedule(&inst).unwrap();
+    sched.validate(&inst).unwrap();
+    assert_eq!(sched.machine_count(), 2);
+    assert_eq!(sched.cost(&inst), inst.total_len());
+}
+
+#[test]
+fn bounded_length_rejects_then_accepts_with_wider_d() {
+    let inst = Instance::from_pairs([(0, 10), (2, 4)], 2);
+    let narrow = BoundedLength::first_fit().with_width(5);
+    assert!(narrow.schedule(&inst).is_err());
+    let wide = BoundedLength::first_fit().with_width(10);
+    let sched = wide.schedule(&inst).unwrap();
+    sched.validate(&inst).unwrap();
+}
+
+#[test]
+fn strict_next_fit_vs_duplicates() {
+    // duplicates are proper by our definition — strict mode must accept
+    let inst = Instance::new(vec![Interval::new(0, 5); 4], 2);
+    let sched = NextFitProper::strict().schedule(&inst).unwrap();
+    sched.validate(&inst).unwrap();
+}

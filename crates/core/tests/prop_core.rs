@@ -1,0 +1,213 @@
+//! Property-based tests: every algorithm on random instances must produce
+//! feasible schedules respecting the paper's bounds and structure.
+
+use busytime_core::algo::{
+    BestFit, BoundedLength, CliqueScheduler, Decomposed, FirstFit, MinMachines, NextFitArrival,
+    NextFitProper, RandomFit, Scheduler,
+};
+use busytime_core::{bounds, verify, Instance};
+use busytime_interval::Interval;
+use proptest::prelude::*;
+
+fn arb_instance(max_n: usize) -> impl Strategy<Value = Instance> {
+    (
+        proptest::collection::vec((0i64..200, 1i64..60), 1..max_n),
+        1u32..6,
+    )
+        .prop_map(|(pairs, g)| {
+            Instance::new(
+                pairs
+                    .into_iter()
+                    .map(|(s, l)| Interval::with_len(s, l))
+                    .collect(),
+                g,
+            )
+        })
+}
+
+fn arb_clique_instance(max_n: usize) -> impl Strategy<Value = Instance> {
+    // all jobs contain the point 100
+    (
+        proptest::collection::vec((0i64..=100, 100i64..200), 1..max_n),
+        1u32..6,
+    )
+        .prop_map(|(pairs, g)| {
+            Instance::new(
+                pairs
+                    .into_iter()
+                    .map(|(s, c)| Interval::new(s, c))
+                    .collect(),
+                g,
+            )
+        })
+}
+
+fn arb_proper_instance(max_n: usize) -> impl Strategy<Value = Instance> {
+    // sorted starts paired with sorted ends yields a proper family
+    (
+        proptest::collection::vec((0i64..100, 1i64..30), 1..max_n),
+        1u32..5,
+    )
+        .prop_map(|(seeds, g)| {
+            // strictly increasing starts AND ends → proper family
+            let mut starts: Vec<i64> = seeds.iter().map(|&(s, _)| s).collect();
+            starts.sort_unstable();
+            for (i, s) in starts.iter_mut().enumerate() {
+                *s += i as i64; // break ties, keep order
+            }
+            let mut jobs: Vec<Interval> = Vec::with_capacity(seeds.len());
+            let mut prev_end = i64::MIN;
+            for (i, &(_, l)) in seeds.iter().enumerate() {
+                let end = (starts[i] + l).max(prev_end + 1).max(starts[i]);
+                jobs.push(Interval::new(starts[i], end));
+                prev_end = end;
+            }
+            Instance::new(jobs, g)
+        })
+}
+
+proptest! {
+    /// All general-purpose schedulers produce feasible schedules and never
+    /// beat the lower bound.
+    #[test]
+    fn schedulers_feasible_and_bounded(inst in arb_instance(40)) {
+        let lb = bounds::lower_bound(&inst);
+        let schedulers: Vec<Box<dyn Scheduler>> = vec![
+            Box::new(FirstFit::paper()),
+            Box::new(FirstFit::seeded(7)),
+            Box::new(NextFitProper::new()),
+            Box::new(NextFitArrival),
+            Box::new(BestFit),
+            Box::new(RandomFit::new(3)),
+            Box::new(MinMachines),
+            Box::new(Decomposed::new(FirstFit::paper())),
+        ];
+        for s in schedulers {
+            let sched = s.schedule(&inst).unwrap();
+            prop_assert_eq!(sched.validate(&inst), Ok(()), "{} infeasible", s.name());
+            prop_assert!(sched.cost(&inst) >= lb, "{} beat the lower bound", s.name());
+        }
+    }
+
+    /// FirstFit respects its 4-approximation cap (vs the lower bound, which
+    /// is ≤ OPT, so this is implied by — and weaker than — Theorem 2.1;
+    /// violations would disprove the theorem).
+    #[test]
+    fn first_fit_within_4x(inst in arb_instance(50)) {
+        let sched = FirstFit::paper().schedule(&inst).unwrap();
+        prop_assert!(sched.cost(&inst) <= 4 * bounds::component_lower_bound(&inst).max(1));
+    }
+
+    /// Observation 2.2 and Lemma 2.3 hold on every FirstFit run.
+    #[test]
+    fn first_fit_structure(inst in arb_instance(35)) {
+        let ff = FirstFit::paper();
+        let sched = ff.schedule(&inst).unwrap();
+        let order = ff.job_order(&inst);
+        prop_assert_eq!(verify::observation_2_2(&inst, &sched, &order), Ok(()));
+        prop_assert_eq!(verify::lemma_2_3(&inst, &sched), Ok(()));
+    }
+
+    /// Greedy on proper families: Claim 1 of Theorem 3.1 holds and the cost
+    /// is within 2× of the lower bound.
+    #[test]
+    fn greedy_proper_structure(inst in arb_proper_instance(40)) {
+        prop_assert!(inst.is_proper());
+        let sched = NextFitProper::strict().schedule(&inst).unwrap();
+        prop_assert_eq!(sched.validate(&inst), Ok(()));
+        prop_assert_eq!(verify::theorem_3_1_claims(&inst, &sched), Ok(()));
+        prop_assert!(sched.cost(&inst) <= 2 * bounds::lower_bound(&inst));
+    }
+
+    /// The clique algorithm stays within 2× of the lower bound on cliques.
+    #[test]
+    fn clique_within_2x(inst in arb_clique_instance(30)) {
+        prop_assert!(inst.is_clique());
+        let sched = CliqueScheduler::new().schedule(&inst).unwrap();
+        prop_assert_eq!(sched.validate(&inst), Ok(()));
+        prop_assert!(sched.cost(&inst) <= 2 * bounds::lower_bound(&inst));
+    }
+
+    /// At g = 1 every feasible schedule costs exactly len(J).
+    #[test]
+    fn g1_cost_is_total_len(pairs in proptest::collection::vec((0i64..100, 1i64..30), 1..30)) {
+        let inst = Instance::new(
+            pairs.into_iter().map(|(s, l)| Interval::with_len(s, l)).collect(),
+            1,
+        );
+        for s in [
+            FirstFit::paper().schedule(&inst).unwrap(),
+            NextFitProper::new().schedule(&inst).unwrap(),
+            BestFit.schedule(&inst).unwrap(),
+        ] {
+            prop_assert_eq!(s.cost(&inst), inst.total_len());
+        }
+    }
+
+    /// MinMachines always attains the machine-count optimum ⌈ω/g⌉ and no
+    /// scheduler goes below it.
+    #[test]
+    fn machine_count_floor(inst in arb_instance(40)) {
+        let omega = inst.max_overlap();
+        let floor = omega.div_ceil(inst.g() as usize);
+        let mm = MinMachines.schedule(&inst).unwrap();
+        prop_assert_eq!(mm.machine_count(), floor);
+        for s in [
+            FirstFit::paper().schedule(&inst).unwrap(),
+            BestFit.schedule(&inst).unwrap(),
+        ] {
+            prop_assert!(s.machine_count() >= floor);
+        }
+    }
+
+    /// normalize_contiguous preserves cost and produces hull == cost.
+    #[test]
+    fn normalization_invariants(inst in arb_instance(40)) {
+        let sched = FirstFit::paper().schedule(&inst).unwrap();
+        let norm = sched.normalize_contiguous(&inst);
+        prop_assert_eq!(norm.validate(&inst), Ok(()));
+        prop_assert_eq!(norm.cost(&inst), sched.cost(&inst));
+        prop_assert_eq!(norm.hull_cost(&inst), norm.cost(&inst));
+        prop_assert!(sched.hull_cost(&inst) >= sched.cost(&inst));
+    }
+
+    /// Decomposition never changes FirstFit's per-component costs: the merged
+    /// cost equals the sum over components.
+    #[test]
+    fn decomposition_cost_additivity(inst in arb_instance(40)) {
+        let merged = Decomposed::new(FirstFit::paper()).schedule(&inst).unwrap();
+        let sum: i64 = inst
+            .components()
+            .iter()
+            .map(|(sub, _)| FirstFit::paper().schedule(sub).unwrap().cost(sub))
+            .sum();
+        prop_assert_eq!(merged.cost(&inst), sum);
+    }
+
+    /// BoundedLength segmentation: feasible, segment-disjoint machines, and
+    /// within 2× of a per-segment-optimal schedule's reach (checked loosely
+    /// via the lower bound and the FirstFit inner solver's 4×).
+    #[test]
+    fn bounded_length_segments(inst in arb_instance(40)) {
+        let bl = BoundedLength::first_fit();
+        let sched = bl.schedule(&inst).unwrap();
+        prop_assert_eq!(sched.validate(&inst), Ok(()));
+        let d = bl.effective_width(&inst);
+        // machines never mix segments
+        let segments = bl.segments(&inst);
+        let mut seg_of_job = vec![0usize; inst.len()];
+        for (si, ids) in segments.iter().enumerate() {
+            for &id in ids {
+                seg_of_job[id] = si;
+            }
+        }
+        for a in 0..inst.len() {
+            for b in (a + 1)..inst.len() {
+                if sched.machine_of(a) == sched.machine_of(b) {
+                    prop_assert_eq!(seg_of_job[a], seg_of_job[b]);
+                }
+            }
+        }
+        prop_assert!(d >= inst.max_len());
+    }
+}

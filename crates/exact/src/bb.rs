@@ -1,0 +1,343 @@
+//! Branch-and-bound exact solver.
+
+use busytime_core::algo::{
+    BestFit, Decomposed, FirstFit, NextFitProper, Scheduler, SchedulerError,
+};
+use busytime_core::{bounds, Instance, MachineLoad, Schedule};
+use busytime_interval::IntervalSet;
+
+/// Exact optimum by depth-first branch-and-bound.
+///
+/// ```
+/// use busytime_core::Instance;
+/// use busytime_exact::ExactBB;
+/// // the clique-tight family: the optimum groups the sides
+/// let inst = Instance::from_pairs([(-5, 0), (0, 5), (-5, 0), (0, 5)], 2);
+/// assert_eq!(ExactBB::new().opt_value(&inst).unwrap(), 10);
+/// ```
+///
+/// Search space: jobs in non-decreasing start order; each job goes to one of
+/// the machines opened so far (if it fits) or to exactly *one* fresh machine
+/// (machines are interchangeable, so multiple "new machine" branches would
+/// be symmetric duplicates).
+///
+/// Pruning (admissible — never cuts an optimal branch):
+/// * incumbent: cost already ≥ best known complete schedule (warm-started
+///   with FirstFit / BestFit / NextFit);
+/// * coverage: the final cost is at least the current busy total plus the
+///   measure of `∪(remaining jobs) \ ∪(current busy sets)` — uncovered time
+///   where some remaining job is active forces some machine to become busy;
+/// * global: Observation 1.1's `max(⌈len/g⌉, span)` per component.
+#[derive(Clone, Copy, Debug)]
+pub struct ExactBB {
+    /// Refuse component instances larger than this (default 24).
+    pub max_jobs: usize,
+    /// Abort after this many search nodes (default 200 million).
+    pub node_budget: u64,
+}
+
+impl Default for ExactBB {
+    fn default() -> Self {
+        ExactBB {
+            max_jobs: 24,
+            node_budget: 200_000_000,
+        }
+    }
+}
+
+impl ExactBB {
+    /// Default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Configuration with a custom per-component job limit.
+    pub fn with_max_jobs(max_jobs: usize) -> Self {
+        ExactBB {
+            max_jobs,
+            ..Self::default()
+        }
+    }
+
+    /// Optimal cost of an instance (convenience wrapper).
+    pub fn opt_value(&self, inst: &Instance) -> Result<i64, SchedulerError> {
+        Ok(self.schedule(inst)?.cost(inst))
+    }
+
+    fn solve_component(&self, inst: &Instance) -> Result<Schedule, SchedulerError> {
+        let n = inst.len();
+        if n == 0 {
+            return Ok(Schedule::from_assignment(Vec::new()));
+        }
+        if n > self.max_jobs {
+            return Err(SchedulerError::TooLarge {
+                scheduler: Scheduler::name(self),
+                limit: format!("component n ≤ {} (got {n})", self.max_jobs),
+            });
+        }
+
+        // warm start: best of the approximation algorithms
+        let mut incumbent: Option<(i64, Vec<usize>)> = None;
+        for warm in [
+            FirstFit::paper().schedule(inst),
+            BestFit.schedule(inst),
+            NextFitProper::new().schedule(inst),
+        ]
+        .into_iter()
+        .flatten()
+        {
+            let cost = warm.cost(inst);
+            if incumbent.as_ref().is_none_or(|(c, _)| cost < *c) {
+                incumbent = Some((cost, warm.assignment().to_vec()));
+            }
+        }
+        let (mut best_cost, mut best_assign) = incumbent.expect("warm start always succeeds");
+        let global_lb = bounds::lower_bound(inst);
+
+        if best_cost == global_lb {
+            return Ok(Schedule::from_assignment(best_assign));
+        }
+
+        // jobs in start order; suffix union sets for the coverage bound
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&i| (inst.job(i).start, inst.job(i).end));
+        let mut suffix_union: Vec<IntervalSet> = vec![IntervalSet::new(); n + 1];
+        for pos in (0..n).rev() {
+            let mut set = suffix_union[pos + 1].clone();
+            set.insert(inst.job(order[pos]));
+            suffix_union[pos] = set;
+        }
+
+        struct Ctx<'a> {
+            inst: &'a Instance,
+            order: &'a [usize],
+            suffix_union: &'a [IntervalSet],
+            global_lb: i64,
+            best_cost: i64,
+            best_assign: Vec<usize>,
+            assign: Vec<usize>,
+            nodes: u64,
+            node_budget: u64,
+            exhausted: bool,
+        }
+
+        fn busy_total(machines: &[MachineLoad]) -> i64 {
+            machines.iter().map(|m| m.busy_time()).sum()
+        }
+
+        fn uncovered(remaining: &IntervalSet, machines: &[MachineLoad]) -> i64 {
+            // measure of remaining-union not covered by any machine's busy set
+            let mut covered = IntervalSet::new();
+            for m in machines {
+                covered = covered.union(m.busy_set());
+            }
+            remaining.measure() - remaining.intersection(&covered).measure()
+        }
+
+        fn dfs(ctx: &mut Ctx<'_>, pos: usize, machines: &mut Vec<MachineLoad>) {
+            ctx.nodes += 1;
+            if ctx.nodes > ctx.node_budget {
+                ctx.exhausted = true;
+                return;
+            }
+            let current = busy_total(machines);
+            if pos == ctx.order.len() {
+                if current < ctx.best_cost {
+                    ctx.best_cost = current;
+                    ctx.best_assign = ctx.assign.clone();
+                }
+                return;
+            }
+            // admissible bound
+            let bound = current + uncovered(&ctx.suffix_union[pos], machines);
+            if bound.max(ctx.global_lb) >= ctx.best_cost {
+                return;
+            }
+            let job_id = ctx.order[pos];
+            let iv = ctx.inst.job(job_id);
+            let g = ctx.inst.g();
+            // children: existing machines (cheapest busy growth first), then
+            // one fresh machine
+            let mut children: Vec<(i64, usize)> = machines
+                .iter()
+                .enumerate()
+                .filter(|(_, m)| m.can_fit(&iv, g))
+                .map(|(idx, m)| (m.busy_increase(&iv), idx))
+                .collect();
+            children.sort_unstable();
+            for (_, idx) in children {
+                machines[idx].push(job_id, &iv);
+                ctx.assign[job_id] = idx;
+                dfs(ctx, pos + 1, machines);
+                if ctx.exhausted {
+                    return;
+                }
+                // rebuild the machine without the job (MachineLoad has no
+                // pop; reconstruct — cheap at these sizes)
+                let rebuilt = rebuild_without(ctx.inst, machines[idx].jobs(), job_id);
+                machines[idx] = rebuilt;
+            }
+            // one fresh machine (symmetry breaking)
+            let mut fresh = MachineLoad::new();
+            fresh.push(job_id, &iv);
+            machines.push(fresh);
+            ctx.assign[job_id] = machines.len() - 1;
+            dfs(ctx, pos + 1, machines);
+            machines.pop();
+        }
+
+        fn rebuild_without(inst: &Instance, jobs: &[usize], drop: usize) -> MachineLoad {
+            let mut m = MachineLoad::new();
+            let mut dropped = false;
+            for &j in jobs {
+                if j == drop && !dropped {
+                    dropped = true;
+                    continue;
+                }
+                m.push(j, &inst.job(j));
+            }
+            m
+        }
+
+        let mut ctx = Ctx {
+            inst,
+            order: &order,
+            suffix_union: &suffix_union,
+            global_lb,
+            best_cost,
+            best_assign: std::mem::take(&mut best_assign),
+            assign: vec![0usize; n],
+            nodes: 0,
+            node_budget: self.node_budget,
+            exhausted: false,
+        };
+        let mut machines: Vec<MachineLoad> = Vec::new();
+        dfs(&mut ctx, 0, &mut machines);
+        if ctx.exhausted {
+            return Err(SchedulerError::TooLarge {
+                scheduler: String::from("ExactBB"),
+                limit: format!("node budget {} exhausted", self.node_budget),
+            });
+        }
+        best_cost = ctx.best_cost;
+        let _ = best_cost;
+        Ok(Schedule::from_assignment(ctx.best_assign))
+    }
+}
+
+impl Scheduler for ExactBB {
+    fn name(&self) -> String {
+        String::from("ExactBB")
+    }
+
+    fn schedule(&self, inst: &Instance) -> Result<Schedule, SchedulerError> {
+        // optimal schedules never span components: solve per component
+        struct Component<'a>(&'a ExactBB);
+        impl Scheduler for Component<'_> {
+            fn name(&self) -> String {
+                String::from("ExactBB/component")
+            }
+            fn schedule(&self, inst: &Instance) -> Result<Schedule, SchedulerError> {
+                self.0.solve_component(inst)
+            }
+        }
+        Decomposed::new(Component(self)).schedule(inst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_cases() {
+        let empty = Instance::new(vec![], 2);
+        assert_eq!(ExactBB::new().opt_value(&empty).unwrap(), 0);
+        let single = Instance::from_pairs([(3, 9)], 2);
+        assert_eq!(ExactBB::new().opt_value(&single).unwrap(), 6);
+    }
+
+    #[test]
+    fn g1_is_total_len() {
+        let inst = Instance::from_pairs([(0, 5), (2, 8), (4, 9), (10, 12)], 1);
+        assert_eq!(ExactBB::new().opt_value(&inst).unwrap(), inst.total_len());
+    }
+
+    #[test]
+    fn identical_stack_packs_exactly() {
+        // 6 copies of [0,10], g = 3 → two machines, cost 20
+        let inst = Instance::from_pairs([(0, 10); 6], 3);
+        assert_eq!(ExactBB::new().opt_value(&inst).unwrap(), 20);
+    }
+
+    #[test]
+    fn grouping_beats_interleaving() {
+        // the clique tight family: OPT groups sides → 2L
+        let l = 50i64;
+        let inst = Instance::from_pairs([(-l, 0), (0, l), (-l, 0), (0, l)], 2);
+        let sched = ExactBB::new().schedule(&inst).unwrap();
+        sched.validate(&inst).unwrap();
+        assert_eq!(sched.cost(&inst), 2 * l);
+        // the two lefts share a machine
+        assert_eq!(sched.machine_of(0), sched.machine_of(2));
+    }
+
+    #[test]
+    fn fig4_instance_opt_is_g_plus_1() {
+        // Fig. 4 scaled to ticks: unit = 12, ε' = 1. g left jobs [0,12],
+        // g right jobs [22,34], g(g−1) middle jobs [11,23]. OPT packs each
+        // group onto its own machines: 12·(g+1).
+        let g = 3u32;
+        let unit = 12i64;
+        let eps = 1i64;
+        let mut pairs = Vec::new();
+        for _ in 0..g {
+            pairs.push((0, unit));
+            pairs.push((2 * unit - 2 * eps, 3 * unit - 2 * eps));
+        }
+        for _ in 0..(g * (g - 1)) {
+            pairs.push((unit - eps, 2 * unit - eps));
+        }
+        let inst = Instance::from_pairs(pairs, g);
+        let opt = ExactBB::new().opt_value(&inst).unwrap();
+        assert_eq!(opt, unit * i64::from(g + 1));
+    }
+
+    #[test]
+    fn never_above_approximations_nor_below_bound() {
+        // deterministic pseudo-random small instances
+        let mut state = 12345u64;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        for _ in 0..15 {
+            let n = 6 + (next() % 6) as usize;
+            let pairs: Vec<(i64, i64)> = (0..n)
+                .map(|_| {
+                    let s = (next() % 30) as i64;
+                    let l = 1 + (next() % 12) as i64;
+                    (s, s + l)
+                })
+                .collect();
+            let inst = Instance::from_pairs(pairs, 2 + (next() % 3) as u32);
+            let opt = ExactBB::new().opt_value(&inst).unwrap();
+            assert!(opt >= bounds::component_lower_bound(&inst));
+            let ff = FirstFit::paper().schedule(&inst).unwrap().cost(&inst);
+            assert!(opt <= ff);
+            assert!(ff <= 4 * opt, "Theorem 2.1 violated: FF={ff}, OPT={opt}");
+        }
+    }
+
+    #[test]
+    fn size_guard() {
+        let inst = Instance::from_pairs((0..30).map(|i| (i, i + 5)), 2);
+        assert!(matches!(
+            ExactBB::with_max_jobs(10).schedule(&inst),
+            Err(SchedulerError::TooLarge { .. })
+        ));
+    }
+}

@@ -1,0 +1,214 @@
+//! Bitmask dynamic program: an independent exact solver for tiny instances.
+//!
+//! A schedule is a set partition of the jobs into feasible machine loads
+//! (subsets whose max overlap is ≤ g), minimizing the summed spans. The DP
+//! runs over subsets: `dp[mask]` = optimal cost of scheduling exactly the
+//! jobs in `mask`; transitions peel off the part containing the
+//! lowest-indexed job of `mask` (canonical, so each partition is counted
+//! once). `O(3ⁿ)` submask enumeration — practical to n ≈ 15, and entirely
+//! different machinery from the branch-and-bound solver, which makes it a
+//! strong cross-check.
+
+use busytime_core::algo::{Decomposed, Scheduler, SchedulerError};
+use busytime_core::{Instance, Schedule};
+use busytime_interval::{span, sweep, Interval};
+
+/// Exact optimum by bitmask DP over job subsets.
+#[derive(Clone, Copy, Debug)]
+pub struct ExactDp {
+    /// Refuse component instances larger than this (default 15).
+    pub max_jobs: usize,
+}
+
+impl Default for ExactDp {
+    fn default() -> Self {
+        ExactDp { max_jobs: 15 }
+    }
+}
+
+impl ExactDp {
+    /// Default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Optimal cost of an instance (convenience wrapper).
+    pub fn opt_value(&self, inst: &Instance) -> Result<i64, SchedulerError> {
+        Ok(self.schedule(inst)?.cost(inst))
+    }
+
+    #[allow(clippy::needless_range_loop)] // bitmask code reads clearer indexed
+    fn solve_component(&self, inst: &Instance) -> Result<Schedule, SchedulerError> {
+        let n = inst.len();
+        if n == 0 {
+            return Ok(Schedule::from_assignment(Vec::new()));
+        }
+        if n > self.max_jobs {
+            return Err(SchedulerError::TooLarge {
+                scheduler: Scheduler::name(self),
+                limit: format!("component n ≤ {} (got {n})", self.max_jobs),
+            });
+        }
+        let full = (1usize << n) - 1;
+        let g = inst.g() as usize;
+
+        // per-subset feasibility (max overlap ≤ g) and span
+        let mut part_cost = vec![i64::MAX; full + 1];
+        let mut scratch: Vec<Interval> = Vec::with_capacity(n);
+        for mask in 1..=full {
+            scratch.clear();
+            for j in 0..n {
+                if mask & (1 << j) != 0 {
+                    scratch.push(inst.job(j));
+                }
+            }
+            if sweep::max_overlap(&scratch) <= g {
+                part_cost[mask] = span(&scratch);
+            }
+        }
+
+        let mut dp = vec![i64::MAX; full + 1];
+        let mut choice = vec![0usize; full + 1];
+        dp[0] = 0;
+        for mask in 1..=full {
+            let low = mask & mask.wrapping_neg(); // bit of the lowest job
+            // iterate submasks of mask containing `low`
+            let rest = mask ^ low;
+            let mut sub = rest;
+            loop {
+                let part = sub | low;
+                if part_cost[part] != i64::MAX && dp[mask ^ part] != i64::MAX {
+                    let cand = dp[mask ^ part] + part_cost[part];
+                    if cand < dp[mask] {
+                        dp[mask] = cand;
+                        choice[mask] = part;
+                    }
+                }
+                if sub == 0 {
+                    break;
+                }
+                sub = (sub - 1) & rest;
+            }
+        }
+
+        // reconstruct the partition
+        let mut assign = vec![0usize; n];
+        let mut mask = full;
+        let mut machine = 0usize;
+        while mask != 0 {
+            let part = choice[mask];
+            debug_assert_ne!(part, 0, "dp must cover every non-empty mask");
+            for j in 0..n {
+                if part & (1 << j) != 0 {
+                    assign[j] = machine;
+                }
+            }
+            machine += 1;
+            mask ^= part;
+        }
+        Ok(Schedule::from_assignment(assign))
+    }
+}
+
+impl Scheduler for ExactDp {
+    fn name(&self) -> String {
+        String::from("ExactDp")
+    }
+
+    fn schedule(&self, inst: &Instance) -> Result<Schedule, SchedulerError> {
+        struct Component<'a>(&'a ExactDp);
+        impl Scheduler for Component<'_> {
+            fn name(&self) -> String {
+                String::from("ExactDp/component")
+            }
+            fn schedule(&self, inst: &Instance) -> Result<Schedule, SchedulerError> {
+                self.0.solve_component(inst)
+            }
+        }
+        Decomposed::new(Component(self)).schedule(inst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bb::ExactBB;
+    use busytime_core::algo::FirstFit;
+    use busytime_core::bounds;
+
+    #[test]
+    fn trivial_cases() {
+        let empty = Instance::new(vec![], 2);
+        assert_eq!(ExactDp::new().opt_value(&empty).unwrap(), 0);
+        let single = Instance::from_pairs([(3, 9)], 4);
+        assert_eq!(ExactDp::new().opt_value(&single).unwrap(), 6);
+    }
+
+    #[test]
+    fn matches_hand_computed() {
+        // 4 identical jobs, g = 2 → 2 machines × 10
+        let inst = Instance::from_pairs([(0, 10); 4], 2);
+        assert_eq!(ExactDp::new().opt_value(&inst).unwrap(), 20);
+        // left/right tight family
+        let inst = Instance::from_pairs([(-5, 0), (0, 5), (-5, 0), (0, 5)], 2);
+        assert_eq!(ExactDp::new().opt_value(&inst).unwrap(), 10);
+    }
+
+    #[test]
+    fn agrees_with_branch_and_bound() {
+        let mut state = 777u64;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        for round in 0..25 {
+            let n = 5 + (next() % 6) as usize;
+            let g = 1 + (next() % 4) as u32;
+            let pairs: Vec<(i64, i64)> = (0..n)
+                .map(|_| {
+                    let s = (next() % 25) as i64;
+                    let l = 1 + (next() % 10) as i64;
+                    (s, s + l)
+                })
+                .collect();
+            let inst = Instance::from_pairs(pairs, g);
+            let dp = ExactDp::new().opt_value(&inst).unwrap();
+            let bb = ExactBB::new().opt_value(&inst).unwrap();
+            assert_eq!(dp, bb, "solvers disagree on round {round}: {inst:?}");
+            assert!(dp >= bounds::component_lower_bound(&inst));
+            let ff = FirstFit::paper().schedule(&inst).unwrap().cost(&inst);
+            assert!(dp <= ff && ff <= 4 * dp);
+        }
+    }
+
+    #[test]
+    fn schedule_is_feasible_and_optimal_cost() {
+        let inst = Instance::from_pairs([(0, 4), (1, 5), (3, 7), (6, 9), (0, 9)], 2);
+        let sched = ExactDp::new().schedule(&inst).unwrap();
+        sched.validate(&inst).unwrap();
+        assert_eq!(sched.cost(&inst), ExactDp::new().opt_value(&inst).unwrap());
+    }
+
+    #[test]
+    fn size_guard() {
+        let inst = Instance::from_pairs((0..20).map(|i| (i, i + 4)), 2);
+        assert!(matches!(
+            ExactDp { max_jobs: 12 }.schedule(&inst),
+            Err(SchedulerError::TooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn components_solved_independently() {
+        // two far-apart components of 8 jobs each: DP handles 16 jobs via
+        // decomposition even though max_jobs = 10
+        let mut pairs: Vec<(i64, i64)> = (0..8).map(|i| (i, i + 3)).collect();
+        pairs.extend((0..8).map(|i| (1000 + i, 1000 + i + 3)));
+        let inst = Instance::from_pairs(pairs, 2);
+        let sched = ExactDp { max_jobs: 10 }.schedule(&inst).unwrap();
+        sched.validate(&inst).unwrap();
+    }
+}

@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+
+//! Exact optimal busy-time schedules for small instances.
+//!
+//! The paper evaluates its algorithms by their approximation ratios; to
+//! reproduce those ratios empirically we need `OPT(J)` itself. The problem
+//! is NP-hard already for `g = 2` (Winkler & Zhang, cited as \[19\]), so
+//! exact solving is exponential — but branch-and-bound with the paper's own
+//! lower bounds (Observation 1.1) prunes well enough for the instance sizes
+//! experiments use (n ≤ ~20 per connected component).
+//!
+//! Two independent solvers cross-check each other:
+//!
+//! * [`ExactBB`] — depth-first branch-and-bound over job-to-machine
+//!   assignments with machine-symmetry breaking, an incumbent warm-started
+//!   by the approximation algorithms, and admissible pruning bounds.
+//! * [`ExactDp`] — an O(3ⁿ) bitmask dynamic program over job subsets
+//!   (machines = the parts of a set partition), for n small enough.
+//!
+//! Both implement [`busytime_core::algo::Scheduler`], decompose by connected
+//! components first (optimal schedules never span components) and return
+//! certified optimal schedules.
+
+pub mod bb;
+pub mod dp;
+
+pub use bb::ExactBB;
+pub use dp::ExactDp;

@@ -1,0 +1,126 @@
+//! Property tests: the two exact solvers agree with each other and sandwich
+//! every approximation algorithm.
+
+use busytime_core::algo::{BestFit, CliqueScheduler, FirstFit, NextFitProper, Scheduler};
+use busytime_core::{bounds, Instance};
+use busytime_exact::{ExactBB, ExactDp};
+use busytime_interval::Interval;
+use proptest::prelude::*;
+
+fn arb_small_instance() -> impl Strategy<Value = Instance> {
+    (
+        proptest::collection::vec((0i64..30, 1i64..12), 1..10),
+        1u32..5,
+    )
+        .prop_map(|(pairs, g)| {
+            Instance::new(
+                pairs
+                    .into_iter()
+                    .map(|(s, l)| Interval::with_len(s, l))
+                    .collect(),
+                g,
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Branch-and-bound and bitmask DP compute the same optimum.
+    #[test]
+    fn solvers_agree(inst in arb_small_instance()) {
+        let bb = ExactBB::new().opt_value(&inst).unwrap();
+        let dp = ExactDp::new().opt_value(&inst).unwrap();
+        prop_assert_eq!(bb, dp);
+    }
+
+    /// OPT is sandwiched: LB ≤ OPT ≤ every algorithm; FirstFit ≤ 4·OPT,
+    /// BestFit/NextFit feasible.
+    #[test]
+    fn opt_sandwich(inst in arb_small_instance()) {
+        let opt = ExactBB::new().opt_value(&inst).unwrap();
+        prop_assert!(bounds::component_lower_bound(&inst) <= opt);
+        prop_assert!(bounds::best_lower_bound(&inst) <= opt);
+        for (cap, sched) in [
+            (4, FirstFit::paper().schedule(&inst).unwrap()),
+            (i64::MAX, BestFit.schedule(&inst).unwrap()),
+            (i64::MAX, NextFitProper::new().schedule(&inst).unwrap()),
+        ] {
+            let cost = sched.cost(&inst);
+            prop_assert!(cost >= opt);
+            if cap != i64::MAX {
+                prop_assert!(cost <= cap * opt);
+            }
+        }
+    }
+
+    /// The optimal schedule itself is feasible and achieves the optimal value.
+    #[test]
+    fn optimal_schedule_is_feasible(inst in arb_small_instance()) {
+        let sched = ExactBB::new().schedule(&inst).unwrap();
+        prop_assert_eq!(sched.validate(&inst), Ok(()));
+        let dp_sched = ExactDp::new().schedule(&inst).unwrap();
+        prop_assert_eq!(dp_sched.validate(&inst), Ok(()));
+        prop_assert_eq!(sched.cost(&inst), dp_sched.cost(&inst));
+    }
+
+    /// On clique instances the δ-bound (Theorem A.1's proof) stays below OPT
+    /// and the clique algorithm stays below 2·OPT.
+    #[test]
+    fn clique_delta_bound_below_opt(
+        pairs in proptest::collection::vec((0i64..=20, 20i64..40), 1..9),
+        g in 1u32..4,
+    ) {
+        let inst = Instance::new(
+            pairs.into_iter().map(|(s, c)| Interval::new(s, c)).collect(),
+            g,
+        );
+        prop_assert!(inst.is_clique());
+        let opt = ExactBB::new().opt_value(&inst).unwrap();
+        let delta = bounds::clique_delta_bound(&inst).unwrap();
+        prop_assert!(delta <= opt, "delta bound {delta} exceeds OPT {opt}");
+        let alg = CliqueScheduler::new().schedule(&inst).unwrap().cost(&inst);
+        prop_assert!(alg <= 2 * opt);
+        // the Theorem A.1 analysis in fact bounds ALG by 2·delta-bound
+        prop_assert!(alg <= 2 * delta, "ALG {alg} above twice the delta bound {delta}");
+    }
+
+    /// The literal guess-plus-b-matching pipeline (Section 3.2's per-segment
+    /// solver) is exact on instances within its size guard: the integral
+    /// window grid makes the paper's (1+ε) rounding lossless.
+    #[test]
+    fn guess_match_is_exact(
+        pairs in proptest::collection::vec((0i64..16, 1i64..8), 1..6),
+        g in 1u32..4,
+    ) {
+        use busytime_core::algo::GuessMatch;
+        let inst = Instance::new(
+            pairs.into_iter().map(|(s, l)| Interval::with_len(s, l)).collect(),
+            g,
+        );
+        let gm = GuessMatch::new().schedule(&inst).unwrap();
+        prop_assert_eq!(gm.validate(&inst), Ok(()));
+        let opt = ExactDp::new().opt_value(&inst).unwrap();
+        prop_assert_eq!(gm.cost(&inst), opt);
+    }
+
+    /// Adding a job never decreases the optimum (monotonicity).
+    #[test]
+    fn opt_is_monotone(inst in arb_small_instance(), s in 0i64..30, l in 1i64..12) {
+        let base = ExactDp::new().opt_value(&inst).unwrap();
+        let mut jobs = inst.jobs().to_vec();
+        jobs.push(Interval::with_len(s, l));
+        let bigger = Instance::new(jobs, inst.g());
+        let grown = ExactDp::new().opt_value(&bigger).unwrap();
+        prop_assert!(grown >= base);
+    }
+
+    /// Raising g never increases the optimum.
+    #[test]
+    fn opt_antitone_in_g(inst in arb_small_instance()) {
+        let opt = ExactDp::new().opt_value(&inst).unwrap();
+        let relaxed = Instance::new(inst.jobs().to_vec(), inst.g() + 1);
+        let opt_relaxed = ExactDp::new().opt_value(&relaxed).unwrap();
+        prop_assert!(opt_relaxed <= opt);
+    }
+}

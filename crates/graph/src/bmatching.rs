@@ -1,0 +1,135 @@
+//! Maximum b-matching on bipartite graphs, via max-flow.
+//!
+//! The Bounded_Length algorithm (Section 3.2) builds a bipartite graph
+//! `B = (U, V, E)` with machines `U` (each of degree bound `b(M_i) = g`) and
+//! independent sets `V` (each of degree bound `b(IS_h) = 1`), and asks for a
+//! maximum subset of edges respecting the degree bounds. The paper cites
+//! Gabow's reduction \[11\]; we reduce to integral max-flow instead
+//! (source → U with capacity `b(u)`, `u → v` with capacity 1, `V` → sink
+//! with capacity `b(v)`), which is equivalent and polynomial.
+
+use crate::flow::Dinic;
+
+/// Result of a maximum b-matching computation.
+#[derive(Clone, Debug)]
+pub struct BMatching {
+    /// Total number of matched edges.
+    pub size: usize,
+    /// The selected edges as `(left, right)` pairs.
+    pub edges: Vec<(u32, u32)>,
+}
+
+/// Computes a maximum b-matching of the bipartite graph with degree bounds
+/// `b_left[u]`, `b_right[v]` and edge list `edges` (`(left, right)` pairs,
+/// each usable at most once).
+///
+/// Returns the selected edge set. Integrality of max-flow guarantees the
+/// result is a valid b-matching of maximum size.
+pub fn max_b_matching(b_left: &[u32], b_right: &[u32], edges: &[(u32, u32)]) -> BMatching {
+    let n_left = b_left.len();
+    let n_right = b_right.len();
+    // vertex layout: 0 = source, 1..=n_left = left, then right, then sink
+    let source = 0u32;
+    let left = |u: u32| 1 + u;
+    let right = |v: u32| 1 + n_left as u32 + v;
+    let sink = 1 + n_left as u32 + n_right as u32;
+    let mut net = Dinic::new(n_left + n_right + 2);
+    for (u, &b) in b_left.iter().enumerate() {
+        net.add_edge(source, left(u as u32), i64::from(b));
+    }
+    for (v, &b) in b_right.iter().enumerate() {
+        net.add_edge(right(v as u32), sink, i64::from(b));
+    }
+    let mut edge_ids = Vec::with_capacity(edges.len());
+    for &(u, v) in edges {
+        assert!((u as usize) < n_left, "left endpoint {u} out of range");
+        assert!((v as usize) < n_right, "right endpoint {v} out of range");
+        edge_ids.push(net.add_edge(left(u), right(v), 1));
+    }
+    let size = net.max_flow(source, sink) as usize;
+    let selected: Vec<(u32, u32)> = edges
+        .iter()
+        .zip(&edge_ids)
+        .filter(|(_, &id)| net.flow_on(id) > 0)
+        .map(|(&e, _)| e)
+        .collect();
+    debug_assert_eq!(selected.len(), size);
+    BMatching {
+        size,
+        edges: selected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matching::hopcroft_karp;
+
+    fn degree_check(bm: &BMatching, b_left: &[u32], b_right: &[u32]) {
+        let mut dl = vec![0u32; b_left.len()];
+        let mut dr = vec![0u32; b_right.len()];
+        for &(u, v) in &bm.edges {
+            dl[u as usize] += 1;
+            dr[v as usize] += 1;
+        }
+        for (d, &b) in dl.iter().zip(b_left) {
+            assert!(d <= &b);
+        }
+        for (d, &b) in dr.iter().zip(b_right) {
+            assert!(d <= &b);
+        }
+    }
+
+    #[test]
+    fn machine_capacity_example() {
+        // 2 machines with b = 2, 5 ISs with b = 1; machine 0 sees all
+        let b_left = [2u32, 2];
+        let b_right = [1u32; 5];
+        let edges: Vec<(u32, u32)> = (0..5).map(|v| (0u32, v)).chain((0..5).map(|v| (1u32, v))).collect();
+        let bm = max_b_matching(&b_left, &b_right, &edges);
+        assert_eq!(bm.size, 4); // 2 + 2 capacity on the left
+        degree_check(&bm, &b_left, &b_right);
+    }
+
+    #[test]
+    fn unit_capacities_equal_hopcroft_karp() {
+        let adj = vec![vec![0, 2], vec![0, 1], vec![1, 2], vec![2]];
+        let edges: Vec<(u32, u32)> = adj
+            .iter()
+            .enumerate()
+            .flat_map(|(u, vs)| vs.iter().map(move |&v| (u as u32, v)))
+            .collect();
+        let (hk_size, _, _) = hopcroft_karp(4, 3, &adj);
+        let bm = max_b_matching(&[1; 4], &[1; 3], &edges);
+        assert_eq!(bm.size, hk_size);
+        degree_check(&bm, &[1; 4], &[1; 3]);
+    }
+
+    #[test]
+    fn zero_capacity_left_blocks() {
+        let bm = max_b_matching(&[0], &[5], &[(0, 0)]);
+        assert_eq!(bm.size, 0);
+        assert!(bm.edges.is_empty());
+    }
+
+    #[test]
+    fn saturates_right_side() {
+        // one machine with b = 3, ISs with b = 1: matches all 3
+        let bm = max_b_matching(&[3], &[1, 1, 1], &[(0, 0), (0, 1), (0, 2)]);
+        assert_eq!(bm.size, 3);
+        degree_check(&bm, &[3], &[1, 1, 1]);
+    }
+
+    #[test]
+    fn empty_everything() {
+        let bm = max_b_matching(&[], &[], &[]);
+        assert_eq!(bm.size, 0);
+    }
+
+    #[test]
+    fn parallel_edges_counted_once_each() {
+        // two parallel copies of the same edge can both be used if caps allow
+        let bm = max_b_matching(&[2], &[2], &[(0, 0), (0, 0)]);
+        assert_eq!(bm.size, 2);
+    }
+}

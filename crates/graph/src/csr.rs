@@ -1,0 +1,156 @@
+//! Compressed sparse row (CSR) adjacency for static graphs.
+
+/// A static undirected or directed graph in CSR form.
+///
+/// Built once from an edge list; neighbour queries are contiguous slices,
+/// which keeps traversals cache-friendly (per the HPC guidance this crate
+/// follows: flat arrays over pointer-chasing).
+#[derive(Clone, Debug)]
+pub struct Csr {
+    offsets: Vec<usize>,
+    targets: Vec<u32>,
+}
+
+impl Csr {
+    /// Builds an *undirected* graph on `n` vertices: each pair `(u, v)` is
+    /// inserted in both directions.
+    pub fn undirected(n: usize, edges: &[(u32, u32)]) -> Self {
+        let mut deg = vec![0usize; n];
+        for &(u, v) in edges {
+            deg[u as usize] += 1;
+            deg[v as usize] += 1;
+        }
+        Self::from_degrees(n, deg, edges.iter().flat_map(|&(u, v)| [(u, v), (v, u)]))
+    }
+
+    /// Builds a *directed* graph on `n` vertices.
+    pub fn directed(n: usize, edges: &[(u32, u32)]) -> Self {
+        let mut deg = vec![0usize; n];
+        for &(u, _) in edges {
+            deg[u as usize] += 1;
+        }
+        Self::from_degrees(n, deg, edges.iter().copied())
+    }
+
+    fn from_degrees(
+        n: usize,
+        deg: Vec<usize>,
+        arcs: impl Iterator<Item = (u32, u32)>,
+    ) -> Self {
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        for d in &deg {
+            let last = *offsets.last().expect("non-empty");
+            offsets.push(last + d);
+        }
+        let mut cursor = offsets.clone();
+        let mut targets = vec![0u32; offsets[n]];
+        for (u, v) in arcs {
+            targets[cursor[u as usize]] = v;
+            cursor[u as usize] += 1;
+        }
+        Csr { offsets, targets }
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// True iff the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Out-neighbours of `u` as a slice.
+    pub fn neighbors(&self, u: u32) -> &[u32] {
+        &self.targets[self.offsets[u as usize]..self.offsets[u as usize + 1]]
+    }
+
+    /// Out-degree of `u`.
+    pub fn degree(&self, u: u32) -> usize {
+        self.neighbors(u).len()
+    }
+
+    /// Total number of stored arcs (twice the edge count for undirected).
+    pub fn arc_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Connected components (undirected semantics over stored arcs) as a
+    /// vertex→component-id labelling plus the component count.
+    pub fn components(&self) -> (Vec<u32>, usize) {
+        let n = self.len();
+        let mut label = vec![u32::MAX; n];
+        let mut next = 0u32;
+        let mut stack = Vec::new();
+        for s in 0..n as u32 {
+            if label[s as usize] != u32::MAX {
+                continue;
+            }
+            label[s as usize] = next;
+            stack.push(s);
+            while let Some(u) = stack.pop() {
+                for &v in self.neighbors(u) {
+                    if label[v as usize] == u32::MAX {
+                        label[v as usize] = next;
+                        stack.push(v);
+                    }
+                }
+            }
+            next += 1;
+        }
+        (label, next as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn undirected_symmetry() {
+        let g = Csr::undirected(4, &[(0, 1), (1, 2)]);
+        assert_eq!(g.len(), 4);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(3), &[] as &[u32]);
+        assert_eq!(g.arc_count(), 4);
+    }
+
+    #[test]
+    fn directed_arcs() {
+        let g = Csr::directed(3, &[(0, 1), (0, 2), (2, 1)]);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(1), &[] as &[u32]);
+        assert_eq!(g.degree(2), 1);
+    }
+
+    #[test]
+    fn components_labelling() {
+        let g = Csr::undirected(5, &[(0, 1), (2, 3)]);
+        let (label, count) = g.components();
+        assert_eq!(count, 3);
+        assert_eq!(label[0], label[1]);
+        assert_eq!(label[2], label[3]);
+        assert_ne!(label[0], label[2]);
+        assert_ne!(label[4], label[0]);
+        assert_ne!(label[4], label[2]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Csr::undirected(0, &[]);
+        assert!(g.is_empty());
+        assert_eq!(g.components().1, 0);
+    }
+
+    #[test]
+    fn self_loop_and_multi_edge_tolerated() {
+        let g = Csr::undirected(2, &[(0, 0), (0, 1), (0, 1)]);
+        assert_eq!(g.degree(0), 4);
+        assert_eq!(g.degree(1), 2);
+        let (_, count) = g.components();
+        assert_eq!(count, 1);
+    }
+}

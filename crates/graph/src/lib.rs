@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+
+//! Graph substrates for busy-time scheduling.
+//!
+//! The paper states the scheduling problem as a partitioning problem on
+//! interval graphs (Section 1.1) and its Bounded_Length algorithm solves a
+//! maximum *b-matching* instance (Section 3.2, steps 2(d)–(e), citing
+//! Gabow \[11\]). This crate provides, from scratch:
+//!
+//! * [`csr`] — a compact static adjacency representation.
+//! * [`interval_graph`] — interval-graph construction, clique number ω,
+//!   optimal coloring (both via sweeps).
+//! * [`matching`] — Hopcroft–Karp bipartite maximum matching.
+//! * [`flow`] — Dinic's maximum-flow algorithm.
+//! * [`bmatching`] — degree-constrained bipartite matching (b-matching)
+//!   reduced to max-flow; this replaces the reduction of \[11\].
+
+pub mod bmatching;
+pub mod csr;
+pub mod flow;
+pub mod interval_graph;
+pub mod matching;
+
+pub use bmatching::{max_b_matching, BMatching};
+pub use csr::Csr;
+pub use flow::Dinic;
+pub use interval_graph::IntervalGraph;
+pub use matching::hopcroft_karp;

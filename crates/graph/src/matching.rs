@@ -1,0 +1,159 @@
+//! Hopcroft–Karp maximum bipartite matching.
+//!
+//! Used as an independent cross-check for the flow-based b-matching solver
+//! (a b-matching with all capacities 1 is a plain maximum matching).
+
+/// Computes a maximum matching of the bipartite graph with `n_left` left
+/// vertices, `n_right` right vertices and adjacency `adj[u] = right
+/// neighbours of left vertex u`.
+///
+/// Returns `(size, mate_left, mate_right)` where `mate_left[u]` is the right
+/// partner of `u` (or `u32::MAX` if unmatched), symmetrically for
+/// `mate_right`. Runs in `O(E √V)`.
+pub fn hopcroft_karp(n_left: usize, n_right: usize, adj: &[Vec<u32>]) -> (usize, Vec<u32>, Vec<u32>) {
+    assert_eq!(adj.len(), n_left, "adjacency must cover every left vertex");
+    const NONE: u32 = u32::MAX;
+    let mut mate_l = vec![NONE; n_left];
+    let mut mate_r = vec![NONE; n_right];
+    let mut dist = vec![0u32; n_left];
+    let mut queue = std::collections::VecDeque::new();
+    let mut size = 0usize;
+
+    loop {
+        // BFS from free left vertices to build layered distances
+        queue.clear();
+        const INF: u32 = u32::MAX;
+        for u in 0..n_left {
+            if mate_l[u] == NONE {
+                dist[u] = 0;
+                queue.push_back(u as u32);
+            } else {
+                dist[u] = INF;
+            }
+        }
+        let mut found_augmenting = false;
+        while let Some(u) = queue.pop_front() {
+            for &v in &adj[u as usize] {
+                let w = mate_r[v as usize];
+                if w == NONE {
+                    found_augmenting = true;
+                } else if dist[w as usize] == INF {
+                    dist[w as usize] = dist[u as usize] + 1;
+                    queue.push_back(w);
+                }
+            }
+        }
+        if !found_augmenting {
+            break;
+        }
+        // DFS along layers to find a maximal set of disjoint augmenting paths
+        fn dfs(
+            u: u32,
+            adj: &[Vec<u32>],
+            dist: &mut [u32],
+            mate_l: &mut [u32],
+            mate_r: &mut [u32],
+        ) -> bool {
+            const NONE: u32 = u32::MAX;
+            const INF: u32 = u32::MAX;
+            for idx in 0..adj[u as usize].len() {
+                let v = adj[u as usize][idx];
+                let w = mate_r[v as usize];
+                let ok = if w == NONE {
+                    true
+                } else if dist[w as usize] == dist[u as usize] + 1 {
+                    dfs(w, adj, dist, mate_l, mate_r)
+                } else {
+                    false
+                };
+                if ok {
+                    mate_l[u as usize] = v;
+                    mate_r[v as usize] = u;
+                    return true;
+                }
+            }
+            dist[u as usize] = INF;
+            false
+        }
+        for u in 0..n_left as u32 {
+            if mate_l[u as usize] == NONE
+                && dfs(u, adj, &mut dist, &mut mate_l, &mut mate_r)
+            {
+                size += 1;
+            }
+        }
+    }
+    (size, mate_l, mate_r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_matching_on_cycle() {
+        // C4 as bipartite: 0-{0,1}, 1-{0,1}
+        let adj = vec![vec![0, 1], vec![0, 1]];
+        let (size, ml, mr) = hopcroft_karp(2, 2, &adj);
+        assert_eq!(size, 2);
+        assert_ne!(ml[0], ml[1]);
+        assert_eq!(mr[ml[0] as usize], 0);
+    }
+
+    #[test]
+    fn augmenting_path_needed() {
+        // classic: 0-{0}, 1-{0,1}: greedy could block; HK finds 2
+        let adj = vec![vec![0], vec![0, 1]];
+        let (size, ml, _) = hopcroft_karp(2, 2, &adj);
+        assert_eq!(size, 2);
+        assert_eq!(ml[0], 0);
+        assert_eq!(ml[1], 1);
+    }
+
+    #[test]
+    fn unbalanced_sides() {
+        let adj = vec![vec![0], vec![0], vec![0]];
+        let (size, _, mr) = hopcroft_karp(3, 1, &adj);
+        assert_eq!(size, 1);
+        assert_ne!(mr[0], u32::MAX);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let (size, ml, mr) = hopcroft_karp(0, 0, &[]);
+        assert_eq!(size, 0);
+        assert!(ml.is_empty());
+        assert!(mr.is_empty());
+    }
+
+    #[test]
+    fn no_edges() {
+        let adj = vec![vec![], vec![]];
+        let (size, ml, _) = hopcroft_karp(2, 3, &adj);
+        assert_eq!(size, 0);
+        assert!(ml.iter().all(|&m| m == u32::MAX));
+    }
+
+    #[test]
+    fn konig_worst_case_chain() {
+        // path graph alternating: forces multi-phase augmentation
+        // left i connects to right i and right i+1
+        let n = 20;
+        let adj: Vec<Vec<u32>> = (0..n).map(|i| vec![i as u32, i as u32 + 1]).collect();
+        let (size, _, _) = hopcroft_karp(n, n + 1, &adj);
+        assert_eq!(size, n);
+    }
+
+    #[test]
+    fn matching_is_consistent() {
+        let adj = vec![vec![0, 2], vec![0, 1], vec![1, 2], vec![2]];
+        let (size, ml, mr) = hopcroft_karp(4, 3, &adj);
+        assert_eq!(size, 3);
+        for (u, &v) in ml.iter().enumerate() {
+            if v != u32::MAX {
+                assert_eq!(mr[v as usize] as usize, u);
+                assert!(adj[u].contains(&v));
+            }
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Property tests for the graph substrate.
+
+use busytime_graph::{hopcroft_karp, max_b_matching, IntervalGraph};
+use busytime_interval::Interval;
+use proptest::prelude::*;
+
+fn arb_interval() -> impl Strategy<Value = Interval> {
+    (-200i64..200, 0i64..60).prop_map(|(s, l)| Interval::with_len(s, l))
+}
+
+fn arb_family(max_n: usize) -> impl Strategy<Value = Vec<Interval>> {
+    proptest::collection::vec(arb_interval(), 0..max_n)
+}
+
+fn arb_bipartite() -> impl Strategy<Value = (usize, usize, Vec<(u32, u32)>)> {
+    (1usize..8, 1usize..8).prop_flat_map(|(nl, nr)| {
+        let edges = proptest::collection::vec(
+            (0..nl as u32, 0..nr as u32),
+            0..(nl * nr).min(20),
+        );
+        edges.prop_map(move |mut es| {
+            es.sort_unstable();
+            es.dedup();
+            (nl, nr, es)
+        })
+    })
+}
+
+proptest! {
+    /// Interval graph edges match the brute-force pairwise overlap relation.
+    #[test]
+    fn interval_graph_edges_are_overlaps(family in arb_family(25)) {
+        let g = IntervalGraph::new(&family);
+        for u in 0..family.len() {
+            for v in (u + 1)..family.len() {
+                let edge = g.adjacency().neighbors(u as u32).contains(&(v as u32));
+                prop_assert_eq!(edge, family[u].overlaps(&family[v]),
+                    "edge ({}, {}) mismatch", u, v);
+            }
+        }
+    }
+
+    /// The sweep coloring is proper and uses exactly ω colors (perfection).
+    #[test]
+    fn coloring_proper_and_tight(family in arb_family(30)) {
+        let g = IntervalGraph::new(&family);
+        let (colors, k) = g.optimal_coloring();
+        prop_assert!(g.is_proper_coloring(&colors));
+        prop_assert_eq!(k, g.clique_number());
+        if !family.is_empty() {
+            let used: std::collections::HashSet<u32> = colors.iter().copied().collect();
+            prop_assert_eq!(used.len(), k);
+        }
+    }
+
+    /// b-matching with unit capacities equals Hopcroft–Karp.
+    #[test]
+    fn unit_bmatching_is_matching((nl, nr, edges) in arb_bipartite()) {
+        let mut adj = vec![Vec::new(); nl];
+        for &(u, v) in &edges {
+            adj[u as usize].push(v);
+        }
+        let (hk, _, _) = hopcroft_karp(nl, nr, &adj);
+        let bm = max_b_matching(&vec![1; nl], &vec![1; nr], &edges);
+        prop_assert_eq!(bm.size, hk);
+    }
+
+    /// b-matching respects degree bounds and never exceeds either side's
+    /// total capacity or the edge count.
+    #[test]
+    fn bmatching_bounds((nl, nr, edges) in arb_bipartite(),
+                        bl in proptest::collection::vec(0u32..4, 8),
+                        br in proptest::collection::vec(0u32..4, 8)) {
+        let b_left = &bl[..nl];
+        let b_right = &br[..nr];
+        let bm = max_b_matching(b_left, b_right, &edges);
+        let mut dl = vec![0u32; nl];
+        let mut dr = vec![0u32; nr];
+        for &(u, v) in &bm.edges {
+            dl[u as usize] += 1;
+            dr[v as usize] += 1;
+        }
+        for (d, &b) in dl.iter().zip(b_left) { prop_assert!(*d <= b); }
+        for (d, &b) in dr.iter().zip(b_right) { prop_assert!(*d <= b); }
+        let cap_l: u32 = b_left.iter().sum();
+        let cap_r: u32 = b_right.iter().sum();
+        prop_assert!(bm.size <= cap_l.min(cap_r) as usize);
+        prop_assert!(bm.size <= edges.len());
+    }
+
+    /// On complete bipartite graphs, max-flow min-cut gives a brute-force
+    /// checkable optimum: min over A ⊆ L, B ⊆ R of
+    /// `Σ_{u∈A} b_u + Σ_{v∈B} b_v + (|L\A|)·(|R\B|)` (saturate A and B at the
+    /// source/sink, cut the remaining unit edges). The solver must match it.
+    #[test]
+    fn bmatching_complete_bipartite(
+        bl in proptest::collection::vec(0u32..4, 1..6),
+        br in proptest::collection::vec(0u32..4, 1..6),
+    ) {
+        let (nl, nr) = (bl.len(), br.len());
+        let edges: Vec<(u32, u32)> = (0..nl as u32)
+            .flat_map(|u| (0..nr as u32).map(move |v| (u, v)))
+            .collect();
+        let bm = busytime_graph::max_b_matching(&bl, &br, &edges);
+        let mut min_cut = u32::MAX;
+        for a in 0u32..(1 << nl) {
+            let cut_a: u32 = (0..nl).filter(|&i| a & (1 << i) != 0).map(|i| bl[i]).sum();
+            let rest_l = nl as u32 - a.count_ones();
+            for b in 0u32..(1 << nr) {
+                let cut_b: u32 = (0..nr).filter(|&j| b & (1 << j) != 0).map(|j| br[j]).sum();
+                let rest_r = nr as u32 - b.count_ones();
+                min_cut = min_cut.min(cut_a + cut_b + rest_l * rest_r);
+            }
+        }
+        prop_assert_eq!(bm.size as u32, min_cut);
+    }
+
+    /// Max-flow conservation and capacity constraints on random layered
+    /// networks, and the flow value equals the sink's in-flow.
+    #[test]
+    fn flow_conservation_random(
+        caps in proptest::collection::vec(0i64..20, 12),
+    ) {
+        // fixed 5-vertex topology (0 = source, 4 = sink), random capacities
+        let arcs = [
+            (0u32, 1u32), (0, 2), (1, 2), (1, 3), (2, 3), (2, 4), (3, 4),
+            (0, 3), (1, 4), (3, 2), (2, 1), (0, 4),
+        ];
+        let mut net = busytime_graph::Dinic::new(5);
+        let ids: Vec<u32> = arcs
+            .iter()
+            .zip(&caps)
+            .map(|(&(u, v), &c)| net.add_edge(u, v, c))
+            .collect();
+        let total = net.max_flow(0, 4);
+        let mut net_flow = [0i64; 5];
+        for (idx, &(u, v)) in arcs.iter().enumerate() {
+            let f = net.flow_on(ids[idx]);
+            prop_assert!(f >= 0 && f <= caps[idx], "capacity violated");
+            net_flow[u as usize] -= f;
+            net_flow[v as usize] += f;
+        }
+        prop_assert_eq!(net_flow[0], -total);
+        prop_assert_eq!(net_flow[4], total);
+        for (v, &flow) in net_flow.iter().enumerate().take(4).skip(1) {
+            prop_assert_eq!(flow, 0, "conservation violated at {}", v);
+        }
+    }
+
+    /// Greedy clique cover uses at most n and at least ceil(n/ω)... more
+    /// usefully: every group is a clique and groups partition the family.
+    #[test]
+    fn clique_cover_is_partition(family in arb_family(20)) {
+        let g = IntervalGraph::new(&family);
+        let cover = g.greedy_clique_cover();
+        let mut seen = vec![false; family.len()];
+        for group in &cover {
+            let members: Vec<Interval> = group.iter().map(|&i| family[i as usize]).collect();
+            prop_assert!(busytime_interval::relations::is_clique(&members));
+            for &i in group {
+                prop_assert!(!seen[i as usize]);
+                seen[i as usize] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&b| b));
+    }
+}

@@ -1,0 +1,228 @@
+//! The paper's lower-bound constructions.
+//!
+//! # Figure 4 (Theorem 2.4)
+//!
+//! Scaled to integral ticks with `unit` = the paper's 1 and `eps` = ε′:
+//!
+//! * `g` *left* jobs `[0, unit]`,
+//! * `g·(g−1)` *middle* jobs `[unit−eps, 2·unit−eps]`,
+//! * `g` *right* jobs `[2·unit−2·eps, 3·unit−2·eps]`.
+//!
+//! All jobs have length `unit`. OPT packs each group onto its own machines:
+//! one machine of lefts, `g−1` machines of `g` middles, one machine of
+//! rights — `OPT = (g+1)·unit`. FirstFit with the adversarial tie order
+//! `L, m, …, m, R, L, m, …` builds `g` machines spanning
+//! `[0, 3·unit−2·eps]` each, costing `g·(3·unit−2·eps)`; the ratio
+//! `g(3−2ε′)/(g+1) → 3` as `g → ∞` and `ε′ → 0` (Theorem 2.4).
+//!
+//! # Ranked shift (end of Section 3.1)
+//!
+//! Staggering the middle jobs by one tick each makes the family *proper*
+//! while preserving FirstFit's adversarial behaviour; the Greedy algorithm
+//! of Section 3.1 then schedules it optimally — the separation experiment E5.
+
+use busytime_core::Instance;
+use busytime_interval::Interval;
+
+/// A generated Figure-4-style instance with its analytic optimum and
+/// predicted FirstFit cost.
+#[derive(Clone, Debug)]
+pub struct Fig4 {
+    /// The instance, with jobs in the adversarial FirstFit tie order.
+    pub instance: Instance,
+    /// Analytic optimum `(g+1)·unit`.
+    pub opt: i64,
+    /// Predicted FirstFit cost `g·(3·unit−2·eps)` under stable input-order
+    /// tie-breaking.
+    pub first_fit: i64,
+}
+
+impl Fig4 {
+    /// The ratio the construction forces: `first_fit / opt`.
+    pub fn predicted_ratio(&self) -> f64 {
+        self.first_fit as f64 / self.opt as f64
+    }
+}
+
+/// Builds the Figure 4 instance for parallelism `g ≥ 2`, scaled so that the
+/// paper's unit interval is `unit` ticks and ε′ is `eps` ticks.
+///
+/// Job order is the adversarial one: for each batch `i`,
+/// `L_i, m_{i,1..g−1}, R_i` — FirstFit with input-order ties then fills `g`
+/// machines across the whole span.
+///
+/// # Panics
+///
+/// Panics unless `g ≥ 2` and `0 < 2·eps < unit` (the construction needs the
+/// left and right blocks disjoint).
+pub fn fig4(g: u32, unit: i64, eps: i64) -> Fig4 {
+    assert!(g >= 2, "Figure 4 needs g ≥ 2");
+    assert!(eps > 0 && 2 * eps < unit, "need 0 < 2·eps < unit");
+    let mut jobs: Vec<Interval> = Vec::with_capacity(3 * g as usize + (g * (g - 1)) as usize);
+    for _ in 0..g {
+        // L_i
+        jobs.push(Interval::new(0, unit));
+        // g − 1 middles
+        for _ in 0..(g - 1) {
+            jobs.push(Interval::new(unit - eps, 2 * unit - eps));
+        }
+        // R_i
+        jobs.push(Interval::new(2 * unit - 2 * eps, 3 * unit - 2 * eps));
+    }
+    Fig4 {
+        instance: Instance::new(jobs, g),
+        opt: i64::from(g + 1) * unit,
+        first_fit: i64::from(g) * (3 * unit - 2 * eps),
+    }
+}
+
+/// The ranked-shift proper variant: middle job `k` (0-based, over all
+/// batches) is shifted right by `k` ticks. Requires
+/// `unit > 2·eps` and `eps > g·(g−1)` so every shifted middle still overlaps
+/// the left block and the span relations persist.
+///
+/// FirstFit's predicted cost is unchanged (`g·(3·unit−2·eps)`, the shifted
+/// middles stay inside each trapped machine's hull). The optimum pays the
+/// stagger: each machine of `g` consecutive middles spans `unit + (g−1)`,
+/// so `opt = (g+1)·unit + (g−1)²` — the cost of the grouped schedule, which
+/// the Greedy algorithm of Section 3.1 attains exactly (verified optimal
+/// against the exact solver for small `g` in the integration tests).
+///
+/// # Panics
+///
+/// Panics unless `g ≥ 2`, `0 < 2·eps < unit` and `eps > g·(g−1)`.
+pub fn ranked_shift(g: u32, unit: i64, eps: i64) -> Fig4 {
+    assert!(g >= 2, "ranked shift needs g ≥ 2");
+    assert!(eps > 0 && 2 * eps < unit, "need 0 < 2·eps < unit");
+    let shifts_needed = i64::from(g) * i64::from(g - 1);
+    assert!(
+        eps > shifts_needed,
+        "need eps > g·(g−1) = {shifts_needed} so shifted middles keep overlapping the lefts"
+    );
+    let mut jobs: Vec<Interval> = Vec::new();
+    let mut k = 0i64;
+    for _ in 0..g {
+        jobs.push(Interval::new(0, unit));
+        for _ in 0..(g - 1) {
+            jobs.push(Interval::new(unit - eps + k, 2 * unit - eps + k));
+            k += 1;
+        }
+        jobs.push(Interval::new(2 * unit - 2 * eps, 3 * unit - 2 * eps));
+    }
+    let spread = i64::from(g - 1) * i64::from(g - 1);
+    Fig4 {
+        instance: Instance::new(jobs, g),
+        opt: i64::from(g + 1) * unit + spread,
+        first_fit: i64::from(g) * (3 * unit - 2 * eps),
+    }
+}
+
+/// The clique tight family (our construction for Theorem A.1's factor 2):
+/// `g` jobs `[−len, 0]` and `g` jobs `[0, len]` in alternating input order.
+/// All δ values equal `len`, so the clique algorithm's stable sort keeps the
+/// alternation and every machine mixes both sides: ALG = `4·len` vs
+/// OPT = `2·len`.
+pub fn clique_tight(g: u32, len: i64) -> Instance {
+    assert!(g >= 1 && len >= 1);
+    let mut jobs = Vec::with_capacity(2 * g as usize);
+    for _ in 0..g {
+        jobs.push(Interval::new(-len, 0));
+        jobs.push(Interval::new(0, len));
+    }
+    Instance::new(jobs, g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use busytime_core::algo::{CliqueScheduler, FirstFit, NextFitProper, Scheduler};
+    use busytime_core::bounds;
+
+    #[test]
+    fn fig4_first_fit_matches_prediction() {
+        for g in [2u32, 3, 5, 8] {
+            let fam = fig4(g, 100, 10);
+            let sched = FirstFit::paper().schedule(&fam.instance).unwrap();
+            sched.validate(&fam.instance).unwrap();
+            assert_eq!(
+                sched.cost(&fam.instance),
+                fam.first_fit,
+                "g = {g}: FirstFit should walk into the trap"
+            );
+            assert_eq!(sched.machine_count(), g as usize);
+        }
+    }
+
+    #[test]
+    fn fig4_opt_is_analytic() {
+        // verified against the exact solver in the integration tests; here
+        // check the grouped schedule achieves the analytic value
+        let fam = fig4(3, 60, 6);
+        // group by construction: lefts → 0, middles → 1 + batch, rights → last
+        let g = 3usize;
+        let mut raw = Vec::new();
+        let mut middle_counter = 0usize;
+        for _ in 0..g {
+            raw.push(0); // left
+            for _ in 0..(g - 1) {
+                raw.push(1 + middle_counter / g);
+                middle_counter += 1;
+            }
+            raw.push(1 + (g * (g - 1)).div_ceil(g)); // rights machine
+        }
+        let sched = busytime_core::Schedule::from_assignment(raw);
+        sched.validate(&fam.instance).unwrap();
+        assert_eq!(sched.cost(&fam.instance), fam.opt);
+        // and the lower bound cannot exceed it
+        assert!(bounds::lower_bound(&fam.instance) <= fam.opt);
+    }
+
+    #[test]
+    fn fig4_ratio_approaches_three() {
+        let small = fig4(2, 1000, 10).predicted_ratio();
+        let large = fig4(40, 1000, 10).predicted_ratio();
+        assert!(small < large);
+        assert!(large > 2.9);
+        assert!(large < 3.0);
+    }
+
+    #[test]
+    fn ranked_shift_is_proper_and_traps_first_fit() {
+        for g in [2u32, 3, 4] {
+            let eps = i64::from(g * (g - 1)) + 4;
+            let unit = 4 * eps;
+            let fam = ranked_shift(g, unit, eps);
+            assert!(fam.instance.is_proper(), "g = {g} must be proper");
+            let ff = FirstFit::paper().schedule(&fam.instance).unwrap();
+            assert_eq!(ff.cost(&fam.instance), fam.first_fit, "g = {g}");
+            // Greedy schedules it optimally
+            let greedy = NextFitProper::strict().schedule(&fam.instance).unwrap();
+            greedy.validate(&fam.instance).unwrap();
+            assert_eq!(greedy.cost(&fam.instance), fam.opt, "g = {g}");
+        }
+    }
+
+    #[test]
+    fn clique_tight_forces_factor_two() {
+        for g in [2u32, 3, 6] {
+            let inst = clique_tight(g, 50);
+            assert!(inst.is_clique());
+            let sched = CliqueScheduler::new().schedule(&inst).unwrap();
+            sched.validate(&inst).unwrap();
+            assert_eq!(sched.cost(&inst), 4 * 50);
+            assert_eq!(bounds::lower_bound(&inst), 2 * 50);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "g ≥ 2")]
+    fn fig4_rejects_g1() {
+        let _ = fig4(1, 100, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "eps > g·(g−1)")]
+    fn ranked_shift_needs_room() {
+        let _ = ranked_shift(5, 100, 10);
+    }
+}

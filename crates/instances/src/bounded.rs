@@ -1,0 +1,75 @@
+//! Bounded-length instances (Section 3.2): integral starts, lengths in
+//! `[1, d]`.
+
+use busytime_core::Instance;
+use busytime_interval::Interval;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Random bounded-length instance: `n` jobs, starts uniform in
+/// `[0, horizon)`, lengths uniform in `[1, d]`.
+pub fn random_bounded(n: usize, horizon: i64, d: i64, g: u32, seed: u64) -> Instance {
+    assert!(d >= 1 && horizon >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let jobs: Vec<Interval> = (0..n)
+        .map(|_| {
+            let s = rng.random_range(0..horizon);
+            Interval::with_len(s, rng.random_range(1..=d))
+        })
+        .collect();
+    Instance::new(jobs, g)
+}
+
+/// A segment-stress instance: jobs clustered at segment borders (starts at
+/// `r·d − 1` and `r·d`), the worst case for the Lemma 3.3 segmentation
+/// (machines in an unsegmented optimum would span borders).
+pub fn border_stress(segments: usize, per_border: usize, d: i64, g: u32, seed: u64) -> Instance {
+    assert!(d >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut jobs = Vec::with_capacity(2 * segments * per_border);
+    for r in 1..=segments as i64 {
+        for _ in 0..per_border {
+            // one job ending just after the border, one starting just before
+            let l1 = rng.random_range(1..=d);
+            jobs.push(Interval::with_len(r * d - 1, l1));
+            let l2 = rng.random_range(1..=d);
+            jobs.push(Interval::with_len(r * d - l2, d.min(l2 + 1)));
+        }
+    }
+    Instance::new(jobs, g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_in_range() {
+        let inst = random_bounded(200, 100, 5, 3, 2);
+        assert!(inst.lengths_within(5));
+        assert!(inst.max_len() <= 5);
+        assert!(inst.min_len() >= 1);
+    }
+
+    #[test]
+    fn border_stress_straddles() {
+        let d = 6i64;
+        let inst = border_stress(4, 3, d, 2, 1);
+        // at least one job crosses each border r·d
+        for r in 1..=4i64 {
+            let crossing = inst
+                .jobs()
+                .iter()
+                .any(|j| j.start < r * d && j.end > r * d);
+            assert!(crossing, "no job crosses border {}", r * d);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(
+            random_bounded(50, 40, 4, 2, 11),
+            random_bounded(50, 40, 4, 2, 11)
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! Random clique families (the Appendix's instance class: all jobs share a
+//! common point).
+
+use busytime_core::Instance;
+use busytime_interval::Interval;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Random clique: every job contains the point `center`; left and right
+/// extents are uniform in `[0, max_extent]` (with at least one side
+/// positive so jobs are non-degenerate unless `max_extent = 0`).
+pub fn random_clique(n: usize, center: i64, max_extent: i64, g: u32, seed: u64) -> Instance {
+    assert!(max_extent >= 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let jobs: Vec<Interval> = (0..n)
+        .map(|_| {
+            let left = rng.random_range(0..=max_extent);
+            let right = rng.random_range(0..=max_extent);
+            Interval::new(center - left, center + right)
+        })
+        .collect();
+    Instance::new(jobs, g)
+}
+
+/// A "fan" clique: job `i` is `[center − (i+1)·step, center + (i+1)·step]` —
+/// strictly nested with strictly increasing δ, so the clique algorithm's
+/// sort is unambiguous (useful for order-sensitive tests).
+pub fn nested_fan(n: usize, center: i64, step: i64, g: u32) -> Instance {
+    assert!(step >= 1);
+    let jobs: Vec<Interval> = (0..n as i64)
+        .map(|i| Interval::new(center - (i + 1) * step, center + (i + 1) * step))
+        .collect();
+    Instance::new(jobs, g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_clique_is_clique() {
+        for seed in 0..10 {
+            let inst = random_clique(40, 100, 50, 3, seed);
+            assert!(inst.is_clique(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn nested_fan_properties() {
+        let inst = nested_fan(5, 0, 10, 2);
+        assert!(inst.is_clique());
+        assert!(!inst.is_proper()); // fully nested
+        assert_eq!(inst.max_overlap(), 5);
+        assert_eq!(inst.span(), 100); // the outermost job [−50, 50]
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(
+            random_clique(20, 0, 30, 2, 4),
+            random_clique(20, 0, 30, 2, 4)
+        );
+    }
+}

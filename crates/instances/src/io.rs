@@ -1,0 +1,167 @@
+//! JSON import/export of instances and schedules.
+
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use busytime_core::{Instance, Schedule};
+use busytime_interval::Interval;
+use serde::{Deserialize, Serialize};
+
+/// A named, self-describing instance file.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct InstanceFile {
+    /// Dataset name.
+    pub name: String,
+    /// Free-form provenance note (generator, parameters, seed).
+    pub comment: String,
+    /// Parallelism parameter.
+    pub g: u32,
+    /// Jobs as `[start, end]` pairs.
+    pub jobs: Vec<(i64, i64)>,
+}
+
+impl InstanceFile {
+    /// Wraps an instance with metadata.
+    pub fn new(name: impl Into<String>, comment: impl Into<String>, inst: &Instance) -> Self {
+        InstanceFile {
+            name: name.into(),
+            comment: comment.into(),
+            g: inst.g(),
+            jobs: inst.jobs().iter().map(|j| (j.start, j.end)).collect(),
+        }
+    }
+
+    /// Reconstructs the instance.
+    pub fn to_instance(&self) -> Instance {
+        Instance::new(
+            self.jobs
+                .iter()
+                .map(|&(s, c)| Interval::new(s, c))
+                .collect(),
+            self.g,
+        )
+    }
+}
+
+/// Serializes an instance (with metadata) to pretty JSON.
+pub fn instance_to_json(file: &InstanceFile) -> String {
+    serde_json::to_string_pretty(file).expect("instance serialization cannot fail")
+}
+
+/// Serializes a schedule export to pretty JSON.
+pub fn schedule_to_json(file: &ScheduleFile) -> String {
+    serde_json::to_string_pretty(file).expect("schedule serialization cannot fail")
+}
+
+/// Parses a schedule export from JSON.
+pub fn schedule_from_json(json: &str) -> Result<ScheduleFile, serde_json::Error> {
+    serde_json::from_str(json)
+}
+
+/// Parses an instance file from JSON.
+pub fn instance_from_json(json: &str) -> Result<InstanceFile, serde_json::Error> {
+    serde_json::from_str(json)
+}
+
+/// Writes an instance file to disk (buffered).
+pub fn write_instance(path: &Path, file: &InstanceFile) -> std::io::Result<()> {
+    let f = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(f);
+    w.write_all(instance_to_json(file).as_bytes())?;
+    w.flush()
+}
+
+/// Reads an instance file from disk (buffered).
+pub fn read_instance(path: &Path) -> std::io::Result<InstanceFile> {
+    let f = std::fs::File::open(path)?;
+    let mut r = BufReader::new(f);
+    let mut buf = String::new();
+    r.read_to_string(&mut buf)?;
+    instance_from_json(&buf).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+/// A schedule export: assignment plus the cost it was computed with, so
+/// downstream tooling can cross-check.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleFile {
+    /// Producing algorithm.
+    pub algorithm: String,
+    /// Machine of each job.
+    pub assignment: Vec<usize>,
+    /// Total busy time claimed by the producer.
+    pub cost: i64,
+}
+
+impl ScheduleFile {
+    /// Wraps a schedule with provenance.
+    pub fn new(algorithm: impl Into<String>, sched: &Schedule, inst: &Instance) -> Self {
+        ScheduleFile {
+            algorithm: algorithm.into(),
+            assignment: sched.assignment().to_vec(),
+            cost: sched.cost(inst),
+        }
+    }
+
+    /// Reconstructs the schedule and verifies the recorded cost against the
+    /// instance; errors on mismatch (tamper/rot detection).
+    pub fn to_schedule(&self, inst: &Instance) -> Result<Schedule, String> {
+        let sched = Schedule::from_assignment(self.assignment.clone());
+        let actual = sched.cost(inst);
+        if actual != self.cost {
+            return Err(format!(
+                "recorded cost {} does not match recomputed {actual}",
+                self.cost
+            ));
+        }
+        Ok(sched)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::{uniform, LengthDist};
+
+    #[test]
+    fn json_roundtrip() {
+        let inst = uniform(30, 50, LengthDist::Uniform(1, 10), 3, 1);
+        let file = InstanceFile::new("test", "uniform n=30 seed=1", &inst);
+        let json = instance_to_json(&file);
+        let back = instance_from_json(&json).unwrap();
+        assert_eq!(back, file);
+        assert_eq!(back.to_instance(), inst);
+    }
+
+    #[test]
+    fn disk_roundtrip() {
+        let inst = uniform(10, 20, LengthDist::Fixed(3), 2, 2);
+        let file = InstanceFile::new("disk", "fixed", &inst);
+        let dir = std::env::temp_dir().join("busytime_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("inst.json");
+        write_instance(&path, &file).unwrap();
+        let back = read_instance(&path).unwrap();
+        assert_eq!(back, file);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn malformed_json_rejected() {
+        assert!(instance_from_json("{not json").is_err());
+        assert!(instance_from_json("{\"name\":\"x\"}").is_err());
+    }
+
+    #[test]
+    fn schedule_roundtrip_and_tamper_detection() {
+        use busytime_core::algo::{FirstFit, Scheduler};
+        let inst = uniform(20, 30, LengthDist::Uniform(1, 8), 2, 3);
+        let sched = FirstFit::paper().schedule(&inst).unwrap();
+        let mut file = ScheduleFile::new("FirstFit", &sched, &inst);
+        assert_eq!(
+            file.to_schedule(&inst).unwrap().assignment(),
+            sched.assignment()
+        );
+        file.cost += 1; // tamper
+        assert!(file.to_schedule(&inst).is_err());
+    }
+}

@@ -1,0 +1,88 @@
+//! Random laminar families: any two jobs are nested or disjoint. The
+//! follow-up work \[15\] gives exact algorithms for this class; we generate
+//! it for the extension experiments.
+
+use busytime_core::Instance;
+use busytime_interval::Interval;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Random laminar family built by recursive splitting: the root interval
+/// spawns children strictly inside itself, each child recursing further.
+///
+/// `depth` bounds the nesting depth; `branching` the maximum children per
+/// interval. The generated family always contains the root `[0, width]`.
+pub fn random_laminar(
+    width: i64,
+    depth: usize,
+    branching: usize,
+    g: u32,
+    seed: u64,
+) -> Instance {
+    assert!(width >= 4);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut jobs = Vec::new();
+    fn rec(
+        rng: &mut StdRng,
+        lo: i64,
+        hi: i64,
+        depth: usize,
+        branching: usize,
+        jobs: &mut Vec<Interval>,
+    ) {
+        jobs.push(Interval::new(lo, hi));
+        if depth == 0 || hi - lo < 4 {
+            return;
+        }
+        let kids = rng.random_range(0..=branching);
+        if kids == 0 {
+            return;
+        }
+        // split [lo+1, hi−1] into `kids` disjoint slots separated by ≥ 1
+        let inner_lo = lo + 1;
+        let inner_hi = hi - 1;
+        let slot = (inner_hi - inner_lo) / kids as i64;
+        if slot < 2 {
+            return;
+        }
+        for k in 0..kids as i64 {
+            let a = inner_lo + k * slot;
+            let b = a + slot - 1; // leave a 1-tick gap between siblings
+            if b - a >= 1 {
+                rec(rng, a, b, depth - 1, branching, jobs);
+            }
+        }
+    }
+    rec(&mut rng, 0, width, depth, branching, &mut jobs);
+    Instance::new(jobs, g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use busytime_interval::relations;
+
+    #[test]
+    fn generated_families_are_laminar() {
+        for seed in 0..10 {
+            let inst = random_laminar(1000, 4, 3, 2, seed);
+            assert!(relations::is_laminar(inst.jobs()), "seed {seed}");
+            assert!(!inst.is_empty());
+        }
+    }
+
+    #[test]
+    fn root_is_present() {
+        let inst = random_laminar(500, 3, 2, 2, 1);
+        assert!(inst.jobs().contains(&Interval::new(0, 500)));
+        assert_eq!(inst.span(), 500);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(
+            random_laminar(200, 3, 3, 2, 6),
+            random_laminar(200, 3, 3, 2, 6)
+        );
+    }
+}

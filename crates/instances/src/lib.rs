@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! Workload generators and IO for busy-time scheduling experiments.
+//!
+//! Every generator is deterministic given its seed (experiments must be
+//! reproducible row by row). Families:
+//!
+//! * [`random`] — general instances: uniform starts, several length
+//!   distributions, plus dense/sparse presets.
+//! * [`proper`] — proper interval families (no proper containment), the
+//!   class of Section 3.1.
+//! * [`clique`] — pairwise-overlapping families (Appendix), plus the tight
+//!   family driving the clique algorithm to ratio exactly 2.
+//! * [`bounded`] — integral-start instances with lengths in `[1, d]`
+//!   (Section 3.2).
+//! * [`laminar`] — nested/disjoint families (the special case highlighted in
+//!   the follow-up work \[15\]).
+//! * [`adversarial`] — the Figure 4 lower-bound construction with its
+//!   analytic `OPT = (g+1)·unit`, and the "ranked-shift" proper variant from
+//!   the end of Section 3.1 (FirstFit → 3, Greedy = OPT).
+//! * [`workload`] — VM-consolidation-style traces (the modern use case for
+//!   busy-time scheduling: machines billed while powered on).
+//! * [`optical`] — random lightpath sets on path networks (Section 4).
+//! * [`io`] — JSON (de)serialization of instances and datasets.
+
+pub mod adversarial;
+pub mod bounded;
+pub mod clique;
+pub mod io;
+pub mod laminar;
+pub mod optical;
+pub mod proper;
+pub mod random;
+pub mod workload;
+
+pub use adversarial::{fig4, ranked_shift, Fig4};
+pub use random::uniform;

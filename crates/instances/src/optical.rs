@@ -1,0 +1,102 @@
+//! Random lightpath sets on path networks (Section 4 workloads).
+
+use busytime_optical::{Lightpath, PathNetwork};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Uniform random lightpaths: left endpoints uniform, hop counts uniform in
+/// `[1, max_hops]`, clipped to the network.
+pub fn random_lightpaths(
+    net: &PathNetwork,
+    n: usize,
+    max_hops: usize,
+    seed: u64,
+) -> Vec<Lightpath> {
+    assert!(net.node_count >= 2, "need at least one edge");
+    let max_hops = max_hops.clamp(1, net.node_count - 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let hops = rng.random_range(1..=max_hops);
+            let a = rng.random_range(0..net.node_count - hops);
+            Lightpath::new(a, a + hops)
+        })
+        .collect()
+}
+
+/// Hotspot traffic: a fraction of the demand terminates at a hub node (as
+/// in metro aggregation rings cut open into a path). The remaining paths
+/// are uniform.
+pub fn hotspot_lightpaths(
+    net: &PathNetwork,
+    n: usize,
+    hub: usize,
+    hub_fraction: f64,
+    max_hops: usize,
+    seed: u64,
+) -> Vec<Lightpath> {
+    assert!(hub < net.node_count);
+    assert!((0.0..=1.0).contains(&hub_fraction));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let uniform = random_lightpaths(net, n, max_hops, seed ^ 0x5DEECE66D);
+    uniform
+        .into_iter()
+        .map(|lp| {
+            if rng.random_range(0.0..1.0) < hub_fraction {
+                // redirect one endpoint to the hub
+                let other = if lp.a == hub { lp.b } else { lp.a };
+                if other < hub {
+                    Lightpath::new(other, hub)
+                } else if other > hub {
+                    Lightpath::new(hub, other)
+                } else {
+                    // degenerate: both ends at hub; keep a 1-hop path
+                    if hub + 1 < net.node_count {
+                        Lightpath::new(hub, hub + 1)
+                    } else {
+                        Lightpath::new(hub - 1, hub)
+                    }
+                }
+            } else {
+                lp
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_paths_fit_network() {
+        let net = PathNetwork::new(50);
+        let paths = random_lightpaths(&net, 100, 8, 3);
+        assert_eq!(paths.len(), 100);
+        for p in &paths {
+            assert!(net.contains(p));
+            assert!(p.hop_count() >= 1 && p.hop_count() <= 8);
+        }
+    }
+
+    #[test]
+    fn hotspot_concentrates_on_hub() {
+        let net = PathNetwork::new(40);
+        let hub = 20;
+        let paths = hotspot_lightpaths(&net, 200, hub, 0.7, 10, 5);
+        let touching = paths.iter().filter(|p| p.a == hub || p.b == hub).count();
+        assert!(touching >= 100, "only {touching} paths touch the hub");
+        for p in &paths {
+            assert!(net.contains(p));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let net = PathNetwork::new(30);
+        assert_eq!(
+            random_lightpaths(&net, 50, 5, 1),
+            random_lightpaths(&net, 50, 5, 1)
+        );
+    }
+}

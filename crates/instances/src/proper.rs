@@ -1,0 +1,83 @@
+//! Random proper interval families (Section 3.1's instance class).
+
+use busytime_core::Instance;
+use busytime_interval::Interval;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Random proper family: strictly increasing starts paired with strictly
+/// increasing ends (the standard characterization of proper interval
+/// representations).
+///
+/// `gap` controls the mean distance between consecutive starts; `base_len`
+/// the typical job length (each jittered by up to `jitter` while preserving
+/// properness).
+pub fn random_proper(
+    n: usize,
+    gap: i64,
+    base_len: i64,
+    jitter: i64,
+    g: u32,
+    seed: u64,
+) -> Instance {
+    assert!(gap >= 1 && base_len >= 1 && jitter >= 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut jobs: Vec<Interval> = Vec::with_capacity(n);
+    let mut start = 0i64;
+    let mut prev_end = i64::MIN;
+    for _ in 0..n {
+        start += rng.random_range(1..=gap);
+        let len = base_len + rng.random_range(0..=jitter);
+        let end = (start + len).max(prev_end + 1);
+        jobs.push(Interval::new(start, end));
+        prev_end = end;
+    }
+    Instance::new(jobs, g)
+}
+
+/// A deterministic sliding-window ("staircase") proper family: `n` jobs of
+/// length `len`, consecutive starts `stride` apart. Max overlap is
+/// `⌊len/stride⌋ + 1`.
+pub fn staircase(n: usize, len: i64, stride: i64, g: u32) -> Instance {
+    assert!(len >= 1 && stride >= 1);
+    let jobs: Vec<Interval> = (0..n as i64)
+        .map(|i| Interval::new(i * stride, i * stride + len))
+        .collect();
+    Instance::new(jobs, g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_proper_is_proper() {
+        for seed in 0..10 {
+            let inst = random_proper(60, 3, 12, 6, 3, seed);
+            assert!(inst.is_proper(), "seed {seed}");
+            assert_eq!(inst.len(), 60);
+        }
+    }
+
+    #[test]
+    fn staircase_is_proper_with_known_overlap() {
+        let inst = staircase(20, 10, 2, 3);
+        assert!(inst.is_proper());
+        assert_eq!(inst.max_overlap(), 6); // ⌊10/2⌋ + 1
+    }
+
+    #[test]
+    fn staircase_disjoint_when_stride_exceeds_len() {
+        let inst = staircase(5, 3, 5, 2);
+        assert_eq!(inst.max_overlap(), 1);
+        assert_eq!(inst.span(), 15);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(
+            random_proper(30, 2, 8, 4, 2, 9),
+            random_proper(30, 2, 8, 4, 2, 9)
+        );
+    }
+}

@@ -1,0 +1,108 @@
+//! General random instances.
+
+use busytime_core::Instance;
+use busytime_interval::Interval;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Job-length distributions for the random generators.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum LengthDist {
+    /// Uniform in `[lo, hi]`.
+    Uniform(i64, i64),
+    /// Geometric-tailed ("exponential-like") with the given mean; always
+    /// at least 1.
+    Geometric(f64),
+    /// Every job has exactly this length.
+    Fixed(i64),
+}
+
+impl LengthDist {
+    fn sample(&self, rng: &mut StdRng) -> i64 {
+        match *self {
+            LengthDist::Uniform(lo, hi) => rng.random_range(lo..=hi),
+            LengthDist::Geometric(mean) => {
+                debug_assert!(mean >= 1.0);
+                // inverse-transform geometric on {1, 2, …} with mean ≈ `mean`
+                let p = 1.0 / mean;
+                let u: f64 = rng.random_range(0.0..1.0);
+                let k = ((1.0 - u).ln() / (1.0 - p).ln()).ceil();
+                (k as i64).max(1)
+            }
+            LengthDist::Fixed(len) => len,
+        }
+    }
+}
+
+/// Uniform random instance: `n` jobs with starts uniform in
+/// `[0, horizon)` and lengths from `dist`; parallelism `g`.
+pub fn uniform(n: usize, horizon: i64, dist: LengthDist, g: u32, seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let jobs: Vec<Interval> = (0..n)
+        .map(|_| {
+            let s = rng.random_range(0..horizon);
+            Interval::with_len(s, dist.sample(&mut rng).max(0))
+        })
+        .collect();
+    Instance::new(jobs, g)
+}
+
+/// Dense preset: expected max overlap well above `g`, so machines are
+/// contended (horizon scales with `n / g` to keep density constant).
+pub fn dense(n: usize, g: u32, seed: u64) -> Instance {
+    let horizon = ((n as i64 * 4) / (4 * i64::from(g)).max(1)).max(8);
+    uniform(n, horizon, LengthDist::Uniform(4, 40), g, seed)
+}
+
+/// Sparse preset: most jobs overlap few others; FirstFit packs many jobs per
+/// machine without conflicts.
+pub fn sparse(n: usize, g: u32, seed: u64) -> Instance {
+    let horizon = (n as i64 * 64).max(64);
+    uniform(n, horizon, LengthDist::Uniform(4, 40), g, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = uniform(50, 100, LengthDist::Uniform(1, 20), 3, 7);
+        let b = uniform(50, 100, LengthDist::Uniform(1, 20), 3, 7);
+        let c = uniform(50, 100, LengthDist::Uniform(1, 20), 3, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn respects_parameters() {
+        let inst = uniform(100, 50, LengthDist::Uniform(2, 9), 4, 1);
+        assert_eq!(inst.len(), 100);
+        assert_eq!(inst.g(), 4);
+        for job in inst.jobs() {
+            assert!((0..50).contains(&job.start));
+            assert!((2..=9).contains(&job.len()));
+        }
+    }
+
+    #[test]
+    fn fixed_lengths() {
+        let inst = uniform(20, 30, LengthDist::Fixed(5), 2, 3);
+        assert!(inst.jobs().iter().all(|j| j.len() == 5));
+    }
+
+    #[test]
+    fn geometric_lengths_positive_with_sane_mean() {
+        let inst = uniform(2000, 100, LengthDist::Geometric(8.0), 2, 11);
+        assert!(inst.jobs().iter().all(|j| j.len() >= 1));
+        let mean = inst.total_len() as f64 / inst.len() as f64;
+        assert!((4.0..16.0).contains(&mean), "mean length {mean}");
+    }
+
+    #[test]
+    fn dense_is_denser_than_sparse() {
+        let d = dense(300, 2, 5);
+        let s = sparse(300, 2, 5);
+        assert!(d.max_overlap() > s.max_overlap());
+    }
+}

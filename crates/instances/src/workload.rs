@@ -1,0 +1,98 @@
+//! VM-consolidation-style workloads.
+//!
+//! Busy-time scheduling is exactly the cloud-consolidation cost model: a
+//! physical host is billed while powered on (busy), can run up to `g` VMs
+//! (jobs) at once, and VM lease intervals are fixed. These generators mimic
+//! the shapes such traces take; they drive the `vm_consolidation` example
+//! and the comparison experiments.
+
+use busytime_core::Instance;
+use busytime_interval::Interval;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Poisson-like arrivals (geometric inter-arrival gaps with the given mean)
+/// with geometric lease durations — the classic stationary on-demand trace.
+pub fn on_demand(
+    n: usize,
+    mean_interarrival: f64,
+    mean_duration: f64,
+    g: u32,
+    seed: u64,
+) -> Instance {
+    assert!(mean_interarrival >= 1.0 && mean_duration >= 1.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut geometric = |mean: f64| -> i64 {
+        let p = 1.0 / mean;
+        let u: f64 = rng.random_range(0.0..1.0);
+        (((1.0 - u).ln() / (1.0 - p).ln()).ceil() as i64).max(1)
+    };
+    let mut t = 0i64;
+    let jobs: Vec<Interval> = (0..n)
+        .map(|_| {
+            t += geometric(mean_interarrival);
+            let d = geometric(mean_duration);
+            Interval::new(t, t + d)
+        })
+        .collect();
+    Instance::new(jobs, g)
+}
+
+/// Diurnal "shift" workload: `days` batches of `per_shift` jobs starting
+/// near the shift boundary (jitter) and lasting roughly a shift length —
+/// heavy overlap inside a shift, little across shifts.
+pub fn shifts(
+    days: usize,
+    per_shift: usize,
+    shift_len: i64,
+    jitter: i64,
+    g: u32,
+    seed: u64,
+) -> Instance {
+    assert!(shift_len >= 2 && jitter >= 0 && jitter < shift_len);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut jobs = Vec::with_capacity(days * per_shift);
+    for day in 0..days as i64 {
+        let base = day * 2 * shift_len;
+        for _ in 0..per_shift {
+            let s = base + rng.random_range(0..=jitter);
+            let l = shift_len - rng.random_range(0..=jitter.min(shift_len - 1));
+            jobs.push(Interval::with_len(s, l.max(1)));
+        }
+    }
+    Instance::new(jobs, g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn on_demand_is_time_ordered_and_positive() {
+        let inst = on_demand(200, 3.0, 20.0, 4, 5);
+        assert_eq!(inst.len(), 200);
+        let starts: Vec<i64> = inst.jobs().iter().map(|j| j.start).collect();
+        assert!(starts.windows(2).all(|w| w[0] < w[1]));
+        assert!(inst.jobs().iter().all(|j| j.len() >= 1));
+    }
+
+    #[test]
+    fn shifts_cluster_within_days() {
+        let inst = shifts(3, 10, 100, 10, 4, 9);
+        assert_eq!(inst.len(), 30);
+        // jobs of different days never overlap (2× shift spacing)
+        for i in 0..10 {
+            for j in 20..30 {
+                assert!(!inst.job(i).overlaps(&inst.job(j)));
+            }
+        }
+        // inside a day they heavily overlap
+        assert!(inst.max_overlap() >= 8);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(on_demand(50, 2.0, 10.0, 2, 3), on_demand(50, 2.0, 10.0, 2, 3));
+        assert_eq!(shifts(2, 5, 50, 5, 2, 3), shifts(2, 5, 50, 5, 2, 3));
+    }
+}

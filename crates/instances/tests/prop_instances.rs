@@ -1,0 +1,88 @@
+//! Property tests: generators produce what they promise, deterministically.
+
+use busytime_instances::adversarial::{clique_tight, fig4, ranked_shift};
+use busytime_instances::bounded::random_bounded;
+use busytime_instances::clique::random_clique;
+use busytime_instances::io::{instance_from_json, instance_to_json, InstanceFile};
+use busytime_instances::laminar::random_laminar;
+use busytime_instances::proper::random_proper;
+use busytime_instances::random::{uniform, LengthDist};
+use busytime_interval::relations;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Proper generator: always a proper family of the requested size.
+    #[test]
+    fn proper_generator_is_proper(n in 1usize..80, g in 1u32..6, seed in 0u64..500) {
+        let inst = random_proper(n, 3, 10, 5, g, seed);
+        prop_assert_eq!(inst.len(), n);
+        prop_assert!(inst.is_proper());
+    }
+
+    /// Clique generator: always pairwise overlapping.
+    #[test]
+    fn clique_generator_is_clique(n in 1usize..60, seed in 0u64..500) {
+        let inst = random_clique(n, 50, 30, 2, seed);
+        prop_assert!(inst.is_clique());
+    }
+
+    /// Bounded generator: lengths in [1, d], integral starts by construction.
+    #[test]
+    fn bounded_generator_in_range(n in 1usize..80, d in 1i64..8, seed in 0u64..500) {
+        let inst = random_bounded(n, 50, d, 3, seed);
+        prop_assert!(inst.lengths_within(d));
+    }
+
+    /// Laminar generator: any two jobs nested or disjoint.
+    #[test]
+    fn laminar_generator_is_laminar(depth in 0usize..5, branching in 0usize..4, seed in 0u64..200) {
+        let inst = random_laminar(500, depth, branching, 2, seed);
+        prop_assert!(relations::is_laminar(inst.jobs()));
+    }
+
+    /// Determinism: same parameters and seed → identical instance; the JSON
+    /// round trip preserves it exactly.
+    #[test]
+    fn deterministic_and_json_stable(n in 1usize..50, seed in 0u64..500) {
+        let a = uniform(n, 40, LengthDist::Uniform(1, 12), 2, seed);
+        let b = uniform(n, 40, LengthDist::Uniform(1, 12), 2, seed);
+        prop_assert_eq!(&a, &b);
+        let file = InstanceFile::new("x", "prop", &a);
+        let back = instance_from_json(&instance_to_json(&file)).unwrap();
+        prop_assert_eq!(back.to_instance(), a);
+    }
+
+    /// Figure 4 family: job count 2g + g(g−1), all lengths equal, and the
+    /// analytic values scale linearly in `unit`.
+    #[test]
+    fn fig4_shape(g in 2u32..12, scale in 1i64..6) {
+        let unit = 100 * scale;
+        let eps = scale;
+        let fam = fig4(g, unit, eps);
+        let expected = 2 * g as usize + (g * (g - 1)) as usize;
+        prop_assert_eq!(fam.instance.len(), expected);
+        prop_assert!(fam.instance.jobs().iter().all(|j| j.len() == unit));
+        prop_assert_eq!(fam.opt, i64::from(g + 1) * unit);
+        prop_assert!(fam.predicted_ratio() < 3.0);
+    }
+
+    /// Ranked-shift family: proper, same job count as fig4.
+    #[test]
+    fn ranked_shift_shape(g in 2u32..7) {
+        let eps = i64::from(g * (g - 1)) + 5;
+        let fam = ranked_shift(g, 10 * eps, eps);
+        prop_assert!(fam.instance.is_proper());
+        prop_assert_eq!(fam.instance.len(), 2 * g as usize + (g * (g - 1)) as usize);
+    }
+
+    /// Clique-tight family: a clique with equal δ on both sides.
+    #[test]
+    fn clique_tight_shape(g in 1u32..12, len in 1i64..100) {
+        let inst = clique_tight(g, len);
+        prop_assert!(inst.is_clique());
+        prop_assert_eq!(inst.len(), 2 * g as usize);
+        prop_assert_eq!(inst.span(), 2 * len);
+    }
+}

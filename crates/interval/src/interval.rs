@@ -1,0 +1,249 @@
+//! The closed [`Interval`] type and its algebra.
+
+use std::fmt;
+
+/// Integral time coordinate, in ticks.
+///
+/// The paper works over the reals; every construction it uses (including the
+/// ε′ of the Figure 4 lower bound) is rational, so instances are realized
+/// exactly by choosing a tick scale. Experiments document their scaling.
+pub type Time = i64;
+
+/// A closed time interval `[start, end]` with `start ≤ end`.
+///
+/// This is the paper's job interval `[s_j, c_j]`. Closed semantics: two
+/// intervals overlap iff they share at least one point, including a single
+/// shared endpoint. A zero-length interval (`start == end`) is a valid point
+/// job with `len() == 0`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Interval {
+    /// Start time `s` (inclusive).
+    pub start: Time,
+    /// Completion time `c` (inclusive).
+    pub end: Time,
+}
+
+impl Interval {
+    /// Creates `[start, end]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end`.
+    #[inline]
+    pub fn new(start: Time, end: Time) -> Self {
+        assert!(
+            start <= end,
+            "interval start {start} must not exceed end {end}"
+        );
+        Interval { start, end }
+    }
+
+    /// Creates `[start, start + len]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len < 0`.
+    #[inline]
+    pub fn with_len(start: Time, len: i64) -> Self {
+        assert!(len >= 0, "interval length {len} must be non-negative");
+        Interval {
+            start,
+            end: start + len,
+        }
+    }
+
+    /// Length `c − s` (Definition 1.1). Zero for point intervals.
+    ///
+    /// A zero-length interval is still a non-empty point set; the idiomatic
+    /// emptiness query is [`Interval::is_point`].
+    #[inline]
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> i64 {
+        self.end - self.start
+    }
+
+    /// True iff this is a point interval (`start == end`).
+    #[inline]
+    pub fn is_point(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// True iff `t ∈ [start, end]`.
+    #[inline]
+    pub fn contains_time(&self, t: Time) -> bool {
+        self.start <= t && t <= self.end
+    }
+
+    /// True iff `other ⊆ self` (non-strict containment).
+    #[inline]
+    pub fn contains(&self, other: &Interval) -> bool {
+        self.start <= other.start && other.end <= self.end
+    }
+
+    /// True iff `other ⊂ self` strictly (the paper's "properly contained").
+    ///
+    /// Equal intervals do not properly contain each other, so a family with
+    /// duplicates can still be *proper* in the sense of Section 3.1.
+    #[inline]
+    pub fn properly_contains(&self, other: &Interval) -> bool {
+        self.contains(other) && self != other
+    }
+
+    /// True iff the closed intervals intersect (sharing one endpoint counts).
+    #[inline]
+    pub fn overlaps(&self, other: &Interval) -> bool {
+        self.start <= other.end && other.start <= self.end
+    }
+
+    /// Intersection of two closed intervals, if non-empty.
+    #[inline]
+    pub fn intersection(&self, other: &Interval) -> Option<Interval> {
+        let start = self.start.max(other.start);
+        let end = self.end.min(other.end);
+        (start <= end).then_some(Interval { start, end })
+    }
+
+    /// Smallest interval containing both.
+    #[inline]
+    pub fn hull(&self, other: &Interval) -> Interval {
+        Interval {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// Translates the interval by `delta` ticks.
+    #[inline]
+    pub fn shifted(&self, delta: i64) -> Interval {
+        Interval {
+            start: self.start + delta,
+            end: self.end + delta,
+        }
+    }
+
+    /// Lower doubled coordinate: the closed `[s, c]` maps to half-open
+    /// `[2s, 2c + 1)`. Two closed intervals intersect iff their doubled
+    /// half-open images do, which lets every sweep use half-open logic.
+    #[inline]
+    pub fn dkey_lo(&self) -> i64 {
+        2 * self.start
+    }
+
+    /// Upper (exclusive) doubled coordinate; see [`Interval::dkey_lo`].
+    #[inline]
+    pub fn dkey_hi(&self) -> i64 {
+        2 * self.end + 1
+    }
+}
+
+impl fmt::Debug for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.start, self.end)
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.start, self.end)
+    }
+}
+
+impl From<(Time, Time)> for Interval {
+    fn from((s, c): (Time, Time)) -> Self {
+        Interval::new(s, c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_and_len() {
+        let iv = Interval::new(2, 7);
+        assert_eq!(iv.len(), 5);
+        assert!(!iv.is_point());
+        let p = Interval::new(3, 3);
+        assert_eq!(p.len(), 0);
+        assert!(p.is_point());
+    }
+
+    #[test]
+    #[should_panic(expected = "must not exceed")]
+    fn new_rejects_reversed() {
+        let _ = Interval::new(5, 4);
+    }
+
+    #[test]
+    fn with_len_matches_new() {
+        assert_eq!(Interval::with_len(3, 4), Interval::new(3, 7));
+        assert_eq!(Interval::with_len(-2, 0), Interval::new(-2, -2));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn with_len_rejects_negative() {
+        let _ = Interval::with_len(0, -1);
+    }
+
+    #[test]
+    fn endpoint_sharing_counts_as_overlap() {
+        let a = Interval::new(0, 1);
+        let b = Interval::new(1, 2);
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&a));
+        assert_eq!(a.intersection(&b), Some(Interval::new(1, 1)));
+    }
+
+    #[test]
+    fn disjoint_intervals_do_not_overlap() {
+        let a = Interval::new(0, 1);
+        let b = Interval::new(2, 3);
+        assert!(!a.overlaps(&b));
+        assert!(a.intersection(&b).is_none());
+    }
+
+    #[test]
+    fn containment_vs_proper_containment() {
+        let outer = Interval::new(0, 10);
+        let inner = Interval::new(0, 5);
+        assert!(outer.contains(&inner));
+        assert!(outer.properly_contains(&inner));
+        assert!(outer.contains(&outer));
+        assert!(!outer.properly_contains(&outer));
+        assert!(!inner.contains(&outer));
+    }
+
+    #[test]
+    fn contains_time_is_inclusive() {
+        let iv = Interval::new(2, 4);
+        assert!(iv.contains_time(2));
+        assert!(iv.contains_time(4));
+        assert!(!iv.contains_time(5));
+        assert!(!iv.contains_time(1));
+    }
+
+    #[test]
+    fn hull_and_shift() {
+        let a = Interval::new(0, 2);
+        let b = Interval::new(5, 6);
+        assert_eq!(a.hull(&b), Interval::new(0, 6));
+        assert_eq!(a.shifted(10), Interval::new(10, 12));
+        assert_eq!(a.shifted(-1), Interval::new(-1, 1));
+    }
+
+    #[test]
+    fn doubled_coordinates_preserve_intersection() {
+        // touching at a point: doubled images overlap
+        let a = Interval::new(0, 1);
+        let b = Interval::new(1, 2);
+        assert!(a.dkey_lo() < b.dkey_hi() && b.dkey_lo() < a.dkey_hi());
+        // gap of one tick: doubled images are disjoint
+        let c = Interval::new(2, 3);
+        assert!(a.dkey_hi() <= c.dkey_lo());
+        // point interval occupies one doubled cell
+        let p = Interval::new(5, 5);
+        assert_eq!(p.dkey_hi() - p.dkey_lo(), 1);
+    }
+}

@@ -1,0 +1,322 @@
+//! [`OverlapProfile`]: an incrementally maintained step function of
+//! active-interval counts with range-max queries.
+//!
+//! A machine in the busy-time scheduling problem may run at most `g` jobs at
+//! any instant. FirstFit must therefore answer, per candidate machine,
+//! *"would adding job `J` push the count above `g` anywhere on `J`?"* —
+//! a range-max query over the machine's current count profile, followed by a
+//! range-increment when the job is placed. This type supports both in
+//! `O(log n + k)` where `k` is the number of profile steps inside the range.
+
+use std::collections::BTreeMap;
+
+use crate::interval::Interval;
+
+/// Dynamic count profile over doubled coordinates (see
+/// [`Interval::dkey_lo`]): a step function `count: ℝ → ℕ` that is zero
+/// outside the tracked region.
+///
+/// Representation: `steps[k] = c` means the count is `c` on `[k, k')` where
+/// `k'` is the next key (and the final entry is always zero). Counts before
+/// the first key are zero.
+///
+/// ```
+/// use busytime_interval::{Interval, OverlapProfile};
+/// let mut machine = OverlapProfile::new();
+/// machine.add(&Interval::new(0, 10));
+/// machine.add(&Interval::new(5, 15));
+/// // a third job over the doubly-covered region busts parallelism g = 2…
+/// assert!(!machine.can_add(&Interval::new(7, 8), 2));
+/// // …but fits where only one job is active
+/// assert!(machine.can_add(&Interval::new(11, 20), 2));
+/// assert_eq!(machine.busy_measure(), 15);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct OverlapProfile {
+    steps: BTreeMap<i64, u32>,
+    /// Number of intervals currently contributing to the profile.
+    len: usize,
+}
+
+impl OverlapProfile {
+    /// An empty profile (count 0 everywhere).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of intervals added minus removed.
+    pub fn interval_count(&self) -> usize {
+        self.len
+    }
+
+    /// True iff the profile is identically zero.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of internal steps (diagnostic; proportional to memory).
+    pub fn step_count(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Count at doubled coordinate `dkey`.
+    fn value_at(&self, dkey: i64) -> u32 {
+        self.steps
+            .range(..=dkey)
+            .next_back()
+            .map_or(0, |(_, &c)| c)
+    }
+
+    /// Count of active intervals at time `t` (a real tick).
+    pub fn count_at(&self, t: i64) -> u32 {
+        self.value_at(2 * t)
+    }
+
+    /// Maximum count over the closed interval `iv`.
+    pub fn max_in(&self, iv: &Interval) -> u32 {
+        let lo = iv.dkey_lo();
+        let hi = iv.dkey_hi();
+        let entry = self.value_at(lo);
+        self.steps
+            .range(lo + 1..hi)
+            .map(|(_, &c)| c)
+            .fold(entry, u32::max)
+    }
+
+    /// True iff after adding `iv` every point of `iv` would have count ≤ `g`;
+    /// i.e. the current max over `iv` is at most `g − 1`.
+    pub fn can_add(&self, iv: &Interval, g: u32) -> bool {
+        debug_assert!(g >= 1);
+        self.max_in(iv) < g
+    }
+
+    /// Ensures a step boundary exists exactly at `dkey`.
+    fn ensure_boundary(&mut self, dkey: i64) {
+        if !self.steps.contains_key(&dkey) {
+            let v = self.value_at(dkey);
+            self.steps.insert(dkey, v);
+        }
+    }
+
+    /// Adds a closed interval: count += 1 on `iv`.
+    pub fn add(&mut self, iv: &Interval) {
+        self.add_weighted(iv, 1);
+    }
+
+    /// Adds a closed interval with weight `w`: count += w on `iv`. Used by
+    /// the capacitated-demand extension where a job consumes `w ≤ g` units
+    /// of a machine's parallelism.
+    pub fn add_weighted(&mut self, iv: &Interval, w: u32) {
+        let lo = iv.dkey_lo();
+        let hi = iv.dkey_hi();
+        self.ensure_boundary(lo);
+        self.ensure_boundary(hi);
+        for (_, c) in self.steps.range_mut(lo..hi) {
+            *c += w;
+        }
+        self.len += 1;
+    }
+
+    /// True iff adding `iv` with weight `w` keeps the count ≤ `g` everywhere
+    /// on `iv`.
+    pub fn can_add_weighted(&self, iv: &Interval, w: u32, g: u32) -> bool {
+        self.max_in(iv) + w <= g
+    }
+
+    /// Removes a previously added interval: count −= 1 on `iv`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the interval was not previously added —
+    /// i.e. if any count in the range is already zero.
+    pub fn remove(&mut self, iv: &Interval) {
+        let lo = iv.dkey_lo();
+        let hi = iv.dkey_hi();
+        self.ensure_boundary(lo);
+        self.ensure_boundary(hi);
+        for (_, c) in self.steps.range_mut(lo..hi) {
+            debug_assert!(*c > 0, "removing an interval that was never added");
+            *c = c.saturating_sub(1);
+        }
+        self.len = self.len.saturating_sub(1);
+        self.compact(lo, hi);
+    }
+
+    /// Drops redundant boundaries in `[lo, hi]` (equal consecutive values and
+    /// leading/trailing zeros) to bound memory under churn.
+    fn compact(&mut self, lo: i64, hi: i64) {
+        let keys: Vec<i64> = self.steps.range(lo..=hi).map(|(&k, _)| k).collect();
+        for k in keys {
+            let v = self.steps[&k];
+            let prev = self
+                .steps
+                .range(..k)
+                .next_back()
+                .map_or(0, |(_, &c)| c);
+            if prev == v {
+                self.steps.remove(&k);
+            }
+        }
+    }
+
+    /// Total measure (in ticks) where the count is at least one — the
+    /// machine's *busy time* if this profile tracks its jobs. Computed from
+    /// doubled coordinates: a doubled cell `[2t, 2t+1)` contributes measure 0
+    /// (it is the point `t`), while `[2t+1, 2t+2)` contributes 0 too — only
+    /// whole-tick spans count, so we convert by halving rounded down.
+    pub fn busy_measure(&self) -> i64 {
+        let mut total = 0i64;
+        let mut prev_key: Option<i64> = None;
+        let mut prev_val: u32 = 0;
+        for (&k, &v) in &self.steps {
+            if let Some(pk) = prev_key {
+                if prev_val > 0 {
+                    total += dkey_range_measure(pk, k);
+                }
+            }
+            prev_key = Some(k);
+            prev_val = v;
+        }
+        total
+    }
+}
+
+/// Measure (in ticks) of the doubled half-open range `[lo, hi)`.
+///
+/// Doubled coordinates place the point `t` at cell `2t` and the open gap
+/// `(t, t+1)` at cell `2t + 1`; each gap cell has measure 1, each point cell
+/// measure 0. Hence the measure is the number of odd cells in `[lo, hi)`.
+fn dkey_range_measure(lo: i64, hi: i64) -> i64 {
+    debug_assert!(lo <= hi);
+    // f(x) = #odd integers below x (up to a constant); works for negatives
+    // because div_euclid floors: f(hi) − f(lo) = #odd integers in [lo, hi).
+    let f = |x: i64| x.div_euclid(2);
+    f(hi) - f(lo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(s: i64, c: i64) -> Interval {
+        Interval::new(s, c)
+    }
+
+    #[test]
+    fn empty_profile() {
+        let p = OverlapProfile::new();
+        assert!(p.is_empty());
+        assert_eq!(p.count_at(0), 0);
+        assert_eq!(p.max_in(&iv(-100, 100)), 0);
+        assert!(p.can_add(&iv(0, 1), 1));
+    }
+
+    #[test]
+    fn single_interval_counts() {
+        let mut p = OverlapProfile::new();
+        p.add(&iv(2, 5));
+        assert_eq!(p.count_at(1), 0);
+        assert_eq!(p.count_at(2), 1);
+        assert_eq!(p.count_at(5), 1);
+        assert_eq!(p.count_at(6), 0);
+        assert_eq!(p.max_in(&iv(0, 10)), 1);
+        assert_eq!(p.interval_count(), 1);
+    }
+
+    #[test]
+    fn endpoint_touch_counts_two() {
+        let mut p = OverlapProfile::new();
+        p.add(&iv(0, 1));
+        p.add(&iv(1, 2));
+        assert_eq!(p.count_at(1), 2);
+        assert_eq!(p.max_in(&iv(0, 2)), 2);
+        assert_eq!(p.max_in(&iv(0, 0)), 1);
+        // can_add with g = 2 must fail anywhere covering t = 1
+        assert!(!p.can_add(&iv(1, 1), 2));
+        assert!(p.can_add(&iv(2, 3), 2));
+    }
+
+    #[test]
+    fn capacity_gate_matches_paper_semantics() {
+        // g = 2: a machine with two active jobs at some t of J rejects J
+        let mut p = OverlapProfile::new();
+        p.add(&iv(0, 10));
+        assert!(p.can_add(&iv(5, 15), 2));
+        p.add(&iv(5, 15));
+        assert!(!p.can_add(&iv(7, 8), 2)); // inside both
+        assert!(p.can_add(&iv(11, 20), 2)); // overlaps only one
+    }
+
+    #[test]
+    fn add_then_remove_restores() {
+        let mut p = OverlapProfile::new();
+        p.add(&iv(0, 4));
+        p.add(&iv(2, 6));
+        p.remove(&iv(0, 4));
+        assert_eq!(p.count_at(1), 0);
+        assert_eq!(p.count_at(3), 1);
+        p.remove(&iv(2, 6));
+        assert!(p.is_empty());
+        assert_eq!(p.max_in(&iv(-10, 10)), 0);
+        // after compaction the map should not grow unboundedly
+        assert_eq!(p.step_count(), 0);
+    }
+
+    #[test]
+    fn busy_measure_union_semantics() {
+        let mut p = OverlapProfile::new();
+        p.add(&iv(0, 3));
+        p.add(&iv(1, 4)); // union [0,4] measure 4
+        assert_eq!(p.busy_measure(), 4);
+        p.add(&iv(10, 12)); // + measure 2
+        assert_eq!(p.busy_measure(), 6);
+        p.remove(&iv(1, 4));
+        assert_eq!(p.busy_measure(), 5);
+    }
+
+    #[test]
+    fn busy_measure_touching() {
+        let mut p = OverlapProfile::new();
+        p.add(&iv(0, 1));
+        p.add(&iv(1, 2));
+        assert_eq!(p.busy_measure(), 2);
+    }
+
+    #[test]
+    fn busy_measure_point_job_is_zero() {
+        let mut p = OverlapProfile::new();
+        p.add(&iv(5, 5));
+        assert_eq!(p.busy_measure(), 0);
+        assert_eq!(p.count_at(5), 1);
+    }
+
+    #[test]
+    fn max_in_partial_ranges() {
+        let mut p = OverlapProfile::new();
+        p.add(&iv(0, 2));
+        p.add(&iv(1, 3));
+        p.add(&iv(2, 4));
+        assert_eq!(p.max_in(&iv(0, 0)), 1);
+        assert_eq!(p.max_in(&iv(1, 1)), 2);
+        assert_eq!(p.max_in(&iv(2, 2)), 3);
+        assert_eq!(p.max_in(&iv(3, 4)), 2);
+        assert_eq!(p.max_in(&iv(4, 4)), 1);
+        assert_eq!(p.max_in(&iv(5, 9)), 0);
+    }
+
+    #[test]
+    fn interleaved_add_remove_stress() {
+        let mut p = OverlapProfile::new();
+        let jobs: Vec<Interval> = (0..50).map(|i| iv(i, i + 10)).collect();
+        for j in &jobs {
+            p.add(j);
+        }
+        assert_eq!(p.max_in(&iv(0, 60)), 11); // closed intervals: 11 share a point
+        for j in jobs.iter().step_by(2) {
+            p.remove(j);
+        }
+        assert_eq!(p.interval_count(), 25);
+        // counts halve roughly; max with every second interval of length 10 is 6
+        assert_eq!(p.max_in(&iv(0, 60)), 6);
+    }
+}

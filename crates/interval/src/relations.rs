@@ -1,0 +1,169 @@
+//! Instance-class predicates: the special interval families for which the
+//! paper gives improved approximation ratios.
+//!
+//! * **Proper** families (Section 3.1): no interval properly contained in
+//!   another — the induced intersection graph is a proper interval graph.
+//! * **Cliques** (Appendix): all intervals share a common point.
+//! * **Bounded-length** families (Section 3.2): all lengths in `[1, d]`.
+//! * **Laminar** families (\[15\], related work): any two intervals are
+//!   disjoint or nested.
+
+use crate::interval::{Interval, Time};
+use crate::sweep;
+
+/// True iff no interval of the family is *properly* contained in another
+/// (Section 3.1). Duplicates are allowed: an interval does not properly
+/// contain its equal.
+///
+/// Equivalent characterization used here: after sorting by start, ends can be
+/// arranged non-decreasing; i.e. there is no pair with `s_i ≤ s_j`,
+/// `c_j ≤ c_i`, `(s_i, c_i) ≠ (s_j, c_j)`.
+pub fn is_proper(intervals: &[Interval]) -> bool {
+    let mut sorted: Vec<Interval> = intervals.to_vec();
+    sorted.sort_unstable_by_key(|iv| (iv.start, iv.end));
+    // In a proper family sorted by (start, end), distinct neighbours must be
+    // strictly increasing in BOTH coordinates: equal starts nest one way,
+    // equal or decreasing ends nest the other. Duplicates may repeat.
+    sorted.windows(2).all(|w| {
+        let (a, b) = (w[0], w[1]);
+        a == b || (a.start < b.start && a.end < b.end)
+    })
+}
+
+/// True iff all intervals share a common point — the family is a clique of
+/// the interval graph. By the Helly property of intervals this is equivalent
+/// to `max s_j ≤ min c_j`. An empty family is vacuously a clique.
+pub fn is_clique(intervals: &[Interval]) -> bool {
+    common_point(intervals).is_some() || intervals.is_empty()
+}
+
+/// A point contained in every interval of the family, if one exists.
+/// Returns `max s_j` (the latest start), the canonical witness.
+pub fn common_point(intervals: &[Interval]) -> Option<Time> {
+    let latest_start = intervals.iter().map(|iv| iv.start).max()?;
+    let earliest_end = intervals.iter().map(|iv| iv.end).min()?;
+    (latest_start <= earliest_end).then_some(latest_start)
+}
+
+/// True iff any two intervals are either disjoint (may touch at an endpoint)
+/// or nested (one contains the other). Such families are *laminar*.
+pub fn is_laminar(intervals: &[Interval]) -> bool {
+    let mut sorted: Vec<Interval> = intervals.to_vec();
+    // sort by start asc, end desc so that a containing interval precedes the
+    // contained ones; a stack of open intervals detects partial overlap
+    sorted.sort_unstable_by_key(|a| (a.start, std::cmp::Reverse(a.end)));
+    let mut stack: Vec<Interval> = Vec::new();
+    for iv in sorted {
+        while let Some(top) = stack.last() {
+            if top.end < iv.start {
+                stack.pop();
+            } else {
+                break;
+            }
+        }
+        if let Some(top) = stack.last() {
+            // top.end >= iv.start and top.start <= iv.start: nested iff
+            // iv.end <= top.end; a *partial* overlap violates laminarity.
+            // Touching at exactly one point (top.end == iv.start) is allowed
+            // as "disjoint" only if they share measure zero AND iv is not
+            // partially overlapping: closed intervals touching at a point are
+            // conventionally treated as disjoint for laminar families.
+            if iv.end > top.end && iv.start < top.end {
+                return false;
+            }
+        }
+        stack.push(iv);
+    }
+    true
+}
+
+/// True iff all lengths lie in `[min_len, max_len]` (the paper's `[1, d]`
+/// precondition for Bounded_Length, Section 3.2).
+pub fn lengths_within(intervals: &[Interval], min_len: i64, max_len: i64) -> bool {
+    intervals
+        .iter()
+        .all(|iv| (min_len..=max_len).contains(&iv.len()))
+}
+
+/// True iff the interval graph of the family is connected (the paper's
+/// w.l.o.g. assumption in Section 1.4).
+pub fn is_connected(intervals: &[Interval]) -> bool {
+    sweep::connected_components(intervals).len() <= 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(s: i64, c: i64) -> Interval {
+        Interval::new(s, c)
+    }
+
+    #[test]
+    fn proper_accepts_staircase() {
+        assert!(is_proper(&[iv(0, 2), iv(1, 3), iv(2, 4)]));
+    }
+
+    #[test]
+    fn proper_accepts_duplicates() {
+        assert!(is_proper(&[iv(0, 2), iv(0, 2), iv(1, 3)]));
+    }
+
+    #[test]
+    fn proper_rejects_nesting() {
+        assert!(!is_proper(&[iv(0, 10), iv(2, 5)]));
+        // containment sharing an endpoint is still proper containment
+        assert!(!is_proper(&[iv(0, 10), iv(0, 5)]));
+        assert!(!is_proper(&[iv(0, 10), iv(4, 10)]));
+    }
+
+    #[test]
+    fn proper_empty_and_singleton() {
+        assert!(is_proper(&[]));
+        assert!(is_proper(&[iv(3, 7)]));
+    }
+
+    #[test]
+    fn clique_by_helly() {
+        assert!(is_clique(&[iv(0, 5), iv(3, 8), iv(4, 4)]));
+        assert_eq!(common_point(&[iv(0, 5), iv(3, 8), iv(4, 4)]), Some(4));
+        assert!(!is_clique(&[iv(0, 2), iv(3, 5)]));
+        // pairwise overlap of intervals implies a common point (Helly)
+        assert!(is_clique(&[iv(0, 4), iv(2, 6), iv(3, 5)]));
+    }
+
+    #[test]
+    fn clique_endpoint_touch() {
+        assert!(is_clique(&[iv(0, 1), iv(1, 2)]));
+        assert_eq!(common_point(&[iv(0, 1), iv(1, 2)]), Some(1));
+    }
+
+    #[test]
+    fn clique_empty() {
+        assert!(is_clique(&[]));
+        assert_eq!(common_point(&[]), None);
+    }
+
+    #[test]
+    fn laminar_families() {
+        assert!(is_laminar(&[iv(0, 10), iv(1, 4), iv(2, 3), iv(5, 9)]));
+        assert!(is_laminar(&[iv(0, 1), iv(2, 3)]));
+        assert!(!is_laminar(&[iv(0, 5), iv(3, 8)]));
+        assert!(is_laminar(&[]));
+    }
+
+    #[test]
+    fn bounded_lengths() {
+        assert!(lengths_within(&[iv(0, 1), iv(5, 8)], 1, 3));
+        assert!(!lengths_within(&[iv(0, 0)], 1, 3));
+        assert!(!lengths_within(&[iv(0, 4)], 1, 3));
+    }
+
+    #[test]
+    fn connectivity() {
+        assert!(is_connected(&[iv(0, 2), iv(2, 4)]));
+        assert!(!is_connected(&[iv(0, 1), iv(3, 4)]));
+        assert!(is_connected(&[]));
+        assert!(is_connected(&[iv(0, 1)]));
+    }
+}

@@ -1,0 +1,260 @@
+//! [`IntervalSet`]: a normalized union of closed intervals.
+
+use crate::interval::{Interval, Time};
+
+/// A set of points on the time axis stored as a sorted list of pairwise
+/// disjoint, non-touching closed intervals.
+///
+/// This realizes `∪I` from Definition 1.2 of the paper: inserting intervals
+/// merges everything that overlaps *or touches at an endpoint* (closed
+/// semantics), and [`IntervalSet::measure`] is the paper's `span`.
+///
+/// ```
+/// use busytime_interval::{Interval, IntervalSet};
+/// let busy = IntervalSet::from_intervals([
+///     Interval::new(0, 4),
+///     Interval::new(2, 6),   // merges with the first
+///     Interval::new(10, 12), // separate component: the gap is idle
+/// ]);
+/// assert_eq!(busy.component_count(), 2);
+/// assert_eq!(busy.measure(), 8); // the machine's busy time
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct IntervalSet {
+    /// Invariant: sorted by start; for consecutive `a`, `b`: `a.end < b.start`
+    /// (strict, so touching intervals are merged).
+    components: Vec<Interval>,
+}
+
+impl IntervalSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a set from arbitrary intervals, merging as needed.
+    pub fn from_intervals<I: IntoIterator<Item = Interval>>(intervals: I) -> Self {
+        let mut items: Vec<Interval> = intervals.into_iter().collect();
+        items.sort_unstable();
+        let mut components: Vec<Interval> = Vec::with_capacity(items.len());
+        for iv in items {
+            match components.last_mut() {
+                // touching (end == start) merges: closed intervals share a point
+                Some(last) if iv.start <= last.end => {
+                    last.end = last.end.max(iv.end);
+                }
+                _ => components.push(iv),
+            }
+        }
+        Self { components }
+    }
+
+    /// Inserts one interval, merging with existing components.
+    pub fn insert(&mut self, iv: Interval) {
+        // find the range of components that overlap or touch `iv`
+        let lo = self.components.partition_point(|c| c.end < iv.start);
+        let hi = self.components.partition_point(|c| c.start <= iv.end);
+        if lo == hi {
+            self.components.insert(lo, iv);
+        } else {
+            let merged = Interval::new(
+                iv.start.min(self.components[lo].start),
+                iv.end.max(self.components[hi - 1].end),
+            );
+            self.components.splice(lo..hi, std::iter::once(merged));
+        }
+    }
+
+    /// Number of maximal connected components.
+    pub fn component_count(&self) -> usize {
+        self.components.len()
+    }
+
+    /// The maximal disjoint intervals, sorted by start.
+    pub fn components(&self) -> &[Interval] {
+        &self.components
+    }
+
+    /// True iff the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// Lebesgue measure of the set: `Σ len` over components. This is the
+    /// paper's `span` (Definition 1.2) when the set is `∪I`.
+    pub fn measure(&self) -> i64 {
+        self.components.iter().map(|c| c.len()).sum()
+    }
+
+    /// True iff `t` belongs to the set.
+    pub fn contains_time(&self, t: Time) -> bool {
+        let idx = self.components.partition_point(|c| c.end < t);
+        self.components.get(idx).is_some_and(|c| c.contains_time(t))
+    }
+
+    /// True iff `iv ⊆` the set (entirely inside one component, since
+    /// components do not touch).
+    pub fn contains_interval(&self, iv: &Interval) -> bool {
+        let idx = self.components.partition_point(|c| c.end < iv.start);
+        self.components.get(idx).is_some_and(|c| c.contains(iv))
+    }
+
+    /// True iff the set intersects `iv`.
+    pub fn intersects(&self, iv: &Interval) -> bool {
+        let idx = self.components.partition_point(|c| c.end < iv.start);
+        self.components.get(idx).is_some_and(|c| c.overlaps(iv))
+    }
+
+    /// Union with another set.
+    pub fn union(&self, other: &IntervalSet) -> IntervalSet {
+        IntervalSet::from_intervals(
+            self.components
+                .iter()
+                .chain(other.components.iter())
+                .copied(),
+        )
+    }
+
+    /// Intersection with another set.
+    pub fn intersection(&self, other: &IntervalSet) -> IntervalSet {
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.components.len() && j < other.components.len() {
+            let a = self.components[i];
+            let b = other.components[j];
+            if let Some(iv) = a.intersection(&b) {
+                out.push(iv);
+            }
+            if a.end <= b.end {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        // components may touch at endpoints after intersection; renormalize
+        IntervalSet::from_intervals(out)
+    }
+
+    /// Smallest interval containing the whole set, if non-empty.
+    pub fn hull(&self) -> Option<Interval> {
+        match (self.components.first(), self.components.last()) {
+            (Some(first), Some(last)) => Some(Interval::new(first.start, last.end)),
+            _ => None,
+        }
+    }
+
+    /// Sum of gap lengths between consecutive components: `hull.len() −
+    /// measure()` for a non-empty set.
+    pub fn idle_within_hull(&self) -> i64 {
+        self.hull().map_or(0, |h| h.len() - self.measure())
+    }
+}
+
+impl FromIterator<Interval> for IntervalSet {
+    fn from_iter<T: IntoIterator<Item = Interval>>(iter: T) -> Self {
+        Self::from_intervals(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(s: Time, c: Time) -> Interval {
+        Interval::new(s, c)
+    }
+
+    #[test]
+    fn empty_set() {
+        let set = IntervalSet::new();
+        assert!(set.is_empty());
+        assert_eq!(set.measure(), 0);
+        assert_eq!(set.hull(), None);
+        assert!(!set.contains_time(0));
+    }
+
+    #[test]
+    fn merges_overlapping() {
+        let set = IntervalSet::from_intervals([iv(0, 3), iv(2, 5), iv(10, 12)]);
+        assert_eq!(set.components(), &[iv(0, 5), iv(10, 12)]);
+        assert_eq!(set.measure(), 7);
+        assert_eq!(set.component_count(), 2);
+    }
+
+    #[test]
+    fn merges_touching_closed_intervals() {
+        // [0,1] and [1,2] share the point 1, hence one component of measure 2
+        let set = IntervalSet::from_intervals([iv(0, 1), iv(1, 2)]);
+        assert_eq!(set.components(), &[iv(0, 2)]);
+        assert_eq!(set.measure(), 2);
+    }
+
+    #[test]
+    fn keeps_gap_separated() {
+        let set = IntervalSet::from_intervals([iv(0, 1), iv(2, 3)]);
+        assert_eq!(set.component_count(), 2);
+        assert_eq!(set.measure(), 2);
+        assert_eq!(set.idle_within_hull(), 1);
+    }
+
+    #[test]
+    fn insert_bridges_components() {
+        let mut set = IntervalSet::from_intervals([iv(0, 1), iv(4, 5), iv(8, 9)]);
+        set.insert(iv(1, 4));
+        assert_eq!(set.components(), &[iv(0, 5), iv(8, 9)]);
+        set.insert(iv(6, 7));
+        assert_eq!(set.component_count(), 3);
+        set.insert(iv(-5, 20));
+        assert_eq!(set.components(), &[iv(-5, 20)]);
+    }
+
+    #[test]
+    fn insert_point_interval() {
+        let mut set = IntervalSet::new();
+        set.insert(iv(3, 3));
+        assert_eq!(set.measure(), 0);
+        assert!(set.contains_time(3));
+        assert!(!set.contains_time(2));
+        set.insert(iv(3, 4));
+        assert_eq!(set.components(), &[iv(3, 4)]);
+    }
+
+    #[test]
+    fn membership_queries() {
+        let set = IntervalSet::from_intervals([iv(0, 2), iv(5, 8)]);
+        assert!(set.contains_time(0));
+        assert!(set.contains_time(2));
+        assert!(!set.contains_time(3));
+        assert!(set.contains_interval(&iv(5, 7)));
+        assert!(!set.contains_interval(&iv(2, 5)));
+        assert!(set.intersects(&iv(2, 5)));
+        assert!(!set.intersects(&iv(3, 4)));
+    }
+
+    #[test]
+    fn union_and_intersection() {
+        let a = IntervalSet::from_intervals([iv(0, 4), iv(10, 14)]);
+        let b = IntervalSet::from_intervals([iv(2, 11)]);
+        assert_eq!(a.union(&b).components(), &[iv(0, 14)]);
+        let meet = a.intersection(&b);
+        assert_eq!(meet.components(), &[iv(2, 4), iv(10, 11)]);
+        assert_eq!(meet.measure(), 3);
+    }
+
+    #[test]
+    fn intersection_with_empty() {
+        let a = IntervalSet::from_intervals([iv(0, 4)]);
+        let empty = IntervalSet::new();
+        assert!(a.intersection(&empty).is_empty());
+        assert_eq!(a.union(&empty), a);
+    }
+
+    #[test]
+    fn span_le_len_with_equality_iff_disjoint() {
+        let overlapping = [iv(0, 3), iv(2, 6)];
+        assert!(crate::span(&overlapping) < crate::total_len(&overlapping));
+        let disjoint = [iv(0, 3), iv(4, 6)];
+        assert_eq!(crate::span(&disjoint), crate::total_len(&disjoint));
+    }
+}

@@ -1,0 +1,191 @@
+//! Static sweep-line routines over families of closed intervals.
+//!
+//! These are one-shot computations; for an incrementally maintained count
+//! profile see [`crate::profile::OverlapProfile`].
+
+use crate::interval::Interval;
+
+/// Maximum number of intervals simultaneously active at any time point.
+///
+/// For the interval graph induced by the family this is the clique number ω
+/// (by the Helly property of intervals). Endpoint sharing counts: `[0,1]` and
+/// `[1,2]` are simultaneously active at `t = 1`.
+pub fn max_overlap(intervals: &[Interval]) -> usize {
+    let mut events: Vec<(i64, i32)> = Vec::with_capacity(2 * intervals.len());
+    for iv in intervals {
+        events.push((iv.dkey_lo(), 1));
+        events.push((iv.dkey_hi(), -1));
+    }
+    events.sort_unstable();
+    let mut active = 0i64;
+    let mut best = 0i64;
+    for (_, delta) in events {
+        active += i64::from(delta);
+        best = best.max(active);
+    }
+    best as usize
+}
+
+/// A step of an overlap profile: `count` intervals are active on the doubled
+/// half-open range `[dkey, next step's dkey)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProfileStep {
+    /// Doubled coordinate where this step begins (see [`Interval::dkey_lo`]).
+    pub dkey: i64,
+    /// Number of active intervals from `dkey` until the next step.
+    pub count: usize,
+}
+
+/// Full overlap profile as a step function over doubled coordinates.
+///
+/// The returned steps are strictly increasing in `dkey`; the final step
+/// always has `count == 0`. An empty input yields no steps.
+pub fn overlap_profile(intervals: &[Interval]) -> Vec<ProfileStep> {
+    if intervals.is_empty() {
+        return Vec::new();
+    }
+    let mut events: Vec<(i64, i32)> = Vec::with_capacity(2 * intervals.len());
+    for iv in intervals {
+        events.push((iv.dkey_lo(), 1));
+        events.push((iv.dkey_hi(), -1));
+    }
+    events.sort_unstable();
+    let mut steps = Vec::new();
+    let mut active: i64 = 0;
+    let mut i = 0;
+    while i < events.len() {
+        let key = events[i].0;
+        while i < events.len() && events[i].0 == key {
+            active += i64::from(events[i].1);
+            i += 1;
+        }
+        match steps.last() {
+            Some(&ProfileStep { count, .. }) if count == active as usize => {}
+            _ => steps.push(ProfileStep {
+                dkey: key,
+                count: active as usize,
+            }),
+        }
+    }
+    steps
+}
+
+/// Times (in doubled coordinates) of maximal overlap: the `dkey` ranges where
+/// the profile attains [`max_overlap`]. Returns `(max, witness_dkey)` where
+/// `witness_dkey` is the first doubled coordinate attaining the maximum, or
+/// `None` for an empty family.
+pub fn max_overlap_witness(intervals: &[Interval]) -> Option<(usize, i64)> {
+    let steps = overlap_profile(intervals);
+    steps
+        .iter()
+        .max_by_key(|s| s.count)
+        .map(|s| (s.count, s.dkey))
+}
+
+/// Decomposes a family into connected components of its interval graph.
+///
+/// Returns, for each component, the indices of its members (each index list
+/// sorted ascending; components ordered by leftmost start). Two intervals are
+/// connected if they overlap (closed semantics) or are linked through a chain
+/// of overlaps. The paper assumes w.l.o.g. connected instances; schedulers
+/// use this to decompose first.
+pub fn connected_components(intervals: &[Interval]) -> Vec<Vec<usize>> {
+    let mut order: Vec<usize> = (0..intervals.len()).collect();
+    order.sort_unstable_by_key(|&i| (intervals[i].start, intervals[i].end));
+    let mut components: Vec<Vec<usize>> = Vec::new();
+    let mut reach: i64 = i64::MIN;
+    for &i in &order {
+        let iv = &intervals[i];
+        if components.is_empty() || iv.start > reach {
+            components.push(vec![i]);
+            reach = iv.end;
+        } else {
+            components.last_mut().expect("non-empty").push(i);
+            reach = reach.max(iv.end);
+        }
+    }
+    for comp in &mut components {
+        comp.sort_unstable();
+    }
+    components
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(s: i64, c: i64) -> Interval {
+        Interval::new(s, c)
+    }
+
+    #[test]
+    fn max_overlap_empty_and_single() {
+        assert_eq!(max_overlap(&[]), 0);
+        assert_eq!(max_overlap(&[iv(0, 5)]), 1);
+    }
+
+    #[test]
+    fn max_overlap_counts_endpoint_touch() {
+        assert_eq!(max_overlap(&[iv(0, 1), iv(1, 2)]), 2);
+        assert_eq!(max_overlap(&[iv(0, 1), iv(2, 3)]), 1);
+    }
+
+    #[test]
+    fn max_overlap_nested_stack() {
+        let family = [iv(0, 10), iv(1, 9), iv(2, 8), iv(3, 7)];
+        assert_eq!(max_overlap(&family), 4);
+    }
+
+    #[test]
+    fn max_overlap_staggered() {
+        // [0,2] [1,3] [2,4]: all three share the point 2
+        assert_eq!(max_overlap(&[iv(0, 2), iv(1, 3), iv(2, 4)]), 3);
+        // [0,2] [1,3] [3,5]: at most 2 at once except point 3 has [1,3],[3,5]
+        assert_eq!(max_overlap(&[iv(0, 2), iv(1, 3), iv(3, 5)]), 2);
+    }
+
+    #[test]
+    fn profile_steps_and_final_zero() {
+        let steps = overlap_profile(&[iv(0, 2), iv(1, 3)]);
+        // counts: 1 on [0,1), 2 on [1,2], 1 on (2,3], 0 after
+        let counts: Vec<usize> = steps.iter().map(|s| s.count).collect();
+        assert_eq!(counts, vec![1, 2, 1, 0]);
+        assert_eq!(steps.last().expect("non-empty").count, 0);
+        // strictly increasing keys
+        assert!(steps.windows(2).all(|w| w[0].dkey < w[1].dkey));
+    }
+
+    #[test]
+    fn profile_empty() {
+        assert!(overlap_profile(&[]).is_empty());
+        assert_eq!(max_overlap_witness(&[]), None);
+    }
+
+    #[test]
+    fn witness_points_at_peak() {
+        let family = [iv(0, 4), iv(2, 6), iv(3, 5)];
+        let (peak, key) = max_overlap_witness(&family).expect("non-empty");
+        assert_eq!(peak, 3);
+        // peak begins where the third interval starts: dkey = 2*3
+        assert_eq!(key, 6);
+    }
+
+    #[test]
+    fn components_split_on_gaps_only() {
+        let family = [iv(0, 2), iv(1, 4), iv(6, 8), iv(8, 9), iv(20, 21)];
+        let comps = connected_components(&family);
+        assert_eq!(comps, vec![vec![0, 1], vec![2, 3], vec![4]]);
+    }
+
+    #[test]
+    fn components_chain_is_single() {
+        // chain: each touches the next at an endpoint
+        let family = [iv(0, 1), iv(1, 2), iv(2, 3)];
+        assert_eq!(connected_components(&family).len(), 1);
+    }
+
+    #[test]
+    fn components_empty() {
+        assert!(connected_components(&[]).is_empty());
+    }
+}

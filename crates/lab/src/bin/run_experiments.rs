@@ -1,0 +1,74 @@
+//! Regenerates every experiment table (E1–E13).
+//!
+//! Usage:
+//!
+//! ```text
+//! run_experiments [--quick] [e1 e2 …]       # default: all, full scale
+//! run_experiments --csv-dir results/ e9     # also dump CSVs
+//! ```
+
+use std::io::Write;
+
+use busytime_lab::{experiments, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Full;
+    let mut csv_dir: Option<std::path::PathBuf> = None;
+    let mut ids: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => scale = Scale::Quick,
+            "--csv-dir" => {
+                csv_dir = Some(
+                    it.next()
+                        .expect("--csv-dir needs a directory argument")
+                        .into(),
+                )
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: run_experiments [--quick] [--csv-dir DIR] [e1 … e13]");
+                return;
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        ids = experiments::all_ids().iter().map(|s| s.to_string()).collect();
+    }
+
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let _ = writeln!(
+        out,
+        "# busytime experiments ({})\n",
+        match scale {
+            Scale::Quick => "quick scale",
+            Scale::Full => "full scale",
+        }
+    );
+    for id in &ids {
+        let start = std::time::Instant::now();
+        match experiments::run_one(id, scale) {
+            Some(table) => {
+                let _ = writeln!(out, "{}", table.to_markdown());
+                let _ = writeln!(
+                    out,
+                    "_{} finished in {:.1}s_\n",
+                    id,
+                    start.elapsed().as_secs_f64()
+                );
+                if let Some(dir) = &csv_dir {
+                    std::fs::create_dir_all(dir).expect("create csv dir");
+                    let path = dir.join(format!("{id}.csv"));
+                    std::fs::write(&path, table.to_csv()).expect("write csv");
+                }
+            }
+            None => {
+                eprintln!("unknown experiment id: {id}");
+                std::process::exit(2);
+            }
+        }
+    }
+}

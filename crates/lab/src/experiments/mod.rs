@@ -1,0 +1,76 @@
+//! Experiments E1–E13: one per paper artifact (see DESIGN.md §4).
+//!
+//! | id | paper artifact | function |
+//! |---|---|---|
+//! | E1 | Theorem 2.1 (+ Figs. 1–3) | [`first_fit::e1_first_fit_vs_opt`] |
+//! | E2 | Theorem 2.4 / **Figure 4** | [`first_fit::e2_fig4_sweep`] |
+//! | E3 | Theorem 2.5 | [`first_fit::e3_ratio_band`] |
+//! | E4 | Theorem 3.1 | [`special_cases::e4_greedy_proper`] |
+//! | E5 | §3.1 ranked-shift remark | [`special_cases::e5_ranked_shift`] |
+//! | E6 | Theorem 3.2 + Lemma 3.3 | [`special_cases::e6_bounded_length`] |
+//! | E7 | Theorem A.1 / **Figure 5** | [`special_cases::e7_clique`] |
+//! | E8 | Observation 1.1 | [`structure::e8_lower_bounds`] |
+//! | E9 | §4.2 results (i)–(iv) | [`optical::e9_grooming`] |
+//! | E10 | (systems) scalability | [`systems::e10_scalability`] |
+//! | E11 | ablation: sort order | [`first_fit::e11_sort_ablation`] |
+//! | E12 | \[15\] demand extension | [`systems::e12_demand`] |
+//! | E13 | §1.1 machine-count objective | [`structure::e13_machine_count`] |
+//! | E14 | extension: ring topologies | [`optical::e14_ring`] |
+
+pub mod first_fit;
+pub mod optical;
+pub mod special_cases;
+pub mod structure;
+pub mod systems;
+
+use crate::{Scale, Table};
+
+/// Runs every experiment at the given scale, in id order.
+pub fn run_all(scale: Scale) -> Vec<Table> {
+    vec![
+        first_fit::e1_first_fit_vs_opt(scale),
+        first_fit::e2_fig4_sweep(scale),
+        first_fit::e3_ratio_band(scale),
+        special_cases::e4_greedy_proper(scale),
+        special_cases::e5_ranked_shift(scale),
+        special_cases::e6_bounded_length(scale),
+        special_cases::e7_clique(scale),
+        structure::e8_lower_bounds(scale),
+        optical::e9_grooming(scale),
+        systems::e10_scalability(scale),
+        first_fit::e11_sort_ablation(scale),
+        systems::e12_demand(scale),
+        structure::e13_machine_count(scale),
+        optical::e14_ring(scale),
+    ]
+}
+
+/// Runs a single experiment by id (`"e1"` … `"e13"`); `None` for unknown.
+pub fn run_one(id: &str, scale: Scale) -> Option<Table> {
+    let table = match id {
+        "e1" => first_fit::e1_first_fit_vs_opt(scale),
+        "e2" => first_fit::e2_fig4_sweep(scale),
+        "e3" => first_fit::e3_ratio_band(scale),
+        "e4" => special_cases::e4_greedy_proper(scale),
+        "e5" => special_cases::e5_ranked_shift(scale),
+        "e6" => special_cases::e6_bounded_length(scale),
+        "e7" => special_cases::e7_clique(scale),
+        "e8" => structure::e8_lower_bounds(scale),
+        "e9" => optical::e9_grooming(scale),
+        "e10" => systems::e10_scalability(scale),
+        "e11" => first_fit::e11_sort_ablation(scale),
+        "e12" => systems::e12_demand(scale),
+        "e13" => structure::e13_machine_count(scale),
+        "e14" => optical::e14_ring(scale),
+        _ => return None,
+    };
+    Some(table)
+}
+
+/// All experiment ids in order.
+pub fn all_ids() -> &'static [&'static str] {
+    &[
+        "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
+        "e14",
+    ]
+}

@@ -1,0 +1,149 @@
+//! E10/E12: systems-side experiments — runtime scaling and the capacitated
+//! demand extension.
+
+use std::time::Instant;
+
+use busytime_core::algo::demand::{DemandInstance, DemandJob, FirstFitDemand};
+use busytime_core::algo::{CliqueScheduler, FirstFit, NextFitProper, Scheduler};
+use busytime_instances::clique::random_clique;
+use busytime_instances::proper::random_proper;
+use busytime_instances::random::{uniform, LengthDist};
+use busytime_interval::Interval;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::table::fmt_ratio;
+use crate::{RatioStats, Scale, Table};
+
+/// E10 — runtime scaling. Greedy and the clique algorithm are
+/// `O(n log n)`-ish; FirstFit pays for machine probing. Criterion benches
+/// (`busytime-bench`) time these precisely; this experiment records the
+/// coarse shape so EXPERIMENTS.md is self-contained.
+pub fn e10_scalability(scale: Scale) -> Table {
+    let sizes: Vec<usize> = scale.pick(vec![1_000, 5_000], vec![1_000, 10_000, 100_000]);
+    let mut table = Table::new(
+        "E10: runtime scaling (single-threaded, wall clock)",
+        &["n", "FirstFit ms", "Greedy ms", "Clique ms", "FF machines"],
+    );
+    for &n in &sizes {
+        let inst = uniform(n, n as i64 / 2, LengthDist::Uniform(4, 100), 4, 1);
+        let t0 = Instant::now();
+        let ff = FirstFit::paper().schedule(&inst).unwrap();
+        let ff_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        let proper = random_proper(n, 3, 40, 10, 4, 1);
+        let t1 = Instant::now();
+        let _ = NextFitProper::new().schedule(&proper).unwrap();
+        let greedy_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+        let clique = random_clique(n, 1_000_000, 500_000, 4, 1);
+        let t2 = Instant::now();
+        let _ = CliqueScheduler::new().schedule(&clique).unwrap();
+        let clique_ms = t2.elapsed().as_secs_f64() * 1e3;
+
+        table.push_row(vec![
+            n.to_string(),
+            format!("{ff_ms:.1}"),
+            format!("{greedy_ms:.1}"),
+            format!("{clique_ms:.1}"),
+            ff.machine_count().to_string(),
+        ]);
+    }
+    table
+}
+
+/// E12 — the \[15\] extension: jobs with machine-capacity demands.
+/// Generalized FirstFit stays feasible and within the 5× cap of \[15\]
+/// (measured against the generalized lower bound); with unit demands it
+/// degenerates to the paper's FirstFit exactly.
+pub fn e12_demand(scale: Scale) -> Table {
+    let seeds: u64 = scale.pick(6, 30);
+    let n = scale.pick(150usize, 800);
+    let mut table = Table::new(
+        "E12 ([15] extension): FirstFit with capacity demands",
+        &["g", "demand dist", "ratio mean", "ratio max", "cap", "unit = plain FF"],
+    );
+    for &g in &[4u32, 8] {
+        for &(label, max_demand) in &[("unit", 1u32), ("mixed 1..g/2", 0), ("heavy 1..g", u32::MAX)]
+        {
+            let mut stats = RatioStats::new();
+            let mut unit_matches = true;
+            for seed in 0..seeds {
+                let mut rng = StdRng::seed_from_u64(seed ^ 0xD1F7);
+                let jobs: Vec<DemandJob> = (0..n)
+                    .map(|_| {
+                        let s = rng.random_range(0..n as i64 / 2);
+                        let l = rng.random_range(4..100);
+                        let d = match max_demand {
+                            1 => 1,
+                            0 => rng.random_range(1..=(g / 2).max(1)),
+                            _ => rng.random_range(1..=g),
+                        };
+                        DemandJob {
+                            interval: Interval::with_len(s, l),
+                            demand: d,
+                        }
+                    })
+                    .collect();
+                let dinst = DemandInstance::new(jobs.clone(), g);
+                let sched = FirstFitDemand.schedule(&dinst);
+                let cost = dinst.validate(&sched).expect("demand schedule feasible");
+                stats.push_fraction(cost, dinst.lower_bound());
+                assert!(
+                    cost <= 5 * dinst.lower_bound(),
+                    "[15]'s 5× cap exceeded: {cost} vs {}",
+                    dinst.lower_bound()
+                );
+                if max_demand == 1 {
+                    // cross-check against plain FirstFit
+                    let plain = busytime_core::Instance::new(
+                        jobs.iter().map(|j| j.interval).collect(),
+                        g,
+                    );
+                    let pf = FirstFit::paper().schedule(&plain).unwrap();
+                    unit_matches &= pf.assignment() == sched.assignment();
+                }
+            }
+            table.push_row(vec![
+                g.to_string(),
+                label.into(),
+                fmt_ratio(stats.mean()),
+                fmt_ratio(stats.max),
+                "5.000".into(),
+                if max_demand == 1 {
+                    unit_matches.to_string()
+                } else {
+                    "n/a".into()
+                },
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e10_quick_has_rows() {
+        let t = e10_scalability(Scale::Quick);
+        assert_eq!(t.len(), 2);
+        for row in &t.rows {
+            let ff_ms: f64 = row[1].parse().unwrap();
+            assert!(ff_ms >= 0.0);
+        }
+    }
+
+    #[test]
+    fn e12_quick_caps_hold() {
+        let t = e12_demand(Scale::Quick);
+        for row in &t.rows {
+            let max: f64 = row[3].parse().unwrap();
+            assert!(max <= 5.0);
+            if row[1] == "unit" {
+                assert_eq!(row[5], "true");
+            }
+        }
+    }
+}

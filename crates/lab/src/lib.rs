@@ -1,0 +1,50 @@
+#![warn(missing_docs)]
+
+//! Experiment harness: reproduces every figure and theorem-level claim of
+//! the paper as a regenerable table.
+//!
+//! The paper is theoretical — its "evaluation" is Theorems 2.1/2.4/2.5
+//! (FirstFit between 3 and 4), 3.1 (Greedy 2-approx on proper families),
+//! 3.2 (Bounded_Length 2+ε), A.1 (clique 2-approx), Observations 1.1/2.2,
+//! Lemmas 2.3/3.3 and Figures 1–5. Each maps to an experiment `E1…E13`,
+//! plus `E14` for the ring-topology extension (see DESIGN.md §4 for the
+//! full index); running
+//! `cargo run -p busytime-lab --release --bin run_experiments` regenerates
+//! every table recorded in EXPERIMENTS.md.
+//!
+//! Infrastructure:
+//!
+//! * [`table`] — markdown/CSV tables experiments emit.
+//! * [`runner`] — a crossbeam-based parallel map for parameter sweeps
+//!   (work-stealing over a shared atomic cursor; results land in order).
+//! * [`ratio`] — streaming min/mean/max ratio statistics.
+//! * [`experiments`] — one module per experiment.
+
+pub mod experiments;
+pub mod ratio;
+pub mod runner;
+pub mod table;
+
+pub use ratio::RatioStats;
+pub use runner::par_map;
+pub use table::Table;
+
+/// Global knob for experiment sizes: `quick` keeps everything small enough
+/// for CI/tests; `full` is what EXPERIMENTS.md records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Small parameterization for tests (seconds).
+    Quick,
+    /// Full parameterization for the recorded tables (minutes).
+    Full,
+}
+
+impl Scale {
+    /// Picks between the quick and full variants of a parameter.
+    pub fn pick<T>(&self, quick: T, full: T) -> T {
+        match self {
+            Scale::Quick => quick,
+            Scale::Full => full,
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Streaming ratio statistics.
+
+/// Min/mean/max statistics over a stream of ratios.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RatioStats {
+    /// Smallest observed ratio.
+    pub min: f64,
+    /// Largest observed ratio.
+    pub max: f64,
+    /// Running sum (for the mean).
+    sum: f64,
+    /// Number of samples.
+    pub count: usize,
+}
+
+impl Default for RatioStats {
+    fn default() -> Self {
+        RatioStats {
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+            count: 0,
+        }
+    }
+}
+
+impl RatioStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a sample.
+    pub fn push(&mut self, ratio: f64) {
+        self.min = self.min.min(ratio);
+        self.max = self.max.max(ratio);
+        self.sum += ratio;
+        self.count += 1;
+    }
+
+    /// Adds the ratio `num / den` (skipping zero denominators).
+    pub fn push_fraction(&mut self, num: i64, den: i64) {
+        if den != 0 {
+            self.push(num as f64 / den as f64);
+        }
+    }
+
+    /// The arithmetic mean (NaN when empty).
+    pub fn mean(&self) -> f64 {
+        self.sum / self.count as f64
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &RatioStats) {
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.sum += other.sum;
+        self.count += other.count;
+    }
+
+}
+
+impl FromIterator<f64> for RatioStats {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = Self::new();
+        for x in iter {
+            s.push(x);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates() {
+        let s = RatioStats::from_iter([1.0, 2.0, 3.0]);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert_eq!(s.mean(), 2.0);
+        assert_eq!(s.count, 3);
+    }
+
+    #[test]
+    fn fraction_skips_zero_denominator() {
+        let mut s = RatioStats::new();
+        s.push_fraction(5, 0);
+        assert_eq!(s.count, 0);
+        s.push_fraction(6, 2);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.max, 3.0);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = RatioStats::from_iter([1.0, 4.0]);
+        let b = RatioStats::from_iter([2.0]);
+        a.merge(&b);
+        assert_eq!(a.count, 3);
+        assert_eq!(a.max, 4.0);
+        assert!((a.mean() - 7.0 / 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,96 @@
+//! Parallel sweep execution on crossbeam scoped threads.
+//!
+//! Experiments evaluate many independent `(instance, algorithm)` cells;
+//! [`par_map`] fans them out over all cores with a shared atomic cursor
+//! (each worker claims the next unprocessed index — simple work stealing
+//! that balances the heavily skewed cell costs of exact solving), and
+//! writes results into pre-allocated slots so the output order matches the
+//! input order regardless of scheduling.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+/// Applies `f` to every item on all available cores; results are returned
+/// in input order. Deterministic as long as `f` is.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n.max(1));
+    if workers <= 1 || n <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(&items[i]);
+                *slots[i].lock() = Some(r);
+            });
+        }
+    })
+    .expect("worker panicked");
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("all slots filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u64> = (0..500).collect();
+        let out = par_map(&items, |&x| x * x);
+        assert_eq!(out, items.iter().map(|&x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let empty: Vec<u32> = vec![];
+        assert!(par_map(&empty, |&x| x).is_empty());
+        assert_eq!(par_map(&[7], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn uneven_work_is_balanced() {
+        // items with wildly different costs still all complete
+        let items: Vec<usize> = (0..64).collect();
+        let out = par_map(&items, |&i| {
+            let mut acc = 0u64;
+            for k in 0..(i * 1000) as u64 {
+                acc = acc.wrapping_add(k.wrapping_mul(2654435761));
+            }
+            (i, acc)
+        });
+        for (i, (j, _)) in out.iter().enumerate() {
+            assert_eq!(i, *j);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "worker panicked")]
+    fn propagates_panics() {
+        let items = vec![1u32, 2, 3, 4];
+        let _ = par_map(&items, |&x| {
+            if x == 3 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+}

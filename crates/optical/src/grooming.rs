@@ -1,0 +1,178 @@
+//! Wavelength assignments under a grooming factor.
+
+use crate::network::Lightpath;
+
+/// A wavelength assignment (coloring) for a lightpath set: `wavelength[i]`
+/// is the color of lightpath `i`. Valid under grooming factor `g` iff at
+/// most `g` same-wavelength lightpaths share any edge.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Grooming {
+    wavelengths: Vec<usize>,
+    wavelength_count: usize,
+}
+
+/// A violation of the grooming constraint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GroomingViolation {
+    /// The overloaded edge (joining nodes `edge` and `edge + 1`).
+    pub edge: usize,
+    /// The offending wavelength.
+    pub wavelength: usize,
+    /// Number of lightpaths of that wavelength on the edge.
+    pub load: usize,
+    /// The grooming factor.
+    pub g: u32,
+}
+
+impl std::fmt::Display for GroomingViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "edge {} carries {} lightpaths of wavelength {} (grooming factor {})",
+            self.edge, self.load, self.wavelength, self.g
+        )
+    }
+}
+
+impl std::error::Error for GroomingViolation {}
+
+impl Grooming {
+    /// Builds a grooming from raw wavelength ids, compacting them to
+    /// `0..wavelength_count` while preserving numeric order.
+    pub fn from_wavelengths(raw: Vec<usize>) -> Self {
+        let mut ids: Vec<usize> = raw.clone();
+        ids.sort_unstable();
+        ids.dedup();
+        let wavelengths = raw
+            .into_iter()
+            .map(|w| ids.binary_search(&w).expect("id present"))
+            .collect();
+        Grooming {
+            wavelengths,
+            wavelength_count: ids.len(),
+        }
+    }
+
+    /// The wavelength of each lightpath.
+    pub fn wavelengths(&self) -> &[usize] {
+        &self.wavelengths
+    }
+
+    /// The wavelength of lightpath `i`.
+    pub fn wavelength_of(&self, i: usize) -> usize {
+        self.wavelengths[i]
+    }
+
+    /// Number of distinct wavelengths used.
+    pub fn wavelength_count(&self) -> usize {
+        self.wavelength_count
+    }
+
+    /// Checks the grooming constraint: at most `g` lightpaths per wavelength
+    /// per edge. `O(Σ hops)`.
+    pub fn validate(&self, paths: &[Lightpath], g: u32) -> Result<(), GroomingViolation> {
+        assert_eq!(
+            self.wavelengths.len(),
+            paths.len(),
+            "assignment must cover every lightpath"
+        );
+        let max_node = paths.iter().map(|p| p.b).max().unwrap_or(0);
+        // per-wavelength edge loads via difference arrays
+        let mut diff = vec![std::collections::HashMap::<usize, i64>::new(); self.wavelength_count];
+        for (lp, &w) in paths.iter().zip(&self.wavelengths) {
+            *diff[w].entry(lp.a).or_insert(0) += 1;
+            *diff[w].entry(lp.b).or_insert(0) -= 1;
+        }
+        for (w, d) in diff.iter().enumerate() {
+            let mut events: Vec<(usize, i64)> = d.iter().map(|(&k, &v)| (k, v)).collect();
+            events.sort_unstable();
+            let mut load = 0i64;
+            for (edge, delta) in events {
+                load += delta;
+                if load > i64::from(g) && edge < max_node {
+                    return Err(GroomingViolation {
+                        edge,
+                        wavelength: w,
+                        load: load as usize,
+                        g,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Per-wavelength lightpath groups.
+    pub fn groups(&self) -> Vec<Vec<usize>> {
+        let mut groups = vec![Vec::new(); self.wavelength_count];
+        for (i, &w) in self.wavelengths.iter().enumerate() {
+            groups[w].push(i);
+        }
+        groups
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lp(a: usize, b: usize) -> Lightpath {
+        Lightpath::new(a, b)
+    }
+
+    #[test]
+    fn valid_grooming_passes() {
+        let paths = [lp(0, 3), lp(2, 5), lp(0, 2)];
+        let grooming = Grooming::from_wavelengths(vec![0, 0, 0]);
+        // edge 2 carries paths 0 and 1 → load 2
+        assert!(grooming.validate(&paths, 2).is_ok());
+        assert!(grooming.validate(&paths, 1).is_err());
+    }
+
+    #[test]
+    fn violation_reports_edge_and_load() {
+        let paths = [lp(0, 4), lp(1, 5), lp(2, 6)];
+        let grooming = Grooming::from_wavelengths(vec![0, 0, 0]);
+        let err = grooming.validate(&paths, 2).unwrap_err();
+        assert_eq!(err.load, 3);
+        assert_eq!(err.edge, 2); // first edge where all three meet
+        assert!(err.to_string().contains("wavelength 0"));
+    }
+
+    #[test]
+    fn separate_wavelengths_relax_load() {
+        let paths = [lp(0, 4), lp(1, 5), lp(2, 6)];
+        let grooming = Grooming::from_wavelengths(vec![0, 1, 0]);
+        assert!(grooming.validate(&paths, 2).is_ok());
+        assert_eq!(grooming.wavelength_count(), 2);
+    }
+
+    #[test]
+    fn compaction_preserves_order() {
+        let grooming = Grooming::from_wavelengths(vec![5, 9, 5, 2]);
+        assert_eq!(grooming.wavelengths(), &[1, 2, 1, 0]);
+        assert_eq!(grooming.wavelength_count(), 3);
+    }
+
+    #[test]
+    fn groups_partition() {
+        let grooming = Grooming::from_wavelengths(vec![0, 1, 0, 1, 2]);
+        assert_eq!(grooming.groups(), vec![vec![0, 2], vec![1, 3], vec![4]]);
+    }
+
+    #[test]
+    fn touching_paths_share_wavelength_at_g1() {
+        // (0,3) and (3,6) share node 3 but no edge → same wavelength is fine
+        let paths = [lp(0, 3), lp(3, 6)];
+        let grooming = Grooming::from_wavelengths(vec![0, 0]);
+        assert!(grooming.validate(&paths, 1).is_ok());
+    }
+
+    #[test]
+    fn empty_paths() {
+        let grooming = Grooming::from_wavelengths(vec![]);
+        assert!(grooming.validate(&[], 3).is_ok());
+        assert_eq!(grooming.wavelength_count(), 0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Path-topology networks and lightpaths.
+
+/// An optical network with a path topology: nodes `0..node_count` connected
+/// in a line; edge `e` joins nodes `e` and `e + 1`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PathNetwork {
+    /// Number of nodes (≥ 2 for any lightpath to exist).
+    pub node_count: usize,
+}
+
+impl PathNetwork {
+    /// Creates a path network with `node_count` nodes.
+    pub fn new(node_count: usize) -> Self {
+        PathNetwork { node_count }
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.node_count.saturating_sub(1)
+    }
+
+    /// True iff `lp` fits in this network.
+    pub fn contains(&self, lp: &Lightpath) -> bool {
+        lp.b < self.node_count
+    }
+}
+
+/// A lightpath from node `a` to node `b` (`a < b`), using edges
+/// `a, a+1, …, b−1`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Lightpath {
+    /// Left endpoint node.
+    pub a: usize,
+    /// Right endpoint node (exclusive of `a`; `a < b`).
+    pub b: usize,
+}
+
+impl Lightpath {
+    /// Creates a lightpath.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a >= b`.
+    pub fn new(a: usize, b: usize) -> Self {
+        assert!(a < b, "lightpath endpoints must satisfy a < b (got {a}, {b})");
+        Lightpath { a, b }
+    }
+
+    /// Edges used: `a..b` (edge `e` = (e, e+1)).
+    pub fn edges(&self) -> std::ops::Range<usize> {
+        self.a..self.b
+    }
+
+    /// Number of edges (the hop length).
+    pub fn hop_count(&self) -> usize {
+        self.b - self.a
+    }
+
+    /// Intermediate nodes `a+1..b` — where regenerators sit.
+    pub fn intermediate_nodes(&self) -> std::ops::Range<usize> {
+        self.a + 1..self.b
+    }
+
+    /// True iff the two lightpaths share at least one edge.
+    pub fn shares_edge(&self, other: &Lightpath) -> bool {
+        self.a < other.b && other.a < self.b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lightpath_geometry() {
+        let lp = Lightpath::new(2, 6);
+        assert_eq!(lp.edges(), 2..6);
+        assert_eq!(lp.hop_count(), 4);
+        assert_eq!(lp.intermediate_nodes(), 3..6);
+        assert_eq!(lp.intermediate_nodes().count(), 3);
+    }
+
+    #[test]
+    fn single_hop_has_no_intermediates() {
+        let lp = Lightpath::new(4, 5);
+        assert_eq!(lp.intermediate_nodes().count(), 0);
+        assert_eq!(lp.hop_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "a < b")]
+    fn degenerate_rejected() {
+        let _ = Lightpath::new(3, 3);
+    }
+
+    #[test]
+    fn edge_sharing() {
+        let a = Lightpath::new(0, 3);
+        let b = Lightpath::new(2, 5);
+        let c = Lightpath::new(3, 6);
+        assert!(a.shares_edge(&b));
+        assert!(!a.shares_edge(&c)); // meet at node 3, no common edge
+        assert!(b.shares_edge(&c));
+    }
+
+    #[test]
+    fn network_containment() {
+        let net = PathNetwork::new(8);
+        assert_eq!(net.edge_count(), 7);
+        assert!(net.contains(&Lightpath::new(0, 7)));
+        assert!(!net.contains(&Lightpath::new(3, 8)));
+    }
+}

@@ -1,0 +1,170 @@
+//! The reduction of Section 4.2: lightpath grooming on a path ⇆ busy-time
+//! scheduling, with exact cost correspondence.
+//!
+//! Lightpath `(a, b)` becomes the job `[a+½, b−½]`; a regenerator at node
+//! `i` corresponds to the interval `[i−½, i+½]`; wavelengths correspond to
+//! machines. We scale everything by 2 to stay integral: job `[2a+1, 2b−1]`,
+//! regenerator cell `[2i−1, 2i+1]` of measure 2. Hence:
+//!
+//! > total busy time of the schedule = 2 × total regenerator count.
+//!
+//! The factor 2 is an artifact of scaling, identical on both sides of every
+//! comparison, so approximation ratios transfer exactly.
+
+use busytime_core::{Instance, Schedule};
+use busytime_interval::Interval;
+
+use crate::cost::regenerator_count;
+use crate::grooming::Grooming;
+use crate::network::Lightpath;
+
+/// Maps lightpaths to their scheduling jobs (scaled by 2): `(a, b)` →
+/// `[2a+1, 2b−1]`.
+pub fn jobs_of_lightpaths(paths: &[Lightpath]) -> Vec<Interval> {
+    paths
+        .iter()
+        .map(|lp| Interval::new(2 * lp.a as i64 + 1, 2 * lp.b as i64 - 1))
+        .collect()
+}
+
+/// Builds the scheduling instance corresponding to a grooming problem.
+pub fn instance_of_lightpaths(paths: &[Lightpath], g: u32) -> Instance {
+    Instance::new(jobs_of_lightpaths(paths), g)
+}
+
+/// Converts a schedule of the reduced instance back into a wavelength
+/// assignment (machine = wavelength).
+pub fn grooming_from_schedule(schedule: &Schedule) -> Grooming {
+    Grooming::from_wavelengths(schedule.assignment().to_vec())
+}
+
+/// Converts a wavelength assignment into a schedule of the reduced instance
+/// (wavelength = machine).
+pub fn schedule_from_grooming(grooming: &Grooming) -> Schedule {
+    Schedule::from_assignment(grooming.wavelengths().to_vec())
+}
+
+/// The exact correspondence: busy time of the reduced schedule equals twice
+/// the regenerator count of the corresponding grooming. Returns
+/// `(busy_time, regenerators)` for convenience; callers assert equality.
+pub fn schedule_cost_equals_twice_regenerators(
+    paths: &[Lightpath],
+    grooming: &Grooming,
+    g: u32,
+) -> (i64, usize) {
+    let inst = instance_of_lightpaths(paths, g);
+    let schedule = schedule_from_grooming(grooming);
+    let busy = schedule.cost(&inst);
+    let regs = regenerator_count(paths, grooming, g);
+    (busy, regs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use busytime_core::algo::{FirstFit, Scheduler};
+
+    fn lp(a: usize, b: usize) -> Lightpath {
+        Lightpath::new(a, b)
+    }
+
+    #[test]
+    fn job_mapping() {
+        let jobs = jobs_of_lightpaths(&[lp(0, 4), lp(2, 3)]);
+        assert_eq!(jobs, vec![Interval::new(1, 7), Interval::new(5, 5)]);
+    }
+
+    #[test]
+    fn touching_lightpaths_become_disjoint_jobs() {
+        // (0,3) and (3,6) share node 3 (no edge) → jobs [1,5], [7,11] disjoint
+        let jobs = jobs_of_lightpaths(&[lp(0, 3), lp(3, 6)]);
+        assert!(!jobs[0].overlaps(&jobs[1]));
+        // (0,3) and (2,5) share edge 2 → jobs [1,5], [5,9] overlap
+        let jobs = jobs_of_lightpaths(&[lp(0, 3), lp(2, 5)]);
+        assert!(jobs[0].overlaps(&jobs[1]));
+    }
+
+    #[test]
+    fn edge_sharing_iff_job_overlap() {
+        let paths: Vec<Lightpath> = (0..6)
+            .flat_map(|a| (a + 1..7).map(move |b| lp(a, b)))
+            .collect();
+        let jobs = jobs_of_lightpaths(&paths);
+        for i in 0..paths.len() {
+            for j in (i + 1)..paths.len() {
+                assert_eq!(
+                    paths[i].shares_edge(&paths[j]),
+                    jobs[i].overlaps(&jobs[j]),
+                    "mismatch for {:?} vs {:?}",
+                    paths[i],
+                    paths[j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cost_equivalence_hand_example() {
+        let paths = [lp(0, 4), lp(0, 4), lp(2, 6)];
+        // the twins share wavelength 0; (2,6) must not (edge 2 would carry 3)
+        let grooming = Grooming::from_wavelengths(vec![0, 0, 1]);
+        grooming.validate(&paths, 2).unwrap();
+        let (busy, regs) = schedule_cost_equals_twice_regenerators(&paths, &grooming, 2);
+        // wavelength 0 through-nodes {1,2,3}, wavelength 1 through-nodes {3,4,5}
+        assert_eq!(regs, 6);
+        assert_eq!(busy, 2 * regs as i64);
+    }
+
+    #[test]
+    fn cost_equivalence_random() {
+        let mut state = 42u64;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        for _ in 0..30 {
+            let n = 3 + (next() % 20) as usize;
+            let g = 1 + (next() % 4) as u32;
+            let paths: Vec<Lightpath> = (0..n)
+                .map(|_| {
+                    let a = (next() % 20) as usize;
+                    let len = 1 + (next() % 8) as usize;
+                    lp(a, a + len)
+                })
+                .collect();
+            // schedule via FirstFit on the reduced instance
+            let inst = instance_of_lightpaths(&paths, g);
+            let sched = FirstFit::paper().schedule(&inst).unwrap();
+            let grooming = grooming_from_schedule(&sched);
+            grooming.validate(&paths, g).unwrap();
+            let (busy, regs) = schedule_cost_equals_twice_regenerators(&paths, &grooming, g);
+            assert_eq!(busy, 2 * regs as i64);
+            assert_eq!(busy, sched.cost(&inst));
+        }
+    }
+
+    #[test]
+    fn roundtrip_schedule_grooming() {
+        let paths = [lp(0, 3), lp(1, 4), lp(5, 7)];
+        let inst = instance_of_lightpaths(&paths, 2);
+        let sched = FirstFit::paper().schedule(&inst).unwrap();
+        let grooming = grooming_from_schedule(&sched);
+        let back = schedule_from_grooming(&grooming);
+        assert_eq!(back.assignment(), sched.assignment());
+    }
+
+    #[test]
+    fn valid_schedule_gives_valid_grooming() {
+        // capacity g on machines ⇒ grooming factor g on edges
+        let paths = [lp(0, 5), lp(1, 6), lp(2, 7), lp(0, 7), lp(3, 4)];
+        let g = 2;
+        let inst = instance_of_lightpaths(&paths, g);
+        let sched = FirstFit::paper().schedule(&inst).unwrap();
+        sched.validate(&inst).unwrap();
+        let grooming = grooming_from_schedule(&sched);
+        assert!(grooming.validate(&paths, g).is_ok());
+    }
+}

@@ -1,0 +1,93 @@
+//! Property tests for the optical application: the reduction identity and
+//! grooming validity, on paths and rings.
+
+use busytime_core::algo::{FirstFit, Scheduler};
+use busytime_optical::grooming::Grooming;
+use busytime_optical::reduction::{
+    grooming_from_schedule, instance_of_lightpaths, schedule_cost_equals_twice_regenerators,
+};
+use busytime_optical::ring::{
+    ring_regenerator_count, validate_ring_grooming, CutSolver, RingArc, RingNetwork,
+};
+use busytime_optical::Lightpath;
+use proptest::prelude::*;
+
+fn arb_paths() -> impl Strategy<Value = Vec<Lightpath>> {
+    proptest::collection::vec((0usize..30, 1usize..10), 1..40)
+        .prop_map(|raw| raw.into_iter().map(|(a, h)| Lightpath::new(a, a + h)).collect())
+}
+
+fn arb_ring_arcs(n: usize) -> impl Strategy<Value = Vec<RingArc>> {
+    proptest::collection::vec((0..n, 1..n - 1), 1..30).prop_map(move |raw| {
+        raw.into_iter()
+            .map(|(a, h)| RingArc::new(a, (a + h) % n))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Busy time = 2 × regenerators, for every schedule of the reduction.
+    #[test]
+    fn reduction_identity(paths in arb_paths(), g in 1u32..6) {
+        let inst = instance_of_lightpaths(&paths, g);
+        let sched = FirstFit::paper().schedule(&inst).unwrap();
+        let grooming = grooming_from_schedule(&sched);
+        prop_assert!(grooming.validate(&paths, g).is_ok());
+        let (busy, regs) = schedule_cost_equals_twice_regenerators(&paths, &grooming, g);
+        prop_assert_eq!(busy, 2 * regs as i64);
+        prop_assert_eq!(busy, sched.cost(&inst));
+    }
+
+    /// Edge sharing of lightpaths ⇔ job overlap (the heart of Section 4.2).
+    #[test]
+    fn edge_sharing_iff_overlap(paths in arb_paths()) {
+        let jobs = busytime_optical::jobs_of_lightpaths(&paths);
+        for i in 0..paths.len() {
+            for j in (i + 1)..paths.len() {
+                prop_assert_eq!(paths[i].shares_edge(&paths[j]), jobs[i].overlaps(&jobs[j]));
+            }
+        }
+    }
+
+    /// Machine-capacity-valid schedules always map to grooming-valid
+    /// colorings, and regenerator counts are monotone non-increasing in g.
+    #[test]
+    fn grooming_valid_and_monotone(paths in arb_paths()) {
+        let mut prev = usize::MAX;
+        for g in [1u32, 2, 4, 8] {
+            let inst = instance_of_lightpaths(&paths, g);
+            let sched = FirstFit::paper().schedule(&inst).unwrap();
+            let grooming = grooming_from_schedule(&sched);
+            prop_assert!(grooming.validate(&paths, g).is_ok());
+            let regs = busytime_optical::regenerator_count(&paths, &grooming, g);
+            prop_assert!(regs <= prev, "regenerators increased with g");
+            prev = regs;
+        }
+    }
+
+    /// The ring cut solver always produces grooming-valid assignments, and
+    /// its regenerator accounting matches a brute-force recount.
+    #[test]
+    fn ring_cut_solver_valid(arcs in arb_ring_arcs(12), g in 1u32..5) {
+        let net = RingNetwork::new(12);
+        let result = CutSolver::new(FirstFit::paper()).solve(&net, &arcs, g).unwrap();
+        prop_assert!(validate_ring_grooming(&net, &arcs, &result.grooming, g).is_ok());
+        // brute-force recount
+        let recount = ring_regenerator_count(&net, &arcs, &result.grooming, g);
+        prop_assert_eq!(recount, result.regenerators);
+    }
+
+    /// On the ring, one wavelength per arc is always valid (sanity for the
+    /// validator) and costs at least as much as the cut solver's assignment.
+    #[test]
+    fn ring_trivial_coloring_is_upper_bound(arcs in arb_ring_arcs(10), g in 1u32..4) {
+        let net = RingNetwork::new(10);
+        let trivial = Grooming::from_wavelengths((0..arcs.len()).collect());
+        prop_assert!(validate_ring_grooming(&net, &arcs, &trivial, g).is_ok());
+        let trivial_cost = ring_regenerator_count(&net, &arcs, &trivial, g);
+        let solved = CutSolver::new(FirstFit::paper()).solve(&net, &arcs, g).unwrap();
+        prop_assert!(solved.regenerators <= trivial_cost);
+    }
+}

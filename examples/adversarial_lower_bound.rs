@@ -1,0 +1,64 @@
+//! Reproduces Figure 4 / Theorem 2.4: the instance family on which FirstFit
+//! is provably no better than a 3-approximation. Walks the parallelism `g`
+//! upward and watches the measured ratio march towards 3.
+//!
+//! ```text
+//! cargo run --release --example adversarial_lower_bound
+//! ```
+
+use busytime::core::algo::{FirstFit, NextFitProper, Scheduler};
+use busytime::instances::adversarial::{fig4, ranked_shift};
+
+fn main() {
+    let unit = 1_000i64;
+    let eps = 10i64; // the paper's ε′, as ticks of the unit
+    println!("Figure 4 family (unit = {unit}, eps = {eps}):\n");
+    println!(
+        "{:<6} {:>7} {:>12} {:>12} {:>9} {:>9}",
+        "g", "jobs", "FirstFit", "OPT", "ratio", "limit"
+    );
+    for g in [2u32, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64] {
+        let fam = fig4(g, unit, eps);
+        let sched = FirstFit::paper()
+            .schedule(&fam.instance)
+            .expect("FirstFit always succeeds");
+        let cost = sched.cost(&fam.instance);
+        assert_eq!(cost, fam.first_fit, "the trap must close");
+        println!(
+            "{:<6} {:>7} {:>12} {:>12} {:>9.3} {:>9.3}",
+            g,
+            fam.instance.len(),
+            cost,
+            fam.opt,
+            cost as f64 / fam.opt as f64,
+            3.0 - 2.0 * eps as f64 / unit as f64
+        );
+    }
+
+    println!("\nRanked-shift proper variant (Section 3.1's closing remark):");
+    println!("the same trap, made proper — Greedy solves it optimally.\n");
+    println!(
+        "{:<6} {:>12} {:>9} {:>12} {:>9}",
+        "g", "FirstFit", "FF ratio", "Greedy", "G ratio"
+    );
+    for g in [2u32, 3, 4, 6, 8] {
+        let eps = i64::from(g * (g - 1)) + 8;
+        let fam = ranked_shift(g, 50 * eps, eps);
+        let ff = FirstFit::paper()
+            .schedule(&fam.instance)
+            .unwrap()
+            .cost(&fam.instance);
+        let greedy = NextFitProper::strict()
+            .schedule(&fam.instance)
+            .unwrap()
+            .cost(&fam.instance);
+        println!(
+            "{:<6} {:>12} {:>9.3} {:>12} {:>9.3}",
+            g,
+            ff,
+            ff as f64 / fam.opt as f64,
+            greedy,
+            greedy as f64 / fam.opt as f64
+        );
+    }
+}

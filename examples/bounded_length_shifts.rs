@@ -1,0 +1,59 @@
+//! The Bounded_Length algorithm (Section 3.2) on workloads whose job
+//! lengths live in a band `[1, d]` — e.g. fixed-format work shifts.
+//! Demonstrates the segmentation, the pluggable per-segment solver, and the
+//! (2+ε) guarantee measured against the exact optimum on a small instance.
+//!
+//! ```text
+//! cargo run --release --example bounded_length_shifts
+//! ```
+
+use busytime::core::algo::{BoundedLength, Scheduler};
+use busytime::core::bounds;
+use busytime::exact::ExactBB;
+use busytime::instances::bounded::random_bounded;
+
+fn main() {
+    // a small instance so the exact optimum is computable
+    let d = 3i64;
+    let inst = random_bounded(14, 30, d, 2, 42);
+    println!(
+        "{} jobs, lengths in [1, {d}], integral starts, g = {}\n",
+        inst.len(),
+        inst.g()
+    );
+
+    // Bounded_Length with an exact per-segment solver: the paper's
+    // "guessing" realized by branch-and-bound (a correct guess is one of
+    // the enumerated guesses, so the (2+eps) bound holds with eps = 0).
+    let segmented = BoundedLength::with_solver(ExactBB::new())
+        .with_width(d)
+        .schedule(&inst)
+        .expect("segments are small");
+    segmented.validate(&inst).expect("feasible");
+
+    let opt = ExactBB::new().opt_value(&inst).expect("instance is small");
+    println!("segments (width d = {d}):");
+    let bl = BoundedLength::first_fit().with_width(d);
+    for (i, ids) in bl.segments(&inst).iter().enumerate() {
+        println!("  segment {i}: jobs {ids:?}");
+    }
+
+    println!("\nBounded_Length(exact segments) cost: {}", segmented.cost(&inst));
+    println!("global exact OPT:                    {opt}");
+    println!(
+        "ratio: {:.3}  (Lemma 3.3 caps it at 2.000)",
+        segmented.cost(&inst) as f64 / opt as f64
+    );
+
+    // at scale, swap in FirstFit per segment: fast, still segment-respecting
+    let big = random_bounded(50_000, 30_000, 6, 4, 7);
+    let fast = BoundedLength::first_fit().with_width(6);
+    let sched = fast.schedule(&big).expect("always succeeds");
+    println!(
+        "\nscale-out: n = {}, Bounded_Length(FirstFit segments) cost {} vs LB {} ({:.3}x)",
+        big.len(),
+        sched.cost(&big),
+        bounds::component_lower_bound(&big),
+        sched.cost(&big) as f64 / bounds::component_lower_bound(&big) as f64
+    );
+}

@@ -1,0 +1,56 @@
+//! The paper's motivating application (Section 4): assign wavelengths to
+//! lightpaths on a path-topology optical network so that the number of
+//! signal regenerators is minimized, with at most `g` lightpaths groomed
+//! into a wavelength per fiber edge.
+//!
+//! ```text
+//! cargo run --release --example optical_grooming
+//! ```
+
+use busytime::core::algo::{FirstFit, MinMachines};
+use busytime::instances::optical::random_lightpaths;
+use busytime::optical::solvers::{regenerator_lower_bound, GroomingSolver};
+use busytime::optical::PathNetwork;
+
+fn main() {
+    let net = PathNetwork::new(200);
+    let paths = random_lightpaths(&net, 600, 12, 42);
+    println!(
+        "network: {} nodes / {} edges; {} lightpaths, hop lengths 1..12\n",
+        net.node_count,
+        net.edge_count(),
+        paths.len()
+    );
+
+    println!(
+        "{:<6} {:>12} {:>12} {:>10} {:>8} {:>8}",
+        "g", "FF regs", "MinWL regs", "LB", "FF wl", "MinWL wl"
+    );
+    for g in [1u32, 2, 4, 8, 16] {
+        // busy-time-aware grooming: FirstFit through the Section 4.2 reduction
+        let ff = GroomingSolver::new(FirstFit::paper())
+            .solve(&paths, g)
+            .expect("FirstFit always succeeds");
+        ff.grooming
+            .validate(&paths, g)
+            .expect("reduction preserves the grooming constraint");
+
+        // the classic baseline: minimize the number of wavelengths instead
+        let mm = GroomingSolver::new(MinMachines)
+            .solve(&paths, g)
+            .expect("coloring always succeeds");
+
+        let lb = regenerator_lower_bound(&paths, g);
+        println!(
+            "{:<6} {:>12} {:>12} {:>10} {:>8} {:>8}",
+            g, ff.regenerators, mm.regenerators, lb, ff.wavelengths, mm.wavelengths
+        );
+    }
+
+    println!(
+        "\nRegenerator counts fall as the grooming factor grows, and the\n\
+         busy-time-aware assignment (the paper's contribution) consistently\n\
+         needs fewer regenerators than wavelength minimization, at the price\n\
+         of more wavelengths — exactly the trade-off Section 4 describes."
+    );
+}

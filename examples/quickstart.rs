@@ -1,0 +1,45 @@
+//! Quickstart: define jobs, pick a parallelism `g`, schedule, inspect.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use busytime::core::algo::{FirstFit, Scheduler};
+use busytime::core::bounds;
+use busytime::{Instance, Interval};
+
+fn main() {
+    // Five jobs on one machine-pool with parallelism g = 2: every machine
+    // may run at most two jobs at any instant, and costs one unit of busy
+    // time per unit of time in which at least one of its jobs is active.
+    let jobs = vec![
+        Interval::new(0, 6),   // a long morning job
+        Interval::new(1, 5),   // overlaps it
+        Interval::new(2, 8),   // overlaps both → needs a second machine
+        Interval::new(10, 14), // afternoon
+        Interval::new(11, 13),
+    ];
+    let inst = Instance::new(jobs, 2);
+
+    println!("jobs: {:?}", inst.jobs());
+    println!("g = {}, span = {}, len = {}", inst.g(), inst.span(), inst.total_len());
+
+    // The paper's FirstFit: longest job first, first machine that fits.
+    let schedule = FirstFit::paper().schedule(&inst).expect("FirstFit always succeeds");
+    schedule.validate(&inst).expect("schedules are always feasible");
+
+    println!("\nmachine assignment (job -> machine): {:?}", schedule.assignment());
+    for (m, jobs) in schedule.machine_jobs().into_iter().enumerate() {
+        println!(
+            "machine {m}: jobs {jobs:?}, busy time {}",
+            schedule.machine_cost(&inst, m)
+        );
+    }
+
+    let cost = schedule.cost(&inst);
+    let lb = bounds::lower_bound(&inst);
+    println!("\ntotal busy time: {cost}");
+    println!("lower bound (Observation 1.1): {lb}");
+    println!("FirstFit is guaranteed within 4x of optimal (Theorem 2.1); here: {:.2}x of LB",
+        cost as f64 / lb as f64);
+}

@@ -1,0 +1,57 @@
+//! Busy-time scheduling as cloud VM consolidation: hosts are billed while
+//! powered on, each host runs up to `g` VMs, VM lease intervals are fixed.
+//! Minimizing total busy time = minimizing the host-hours bill.
+//!
+//! ```text
+//! cargo run --release --example vm_consolidation
+//! ```
+
+use busytime::core::algo::{
+    BestFit, FirstFit, MinMachines, NextFitArrival, Scheduler,
+};
+use busytime::core::bounds;
+use busytime::instances::workload::{on_demand, shifts};
+
+fn main() {
+    let g = 8; // VMs per host
+    println!("== on-demand trace: 2000 VM leases, Poisson-ish arrivals ==\n");
+    let trace = on_demand(2_000, 2.0, 120.0, g, 7);
+    run_all(&trace);
+
+    println!("\n== diurnal shifts: 10 days x 80 leases clustered per shift ==\n");
+    let trace = shifts(10, 80, 480, 60, g, 7);
+    run_all(&trace);
+
+    println!(
+        "\nFirstFit (longest lease first) is the paper's 4-approximation;\n\
+         note how consolidating onto the fewest hosts (MinMachines) is NOT\n\
+         the cheapest policy once hosts bill by busy time — the objective\n\
+         shift this paper introduced."
+    );
+}
+
+fn run_all(inst: &busytime::Instance) {
+    let lb = bounds::component_lower_bound(inst);
+    println!(
+        "{:<22} {:>14} {:>8} {:>10}",
+        "policy", "host busy-time", "hosts", "vs LB"
+    );
+    let policies: Vec<(&str, Box<dyn Scheduler>)> = vec![
+        ("FirstFit (paper)", Box::new(FirstFit::paper())),
+        ("BestFit", Box::new(BestFit)),
+        ("NextFit (arrival)", Box::new(NextFitArrival)),
+        ("MinMachines", Box::new(MinMachines)),
+    ];
+    for (label, policy) in policies {
+        let sched = policy.schedule(inst).expect("policies always succeed");
+        sched.validate(inst).expect("feasible");
+        let cost = sched.cost(inst);
+        println!(
+            "{:<22} {:>14} {:>8} {:>9.2}x",
+            label,
+            cost,
+            sched.machine_count(),
+            cost as f64 / lb as f64
+        );
+    }
+}

@@ -1,0 +1,251 @@
+//! `busytime-cli` — generate, solve and inspect busy-time scheduling
+//! instances from the command line.
+//!
+//! ```text
+//! busytime-cli generate --family uniform --n 40 --g 3 --seed 7 --out inst.json
+//! busytime-cli solve --input inst.json --algo firstfit --gantt
+//! busytime-cli bounds --input inst.json
+//! busytime-cli compare --input inst.json
+//! ```
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use busytime::core::algo::{
+    BestFit, BoundedLength, CliqueScheduler, FirstFit, MinMachines, NextFitArrival,
+    NextFitProper, RandomFit, Scheduler,
+};
+use busytime::core::{bounds, render};
+use busytime::exact::ExactBB;
+use busytime::instances::io::{read_instance, write_instance, InstanceFile};
+use busytime::Instance;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let opts = match parse_opts(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = match command.as_str() {
+        "generate" => cmd_generate(&opts),
+        "solve" => cmd_solve(&opts),
+        "bounds" => cmd_bounds(&opts),
+        "compare" => cmd_compare(&opts),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!("unknown command '{other}'")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+busytime-cli — busy-time scheduling (Flammini et al., TCS 2010)
+
+commands:
+  generate --family F [--n N] [--g G] [--seed S] [--d D] --out FILE
+           F ∈ uniform | proper | clique | bounded | laminar | fig4 | shifts
+  solve    --input FILE --algo A [--gantt] [--out FILE]
+           A ∈ firstfit | nextfit | arrival | bestfit | randomfit |
+               minmachines | clique | bounded | exact
+  bounds   --input FILE
+  compare  --input FILE        (all algorithms side by side)";
+
+fn parse_opts(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut opts = HashMap::new();
+    let mut it = args.iter();
+    while let Some(key) = it.next() {
+        let Some(name) = key.strip_prefix("--") else {
+            return Err(format!("expected --option, got '{key}'"));
+        };
+        if name == "gantt" {
+            opts.insert(name.to_string(), String::from("true"));
+            continue;
+        }
+        let value = it
+            .next()
+            .ok_or_else(|| format!("--{name} needs a value"))?;
+        opts.insert(name.to_string(), value.clone());
+    }
+    Ok(opts)
+}
+
+fn get_num<T: std::str::FromStr>(
+    opts: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
+    match opts.get(key) {
+        None => Ok(default),
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| format!("--{key}: cannot parse '{raw}'")),
+    }
+}
+
+fn cmd_generate(opts: &HashMap<String, String>) -> Result<(), String> {
+    let family = opts
+        .get("family")
+        .ok_or("generate requires --family")?
+        .as_str();
+    let n: usize = get_num(opts, "n", 40)?;
+    let g: u32 = get_num(opts, "g", 3)?;
+    let seed: u64 = get_num(opts, "seed", 0)?;
+    let d: i64 = get_num(opts, "d", 4)?;
+    let inst = match family {
+        "uniform" => busytime::instances::random::uniform(
+            n,
+            (n as i64).max(8),
+            busytime::instances::random::LengthDist::Uniform(2, 40),
+            g,
+            seed,
+        ),
+        "proper" => busytime::instances::proper::random_proper(n, 3, 12, 6, g, seed),
+        "clique" => busytime::instances::clique::random_clique(n, 100, 60, g, seed),
+        "bounded" => {
+            busytime::instances::bounded::random_bounded(n, (2 * n) as i64, d, g, seed)
+        }
+        "laminar" => busytime::instances::laminar::random_laminar(
+            (8 * n) as i64,
+            4,
+            3,
+            g,
+            seed,
+        ),
+        "fig4" => busytime::instances::adversarial::fig4(g.max(2), 1000, 10).instance,
+        "shifts" => {
+            busytime::instances::workload::shifts(6, n.div_ceil(6), 100, 20, g, seed)
+        }
+        other => return Err(format!("unknown family '{other}'")),
+    };
+    let out = PathBuf::from(opts.get("out").ok_or("generate requires --out")?);
+    let file = InstanceFile::new(
+        format!("{family}-{n}"),
+        format!("family={family} n={n} g={g} seed={seed}"),
+        &inst,
+    );
+    write_instance(&out, &file).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} ({} jobs, g = {}, span {}, len {})",
+        out.display(),
+        inst.len(),
+        inst.g(),
+        inst.span(),
+        inst.total_len()
+    );
+    Ok(())
+}
+
+fn load(opts: &HashMap<String, String>) -> Result<Instance, String> {
+    let input = opts.get("input").ok_or("missing --input FILE")?;
+    let file = read_instance(&PathBuf::from(input)).map_err(|e| e.to_string())?;
+    Ok(file.to_instance())
+}
+
+fn scheduler_by_name(name: &str) -> Result<Box<dyn Scheduler>, String> {
+    Ok(match name {
+        "firstfit" => Box::new(FirstFit::paper()),
+        "nextfit" => Box::new(NextFitProper::new()),
+        "arrival" => Box::new(NextFitArrival),
+        "bestfit" => Box::new(BestFit),
+        "randomfit" => Box::new(RandomFit::new(0)),
+        "minmachines" => Box::new(MinMachines),
+        "clique" => Box::new(CliqueScheduler::new()),
+        "bounded" => Box::new(BoundedLength::first_fit()),
+        "exact" => Box::new(ExactBB::new()),
+        other => return Err(format!("unknown algorithm '{other}'")),
+    })
+}
+
+fn cmd_solve(opts: &HashMap<String, String>) -> Result<(), String> {
+    let inst = load(opts)?;
+    let algo = opts.get("algo").map(String::as_str).unwrap_or("firstfit");
+    let scheduler = scheduler_by_name(algo)?;
+    let sched = scheduler.schedule(&inst).map_err(|e| e.to_string())?;
+    sched.validate(&inst).map_err(|v| v.to_string())?;
+    let stats = render::stats(&inst, &sched);
+    println!(
+        "{}: cost {} on {} machines | utilization {:.1}% | ≤ {:.3}× LB",
+        scheduler.name(),
+        stats.cost,
+        stats.machines,
+        100.0 * stats.utilization,
+        stats.ratio_to_bound
+    );
+    if opts.contains_key("gantt") {
+        print!("{}", render::gantt(&inst, &sched, 100, 24));
+    }
+    if let Some(out) = opts.get("out") {
+        let file = busytime::instances::io::ScheduleFile::new(scheduler.name(), &sched, &inst);
+        let json = busytime::instances::io::schedule_to_json(&file);
+        std::fs::write(out, json).map_err(|e| e.to_string())?;
+        println!("schedule written to {out}");
+    }
+    Ok(())
+}
+
+fn cmd_bounds(opts: &HashMap<String, String>) -> Result<(), String> {
+    let inst = load(opts)?;
+    println!("jobs: {}, g: {}", inst.len(), inst.g());
+    println!("span bound (Obs 1.1):        {}", bounds::span_bound(&inst));
+    println!("parallelism bound (Obs 1.1): {}", bounds::parallelism_bound(&inst));
+    println!("component bound:             {}", bounds::component_lower_bound(&inst));
+    if let Some(delta) = bounds::clique_delta_bound(&inst) {
+        println!("clique δ-bound (Thm A.1):    {delta}");
+    }
+    println!("best lower bound:            {}", bounds::best_lower_bound(&inst));
+    Ok(())
+}
+
+fn cmd_compare(opts: &HashMap<String, String>) -> Result<(), String> {
+    let inst = load(opts)?;
+    let lb = bounds::best_lower_bound(&inst).max(1);
+    println!("{:<28} {:>10} {:>8} {:>9}", "algorithm", "cost", "machines", "vs LB");
+    for name in [
+        "firstfit",
+        "nextfit",
+        "arrival",
+        "bestfit",
+        "randomfit",
+        "minmachines",
+        "bounded",
+    ] {
+        let scheduler = scheduler_by_name(name)?;
+        match scheduler.schedule(&inst) {
+            Ok(sched) => {
+                sched.validate(&inst).map_err(|v| v.to_string())?;
+                println!(
+                    "{:<28} {:>10} {:>8} {:>8.3}x",
+                    scheduler.name(),
+                    sched.cost(&inst),
+                    sched.machine_count(),
+                    sched.cost(&inst) as f64 / lb as f64
+                );
+            }
+            Err(e) => println!("{:<28} {e}", scheduler.name()),
+        }
+    }
+    if inst.len() <= 18 {
+        let opt = ExactBB::new()
+            .schedule(&inst)
+            .map_err(|e| e.to_string())?
+            .cost(&inst);
+        println!("{:<28} {:>10}", "ExactBB (true OPT)", opt);
+    }
+    Ok(())
+}

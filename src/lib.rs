@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! `busytime` — facade crate for the busy-time scheduling workspace.
+//!
+//! A faithful, production-grade reproduction of Flammini, Monaco,
+//! Moscardelli, Shachnai, Shalom, Tamir, Zaks: *Minimizing total busy time
+//! in parallel scheduling with application to optical networks* (Theoretical
+//! Computer Science 411 (2010) 3553–3562; preliminary version IPDPS 2009).
+//!
+//! Re-exports every sub-crate under one roof:
+//!
+//! * [`interval`] — time model, closed intervals, overlap profiles.
+//! * [`graph`] — interval graphs, coloring, matching, max-flow, b-matching.
+//! * [`core`] — instances, schedules, lower bounds, the paper's algorithms.
+//! * [`exact`] — exact optimum for small instances (branch-and-bound / DP).
+//! * [`optical`] — the optical-network application of Section 4.
+//! * [`instances`] — workload generators, including the paper's lower-bound
+//!   constructions.
+//! * [`lab`] — the experiment harness reproducing every figure/claim.
+//!
+//! See the repository README for a guided tour and `examples/` for runnable
+//! entry points.
+
+pub use busytime_core as core;
+pub use busytime_exact as exact;
+pub use busytime_graph as graph;
+pub use busytime_instances as instances;
+pub use busytime_interval as interval;
+pub use busytime_lab as lab;
+pub use busytime_optical as optical;
+
+pub use busytime_core::{Instance, Schedule};
+pub use busytime_interval::Interval;

@@ -1,0 +1,109 @@
+//! Cross-crate pipelines: generator → scheduler → validator → bounds → IO.
+
+use busytime::core::algo::{
+    BestFit, BoundedLength, Decomposed, FirstFit, MinMachines, NextFitArrival, NextFitProper,
+    RandomFit, Scheduler,
+};
+use busytime::core::bounds;
+use busytime::instances::io::{instance_from_json, instance_to_json, InstanceFile, ScheduleFile};
+use busytime::instances::laminar::random_laminar;
+use busytime::instances::random::{dense, sparse};
+use busytime::instances::workload::{on_demand, shifts};
+
+fn all_schedulers() -> Vec<Box<dyn Scheduler>> {
+    vec![
+        Box::new(FirstFit::paper()),
+        Box::new(FirstFit::seeded(11)),
+        Box::new(NextFitProper::new()),
+        Box::new(NextFitArrival),
+        Box::new(BestFit),
+        Box::new(RandomFit::new(2)),
+        Box::new(MinMachines),
+        Box::new(Decomposed::new(FirstFit::paper())),
+        Box::new(BoundedLength::first_fit()),
+    ]
+}
+
+#[test]
+fn every_scheduler_on_every_workload() {
+    let workloads = vec![
+        ("dense", dense(300, 3, 1)),
+        ("sparse", sparse(300, 3, 1)),
+        ("on_demand", on_demand(300, 2.0, 40.0, 4, 1)),
+        ("shifts", shifts(5, 40, 100, 20, 4, 1)),
+        ("laminar", random_laminar(3_000, 4, 3, 2, 1)),
+    ];
+    for (wname, inst) in &workloads {
+        let lb = bounds::component_lower_bound(inst);
+        for s in all_schedulers() {
+            let sched = s
+                .schedule(inst)
+                .unwrap_or_else(|e| panic!("{} failed on {wname}: {e}", s.name()));
+            sched
+                .validate(inst)
+                .unwrap_or_else(|v| panic!("{} infeasible on {wname}: {v}", s.name()));
+            let cost = sched.cost(inst);
+            assert!(cost >= lb, "{} beat the lower bound on {wname}", s.name());
+            // normalization preserves cost and is hull-tight
+            let norm = sched.normalize_contiguous(inst);
+            assert_eq!(norm.cost(inst), cost);
+            assert_eq!(norm.hull_cost(inst), cost);
+        }
+    }
+}
+
+#[test]
+fn io_roundtrip_preserves_everything() {
+    let inst = dense(120, 4, 9);
+    let file = InstanceFile::new("dense-120", "dense(120, 4, seed 9)", &inst);
+    let parsed = instance_from_json(&instance_to_json(&file)).unwrap();
+    let back = parsed.to_instance();
+    assert_eq!(back, inst);
+
+    // schedule files round-trip and self-verify
+    let sched = FirstFit::paper().schedule(&inst).unwrap();
+    let sfile = ScheduleFile::new("FirstFit", &sched, &inst);
+    let json = serde_json::to_string(&sfile).unwrap();
+    let reparsed: ScheduleFile = serde_json::from_str(&json).unwrap();
+    let restored = reparsed.to_schedule(&inst).unwrap();
+    assert_eq!(restored.cost(&inst), sched.cost(&inst));
+}
+
+#[test]
+fn corrupted_schedules_are_rejected() {
+    let inst = dense(50, 2, 3);
+    let sched = FirstFit::paper().schedule(&inst).unwrap();
+
+    // over-capacity corruption: everything onto machine 0
+    let overload = busytime::Schedule::from_assignment(vec![0; inst.len()]);
+    assert!(overload.validate(&inst).is_err());
+
+    // wrong length
+    let truncated = busytime::Schedule::from_assignment(vec![0; inst.len() - 1]);
+    assert!(truncated.validate(&inst).is_err());
+
+    // tampered cost in a schedule file
+    let mut sfile = ScheduleFile::new("FirstFit", &sched, &inst);
+    sfile.cost -= 1;
+    assert!(sfile.to_schedule(&inst).is_err());
+}
+
+#[test]
+fn decomposition_is_transparent_for_all_algorithms() {
+    let inst = sparse(200, 3, 5); // sparse → many components
+    assert!(inst.components().len() > 1, "sparse instance should split");
+    {
+        let s = FirstFit::paper();
+        let direct = s.schedule(&inst).unwrap().cost(&inst);
+        let decomposed = Decomposed::new(s).schedule(&inst).unwrap().cost(&inst);
+        // FirstFit never profits from seeing other components (they never
+        // block a machine), so costs coincide
+        assert_eq!(direct, decomposed);
+    }
+}
+
+#[test]
+fn serde_rejects_garbage() {
+    assert!(instance_from_json("[1, 2, 3]").is_err());
+    assert!(instance_from_json("").is_err());
+}

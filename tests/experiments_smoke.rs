@@ -1,0 +1,40 @@
+//! Smoke tests for the experiment harness: every experiment produces a
+//! non-empty, well-formed table at quick scale.
+
+use busytime::lab::{experiments, Scale, Table};
+
+#[test]
+fn run_all_produces_every_table() {
+    let tables = experiments::run_all(Scale::Quick);
+    assert_eq!(tables.len(), experiments::all_ids().len());
+    for table in &tables {
+        assert!(!table.is_empty(), "empty table: {}", table.title);
+        for row in &table.rows {
+            assert_eq!(row.len(), table.columns.len(), "ragged: {}", table.title);
+        }
+        // renders without panicking and contains the title
+        let md = table.to_markdown();
+        assert!(md.contains(&table.title));
+        let csv = table.to_csv();
+        assert_eq!(csv.lines().count(), table.len() + 1);
+    }
+}
+
+#[test]
+fn run_one_dispatch() {
+    for id in experiments::all_ids() {
+        assert!(
+            experiments::run_one(id, Scale::Quick).is_some(),
+            "missing experiment {id}"
+        );
+    }
+    assert!(experiments::run_one("e99", Scale::Quick).is_none());
+}
+
+#[test]
+fn tables_are_serializable() {
+    let t: Table = experiments::run_one("e2", Scale::Quick).unwrap();
+    let json = serde_json::to_string(&t).unwrap();
+    let back: Table = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, t);
+}

@@ -1,0 +1,59 @@
+//! Golden regression tests: fixed seeds must keep producing the exact same
+//! costs forever. Any intentional algorithm change must update these
+//! numbers consciously (they are cheap to recompute but deliberate to
+//! change).
+
+use busytime::core::algo::{
+    BestFit, CliqueScheduler, FirstFit, MinMachines, NextFitArrival, NextFitProper, Scheduler,
+};
+use busytime::exact::{ExactBB, ExactDp};
+use busytime::instances::clique::random_clique;
+use busytime::instances::random::{uniform, LengthDist};
+
+fn golden_instance() -> busytime::Instance {
+    uniform(64, 120, LengthDist::Uniform(3, 40), 3, 0xBEEF)
+}
+
+#[test]
+fn golden_costs_general() {
+    let inst = golden_instance();
+    let cases: Vec<(Box<dyn Scheduler>, &str)> = vec![
+        (Box::new(FirstFit::paper()), "FirstFit"),
+        (Box::new(NextFitProper::new()), "NextFitProper"),
+        (Box::new(NextFitArrival), "NextFitArrival"),
+        (Box::new(BestFit), "BestFit"),
+        (Box::new(MinMachines), "MinMachines"),
+    ];
+    let costs: Vec<i64> = cases
+        .iter()
+        .map(|(s, _)| {
+            let sched = s.schedule(&inst).unwrap();
+            sched.validate(&inst).unwrap();
+            sched.cost(&inst)
+        })
+        .collect();
+    // recorded once from a verified run; see module docs before editing
+    let expected: Vec<i64> = vec![656, 712, 874, 647, 675];
+    assert_eq!(
+        costs, expected,
+        "golden costs drifted for {:?}",
+        cases.iter().map(|(_, n)| *n).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn golden_exact_small() {
+    let inst = uniform(12, 30, LengthDist::Uniform(2, 12), 2, 0xF00D);
+    let bb = ExactBB::new().opt_value(&inst).unwrap();
+    let dp = ExactDp::new().opt_value(&inst).unwrap();
+    assert_eq!(bb, dp);
+    assert_eq!(bb, 51, "exact optimum drifted");
+}
+
+#[test]
+fn golden_clique() {
+    let inst = random_clique(24, 100, 50, 3, 0xCAFE);
+    let sched = CliqueScheduler::new().schedule(&inst).unwrap();
+    sched.validate(&inst).unwrap();
+    assert_eq!(sched.cost(&inst), 574, "clique algorithm cost drifted");
+}

@@ -1,0 +1,92 @@
+//! Section 4 end-to-end: lightpaths → reduction → scheduling → wavelengths →
+//! hardware costs, with the cost identity and the transferred guarantees.
+
+use busytime::core::algo::{FirstFit, NextFitProper, Scheduler};
+use busytime::exact::ExactBB;
+use busytime::instances::optical::{hotspot_lightpaths, random_lightpaths};
+use busytime::optical::reduction::{
+    grooming_from_schedule, instance_of_lightpaths, schedule_cost_equals_twice_regenerators,
+};
+use busytime::optical::solvers::{regenerator_lower_bound, GroomingSolver};
+use busytime::optical::{Grooming, Lightpath, PathNetwork};
+
+#[test]
+fn reduction_identity_on_many_workloads() {
+    let net = PathNetwork::new(100);
+    for seed in 0..10 {
+        for paths in [
+            random_lightpaths(&net, 80, 10, seed),
+            hotspot_lightpaths(&net, 80, 50, 0.5, 10, seed),
+        ] {
+            for g in [1u32, 2, 4, 8] {
+                let inst = instance_of_lightpaths(&paths, g);
+                let sched = FirstFit::paper().schedule(&inst).unwrap();
+                let grooming = grooming_from_schedule(&sched);
+                grooming.validate(&paths, g).unwrap();
+                let (busy, regs) =
+                    schedule_cost_equals_twice_regenerators(&paths, &grooming, g);
+                assert_eq!(busy, 2 * regs as i64, "identity failed (seed {seed}, g {g})");
+            }
+        }
+    }
+}
+
+#[test]
+fn optimal_grooming_equals_optimal_schedule() {
+    // tiny lightpath set: exact busy-time optimum ↔ regenerator optimum
+    let paths = vec![
+        Lightpath::new(0, 4),
+        Lightpath::new(1, 5),
+        Lightpath::new(3, 8),
+        Lightpath::new(6, 9),
+        Lightpath::new(0, 9),
+    ];
+    let g = 2;
+    let inst = instance_of_lightpaths(&paths, g);
+    let opt_schedule = ExactBB::new().schedule(&inst).unwrap();
+    let opt_grooming = grooming_from_schedule(&opt_schedule);
+    opt_grooming.validate(&paths, g).unwrap();
+    let (busy, regs) = schedule_cost_equals_twice_regenerators(&paths, &opt_grooming, g);
+    assert_eq!(busy, opt_schedule.cost(&inst));
+    assert_eq!(busy, 2 * regs as i64);
+    // no grooming can do better: LB through the reduction
+    assert!(regs >= regenerator_lower_bound(&paths, g));
+}
+
+#[test]
+fn results_i_to_iv_of_section_4_2() {
+    let net = PathNetwork::new(120);
+    // (i) arbitrary lightpaths: 4-approx via FirstFit
+    let paths = random_lightpaths(&net, 60, 12, 3);
+    for g in [2u32, 4] {
+        let res = GroomingSolver::new(FirstFit::paper()).solve(&paths, g).unwrap();
+        let lb = regenerator_lower_bound(&paths, g).max(1);
+        assert!(res.regenerators <= 4 * lb);
+    }
+    // (iii) proper lightpaths (a staircase): 2-approx via the Greedy
+    let proper: Vec<Lightpath> = (0..50).map(|i| Lightpath::new(i, i + 12)).collect();
+    let g = 3;
+    assert!(instance_of_lightpaths(&proper, g).is_proper());
+    let res = GroomingSolver::new(NextFitProper::strict())
+        .solve(&proper, g)
+        .unwrap();
+    let lb = regenerator_lower_bound(&proper, g).max(1);
+    assert!(res.regenerators <= 2 * lb);
+}
+
+#[test]
+fn invalid_groomings_are_detected() {
+    let paths = vec![
+        Lightpath::new(0, 5),
+        Lightpath::new(1, 6),
+        Lightpath::new(2, 7),
+    ];
+    // all three share edges 2..5; one wavelength breaches g = 2
+    let bad = Grooming::from_wavelengths(vec![0, 0, 0]);
+    let err = bad.validate(&paths, 2).unwrap_err();
+    assert!(err.load > 2);
+    // a machine-capacity-respecting schedule never produces this
+    let inst = instance_of_lightpaths(&paths, 2);
+    let sched = FirstFit::paper().schedule(&inst).unwrap();
+    assert!(grooming_from_schedule(&sched).validate(&paths, 2).is_ok());
+}

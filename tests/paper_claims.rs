@@ -1,0 +1,187 @@
+//! Integration tests: the paper's theorem-level claims verified end-to-end
+//! against the exact solvers.
+
+use busytime::core::algo::{
+    BoundedLength, CliqueScheduler, FirstFit, GuessMatch, NextFitProper, Scheduler,
+};
+use busytime::core::{bounds, verify};
+use busytime::exact::{ExactBB, ExactDp};
+use busytime::instances::adversarial::{clique_tight, fig4, ranked_shift};
+use busytime::instances::bounded::random_bounded;
+use busytime::instances::clique::random_clique;
+use busytime::instances::proper::random_proper;
+use busytime::instances::random::{uniform, LengthDist};
+
+/// Theorem 2.1: FirstFit ≤ 4·OPT — exact OPT on a battery of small random
+/// instances, cross-checked between both exact solvers.
+#[test]
+fn theorem_2_1_first_fit_within_4x_of_exact_opt() {
+    for seed in 0..30 {
+        let n = 6 + (seed as usize % 7);
+        let g = 2 + (seed % 3) as u32;
+        let inst = uniform(n, 3 * n as i64, LengthDist::Uniform(2, 2 * n as i64), g, seed);
+        let ff = FirstFit::paper().schedule(&inst).unwrap();
+        ff.validate(&inst).unwrap();
+        let bb = ExactBB::new().opt_value(&inst).unwrap();
+        let dp = ExactDp::new().opt_value(&inst).unwrap();
+        assert_eq!(bb, dp, "exact solvers disagree (seed {seed})");
+        assert!(ff.cost(&inst) <= 4 * bb, "Theorem 2.1 violated (seed {seed})");
+        assert!(bb >= bounds::component_lower_bound(&inst));
+    }
+}
+
+/// Theorem 2.4 / Figure 4: the adversarial family's analytic OPT is the true
+/// optimum (exact solver), and FirstFit lands exactly on the predicted cost.
+#[test]
+fn theorem_2_4_fig4_exact() {
+    for g in [2u32, 3] {
+        let fam = fig4(g, 12, 1);
+        let opt = ExactBB::new().opt_value(&fam.instance).unwrap();
+        assert_eq!(opt, fam.opt, "analytic OPT wrong for g={g}");
+        let ff = FirstFit::paper().schedule(&fam.instance).unwrap();
+        assert_eq!(ff.cost(&fam.instance), fam.first_fit);
+    }
+}
+
+/// Observation 2.2 and Lemma 2.3 hold on FirstFit runs over every family.
+#[test]
+fn first_fit_structural_witnesses() {
+    for seed in 0..10 {
+        let inst = uniform(30, 60, LengthDist::Uniform(2, 25), 3, seed);
+        let ff = FirstFit::paper();
+        let sched = ff.schedule(&inst).unwrap();
+        let order = ff.job_order(&inst);
+        assert_eq!(verify::observation_2_2(&inst, &sched, &order), Ok(()));
+        assert_eq!(verify::lemma_2_3(&inst, &sched), Ok(()));
+    }
+}
+
+/// Theorem 3.1: Greedy ≤ 2·OPT on proper families (exact OPT), plus the
+/// proof's internal claims.
+#[test]
+fn theorem_3_1_greedy_on_proper() {
+    for seed in 0..20 {
+        let inst = random_proper(11, 3, 7, 4, 2 + (seed % 3) as u32, seed);
+        assert!(inst.is_proper());
+        let sched = NextFitProper::strict().schedule(&inst).unwrap();
+        sched.validate(&inst).unwrap();
+        let opt = ExactBB::new().opt_value(&inst).unwrap();
+        let alg = sched.cost(&inst);
+        assert!(alg <= 2 * opt, "Theorem 3.1 violated (seed {seed})");
+        assert!(alg <= opt + inst.span(), "inner inequality violated");
+        assert_eq!(verify::theorem_3_1_claims(&inst, &sched), Ok(()));
+    }
+}
+
+/// Claim 2 of Theorem 3.1 against the true optimum: at every time, the
+/// optimal schedule keeps at least `M^A_t − 1` machines busy.
+#[test]
+fn theorem_3_1_claim_2_vs_exact_optimum() {
+    for seed in 0..15 {
+        let inst = random_proper(10, 3, 7, 4, 2 + (seed % 2) as u32, seed);
+        let greedy = NextFitProper::strict().schedule(&inst).unwrap();
+        let opt = ExactBB::new().schedule(&inst).unwrap();
+        assert_eq!(
+            verify::claim_2_vs_reference(&inst, &greedy, &opt),
+            Ok(()),
+            "Claim 2 violated at seed {seed}"
+        );
+    }
+}
+
+/// The ranked-shift family: claimed OPT verified exactly for small g, and
+/// the FirstFit/Greedy separation holds.
+#[test]
+fn ranked_shift_opt_verified_exactly() {
+    for g in [2u32, 3] {
+        let eps = i64::from(g * (g - 1)) + 4;
+        let fam = ranked_shift(g, 4 * eps, eps);
+        let opt = ExactBB::new().opt_value(&fam.instance).unwrap();
+        assert_eq!(opt, fam.opt, "claimed ranked-shift OPT wrong for g={g}");
+        let greedy = NextFitProper::strict()
+            .schedule(&fam.instance)
+            .unwrap()
+            .cost(&fam.instance);
+        assert_eq!(greedy, opt, "Greedy must be optimal on the shifted trap");
+        let ff = FirstFit::paper()
+            .schedule(&fam.instance)
+            .unwrap()
+            .cost(&fam.instance);
+        assert!(ff > greedy, "the separation must be visible");
+    }
+}
+
+/// Theorem 3.2 / Lemma 3.3: Bounded_Length with exact segments ≤ 2·OPT, and
+/// the literal guess-and-b-match pipeline agrees with exact segment solving.
+#[test]
+fn theorem_3_2_bounded_length() {
+    for seed in 0..15 {
+        let inst = random_bounded(10, 20, 3, 2, seed);
+        let seg = BoundedLength::with_solver(ExactBB::new())
+            .with_width(3)
+            .schedule(&inst)
+            .unwrap();
+        seg.validate(&inst).unwrap();
+        let opt = ExactBB::new().opt_value(&inst).unwrap();
+        assert!(seg.cost(&inst) <= 2 * opt, "Lemma 3.3 violated (seed {seed})");
+        // the guess + b-matching segment solver agrees where it applies
+        if let Ok(gm) = BoundedLength::with_solver(GuessMatch::new())
+            .with_width(3)
+            .schedule(&inst)
+        {
+            assert_eq!(gm.cost(&inst), seg.cost(&inst), "guess-match mismatch");
+        }
+    }
+}
+
+/// Theorem A.1: clique algorithm ≤ 2·OPT (exact), and the tight family's
+/// optimum is the grouped schedule.
+#[test]
+fn theorem_a_1_clique() {
+    for seed in 0..20 {
+        let inst = random_clique(9, 50, 30, 2 + (seed % 3) as u32, seed);
+        let alg = CliqueScheduler::new().schedule(&inst).unwrap().cost(&inst);
+        let opt = ExactBB::new().opt_value(&inst).unwrap();
+        assert!(alg <= 2 * opt, "Theorem A.1 violated (seed {seed})");
+    }
+    for g in [2u32, 3] {
+        let inst = clique_tight(g, 25);
+        let opt = ExactBB::new().opt_value(&inst).unwrap();
+        assert_eq!(opt, 2 * 25, "tight family OPT must group the sides");
+        let alg = CliqueScheduler::new().schedule(&inst).unwrap().cost(&inst);
+        assert_eq!(alg, 2 * opt, "the tight family must force exactly 2x");
+    }
+}
+
+/// Observation 1.1 against exact OPT across families.
+#[test]
+fn observation_1_1_bounds_below_opt() {
+    for seed in 0..10 {
+        for inst in [
+            uniform(9, 25, LengthDist::Uniform(1, 12), 2, seed),
+            random_proper(9, 3, 6, 4, 2, seed),
+            random_clique(8, 40, 20, 3, seed),
+            random_bounded(9, 18, 3, 2, seed),
+        ] {
+            let opt = ExactBB::new().opt_value(&inst).unwrap();
+            assert!(bounds::parallelism_bound(&inst) <= opt);
+            assert!(bounds::span_bound(&inst) <= opt);
+            assert!(bounds::component_lower_bound(&inst) <= opt);
+        }
+    }
+}
+
+/// NP-hardness sanity (g = 1 is easy): every algorithm is optimal at g = 1
+/// because all feasible schedules cost exactly len(J).
+#[test]
+fn g1_everything_is_optimal() {
+    let inst = uniform(12, 30, LengthDist::Uniform(1, 10), 1, 3);
+    let opt = ExactBB::new().opt_value(&inst).unwrap();
+    assert_eq!(opt, inst.total_len());
+    for s in [
+        FirstFit::paper().schedule(&inst).unwrap(),
+        NextFitProper::new().schedule(&inst).unwrap(),
+    ] {
+        assert_eq!(s.cost(&inst), opt);
+    }
+}

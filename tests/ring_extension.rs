@@ -1,0 +1,113 @@
+//! Ring-topology extension: cross-checks the cut solver against a
+//! brute-force optimal grooming on tiny rings.
+
+use busytime::core::algo::FirstFit;
+use busytime::optical::ring::{
+    ring_regenerator_count, validate_ring_grooming, CutSolver, RingArc, RingNetwork,
+};
+use busytime::optical::Grooming;
+
+/// Brute-force the minimum regenerator count over all wavelength
+/// assignments with at most `max_wavelengths` colors.
+fn brute_force_ring_opt(
+    net: &RingNetwork,
+    arcs: &[RingArc],
+    g: u32,
+    max_wavelengths: usize,
+) -> usize {
+    let n = arcs.len();
+    let mut best = usize::MAX;
+    let mut assignment = vec![0usize; n];
+    fn rec(
+        idx: usize,
+        used: usize,
+        assignment: &mut Vec<usize>,
+        net: &RingNetwork,
+        arcs: &[RingArc],
+        g: u32,
+        max_w: usize,
+        best: &mut usize,
+    ) {
+        if idx == arcs.len() {
+            let grooming = Grooming::from_wavelengths(assignment.clone());
+            if validate_ring_grooming(net, arcs, &grooming, g).is_ok() {
+                *best = (*best).min(ring_regenerator_count(net, arcs, &grooming, g));
+            }
+            return;
+        }
+        // canonical color order: may reuse 0..used or open color `used`
+        for w in 0..=used.min(max_w - 1) {
+            assignment[idx] = w;
+            rec(idx + 1, used.max(w + 1), assignment, net, arcs, g, max_w, best);
+        }
+    }
+    rec(0, 0, &mut assignment, net, arcs, g, max_wavelengths, &mut best);
+    best
+}
+
+#[test]
+fn cut_solver_near_optimal_on_tiny_rings() {
+    let net = RingNetwork::new(6);
+    let cases: Vec<Vec<RingArc>> = vec![
+        vec![RingArc::new(0, 2), RingArc::new(1, 3), RingArc::new(4, 0)],
+        vec![
+            RingArc::new(0, 3),
+            RingArc::new(2, 5),
+            RingArc::new(4, 1),
+            RingArc::new(5, 2),
+        ],
+        vec![
+            RingArc::new(0, 2),
+            RingArc::new(0, 2),
+            RingArc::new(2, 4),
+            RingArc::new(2, 4),
+            RingArc::new(4, 0),
+        ],
+    ];
+    for (case_idx, arcs) in cases.iter().enumerate() {
+        for g in [1u32, 2] {
+            let opt = brute_force_ring_opt(&net, arcs, g, arcs.len());
+            let solved = CutSolver::new(FirstFit::paper()).solve(&net, arcs, g).unwrap();
+            assert!(
+                solved.regenerators >= opt,
+                "case {case_idx}, g={g}: solver beat the brute-force optimum?!"
+            );
+            // heuristic quality: within 2x of optimal on these tiny cases
+            // (path part is 4-approx, clique part 2-approx, but tiny cases
+            // stay well inside)
+            assert!(
+                solved.regenerators <= 2 * opt.max(1),
+                "case {case_idx}, g={g}: cut solver {} vs opt {opt}",
+                solved.regenerators
+            );
+        }
+    }
+}
+
+#[test]
+fn ring_at_g1_has_no_sharing() {
+    // with g = 1 the regenerator count is fixed (every arc pays its own
+    // intermediates) regardless of the wavelength assignment
+    let net = RingNetwork::new(8);
+    let arcs = vec![
+        RingArc::new(0, 3),
+        RingArc::new(2, 6),
+        RingArc::new(5, 1),
+        RingArc::new(7, 2),
+    ];
+    let total: usize = arcs.iter().map(|a| a.intermediate_nodes(8).count()).sum();
+    let solved = CutSolver::new(FirstFit::paper()).solve(&net, &arcs, 1).unwrap();
+    assert_eq!(solved.regenerators, total);
+    let opt = brute_force_ring_opt(&net, &arcs, 1, arcs.len());
+    assert_eq!(opt, total);
+}
+
+#[test]
+fn grooming_beats_no_grooming_on_parallel_arcs() {
+    // g identical arcs: grooming shares all regenerators
+    let net = RingNetwork::new(10);
+    let arcs = vec![RingArc::new(1, 6); 4];
+    let solved = CutSolver::new(FirstFit::paper()).solve(&net, &arcs, 4).unwrap();
+    assert_eq!(solved.regenerators, 4); // nodes 2..=5 once
+    assert_eq!(solved.grooming.wavelength_count(), 1);
+}
