@@ -40,10 +40,14 @@ fn bench(c: &mut Criterion) {
     });
     // border stress: the Lemma 3.3 worst-case shape
     let stress = border_stress(4, 2, 4, 2, 1);
-    group.bench_with_input(BenchmarkId::new("border_stress", stress.len()), &stress, |b, inst| {
-        let bl = BoundedLength::with_solver(ExactBB::new()).with_width(4);
-        b.iter(|| bl.schedule(black_box(inst)).unwrap())
-    });
+    group.bench_with_input(
+        BenchmarkId::new("border_stress", stress.len()),
+        &stress,
+        |b, inst| {
+            let bl = BoundedLength::with_solver(ExactBB::new()).with_width(4);
+            b.iter(|| bl.schedule(black_box(inst)).unwrap())
+        },
+    );
     group.finish();
 }
 

@@ -57,9 +57,11 @@ fn bench(c: &mut Criterion) {
         .collect();
     let dinst = DemandInstance::new(jobs, 8);
     let mut group = c.benchmark_group("comparison/demand");
-    group.bench_with_input(BenchmarkId::new("first_fit_demand", 2_000), &dinst, |b, d| {
-        b.iter(|| FirstFitDemand.schedule(black_box(d)))
-    });
+    group.bench_with_input(
+        BenchmarkId::new("first_fit_demand", 2_000),
+        &dinst,
+        |b, d| b.iter(|| FirstFitDemand.schedule(black_box(d))),
+    );
     group.finish();
 }
 

@@ -1,0 +1,87 @@
+//! Dispatch-overhead bench: direct `FirstFit` calls vs. going through the
+//! `SolverRegistry` and the `SolveRequest` pipeline.
+//!
+//! The registry adds one map lookup plus one boxed-factory call per solve,
+//! and the trait object adds virtual dispatch — all amortized over a
+//! 10k-job schedule, so `registry/first-fit` must sit within noise
+//! (< 5%) of `direct/first-fit`. The full pipeline rows (`pipeline/*`)
+//! additionally pay for feature detection, lower bounds and validation;
+//! they are reported so that cost is visible and attributable, not hidden.
+
+use std::hint::black_box;
+
+use busytime_bench::config;
+use busytime_core::algo::{FirstFit, Scheduler};
+use busytime_core::solve::{SolveOptions, SolveRequest, SolverRegistry};
+use busytime_instances::random::{uniform, LengthDist};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench(c: &mut Criterion) {
+    let n = 10_000usize;
+    let inst = uniform(n, n as i64 / 4, LengthDist::Uniform(4, 200), 4, 7);
+    let registry = SolverRegistry::with_defaults();
+    let options = SolveOptions::default();
+
+    // sanity outside the timing loop: both paths agree on cost
+    let direct_cost = FirstFit::paper().schedule(&inst).unwrap().cost(&inst);
+    let registry_cost = {
+        let solver = registry.build("first-fit", &options).unwrap();
+        solver.schedule(&inst).unwrap().cost(&inst)
+    };
+    assert_eq!(
+        direct_cost, registry_cost,
+        "registry path must be transparent"
+    );
+
+    let mut group = c.benchmark_group("dispatch");
+    group.throughput(Throughput::Elements(n as u64));
+
+    group.bench_with_input(BenchmarkId::new("direct", "first-fit"), &inst, |b, inst| {
+        b.iter(|| FirstFit::paper().schedule(black_box(inst)).unwrap())
+    });
+
+    // registry lookup + boxed factory + virtual dispatch, nothing else
+    group.bench_with_input(
+        BenchmarkId::new("registry", "first-fit"),
+        &inst,
+        |b, inst| {
+            b.iter(|| {
+                let solver = registry.build("first-fit", &options).unwrap();
+                solver.schedule(black_box(inst)).unwrap()
+            })
+        },
+    );
+
+    // the full pipeline: detection + schedule + bounds + validation
+    group.bench_with_input(
+        BenchmarkId::new("pipeline", "first-fit"),
+        &inst,
+        |b, inst| {
+            b.iter(|| {
+                SolveRequest::new(black_box(inst))
+                    .solver("first-fit")
+                    .solve_with(&registry)
+                    .unwrap()
+            })
+        },
+    );
+
+    // the portfolio: detection + specialist + FirstFit safety net
+    group.bench_with_input(BenchmarkId::new("pipeline", "auto"), &inst, |b, inst| {
+        b.iter(|| {
+            SolveRequest::new(black_box(inst))
+                .solver("auto")
+                .solve_with(&registry)
+                .unwrap()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench
+}
+criterion_main!(benches);

@@ -19,7 +19,9 @@ fn bench(c: &mut Criterion) {
         let fam = fig4(g, 1_000, 10);
         group.bench_with_input(BenchmarkId::from_parameter(g), &fam, |b, fam| {
             b.iter(|| {
-                let sched = FirstFit::paper().schedule(black_box(&fam.instance)).unwrap();
+                let sched = FirstFit::paper()
+                    .schedule(black_box(&fam.instance))
+                    .unwrap();
                 assert_eq!(sched.cost(&fam.instance), fam.first_fit);
                 sched
             })
@@ -32,7 +34,11 @@ fn bench(c: &mut Criterion) {
         let eps = i64::from(g * (g - 1)) + 8;
         let fam = ranked_shift(g, 50 * eps, eps);
         group.bench_with_input(BenchmarkId::new("first_fit", g), &fam, |b, fam| {
-            b.iter(|| FirstFit::paper().schedule(black_box(&fam.instance)).unwrap())
+            b.iter(|| {
+                FirstFit::paper()
+                    .schedule(black_box(&fam.instance))
+                    .unwrap()
+            })
         });
         group.bench_with_input(BenchmarkId::new("greedy", g), &fam, |b, fam| {
             b.iter(|| {

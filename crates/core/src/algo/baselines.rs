@@ -1,6 +1,8 @@
 //! Baseline schedulers: the machine-minimizing coloring scheduler from the
 //! paper's introduction, plus heuristics used in ablation experiments.
 
+use std::borrow::Cow;
+
 use busytime_graph::IntervalGraph;
 
 use crate::algo::{Scheduler, SchedulerError};
@@ -20,8 +22,8 @@ use crate::schedule::Schedule;
 pub struct MinMachines;
 
 impl Scheduler for MinMachines {
-    fn name(&self) -> String {
-        String::from("MinMachines")
+    fn name(&self) -> Cow<'static, str> {
+        Cow::Borrowed("MinMachines")
     }
 
     fn schedule(&self, inst: &Instance) -> Result<Schedule, SchedulerError> {
@@ -39,8 +41,8 @@ impl Scheduler for MinMachines {
 pub struct NextFitArrival;
 
 impl Scheduler for NextFitArrival {
-    fn name(&self) -> String {
-        String::from("NextFitArrival")
+    fn name(&self) -> Cow<'static, str> {
+        Cow::Borrowed("NextFitArrival")
     }
 
     fn schedule(&self, inst: &Instance) -> Result<Schedule, SchedulerError> {
@@ -73,8 +75,8 @@ impl Scheduler for NextFitArrival {
 pub struct BestFit;
 
 impl Scheduler for BestFit {
-    fn name(&self) -> String {
-        String::from("BestFit")
+    fn name(&self) -> Cow<'static, str> {
+        Cow::Borrowed("BestFit")
     }
 
     fn schedule(&self, inst: &Instance) -> Result<Schedule, SchedulerError> {
@@ -118,8 +120,8 @@ impl RandomFit {
 }
 
 impl Scheduler for RandomFit {
-    fn name(&self) -> String {
-        format!("RandomFit[seed{}]", self.seed)
+    fn name(&self) -> Cow<'static, str> {
+        Cow::Owned(format!("RandomFit[seed{}]", self.seed))
     }
 
     fn schedule(&self, inst: &Instance) -> Result<Schedule, SchedulerError> {

@@ -25,6 +25,8 @@
 //! default constructor falls back to FirstFit per segment (heuristic but
 //! fast, still within 4·OPT_r per segment).
 
+use std::borrow::Cow;
+
 use crate::algo::{FirstFit, Scheduler, SchedulerError};
 use crate::instance::Instance;
 use crate::schedule::Schedule;
@@ -95,18 +97,18 @@ impl<S: Scheduler> BoundedLength<S> {
 }
 
 impl<S: Scheduler> Scheduler for BoundedLength<S> {
-    fn name(&self) -> String {
-        match self.d {
+    fn name(&self) -> Cow<'static, str> {
+        Cow::Owned(match self.d {
             Some(d) => format!("BoundedLength[d={d},{}]", self.segment_solver.name()),
             None => format!("BoundedLength[auto,{}]", self.segment_solver.name()),
-        }
+        })
     }
 
     fn schedule(&self, inst: &Instance) -> Result<Schedule, SchedulerError> {
         let d = self.effective_width(inst);
         if inst.max_len() > d {
             return Err(SchedulerError::UnsupportedInstance {
-                scheduler: self.name(),
+                scheduler: self.name().into_owned(),
                 reason: format!(
                     "job length {} exceeds segment width d = {d}",
                     inst.max_len()
@@ -160,10 +162,8 @@ mod tests {
 
     #[test]
     fn feasible_and_segment_disjoint() {
-        let inst = Instance::from_pairs(
-            [(0, 2), (1, 3), (2, 4), (3, 5), (4, 6), (6, 8), (7, 9)],
-            2,
-        );
+        let inst =
+            Instance::from_pairs([(0, 2), (1, 3), (2, 4), (3, 5), (4, 6), (6, 8), (7, 9)], 2);
         let bl = BoundedLength::first_fit().with_width(3);
         let sched = bl.schedule(&inst).unwrap();
         sched.validate(&inst).unwrap();

@@ -14,6 +14,8 @@
 //! what the tight family in `busytime-instances::adversarial` manipulates to
 //! force ratio exactly 2.
 
+use std::borrow::Cow;
+
 use crate::algo::{Scheduler, SchedulerError};
 use crate::instance::Instance;
 use crate::schedule::Schedule;
@@ -51,8 +53,8 @@ impl CliqueScheduler {
 }
 
 impl Scheduler for CliqueScheduler {
-    fn name(&self) -> String {
-        String::from("Clique")
+    fn name(&self) -> Cow<'static, str> {
+        Cow::Borrowed("Clique")
     }
 
     fn schedule(&self, inst: &Instance) -> Result<Schedule, SchedulerError> {
@@ -65,14 +67,14 @@ impl Scheduler for CliqueScheduler {
                     p
                 } else {
                     return Err(SchedulerError::UnsupportedInstance {
-                        scheduler: self.name(),
+                        scheduler: self.name().into_owned(),
                         reason: format!("point {p} is not contained in every job"),
                     });
                 }
             }
             None => relations::common_point(inst.jobs()).ok_or_else(|| {
                 SchedulerError::UnsupportedInstance {
-                    scheduler: self.name(),
+                    scheduler: self.name().into_owned(),
                     reason: String::from("jobs do not share a common point (not a clique)"),
                 }
             })?,

@@ -15,7 +15,6 @@ use crate::schedule::Schedule;
 
 /// A job with a closed processing interval and a parallelism demand.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DemandJob {
     /// The processing window `[s_j, c_j]`.
     pub interval: Interval,
@@ -25,7 +24,6 @@ pub struct DemandJob {
 
 /// A capacitated instance: jobs with demands, machine capacity `g`.
 #[derive(Clone, Debug, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DemandInstance {
     jobs: Vec<DemandJob>,
     g: u32,
@@ -169,10 +167,7 @@ mod tests {
     fn unit_demands_match_plain_first_fit() {
         let pairs = [(0, 6), (1, 7), (2, 9), (4, 11), (5, 12), (8, 14)];
         let plain = Instance::from_pairs(pairs, 2);
-        let demand = DemandInstance::new(
-            pairs.iter().map(|&(s, c)| dj(s, c, 1)).collect(),
-            2,
-        );
+        let demand = DemandInstance::new(pairs.iter().map(|&(s, c)| dj(s, c, 1)).collect(), 2);
         let a = FirstFit::paper().schedule(&plain).unwrap();
         let b = FirstFitDemand.schedule(&demand);
         assert_eq!(a.assignment(), b.assignment());

@@ -14,6 +14,8 @@
 //! [`SortOrder`] variants other than [`SortOrder::LongestFirst`] exist for
 //! the ablation experiment (E11) and carry **no** approximation guarantee.
 
+use std::borrow::Cow;
+
 use crate::algo::{Scheduler, SchedulerError};
 use crate::instance::Instance;
 use crate::machine::MachineLoad;
@@ -98,7 +100,7 @@ impl FirstFit {
 }
 
 impl Scheduler for FirstFit {
-    fn name(&self) -> String {
+    fn name(&self) -> Cow<'static, str> {
         let order = match self.order {
             SortOrder::LongestFirst => "longest",
             SortOrder::ShortestFirst => "shortest",
@@ -109,7 +111,7 @@ impl Scheduler for FirstFit {
             TieBreak::EarliestStart => String::from("earliest"),
             TieBreak::Seeded(s) => format!("seed{s}"),
         };
-        format!("FirstFit[{order},{tie}]")
+        Cow::Owned(format!("FirstFit[{order},{tie}]"))
     }
 
     fn schedule(&self, inst: &Instance) -> Result<Schedule, SchedulerError> {

@@ -23,6 +23,8 @@
 //! meant for validating the pipeline on segment-sized instances, exactly the
 //! role it plays inside Bounded_Length.
 
+use std::borrow::Cow;
+
 use busytime_graph::max_b_matching;
 use busytime_interval::Interval;
 
@@ -80,10 +82,7 @@ impl GuessMatch {
 /// Enumerate all partitions of `jobs` into independent sets (parts of
 /// pairwise non-overlapping intervals); invoke `visit` per partition, stop
 /// early when it returns true. Returns whether any visit returned true.
-fn for_each_is_partition(
-    jobs: &[Interval],
-    visit: &mut dyn FnMut(&[Vec<usize>]) -> bool,
-) -> bool {
+fn for_each_is_partition(jobs: &[Interval], visit: &mut dyn FnMut(&[Vec<usize>]) -> bool) -> bool {
     fn rec(
         jobs: &[Interval],
         next: usize,
@@ -192,11 +191,11 @@ impl Search<'_> {
 }
 
 impl Scheduler for GuessMatch {
-    fn name(&self) -> String {
+    fn name(&self) -> Cow<'static, str> {
         if self.epsilon > 0.0 {
-            format!("GuessMatch[eps={}]", self.epsilon)
+            Cow::Owned(format!("GuessMatch[eps={}]", self.epsilon))
         } else {
-            String::from("GuessMatch")
+            Cow::Borrowed("GuessMatch")
         }
     }
 
@@ -207,7 +206,7 @@ impl Scheduler for GuessMatch {
         }
         if n > self.max_jobs {
             return Err(SchedulerError::TooLarge {
-                scheduler: self.name(),
+                scheduler: self.name().into_owned(),
                 limit: format!("n ≤ {} (got {n})", self.max_jobs),
             });
         }
@@ -342,7 +341,10 @@ mod tests {
     #[test]
     fn empty_and_singleton() {
         let empty = Instance::new(vec![], 2);
-        assert_eq!(GuessMatch::new().schedule(&empty).unwrap().machine_count(), 0);
+        assert_eq!(
+            GuessMatch::new().schedule(&empty).unwrap().machine_count(),
+            0
+        );
         let single = Instance::from_pairs([(2, 9)], 1);
         let sched = GuessMatch::new().schedule(&single).unwrap();
         assert_eq!(sched.cost(&single), 7);

@@ -33,6 +33,8 @@ pub use first_fit::{FirstFit, SortOrder, TieBreak};
 pub use guess_match::GuessMatch;
 pub use next_fit_proper::NextFitProper;
 
+use std::borrow::Cow;
+
 use crate::instance::Instance;
 use crate::schedule::Schedule;
 
@@ -54,6 +56,15 @@ pub enum SchedulerError {
         /// Human-readable limit description.
         limit: String,
     },
+    /// No feasible schedule exists within the solver's resource budget
+    /// (time, machines, or cost cap). Reserved for budgeted solvers; the
+    /// paper's algorithms always succeed on instances in their class.
+    Infeasible {
+        /// The scheduler that gave up.
+        scheduler: String,
+        /// The budget that was exhausted.
+        budget: String,
+    },
 }
 
 impl std::fmt::Display for SchedulerError {
@@ -65,6 +76,12 @@ impl std::fmt::Display for SchedulerError {
             SchedulerError::TooLarge { scheduler, limit } => {
                 write!(f, "{scheduler}: instance too large: {limit}")
             }
+            SchedulerError::Infeasible { scheduler, budget } => {
+                write!(
+                    f,
+                    "{scheduler}: no feasible schedule within budget: {budget}"
+                )
+            }
         }
     }
 }
@@ -74,8 +91,12 @@ impl std::error::Error for SchedulerError {}
 /// A busy-time scheduling algorithm.
 pub trait Scheduler {
     /// Human-readable name including parameterization (used in experiment
-    /// tables).
-    fn name(&self) -> String;
+    /// tables and solver registries).
+    ///
+    /// Returns a `Cow` so the common case — a fixed, static name — does not
+    /// allocate on every dispatch; parameterized schedulers return an owned
+    /// string.
+    fn name(&self) -> Cow<'static, str>;
 
     /// Produces a feasible schedule for `inst`, or an error when the
     /// instance is outside the algorithm's class or size limits.
@@ -83,7 +104,7 @@ pub trait Scheduler {
 }
 
 impl<S: Scheduler + ?Sized> Scheduler for &S {
-    fn name(&self) -> String {
+    fn name(&self) -> Cow<'static, str> {
         (**self).name()
     }
     fn schedule(&self, inst: &Instance) -> Result<Schedule, SchedulerError> {
@@ -92,7 +113,7 @@ impl<S: Scheduler + ?Sized> Scheduler for &S {
 }
 
 impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
-    fn name(&self) -> String {
+    fn name(&self) -> Cow<'static, str> {
         (**self).name()
     }
     fn schedule(&self, inst: &Instance) -> Result<Schedule, SchedulerError> {
@@ -117,8 +138,8 @@ impl<S: Scheduler> Decomposed<S> {
 }
 
 impl<S: Scheduler> Scheduler for Decomposed<S> {
-    fn name(&self) -> String {
-        format!("Decomposed({})", self.inner.name())
+    fn name(&self) -> Cow<'static, str> {
+        Cow::Owned(format!("Decomposed({})", self.inner.name()))
     }
 
     fn schedule(&self, inst: &Instance) -> Result<Schedule, SchedulerError> {
@@ -170,5 +191,16 @@ mod tests {
             limit: "n ≤ 6".into(),
         };
         assert!(e.to_string().contains("too large"));
+        let e = SchedulerError::Infeasible {
+            scheduler: "Budgeted".into(),
+            budget: "10ms".into(),
+        };
+        assert!(e.to_string().contains("within budget"));
+    }
+
+    #[test]
+    fn names_do_not_allocate_for_static_schedulers() {
+        assert!(matches!(MinMachines.name(), Cow::Borrowed("MinMachines")));
+        assert!(matches!(BestFit.name(), Cow::Borrowed("BestFit")));
     }
 }

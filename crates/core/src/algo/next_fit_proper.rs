@@ -17,6 +17,8 @@
 //! guarantee does not apply; [`NextFitProper::strict`] makes such input an
 //! error instead.
 
+use std::borrow::Cow;
+
 use crate::algo::{Scheduler, SchedulerError};
 use crate::instance::Instance;
 use crate::machine::MachineLoad;
@@ -48,14 +50,14 @@ impl NextFitProper {
 }
 
 impl Scheduler for NextFitProper {
-    fn name(&self) -> String {
-        String::from("NextFitProper")
+    fn name(&self) -> Cow<'static, str> {
+        Cow::Borrowed("NextFitProper")
     }
 
     fn schedule(&self, inst: &Instance) -> Result<Schedule, SchedulerError> {
         if self.require_proper && !inst.is_proper() {
             return Err(SchedulerError::UnsupportedInstance {
-                scheduler: self.name(),
+                scheduler: self.name().into_owned(),
                 reason: String::from("instance is not a proper interval family"),
             });
         }

@@ -125,12 +125,19 @@ mod tests {
         // two far-apart dense components: per-component parallelism bounds
         // add up to more than either global bound
         let inst = Instance::from_pairs(
-            [(0, 10), (0, 10), (0, 10), (100, 110), (100, 110), (100, 110)],
+            [
+                (0, 10),
+                (0, 10),
+                (0, 10),
+                (100, 110),
+                (100, 110),
+                (100, 110),
+            ],
             2,
         );
         assert_eq!(lower_bound(&inst), 30); // global parallelism: 60/2
         assert_eq!(component_lower_bound(&inst), 30); // 15 + 15
-        // mixed: one sparse + one dense component
+                                                      // mixed: one sparse + one dense component
         let mixed = Instance::from_pairs([(0, 10), (100, 110), (100, 110), (100, 110)], 3);
         // global: span 20, parallelism ⌈40/3⌉ = 14 → 20
         assert_eq!(lower_bound(&mixed), 20);
@@ -168,10 +175,8 @@ mod tests {
     #[test]
     fn delta_bound_on_tight_family_matches_opt() {
         // g lefts [−L,0], g rights [0,L]: δ all equal L → δ-bound = 2L = OPT
-        let inst = Instance::from_pairs(
-            [(-50, 0), (0, 50), (-50, 0), (0, 50), (-50, 0), (0, 50)],
-            3,
-        );
+        let inst =
+            Instance::from_pairs([(-50, 0), (0, 50), (-50, 0), (0, 50), (-50, 0), (0, 50)], 3);
         assert_eq!(clique_delta_bound(&inst), Some(100));
         assert_eq!(best_lower_bound(&inst), 100);
     }

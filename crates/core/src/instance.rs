@@ -9,7 +9,6 @@ pub type JobId = usize;
 /// intervals, and the parallelism parameter `g ≥ 1` — the maximum number of
 /// jobs a single machine may process simultaneously.
 #[derive(Clone, Debug, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Instance {
     jobs: Vec<Interval>,
     g: u32,
@@ -32,7 +31,10 @@ impl Instance {
         I: IntoIterator<Item = (i64, i64)>,
     {
         Self::new(
-            pairs.into_iter().map(|(s, c)| Interval::new(s, c)).collect(),
+            pairs
+                .into_iter()
+                .map(|(s, c)| Interval::new(s, c))
+                .collect(),
             g,
         )
     }

@@ -32,16 +32,33 @@
 //!
 //! # Quick example
 //!
+//! The front door is the unified solve pipeline of [`solve`]: build a
+//! [`SolveRequest`], pick a solver by registry name — or let the `auto`
+//! portfolio detect the instance's structure and dispatch the
+//! best-guaranteed algorithm — and read schedule, cost, lower bound, gap
+//! and timings off the returned [`SolveReport`]:
+//!
 //! ```
-//! use busytime_core::{Instance, algo::{FirstFit, Scheduler}};
+//! use busytime_core::{Instance, SolveRequest};
 //! use busytime_interval::Interval;
 //!
 //! let inst = Instance::new(
 //!     vec![Interval::new(0, 4), Interval::new(1, 5), Interval::new(6, 9)],
 //!     2,
 //! );
+//! let report = SolveRequest::new(&inst).solver("auto").solve().unwrap();
+//! report.schedule.validate(&inst).unwrap();
+//! assert!(report.gap >= 1.0);
+//! assert!(report.cost <= 4 * report.lower_bound); // Thm 2.1, through any dispatch
+//! ```
+//!
+//! The bare [`algo::Scheduler`] trait remains the low-level extension
+//! point for calling a concrete algorithm directly:
+//!
+//! ```
+//! use busytime_core::{Instance, algo::{FirstFit, Scheduler}};
+//! let inst = Instance::from_pairs([(0, 4), (1, 5), (6, 9)], 2);
 //! let schedule = FirstFit::paper().schedule(&inst).unwrap();
-//! schedule.validate(&inst).unwrap();
 //! assert!(schedule.cost(&inst) <= 4 * busytime_core::bounds::lower_bound(&inst));
 //! ```
 
@@ -51,8 +68,10 @@ pub mod instance;
 pub mod machine;
 pub mod render;
 pub mod schedule;
+pub mod solve;
 pub mod verify;
 
 pub use instance::{Instance, JobId};
 pub use machine::MachineLoad;
 pub use schedule::{MachineId, Schedule, ScheduleViolation};
+pub use solve::{Auto, InstanceFeatures, SolveError, SolveReport, SolveRequest, SolverRegistry};

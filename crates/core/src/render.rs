@@ -91,7 +91,11 @@ pub fn gantt(inst: &Instance, sched: &Schedule, width: usize, max_machines: usiz
         let _ = writeln!(out, "M{m:<3} {row}");
     }
     if sched.machine_count() > max_machines {
-        let _ = writeln!(out, "… {} more machines", sched.machine_count() - max_machines);
+        let _ = writeln!(
+            out,
+            "… {} more machines",
+            sched.machine_count() - max_machines
+        );
     }
     out
 }

@@ -14,7 +14,6 @@ pub type MachineId = usize;
 /// `Σ_i span(J_i)` — each machine pays the measure of the union of its jobs'
 /// intervals (its busy time; Section 1.1 of the paper).
 #[derive(Clone, Debug, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Schedule {
     assignment: Vec<MachineId>,
     machine_count: usize,
@@ -66,7 +65,11 @@ impl std::fmt::Display for ScheduleViolation {
             ScheduleViolation::EmptyMachine { machine } => {
                 write!(f, "machine {machine} has no jobs (ids must be dense)")
             }
-            ScheduleViolation::CapacityExceeded { machine, overlap, g } => {
+            ScheduleViolation::CapacityExceeded {
+                machine,
+                overlap,
+                g,
+            } => {
                 write!(f, "machine {machine} runs {overlap} jobs at once (g = {g})")
             }
         }
@@ -277,7 +280,11 @@ mod tests {
         let tight = Instance::from_pairs([(0, 4), (2, 6)], 1);
         let s = Schedule::from_assignment(vec![0, 0]);
         match s.validate(&tight) {
-            Err(ScheduleViolation::CapacityExceeded { machine: 0, overlap: 2, g: 1 }) => {}
+            Err(ScheduleViolation::CapacityExceeded {
+                machine: 0,
+                overlap: 2,
+                g: 1,
+            }) => {}
             other => panic!("expected capacity violation, got {other:?}"),
         }
     }
@@ -287,7 +294,10 @@ mod tests {
         let s = Schedule::from_assignment(vec![0, 0]);
         assert!(matches!(
             s.validate(&inst()),
-            Err(ScheduleViolation::WrongJobCount { got: 2, expected: 4 })
+            Err(ScheduleViolation::WrongJobCount {
+                got: 2,
+                expected: 4
+            })
         ));
     }
 
@@ -302,7 +312,11 @@ mod tests {
 
     #[test]
     fn violation_messages_render() {
-        let v = ScheduleViolation::CapacityExceeded { machine: 3, overlap: 5, g: 2 };
+        let v = ScheduleViolation::CapacityExceeded {
+            machine: 3,
+            overlap: 5,
+            g: 2,
+        };
         assert!(v.to_string().contains("machine 3"));
         let v = ScheduleViolation::EmptyMachine { machine: 1 };
         assert!(v.to_string().contains("machine 1"));

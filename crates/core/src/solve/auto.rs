@@ -1,0 +1,228 @@
+//! The `Auto` portfolio scheduler: structure-conditional dispatch.
+//!
+//! Related work (Chang–Khuller–Mukherjee, *LP Rounding and Combinatorial
+//! Algorithms for Minimizing Active and Busy Time*) frames the paper's
+//! algorithms as a portfolio of structure-conditional solvers; `Auto` makes
+//! that operational. It detects the instance's class
+//! ([`InstanceFeatures`]), runs the specialist with the best guarantee for
+//! that class, *and* always runs [`FirstFit::paper`] as the general-purpose
+//! fallback — returning whichever schedule is cheaper. The result is
+//! therefore never worse than FirstFit while inheriting the specialist's
+//! 2- or (2+ε)-approximation whenever the structure allows one.
+
+use std::borrow::Cow;
+
+use crate::algo::{
+    BoundedLength, CliqueScheduler, FirstFit, NextFitProper, Scheduler, SchedulerError,
+};
+use crate::instance::Instance;
+use crate::schedule::Schedule;
+use crate::solve::InstanceFeatures;
+
+/// Which specialist [`Auto`] dispatches to for an instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AutoChoice {
+    /// Pairwise-overlapping family → [`CliqueScheduler`] (2-approx,
+    /// Thm A.1).
+    Clique,
+    /// Proper family → [`NextFitProper`] (2-approx, Thm 3.1).
+    Proper,
+    /// Lengths in `[1, d]` for small `d` → [`BoundedLength`] ((2+ε)-approx,
+    /// Thm 3.2).
+    BoundedLength,
+    /// No special structure → [`FirstFit`] alone (4-approx, Thm 2.1).
+    General,
+}
+
+impl AutoChoice {
+    /// The registry key of the chosen specialist.
+    pub fn solver_key(self) -> &'static str {
+        match self {
+            AutoChoice::Clique => "clique",
+            AutoChoice::Proper => "next-fit-proper",
+            AutoChoice::BoundedLength => "bounded-length",
+            AutoChoice::General => "first-fit",
+        }
+    }
+}
+
+impl std::fmt::Display for AutoChoice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.solver_key())
+    }
+}
+
+/// Portfolio scheduler dispatching on detected instance structure, with a
+/// [`FirstFit`] safety net.
+///
+/// ```
+/// use busytime_core::{Instance, solve::Auto, algo::Scheduler};
+/// // a proper family: Auto dispatches to NextFitProper
+/// let inst = Instance::from_pairs([(0, 3), (1, 4), (2, 5), (9, 12)], 2);
+/// let sched = Auto::new().schedule(&inst).unwrap();
+/// sched.validate(&inst).unwrap();
+/// ```
+#[derive(Clone, Debug)]
+pub struct Auto {
+    /// Maximum normalized length width `d` (see
+    /// [`InstanceFeatures::length_width`]) up to which
+    /// [`BoundedLength`] is preferred over plain [`FirstFit`]. The
+    /// (2+ε) guarantee holds for any finite `d`, but the segmentation
+    /// machinery only pays off while `d` is small.
+    pub max_bounded_width: i64,
+}
+
+impl Default for Auto {
+    fn default() -> Self {
+        Auto::new()
+    }
+}
+
+impl Auto {
+    /// The default portfolio (bounded-length dispatch up to `d = 8`).
+    pub fn new() -> Self {
+        Auto {
+            max_bounded_width: 8,
+        }
+    }
+
+    /// Overrides the bounded-length dispatch cutoff.
+    pub fn with_max_bounded_width(mut self, d: i64) -> Self {
+        self.max_bounded_width = d;
+        self
+    }
+
+    /// The dispatch decision for an instance with the given features —
+    /// pure, cheap, and unit-testable without running any scheduler.
+    ///
+    /// Priority order mirrors guarantee strength on each class: cliques
+    /// (2-approx with the δ-bound certificate), proper families (2-approx),
+    /// bounded lengths ((2+ε)-approx), then the general 4-approx.
+    pub fn decide(&self, features: &InstanceFeatures) -> AutoChoice {
+        if features.jobs == 0 {
+            return AutoChoice::General;
+        }
+        if features.clique {
+            AutoChoice::Clique
+        } else if features.proper {
+            AutoChoice::Proper
+        } else if matches!(features.length_width(), Some(d) if d <= self.max_bounded_width) {
+            AutoChoice::BoundedLength
+        } else {
+            AutoChoice::General
+        }
+    }
+
+    fn specialist(&self, choice: AutoChoice) -> Option<Box<dyn Scheduler>> {
+        match choice {
+            AutoChoice::Clique => Some(Box::new(CliqueScheduler::new())),
+            AutoChoice::Proper => Some(Box::new(NextFitProper::new())),
+            AutoChoice::BoundedLength => Some(Box::new(BoundedLength::first_fit())),
+            AutoChoice::General => None,
+        }
+    }
+}
+
+impl Scheduler for Auto {
+    fn name(&self) -> Cow<'static, str> {
+        Cow::Borrowed("Auto")
+    }
+
+    /// Detects structure, runs the matching specialist plus the FirstFit
+    /// fallback, and returns the cheaper schedule (the specialist wins
+    /// ties). Never fails on a valid instance: a specialist error — which
+    /// would indicate a feature-detection/specialist disagreement — falls
+    /// back to FirstFit instead of surfacing.
+    fn schedule(&self, inst: &Instance) -> Result<Schedule, SchedulerError> {
+        let features = InstanceFeatures::detect(inst);
+        let choice = self.decide(&features);
+        let fallback = FirstFit::paper().schedule(inst)?;
+        let Some(specialist) = self.specialist(choice) else {
+            return Ok(fallback);
+        };
+        match specialist.schedule(inst) {
+            Ok(sched) if sched.cost(inst) <= fallback.cost(inst) => Ok(sched),
+            Ok(_) | Err(_) => Ok(fallback),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn features(pairs: &[(i64, i64)], g: u32) -> InstanceFeatures {
+        InstanceFeatures::detect(&Instance::from_pairs(pairs.iter().copied(), g))
+    }
+
+    #[test]
+    fn decides_clique_before_proper() {
+        // pairwise overlapping AND proper: the clique algorithm's δ-bound
+        // certificate wins the tie
+        let f = features(&[(0, 3), (1, 4), (2, 5)], 2);
+        assert!(f.clique && f.proper);
+        assert_eq!(Auto::new().decide(&f), AutoChoice::Clique);
+    }
+
+    #[test]
+    fn decides_proper_on_proper_non_clique() {
+        let f = features(&[(0, 3), (2, 5), (4, 7), (6, 9)], 2);
+        assert!(!f.clique && f.proper);
+        assert_eq!(Auto::new().decide(&f), AutoChoice::Proper);
+    }
+
+    #[test]
+    fn decides_bounded_on_short_jobs_with_containment() {
+        // containment breaks properness; disjoint far pair breaks clique;
+        // lengths in [1, 2] keep the bounded class
+        let f = features(&[(0, 2), (1, 2), (100, 101)], 2);
+        assert!(!f.clique && !f.proper);
+        assert_eq!(Auto::new().decide(&f), AutoChoice::BoundedLength);
+    }
+
+    #[test]
+    fn decides_general_on_wide_lengths() {
+        let f = features(&[(0, 1), (0, 100), (200, 201)], 2);
+        assert_eq!(Auto::new().decide(&f), AutoChoice::General);
+        // and on point jobs (outside the bounded class)
+        let f = features(&[(0, 0), (0, 9), (20, 21)], 2);
+        assert_eq!(Auto::new().decide(&f), AutoChoice::General);
+    }
+
+    #[test]
+    fn cutoff_is_configurable() {
+        let f = features(&[(0, 1), (0, 100), (200, 201)], 2);
+        let generous = Auto::new().with_max_bounded_width(1_000);
+        assert_eq!(generous.decide(&f), AutoChoice::BoundedLength);
+    }
+
+    #[test]
+    fn schedules_empty_instance() {
+        let inst = Instance::new(vec![], 3);
+        let sched = Auto::new().schedule(&inst).unwrap();
+        assert_eq!(sched.machine_count(), 0);
+    }
+
+    #[test]
+    fn never_costlier_than_first_fit_on_specialist_classes() {
+        for pairs in [
+            vec![(0i64, 4i64), (1, 5), (2, 6), (3, 7)],    // clique
+            vec![(0, 3), (2, 5), (4, 7), (6, 9), (8, 11)], // proper
+            vec![(0, 2), (1, 2), (10, 12), (11, 12), (20, 22)], // bounded
+        ] {
+            let inst = Instance::from_pairs(pairs, 2);
+            let auto = Auto::new().schedule(&inst).unwrap();
+            let ff = FirstFit::paper().schedule(&inst).unwrap();
+            auto.validate(&inst).unwrap();
+            assert!(auto.cost(&inst) <= ff.cost(&inst));
+        }
+    }
+
+    #[test]
+    fn choice_keys_match_registry() {
+        assert_eq!(AutoChoice::Clique.solver_key(), "clique");
+        assert_eq!(AutoChoice::Proper.solver_key(), "next-fit-proper");
+        assert_eq!(AutoChoice::BoundedLength.solver_key(), "bounded-length");
+        assert_eq!(AutoChoice::General.solver_key(), "first-fit");
+    }
+}

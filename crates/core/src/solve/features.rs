@@ -1,0 +1,144 @@
+//! Structural feature detection for instances.
+//!
+//! The paper's algorithms are *structure-conditional*: their guarantees hold
+//! on specific instance classes (proper families §3.1, bounded lengths
+//! §3.2, cliques Appendix A). [`InstanceFeatures::detect`] measures every
+//! class membership the portfolio cares about in one pass, so dispatch
+//! logic ([`crate::solve::Auto`]) and reports ([`crate::solve::SolveReport`])
+//! share a single, cheap (`O(n log n)`) detection step.
+
+use crate::instance::Instance;
+
+/// Structural facts about an instance, as detected by
+/// [`InstanceFeatures::detect`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct InstanceFeatures {
+    /// Number of jobs `n`.
+    pub jobs: usize,
+    /// Parallelism parameter `g`.
+    pub g: u32,
+    /// No job properly contains another (§3.1's proper families).
+    pub proper: bool,
+    /// All jobs share a common time point (the Appendix's cliques).
+    pub clique: bool,
+    /// Number of connected components of the interval graph.
+    pub components: usize,
+    /// Clique number ω — the maximum number of simultaneously active jobs.
+    pub max_overlap: usize,
+    /// Minimum job length (0 for an empty instance; point jobs have
+    /// length 0).
+    pub min_len: i64,
+    /// Maximum job length (0 for an empty instance).
+    pub max_len: i64,
+    /// `span(J)` — measure of the union of all jobs.
+    pub span: i64,
+    /// `len(J)` — summed job lengths.
+    pub total_len: i64,
+}
+
+impl InstanceFeatures {
+    /// Runs every detector on `inst`.
+    pub fn detect(inst: &Instance) -> Self {
+        InstanceFeatures {
+            jobs: inst.len(),
+            g: inst.g(),
+            proper: inst.is_proper(),
+            clique: !inst.is_empty() && inst.is_clique(),
+            components: inst.components().len(),
+            max_overlap: inst.max_overlap(),
+            min_len: inst.min_len(),
+            max_len: inst.max_len(),
+            span: inst.span(),
+            total_len: inst.total_len(),
+        }
+    }
+
+    /// True iff the interval graph is connected (or empty).
+    pub fn connected(&self) -> bool {
+        self.components <= 1
+    }
+
+    /// The normalized length width `d = max_len / min_len`, the parameter
+    /// of §3.2's Bounded_Length precondition "lengths in `[1, d]`"
+    /// (after scaling the shortest length to 1).
+    ///
+    /// `None` when some job has length 0 (point jobs are outside the class)
+    /// or the instance is empty.
+    pub fn length_width(&self) -> Option<i64> {
+        if self.jobs == 0 || self.min_len < 1 {
+            None
+        } else {
+            Some(
+                self.max_len.div_euclid(self.min_len)
+                    + i64::from(self.max_len.rem_euclid(self.min_len) != 0),
+            )
+        }
+    }
+
+    /// `⌈ω/g⌉` — the optimal machine *count* (Section 1.1), a cheap hint
+    /// for sizing machine pools.
+    pub fn min_machines(&self) -> usize {
+        if self.jobs == 0 {
+            0
+        } else {
+            self.max_overlap.div_ceil(self.g as usize)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detects_proper_family() {
+        let inst = Instance::from_pairs([(0, 3), (1, 4), (2, 5)], 2);
+        let f = InstanceFeatures::detect(&inst);
+        assert!(f.proper);
+        assert!(f.clique); // all share point 2
+        assert!(f.connected());
+        assert_eq!(f.max_overlap, 3);
+        assert_eq!(f.length_width(), Some(1));
+    }
+
+    #[test]
+    fn detects_clique_with_containment() {
+        let inst = Instance::from_pairs([(0, 10), (4, 6)], 2);
+        let f = InstanceFeatures::detect(&inst);
+        assert!(f.clique);
+        assert!(!f.proper); // [4,6] ⊂ [0,10]
+        assert_eq!(f.length_width(), Some(5));
+    }
+
+    #[test]
+    fn detects_disconnected_general_family() {
+        let inst = Instance::from_pairs([(0, 2), (100, 109)], 3);
+        let f = InstanceFeatures::detect(&inst);
+        assert!(!f.clique);
+        assert_eq!(f.components, 2);
+        assert_eq!(f.min_len, 2);
+        assert_eq!(f.max_len, 9);
+        assert_eq!(f.length_width(), Some(5)); // ⌈9/2⌉
+    }
+
+    #[test]
+    fn point_jobs_have_no_length_width() {
+        let inst = Instance::from_pairs([(0, 0), (0, 5)], 2);
+        assert_eq!(InstanceFeatures::detect(&inst).length_width(), None);
+    }
+
+    #[test]
+    fn empty_instance() {
+        let f = InstanceFeatures::detect(&Instance::new(vec![], 4));
+        assert!(!f.clique);
+        assert!(f.proper); // vacuously
+        assert_eq!(f.length_width(), None);
+        assert_eq!(f.min_machines(), 0);
+    }
+
+    #[test]
+    fn min_machines_rounds_up() {
+        let inst = Instance::from_pairs([(0, 4); 5], 2);
+        assert_eq!(InstanceFeatures::detect(&inst).min_machines(), 3);
+    }
+}

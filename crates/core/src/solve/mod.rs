@@ -1,0 +1,709 @@
+//! The unified solve pipeline: one stable entry point over every solver.
+//!
+//! The paper gives a *family* of algorithms whose guarantees depend on
+//! instance structure; callers should not have to hand-pick concrete types
+//! and rediscover that structure themselves. This module packages the whole
+//! flow behind two types:
+//!
+//! * [`SolveRequest`] — a builder holding the instance, a solver selection
+//!   (registry key, or a custom boxed [`Scheduler`]) and options:
+//!   component decomposition, validation level, seed, size/time budgets.
+//! * [`SolveReport`] — the rich result: schedule, cost, the best lower
+//!   bound of [`crate::bounds`], the approximation gap, detected
+//!   [`InstanceFeatures`], wall-clock per-phase timings, and the resolved
+//!   solver name. Renders as text ([`std::fmt::Display`]) and JSON
+//!   ([`SolveReport::to_json`]).
+//!
+//! Solvers are looked up in a [`SolverRegistry`] (string key → factory), so
+//! serving layers select algorithms dynamically; [`Auto`] is the portfolio
+//! entry that dispatches on detected structure. The bare [`Scheduler`]
+//! trait remains the low-level extension point — anything implementing it
+//! can be registered or passed directly.
+//!
+//! ```
+//! use busytime_core::{Instance, solve::SolveRequest};
+//!
+//! let inst = Instance::from_pairs([(0, 4), (1, 5), (6, 9)], 2);
+//! let report = SolveRequest::new(&inst).solver("auto").solve().unwrap();
+//! assert!(report.gap >= 1.0);
+//! report.schedule.validate(&inst).unwrap();
+//! ```
+
+mod auto;
+mod features;
+mod registry;
+
+pub use auto::{Auto, AutoChoice};
+pub use features::InstanceFeatures;
+pub use registry::{owned_name, SolverEntry, SolverFactory, SolverRegistry};
+
+use std::time::{Duration, Instant};
+
+use crate::algo::{Decomposed, Scheduler, SchedulerError};
+use crate::bounds;
+use crate::instance::Instance;
+use crate::schedule::{Schedule, ScheduleViolation};
+
+/// How much checking [`SolveRequest::solve`] performs on the produced
+/// schedule.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ValidationLevel {
+    /// Trust the solver; no validation phase.
+    Skip,
+    /// Run [`Schedule::validate`] (feasibility, dense ids, capacity).
+    #[default]
+    Basic,
+    /// [`ValidationLevel::Basic`] plus internal-consistency checks
+    /// (cost is never below the certified lower bound).
+    Strict,
+}
+
+/// Solver selection inside a [`SolveRequest`].
+enum SolverChoice {
+    /// Look up this key in the registry at solve time.
+    Named(String),
+    /// Use this caller-supplied scheduler directly.
+    Custom(Box<dyn Scheduler>),
+}
+
+/// Options shared by every solver factory and the pipeline driver.
+#[derive(Clone, Debug)]
+pub struct SolveOptions {
+    /// Solve connected components independently and merge (the paper's
+    /// w.l.o.g. preprocessing, Section 1.4; lossless). Default `true`.
+    pub decompose: bool,
+    /// Post-solve checking. Default [`ValidationLevel::Basic`].
+    pub validation: ValidationLevel,
+    /// Seed consumed by randomized solvers (`random-fit`,
+    /// `first-fit-seeded`). Default 0.
+    pub seed: u64,
+    /// Refuse instances with more jobs than this before scheduling.
+    pub max_jobs: Option<usize>,
+    /// Soft wall-clock budget: once it is exceeded, the post-schedule
+    /// validation phase (including [`ValidationLevel::Strict`] consistency
+    /// checks) is skipped and the report's `budget_exhausted` flag is set.
+    /// The lower-bound phase still runs (the report's `gap` needs it), and
+    /// solvers are not interrupted mid-run.
+    pub time_budget: Option<Duration>,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        SolveOptions {
+            decompose: true,
+            validation: ValidationLevel::Basic,
+            seed: 0,
+            max_jobs: None,
+            time_budget: None,
+        }
+    }
+}
+
+/// Why a solve failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SolveError {
+    /// The requested solver key is not in the registry.
+    UnknownSolver {
+        /// The key that failed to resolve.
+        requested: String,
+        /// All canonical keys the registry offers.
+        available: Vec<String>,
+    },
+    /// The solver itself refused or failed.
+    Scheduler(SchedulerError),
+    /// The produced schedule failed validation — a solver bug.
+    Validation(ScheduleViolation),
+    /// The instance exceeds the request's size budget.
+    BudgetExceeded {
+        /// Jobs in the instance.
+        jobs: usize,
+        /// The configured cap.
+        max_jobs: usize,
+    },
+    /// Strict validation found a cost below the certified lower bound —
+    /// an internal inconsistency in cost accounting or bounds.
+    CostBelowBound {
+        /// The (impossible) reported cost.
+        cost: i64,
+        /// The certified lower bound it undercuts.
+        lower_bound: i64,
+    },
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::UnknownSolver {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "unknown solver `{requested}`; available: {}",
+                    available.join(", ")
+                )
+            }
+            SolveError::Scheduler(e) => write!(f, "{e}"),
+            SolveError::Validation(v) => write!(f, "invalid schedule produced: {v}"),
+            SolveError::BudgetExceeded { jobs, max_jobs } => {
+                write!(f, "instance has {jobs} jobs, over the budget of {max_jobs}")
+            }
+            SolveError::CostBelowBound { cost, lower_bound } => {
+                write!(f, "cost {cost} below certified lower bound {lower_bound}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+impl From<SchedulerError> for SolveError {
+    fn from(e: SchedulerError) -> Self {
+        SolveError::Scheduler(e)
+    }
+}
+
+/// One timed pipeline phase inside a [`SolveReport`].
+#[derive(Clone, Debug)]
+pub struct PhaseStat {
+    /// Phase name (`detect`, `build`, `schedule`, `bound`, `validate`).
+    pub name: &'static str,
+    /// Wall-clock duration of the phase.
+    pub duration: Duration,
+    /// Human-readable detail (e.g. which specialist `auto` dispatched to).
+    pub detail: String,
+}
+
+/// The result of a solve: schedule plus everything a serving layer or
+/// experiment table needs, computed once.
+#[derive(Clone, Debug)]
+pub struct SolveReport {
+    /// The solver selection as requested (registry key or custom name).
+    pub requested: String,
+    /// The resolved name of the scheduler that actually ran.
+    pub solver: String,
+    /// The portfolio decision for the instance *as a whole*, when the
+    /// `auto` solver was requested (computed with [`Auto`]'s default
+    /// cutoffs). With component decomposition on (the default), `Auto`
+    /// re-decides per connected component, so individual components of a
+    /// disconnected instance may dispatch differently; the build phase's
+    /// detail notes when that can happen.
+    pub auto_choice: Option<AutoChoice>,
+    /// The produced schedule (validated per the request's
+    /// [`ValidationLevel`]).
+    pub schedule: Schedule,
+    /// Total busy time of the schedule — the objective.
+    pub cost: i64,
+    /// Machines used.
+    pub machines: usize,
+    /// The strongest lower bound of [`bounds::best_lower_bound`].
+    pub lower_bound: i64,
+    /// `cost / lower_bound` (`1.0` when the bound is 0 — empty instances).
+    /// An upper bound on the true approximation ratio achieved.
+    pub gap: f64,
+    /// Detected structure of the instance.
+    pub features: InstanceFeatures,
+    /// Per-phase wall-clock stats, in execution order.
+    pub phases: Vec<PhaseStat>,
+    /// Total wall-clock time of the pipeline.
+    pub total: Duration,
+    /// True iff the time budget expired and post-schedule phases were
+    /// skipped.
+    pub budget_exhausted: bool,
+}
+
+impl SolveReport {
+    /// One line suitable for logs: solver, cost, machines, gap.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: cost {} on {} machines | LB {} | gap ≤ {:.3} | {:.1} ms",
+            self.solver,
+            self.cost,
+            self.machines,
+            self.lower_bound,
+            self.gap,
+            self.total.as_secs_f64() * 1e3,
+        )
+    }
+
+    /// Serializes the full report (sans assignment) plus the machine
+    /// assignment as JSON.
+    pub fn to_json(&self) -> String {
+        fn esc(out: &mut String, s: &str) {
+            out.push('"');
+            for ch in s.chars() {
+                match ch {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => {
+                        out.push_str(&format!("\\u{:04x}", c as u32));
+                    }
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+        }
+        let ms = |d: Duration| format!("{:.3}", d.as_secs_f64() * 1e3);
+        let mut out = String::from("{\n  \"requested\": ");
+        esc(&mut out, &self.requested);
+        out.push_str(",\n  \"solver\": ");
+        esc(&mut out, &self.solver);
+        out.push_str(",\n  \"auto_choice\": ");
+        match self.auto_choice {
+            Some(c) => esc(&mut out, c.solver_key()),
+            None => out.push_str("null"),
+        }
+        out.push_str(&format!(
+            ",\n  \"cost\": {},\n  \"machines\": {},\n  \"lower_bound\": {},\n  \"gap\": {:.6},",
+            self.cost, self.machines, self.lower_bound, self.gap
+        ));
+        let f = &self.features;
+        out.push_str(&format!(
+            "\n  \"features\": {{\"jobs\": {}, \"g\": {}, \"proper\": {}, \"clique\": {}, \
+             \"components\": {}, \"max_overlap\": {}, \"min_len\": {}, \"max_len\": {}, \
+             \"span\": {}, \"total_len\": {}}},",
+            f.jobs,
+            f.g,
+            f.proper,
+            f.clique,
+            f.components,
+            f.max_overlap,
+            f.min_len,
+            f.max_len,
+            f.span,
+            f.total_len
+        ));
+        out.push_str("\n  \"phases\": [");
+        for (i, p) in self.phases.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"name\": \"{}\", \"ms\": {}, \"detail\": ",
+                p.name,
+                ms(p.duration)
+            ));
+            esc(&mut out, &p.detail);
+            out.push('}');
+        }
+        out.push_str(&format!(
+            "],\n  \"total_ms\": {},\n  \"budget_exhausted\": {},\n  \"assignment\": [",
+            ms(self.total),
+            self.budget_exhausted
+        ));
+        for (i, m) in self.schedule.assignment().iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&m.to_string());
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+impl std::fmt::Display for SolveReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "solver:      {} (requested: {})",
+            self.solver, self.requested
+        )?;
+        if let Some(choice) = self.auto_choice {
+            if self.features.components > 1 {
+                writeln!(
+                    f,
+                    "auto chose:  {choice} (whole-instance decision; components decided independently)"
+                )?;
+            } else {
+                writeln!(f, "auto chose:  {choice}")?;
+            }
+        }
+        writeln!(
+            f,
+            "cost:        {} on {} machines",
+            self.cost, self.machines
+        )?;
+        writeln!(
+            f,
+            "lower bound: {}  (gap ≤ {:.3})",
+            self.lower_bound, self.gap
+        )?;
+        writeln!(
+            f,
+            "features:    n={} g={} proper={} clique={} components={} ω={} lengths=[{},{}]",
+            self.features.jobs,
+            self.features.g,
+            self.features.proper,
+            self.features.clique,
+            self.features.components,
+            self.features.max_overlap,
+            self.features.min_len,
+            self.features.max_len
+        )?;
+        for p in &self.phases {
+            writeln!(
+                f,
+                "phase {:<9} {:>9.3} ms  {}",
+                p.name,
+                p.duration.as_secs_f64() * 1e3,
+                p.detail
+            )?;
+        }
+        write!(f, "total:       {:.3} ms", self.total.as_secs_f64() * 1e3)?;
+        if self.budget_exhausted {
+            write!(f, "  (time budget exhausted)")?;
+        }
+        Ok(())
+    }
+}
+
+/// Builder for one solve: instance + solver selection + options.
+///
+/// See the [module docs](self) for the full picture; the quick path is
+/// `SolveRequest::new(&inst).solve()`, which runs the `auto` portfolio
+/// with default options against the default registry.
+pub struct SolveRequest<'a> {
+    inst: &'a Instance,
+    choice: SolverChoice,
+    options: SolveOptions,
+}
+
+impl<'a> SolveRequest<'a> {
+    /// A request for `inst` with the `auto` portfolio and default options.
+    pub fn new(inst: &'a Instance) -> Self {
+        SolveRequest {
+            inst,
+            choice: SolverChoice::Named("auto".to_string()),
+            options: SolveOptions::default(),
+        }
+    }
+
+    /// Selects a solver by registry key (canonical name or alias).
+    pub fn solver(mut self, key: impl Into<String>) -> Self {
+        self.choice = SolverChoice::Named(key.into());
+        self
+    }
+
+    /// Uses a caller-supplied scheduler instead of a registry lookup (the
+    /// low-level [`Scheduler`] extension point).
+    pub fn scheduler(mut self, scheduler: Box<dyn Scheduler>) -> Self {
+        self.choice = SolverChoice::Custom(scheduler);
+        self
+    }
+
+    /// Toggles component decomposition (default on).
+    pub fn decompose(mut self, on: bool) -> Self {
+        self.options.decompose = on;
+        self
+    }
+
+    /// Sets the validation level (default [`ValidationLevel::Basic`]).
+    pub fn validation(mut self, level: ValidationLevel) -> Self {
+        self.options.validation = level;
+        self
+    }
+
+    /// Sets the seed for randomized solvers.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.options.seed = seed;
+        self
+    }
+
+    /// Refuses instances with more than `n` jobs.
+    pub fn max_jobs(mut self, n: usize) -> Self {
+        self.options.max_jobs = Some(n);
+        self
+    }
+
+    /// Sets a soft wall-clock budget (post-schedule phases are skipped
+    /// once exceeded; the report is flagged).
+    pub fn time_budget(mut self, budget: Duration) -> Self {
+        self.options.time_budget = Some(budget);
+        self
+    }
+
+    /// Replaces all options at once.
+    pub fn options(mut self, options: SolveOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Runs against the default registry ([`SolverRegistry::with_defaults`]).
+    pub fn solve(self) -> Result<SolveReport, SolveError> {
+        let registry = SolverRegistry::with_defaults();
+        self.solve_with(&registry)
+    }
+
+    /// Runs against a caller-provided registry (e.g. one extended with the
+    /// exact solvers of `busytime-exact`).
+    pub fn solve_with(self, registry: &SolverRegistry) -> Result<SolveReport, SolveError> {
+        let started = Instant::now();
+        let mut phases: Vec<PhaseStat> = Vec::new();
+
+        if let Some(max) = self.options.max_jobs {
+            if self.inst.len() > max {
+                return Err(SolveError::BudgetExceeded {
+                    jobs: self.inst.len(),
+                    max_jobs: max,
+                });
+            }
+        }
+
+        // detect
+        let t = Instant::now();
+        let features = InstanceFeatures::detect(self.inst);
+        phases.push(PhaseStat {
+            name: "detect",
+            duration: t.elapsed(),
+            detail: format!(
+                "proper={} clique={} components={} width={:?}",
+                features.proper,
+                features.clique,
+                features.components,
+                features.length_width()
+            ),
+        });
+
+        // build
+        let t = Instant::now();
+        let (requested, base): (String, Box<dyn Scheduler>) = match self.choice {
+            SolverChoice::Named(key) => {
+                let solver = registry.build(&key, &self.options)?;
+                (key, solver)
+            }
+            SolverChoice::Custom(s) => (owned_name(&*s), s),
+        };
+        let is_auto =
+            registry.get(&requested).is_some_and(|e| e.key() == "auto") || base.name() == "Auto";
+        let auto_choice = is_auto.then(|| Auto::new().decide(&features));
+        let solver_name = owned_name(&*base);
+        let solver: Box<dyn Scheduler> = if self.options.decompose {
+            Box::new(Decomposed::new(base))
+        } else {
+            base
+        };
+        // With decomposition on, Auto re-decides per connected component, so
+        // the whole-instance decision recorded here may be refined per
+        // component (see the `auto_choice` field docs).
+        let multi_component = self.options.decompose && features.components > 1;
+        phases.push(PhaseStat {
+            name: "build",
+            duration: t.elapsed(),
+            detail: match auto_choice {
+                Some(choice) if multi_component => format!(
+                    "{solver_name} (whole-instance dispatch {choice}; {} components decided independently)",
+                    features.components
+                ),
+                Some(choice) => format!("{solver_name} (dispatching to {choice})"),
+                None => solver_name.clone(),
+            },
+        });
+
+        // schedule
+        let t = Instant::now();
+        let schedule = solver.schedule(self.inst)?;
+        phases.push(PhaseStat {
+            name: "schedule",
+            duration: t.elapsed(),
+            detail: format!("{} machines", schedule.machine_count()),
+        });
+
+        let budget_exhausted = self
+            .options
+            .time_budget
+            .is_some_and(|budget| started.elapsed() > budget);
+
+        // bound
+        let t = Instant::now();
+        let lower_bound = bounds::best_lower_bound(self.inst);
+        phases.push(PhaseStat {
+            name: "bound",
+            duration: t.elapsed(),
+            detail: "best_lower_bound (component + clique δ)".to_string(),
+        });
+
+        let cost = schedule.cost(self.inst);
+        let gap = if lower_bound > 0 {
+            cost as f64 / lower_bound as f64
+        } else {
+            1.0
+        };
+
+        // validate
+        if self.options.validation != ValidationLevel::Skip && !budget_exhausted {
+            let t = Instant::now();
+            schedule
+                .validate(self.inst)
+                .map_err(SolveError::Validation)?;
+            if self.options.validation == ValidationLevel::Strict && cost < lower_bound {
+                return Err(SolveError::CostBelowBound { cost, lower_bound });
+            }
+            phases.push(PhaseStat {
+                name: "validate",
+                duration: t.elapsed(),
+                detail: format!("{:?}", self.options.validation),
+            });
+        }
+
+        Ok(SolveReport {
+            requested,
+            solver: solver_name,
+            auto_choice,
+            machines: schedule.machine_count(),
+            schedule,
+            cost,
+            lower_bound,
+            gap,
+            features,
+            phases,
+            total: started.elapsed(),
+            budget_exhausted,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::FirstFit;
+
+    fn inst() -> Instance {
+        Instance::from_pairs([(0, 4), (1, 5), (6, 9), (100, 104)], 2)
+    }
+
+    #[test]
+    fn default_request_runs_auto() {
+        let inst = inst();
+        let report = SolveRequest::new(&inst).solve().unwrap();
+        assert_eq!(report.requested, "auto");
+        assert!(report.auto_choice.is_some());
+        assert!(report.gap >= 1.0);
+        assert!(report.cost >= report.lower_bound);
+        report.schedule.validate(&inst).unwrap();
+        assert!(report.phases.iter().any(|p| p.name == "schedule"));
+    }
+
+    #[test]
+    fn named_solver_resolves() {
+        let inst = inst();
+        let report = SolveRequest::new(&inst)
+            .solver("first-fit")
+            .solve()
+            .unwrap();
+        assert_eq!(report.requested, "first-fit");
+        assert!(report.solver.starts_with("FirstFit"));
+        assert!(report.auto_choice.is_none());
+    }
+
+    #[test]
+    fn alias_resolves() {
+        let inst = inst();
+        let report = SolveRequest::new(&inst).solver("firstfit").solve().unwrap();
+        assert!(report.solver.starts_with("FirstFit"));
+    }
+
+    #[test]
+    fn unknown_solver_errors() {
+        let inst = inst();
+        let err = SolveRequest::new(&inst).solver("nope").solve().unwrap_err();
+        assert!(matches!(err, SolveError::UnknownSolver { .. }));
+    }
+
+    #[test]
+    fn custom_scheduler_is_accepted() {
+        let inst = inst();
+        let report = SolveRequest::new(&inst)
+            .scheduler(Box::new(FirstFit::paper()))
+            .solve()
+            .unwrap();
+        assert!(report.solver.starts_with("FirstFit"));
+    }
+
+    #[test]
+    fn decompose_toggle_preserves_cost_for_first_fit() {
+        let inst = inst();
+        let on = SolveRequest::new(&inst)
+            .solver("first-fit")
+            .solve()
+            .unwrap();
+        let off = SolveRequest::new(&inst)
+            .solver("first-fit")
+            .decompose(false)
+            .solve()
+            .unwrap();
+        assert_eq!(on.cost, off.cost);
+    }
+
+    #[test]
+    fn max_jobs_budget_refuses() {
+        let inst = inst();
+        let err = SolveRequest::new(&inst).max_jobs(2).solve().unwrap_err();
+        assert!(matches!(
+            err,
+            SolveError::BudgetExceeded {
+                jobs: 4,
+                max_jobs: 2
+            }
+        ));
+    }
+
+    #[test]
+    fn zero_time_budget_flags_report_and_skips_validation() {
+        let inst = inst();
+        let report = SolveRequest::new(&inst)
+            .time_budget(Duration::ZERO)
+            .solve()
+            .unwrap();
+        assert!(report.budget_exhausted);
+        assert!(!report.phases.iter().any(|p| p.name == "validate"));
+        // the schedule is still returned and is in fact valid
+        report.schedule.validate(&inst).unwrap();
+    }
+
+    #[test]
+    fn strict_validation_passes_on_honest_solvers() {
+        let inst = inst();
+        let report = SolveRequest::new(&inst)
+            .validation(ValidationLevel::Strict)
+            .solve()
+            .unwrap();
+        assert!(report.phases.iter().any(|p| p.name == "validate"));
+    }
+
+    #[test]
+    fn empty_instance_reports_gap_one() {
+        let empty = Instance::new(vec![], 3);
+        let report = SolveRequest::new(&empty).solve().unwrap();
+        assert_eq!(report.cost, 0);
+        assert_eq!(report.lower_bound, 0);
+        assert_eq!(report.gap, 1.0);
+        assert_eq!(report.machines, 0);
+    }
+
+    #[test]
+    fn report_renders_text_and_json() {
+        let inst = inst();
+        let report = SolveRequest::new(&inst).solve().unwrap();
+        let text = report.to_string();
+        assert!(text.contains("lower bound"));
+        assert!(report.summary().contains("cost"));
+        let json = report.to_json();
+        assert!(json.contains("\"solver\""));
+        assert!(json.contains("\"assignment\""));
+        assert!(json.contains("\"auto_choice\""));
+    }
+
+    #[test]
+    fn seed_reaches_seeded_solvers() {
+        let inst = inst();
+        let report = SolveRequest::new(&inst)
+            .solver("random-fit")
+            .seed(7)
+            .solve()
+            .unwrap();
+        assert_eq!(report.solver, "RandomFit[seed7]");
+    }
+}

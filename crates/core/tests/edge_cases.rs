@@ -2,8 +2,8 @@
 //! negative and extreme coordinates, over-provisioned g.
 
 use busytime_core::algo::{
-    BestFit, BoundedLength, CliqueScheduler, FirstFit, MinMachines, NextFitArrival,
-    NextFitProper, RandomFit, Scheduler,
+    BestFit, BoundedLength, CliqueScheduler, FirstFit, MinMachines, NextFitArrival, NextFitProper,
+    RandomFit, Scheduler,
 };
 use busytime_core::{bounds, Instance};
 use busytime_interval::Interval;

@@ -1,0 +1,106 @@
+//! Property tests for the unified solve pipeline: portfolio dominance,
+//! registry round-trips, and report invariants.
+
+use busytime_core::algo::{FirstFit, Scheduler};
+use busytime_core::solve::{SolveOptions, SolveRequest, SolverRegistry, ValidationLevel};
+use busytime_core::{bounds, Instance};
+use proptest::prelude::*;
+
+fn arb_instance(max_n: usize) -> impl Strategy<Value = Instance> {
+    (
+        proptest::collection::vec((0i64..120, 0i64..40), 1..max_n),
+        1u32..5,
+    )
+        .prop_map(|(pairs, g)| Instance::from_pairs(pairs.into_iter().map(|(s, l)| (s, s + l)), g))
+}
+
+fn arb_clique_instance(max_n: usize) -> impl Strategy<Value = Instance> {
+    // every job contains the point 100
+    (
+        proptest::collection::vec((0i64..=100, 100i64..140), 1..max_n),
+        1u32..5,
+    )
+        .prop_map(|(pairs, g)| Instance::from_pairs(pairs, g))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// (a) The `Auto` portfolio never returns a schedule costlier than
+    /// `FirstFit::paper()` — FirstFit is its built-in safety net.
+    #[test]
+    fn auto_never_costlier_than_first_fit(inst in arb_instance(40)) {
+        let auto = busytime_core::Auto::new().schedule(&inst).unwrap();
+        let ff = FirstFit::paper().schedule(&inst).unwrap();
+        auto.validate(&inst).unwrap();
+        prop_assert!(auto.cost(&inst) <= ff.cost(&inst),
+            "auto {} > first-fit {}", auto.cost(&inst), ff.cost(&inst));
+    }
+
+    /// (a') The same dominance holds end-to-end through the pipeline with
+    /// its default preprocessing (both requests share the decomposition
+    /// setting, so the comparison is like-for-like).
+    #[test]
+    fn auto_request_never_costlier_than_first_fit_request(inst in arb_instance(30)) {
+        let auto = SolveRequest::new(&inst).solver("auto").solve().unwrap();
+        let ff = SolveRequest::new(&inst).solver("first-fit").solve().unwrap();
+        prop_assert!(auto.cost <= ff.cost);
+    }
+
+    /// (b) Registry round-trip: every listed name resolves, builds,
+    /// schedules and validates. Small clique instances are accepted by
+    /// every registered solver (no class restriction excludes them, and
+    /// `guess-match`'s n ≤ 6 size guard is respected).
+    #[test]
+    fn registry_round_trips_every_name(inst in arb_clique_instance(7)) {
+        let registry = SolverRegistry::with_defaults();
+        let options = SolveOptions::default();
+        for name in registry.names() {
+            let entry = registry.get(name);
+            prop_assert!(entry.is_some(), "listed name `{name}` did not resolve");
+            let solver = entry.unwrap().build(&options);
+            match solver.schedule(&inst) {
+                Ok(sched) => prop_assert_eq!(sched.validate(&inst), Ok(()),
+                    "`{}` produced an invalid schedule", name),
+                Err(e) => prop_assert!(false, "`{}` refused a clique instance: {e}", name),
+            }
+        }
+    }
+
+    /// (c) `SolveReport.gap ≥ 1` whenever the lower bound is positive, for
+    /// every registered solver that accepts the instance.
+    #[test]
+    fn gap_at_least_one_when_bound_positive(inst in arb_instance(25)) {
+        let registry = SolverRegistry::with_defaults();
+        for name in registry.names() {
+            let report = match SolveRequest::new(&inst).solver(name).solve_with(&registry) {
+                Ok(r) => r,
+                Err(_) => continue, // class-restricted solver refused; fine
+            };
+            if report.lower_bound > 0 {
+                prop_assert!(report.gap >= 1.0,
+                    "`{}` reported gap {} < 1 with LB {}", name, report.gap, report.lower_bound);
+            }
+            prop_assert!(report.cost >= report.lower_bound);
+        }
+    }
+
+    /// The report's lower bound matches the bounds module (single source of
+    /// truth, no drift between the pipeline and `bounds`).
+    #[test]
+    fn report_bound_matches_bounds_module(inst in arb_instance(30)) {
+        let report = SolveRequest::new(&inst).solver("first-fit").solve().unwrap();
+        prop_assert_eq!(report.lower_bound, bounds::best_lower_bound(&inst));
+    }
+
+    /// Strict validation accepts every honest solver on every instance.
+    #[test]
+    fn strict_validation_always_passes(inst in arb_instance(25)) {
+        let report = SolveRequest::new(&inst)
+            .solver("auto")
+            .validation(ValidationLevel::Strict)
+            .solve()
+            .unwrap();
+        prop_assert!(report.cost >= report.lower_bound);
+    }
+}

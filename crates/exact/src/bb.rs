@@ -1,5 +1,7 @@
 //! Branch-and-bound exact solver.
 
+use std::borrow::Cow;
+
 use busytime_core::algo::{
     BestFit, Decomposed, FirstFit, NextFitProper, Scheduler, SchedulerError,
 };
@@ -71,7 +73,7 @@ impl ExactBB {
         }
         if n > self.max_jobs {
             return Err(SchedulerError::TooLarge {
-                scheduler: Scheduler::name(self),
+                scheduler: Scheduler::name(self).into_owned(),
                 limit: format!("component n ≤ {} (got {n})", self.max_jobs),
             });
         }
@@ -226,16 +228,16 @@ impl ExactBB {
 }
 
 impl Scheduler for ExactBB {
-    fn name(&self) -> String {
-        String::from("ExactBB")
+    fn name(&self) -> Cow<'static, str> {
+        Cow::Borrowed("ExactBB")
     }
 
     fn schedule(&self, inst: &Instance) -> Result<Schedule, SchedulerError> {
         // optimal schedules never span components: solve per component
         struct Component<'a>(&'a ExactBB);
         impl Scheduler for Component<'_> {
-            fn name(&self) -> String {
-                String::from("ExactBB/component")
+            fn name(&self) -> Cow<'static, str> {
+                Cow::Borrowed("ExactBB/component")
             }
             fn schedule(&self, inst: &Instance) -> Result<Schedule, SchedulerError> {
                 self.0.solve_component(inst)

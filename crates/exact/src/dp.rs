@@ -9,6 +9,8 @@
 //! different machinery from the branch-and-bound solver, which makes it a
 //! strong cross-check.
 
+use std::borrow::Cow;
+
 use busytime_core::algo::{Decomposed, Scheduler, SchedulerError};
 use busytime_core::{Instance, Schedule};
 use busytime_interval::{span, sweep, Interval};
@@ -45,7 +47,7 @@ impl ExactDp {
         }
         if n > self.max_jobs {
             return Err(SchedulerError::TooLarge {
-                scheduler: Scheduler::name(self),
+                scheduler: Scheduler::name(self).into_owned(),
                 limit: format!("component n ≤ {} (got {n})", self.max_jobs),
             });
         }
@@ -72,7 +74,7 @@ impl ExactDp {
         dp[0] = 0;
         for mask in 1..=full {
             let low = mask & mask.wrapping_neg(); // bit of the lowest job
-            // iterate submasks of mask containing `low`
+                                                  // iterate submasks of mask containing `low`
             let rest = mask ^ low;
             let mut sub = rest;
             loop {
@@ -111,15 +113,15 @@ impl ExactDp {
 }
 
 impl Scheduler for ExactDp {
-    fn name(&self) -> String {
-        String::from("ExactDp")
+    fn name(&self) -> Cow<'static, str> {
+        Cow::Borrowed("ExactDp")
     }
 
     fn schedule(&self, inst: &Instance) -> Result<Schedule, SchedulerError> {
         struct Component<'a>(&'a ExactDp);
         impl Scheduler for Component<'_> {
-            fn name(&self) -> String {
-                String::from("ExactDp/component")
+            fn name(&self) -> Cow<'static, str> {
+                Cow::Borrowed("ExactDp/component")
             }
             fn schedule(&self, inst: &Instance) -> Result<Schedule, SchedulerError> {
                 self.0.solve_component(inst)

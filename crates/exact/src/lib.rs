@@ -26,3 +26,59 @@ pub mod dp;
 
 pub use bb::ExactBB;
 pub use dp::ExactDp;
+
+use busytime_core::solve::SolverRegistry;
+
+/// Registers the exact solvers onto a [`SolverRegistry`].
+///
+/// Both are size-guarded: they refuse components beyond their per-component
+/// job limits with [`busytime_core::algo::SchedulerError::TooLarge`] rather
+/// than running for exponential time, so registering them in a serving
+/// registry is safe. `exact` is an alias for `exact-bb` (the solver with
+/// the larger practical reach).
+pub fn register(registry: &mut SolverRegistry) {
+    registry.register(
+        "exact-bb",
+        "exact optimum by branch-and-bound (size-guarded, ≤ 24 jobs/component)",
+        Some("= OPT (exponential time)"),
+        Box::new(|_| Box::new(ExactBB::new())),
+    );
+    registry.register(
+        "exact-dp",
+        "exact optimum by O(3^n) bitmask DP (size-guarded, ≤ 15 jobs/component)",
+        Some("= OPT (exponential time)"),
+        Box::new(|_| Box::new(ExactDp::new())),
+    );
+    registry.alias("exact", "exact-bb");
+}
+
+#[cfg(test)]
+mod registry_tests {
+    use busytime_core::solve::{SolveRequest, SolverRegistry};
+    use busytime_core::Instance;
+
+    #[test]
+    fn exact_solvers_register_and_solve() {
+        let mut reg = SolverRegistry::with_defaults();
+        super::register(&mut reg);
+        let inst = Instance::from_pairs([(0, 4), (1, 5), (6, 9)], 2);
+        for key in ["exact-bb", "exact-dp", "exact"] {
+            let report = SolveRequest::new(&inst)
+                .solver(key)
+                .solve_with(&reg)
+                .unwrap();
+            assert_eq!(report.cost, 8, "{key} missed the optimum");
+            assert_eq!(report.gap, 1.0);
+        }
+    }
+
+    #[test]
+    fn size_guard_refuses_oversized_components() {
+        let mut reg = SolverRegistry::with_defaults();
+        super::register(&mut reg);
+        // one connected component with 30 jobs exceeds both guards
+        let inst = Instance::from_pairs((0..30).map(|i| (i, i + 40)), 2);
+        let err = SolveRequest::new(&inst).solver("exact-dp").solve_with(&reg);
+        assert!(err.is_err());
+    }
+}

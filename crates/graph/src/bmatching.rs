@@ -85,7 +85,10 @@ mod tests {
         // 2 machines with b = 2, 5 ISs with b = 1; machine 0 sees all
         let b_left = [2u32, 2];
         let b_right = [1u32; 5];
-        let edges: Vec<(u32, u32)> = (0..5).map(|v| (0u32, v)).chain((0..5).map(|v| (1u32, v))).collect();
+        let edges: Vec<(u32, u32)> = (0..5)
+            .map(|v| (0u32, v))
+            .chain((0..5).map(|v| (1u32, v)))
+            .collect();
         let bm = max_b_matching(&b_left, &b_right, &edges);
         assert_eq!(bm.size, 4); // 2 + 2 capacity on the left
         degree_check(&bm, &b_left, &b_right);

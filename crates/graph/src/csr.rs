@@ -32,11 +32,7 @@ impl Csr {
         Self::from_degrees(n, deg, edges.iter().copied())
     }
 
-    fn from_degrees(
-        n: usize,
-        deg: Vec<usize>,
-        arcs: impl Iterator<Item = (u32, u32)>,
-    ) -> Self {
+    fn from_degrees(n: usize, deg: Vec<usize>, arcs: impl Iterator<Item = (u32, u32)>) -> Self {
         let mut offsets = Vec::with_capacity(n + 1);
         offsets.push(0usize);
         for d in &deg {

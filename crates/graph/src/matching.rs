@@ -10,7 +10,11 @@
 /// Returns `(size, mate_left, mate_right)` where `mate_left[u]` is the right
 /// partner of `u` (or `u32::MAX` if unmatched), symmetrically for
 /// `mate_right`. Runs in `O(E √V)`.
-pub fn hopcroft_karp(n_left: usize, n_right: usize, adj: &[Vec<u32>]) -> (usize, Vec<u32>, Vec<u32>) {
+pub fn hopcroft_karp(
+    n_left: usize,
+    n_right: usize,
+    adj: &[Vec<u32>],
+) -> (usize, Vec<u32>, Vec<u32>) {
     assert_eq!(adj.len(), n_left, "adjacency must cover every left vertex");
     const NONE: u32 = u32::MAX;
     let mut mate_l = vec![NONE; n_left];
@@ -76,9 +80,7 @@ pub fn hopcroft_karp(n_left: usize, n_right: usize, adj: &[Vec<u32>]) -> (usize,
             false
         }
         for u in 0..n_left as u32 {
-            if mate_l[u as usize] == NONE
-                && dfs(u, adj, &mut dist, &mut mate_l, &mut mate_r)
-            {
+            if mate_l[u as usize] == NONE && dfs(u, adj, &mut dist, &mut mate_l, &mut mate_r) {
                 size += 1;
             }
         }

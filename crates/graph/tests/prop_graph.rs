@@ -14,10 +14,7 @@ fn arb_family(max_n: usize) -> impl Strategy<Value = Vec<Interval>> {
 
 fn arb_bipartite() -> impl Strategy<Value = (usize, usize, Vec<(u32, u32)>)> {
     (1usize..8, 1usize..8).prop_flat_map(|(nl, nr)| {
-        let edges = proptest::collection::vec(
-            (0..nl as u32, 0..nr as u32),
-            0..(nl * nr).min(20),
-        );
+        let edges = proptest::collection::vec((0..nl as u32, 0..nr as u32), 0..(nl * nr).min(20));
         edges.prop_map(move |mut es| {
             es.sort_unstable();
             es.dedup();

@@ -57,10 +57,7 @@ mod tests {
         let inst = border_stress(4, 3, d, 2, 1);
         // at least one job crosses each border r·d
         for r in 1..=4i64 {
-            let crossing = inst
-                .jobs()
-                .iter()
-                .any(|j| j.start < r * d && j.end > r * d);
+            let crossing = inst.jobs().iter().any(|j| j.start < r * d && j.end > r * d);
             assert!(crossing, "no job crosses border {}", r * d);
         }
     }

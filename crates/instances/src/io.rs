@@ -5,10 +5,11 @@ use std::path::Path;
 
 use busytime_core::{Instance, Schedule};
 use busytime_interval::Interval;
-use serde::{Deserialize, Serialize};
+
+use crate::json::{self, JsonError, Value};
 
 /// A named, self-describing instance file.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct InstanceFile {
     /// Dataset name.
     pub name: String,
@@ -45,22 +46,110 @@ impl InstanceFile {
 
 /// Serializes an instance (with metadata) to pretty JSON.
 pub fn instance_to_json(file: &InstanceFile) -> String {
-    serde_json::to_string_pretty(file).expect("instance serialization cannot fail")
+    let mut out = String::new();
+    out.push_str("{\n  \"name\": ");
+    json::write_string(&mut out, &file.name);
+    out.push_str(",\n  \"comment\": ");
+    json::write_string(&mut out, &file.comment);
+    out.push_str(&format!(",\n  \"g\": {},\n  \"jobs\": [", file.g));
+    for (i, (s, c)) in file.jobs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\n    [{s}, {c}]"));
+    }
+    if !file.jobs.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
 }
 
 /// Serializes a schedule export to pretty JSON.
 pub fn schedule_to_json(file: &ScheduleFile) -> String {
-    serde_json::to_string_pretty(file).expect("schedule serialization cannot fail")
+    let mut out = String::new();
+    out.push_str("{\n  \"algorithm\": ");
+    json::write_string(&mut out, &file.algorithm);
+    out.push_str(",\n  \"assignment\": [");
+    for (i, m) in file.assignment.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&m.to_string());
+    }
+    out.push_str(&format!("],\n  \"cost\": {}\n}}\n", file.cost));
+    out
+}
+
+fn int_field<T: TryFrom<i64>>(value: &Value, key: &str) -> Result<T, JsonError> {
+    let raw = value
+        .field(key)?
+        .as_i64()
+        .ok_or_else(|| JsonError(format!("field `{key}` must be an integer")))?;
+    T::try_from(raw).map_err(|_| JsonError(format!("field `{key}` out of range")))
+}
+
+fn str_field(value: &Value, key: &str) -> Result<String, JsonError> {
+    Ok(value
+        .field(key)?
+        .as_str()
+        .ok_or_else(|| JsonError(format!("field `{key}` must be a string")))?
+        .to_string())
 }
 
 /// Parses a schedule export from JSON.
-pub fn schedule_from_json(json: &str) -> Result<ScheduleFile, serde_json::Error> {
-    serde_json::from_str(json)
+pub fn schedule_from_json(input: &str) -> Result<ScheduleFile, JsonError> {
+    let value = json::parse(input)?;
+    let assignment = value
+        .field("assignment")?
+        .as_array()
+        .ok_or_else(|| JsonError("field `assignment` must be an array".into()))?
+        .iter()
+        .map(|v| {
+            v.as_i64()
+                .and_then(|m| usize::try_from(m).ok())
+                .ok_or_else(|| JsonError("machine ids must be non-negative integers".into()))
+        })
+        .collect::<Result<Vec<usize>, _>>()?;
+    Ok(ScheduleFile {
+        algorithm: str_field(&value, "algorithm")?,
+        assignment,
+        cost: int_field(&value, "cost")?,
+    })
 }
 
 /// Parses an instance file from JSON.
-pub fn instance_from_json(json: &str) -> Result<InstanceFile, serde_json::Error> {
-    serde_json::from_str(json)
+pub fn instance_from_json(input: &str) -> Result<InstanceFile, JsonError> {
+    let value = json::parse(input)?;
+    let jobs = value
+        .field("jobs")?
+        .as_array()
+        .ok_or_else(|| JsonError("field `jobs` must be an array".into()))?
+        .iter()
+        .map(|pair| {
+            let pair = pair
+                .as_array()
+                .filter(|p| p.len() == 2)
+                .ok_or_else(|| JsonError("each job must be a `[start, end]` pair".into()))?;
+            match (pair[0].as_i64(), pair[1].as_i64()) {
+                (Some(s), Some(c)) if s <= c => Ok((s, c)),
+                (Some(s), Some(c)) => {
+                    Err(JsonError(format!("job `[{s}, {c}]` has start after end")))
+                }
+                _ => Err(JsonError("job endpoints must be integers".into())),
+            }
+        })
+        .collect::<Result<Vec<(i64, i64)>, _>>()?;
+    let g: u32 = int_field(&value, "g")?;
+    if g == 0 {
+        return Err(JsonError("field `g` must be at least 1".into()));
+    }
+    Ok(InstanceFile {
+        name: str_field(&value, "name")?,
+        comment: str_field(&value, "comment")?,
+        g,
+        jobs,
+    })
 }
 
 /// Writes an instance file to disk (buffered).
@@ -82,7 +171,7 @@ pub fn read_instance(path: &Path) -> std::io::Result<InstanceFile> {
 
 /// A schedule export: assignment plus the cost it was computed with, so
 /// downstream tooling can cross-check.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ScheduleFile {
     /// Producing algorithm.
     pub algorithm: String,

@@ -1,0 +1,376 @@
+//! A minimal JSON reader/writer used by [`crate::io`].
+//!
+//! The build environment vendors no `serde`, and the formats this crate
+//! exchanges are tiny and fixed (instance and schedule files), so a small
+//! recursive-descent parser over a [`Value`] tree is all that is needed.
+//! Strict on structure (trailing garbage, duplicate keys and truncation are
+//! errors), permissive on whitespace.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer that fits `i64` exactly (no decimal point or exponent in
+    /// the source). Kept separate from [`Value::Number`] so coordinates and
+    /// costs round-trip losslessly even beyond 2⁵³.
+    Int(i64),
+    /// Any other JSON number, stored as `f64`.
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object.
+    Object(BTreeMap<String, Value>),
+}
+
+/// A parse or shape error, with a human-readable message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonError(pub String);
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json: {}", self.0)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Value {
+    /// The value as an exact `i64`, if it is an integral number in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::Int(n) => Some(n),
+            // a float that happens to be integral and small enough to be
+            // exact (e.g. from a producer that writes `4.0`)
+            Value::Number(n) if n.fract() == 0.0 && n.abs() < 9.007_199_254_740_992e15 => {
+                Some(n as i64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as `&str`, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Looks up a required object field.
+    pub fn field(&self, key: &str) -> Result<&Value, JsonError> {
+        match self {
+            Value::Object(map) => map
+                .get(key)
+                .ok_or_else(|| JsonError(format!("missing field `{key}`"))),
+            _ => Err(JsonError(format!("expected object with field `{key}`"))),
+        }
+    }
+}
+
+/// Parses a complete JSON document (rejects trailing garbage).
+pub fn parse(input: &str) -> Result<Value, JsonError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(JsonError(format!(
+            "trailing characters at offset {}",
+            p.pos
+        )));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(JsonError(format!(
+                "expected `{}` at offset {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: Value) -> Result<Value, JsonError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(JsonError(format!("invalid literal at offset {}", self.pos)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, JsonError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(JsonError(format!(
+                "unexpected input at offset {}",
+                self.pos
+            ))),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, JsonError> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            if map.insert(key.clone(), value).is_some() {
+                return Err(JsonError(format!("duplicate key `{key}`")));
+            }
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => {
+                    return Err(JsonError(format!(
+                        "expected `,` or `}}` at offset {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => {
+                    return Err(JsonError(format!(
+                        "expected `,` or `]` at offset {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(JsonError("unterminated string".into())),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000C}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| JsonError("truncated \\u escape".into()))?;
+                            let code = std::str::from_utf8(hex)
+                                .ok()
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| JsonError("invalid \\u escape".into()))?;
+                            // no surrogate-pair support: this crate never
+                            // writes astral-plane characters escaped
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| JsonError("invalid \\u code point".into()))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(JsonError("invalid escape".into())),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // consume one UTF-8 scalar
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| JsonError("invalid utf-8 in string".into()))?;
+                    let ch = s.chars().next().expect("non-empty by peek");
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        if let Ok(n) = text.parse::<i64>() {
+            return Ok(Value::Int(n));
+        }
+        text.parse::<f64>()
+            .map(Value::Number)
+            .map_err(|_| JsonError(format!("invalid number `{text}`")))
+    }
+}
+
+/// Serializes a string with JSON escaping.
+pub fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(parse("null").unwrap(), Value::Null);
+        assert_eq!(parse(" true ").unwrap(), Value::Bool(true));
+        assert_eq!(parse("-42").unwrap().as_i64(), Some(-42));
+        assert_eq!(parse("1.5").unwrap(), Value::Number(1.5));
+        assert_eq!(parse("\"a\\nb\"").unwrap().as_str(), Some("a\nb"));
+    }
+
+    #[test]
+    fn parses_nested() {
+        let v = parse(r#"{"jobs": [[0, 4], [1, 5]], "g": 2, "name": "x"}"#).unwrap();
+        assert_eq!(v.field("g").unwrap().as_i64(), Some(2));
+        let jobs = v.field("jobs").unwrap().as_array().unwrap();
+        assert_eq!(jobs[1].as_array().unwrap()[0].as_i64(), Some(1));
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(parse("{not json").is_err());
+        assert!(parse("[1, 2").is_err());
+        assert!(parse("{}extra").is_err());
+        assert!(parse("{\"a\": 1, \"a\": 2}").is_err());
+        assert!(parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn huge_integers_round_trip_exactly() {
+        // beyond 2^53: lost by an f64-only representation
+        let big = 9_007_199_254_740_993i64;
+        assert_eq!(parse(&big.to_string()).unwrap().as_i64(), Some(big));
+        assert_eq!(
+            parse(&i64::MIN.to_string()).unwrap().as_i64(),
+            Some(i64::MIN)
+        );
+        // integral floats still recover where exact
+        assert_eq!(parse("4.0").unwrap().as_i64(), Some(4));
+    }
+
+    #[test]
+    fn string_roundtrip() {
+        let tricky = "quote\" slash\\ newline\n tab\t unicode é";
+        let mut out = String::new();
+        write_string(&mut out, tricky);
+        assert_eq!(parse(&out).unwrap().as_str(), Some(tricky));
+    }
+
+    #[test]
+    fn missing_field_reported() {
+        let v = parse(r#"{"a": 1}"#).unwrap();
+        let err = v.field("b").unwrap_err();
+        assert!(err.to_string().contains("`b`"));
+    }
+}

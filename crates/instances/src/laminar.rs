@@ -12,13 +12,7 @@ use rand::{RngExt, SeedableRng};
 ///
 /// `depth` bounds the nesting depth; `branching` the maximum children per
 /// interval. The generated family always contains the root `[0, width]`.
-pub fn random_laminar(
-    width: i64,
-    depth: usize,
-    branching: usize,
-    g: u32,
-    seed: u64,
-) -> Instance {
+pub fn random_laminar(width: i64, depth: usize, branching: usize, g: u32, seed: u64) -> Instance {
     assert!(width >= 4);
     let mut rng = StdRng::seed_from_u64(seed);
     let mut jobs = Vec::new();

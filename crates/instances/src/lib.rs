@@ -27,6 +27,7 @@ pub mod adversarial;
 pub mod bounded;
 pub mod clique;
 pub mod io;
+pub mod json;
 pub mod laminar;
 pub mod optical;
 pub mod proper;

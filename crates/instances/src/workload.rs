@@ -92,7 +92,10 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        assert_eq!(on_demand(50, 2.0, 10.0, 2, 3), on_demand(50, 2.0, 10.0, 2, 3));
+        assert_eq!(
+            on_demand(50, 2.0, 10.0, 2, 3),
+            on_demand(50, 2.0, 10.0, 2, 3)
+        );
         assert_eq!(shifts(2, 5, 50, 5, 2, 3), shifts(2, 5, 50, 5, 2, 3));
     }
 }

@@ -1,0 +1,105 @@
+//! Auto-portfolio dispatch over the generator families: the acceptance
+//! contract that `auto` selects NextFitProper on proper instances,
+//! CliqueScheduler on cliques, BoundedLength on `[1,d]`-bounded instances
+//! and FirstFit otherwise.
+
+use busytime_core::solve::{Auto, AutoChoice, InstanceFeatures};
+use busytime_instances::bounded::random_bounded;
+use busytime_instances::clique::random_clique;
+use busytime_instances::proper::random_proper;
+use busytime_instances::random::{uniform, LengthDist};
+use proptest::prelude::*;
+
+fn choice(inst: &busytime_core::Instance) -> (AutoChoice, InstanceFeatures) {
+    let features = InstanceFeatures::detect(inst);
+    (Auto::new().decide(&features), features)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The clique generator is a clique by construction → always the
+    /// clique algorithm.
+    #[test]
+    fn clique_generator_dispatches_clique(n in 2usize..40, g in 1u32..5, seed in 0u64..10_000) {
+        let inst = random_clique(n, 1_000, 400, g, seed);
+        prop_assert!(inst.is_clique());
+        let (c, _) = choice(&inst);
+        prop_assert_eq!(c, AutoChoice::Clique);
+    }
+
+    /// The proper generator is proper by construction → the greedy
+    /// NextFitProper, except when the draw happens to also be a clique
+    /// (then the clique algorithm, which ranks higher, wins).
+    #[test]
+    fn proper_generator_dispatches_greedy(n in 2usize..60, g in 1u32..5, seed in 0u64..10_000) {
+        let inst = random_proper(n, 3, 12, 6, g, seed);
+        prop_assert!(inst.is_proper());
+        let (c, f) = choice(&inst);
+        if f.clique {
+            prop_assert_eq!(c, AutoChoice::Clique);
+        } else {
+            prop_assert_eq!(c, AutoChoice::Proper);
+        }
+    }
+
+    /// The bounded generator keeps lengths in `[1, d]` → Bounded_Length,
+    /// unless the draw lands in a higher-priority class (proper/clique).
+    #[test]
+    fn bounded_generator_dispatches_bounded(n in 2usize..60, seed in 0u64..10_000) {
+        let inst = random_bounded(n, (3 * n) as i64, 4, 2, seed);
+        prop_assert!(inst.lengths_within(4));
+        let (c, f) = choice(&inst);
+        if f.clique {
+            prop_assert_eq!(c, AutoChoice::Clique);
+        } else if f.proper {
+            prop_assert_eq!(c, AutoChoice::Proper);
+        } else {
+            prop_assert_eq!(c, AutoChoice::BoundedLength);
+        }
+    }
+
+    /// Wide uniform instances (length spread beyond the bounded cutoff,
+    /// containment breaking properness, disjoint jobs breaking cliqueness)
+    /// fall through to FirstFit.
+    #[test]
+    fn wide_uniform_dispatches_first_fit(seed in 0u64..10_000) {
+        // n large and horizon wide: some pair of jobs is disjoint (not a
+        // clique), some short job nests in a long one (not proper), and the
+        // length spread [2, 64] exceeds the bounded cutoff w.h.p. — skip
+        // the rare draws where structure appears.
+        let inst = uniform(80, 200, LengthDist::Uniform(2, 64), 3, seed);
+        let (c, f) = choice(&inst);
+        if !f.clique && !f.proper && f.length_width().is_none_or(|d| d > 8) {
+            prop_assert_eq!(c, AutoChoice::General);
+        }
+    }
+}
+
+#[test]
+fn dispatch_examples_one_per_class() {
+    // one deterministic witness per class, as concrete documentation
+    let clique = random_clique(12, 500, 200, 3, 1);
+    assert_eq!(choice(&clique).0, AutoChoice::Clique);
+
+    let proper = random_proper(30, 3, 12, 6, 3, 1);
+    let (c, f) = choice(&proper);
+    assert!(
+        !f.clique,
+        "pick a seed where the proper draw is not a clique"
+    );
+    assert_eq!(c, AutoChoice::Proper);
+
+    let bounded = random_bounded(40, 120, 3, 2, 1);
+    let (c, f) = choice(&bounded);
+    assert!(
+        !f.clique && !f.proper,
+        "pick a seed with plain bounded structure"
+    );
+    assert_eq!(c, AutoChoice::BoundedLength);
+
+    let wide = uniform(80, 200, LengthDist::Uniform(2, 64), 3, 1);
+    let (c, f) = choice(&wide);
+    assert!(!f.clique && !f.proper && f.length_width().is_some_and(|d| d > 8));
+    assert_eq!(c, AutoChoice::General);
+}

@@ -16,7 +16,6 @@ pub type Time = i64;
 /// shared endpoint. A zero-length interval (`start == end`) is a valid point
 /// job with `len() == 0`.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Interval {
     /// Start time `s` (inclusive).
     pub start: Time,

@@ -61,10 +61,7 @@ impl OverlapProfile {
 
     /// Count at doubled coordinate `dkey`.
     fn value_at(&self, dkey: i64) -> u32 {
-        self.steps
-            .range(..=dkey)
-            .next_back()
-            .map_or(0, |(_, &c)| c)
+        self.steps.range(..=dkey).next_back().map_or(0, |(_, &c)| c)
     }
 
     /// Count of active intervals at time `t` (a real tick).
@@ -148,11 +145,7 @@ impl OverlapProfile {
         let keys: Vec<i64> = self.steps.range(lo..=hi).map(|(&k, _)| k).collect();
         for k in keys {
             let v = self.steps[&k];
-            let prev = self
-                .steps
-                .range(..k)
-                .next_back()
-                .map_or(0, |(_, &c)| c);
+            let prev = self.steps.range(..k).next_back().map_or(0, |(_, &c)| c);
             if prev == v {
                 self.steps.remove(&k);
             }

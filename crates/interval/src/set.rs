@@ -20,7 +20,6 @@ use crate::interval::{Interval, Time};
 /// assert_eq!(busy.measure(), 8); // the machine's busy time
 /// ```
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct IntervalSet {
     /// Invariant: sorted by start; for consecutive `a`, `b`: `a.end < b.start`
     /// (strict, so touching intervals are merged).

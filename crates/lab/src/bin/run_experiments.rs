@@ -35,7 +35,10 @@ fn main() {
         }
     }
     if ids.is_empty() {
-        ids = experiments::all_ids().iter().map(|s| s.to_string()).collect();
+        ids = experiments::all_ids()
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
     }
 
     let stdout = std::io::stdout();

@@ -1,11 +1,12 @@
 //! E1/E2/E3/E11: the FirstFit experiments (Section 2).
 
 use busytime_core::algo::{FirstFit, Scheduler, SortOrder, TieBreak};
+use busytime_core::solve::SolveReport;
 use busytime_core::{bounds, Instance};
-use busytime_exact::ExactBB;
 use busytime_instances::adversarial::fig4;
 use busytime_instances::random::{uniform, LengthDist};
 
+use crate::solve::solve_cell;
 use crate::table::fmt_ratio;
 use crate::{par_map, RatioStats, Scale, Table};
 
@@ -17,20 +18,31 @@ pub fn e1_first_fit_vs_opt(scale: Scale) -> Table {
     let mut table = Table::new(
         "E1 (Thm 2.1): FirstFit vs OPT on uniform random instances",
         &[
-            "n", "g", "baseline", "seeds", "ratio min", "ratio mean", "ratio max", "cap",
+            "n",
+            "g",
+            "baseline",
+            "seeds",
+            "ratio min",
+            "ratio mean",
+            "ratio max",
+            "cap",
         ],
     );
-    // small instances: exact OPT by branch-and-bound
+    // small instances: exact OPT by branch-and-bound; both costs come out
+    // of the unified pipeline as SolveReports
     for &(n, g) in &[(8usize, 2u32), (10, 2), (12, 3), (14, 3), (16, 5)] {
-        let cells: Vec<(i64, i64)> = par_map(
-            &(0..seeds).collect::<Vec<u64>>(),
-            |&seed| {
-                let inst = uniform(n, 3 * n as i64, LengthDist::Uniform(2, 2 * n as i64), g, seed);
-                let ff = FirstFit::paper().schedule(&inst).unwrap().cost(&inst);
-                let opt = ExactBB::new().opt_value(&inst).unwrap();
-                (ff, opt)
-            },
-        );
+        let cells: Vec<(i64, i64)> = par_map(&(0..seeds).collect::<Vec<u64>>(), |&seed| {
+            let inst = uniform(
+                n,
+                3 * n as i64,
+                LengthDist::Uniform(2, 2 * n as i64),
+                g,
+                seed,
+            );
+            let ff = solve_cell(&inst, "first-fit").cost;
+            let opt = solve_cell(&inst, "exact-bb").cost;
+            (ff, opt)
+        });
         let mut stats = RatioStats::new();
         for (ff, opt) in cells {
             assert!(ff <= 4 * opt, "Theorem 2.1 violated: FF={ff} OPT={opt}");
@@ -48,17 +60,20 @@ pub fn e1_first_fit_vs_opt(scale: Scale) -> Table {
         ]);
     }
     // large instances: lower bound as OPT proxy (ratio is an upper bound on
-    // the true ratio)
+    // the true ratio); one SolveReport carries both cost and certified LB
     let big_n = scale.pick(2_000usize, 20_000);
     for &g in &[2u32, 4, 16] {
-        let cells: Vec<(i64, i64)> = par_map(
-            &(0..seeds.min(10)).collect::<Vec<u64>>(),
-            |&seed| {
-                let inst = uniform(big_n, big_n as i64 / 4, LengthDist::Uniform(4, 200), g, seed);
-                let ff = FirstFit::paper().schedule(&inst).unwrap().cost(&inst);
-                (ff, bounds::component_lower_bound(&inst))
-            },
-        );
+        let cells: Vec<(i64, i64)> = par_map(&(0..seeds.min(10)).collect::<Vec<u64>>(), |&seed| {
+            let inst = uniform(
+                big_n,
+                big_n as i64 / 4,
+                LengthDist::Uniform(4, 200),
+                g,
+                seed,
+            );
+            let report = solve_cell(&inst, "first-fit");
+            (report.cost, report.lower_bound)
+        });
         let mut stats = RatioStats::new();
         for (ff, lb) in cells {
             assert!(ff <= 4 * lb, "FF exceeded 4×LB: FF={ff} LB={lb}");
@@ -82,13 +97,22 @@ pub fn e1_first_fit_vs_opt(scale: Scale) -> Table {
 /// cost must equal the construction's prediction `g(3·unit − 2·eps)` and the
 /// ratio `g(3−2ε′)/(g+1)` must march towards 3.
 pub fn e2_fig4_sweep(scale: Scale) -> Table {
-    let gs: Vec<u32> = scale.pick(vec![2, 3, 4, 6, 8], vec![2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64]);
+    let gs: Vec<u32> = scale.pick(
+        vec![2, 3, 4, 6, 8],
+        vec![2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64],
+    );
     let unit = 1_000i64;
     let eps = 10i64; // ε′ = 0.01 units
     let mut table = Table::new(
         "E2 (Thm 2.4, Fig. 4): FirstFit on the adversarial family (unit=1000, eps=10)",
         &[
-            "g", "jobs", "FF measured", "FF predicted", "OPT (analytic)", "ratio", "limit 3-2eps'",
+            "g",
+            "jobs",
+            "FF measured",
+            "FF predicted",
+            "OPT (analytic)",
+            "ratio",
+            "limit 3-2eps'",
         ],
     );
     let rows: Vec<(u32, usize, i64, i64, i64)> = par_map(&gs, |&g| {
@@ -104,7 +128,10 @@ pub fn e2_fig4_sweep(scale: Scale) -> Table {
         )
     });
     for (g, jobs, measured, predicted, opt) in rows {
-        assert_eq!(measured, predicted, "FirstFit escaped the Fig. 4 trap at g={g}");
+        assert_eq!(
+            measured, predicted,
+            "FirstFit escaped the Fig. 4 trap at g={g}"
+        );
         table.push_row(vec![
             g.to_string(),
             jobs.to_string(),
@@ -125,7 +152,12 @@ pub fn e3_ratio_band(scale: Scale) -> Table {
     let unit = 1_000i64;
     let mut table = Table::new(
         "E3 (Thm 2.5): the FirstFit approximation band",
-        &["family", "largest measured ratio", "lower end (Thm 2.4)", "upper end (Thm 2.1)"],
+        &[
+            "family",
+            "largest measured ratio",
+            "lower end (Thm 2.4)",
+            "upper end (Thm 2.1)",
+        ],
     );
     // adversarial family with shrinking eps pushes the measured ratio up
     let mut worst: f64 = 0.0;
@@ -181,7 +213,12 @@ pub fn e11_sort_ablation(scale: Scale) -> Table {
     ];
     let mut table = Table::new(
         "E11 (ablation): FirstFit sort order vs cost (ratio to Obs 1.1 LB)",
-        &["order", "dense random mean", "dense random max", "fig4(g=8) ratio"],
+        &[
+            "order",
+            "dense random mean",
+            "dense random max",
+            "fig4(g=8) ratio",
+        ],
     );
     for (label, ff) in variants {
         let cells: Vec<f64> = par_map(&(0..seeds).collect::<Vec<u64>>(), |&seed| {
@@ -202,11 +239,16 @@ pub fn e11_sort_ablation(scale: Scale) -> Table {
     table
 }
 
-/// Helper shared with E8: schedule an instance with FirstFit and return the
-/// (cost, component lower bound) pair.
+/// Helper shared with E8: one FirstFit [`SolveReport`] carrying the cost
+/// and the certified lower bound together (no separate bound recomputation).
+pub fn first_fit_report(inst: &Instance) -> SolveReport {
+    solve_cell(inst, "first-fit")
+}
+
+/// Back-compat shim over [`first_fit_report`].
 pub fn first_fit_cost_and_bound(inst: &Instance) -> (i64, i64) {
-    let cost = FirstFit::paper().schedule(inst).unwrap().cost(inst);
-    (cost, bounds::component_lower_bound(inst))
+    let report = first_fit_report(inst);
+    (report.cost, report.lower_bound)
 }
 
 #[cfg(test)]

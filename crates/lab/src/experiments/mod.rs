@@ -16,9 +16,11 @@
 //! | E12 | \[15\] demand extension | [`systems::e12_demand`] |
 //! | E13 | §1.1 machine-count objective | [`structure::e13_machine_count`] |
 //! | E14 | extension: ring topologies | [`optical::e14_ring`] |
+//! | E15 | unified solve pipeline / `Auto` portfolio | [`portfolio::e15_portfolio`] |
 
 pub mod first_fit;
 pub mod optical;
+pub mod portfolio;
 pub mod special_cases;
 pub mod structure;
 pub mod systems;
@@ -42,6 +44,7 @@ pub fn run_all(scale: Scale) -> Vec<Table> {
         systems::e12_demand(scale),
         structure::e13_machine_count(scale),
         optical::e14_ring(scale),
+        portfolio::e15_portfolio(scale),
     ]
 }
 
@@ -62,6 +65,7 @@ pub fn run_one(id: &str, scale: Scale) -> Option<Table> {
         "e12" => systems::e12_demand(scale),
         "e13" => structure::e13_machine_count(scale),
         "e14" => optical::e14_ring(scale),
+        "e15" => portfolio::e15_portfolio(scale),
         _ => return None,
     };
     Some(table)
@@ -70,7 +74,7 @@ pub fn run_one(id: &str, scale: Scale) -> Option<Table> {
 /// All experiment ids in order.
 pub fn all_ids() -> &'static [&'static str] {
     &[
-        "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
-        "e14",
+        "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
+        "e15",
     ]
 }

@@ -37,9 +37,8 @@ pub fn e9_grooming(scale: Scale) -> Table {
     );
     for &(label, hotspot) in &[("uniform", false), ("hotspot", true)] {
         for &g in &[1u32, 2, 4, 8, 16] {
-            let cells: Vec<(f64, f64, usize, usize, bool)> = par_map(
-                &(0..seeds).collect::<Vec<u64>>(),
-                |&seed| {
+            let cells: Vec<(f64, f64, usize, usize, bool)> =
+                par_map(&(0..seeds).collect::<Vec<u64>>(), |&seed| {
                     let net = PathNetwork::new(nodes);
                     let paths = if hotspot {
                         hotspot_lightpaths(&net, n_paths, nodes / 2, 0.6, 16, seed)
@@ -62,8 +61,7 @@ pub fn e9_grooming(scale: Scale) -> Table {
                         mm.wavelengths,
                         identity,
                     )
-                },
-            );
+                });
             let mut ff_stats = RatioStats::new();
             let mut mm_stats = RatioStats::new();
             let mut ff_wl = 0usize;
@@ -111,9 +109,8 @@ pub fn e14_ring(scale: Scale) -> Table {
         ],
     );
     for &g in &[1u32, 2, 4, 8] {
-        let cells: Vec<(usize, usize, usize)> = par_map(
-            &(0..seeds).collect::<Vec<u64>>(),
-            |&seed| {
+        let cells: Vec<(usize, usize, usize)> =
+            par_map(&(0..seeds).collect::<Vec<u64>>(), |&seed| {
                 let net = RingNetwork::new(nodes);
                 // deterministic arcs: mixed hop lengths, some wrapping
                 let mut state = seed;
@@ -134,13 +131,11 @@ pub fn e14_ring(scale: Scale) -> Table {
                 let solved = CutSolver::new(FirstFit::paper())
                     .solve(&net, &arcs, g)
                     .expect("cut solver always succeeds");
-                let trivial = busytime_optical::Grooming::from_wavelengths(
-                    (0..arcs.len()).collect(),
-                );
+                let trivial =
+                    busytime_optical::Grooming::from_wavelengths((0..arcs.len()).collect());
                 let trivial_regs = ring_regenerator_count(&net, &arcs, &trivial, g);
                 (solved.regenerators, trivial_regs, solved.crossing_arcs)
-            },
-        );
+            });
         let count = cells.len();
         let (mut cut, mut triv, mut cross) = (0usize, 0usize, 0usize);
         for (c, t, x) in cells {
@@ -167,7 +162,9 @@ pub fn proper_lightpaths_two_approx(seed: u64) -> (usize, usize) {
     let net = PathNetwork::new(200);
     // staircase lightpaths are proper
     let paths: Vec<busytime_optical::Lightpath> = (0..80)
-        .map(|i| busytime_optical::Lightpath::new(i + (seed as usize % 7), i + 10 + (seed as usize % 7)))
+        .map(|i| {
+            busytime_optical::Lightpath::new(i + (seed as usize % 7), i + 10 + (seed as usize % 7))
+        })
         .filter(|p| net.contains(p))
         .collect();
     let g = 3;

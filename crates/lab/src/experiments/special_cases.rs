@@ -21,21 +21,26 @@ pub fn e4_greedy_proper(scale: Scale) -> Table {
     let mut table = Table::new(
         "E4 (Thm 3.1): Greedy on proper families vs exact OPT",
         &[
-            "n", "g", "seeds", "ratio mean", "ratio max", "ALG ≤ OPT+span", "Claim 1", "cap",
+            "n",
+            "g",
+            "seeds",
+            "ratio mean",
+            "ratio max",
+            "ALG ≤ OPT+span",
+            "Claim 1",
+            "cap",
         ],
     );
     for &(n, g) in &[(8usize, 2u32), (10, 2), (12, 3), (14, 4)] {
-        let cells: Vec<(i64, i64, i64, bool)> = par_map(
-            &(0..seeds).collect::<Vec<u64>>(),
-            |&seed| {
+        let cells: Vec<(i64, i64, i64, bool)> =
+            par_map(&(0..seeds).collect::<Vec<u64>>(), |&seed| {
                 let inst = random_proper(n, 3, 8, 5, g, seed);
                 let sched = NextFitProper::strict().schedule(&inst).unwrap();
                 let alg = sched.cost(&inst);
                 let opt = ExactBB::new().opt_value(&inst).unwrap();
                 let claim1 = verify::theorem_3_1_claims(&inst, &sched).is_ok();
                 (alg, opt, inst.span(), claim1)
-            },
-        );
+            });
         let mut stats = RatioStats::new();
         let mut inner_ok = true;
         let mut claims_ok = true;
@@ -107,36 +112,40 @@ pub fn e6_bounded_length(scale: Scale) -> Table {
     let mut table = Table::new(
         "E6 (Thm 3.2 + Lemma 3.3): Bounded_Length(exact segments) vs global OPT",
         &[
-            "n", "d", "g", "seeds", "ratio mean", "ratio max", "cap", "guess-match agrees",
+            "n",
+            "d",
+            "g",
+            "seeds",
+            "ratio mean",
+            "ratio max",
+            "cap",
+            "guess-match agrees",
         ],
     );
     for &(n, d, g) in &[(8usize, 2i64, 2u32), (10, 3, 2), (12, 3, 3), (14, 4, 3)] {
-        let cells: Vec<(i64, i64, bool)> = par_map(
-            &(0..seeds).collect::<Vec<u64>>(),
-            |&seed| {
-                let inst = random_bounded(n, (2 * n) as i64, d, g, seed);
-                let segmented = BoundedLength::with_solver(ExactBB::new())
+        let cells: Vec<(i64, i64, bool)> = par_map(&(0..seeds).collect::<Vec<u64>>(), |&seed| {
+            let inst = random_bounded(n, (2 * n) as i64, d, g, seed);
+            let segmented = BoundedLength::with_solver(ExactBB::new())
+                .with_width(d)
+                .schedule(&inst)
+                .unwrap();
+            segmented.validate(&inst).unwrap();
+            let opt = ExactBB::new().opt_value(&inst).unwrap();
+            // cross-validate the literal guess+b-matching solver on the
+            // smallest segments
+            let gm_agrees = if n <= 10 {
+                let gm = BoundedLength::with_solver(GuessMatch::new())
                     .with_width(d)
-                    .schedule(&inst)
-                    .unwrap();
-                segmented.validate(&inst).unwrap();
-                let opt = ExactBB::new().opt_value(&inst).unwrap();
-                // cross-validate the literal guess+b-matching solver on the
-                // smallest segments
-                let gm_agrees = if n <= 10 {
-                    let gm = BoundedLength::with_solver(GuessMatch::new())
-                        .with_width(d)
-                        .schedule(&inst);
-                    match gm {
-                        Ok(s) => s.cost(&inst) == segmented.cost(&inst),
-                        Err(_) => true, // segment too large for the guard
-                    }
-                } else {
-                    true
-                };
-                (segmented.cost(&inst), opt, gm_agrees)
-            },
-        );
+                    .schedule(&inst);
+                match gm {
+                    Ok(s) => s.cost(&inst) == segmented.cost(&inst),
+                    Err(_) => true, // segment too large for the guard
+                }
+            } else {
+                true
+            };
+            (segmented.cost(&inst), opt, gm_agrees)
+        });
         let mut stats = RatioStats::new();
         let mut gm_all = true;
         for (seg, opt, gm) in cells {
@@ -167,15 +176,12 @@ pub fn e7_clique(scale: Scale) -> Table {
         &["family", "n", "g", "ratio mean", "ratio max", "cap"],
     );
     for &(n, g) in &[(8usize, 2u32), (10, 3), (12, 4)] {
-        let cells: Vec<(i64, i64)> = par_map(
-            &(0..seeds).collect::<Vec<u64>>(),
-            |&seed| {
-                let inst = random_clique(n, 100, 40, g, seed);
-                let alg = CliqueScheduler::new().schedule(&inst).unwrap().cost(&inst);
-                let opt = ExactBB::new().opt_value(&inst).unwrap();
-                (alg, opt)
-            },
-        );
+        let cells: Vec<(i64, i64)> = par_map(&(0..seeds).collect::<Vec<u64>>(), |&seed| {
+            let inst = random_clique(n, 100, 40, g, seed);
+            let alg = CliqueScheduler::new().schedule(&inst).unwrap().cost(&inst);
+            let opt = ExactBB::new().opt_value(&inst).unwrap();
+            (alg, opt)
+        });
         let mut stats = RatioStats::new();
         for (alg, opt) in cells {
             assert!(alg <= 2 * opt, "Theorem A.1 violated: ALG={alg} OPT={opt}");

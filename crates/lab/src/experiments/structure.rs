@@ -37,28 +37,30 @@ pub fn e8_lower_bounds(scale: Scale) -> Table {
     let mut table = Table::new(
         "E8 (Obs 1.1): lower-bound sanity and tightness per workload family",
         &[
-            "family", "seeds", "LB ≤ cost always", "cost/LB mean", "cost/LB max", "LB ≤ OPT (n≤12)",
+            "family",
+            "seeds",
+            "LB ≤ cost always",
+            "cost/LB mean",
+            "cost/LB max",
+            "LB ≤ OPT (n≤12)",
         ],
     );
     let family_count = generator_zoo(0, scale).len();
     for idx in 0..family_count {
-        let cells: Vec<(bool, f64, bool)> = par_map(
-            &(0..seeds).collect::<Vec<u64>>(),
-            |&seed| {
-                let (_, inst) = generator_zoo(seed, scale).swap_remove(idx);
-                let lb = bounds::component_lower_bound(&inst);
-                let cost = FirstFit::paper().schedule(&inst).unwrap().cost(&inst);
-                let sound = lb <= cost;
-                // exact check on a truncated prefix instance
-                let small = inst.restrict(&(0..inst.len().min(12)).collect::<Vec<_>>());
-                let small_lb = bounds::component_lower_bound(&small);
-                let opt_ok = match ExactBB::new().opt_value(&small) {
-                    Ok(opt) => small_lb <= opt,
-                    Err(_) => true,
-                };
-                (sound, cost as f64 / lb.max(1) as f64, opt_ok)
-            },
-        );
+        let cells: Vec<(bool, f64, bool)> = par_map(&(0..seeds).collect::<Vec<u64>>(), |&seed| {
+            let (_, inst) = generator_zoo(seed, scale).swap_remove(idx);
+            let lb = bounds::component_lower_bound(&inst);
+            let cost = FirstFit::paper().schedule(&inst).unwrap().cost(&inst);
+            let sound = lb <= cost;
+            // exact check on a truncated prefix instance
+            let small = inst.restrict(&(0..inst.len().min(12)).collect::<Vec<_>>());
+            let small_lb = bounds::component_lower_bound(&small);
+            let opt_ok = match ExactBB::new().opt_value(&small) {
+                Ok(opt) => small_lb <= opt,
+                Err(_) => true,
+            };
+            (sound, cost as f64 / lb.max(1) as f64, opt_ok)
+        });
         let name = generator_zoo(0, scale)[idx].0;
         let mut stats = RatioStats::new();
         let mut sound_all = true;
@@ -92,27 +94,28 @@ pub fn e13_machine_count(scale: Scale) -> Table {
     let mut table = Table::new(
         "E13 (§1.1): machine-count objective (MinMachines) vs busy time",
         &[
-            "g", "machines = ⌈ω/g⌉", "MinMachines busy/LB", "FirstFit busy/LB", "FF machines (mean)",
+            "g",
+            "machines = ⌈ω/g⌉",
+            "MinMachines busy/LB",
+            "FirstFit busy/LB",
+            "FF machines (mean)",
         ],
     );
     for &g in &[2u32, 4, 8] {
-        let cells: Vec<(bool, f64, f64, usize)> = par_map(
-            &(0..seeds).collect::<Vec<u64>>(),
-            |&seed| {
+        let cells: Vec<(bool, f64, f64, usize)> =
+            par_map(&(0..seeds).collect::<Vec<u64>>(), |&seed| {
                 let inst = uniform(n, n as i64 / 2, LengthDist::Uniform(4, 60), g, seed);
                 let lb = bounds::component_lower_bound(&inst).max(1);
                 let mm = MinMachines.schedule(&inst).unwrap();
                 let ff = FirstFit::paper().schedule(&inst).unwrap();
-                let count_optimal =
-                    mm.machine_count() == inst.max_overlap().div_ceil(g as usize);
+                let count_optimal = mm.machine_count() == inst.max_overlap().div_ceil(g as usize);
                 (
                     count_optimal,
                     mm.cost(&inst) as f64 / lb as f64,
                     ff.cost(&inst) as f64 / lb as f64,
                     ff.machine_count(),
                 )
-            },
-        );
+            });
         let mut mm_stats = RatioStats::new();
         let mut ff_stats = RatioStats::new();
         let mut counts_ok = true;

@@ -1,10 +1,8 @@
 //! E10/E12: systems-side experiments — runtime scaling and the capacitated
 //! demand extension.
 
-use std::time::Instant;
-
 use busytime_core::algo::demand::{DemandInstance, DemandJob, FirstFitDemand};
-use busytime_core::algo::{CliqueScheduler, FirstFit, NextFitProper, Scheduler};
+use busytime_core::algo::{FirstFit, Scheduler};
 use busytime_instances::clique::random_clique;
 use busytime_instances::proper::random_proper;
 use busytime_instances::random::{uniform, LengthDist};
@@ -12,41 +10,53 @@ use busytime_interval::Interval;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
+use crate::solve::solve_cell;
 use crate::table::fmt_ratio;
 use crate::{RatioStats, Scale, Table};
 
 /// E10 — runtime scaling. Greedy and the clique algorithm are
 /// `O(n log n)`-ish; FirstFit pays for machine probing. Criterion benches
-/// (`busytime-bench`) time these precisely; this experiment records the
-/// coarse shape so EXPERIMENTS.md is self-contained.
+/// (`busytime-bench`) time these precisely; this experiment reads the
+/// schedule-phase wall clock off each cell's `SolveReport` (so detection,
+/// bounding and validation overheads are excluded) and also records the
+/// pipeline's total for FirstFit.
 pub fn e10_scalability(scale: Scale) -> Table {
     let sizes: Vec<usize> = scale.pick(vec![1_000, 5_000], vec![1_000, 10_000, 100_000]);
     let mut table = Table::new(
         "E10: runtime scaling (single-threaded, wall clock)",
-        &["n", "FirstFit ms", "Greedy ms", "Clique ms", "FF machines"],
+        &[
+            "n",
+            "FirstFit ms",
+            "pipeline total ms",
+            "Greedy ms",
+            "Clique ms",
+            "FF machines",
+        ],
     );
+    let schedule_ms = |report: &busytime_core::solve::SolveReport| {
+        report
+            .phases
+            .iter()
+            .find(|p| p.name == "schedule")
+            .map_or(0.0, |p| p.duration.as_secs_f64() * 1e3)
+    };
     for &n in &sizes {
         let inst = uniform(n, n as i64 / 2, LengthDist::Uniform(4, 100), 4, 1);
-        let t0 = Instant::now();
-        let ff = FirstFit::paper().schedule(&inst).unwrap();
-        let ff_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let ff = solve_cell(&inst, "first-fit");
 
         let proper = random_proper(n, 3, 40, 10, 4, 1);
-        let t1 = Instant::now();
-        let _ = NextFitProper::new().schedule(&proper).unwrap();
-        let greedy_ms = t1.elapsed().as_secs_f64() * 1e3;
+        let greedy = solve_cell(&proper, "next-fit-proper");
 
         let clique = random_clique(n, 1_000_000, 500_000, 4, 1);
-        let t2 = Instant::now();
-        let _ = CliqueScheduler::new().schedule(&clique).unwrap();
-        let clique_ms = t2.elapsed().as_secs_f64() * 1e3;
+        let clique_report = solve_cell(&clique, "clique");
 
         table.push_row(vec![
             n.to_string(),
-            format!("{ff_ms:.1}"),
-            format!("{greedy_ms:.1}"),
-            format!("{clique_ms:.1}"),
-            ff.machine_count().to_string(),
+            format!("{:.1}", schedule_ms(&ff)),
+            format!("{:.1}", ff.total.as_secs_f64() * 1e3),
+            format!("{:.1}", schedule_ms(&greedy)),
+            format!("{:.1}", schedule_ms(&clique_report)),
+            ff.machines.to_string(),
         ]);
     }
     table
@@ -61,11 +71,21 @@ pub fn e12_demand(scale: Scale) -> Table {
     let n = scale.pick(150usize, 800);
     let mut table = Table::new(
         "E12 ([15] extension): FirstFit with capacity demands",
-        &["g", "demand dist", "ratio mean", "ratio max", "cap", "unit = plain FF"],
+        &[
+            "g",
+            "demand dist",
+            "ratio mean",
+            "ratio max",
+            "cap",
+            "unit = plain FF",
+        ],
     );
     for &g in &[4u32, 8] {
-        for &(label, max_demand) in &[("unit", 1u32), ("mixed 1..g/2", 0), ("heavy 1..g", u32::MAX)]
-        {
+        for &(label, max_demand) in &[
+            ("unit", 1u32),
+            ("mixed 1..g/2", 0),
+            ("heavy 1..g", u32::MAX),
+        ] {
             let mut stats = RatioStats::new();
             let mut unit_matches = true;
             for seed in 0..seeds {
@@ -96,10 +116,8 @@ pub fn e12_demand(scale: Scale) -> Table {
                 );
                 if max_demand == 1 {
                     // cross-check against plain FirstFit
-                    let plain = busytime_core::Instance::new(
-                        jobs.iter().map(|j| j.interval).collect(),
-                        g,
-                    );
+                    let plain =
+                        busytime_core::Instance::new(jobs.iter().map(|j| j.interval).collect(), g);
                     let pf = FirstFit::paper().schedule(&plain).unwrap();
                     unit_matches &= pf.assignment() == sched.assignment();
                 }

@@ -23,10 +23,12 @@
 pub mod experiments;
 pub mod ratio;
 pub mod runner;
+pub mod solve;
 pub mod table;
 
 pub use ratio::RatioStats;
 pub use runner::par_map;
+pub use solve::{registry, solve_cell};
 pub use table::Table;
 
 /// Global knob for experiment sizes: `quick` keeps everything small enough

@@ -57,7 +57,6 @@ impl RatioStats {
         self.sum += other.sum;
         self.count += other.count;
     }
-
 }
 
 impl FromIterator<f64> for RatioStats {

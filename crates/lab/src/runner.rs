@@ -1,4 +1,4 @@
-//! Parallel sweep execution on crossbeam scoped threads.
+//! Parallel sweep execution on std scoped threads.
 //!
 //! Experiments evaluate many independent `(instance, algorithm)` cells;
 //! [`par_map`] fans them out over all cores with a shared atomic cursor
@@ -8,8 +8,7 @@
 //! input order regardless of scheduling.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// Applies `f` to every item on all available cores; results are returned
 /// in input order. Deterministic as long as `f` is.
@@ -25,26 +24,44 @@ where
         .unwrap_or(1)
         .min(n.max(1));
     if workers <= 1 || n <= 1 {
-        return items.iter().map(&f).collect();
+        // Same panic contract as the threaded path: a panicking cell
+        // surfaces as "worker panicked" regardless of core count.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            items.iter().map(&f).collect()
+        }));
+        return result.unwrap_or_else(|_| panic!("worker panicked"));
     }
     let cursor = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let r = f(&items[i]);
-                *slots[i].lock() = Some(r);
-            });
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let r = f(&items[i]);
+                    *slots[i].lock().unwrap() = Some(r);
+                })
+            })
+            .collect();
+        let panicked_workers = handles
+            .into_iter()
+            .map(|handle| handle.join())
+            .filter(Result::is_err)
+            .count();
+        if panicked_workers > 0 {
+            panic!("worker panicked");
         }
-    })
-    .expect("worker panicked");
+    });
     slots
         .into_iter()
-        .map(|slot| slot.into_inner().expect("all slots filled"))
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot lock poisoned")
+                .expect("all slots filled")
+        })
         .collect()
 }
 

@@ -1,0 +1,62 @@
+//! Shared access to the unified solve pipeline for experiments.
+//!
+//! Experiment cells used to run schedulers directly and re-compute costs
+//! and lower bounds by hand; they now consume [`SolveReport`]s from one
+//! lab-wide [`SolverRegistry`] (the defaults plus the exact solvers), so a
+//! cell gets cost, certified lower bound, gap and per-phase timings from a
+//! single call.
+
+use std::sync::OnceLock;
+
+use busytime_core::solve::{SolveReport, SolveRequest, SolverRegistry};
+use busytime_core::Instance;
+
+/// The lab-wide registry: every core solver plus `exact-bb` / `exact-dp`.
+pub fn registry() -> &'static SolverRegistry {
+    static REGISTRY: OnceLock<SolverRegistry> = OnceLock::new();
+    REGISTRY.get_or_init(|| {
+        let mut reg = SolverRegistry::with_defaults();
+        busytime_exact::register(&mut reg);
+        reg
+    })
+}
+
+/// Solves one experiment cell by registry key.
+///
+/// # Panics
+///
+/// Panics when the solver errors — experiment instances are constructed to
+/// be inside every exercised solver's class and size limits, so an error
+/// here is an experiment bug.
+pub fn solve_cell(inst: &Instance, key: &str) -> SolveReport {
+    SolveRequest::new(inst)
+        .solver(key)
+        .solve_with(registry())
+        .unwrap_or_else(|e| panic!("solver `{key}` failed on an experiment cell: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_includes_exact() {
+        assert!(registry().contains("exact-bb"));
+        assert!(registry().contains("auto"));
+    }
+
+    #[test]
+    fn cell_reports_are_complete() {
+        let inst = Instance::from_pairs([(0, 4), (1, 5), (6, 9)], 2);
+        let report = solve_cell(&inst, "auto");
+        assert!(report.cost >= report.lower_bound);
+        assert!(report.phases.iter().any(|p| p.name == "schedule"));
+    }
+
+    #[test]
+    #[should_panic(expected = "failed on an experiment cell")]
+    fn unknown_key_panics() {
+        let inst = Instance::from_pairs([(0, 1)], 1);
+        let _ = solve_cell(&inst, "definitely-not-a-solver");
+    }
+}

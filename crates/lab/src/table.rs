@@ -4,7 +4,6 @@ use std::fmt::Write as _;
 
 /// A rectangular result table.
 #[derive(Clone, Debug, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub struct Table {
     /// Table id/title (e.g. "E2: Figure 4 adversarial family").
     pub title: String,
@@ -58,12 +57,94 @@ impl Table {
         let _ = writeln!(
             out,
             "|{}|",
-            self.columns.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+            self.columns
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
         );
         for row in &self.rows {
             let _ = writeln!(out, "| {} |", row.join(" | "));
         }
         out
+    }
+
+    /// Serializes to JSON (`{"title", "columns", "rows"}`).
+    pub fn to_json(&self) -> String {
+        use busytime_instances::json::write_string;
+        let mut out = String::new();
+        out.push_str("{\"title\": ");
+        write_string(&mut out, &self.title);
+        let write_list = |out: &mut String, items: &[String]| {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_string(out, item);
+            }
+            out.push(']');
+        };
+        out.push_str(", \"columns\": ");
+        write_list(&mut out, &self.columns);
+        out.push_str(", \"rows\": [");
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            write_list(&mut out, row);
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Parses a table back from [`Table::to_json`] output.
+    pub fn from_json(input: &str) -> Result<Table, String> {
+        use busytime_instances::json::{parse, Value};
+        let strings = |v: &Value, what: &str| -> Result<Vec<String>, String> {
+            v.as_array()
+                .ok_or_else(|| format!("{what} must be an array"))?
+                .iter()
+                .map(|s| {
+                    s.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| format!("{what} entries must be strings"))
+                })
+                .collect()
+        };
+        let value = parse(input).map_err(|e| e.to_string())?;
+        let title = value
+            .field("title")
+            .map_err(|e| e.to_string())?
+            .as_str()
+            .ok_or("title must be a string")?
+            .to_string();
+        let columns = strings(
+            value.field("columns").map_err(|e| e.to_string())?,
+            "columns",
+        )?;
+        let rows = value
+            .field("rows")
+            .map_err(|e| e.to_string())?
+            .as_array()
+            .ok_or("rows must be an array")?
+            .iter()
+            .map(|row| strings(row, "row"))
+            .collect::<Result<Vec<_>, _>>()?;
+        for row in &rows {
+            if row.len() != columns.len() {
+                return Err(format!(
+                    "ragged table: row width {} != column count {}",
+                    row.len(),
+                    columns.len()
+                ));
+            }
+        }
+        Ok(Table {
+            title,
+            columns,
+            rows,
+        })
     }
 
     /// Renders as CSV (header + rows, no title).
@@ -79,7 +160,11 @@ impl Table {
         let _ = writeln!(
             out,
             "{}",
-            self.columns.iter().map(|c| escape(c)).collect::<Vec<_>>().join(",")
+            self.columns
+                .iter()
+                .map(|c| escape(c))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for row in &self.rows {
             let _ = writeln!(

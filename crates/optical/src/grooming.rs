@@ -6,7 +6,6 @@ use crate::network::Lightpath;
 /// is the color of lightpath `i`. Valid under grooming factor `g` iff at
 /// most `g` same-wavelength lightpaths share any edge.
 #[derive(Clone, Debug, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Grooming {
     wavelengths: Vec<usize>,
     wavelength_count: usize,

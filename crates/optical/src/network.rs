@@ -3,7 +3,6 @@
 /// An optical network with a path topology: nodes `0..node_count` connected
 /// in a line; edge `e` joins nodes `e` and `e + 1`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PathNetwork {
     /// Number of nodes (≥ 2 for any lightpath to exist).
     pub node_count: usize,
@@ -29,7 +28,6 @@ impl PathNetwork {
 /// A lightpath from node `a` to node `b` (`a < b`), using edges
 /// `a, a+1, …, b−1`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Lightpath {
     /// Left endpoint node.
     pub a: usize,
@@ -44,7 +42,10 @@ impl Lightpath {
     ///
     /// Panics if `a >= b`.
     pub fn new(a: usize, b: usize) -> Self {
-        assert!(a < b, "lightpath endpoints must satisfy a < b (got {a}, {b})");
+        assert!(
+            a < b,
+            "lightpath endpoints must satisfy a < b (got {a}, {b})"
+        );
         Lightpath { a, b }
     }
 

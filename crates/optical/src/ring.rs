@@ -31,7 +31,6 @@ use crate::grooming::Grooming;
 /// A ring network: nodes `0..node_count`, edge `i` joins `i` and
 /// `(i+1) mod node_count`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RingNetwork {
     /// Number of nodes (= number of edges); must be ≥ 3.
     pub node_count: usize,
@@ -52,7 +51,6 @@ impl RingNetwork {
 /// A clockwise lightpath arc `from → to` on a ring (`from ≠ to`), using
 /// edges `from, from+1, …, to−1` (mod n).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RingArc {
     /// Source node.
     pub from: usize,
@@ -134,10 +132,7 @@ pub fn ring_regenerator_count(
             *through.entry((w, node)).or_insert(0) += 1;
         }
     }
-    through
-        .values()
-        .map(|&c| c.div_ceil(g as usize))
-        .sum()
+    through.values().map(|&c| c.div_ceil(g as usize)).sum()
 }
 
 /// The cut-based ring solver.
@@ -229,11 +224,12 @@ impl<S: Scheduler> CutSolver<S> {
         }
 
         let grooming = Grooming::from_wavelengths(wavelengths);
-        validate_ring_grooming(net, arcs, &grooming, g)
-            .map_err(|(e, w, l)| SchedulerError::UnsupportedInstance {
+        validate_ring_grooming(net, arcs, &grooming, g).map_err(|(e, w, l)| {
+            SchedulerError::UnsupportedInstance {
                 scheduler: String::from("CutSolver"),
                 reason: format!("internal: produced overload {l} on edge {e}, wavelength {w}"),
-            })?;
+            }
+        })?;
         Ok(RingGroomingResult {
             regenerators: ring_regenerator_count(net, arcs, &grooming, g),
             crossing_arcs: crossing_ids.len(),
@@ -293,7 +289,9 @@ mod tests {
         // all arcs avoid edge 5: the cut lands there and nothing crosses
         let net = RingNetwork::new(6);
         let arcs = [arc(0, 2), arc(1, 4), arc(2, 5), arc(0, 3)];
-        let result = CutSolver::new(FirstFit::paper()).solve(&net, &arcs, 2).unwrap();
+        let result = CutSolver::new(FirstFit::paper())
+            .solve(&net, &arcs, 2)
+            .unwrap();
         assert_eq!(result.crossing_arcs, 0);
         assert_eq!(result.cut_edge, 5);
         validate_ring_grooming(&net, &arcs, &result.grooming, 2).unwrap();
@@ -312,7 +310,9 @@ mod tests {
             arc(2, 6),
         ];
         for g in [1u32, 2, 3] {
-            let result = CutSolver::new(FirstFit::paper()).solve(&net, &arcs, g).unwrap();
+            let result = CutSolver::new(FirstFit::paper())
+                .solve(&net, &arcs, g)
+                .unwrap();
             validate_ring_grooming(&net, &arcs, &result.grooming, g).unwrap();
             assert!(result.crossing_arcs > 0);
         }
@@ -323,7 +323,9 @@ mod tests {
         let net = RingNetwork::new(5);
         // near-full-circle arcs all overlap everywhere
         let arcs = [arc(0, 4), arc(1, 0), arc(2, 1)];
-        let result = CutSolver::new(FirstFit::paper()).solve(&net, &arcs, 1).unwrap();
+        let result = CutSolver::new(FirstFit::paper())
+            .solve(&net, &arcs, 1)
+            .unwrap();
         validate_ring_grooming(&net, &arcs, &result.grooming, 1).unwrap();
         // with g = 1 they can never share a wavelength
         assert_eq!(result.grooming.wavelength_count(), 3);

@@ -1,9 +1,18 @@
 //! Scheduler-backed grooming solvers: run any busy-time [`Scheduler`] on the
 //! reduced instance and read the wavelengths off the machines — this is how
 //! Section 4.2 transfers the paper's guarantees to regenerator minimization.
+//!
+//! Two entry points:
+//!
+//! * [`GroomingSolver`] wraps a concrete scheduler (the low-level path);
+//! * [`groom_by_name`] drives the unified solve pipeline of
+//!   [`busytime_core::solve`], selecting the busy-time solver by registry
+//!   key (`"auto"` dispatches on the reduced instance's structure) and
+//!   returning the full [`SolveReport`] alongside the grooming.
 
 use busytime_core::algo::{Scheduler, SchedulerError};
 use busytime_core::bounds;
+use busytime_core::solve::{Auto, SolveError, SolveReport, SolveRequest, SolverRegistry};
 
 use crate::cost::{adm_count, regenerator_count};
 use crate::grooming::Grooming;
@@ -69,6 +78,59 @@ impl<S: Scheduler> GroomingSolver<S> {
     }
 }
 
+impl GroomingSolver<Auto> {
+    /// The portfolio solver: detects the reduced instance's structure and
+    /// dispatches the best-guaranteed algorithm (with a FirstFit net).
+    pub fn auto() -> Self {
+        GroomingSolver::new(Auto::new())
+    }
+}
+
+/// A grooming result enriched with the busy-time [`SolveReport`] it came
+/// from (cost, lower bound, gap, features, timings of the reduced
+/// instance).
+#[derive(Clone, Debug)]
+pub struct GroomingReport {
+    /// The grooming-side result.
+    pub result: GroomingResult,
+    /// The busy-time pipeline report. `report.cost` is exactly
+    /// `2 × regenerators` (the reduction's scaling).
+    pub report: SolveReport,
+}
+
+/// Solves the grooming problem through the unified solve pipeline,
+/// selecting the busy-time solver by registry key.
+///
+/// ```
+/// use busytime_core::solve::SolverRegistry;
+/// use busytime_optical::{solvers::groom_by_name, Lightpath};
+/// let reg = SolverRegistry::with_defaults();
+/// let paths = vec![Lightpath::new(0, 4), Lightpath::new(0, 4)];
+/// let groomed = groom_by_name(&reg, "auto", &paths, 2).unwrap();
+/// assert_eq!(groomed.result.regenerators, 3);
+/// assert_eq!(groomed.report.cost, 6); // 2 × regenerators, exactly
+/// ```
+pub fn groom_by_name(
+    registry: &SolverRegistry,
+    key: &str,
+    paths: &[Lightpath],
+    g: u32,
+) -> Result<GroomingReport, SolveError> {
+    let inst = instance_of_lightpaths(paths, g);
+    let report = SolveRequest::new(&inst).solver(key).solve_with(registry)?;
+    let grooming = grooming_from_schedule(&report.schedule);
+    debug_assert!(grooming.validate(paths, g).is_ok());
+    Ok(GroomingReport {
+        result: GroomingResult {
+            regenerators: regenerator_count(paths, &grooming, g),
+            adms: adm_count(paths, &grooming, g),
+            wavelengths: grooming.wavelength_count(),
+            grooming,
+        },
+        report,
+    })
+}
+
 /// Lower bound on the regenerator count of any valid grooming: half the
 /// busy-time lower bound of the reduced instance (Observation 1.1 through
 /// the factor-2 scaling of the reduction).
@@ -130,7 +192,9 @@ mod tests {
             .chain((0..8).map(|i| lp(10 * i + 1, 10 * i + 9)))
             .collect();
         let g = 2;
-        let ff = GroomingSolver::new(FirstFit::paper()).solve(&paths, g).unwrap();
+        let ff = GroomingSolver::new(FirstFit::paper())
+            .solve(&paths, g)
+            .unwrap();
         let mm = GroomingSolver::new(MinMachines).solve(&paths, g).unwrap();
         assert!(ff.regenerators <= mm.regenerators);
     }
@@ -139,7 +203,9 @@ mod tests {
     fn g1_regenerators_are_total_intermediates() {
         // at g = 1 no sharing is possible: every path pays its own nodes
         let paths = [lp(0, 5), lp(2, 7), lp(1, 3)];
-        let result = GroomingSolver::new(FirstFit::paper()).solve(&paths, 1).unwrap();
+        let result = GroomingSolver::new(FirstFit::paper())
+            .solve(&paths, 1)
+            .unwrap();
         let total: usize = paths.iter().map(|p| p.intermediate_nodes().count()).sum();
         assert_eq!(result.regenerators, total);
     }
@@ -158,8 +224,41 @@ mod tests {
 
     #[test]
     fn empty_paths() {
-        let result = GroomingSolver::new(FirstFit::paper()).solve(&[], 2).unwrap();
+        let result = GroomingSolver::new(FirstFit::paper())
+            .solve(&[], 2)
+            .unwrap();
         assert_eq!(result.regenerators, 0);
         assert_eq!(result.wavelengths, 0);
+    }
+
+    #[test]
+    fn groom_by_name_matches_cost_identity() {
+        let reg = SolverRegistry::with_defaults();
+        let paths = random_paths(5, 30, 50, 8);
+        for key in ["auto", "first-fit", "min-machines"] {
+            let groomed = groom_by_name(&reg, key, &paths, 3).unwrap();
+            groomed.result.grooming.validate(&paths, 3).unwrap();
+            // Section 4.2: busy time = 2 × regenerators, exactly
+            assert_eq!(groomed.report.cost, 2 * groomed.result.regenerators as i64);
+            assert!(groomed.report.gap >= 1.0);
+        }
+    }
+
+    #[test]
+    fn auto_grooming_never_beaten_by_first_fit() {
+        let paths = random_paths(11, 50, 60, 9);
+        for g in [1u32, 2, 4] {
+            let auto = GroomingSolver::auto().solve(&paths, g).unwrap();
+            let ff = GroomingSolver::new(FirstFit::paper())
+                .solve(&paths, g)
+                .unwrap();
+            assert!(auto.regenerators <= ff.regenerators);
+        }
+    }
+
+    #[test]
+    fn groom_by_name_unknown_solver_errors() {
+        let reg = SolverRegistry::with_defaults();
+        assert!(groom_by_name(&reg, "nope", &[lp(0, 3)], 2).is_err());
     }
 }

@@ -13,8 +13,11 @@ use busytime_optical::Lightpath;
 use proptest::prelude::*;
 
 fn arb_paths() -> impl Strategy<Value = Vec<Lightpath>> {
-    proptest::collection::vec((0usize..30, 1usize..10), 1..40)
-        .prop_map(|raw| raw.into_iter().map(|(a, h)| Lightpath::new(a, a + h)).collect())
+    proptest::collection::vec((0usize..30, 1usize..10), 1..40).prop_map(|raw| {
+        raw.into_iter()
+            .map(|(a, h)| Lightpath::new(a, a + h))
+            .collect()
+    })
 }
 
 fn arb_ring_arcs(n: usize) -> impl Strategy<Value = Vec<RingArc>> {

@@ -38,7 +38,10 @@ fn main() {
         println!("  segment {i}: jobs {ids:?}");
     }
 
-    println!("\nBounded_Length(exact segments) cost: {}", segmented.cost(&inst));
+    println!(
+        "\nBounded_Length(exact segments) cost: {}",
+        segmented.cost(&inst)
+    );
     println!("global exact OPT:                    {opt}");
     println!(
         "ratio: {:.3}  (Lemma 3.3 caps it at 2.000)",

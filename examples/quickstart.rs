@@ -1,12 +1,14 @@
-//! Quickstart: define jobs, pick a parallelism `g`, schedule, inspect.
+//! Quickstart: define jobs, pick a parallelism `g`, solve, inspect.
+//!
+//! The front door is `SolveRequest`: pick a solver by name (or let `auto`
+//! detect the instance's structure) and read schedule, cost, lower bound,
+//! gap and timings off the returned `SolveReport`.
 //!
 //! ```text
 //! cargo run --example quickstart
 //! ```
 
-use busytime::core::algo::{FirstFit, Scheduler};
-use busytime::core::bounds;
-use busytime::{Instance, Interval};
+use busytime::{full_registry, Instance, Interval, SolveRequest};
 
 fn main() {
     // Five jobs on one machine-pool with parallelism g = 2: every machine
@@ -22,24 +24,43 @@ fn main() {
     let inst = Instance::new(jobs, 2);
 
     println!("jobs: {:?}", inst.jobs());
-    println!("g = {}, span = {}, len = {}", inst.g(), inst.span(), inst.total_len());
+    println!(
+        "g = {}, span = {}, len = {}",
+        inst.g(),
+        inst.span(),
+        inst.total_len()
+    );
 
-    // The paper's FirstFit: longest job first, first machine that fits.
-    let schedule = FirstFit::paper().schedule(&inst).expect("FirstFit always succeeds");
-    schedule.validate(&inst).expect("schedules are always feasible");
+    // The `auto` portfolio: detects structure (proper? clique? bounded
+    // lengths?), dispatches the best-guaranteed paper algorithm, and races
+    // FirstFit as the safety net.
+    let report = SolveRequest::new(&inst)
+        .solver("auto")
+        .solve()
+        .expect("solvable");
+    println!("\n{report}\n");
 
-    println!("\nmachine assignment (job -> machine): {:?}", schedule.assignment());
-    for (m, jobs) in schedule.machine_jobs().into_iter().enumerate() {
+    for (m, jobs) in report.schedule.machine_jobs().into_iter().enumerate() {
         println!(
             "machine {m}: jobs {jobs:?}, busy time {}",
-            schedule.machine_cost(&inst, m)
+            report.schedule.machine_cost(&inst, m)
         );
     }
 
-    let cost = schedule.cost(&inst);
-    let lb = bounds::lower_bound(&inst);
-    println!("\ntotal busy time: {cost}");
-    println!("lower bound (Observation 1.1): {lb}");
-    println!("FirstFit is guaranteed within 4x of optimal (Theorem 2.1); here: {:.2}x of LB",
-        cost as f64 / lb as f64);
+    // Any registered solver is one string away — including the exact ones
+    // once the registry is extended with `busytime-exact`:
+    let registry = full_registry();
+    let opt = SolveRequest::new(&inst)
+        .solver("exact")
+        .solve_with(&registry)
+        .expect("small instance");
+    println!(
+        "\nexact optimum: {} ({}); auto was within {:.2}x",
+        opt.cost,
+        opt.solver,
+        report.cost as f64 / opt.cost as f64
+    );
+
+    // Machine-readable output for serving layers:
+    println!("\nreport as JSON:\n{}", report.to_json());
 }

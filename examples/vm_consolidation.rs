@@ -2,56 +2,57 @@
 //! powered on, each host runs up to `g` VMs, VM lease intervals are fixed.
 //! Minimizing total busy time = minimizing the host-hours bill.
 //!
+//! Policies are selected by registry name through the unified solve
+//! pipeline; each row comes out of one `SolveReport` (cost, lower bound,
+//! gap — nothing recomputed by hand).
+//!
 //! ```text
 //! cargo run --release --example vm_consolidation
 //! ```
 
-use busytime::core::algo::{
-    BestFit, FirstFit, MinMachines, NextFitArrival, Scheduler,
-};
-use busytime::core::bounds;
 use busytime::instances::workload::{on_demand, shifts};
+use busytime::{SolveRequest, SolverRegistry};
 
 fn main() {
     let g = 8; // VMs per host
+    let registry = SolverRegistry::with_defaults();
+
     println!("== on-demand trace: 2000 VM leases, Poisson-ish arrivals ==\n");
     let trace = on_demand(2_000, 2.0, 120.0, g, 7);
-    run_all(&trace);
+    run_all(&registry, &trace);
 
     println!("\n== diurnal shifts: 10 days x 80 leases clustered per shift ==\n");
     let trace = shifts(10, 80, 480, 60, g, 7);
-    run_all(&trace);
+    run_all(&registry, &trace);
 
     println!(
         "\nFirstFit (longest lease first) is the paper's 4-approximation;\n\
-         note how consolidating onto the fewest hosts (MinMachines) is NOT\n\
+         note how consolidating onto the fewest hosts (min-machines) is NOT\n\
          the cheapest policy once hosts bill by busy time — the objective\n\
-         shift this paper introduced."
+         shift this paper introduced. The `auto` portfolio row shows the\n\
+         pipeline's structure-aware dispatch on the same trace."
     );
 }
 
-fn run_all(inst: &busytime::Instance) {
-    let lb = bounds::component_lower_bound(inst);
+fn run_all(registry: &SolverRegistry, inst: &busytime::Instance) {
     println!(
         "{:<22} {:>14} {:>8} {:>10}",
-        "policy", "host busy-time", "hosts", "vs LB"
+        "policy", "host busy-time", "hosts", "gap"
     );
-    let policies: Vec<(&str, Box<dyn Scheduler>)> = vec![
-        ("FirstFit (paper)", Box::new(FirstFit::paper())),
-        ("BestFit", Box::new(BestFit)),
-        ("NextFit (arrival)", Box::new(NextFitArrival)),
-        ("MinMachines", Box::new(MinMachines)),
-    ];
-    for (label, policy) in policies {
-        let sched = policy.schedule(inst).expect("policies always succeed");
-        sched.validate(inst).expect("feasible");
-        let cost = sched.cost(inst);
+    for key in [
+        "auto",
+        "first-fit",
+        "best-fit",
+        "next-fit-arrival",
+        "min-machines",
+    ] {
+        let report = SolveRequest::new(inst)
+            .solver(key)
+            .solve_with(registry)
+            .expect("policies always succeed");
         println!(
             "{:<22} {:>14} {:>8} {:>9.2}x",
-            label,
-            cost,
-            sched.machine_count(),
-            cost as f64 / lb as f64
+            key, report.cost, report.machines, report.gap
         );
     }
 }

@@ -1,9 +1,17 @@
 //! `busytime-cli` — generate, solve and inspect busy-time scheduling
 //! instances from the command line.
 //!
+//! Solving goes through the unified pipeline of `busytime_core::solve`:
+//! any solver in the registry (including the exact ones) is reachable by
+//! name, and results are emitted as a full `SolveReport` — cost, lower
+//! bound, approximation gap, detected instance features and per-phase
+//! timings — as text or JSON.
+//!
 //! ```text
 //! busytime-cli generate --family uniform --n 40 --g 3 --seed 7 --out inst.json
-//! busytime-cli solve --input inst.json --algo firstfit --gantt
+//! busytime-cli solve --input inst.json --solver auto --gantt
+//! busytime-cli solve --input inst.json --solver exact --json
+//! busytime-cli solvers
 //! busytime-cli bounds --input inst.json
 //! busytime-cli compare --input inst.json
 //! ```
@@ -12,14 +20,10 @@ use std::collections::HashMap;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use busytime::core::algo::{
-    BestFit, BoundedLength, CliqueScheduler, FirstFit, MinMachines, NextFitArrival,
-    NextFitProper, RandomFit, Scheduler,
-};
+use busytime::core::solve::ValidationLevel;
 use busytime::core::{bounds, render};
-use busytime::exact::ExactBB;
 use busytime::instances::io::{read_instance, write_instance, InstanceFile};
-use busytime::Instance;
+use busytime::{full_registry, Instance, SolveRequest};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -37,10 +41,11 @@ fn main() -> ExitCode {
     let result = match command.as_str() {
         "generate" => cmd_generate(&opts),
         "solve" => cmd_solve(&opts),
+        "solvers" => cmd_solvers(),
         "bounds" => cmd_bounds(&opts),
         "compare" => cmd_compare(&opts),
         "--help" | "-h" | "help" => {
-            println!("{USAGE}");
+            emit_line(USAGE);
             return ExitCode::SUCCESS;
         }
         other => Err(format!("unknown command '{other}'")),
@@ -60,11 +65,27 @@ busytime-cli — busy-time scheduling (Flammini et al., TCS 2010)
 commands:
   generate --family F [--n N] [--g G] [--seed S] [--d D] --out FILE
            F ∈ uniform | proper | clique | bounded | laminar | fig4 | shifts
-  solve    --input FILE --algo A [--gantt] [--out FILE]
-           A ∈ firstfit | nextfit | arrival | bestfit | randomfit |
-               minmachines | clique | bounded | exact
+  solve    --input FILE [--solver NAME] [--json] [--gantt] [--out FILE]
+           [--seed S] [--no-decompose] [--validation skip|basic|strict]
+           NAME: any registry entry (see `solvers`); default `auto`
+  solvers  list every registered solver with its guarantee
   bounds   --input FILE
-  compare  --input FILE        (all algorithms side by side)";
+  compare  --input FILE        (all registered solvers side by side)";
+
+/// Options taking no value.
+const FLAGS: &[&str] = &["gantt", "json", "no-decompose"];
+
+/// Writes to stdout, tolerating a closed pipe (`busytime-cli ... | head`
+/// must exit cleanly, not panic on EPIPE the way `println!` does).
+fn emit(s: impl AsRef<str>) {
+    use std::io::Write;
+    let _ = std::io::stdout().write_all(s.as_ref().as_bytes());
+}
+
+fn emit_line(s: impl AsRef<str>) {
+    emit(s.as_ref());
+    emit("\n");
+}
 
 fn parse_opts(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut opts = HashMap::new();
@@ -73,13 +94,11 @@ fn parse_opts(args: &[String]) -> Result<HashMap<String, String>, String> {
         let Some(name) = key.strip_prefix("--") else {
             return Err(format!("expected --option, got '{key}'"));
         };
-        if name == "gantt" {
+        if FLAGS.contains(&name) {
             opts.insert(name.to_string(), String::from("true"));
             continue;
         }
-        let value = it
-            .next()
-            .ok_or_else(|| format!("--{name} needs a value"))?;
+        let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
         opts.insert(name.to_string(), value.clone());
     }
     Ok(opts)
@@ -117,20 +136,10 @@ fn cmd_generate(opts: &HashMap<String, String>) -> Result<(), String> {
         ),
         "proper" => busytime::instances::proper::random_proper(n, 3, 12, 6, g, seed),
         "clique" => busytime::instances::clique::random_clique(n, 100, 60, g, seed),
-        "bounded" => {
-            busytime::instances::bounded::random_bounded(n, (2 * n) as i64, d, g, seed)
-        }
-        "laminar" => busytime::instances::laminar::random_laminar(
-            (8 * n) as i64,
-            4,
-            3,
-            g,
-            seed,
-        ),
+        "bounded" => busytime::instances::bounded::random_bounded(n, (2 * n) as i64, d, g, seed),
+        "laminar" => busytime::instances::laminar::random_laminar((8 * n) as i64, 4, 3, g, seed),
         "fig4" => busytime::instances::adversarial::fig4(g.max(2), 1000, 10).instance,
-        "shifts" => {
-            busytime::instances::workload::shifts(6, n.div_ceil(6), 100, 20, g, seed)
-        }
+        "shifts" => busytime::instances::workload::shifts(6, n.div_ceil(6), 100, 20, g, seed),
         other => return Err(format!("unknown family '{other}'")),
     };
     let out = PathBuf::from(opts.get("out").ok_or("generate requires --out")?);
@@ -140,14 +149,14 @@ fn cmd_generate(opts: &HashMap<String, String>) -> Result<(), String> {
         &inst,
     );
     write_instance(&out, &file).map_err(|e| e.to_string())?;
-    println!(
+    emit_line(format!(
         "wrote {} ({} jobs, g = {}, span {}, len {})",
         out.display(),
         inst.len(),
         inst.g(),
         inst.span(),
         inst.total_len()
-    );
+    ));
     Ok(())
 }
 
@@ -157,95 +166,109 @@ fn load(opts: &HashMap<String, String>) -> Result<Instance, String> {
     Ok(file.to_instance())
 }
 
-fn scheduler_by_name(name: &str) -> Result<Box<dyn Scheduler>, String> {
-    Ok(match name {
-        "firstfit" => Box::new(FirstFit::paper()),
-        "nextfit" => Box::new(NextFitProper::new()),
-        "arrival" => Box::new(NextFitArrival),
-        "bestfit" => Box::new(BestFit),
-        "randomfit" => Box::new(RandomFit::new(0)),
-        "minmachines" => Box::new(MinMachines),
-        "clique" => Box::new(CliqueScheduler::new()),
-        "bounded" => Box::new(BoundedLength::first_fit()),
-        "exact" => Box::new(ExactBB::new()),
-        other => return Err(format!("unknown algorithm '{other}'")),
-    })
-}
-
 fn cmd_solve(opts: &HashMap<String, String>) -> Result<(), String> {
     let inst = load(opts)?;
-    let algo = opts.get("algo").map(String::as_str).unwrap_or("firstfit");
-    let scheduler = scheduler_by_name(algo)?;
-    let sched = scheduler.schedule(&inst).map_err(|e| e.to_string())?;
-    sched.validate(&inst).map_err(|v| v.to_string())?;
-    let stats = render::stats(&inst, &sched);
-    println!(
-        "{}: cost {} on {} machines | utilization {:.1}% | ≤ {:.3}× LB",
-        scheduler.name(),
-        stats.cost,
-        stats.machines,
-        100.0 * stats.utilization,
-        stats.ratio_to_bound
-    );
+    // `--solver` is the registry key; `--algo` kept as a legacy spelling
+    let solver = opts
+        .get("solver")
+        .or_else(|| opts.get("algo"))
+        .map(String::as_str)
+        .unwrap_or("auto");
+    let validation = match opts.get("validation").map(String::as_str) {
+        None | Some("basic") => ValidationLevel::Basic,
+        Some("skip") => ValidationLevel::Skip,
+        Some("strict") => ValidationLevel::Strict,
+        Some(other) => return Err(format!("--validation: unknown level '{other}'")),
+    };
+    let registry = full_registry();
+    let report = SolveRequest::new(&inst)
+        .solver(solver)
+        .seed(get_num(opts, "seed", 0u64)?)
+        .decompose(!opts.contains_key("no-decompose"))
+        .validation(validation)
+        .solve_with(&registry)
+        .map_err(|e| e.to_string())?;
+    if opts.contains_key("json") {
+        emit(report.to_json());
+    } else {
+        emit_line(report.to_string());
+    }
     if opts.contains_key("gantt") {
-        print!("{}", render::gantt(&inst, &sched, 100, 24));
+        emit(render::gantt(&inst, &report.schedule, 100, 24));
     }
     if let Some(out) = opts.get("out") {
-        let file = busytime::instances::io::ScheduleFile::new(scheduler.name(), &sched, &inst);
+        let file = busytime::instances::io::ScheduleFile::new(
+            report.solver.clone(),
+            &report.schedule,
+            &inst,
+        );
         let json = busytime::instances::io::schedule_to_json(&file);
         std::fs::write(out, json).map_err(|e| e.to_string())?;
-        println!("schedule written to {out}");
+        emit_line(format!("schedule written to {out}"));
     }
+    Ok(())
+}
+
+fn cmd_solvers() -> Result<(), String> {
+    emit(full_registry().describe());
     Ok(())
 }
 
 fn cmd_bounds(opts: &HashMap<String, String>) -> Result<(), String> {
     let inst = load(opts)?;
-    println!("jobs: {}, g: {}", inst.len(), inst.g());
-    println!("span bound (Obs 1.1):        {}", bounds::span_bound(&inst));
-    println!("parallelism bound (Obs 1.1): {}", bounds::parallelism_bound(&inst));
-    println!("component bound:             {}", bounds::component_lower_bound(&inst));
+    emit_line(format!("jobs: {}, g: {}", inst.len(), inst.g()));
+    emit_line(format!(
+        "span bound (Obs 1.1):        {}",
+        bounds::span_bound(&inst)
+    ));
+    emit_line(format!(
+        "parallelism bound (Obs 1.1): {}",
+        bounds::parallelism_bound(&inst)
+    ));
+    emit_line(format!(
+        "component bound:             {}",
+        bounds::component_lower_bound(&inst)
+    ));
     if let Some(delta) = bounds::clique_delta_bound(&inst) {
-        println!("clique δ-bound (Thm A.1):    {delta}");
+        emit_line(format!("clique δ-bound (Thm A.1):    {delta}"));
     }
-    println!("best lower bound:            {}", bounds::best_lower_bound(&inst));
+    emit_line(format!(
+        "best lower bound:            {}",
+        bounds::best_lower_bound(&inst)
+    ));
     Ok(())
 }
 
 fn cmd_compare(opts: &HashMap<String, String>) -> Result<(), String> {
     let inst = load(opts)?;
-    let lb = bounds::best_lower_bound(&inst).max(1);
-    println!("{:<28} {:>10} {:>8} {:>9}", "algorithm", "cost", "machines", "vs LB");
-    for name in [
-        "firstfit",
-        "nextfit",
-        "arrival",
-        "bestfit",
-        "randomfit",
-        "minmachines",
-        "bounded",
-    ] {
-        let scheduler = scheduler_by_name(name)?;
-        match scheduler.schedule(&inst) {
-            Ok(sched) => {
-                sched.validate(&inst).map_err(|v| v.to_string())?;
-                println!(
-                    "{:<28} {:>10} {:>8} {:>8.3}x",
-                    scheduler.name(),
-                    sched.cost(&inst),
-                    sched.machine_count(),
-                    sched.cost(&inst) as f64 / lb as f64
-                );
-            }
-            Err(e) => println!("{:<28} {e}", scheduler.name()),
+    let registry = full_registry();
+    emit_line(format!(
+        "{:<28} {:>10} {:>8} {:>9} {:>10}",
+        "solver", "cost", "machines", "gap", "ms"
+    ));
+    // exhaustive solvers decompose per component, so their per-component
+    // size guards never trip on large many-component instances — gate them
+    // on total size here to keep `compare` interactive
+    const EXACT_COMPARE_LIMIT: usize = 24;
+    for entry in registry.entries() {
+        let key = entry.key().to_string();
+        let request = SolveRequest::new(&inst).solver(&key);
+        let request = if key.starts_with("exact") {
+            request.max_jobs(EXACT_COMPARE_LIMIT)
+        } else {
+            request
+        };
+        match request.solve_with(&registry) {
+            Ok(report) => emit_line(format!(
+                "{:<28} {:>10} {:>8} {:>8.3}x {:>10.2}",
+                format!("{key} ({})", report.solver),
+                report.cost,
+                report.machines,
+                report.gap,
+                report.total.as_secs_f64() * 1e3,
+            )),
+            Err(e) => emit_line(format!("{key:<28} {e}")),
         }
-    }
-    if inst.len() <= 18 {
-        let opt = ExactBB::new()
-            .schedule(&inst)
-            .map_err(|e| e.to_string())?
-            .cost(&inst);
-        println!("{:<28} {:>10}", "ExactBB (true OPT)", opt);
     }
     Ok(())
 }

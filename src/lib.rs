@@ -7,11 +7,54 @@
 //! in parallel scheduling with application to optical networks* (Theoretical
 //! Computer Science 411 (2010) 3553–3562; preliminary version IPDPS 2009).
 //!
-//! Re-exports every sub-crate under one roof:
+//! # Solving an instance
+//!
+//! The front door is the unified solve pipeline of
+//! [`busytime_core::solve`]: build a [`SolveRequest`], pick a solver by
+//! registry name (or let the `auto` portfolio detect the instance's
+//! structure and dispatch the best-guaranteed algorithm), and read
+//! everything — schedule, cost, lower bound, approximation gap, per-phase
+//! timings — off the returned [`SolveReport`]:
+//!
+//! ```
+//! use busytime::{Instance, SolveRequest};
+//!
+//! let inst = Instance::from_pairs([(0, 4), (1, 5), (6, 9)], 2);
+//! // `auto` detects structure (this family is a proper one) and dispatches;
+//! // FirstFit is always raced as the safety net.
+//! let report = SolveRequest::new(&inst).solver("auto").solve().unwrap();
+//! assert!(report.gap >= 1.0);
+//! println!("{}", report.summary());
+//!
+//! // any registered solver is one string away:
+//! let ff = SolveRequest::new(&inst).solver("first-fit").solve().unwrap();
+//! assert!(ff.cost >= report.lower_bound);
+//! ```
+//!
+//! [`full_registry`] extends the default registry with the size-guarded
+//! exact solvers of [`busytime_exact`]; pass it to
+//! [`SolveRequest::solve_with`] when exact optima are wanted:
+//!
+//! ```
+//! use busytime::{full_registry, Instance, SolveRequest};
+//!
+//! let inst = Instance::from_pairs([(0, 4), (1, 5), (6, 9)], 2);
+//! let reg = full_registry();
+//! let opt = SolveRequest::new(&inst).solver("exact").solve_with(&reg).unwrap();
+//! assert_eq!(opt.gap, 1.0);
+//! ```
+//!
+//! The bare [`busytime_core::algo::Scheduler`] trait remains the low-level
+//! extension point: implement it, then register a factory
+//! ([`SolverRegistry::register`]) or pass a boxed instance via
+//! [`SolveRequest::scheduler`].
+//!
+//! # Sub-crates
 //!
 //! * [`interval`] — time model, closed intervals, overlap profiles.
 //! * [`graph`] — interval graphs, coloring, matching, max-flow, b-matching.
-//! * [`core`] — instances, schedules, lower bounds, the paper's algorithms.
+//! * [`core`] — instances, schedules, lower bounds, the paper's algorithms,
+//!   and the [`core::solve`](busytime_core::solve) pipeline.
 //! * [`exact`] — exact optimum for small instances (branch-and-bound / DP).
 //! * [`optical`] — the optical-network application of Section 4.
 //! * [`instances`] — workload generators, including the paper's lower-bound
@@ -29,5 +72,17 @@ pub use busytime_interval as interval;
 pub use busytime_lab as lab;
 pub use busytime_optical as optical;
 
+pub use busytime_core::solve::{
+    Auto, InstanceFeatures, SolveError, SolveReport, SolveRequest, SolverRegistry,
+};
 pub use busytime_core::{Instance, Schedule};
 pub use busytime_interval::Interval;
+
+/// The complete solver registry: every algorithm and baseline of
+/// [`busytime_core`] plus the size-guarded exact solvers of
+/// [`busytime_exact`] (`exact-bb`, `exact-dp`, alias `exact`).
+pub fn full_registry() -> SolverRegistry {
+    let mut registry = SolverRegistry::with_defaults();
+    busytime_exact::register(&mut registry);
+    registry
+}

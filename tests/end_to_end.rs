@@ -63,8 +63,8 @@ fn io_roundtrip_preserves_everything() {
     // schedule files round-trip and self-verify
     let sched = FirstFit::paper().schedule(&inst).unwrap();
     let sfile = ScheduleFile::new("FirstFit", &sched, &inst);
-    let json = serde_json::to_string(&sfile).unwrap();
-    let reparsed: ScheduleFile = serde_json::from_str(&json).unwrap();
+    let json = busytime::instances::io::schedule_to_json(&sfile);
+    let reparsed: ScheduleFile = busytime::instances::io::schedule_from_json(&json).unwrap();
     let restored = reparsed.to_schedule(&inst).unwrap();
     assert_eq!(restored.cost(&inst), sched.cost(&inst));
 }

@@ -34,7 +34,7 @@ fn run_one_dispatch() {
 #[test]
 fn tables_are_serializable() {
     let t: Table = experiments::run_one("e2", Scale::Quick).unwrap();
-    let json = serde_json::to_string(&t).unwrap();
-    let back: Table = serde_json::from_str(&json).unwrap();
+    let json = t.to_json();
+    let back = Table::from_json(&json).unwrap();
     assert_eq!(back, t);
 }

@@ -2,6 +2,12 @@
 //! costs forever. Any intentional algorithm change must update these
 //! numbers consciously (they are cheap to recompute but deliberate to
 //! change).
+//!
+//! The recorded values are tied to the generator stream of the vendored
+//! `rand` stand-in (SplitMix64, see `vendor/README.md`), which guarantees a
+//! stable stream across platforms and releases — the original values from
+//! the crates.io `StdRng` stream were re-recorded when the workspace
+//! switched to the vendored RNG.
 
 use busytime::core::algo::{
     BestFit, CliqueScheduler, FirstFit, MinMachines, NextFitArrival, NextFitProper, Scheduler,
@@ -33,9 +39,10 @@ fn golden_costs_general() {
         })
         .collect();
     // recorded once from a verified run; see module docs before editing
-    let expected: Vec<i64> = vec![656, 712, 874, 647, 675];
+    let expected: Vec<i64> = vec![559, 642, 823, 551, 599];
     assert_eq!(
-        costs, expected,
+        costs,
+        expected,
         "golden costs drifted for {:?}",
         cases.iter().map(|(_, n)| *n).collect::<Vec<_>>()
     );
@@ -47,7 +54,7 @@ fn golden_exact_small() {
     let bb = ExactBB::new().opt_value(&inst).unwrap();
     let dp = ExactDp::new().opt_value(&inst).unwrap();
     assert_eq!(bb, dp);
-    assert_eq!(bb, 51, "exact optimum drifted");
+    assert_eq!(bb, 45, "exact optimum drifted");
 }
 
 #[test]
@@ -55,5 +62,5 @@ fn golden_clique() {
     let inst = random_clique(24, 100, 50, 3, 0xCAFE);
     let sched = CliqueScheduler::new().schedule(&inst).unwrap();
     sched.validate(&inst).unwrap();
-    assert_eq!(sched.cost(&inst), 574, "clique algorithm cost drifted");
+    assert_eq!(sched.cost(&inst), 485, "clique algorithm cost drifted");
 }

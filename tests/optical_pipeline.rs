@@ -23,9 +23,12 @@ fn reduction_identity_on_many_workloads() {
                 let sched = FirstFit::paper().schedule(&inst).unwrap();
                 let grooming = grooming_from_schedule(&sched);
                 grooming.validate(&paths, g).unwrap();
-                let (busy, regs) =
-                    schedule_cost_equals_twice_regenerators(&paths, &grooming, g);
-                assert_eq!(busy, 2 * regs as i64, "identity failed (seed {seed}, g {g})");
+                let (busy, regs) = schedule_cost_equals_twice_regenerators(&paths, &grooming, g);
+                assert_eq!(
+                    busy,
+                    2 * regs as i64,
+                    "identity failed (seed {seed}, g {g})"
+                );
             }
         }
     }
@@ -59,7 +62,9 @@ fn results_i_to_iv_of_section_4_2() {
     // (i) arbitrary lightpaths: 4-approx via FirstFit
     let paths = random_lightpaths(&net, 60, 12, 3);
     for g in [2u32, 4] {
-        let res = GroomingSolver::new(FirstFit::paper()).solve(&paths, g).unwrap();
+        let res = GroomingSolver::new(FirstFit::paper())
+            .solve(&paths, g)
+            .unwrap();
         let lb = regenerator_lower_bound(&paths, g).max(1);
         assert!(res.regenerators <= 4 * lb);
     }

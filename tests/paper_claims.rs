@@ -19,13 +19,22 @@ fn theorem_2_1_first_fit_within_4x_of_exact_opt() {
     for seed in 0..30 {
         let n = 6 + (seed as usize % 7);
         let g = 2 + (seed % 3) as u32;
-        let inst = uniform(n, 3 * n as i64, LengthDist::Uniform(2, 2 * n as i64), g, seed);
+        let inst = uniform(
+            n,
+            3 * n as i64,
+            LengthDist::Uniform(2, 2 * n as i64),
+            g,
+            seed,
+        );
         let ff = FirstFit::paper().schedule(&inst).unwrap();
         ff.validate(&inst).unwrap();
         let bb = ExactBB::new().opt_value(&inst).unwrap();
         let dp = ExactDp::new().opt_value(&inst).unwrap();
         assert_eq!(bb, dp, "exact solvers disagree (seed {seed})");
-        assert!(ff.cost(&inst) <= 4 * bb, "Theorem 2.1 violated (seed {seed})");
+        assert!(
+            ff.cost(&inst) <= 4 * bb,
+            "Theorem 2.1 violated (seed {seed})"
+        );
         assert!(bb >= bounds::component_lower_bound(&inst));
     }
 }
@@ -123,7 +132,10 @@ fn theorem_3_2_bounded_length() {
             .unwrap();
         seg.validate(&inst).unwrap();
         let opt = ExactBB::new().opt_value(&inst).unwrap();
-        assert!(seg.cost(&inst) <= 2 * opt, "Lemma 3.3 violated (seed {seed})");
+        assert!(
+            seg.cost(&inst) <= 2 * opt,
+            "Lemma 3.3 violated (seed {seed})"
+        );
         // the guess + b-matching segment solver agrees where it applies
         if let Ok(gm) = BoundedLength::with_solver(GuessMatch::new())
             .with_width(3)

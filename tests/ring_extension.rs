@@ -18,6 +18,7 @@ fn brute_force_ring_opt(
     let n = arcs.len();
     let mut best = usize::MAX;
     let mut assignment = vec![0usize; n];
+    #[allow(clippy::too_many_arguments)] // recursion state, not an API
     fn rec(
         idx: usize,
         used: usize,
@@ -38,10 +39,28 @@ fn brute_force_ring_opt(
         // canonical color order: may reuse 0..used or open color `used`
         for w in 0..=used.min(max_w - 1) {
             assignment[idx] = w;
-            rec(idx + 1, used.max(w + 1), assignment, net, arcs, g, max_w, best);
+            rec(
+                idx + 1,
+                used.max(w + 1),
+                assignment,
+                net,
+                arcs,
+                g,
+                max_w,
+                best,
+            );
         }
     }
-    rec(0, 0, &mut assignment, net, arcs, g, max_wavelengths, &mut best);
+    rec(
+        0,
+        0,
+        &mut assignment,
+        net,
+        arcs,
+        g,
+        max_wavelengths,
+        &mut best,
+    );
     best
 }
 
@@ -67,7 +86,9 @@ fn cut_solver_near_optimal_on_tiny_rings() {
     for (case_idx, arcs) in cases.iter().enumerate() {
         for g in [1u32, 2] {
             let opt = brute_force_ring_opt(&net, arcs, g, arcs.len());
-            let solved = CutSolver::new(FirstFit::paper()).solve(&net, arcs, g).unwrap();
+            let solved = CutSolver::new(FirstFit::paper())
+                .solve(&net, arcs, g)
+                .unwrap();
             assert!(
                 solved.regenerators >= opt,
                 "case {case_idx}, g={g}: solver beat the brute-force optimum?!"
@@ -96,7 +117,9 @@ fn ring_at_g1_has_no_sharing() {
         RingArc::new(7, 2),
     ];
     let total: usize = arcs.iter().map(|a| a.intermediate_nodes(8).count()).sum();
-    let solved = CutSolver::new(FirstFit::paper()).solve(&net, &arcs, 1).unwrap();
+    let solved = CutSolver::new(FirstFit::paper())
+        .solve(&net, &arcs, 1)
+        .unwrap();
     assert_eq!(solved.regenerators, total);
     let opt = brute_force_ring_opt(&net, &arcs, 1, arcs.len());
     assert_eq!(opt, total);
@@ -107,7 +130,9 @@ fn grooming_beats_no_grooming_on_parallel_arcs() {
     // g identical arcs: grooming shares all regenerators
     let net = RingNetwork::new(10);
     let arcs = vec![RingArc::new(1, 6); 4];
-    let solved = CutSolver::new(FirstFit::paper()).solve(&net, &arcs, 4).unwrap();
+    let solved = CutSolver::new(FirstFit::paper())
+        .solve(&net, &arcs, 4)
+        .unwrap();
     assert_eq!(solved.regenerators, 4); // nodes 2..=5 once
     assert_eq!(solved.grooming.wavelength_count(), 1);
 }

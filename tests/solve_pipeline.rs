@@ -1,0 +1,150 @@
+//! End-to-end coverage of the unified solve pipeline: full registry round
+//! trips (including the exact solvers), report JSON, and the CLI driving
+//! `--solver <name>` / `--solver auto` with text and JSON output.
+
+use std::process::Command;
+
+use busytime::instances::json;
+use busytime::instances::random::{uniform, LengthDist};
+use busytime::{full_registry, Instance, SolveRequest};
+
+#[test]
+fn full_registry_round_trips_every_name() {
+    let registry = full_registry();
+    // a clique: accepted by every solver, small enough for the exact ones
+    let inst = Instance::from_pairs([(0, 6), (2, 8), (4, 9), (5, 7)], 2);
+    assert!(registry.names().len() >= 12);
+    for name in registry.names() {
+        let report = SolveRequest::new(&inst)
+            .solver(name)
+            .solve_with(&registry)
+            .unwrap_or_else(|e| panic!("`{name}` failed end-to-end: {e}"));
+        report.schedule.validate(&inst).unwrap();
+        assert!(report.gap >= 1.0, "`{name}` gap below 1");
+        assert!(report.cost >= report.lower_bound);
+    }
+}
+
+#[test]
+fn exact_certifies_auto_quality_on_small_instances() {
+    let registry = full_registry();
+    for seed in 0..6 {
+        let inst = uniform(12, 30, LengthDist::Uniform(2, 12), 2, seed);
+        let auto = SolveRequest::new(&inst)
+            .solver("auto")
+            .solve_with(&registry)
+            .unwrap();
+        let opt = SolveRequest::new(&inst)
+            .solver("exact")
+            .solve_with(&registry)
+            .unwrap();
+        assert!(auto.cost >= opt.cost);
+        // the portfolio's strongest class guarantee is 2; on these small
+        // general instances it should stay well under the 4x cap
+        assert!(auto.cost <= 4 * opt.cost);
+        assert!(opt.gap >= 1.0);
+    }
+}
+
+#[test]
+fn report_json_is_parseable_and_complete() {
+    let inst = uniform(20, 40, LengthDist::Uniform(2, 10), 3, 5);
+    let report = SolveRequest::new(&inst).solver("auto").solve().unwrap();
+    let value = json::parse(&report.to_json()).expect("report JSON parses");
+    assert_eq!(value.field("cost").unwrap().as_i64(), Some(report.cost));
+    assert_eq!(
+        value.field("lower_bound").unwrap().as_i64(),
+        Some(report.lower_bound)
+    );
+    let assignment = value.field("assignment").unwrap().as_array().unwrap();
+    assert_eq!(assignment.len(), inst.len());
+    assert!(value.field("phases").unwrap().as_array().unwrap().len() >= 3);
+}
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_busytime-cli"))
+}
+
+#[test]
+fn cli_solves_by_registry_name_text_and_json() {
+    let dir = std::env::temp_dir().join(format!("busytime_cli_e2e_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let inst_path = dir.join("inst.json");
+
+    let gen = cli()
+        .args([
+            "generate", "--family", "uniform", "--n", "24", "--g", "3", "--seed", "3",
+        ])
+        .args(["--out", inst_path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        gen.status.success(),
+        "generate failed: {}",
+        String::from_utf8_lossy(&gen.stderr)
+    );
+
+    // --solver auto, text report
+    let solve = cli()
+        .args([
+            "solve",
+            "--input",
+            inst_path.to_str().unwrap(),
+            "--solver",
+            "auto",
+        ])
+        .output()
+        .unwrap();
+    assert!(solve.status.success());
+    let text = String::from_utf8_lossy(&solve.stdout);
+    assert!(text.contains("auto chose:"), "no dispatch line in: {text}");
+    assert!(text.contains("lower bound:"));
+    assert!(text.contains("phase schedule"));
+
+    // --solver <name> for a specific registry entry, JSON report
+    let solve_json = cli()
+        .args(["solve", "--input", inst_path.to_str().unwrap()])
+        .args(["--solver", "next-fit-arrival", "--json"])
+        .output()
+        .unwrap();
+    assert!(solve_json.status.success());
+    let parsed = json::parse(&String::from_utf8_lossy(&solve_json.stdout)).unwrap();
+    assert_eq!(
+        parsed.field("solver").unwrap().as_str(),
+        Some("NextFitArrival")
+    );
+    assert!(parsed.field("gap").is_ok());
+
+    // unknown solver: graceful error listing the registry
+    let bad = cli()
+        .args([
+            "solve",
+            "--input",
+            inst_path.to_str().unwrap(),
+            "--solver",
+            "nope",
+        ])
+        .output()
+        .unwrap();
+    assert!(!bad.status.success());
+    assert!(String::from_utf8_lossy(&bad.stderr).contains("available"));
+
+    // solvers listing covers the paper algorithms and exact
+    let list = cli().arg("solvers").output().unwrap();
+    let listing = String::from_utf8_lossy(&list.stdout);
+    for key in [
+        "auto",
+        "first-fit",
+        "next-fit-proper",
+        "bounded-length",
+        "clique",
+        "exact-bb",
+    ] {
+        assert!(
+            listing.contains(key),
+            "`{key}` missing from solvers listing"
+        );
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
