@@ -66,6 +66,7 @@ pub mod algo;
 pub mod bounds;
 pub mod instance;
 pub mod machine;
+pub mod pool;
 pub mod render;
 pub mod schedule;
 pub mod solve;

@@ -1,14 +1,23 @@
-//! Parallel sweep execution on std scoped threads.
+//! The shared parallel executor: scoped-thread worker pools.
 //!
-//! Experiments evaluate many independent `(instance, algorithm)` cells;
-//! [`par_map`] fans them out over all cores with a shared atomic cursor
-//! (each worker claims the next unprocessed index — simple work stealing
-//! that balances the heavily skewed cell costs of exact solving), and
+//! Both the experiment harness (`busytime-lab`) and the batch solve server
+//! (`busytime-server`) fan independent solves out over cores; this module
+//! is the one executor they share. [`par_map_with`] runs a fixed number of
+//! workers over a shared atomic cursor (simple work stealing that balances
+//! heavily skewed item costs, e.g. exact solving next to first-fit), and
 //! writes results into pre-allocated slots so the output order matches the
-//! input order regardless of scheduling.
+//! input order regardless of scheduling. [`par_map`] is the
+//! all-available-cores convenience wrapper.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// The number of workers [`par_map`] uses: every available core.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
 
 /// Applies `f` to every item on all available cores; results are returned
 /// in input order. Deterministic as long as `f` is.
@@ -18,14 +27,31 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    par_map_with(default_workers(), items, f)
+}
+
+/// Applies `f` to every item on a pool of exactly `workers` scoped threads
+/// (clamped to the item count; `0` means [`default_workers`]); results are
+/// returned in input order. Deterministic as long as `f` is.
+///
+/// A panic in any invocation of `f` is re-raised as a `"worker panicked"`
+/// panic on the calling thread once all workers have stopped.
+pub fn par_map_with<T, R, F>(workers: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
     let n = items.len();
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(n.max(1));
+    let workers = if workers == 0 {
+        default_workers()
+    } else {
+        workers
+    }
+    .min(n.max(1));
     if workers <= 1 || n <= 1 {
-        // Same panic contract as the threaded path: a panicking cell
-        // surfaces as "worker panicked" regardless of core count.
+        // Same panic contract as the threaded path: a panicking item
+        // surfaces as "worker panicked" regardless of pool size.
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             items.iter().map(&f).collect()
         }));
@@ -84,10 +110,19 @@ mod tests {
     }
 
     #[test]
+    fn fixed_worker_counts_agree() {
+        let items: Vec<u64> = (0..100).collect();
+        let expect: Vec<u64> = items.iter().map(|&x| x + 1).collect();
+        for workers in [0, 1, 2, 4, 8, 200] {
+            assert_eq!(par_map_with(workers, &items, |&x| x + 1), expect);
+        }
+    }
+
+    #[test]
     fn uneven_work_is_balanced() {
         // items with wildly different costs still all complete
         let items: Vec<usize> = (0..64).collect();
-        let out = par_map(&items, |&i| {
+        let out = par_map_with(4, &items, |&i| {
             let mut acc = 0u64;
             for k in 0..(i * 1000) as u64 {
                 acc = acc.wrapping_add(k.wrapping_mul(2654435761));
@@ -105,6 +140,18 @@ mod tests {
         let items = vec![1u32, 2, 3, 4];
         let _ = par_map(&items, |&x| {
             if x == 3 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "worker panicked")]
+    fn propagates_panics_single_worker() {
+        let items = vec![1u32, 2, 3];
+        let _ = par_map_with(1, &items, |&x| {
+            if x == 2 {
                 panic!("boom");
             }
             x

@@ -212,6 +212,12 @@ pub struct SolveReport {
     pub budget_exhausted: bool,
 }
 
+/// Version stamp emitted in every report JSON document (the
+/// `schema_version` field). Consumers of recorded report lines should
+/// accept unknown fields, so additive protocol evolution does not bump
+/// this; only a breaking change (renamed/retyped field) does.
+pub const REPORT_SCHEMA_VERSION: u32 = 1;
+
 impl SolveReport {
     /// One line suitable for logs: solver, cost, machines, gap.
     pub fn summary(&self) -> String {
@@ -227,8 +233,21 @@ impl SolveReport {
     }
 
     /// Serializes the full report (sans assignment) plus the machine
-    /// assignment as JSON.
+    /// assignment as multi-line, human-diffable JSON. The document starts
+    /// with a stable [`REPORT_SCHEMA_VERSION`] stamp; parsers should
+    /// tolerate unknown fields so the format can grow additively.
     pub fn to_json(&self) -> String {
+        self.render_json(true)
+    }
+
+    /// Serializes the same document as [`SolveReport::to_json`] onto a
+    /// single line (no embedded newlines, no trailing newline) — the shape
+    /// the NDJSON serving protocol streams, one report per input line.
+    pub fn to_json_line(&self) -> String {
+        self.render_json(false)
+    }
+
+    fn render_json(&self, pretty: bool) -> String {
         fn esc(out: &mut String, s: &str) {
             out.push('"');
             for ch in s.chars() {
@@ -246,24 +265,30 @@ impl SolveReport {
             out.push('"');
         }
         let ms = |d: Duration| format!("{:.3}", d.as_secs_f64() * 1e3);
-        let mut out = String::from("{\n  \"requested\": ");
+        let sep = if pretty { ",\n  " } else { ", " };
+        let mut out = String::from(if pretty { "{\n  " } else { "{" });
+        out.push_str(&format!("\"schema_version\": {REPORT_SCHEMA_VERSION}"));
+        out.push_str(sep);
+        out.push_str("\"requested\": ");
         esc(&mut out, &self.requested);
-        out.push_str(",\n  \"solver\": ");
+        out.push_str(sep);
+        out.push_str("\"solver\": ");
         esc(&mut out, &self.solver);
-        out.push_str(",\n  \"auto_choice\": ");
+        out.push_str(sep);
+        out.push_str("\"auto_choice\": ");
         match self.auto_choice {
             Some(c) => esc(&mut out, c.solver_key()),
             None => out.push_str("null"),
         }
         out.push_str(&format!(
-            ",\n  \"cost\": {},\n  \"machines\": {},\n  \"lower_bound\": {},\n  \"gap\": {:.6},",
+            "{sep}\"cost\": {}{sep}\"machines\": {}{sep}\"lower_bound\": {}{sep}\"gap\": {:.6}",
             self.cost, self.machines, self.lower_bound, self.gap
         ));
         let f = &self.features;
         out.push_str(&format!(
-            "\n  \"features\": {{\"jobs\": {}, \"g\": {}, \"proper\": {}, \"clique\": {}, \
+            "{sep}\"features\": {{\"jobs\": {}, \"g\": {}, \"proper\": {}, \"clique\": {}, \
              \"components\": {}, \"max_overlap\": {}, \"min_len\": {}, \"max_len\": {}, \
-             \"span\": {}, \"total_len\": {}}},",
+             \"span\": {}, \"total_len\": {}}}",
             f.jobs,
             f.g,
             f.proper,
@@ -275,7 +300,8 @@ impl SolveReport {
             f.span,
             f.total_len
         ));
-        out.push_str("\n  \"phases\": [");
+        out.push_str(sep);
+        out.push_str("\"phases\": [");
         for (i, p) in self.phases.iter().enumerate() {
             if i > 0 {
                 out.push_str(", ");
@@ -289,7 +315,7 @@ impl SolveReport {
             out.push('}');
         }
         out.push_str(&format!(
-            "],\n  \"total_ms\": {},\n  \"budget_exhausted\": {},\n  \"assignment\": [",
+            "]{sep}\"total_ms\": {}{sep}\"budget_exhausted\": {}{sep}\"assignment\": [",
             ms(self.total),
             self.budget_exhausted
         ));
@@ -299,7 +325,7 @@ impl SolveReport {
             }
             out.push_str(&m.to_string());
         }
-        out.push_str("]\n}\n");
+        out.push_str(if pretty { "]\n}\n" } else { "]}" });
         out
     }
 }
@@ -369,6 +395,7 @@ pub struct SolveRequest<'a> {
     inst: &'a Instance,
     choice: SolverChoice,
     options: SolveOptions,
+    precomputed: Option<InstanceFeatures>,
 }
 
 impl<'a> SolveRequest<'a> {
@@ -378,6 +405,7 @@ impl<'a> SolveRequest<'a> {
             inst,
             choice: SolverChoice::Named("auto".to_string()),
             options: SolveOptions::default(),
+            precomputed: None,
         }
     }
 
@@ -431,6 +459,19 @@ impl<'a> SolveRequest<'a> {
         self
     }
 
+    /// Supplies already-detected features for this instance, skipping the
+    /// detect phase (its `PhaseStat` is recorded as `cached`). Serving
+    /// layers solving many identical instances use this to pay detection
+    /// once per distinct instance.
+    ///
+    /// The caller must have obtained `features` from
+    /// [`InstanceFeatures::detect`] on an equal instance; stale features
+    /// would mis-dispatch the `auto` portfolio.
+    pub fn features(mut self, features: InstanceFeatures) -> Self {
+        self.precomputed = Some(features);
+        self
+    }
+
     /// Runs against the default registry ([`SolverRegistry::with_defaults`]).
     pub fn solve(self) -> Result<SolveReport, SolveError> {
         let registry = SolverRegistry::with_defaults();
@@ -454,12 +495,17 @@ impl<'a> SolveRequest<'a> {
 
         // detect
         let t = Instant::now();
-        let features = InstanceFeatures::detect(self.inst);
+        let cached = self.precomputed.is_some();
+        let features = match self.precomputed {
+            Some(f) => f,
+            None => InstanceFeatures::detect(self.inst),
+        };
         phases.push(PhaseStat {
             name: "detect",
             duration: t.elapsed(),
             detail: format!(
-                "proper={} clique={} components={} width={:?}",
+                "{}proper={} clique={} components={} width={:?}",
+                if cached { "cached; " } else { "" },
                 features.proper,
                 features.clique,
                 features.components,
@@ -694,6 +740,39 @@ mod tests {
         assert!(json.contains("\"solver\""));
         assert!(json.contains("\"assignment\""));
         assert!(json.contains("\"auto_choice\""));
+    }
+
+    #[test]
+    fn json_line_is_single_line_with_schema_version() {
+        let inst = inst();
+        let report = SolveRequest::new(&inst).solve().unwrap();
+        let line = report.to_json_line();
+        assert!(!line.contains('\n'), "NDJSON line embeds a newline: {line}");
+        assert!(line.starts_with(&format!("{{\"schema_version\": {REPORT_SCHEMA_VERSION}")));
+        // the pretty document carries the same stamp
+        assert!(report
+            .to_json()
+            .contains(&format!("\"schema_version\": {REPORT_SCHEMA_VERSION}")));
+    }
+
+    #[test]
+    fn precomputed_features_skip_detection() {
+        let inst = inst();
+        let features = InstanceFeatures::detect(&inst);
+        let report = SolveRequest::new(&inst)
+            .features(features.clone())
+            .solve()
+            .unwrap();
+        assert_eq!(report.features, features);
+        let detect = report
+            .phases
+            .iter()
+            .find(|p| p.name == "detect")
+            .expect("detect phase recorded");
+        assert!(detect.detail.starts_with("cached; "), "{}", detect.detail);
+        // dispatch still works off the injected features
+        assert!(report.auto_choice.is_some());
+        report.schedule.validate(&inst).unwrap();
     }
 
     #[test]

@@ -72,6 +72,16 @@ impl Value {
         }
     }
 
+    /// Looks up an optional object field (`None` when the value is not an
+    /// object or lacks the key) — the lookup NDJSON records use, where
+    /// almost every field has a default and unknown fields are ignored.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+
     /// Looks up a required object field.
     pub fn field(&self, key: &str) -> Result<&Value, JsonError> {
         match self {
@@ -294,6 +304,25 @@ impl Parser<'_> {
         text.parse::<f64>()
             .map(Value::Number)
             .map_err(|_| JsonError(format!("invalid number `{text}`")))
+    }
+}
+
+/// Looks up an optional integer field of an object: `Ok(None)` when the
+/// key is absent or `null`, an error when present but not an in-range
+/// integer. The shared helper behind every "field with a default" in the
+/// generator-spec and NDJSON record formats, so all of them treat `null`
+/// the same way (as absent).
+pub fn opt_int<T: TryFrom<i64>>(value: &Value, key: &str) -> Result<Option<T>, JsonError> {
+    match value.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(v) => {
+            let raw = v
+                .as_i64()
+                .ok_or_else(|| JsonError(format!("field `{key}` must be an integer")))?;
+            T::try_from(raw)
+                .map(Some)
+                .map_err(|_| JsonError(format!("field `{key}` out of range")))
+        }
     }
 }
 

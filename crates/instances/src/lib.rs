@@ -22,6 +22,8 @@
 //!   busy-time scheduling: machines billed while powered on).
 //! * [`optical`] — random lightpath sets on path networks (Section 4).
 //! * [`io`] — JSON (de)serialization of instances and datasets.
+//! * [`spec`] — declarative generator specs (`family` + parameters), the
+//!   by-description front-end shared by the CLI and the serving protocol.
 
 pub mod adversarial;
 pub mod bounded;
@@ -32,7 +34,9 @@ pub mod laminar;
 pub mod optical;
 pub mod proper;
 pub mod random;
+pub mod spec;
 pub mod workload;
 
 pub use adversarial::{fig4, ranked_shift, Fig4};
 pub use random::uniform;
+pub use spec::{Family, GeneratorSpec};

@@ -8,7 +8,9 @@ use busytime_instances::random::{uniform, LengthDist};
 
 use crate::solve::solve_cell;
 use crate::table::fmt_ratio;
-use crate::{par_map, RatioStats, Scale, Table};
+use busytime_core::pool::par_map;
+
+use crate::{RatioStats, Scale, Table};
 
 /// E1 — Theorem 2.1: FirstFit/OPT on random instances (exact OPT for small
 /// `n`; the component lower bound as the OPT proxy for large `n`). The

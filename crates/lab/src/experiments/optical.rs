@@ -9,7 +9,9 @@ use busytime_optical::solvers::{regenerator_lower_bound, GroomingSolver};
 use busytime_optical::PathNetwork;
 
 use crate::table::fmt_ratio;
-use crate::{par_map, RatioStats, Scale, Table};
+use busytime_core::pool::par_map;
+
+use crate::{RatioStats, Scale, Table};
 
 /// E9 — Section 4.2: regenerator minimization through the reduction.
 ///

@@ -16,7 +16,9 @@ use busytime_instances::random::{uniform, LengthDist};
 
 use crate::solve::solve_cell;
 use crate::table::fmt_ratio;
-use crate::{par_map, RatioStats, Scale, Table};
+use busytime_core::pool::par_map;
+
+use crate::{RatioStats, Scale, Table};
 
 fn family(name: &str, n: usize, seed: u64) -> Instance {
     match name {

@@ -11,7 +11,9 @@ use busytime_instances::clique::random_clique;
 use busytime_instances::proper::random_proper;
 
 use crate::table::fmt_ratio;
-use crate::{par_map, RatioStats, Scale, Table};
+use busytime_core::pool::par_map;
+
+use crate::{RatioStats, Scale, Table};
 
 /// E4 — Theorem 3.1: the Greedy (NextFit) algorithm on proper families.
 /// Ratio vs exact OPT must stay ≤ 2; the proof's Claim 1 is checked on every

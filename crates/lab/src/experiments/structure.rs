@@ -11,7 +11,9 @@ use busytime_instances::random::{uniform, LengthDist};
 use busytime_instances::workload::{on_demand, shifts};
 
 use crate::table::fmt_ratio;
-use crate::{par_map, RatioStats, Scale, Table};
+use busytime_core::pool::par_map;
+
+use crate::{RatioStats, Scale, Table};
 
 fn generator_zoo(seed: u64, scale: Scale) -> Vec<(&'static str, Instance)> {
     let n = scale.pick(60usize, 400);

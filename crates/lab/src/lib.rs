@@ -15,19 +15,19 @@
 //! Infrastructure:
 //!
 //! * [`table`] — markdown/CSV tables experiments emit.
-//! * [`runner`] — a crossbeam-based parallel map for parameter sweeps
-//!   (work-stealing over a shared atomic cursor; results land in order).
+//! * [`busytime_core::pool`] — the shared scoped-thread parallel map for
+//!   parameter sweeps (work-stealing over an atomic cursor; results land
+//!   in order); re-exported here as [`par_map`].
 //! * [`ratio`] — streaming min/mean/max ratio statistics.
 //! * [`experiments`] — one module per experiment.
 
 pub mod experiments;
 pub mod ratio;
-pub mod runner;
 pub mod solve;
 pub mod table;
 
+pub use busytime_core::pool::{par_map, par_map_with};
 pub use ratio::RatioStats;
-pub use runner::par_map;
 pub use solve::{registry, solve_cell};
 pub use table::Table;
 

@@ -1,0 +1,581 @@
+//! The batch solve engine: NDJSON in, NDJSON out, a worker pool in the
+//! middle.
+//!
+//! [`serve`] reads request lines in chunks, runs batched feature detection
+//! (each distinct instance is detected once per batch — repeated identical
+//! instances hit a hash-keyed cache), fans the solves of a chunk out over a
+//! fixed pool of [`busytime_core::pool`] workers, and streams exactly one
+//! response line per request line, in input order. Order is guaranteed by
+//! construction: the pool writes results into input-order slots and the
+//! writer drains chunks sequentially.
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::io::{BufRead, Write};
+use std::time::{Duration, Instant};
+
+use busytime_core::pool::{default_workers, par_map_with};
+use busytime_core::solve::{SolveOptions, SolverRegistry, REPORT_SCHEMA_VERSION};
+use busytime_core::{Instance, InstanceFeatures, SolveRequest};
+
+use crate::protocol::{error_line, report_line, BatchRecord};
+
+/// What the engine does when a line fails to parse or solve.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ErrorPolicy {
+    /// Emit a structured error line for the failed record and keep going
+    /// (the default — a batch is many independent instances).
+    #[default]
+    KeepGoing,
+    /// Stop at the first failure; [`serve`] returns
+    /// [`ServeError::FailFast`]. Lines before the failure are already
+    /// written.
+    FailFast,
+}
+
+/// Engine configuration.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Worker threads for the solve pool (`0` = every available core).
+    pub workers: usize,
+    /// Registry key used when a record names no solver.
+    pub default_solver: String,
+    /// Failure handling.
+    pub error_policy: ErrorPolicy,
+    /// Records per dispatch wave (`0` = sized from the worker count).
+    /// Smaller chunks stream earlier; larger chunks amortize pool startup.
+    pub chunk_size: usize,
+    /// Base options for every record (per-record fields override).
+    pub base_options: SolveOptions,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 0,
+            default_solver: "auto".to_string(),
+            error_policy: ErrorPolicy::KeepGoing,
+            chunk_size: 0,
+            base_options: SolveOptions::default(),
+        }
+    }
+}
+
+/// Why [`serve`] aborted.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Reading input or writing output failed.
+    Io(std::io::Error),
+    /// A record failed under [`ErrorPolicy::FailFast`].
+    FailFast {
+        /// 1-based input line of the failed record.
+        line: usize,
+        /// The record's id, when it parsed far enough to have one.
+        id: Option<String>,
+        /// Human-readable cause.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "io: {e}"),
+            ServeError::FailFast { line, id, message } => match id {
+                Some(id) => write!(f, "line {line} (id {id}): {message}"),
+                None => write!(f, "line {line}: {message}"),
+            },
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+/// Aggregate statistics over one served batch.
+#[derive(Clone, Debug)]
+pub struct BatchSummary {
+    /// Records processed (blank input lines are skipped and not counted).
+    pub records: usize,
+    /// Records solved successfully.
+    pub solved: usize,
+    /// Records answered with an error line.
+    pub errors: usize,
+    /// Summed busy time over solved records.
+    pub total_cost: i64,
+    /// Summed certified lower bounds over solved records.
+    pub total_lower_bound: i64,
+    /// `total_cost / total_lower_bound` (`1.0` when the bound sum is 0).
+    pub aggregate_gap: f64,
+    /// Wall-clock time of the whole batch.
+    pub wall: Duration,
+    /// Solved records per wall-clock second.
+    pub throughput: f64,
+    /// Median per-record solve latency.
+    pub p50_solve: Duration,
+    /// 99th-percentile per-record solve latency.
+    pub p99_solve: Duration,
+    /// Feature-cache hits (records whose instance was already detected).
+    pub cache_hits: usize,
+    /// Feature-cache misses (distinct instances detected).
+    pub cache_misses: usize,
+    /// Workers the pool actually used.
+    pub workers: usize,
+}
+
+impl BatchSummary {
+    /// One summary JSON line (no trailing newline), for machine consumers.
+    pub fn to_json_line(&self) -> String {
+        format!(
+            "{{\"schema_version\": {REPORT_SCHEMA_VERSION}, \"records\": {}, \"solved\": {}, \
+             \"errors\": {}, \"total_cost\": {}, \"total_lower_bound\": {}, \
+             \"aggregate_gap\": {:.6}, \"wall_ms\": {:.3}, \"throughput_per_s\": {:.3}, \
+             \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"cache_hits\": {}, \"cache_misses\": {}, \
+             \"workers\": {}}}",
+            self.records,
+            self.solved,
+            self.errors,
+            self.total_cost,
+            self.total_lower_bound,
+            self.aggregate_gap,
+            self.wall.as_secs_f64() * 1e3,
+            self.throughput,
+            self.p50_solve.as_secs_f64() * 1e3,
+            self.p99_solve.as_secs_f64() * 1e3,
+            self.cache_hits,
+            self.cache_misses,
+            self.workers,
+        )
+    }
+}
+
+impl std::fmt::Display for BatchSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "batch: {} records ({} solved, {} errors) in {:.2} s | {:.0} rec/s | {} workers",
+            self.records,
+            self.solved,
+            self.errors,
+            self.wall.as_secs_f64(),
+            self.throughput,
+            self.workers,
+        )?;
+        write!(
+            f,
+            "solve latency: p50 {:.2} ms, p99 {:.2} ms | aggregate gap ≤ {:.3} | \
+             feature cache: {} hits / {} misses",
+            self.p50_solve.as_secs_f64() * 1e3,
+            self.p99_solve.as_secs_f64() * 1e3,
+            self.aggregate_gap,
+            self.cache_hits,
+            self.cache_misses,
+        )
+    }
+}
+
+/// Hash-keyed feature cache; buckets hold `(Instance, features)` pairs so
+/// a hash collision degrades to an equality scan, never a wrong answer.
+///
+/// Bounded: once [`FeatureCache::CAP`] distinct instances are cached the
+/// whole cache is dropped and refilled (epoch eviction). A long-lived
+/// `serve` stream of mostly-distinct instances therefore holds at most
+/// one epoch of clones, while the intended repeat-heavy workloads keep
+/// their hits.
+#[derive(Default)]
+struct FeatureCache {
+    buckets: HashMap<u64, Vec<(Instance, InstanceFeatures)>>,
+    entries: usize,
+}
+
+fn instance_key(inst: &Instance) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    inst.g().hash(&mut h);
+    inst.jobs().hash(&mut h);
+    h.finish()
+}
+
+impl FeatureCache {
+    /// Distinct instances retained before the epoch resets.
+    const CAP: usize = 4096;
+
+    fn get(&self, key: u64, inst: &Instance) -> Option<&InstanceFeatures> {
+        self.buckets
+            .get(&key)?
+            .iter()
+            .find(|(cached, _)| cached == inst)
+            .map(|(_, features)| features)
+    }
+
+    fn insert(&mut self, key: u64, inst: Instance, features: InstanceFeatures) {
+        if self.entries >= Self::CAP {
+            self.buckets.clear();
+            self.entries = 0;
+        }
+        self.buckets.entry(key).or_default().push((inst, features));
+        self.entries += 1;
+    }
+}
+
+/// One record of a chunk, in input order.
+enum Entry {
+    /// The line failed to parse; answer with an error line.
+    Bad { line: usize, message: String },
+    /// The line parsed; `item` indexes the chunk's solve items.
+    Solve { item: usize },
+}
+
+struct SolveItem {
+    line: usize,
+    record: BatchRecord,
+    inst: Instance,
+    /// [`instance_key`] of `inst`, computed once at parse time.
+    key: u64,
+    /// Filled by the chunk's batched detection pass before solving.
+    features: Option<InstanceFeatures>,
+}
+
+fn percentile(sorted: &[Duration], pct: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = ((pct / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Streams one response line per request line from `input` to `out`.
+///
+/// Returns the batch summary on success; under
+/// [`ErrorPolicy::FailFast`] the first failed record aborts the batch with
+/// [`ServeError::FailFast`] (lines before it are already written).
+pub fn serve<R: BufRead, W: Write>(
+    mut input: R,
+    mut out: W,
+    registry: &SolverRegistry,
+    config: &ServeConfig,
+) -> Result<BatchSummary, ServeError> {
+    let started = Instant::now();
+    let workers = if config.workers == 0 {
+        default_workers()
+    } else {
+        config.workers
+    };
+    let chunk_size = if config.chunk_size == 0 {
+        (workers * 32).clamp(64, 1024)
+    } else {
+        config.chunk_size
+    };
+
+    let mut cache = FeatureCache::default();
+    let mut latencies: Vec<Duration> = Vec::new();
+    let mut records = 0usize;
+    let mut solved = 0usize;
+    let mut errors = 0usize;
+    let mut total_cost = 0i64;
+    let mut total_lower_bound = 0i64;
+    let mut cache_hits = 0usize;
+    let mut cache_misses = 0usize;
+
+    let mut line_no = 0usize;
+    let mut eof = false;
+    while !eof {
+        // read one chunk of request lines (raw bytes: a line that is not
+        // valid UTF-8 is a bad record, not a fatal stream error)
+        let mut entries: Vec<Entry> = Vec::new();
+        let mut items: Vec<SolveItem> = Vec::new();
+        while entries.len() < chunk_size {
+            let mut buf = Vec::new();
+            if input.read_until(b'\n', &mut buf)? == 0 {
+                eof = true;
+                break;
+            }
+            line_no += 1;
+            let parsed = std::str::from_utf8(&buf)
+                .map_err(|e| format!("line is not valid UTF-8: {e}"))
+                .and_then(|line| {
+                    let trimmed = line.trim();
+                    if trimmed.is_empty() {
+                        return Ok(None); // blank lines are not records
+                    }
+                    BatchRecord::parse(trimmed)
+                        .map(Some)
+                        .map_err(|e| e.to_string())
+                });
+            match parsed {
+                Ok(None) => continue,
+                Ok(Some(record)) => {
+                    records += 1;
+                    let inst = record.instance();
+                    entries.push(Entry::Solve { item: items.len() });
+                    items.push(SolveItem {
+                        line: line_no,
+                        record,
+                        key: instance_key(&inst),
+                        inst,
+                        features: None,
+                    });
+                }
+                Err(message) => {
+                    records += 1;
+                    entries.push(Entry::Bad {
+                        line: line_no,
+                        message,
+                    });
+                    if config.error_policy == ErrorPolicy::FailFast {
+                        // no point reading (or solving) past the abort
+                        // point; records before it still stream below
+                        break;
+                    }
+                }
+            }
+        }
+
+        // batched feature detection: detect each distinct instance once
+        let mut fresh: Vec<(u64, Instance)> = Vec::new();
+        for item in &items {
+            if cache.get(item.key, &item.inst).is_some()
+                || fresh
+                    .iter()
+                    .any(|(k, inst)| *k == item.key && inst == &item.inst)
+            {
+                cache_hits += 1; // already cached, or repeated within this chunk
+            } else {
+                fresh.push((item.key, item.inst.clone()));
+            }
+        }
+        let detected = par_map_with(workers, &fresh, |(_, inst)| InstanceFeatures::detect(inst));
+        cache_misses += fresh.len();
+        for ((key, inst), features) in fresh.into_iter().zip(detected) {
+            cache.insert(key, inst, features);
+        }
+        for item in &mut items {
+            // the epoch eviction can drop entries mid-chunk when the chunk
+            // holds more distinct instances than the cache cap; re-detect
+            // inline in that (rare) case
+            item.features = Some(match cache.get(item.key, &item.inst) {
+                Some(features) => features.clone(),
+                None => InstanceFeatures::detect(&item.inst),
+            });
+        }
+
+        // fan the solves out; results land in input order
+        let results = par_map_with(workers, &items, |item| {
+            let t = Instant::now();
+            let solver = item
+                .record
+                .solver
+                .as_deref()
+                .unwrap_or(&config.default_solver);
+            let features = item.features.clone().expect("filled by detection pass");
+            let result = SolveRequest::new(&item.inst)
+                .options(item.record.apply_overrides(config.base_options.clone()))
+                .solver(solver)
+                .features(features)
+                .solve_with(registry);
+            (t.elapsed(), result)
+        });
+
+        // stream response lines in input order
+        for entry in &entries {
+            match entry {
+                Entry::Bad { line, message } => {
+                    if config.error_policy == ErrorPolicy::FailFast {
+                        return Err(ServeError::FailFast {
+                            line: *line,
+                            id: None,
+                            message: message.clone(),
+                        });
+                    }
+                    errors += 1;
+                    writeln!(out, "{}", error_line(*line, None, message))?;
+                }
+                Entry::Solve { item } => {
+                    let SolveItem { line, record, .. } = &items[*item];
+                    let (latency, result) = &results[*item];
+                    match result {
+                        Ok(report) => {
+                            solved += 1;
+                            total_cost += report.cost;
+                            total_lower_bound += report.lower_bound;
+                            latencies.push(*latency);
+                            writeln!(out, "{}", report_line(*line, record.id.as_deref(), report))?;
+                        }
+                        Err(e) => {
+                            if config.error_policy == ErrorPolicy::FailFast {
+                                return Err(ServeError::FailFast {
+                                    line: *line,
+                                    id: record.id.clone(),
+                                    message: e.to_string(),
+                                });
+                            }
+                            errors += 1;
+                            writeln!(
+                                out,
+                                "{}",
+                                error_line(*line, record.id.as_deref(), &e.to_string())
+                            )?;
+                        }
+                    }
+                }
+            }
+        }
+        out.flush()?;
+    }
+
+    let wall = started.elapsed();
+    latencies.sort_unstable();
+    Ok(BatchSummary {
+        records,
+        solved,
+        errors,
+        total_cost,
+        total_lower_bound,
+        aggregate_gap: if total_lower_bound > 0 {
+            total_cost as f64 / total_lower_bound as f64
+        } else {
+            1.0
+        },
+        throughput: if wall.as_secs_f64() > 0.0 {
+            solved as f64 / wall.as_secs_f64()
+        } else {
+            0.0
+        },
+        wall,
+        p50_solve: percentile(&latencies, 50.0),
+        p99_solve: percentile(&latencies, 99.0),
+        cache_hits,
+        cache_misses,
+        workers,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(input: &str, config: &ServeConfig) -> (Vec<String>, BatchSummary) {
+        let registry = SolverRegistry::with_defaults();
+        let mut out = Vec::new();
+        let summary = serve(input.as_bytes(), &mut out, &registry, config).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        (text.lines().map(str::to_string).collect(), summary)
+    }
+
+    #[test]
+    fn solves_and_counts() {
+        let input = concat!(
+            r#"{"id": "a", "instance": {"g": 2, "jobs": [[0, 4], [1, 5]]}}"#,
+            "\n",
+            r#"{"id": "b", "generator": {"family": "uniform", "n": 20, "seed": 1}}"#,
+            "\n",
+        );
+        let (lines, summary) = run(input, &ServeConfig::default());
+        assert_eq!(lines.len(), 2);
+        assert_eq!(summary.records, 2);
+        assert_eq!(summary.solved, 2);
+        assert_eq!(summary.errors, 0);
+        assert!(summary.total_cost >= summary.total_lower_bound);
+        assert!(summary.aggregate_gap >= 1.0);
+        assert!(summary.throughput > 0.0);
+    }
+
+    #[test]
+    fn identical_instances_hit_the_feature_cache() {
+        let line = r#"{"generator": {"family": "proper", "n": 16, "seed": 4}}"#;
+        let input = format!("{line}\n{line}\n{line}\n");
+        let (lines, summary) = run(&input, &ServeConfig::default());
+        assert_eq!(lines.len(), 3);
+        assert_eq!(summary.cache_misses, 1);
+        assert_eq!(summary.cache_hits, 2);
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let input = concat!(
+            "\n",
+            r#"{"instance": {"g": 2, "jobs": [[0, 3]]}}"#,
+            "\n\n   \n",
+        );
+        let (lines, summary) = run(input, &ServeConfig::default());
+        assert_eq!(lines.len(), 1);
+        assert_eq!(summary.records, 1);
+        // the response still names the physical input line
+        assert!(lines[0].contains("\"line\": 2"), "{}", lines[0]);
+    }
+
+    #[test]
+    fn invalid_utf8_line_is_a_record_error_not_a_stream_error() {
+        let mut input: Vec<u8> = Vec::new();
+        input.extend_from_slice(br#"{"instance": {"g": 2, "jobs": [[0, 3]]}}"#);
+        input.extend_from_slice(b"\n\xff\xfe broken bytes\n");
+        input.extend_from_slice(br#"{"instance": {"g": 2, "jobs": [[1, 4]]}}"#);
+        input.extend_from_slice(b"\n");
+        let registry = SolverRegistry::with_defaults();
+        let mut out = Vec::new();
+        let summary = serve(
+            input.as_slice(),
+            &mut out,
+            &registry,
+            &ServeConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(summary.records, 3);
+        assert_eq!(summary.solved, 2);
+        assert_eq!(summary.errors, 1);
+        let text = String::from_utf8(out).unwrap();
+        let middle = text.lines().nth(1).unwrap();
+        assert!(middle.contains("\"ok\": false"), "{middle}");
+        assert!(middle.contains("UTF-8"), "{middle}");
+    }
+
+    #[test]
+    fn fail_fast_aborts_on_first_bad_line() {
+        let input = concat!(
+            r#"{"instance": {"g": 2, "jobs": [[0, 3]]}}"#,
+            "\n",
+            "garbage\n",
+            r#"{"instance": {"g": 2, "jobs": [[0, 3]]}}"#,
+            "\n",
+        );
+        let registry = SolverRegistry::with_defaults();
+        let mut out = Vec::new();
+        let config = ServeConfig {
+            error_policy: ErrorPolicy::FailFast,
+            ..ServeConfig::default()
+        };
+        let err = serve(input.as_bytes(), &mut out, &registry, &config).unwrap_err();
+        match err {
+            ServeError::FailFast { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected FailFast, got {other:?}"),
+        }
+        // the good line before the failure was already streamed
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(text.lines().count(), 1);
+    }
+
+    #[test]
+    fn unknown_solver_becomes_error_line_under_keep_going() {
+        let input = concat!(
+            r#"{"id": "bad", "instance": {"g": 2, "jobs": [[0, 3]]}, "solver": "martian"}"#,
+            "\n",
+        );
+        let (lines, summary) = run(input, &ServeConfig::default());
+        assert_eq!(summary.errors, 1);
+        assert!(lines[0].contains("\"ok\": false"));
+        assert!(lines[0].contains("martian"));
+    }
+
+    #[test]
+    fn summary_json_line_is_single_line() {
+        let (_, summary) = run("", &ServeConfig::default());
+        assert_eq!(summary.records, 0);
+        let json = summary.to_json_line();
+        assert!(!json.contains('\n'));
+        assert!(json.contains("\"records\": 0"));
+    }
+}

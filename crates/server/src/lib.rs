@@ -1,0 +1,49 @@
+#![warn(missing_docs)]
+
+//! `busytime-server` — the batched NDJSON solve server over the solver
+//! registry.
+//!
+//! The workspace's serving story: fleets of independent busy-time
+//! instances (optical-network provisioning waves, VM-consolidation
+//! tickers, experiment sweeps) arrive continuously and must be solved at
+//! throughput, not one `SolveRequest` at a time. This crate turns the
+//! unified pipeline of [`busytime_core::solve`] into a batch engine:
+//!
+//! * [`protocol`] — the NDJSON wire format: one `SolveRequest`-shaped
+//!   record per input line (instance inline or by
+//!   [`busytime_instances::GeneratorSpec`]), one response line per record,
+//!   in input order, every line stamped with the stable `schema_version`.
+//! * [`engine`] — [`engine::serve`]: chunked reading, batched feature
+//!   detection with a hash-keyed cache for repeated identical instances,
+//!   solve fan-out over a fixed [`busytime_core::pool`] worker pool, and a
+//!   [`engine::BatchSummary`] (throughput, p50/p99 solve latency,
+//!   aggregate gap, cache hits) once the batch drains.
+//!
+//! The CLI front-ends are `busytime-cli serve` (stdin → stdout) and
+//! `busytime-cli batch FILE`:
+//!
+//! ```text
+//! $ echo '{"instance": {"g": 2, "jobs": [[0, 4], [1, 5], [6, 9]]}}' \
+//!     | busytime-cli serve --workers 4
+//! {"schema_version": 1, "line": 1, "id": null, "ok": true, "report": {…}}
+//! ```
+//!
+//! Library use mirrors that:
+//!
+//! ```
+//! use busytime_core::solve::SolverRegistry;
+//! use busytime_server::{serve, ServeConfig};
+//!
+//! let input = r#"{"id": "a", "instance": {"g": 2, "jobs": [[0, 4], [1, 5]]}}"#;
+//! let mut out = Vec::new();
+//! let registry = SolverRegistry::with_defaults();
+//! let summary = serve(input.as_bytes(), &mut out, &registry, &ServeConfig::default()).unwrap();
+//! assert_eq!(summary.solved, 1);
+//! assert!(String::from_utf8(out).unwrap().contains("\"ok\": true"));
+//! ```
+
+pub mod engine;
+pub mod protocol;
+
+pub use engine::{serve, BatchSummary, ErrorPolicy, ServeConfig, ServeError};
+pub use protocol::{parse_output_line, BatchRecord, OutputLine, RecordInput, ReportSummary};

@@ -1,0 +1,447 @@
+//! The NDJSON wire protocol: one JSON record per line, in and out.
+//!
+//! # Request lines
+//!
+//! Each input line is a `SolveRequest`-shaped object. The instance comes
+//! either inline or by generator spec — exactly one of the two:
+//!
+//! ```json
+//! {"id": "a", "instance": {"g": 2, "jobs": [[0, 4], [1, 5]]}, "solver": "auto"}
+//! {"id": "b", "generator": {"family": "uniform", "n": 100, "seed": 7}}
+//! ```
+//!
+//! Optional fields (`id`, `solver`, `seed`, `decompose`, `validation`,
+//! `max_jobs`) default to the server's configuration; unknown fields are
+//! ignored, so clients may stamp their own metadata onto request lines.
+//!
+//! # Response lines
+//!
+//! Exactly one line per input line, in input order. Every line carries the
+//! stable `schema_version` stamp, the 1-based input `line`, the echoed
+//! `id` (or `null`), and `ok`:
+//!
+//! ```json
+//! {"schema_version": 1, "line": 1, "id": "a", "ok": true, "report": {…}}
+//! {"schema_version": 1, "line": 2, "id": null, "ok": false, "error": "…"}
+//! ```
+//!
+//! The embedded `report` object is [`SolveReport::to_json_line`].
+//! [`parse_output_line`] reads response lines back (for golden tests and
+//! downstream tooling) and tolerates unknown fields, so recorded lines
+//! keep parsing as the protocol grows additively.
+
+use busytime_core::solve::{SolveOptions, ValidationLevel, REPORT_SCHEMA_VERSION};
+use busytime_core::{Instance, SolveReport};
+use busytime_instances::json::{self, JsonError, Value};
+use busytime_instances::GeneratorSpec;
+use busytime_interval::Interval;
+
+/// Where a record's instance comes from.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RecordInput {
+    /// Jobs and `g` inline on the request line.
+    Inline(Instance),
+    /// A deterministic generator spec to materialize.
+    Generated(GeneratorSpec),
+}
+
+/// One parsed request line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BatchRecord {
+    /// Client-chosen identifier, echoed on the response line.
+    pub id: Option<String>,
+    /// The instance, inline or by description.
+    pub input: RecordInput,
+    /// Registry key override (server default when absent).
+    pub solver: Option<String>,
+    /// Seed override for randomized solvers.
+    pub seed: Option<u64>,
+    /// Component-decomposition override.
+    pub decompose: Option<bool>,
+    /// Validation-level override (`"skip"` / `"basic"` / `"strict"`).
+    pub validation: Option<ValidationLevel>,
+    /// Per-record size budget.
+    pub max_jobs: Option<usize>,
+}
+
+impl BatchRecord {
+    /// Parses one request line.
+    pub fn parse(line: &str) -> Result<BatchRecord, JsonError> {
+        let value = json::parse(line)?;
+        let id = match value.get("id") {
+            None | Some(Value::Null) => None,
+            Some(v) => Some(
+                v.as_str()
+                    .ok_or_else(|| JsonError("field `id` must be a string".into()))?
+                    .to_string(),
+            ),
+        };
+        let input = match (value.get("instance"), value.get("generator")) {
+            (Some(_), Some(_)) => {
+                return Err(JsonError(
+                    "record has both `instance` and `generator`; provide exactly one".into(),
+                ))
+            }
+            (Some(inst), None) => RecordInput::Inline(parse_inline_instance(inst)?),
+            (None, Some(spec)) => RecordInput::Generated(GeneratorSpec::from_value(spec)?),
+            (None, None) => {
+                return Err(JsonError(
+                    "record needs an `instance` or a `generator`".into(),
+                ))
+            }
+        };
+        let solver = match value.get("solver") {
+            None => None,
+            Some(v) => Some(
+                v.as_str()
+                    .ok_or_else(|| JsonError("field `solver` must be a string".into()))?
+                    .to_string(),
+            ),
+        };
+        let validation = match value.get("validation") {
+            None => None,
+            Some(v) => Some(parse_validation(v.as_str().ok_or_else(|| {
+                JsonError("field `validation` must be a string".into())
+            })?)?),
+        };
+        Ok(BatchRecord {
+            id,
+            input,
+            solver,
+            seed: json::opt_int(&value, "seed")?,
+            decompose: opt_bool(&value, "decompose")?,
+            validation,
+            max_jobs: json::opt_int(&value, "max_jobs")?,
+        })
+    }
+
+    /// Materializes the record's instance (generates when described by
+    /// spec). Equal inputs materialize equal instances, which is what the
+    /// server's feature cache keys on.
+    pub fn instance(&self) -> Instance {
+        match &self.input {
+            RecordInput::Inline(inst) => inst.clone(),
+            RecordInput::Generated(spec) => spec.generate(),
+        }
+    }
+
+    /// Folds this record's overrides into a base [`SolveOptions`].
+    pub fn apply_overrides(&self, mut options: SolveOptions) -> SolveOptions {
+        if let Some(seed) = self.seed {
+            options.seed = seed;
+        }
+        if let Some(decompose) = self.decompose {
+            options.decompose = decompose;
+        }
+        if let Some(validation) = self.validation {
+            options.validation = validation;
+        }
+        if let Some(max_jobs) = self.max_jobs {
+            options.max_jobs = Some(max_jobs);
+        }
+        options
+    }
+}
+
+fn parse_validation(s: &str) -> Result<ValidationLevel, JsonError> {
+    match s {
+        "skip" => Ok(ValidationLevel::Skip),
+        "basic" => Ok(ValidationLevel::Basic),
+        "strict" => Ok(ValidationLevel::Strict),
+        other => Err(JsonError(format!(
+            "unknown validation level '{other}' (expected skip, basic or strict)"
+        ))),
+    }
+}
+
+fn parse_inline_instance(value: &Value) -> Result<Instance, JsonError> {
+    let g_raw = value
+        .field("g")?
+        .as_i64()
+        .ok_or_else(|| JsonError("field `g` must be an integer".into()))?;
+    let g = u32::try_from(g_raw).map_err(|_| JsonError("field `g` out of range".into()))?;
+    if g == 0 {
+        return Err(JsonError("field `g` must be at least 1".into()));
+    }
+    let jobs = value
+        .field("jobs")?
+        .as_array()
+        .ok_or_else(|| JsonError("field `jobs` must be an array".into()))?
+        .iter()
+        .map(|pair| {
+            let pair = pair
+                .as_array()
+                .filter(|p| p.len() == 2)
+                .ok_or_else(|| JsonError("each job must be a `[start, end]` pair".into()))?;
+            match (pair[0].as_i64(), pair[1].as_i64()) {
+                (Some(s), Some(c)) if s <= c => Ok(Interval::new(s, c)),
+                (Some(s), Some(c)) => {
+                    Err(JsonError(format!("job `[{s}, {c}]` has start after end")))
+                }
+                _ => Err(JsonError("job endpoints must be integers".into())),
+            }
+        })
+        .collect::<Result<Vec<Interval>, _>>()?;
+    Ok(Instance::new(jobs, g))
+}
+
+fn opt_bool(value: &Value, key: &str) -> Result<Option<bool>, JsonError> {
+    match value.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(Value::Bool(b)) => Ok(Some(*b)),
+        Some(_) => Err(JsonError(format!("field `{key}` must be a boolean"))),
+    }
+}
+
+fn line_prefix(out: &mut String, line: usize, id: Option<&str>, ok: bool) {
+    out.push_str(&format!(
+        "{{\"schema_version\": {REPORT_SCHEMA_VERSION}, \"line\": {line}, \"id\": "
+    ));
+    match id {
+        Some(id) => json::write_string(out, id),
+        None => out.push_str("null"),
+    }
+    out.push_str(&format!(", \"ok\": {ok}"));
+}
+
+/// Renders a successful response line (no trailing newline).
+pub fn report_line(line: usize, id: Option<&str>, report: &SolveReport) -> String {
+    let mut out = String::new();
+    line_prefix(&mut out, line, id, true);
+    out.push_str(", \"report\": ");
+    out.push_str(&report.to_json_line());
+    out.push('}');
+    out
+}
+
+/// Renders a structured error response line (no trailing newline).
+pub fn error_line(line: usize, id: Option<&str>, error: &str) -> String {
+    let mut out = String::new();
+    line_prefix(&mut out, line, id, false);
+    out.push_str(", \"error\": ");
+    json::write_string(&mut out, error);
+    out.push('}');
+    out
+}
+
+/// The fields of an embedded report a protocol consumer relies on.
+///
+/// Deliberately a summary, not a full [`SolveReport`]: response lines may
+/// grow fields this type does not know about (and golden lines recorded
+/// under older servers may lack fields newer ones emit), so only the
+/// stable core is materialized.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReportSummary {
+    /// The resolved scheduler name.
+    pub solver: String,
+    /// Total busy time.
+    pub cost: i64,
+    /// Machines used.
+    pub machines: i64,
+    /// Certified lower bound.
+    pub lower_bound: i64,
+    /// `cost / lower_bound`.
+    pub gap: f64,
+    /// Machine of each job.
+    pub assignment: Vec<usize>,
+}
+
+/// One parsed response line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum OutputLine {
+    /// A solved record.
+    Report {
+        /// 1-based input line number.
+        line: usize,
+        /// Echoed record id.
+        id: Option<String>,
+        /// The embedded report summary.
+        report: ReportSummary,
+    },
+    /// A failed record.
+    Error {
+        /// 1-based input line number.
+        line: usize,
+        /// Echoed record id (when the line parsed far enough to have one).
+        id: Option<String>,
+        /// Human-readable cause.
+        error: String,
+    },
+}
+
+impl OutputLine {
+    /// The 1-based input line number this response answers.
+    pub fn line(&self) -> usize {
+        match self {
+            OutputLine::Report { line, .. } | OutputLine::Error { line, .. } => *line,
+        }
+    }
+}
+
+/// Parses a response line, ignoring unknown fields (forward and backward
+/// compatible across additive protocol growth).
+pub fn parse_output_line(input: &str) -> Result<OutputLine, JsonError> {
+    let value = json::parse(input)?;
+    let line = value
+        .field("line")?
+        .as_i64()
+        .and_then(|n| usize::try_from(n).ok())
+        .ok_or_else(|| JsonError("field `line` must be a non-negative integer".into()))?;
+    let id = match value.get("id") {
+        None | Some(Value::Null) => None,
+        Some(v) => Some(
+            v.as_str()
+                .ok_or_else(|| JsonError("field `id` must be a string".into()))?
+                .to_string(),
+        ),
+    };
+    let ok = match value.field("ok")? {
+        Value::Bool(b) => *b,
+        _ => return Err(JsonError("field `ok` must be a boolean".into())),
+    };
+    if !ok {
+        let error = value
+            .field("error")?
+            .as_str()
+            .ok_or_else(|| JsonError("field `error` must be a string".into()))?
+            .to_string();
+        return Ok(OutputLine::Error { line, id, error });
+    }
+    let report = value.field("report")?;
+    let int = |key: &str| -> Result<i64, JsonError> {
+        report
+            .field(key)?
+            .as_i64()
+            .ok_or_else(|| JsonError(format!("report field `{key}` must be an integer")))
+    };
+    let gap = match report.field("gap")? {
+        Value::Int(n) => *n as f64,
+        Value::Number(n) => *n,
+        _ => return Err(JsonError("report field `gap` must be a number".into())),
+    };
+    let assignment = report
+        .field("assignment")?
+        .as_array()
+        .ok_or_else(|| JsonError("report field `assignment` must be an array".into()))?
+        .iter()
+        .map(|v| {
+            v.as_i64()
+                .and_then(|m| usize::try_from(m).ok())
+                .ok_or_else(|| JsonError("machine ids must be non-negative integers".into()))
+        })
+        .collect::<Result<Vec<usize>, _>>()?;
+    Ok(OutputLine::Report {
+        line,
+        id,
+        report: ReportSummary {
+            solver: report
+                .field("solver")?
+                .as_str()
+                .ok_or_else(|| JsonError("report field `solver` must be a string".into()))?
+                .to_string(),
+            cost: int("cost")?,
+            machines: int("machines")?,
+            lower_bound: int("lower_bound")?,
+            gap,
+            assignment,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use busytime_core::SolveRequest;
+
+    #[test]
+    fn parses_inline_record_with_overrides() {
+        let rec = BatchRecord::parse(
+            r#"{"id": "x", "instance": {"g": 2, "jobs": [[0, 4], [1, 5]]},
+               "solver": "first-fit", "seed": 9, "decompose": false,
+               "validation": "strict", "max_jobs": 10, "client_tag": "ignored"}"#,
+        )
+        .unwrap();
+        assert_eq!(rec.id.as_deref(), Some("x"));
+        assert_eq!(rec.solver.as_deref(), Some("first-fit"));
+        assert_eq!(rec.instance().len(), 2);
+        let opts = rec.apply_overrides(SolveOptions::default());
+        assert_eq!(opts.seed, 9);
+        assert!(!opts.decompose);
+        assert_eq!(opts.validation, ValidationLevel::Strict);
+        assert_eq!(opts.max_jobs, Some(10));
+    }
+
+    #[test]
+    fn parses_generator_record() {
+        let rec = BatchRecord::parse(r#"{"generator": {"family": "proper", "n": 12, "seed": 3}}"#)
+            .unwrap();
+        assert!(rec.id.is_none());
+        let inst = rec.instance();
+        assert_eq!(inst.len(), 12);
+        // determinism: same record, same instance
+        assert_eq!(inst, rec.instance());
+    }
+
+    #[test]
+    fn rejects_shapeless_records() {
+        for bad in [
+            r#"{"id": "a"}"#,
+            r#"{"instance": {"g": 2, "jobs": []}, "generator": {"family": "uniform"}}"#,
+            r#"{"instance": {"g": 0, "jobs": []}}"#,
+            r#"{"instance": {"g": 2, "jobs": [[4, 0]]}}"#,
+            r#"{"instance": {"g": 2, "jobs": [[0, 4]]}, "validation": "paranoid"}"#,
+            r#"not json at all"#,
+        ] {
+            assert!(BatchRecord::parse(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn response_lines_round_trip() {
+        let inst = Instance::from_pairs([(0, 4), (1, 5), (6, 9)], 2);
+        let report = SolveRequest::new(&inst).solve().unwrap();
+        let line = report_line(3, Some("abc"), &report);
+        assert!(!line.contains('\n'));
+        match parse_output_line(&line).unwrap() {
+            OutputLine::Report {
+                line,
+                id,
+                report: summary,
+            } => {
+                assert_eq!(line, 3);
+                assert_eq!(id.as_deref(), Some("abc"));
+                assert_eq!(summary.cost, report.cost);
+                assert_eq!(summary.lower_bound, report.lower_bound);
+                assert_eq!(summary.assignment.len(), inst.len());
+            }
+            other => panic!("expected report line, got {other:?}"),
+        }
+
+        let err = error_line(7, None, "json: bad \"line\"");
+        match parse_output_line(&err).unwrap() {
+            OutputLine::Error { line, id, error } => {
+                assert_eq!(line, 7);
+                assert!(id.is_none());
+                assert!(error.contains("bad \"line\""));
+            }
+            other => panic!("expected error line, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn output_parser_tolerates_unknown_fields() {
+        let inst = Instance::from_pairs([(0, 4)], 2);
+        let report = SolveRequest::new(&inst).solve().unwrap();
+        let line = report_line(1, None, &report);
+        // a future server stamps extra fields at both nesting levels
+        let extended = line
+            .replacen(
+                "{\"schema_version\"",
+                "{\"future\": [1, 2], \"schema_version\"",
+                1,
+            )
+            .replacen("\"report\": {", "\"report\": {\"queue_ms\": 0.5, ", 1);
+        let parsed = parse_output_line(&extended).unwrap();
+        assert_eq!(parsed.line(), 1);
+    }
+}

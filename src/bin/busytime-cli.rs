@@ -23,6 +23,8 @@ use std::process::ExitCode;
 use busytime::core::solve::ValidationLevel;
 use busytime::core::{bounds, render};
 use busytime::instances::io::{read_instance, write_instance, InstanceFile};
+use busytime::instances::{Family, GeneratorSpec};
+use busytime::server::{serve, ErrorPolicy, ServeConfig};
 use busytime::{full_registry, Instance, SolveRequest};
 
 fn main() -> ExitCode {
@@ -30,6 +32,11 @@ fn main() -> ExitCode {
     let Some((command, rest)) = args.split_first() else {
         eprintln!("{USAGE}");
         return ExitCode::from(2);
+    };
+    // `batch` takes its input file as a positional argument
+    let (positional, rest) = match rest.split_first() {
+        Some((p, more)) if command == "batch" && !p.starts_with("--") => (Some(p.clone()), more),
+        _ => (None, rest),
     };
     let opts = match parse_opts(rest) {
         Ok(o) => o,
@@ -41,6 +48,11 @@ fn main() -> ExitCode {
     let result = match command.as_str() {
         "generate" => cmd_generate(&opts),
         "solve" => cmd_solve(&opts),
+        "serve" => cmd_serve(&opts, None),
+        "batch" => match positional.or_else(|| opts.get("input").cloned()) {
+            Some(file) => cmd_serve(&opts, Some(&file)),
+            None => Err("batch requires an input FILE".to_string()),
+        },
         "solvers" => cmd_solvers(),
         "bounds" => cmd_bounds(&opts),
         "compare" => cmd_compare(&opts),
@@ -68,12 +80,25 @@ commands:
   solve    --input FILE [--solver NAME] [--json] [--gantt] [--out FILE]
            [--seed S] [--no-decompose] [--validation skip|basic|strict]
            NAME: any registry entry (see `solvers`); default `auto`
+  serve    batch solve server: NDJSON records on stdin, one report line per
+           record on stdout (input order), summary on stderr
+           [--workers N] [--solver NAME] [--chunk N] [--quiet]
+           [--fail-fast | --keep-going] [--summary-json]
+  batch    FILE                (like `serve`, reading records from FILE)
   solvers  list every registered solver with its guarantee
   bounds   --input FILE
   compare  --input FILE        (all registered solvers side by side)";
 
 /// Options taking no value.
-const FLAGS: &[&str] = &["gantt", "json", "no-decompose"];
+const FLAGS: &[&str] = &[
+    "gantt",
+    "json",
+    "no-decompose",
+    "fail-fast",
+    "keep-going",
+    "quiet",
+    "summary-json",
+];
 
 /// Writes to stdout, tolerating a closed pipe (`busytime-cli ... | head`
 /// must exit cleanly, not panic on EPIPE the way `println!` does).
@@ -118,36 +143,18 @@ fn get_num<T: std::str::FromStr>(
 }
 
 fn cmd_generate(opts: &HashMap<String, String>) -> Result<(), String> {
-    let family = opts
+    let family: Family = opts
         .get("family")
         .ok_or("generate requires --family")?
-        .as_str();
-    let n: usize = get_num(opts, "n", 40)?;
-    let g: u32 = get_num(opts, "g", 3)?;
-    let seed: u64 = get_num(opts, "seed", 0)?;
-    let d: i64 = get_num(opts, "d", 4)?;
-    let inst = match family {
-        "uniform" => busytime::instances::random::uniform(
-            n,
-            (n as i64).max(8),
-            busytime::instances::random::LengthDist::Uniform(2, 40),
-            g,
-            seed,
-        ),
-        "proper" => busytime::instances::proper::random_proper(n, 3, 12, 6, g, seed),
-        "clique" => busytime::instances::clique::random_clique(n, 100, 60, g, seed),
-        "bounded" => busytime::instances::bounded::random_bounded(n, (2 * n) as i64, d, g, seed),
-        "laminar" => busytime::instances::laminar::random_laminar((8 * n) as i64, 4, 3, g, seed),
-        "fig4" => busytime::instances::adversarial::fig4(g.max(2), 1000, 10).instance,
-        "shifts" => busytime::instances::workload::shifts(6, n.div_ceil(6), 100, 20, g, seed),
-        other => return Err(format!("unknown family '{other}'")),
-    };
+        .parse()?;
+    let mut spec = GeneratorSpec::new(family);
+    spec.n = get_num(opts, "n", spec.n)?;
+    spec.g = get_num(opts, "g", spec.g)?;
+    spec.seed = get_num(opts, "seed", spec.seed)?;
+    spec.d = get_num(opts, "d", spec.d)?;
+    let inst = spec.generate();
     let out = PathBuf::from(opts.get("out").ok_or("generate requires --out")?);
-    let file = InstanceFile::new(
-        format!("{family}-{n}"),
-        format!("family={family} n={n} g={g} seed={seed}"),
-        &inst,
-    );
+    let file = InstanceFile::new(format!("{family}-{}", spec.n), spec.describe(), &inst);
     write_instance(&out, &file).map_err(|e| e.to_string())?;
     emit_line(format!(
         "wrote {} ({} jobs, g = {}, span {}, len {})",
@@ -205,6 +212,54 @@ fn cmd_solve(opts: &HashMap<String, String>) -> Result<(), String> {
         let json = busytime::instances::io::schedule_to_json(&file);
         std::fs::write(out, json).map_err(|e| e.to_string())?;
         emit_line(format!("schedule written to {out}"));
+    }
+    Ok(())
+}
+
+/// `serve` (stdin) and `batch FILE` (file input) share this driver: stream
+/// NDJSON records through the batch engine, reports to stdout, summary to
+/// stderr.
+fn cmd_serve(opts: &HashMap<String, String>, input: Option<&str>) -> Result<(), String> {
+    if opts.contains_key("fail-fast") && opts.contains_key("keep-going") {
+        return Err("--fail-fast and --keep-going are mutually exclusive".to_string());
+    }
+    let config = ServeConfig {
+        workers: get_num(opts, "workers", 0usize)?,
+        default_solver: opts
+            .get("solver")
+            .cloned()
+            .unwrap_or_else(|| "auto".to_string()),
+        error_policy: if opts.contains_key("fail-fast") {
+            ErrorPolicy::FailFast
+        } else {
+            ErrorPolicy::KeepGoing
+        },
+        chunk_size: get_num(opts, "chunk", 0usize)?,
+        ..ServeConfig::default()
+    };
+    let registry = full_registry();
+    let stdout = std::io::stdout().lock();
+    let out = std::io::BufWriter::new(stdout);
+    let summary = match input {
+        Some(path) => {
+            let file = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+            serve(std::io::BufReader::new(file), out, &registry, &config)
+        }
+        None => serve(std::io::stdin().lock(), out, &registry, &config),
+    };
+    let summary = match summary {
+        Ok(summary) => summary,
+        // the consumer hung up mid-stream (`busytime-cli serve | head`);
+        // for a streaming producer that is a clean early stop, not an error
+        Err(busytime::server::ServeError::Io(e)) if e.kind() == std::io::ErrorKind::BrokenPipe => {
+            return Ok(());
+        }
+        Err(e) => return Err(e.to_string()),
+    };
+    if opts.contains_key("summary-json") {
+        eprintln!("{}", summary.to_json_line());
+    } else if !opts.contains_key("quiet") {
+        eprintln!("{summary}");
     }
     Ok(())
 }

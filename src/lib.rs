@@ -54,12 +54,46 @@
 //! * [`interval`] — time model, closed intervals, overlap profiles.
 //! * [`graph`] — interval graphs, coloring, matching, max-flow, b-matching.
 //! * [`core`] — instances, schedules, lower bounds, the paper's algorithms,
-//!   and the [`core::solve`](busytime_core::solve) pipeline.
+//!   and the [`core::solve`](mod@busytime_core::solve) pipeline.
 //! * [`exact`] — exact optimum for small instances (branch-and-bound / DP).
 //! * [`optical`] — the optical-network application of Section 4.
 //! * [`instances`] — workload generators, including the paper's lower-bound
 //!   constructions.
 //! * [`lab`] — the experiment harness reproducing every figure/claim.
+//! * [`server`] — the batched NDJSON solve server over the registry.
+//!
+//! # Serving
+//!
+//! Fleets of independent instances are solved at throughput through the
+//! batch engine of [`server`]: NDJSON in (one `SolveRequest`-shaped record
+//! per line, instance inline or by generator spec), one report line per
+//! record in input order, fanned out over a fixed
+//! [`core::pool`](mod@busytime_core::pool) worker pool with batched feature
+//! detection. From a shell:
+//!
+//! ```text
+//! $ echo '{"instance": {"g": 2, "jobs": [[0, 4], [1, 5], [6, 9]]}}' \
+//!     | busytime-cli serve --workers 4
+//! {"schema_version": 1, "line": 1, "id": null, "ok": true, "report": {…}}
+//! ```
+//!
+//! From Rust:
+//!
+//! ```
+//! use busytime::server::{serve, ServeConfig};
+//!
+//! let input = r#"{"generator": {"family": "uniform", "n": 30, "seed": 7}}"#;
+//! let mut out = Vec::new();
+//! let summary = serve(
+//!     input.as_bytes(),
+//!     &mut out,
+//!     &busytime::full_registry(),
+//!     &ServeConfig::default(),
+//! )
+//! .unwrap();
+//! assert_eq!(summary.solved, 1);
+//! assert!(summary.aggregate_gap >= 1.0);
+//! ```
 //!
 //! See the repository README for a guided tour and `examples/` for runnable
 //! entry points.
@@ -71,6 +105,7 @@ pub use busytime_instances as instances;
 pub use busytime_interval as interval;
 pub use busytime_lab as lab;
 pub use busytime_optical as optical;
+pub use busytime_server as server;
 
 pub use busytime_core::solve::{
     Auto, InstanceFeatures, SolveError, SolveReport, SolveRequest, SolverRegistry,

@@ -7,8 +7,18 @@
 //! adaptively chosen iteration batch, reporting min/median/mean per
 //! iteration on stdout. No plots, no persistence, no statistics beyond
 //! that; good enough to compare kernels in the same process run.
+//!
+//! Two hooks real criterion also offers, used by CI:
+//!
+//! * `cargo bench -- --test` runs every benchmark exactly once (smoke
+//!   mode: no warm-up, no sampling) and prints `test <name> ... ok`.
+//! * When `BUSYTIME_BENCH_JSON` names a file, one JSON estimate line per
+//!   benchmark is appended to it (`id`, `mode`, `min_ns`/`median_ns`/
+//!   `mean_ns`, sample shape) — the artifact CI uploads per PR.
 
 use std::fmt::Display;
+use std::io::Write as _;
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -166,7 +176,68 @@ fn time_batch<F: FnMut(&mut Bencher)>(iters: u64, f: &mut F) -> Duration {
     b.elapsed
 }
 
+/// True when the bench binary was invoked as `cargo bench -- --test`
+/// (cargo's libtest passes the flag through): run each benchmark once as
+/// a smoke test instead of measuring.
+fn cli_test_mode() -> bool {
+    static MODE: OnceLock<bool> = OnceLock::new();
+    *MODE.get_or_init(|| std::env::args().any(|a| a == "--test"))
+}
+
+/// Appends one estimate line to the file named by `BUSYTIME_BENCH_JSON`
+/// (no-op when unset). Write failures are reported once to stderr, never
+/// panicked on — estimates are telemetry, not results.
+fn record_estimate(
+    label: &str,
+    mode: &str,
+    min: f64,
+    median: f64,
+    mean: f64,
+    samples: usize,
+    iters: u64,
+) {
+    let Some(path) = std::env::var_os("BUSYTIME_BENCH_JSON") else {
+        return;
+    };
+    let mut id = String::new();
+    for ch in label.chars() {
+        match ch {
+            '"' => id.push_str("\\\""),
+            '\\' => id.push_str("\\\\"),
+            c => id.push(c),
+        }
+    }
+    let line = format!(
+        "{{\"id\": \"{id}\", \"mode\": \"{mode}\", \"min_ns\": {:.1}, \"median_ns\": {:.1}, \
+         \"mean_ns\": {:.1}, \"samples\": {samples}, \"iters_per_sample\": {iters}}}\n",
+        min * 1e9,
+        median * 1e9,
+        mean * 1e9,
+    );
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut file| file.write_all(line.as_bytes()));
+    if let Err(e) = written {
+        static WARNED: OnceLock<()> = OnceLock::new();
+        WARNED.get_or_init(|| {
+            eprintln!(
+                "criterion shim: cannot append to {}: {e}",
+                path.to_string_lossy()
+            );
+        });
+    }
+}
+
 fn run_benchmark<F: FnMut(&mut Bencher)>(config: &Criterion, label: &str, f: &mut F) {
+    if cli_test_mode() {
+        let elapsed = time_batch(1, f);
+        println!("test {label} ... ok ({})", fmt_time(elapsed.as_secs_f64()));
+        let s = elapsed.as_secs_f64();
+        record_estimate(label, "test", s, s, s, 1, 1);
+        return;
+    }
     // Warm up and size the iteration batch so one sample lasts roughly
     // measurement_time / sample_size.
     let warm_start = Instant::now();
@@ -200,6 +271,15 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(config: &Criterion, label: &str, f: &mu
         fmt_time(min),
         fmt_time(median),
         fmt_time(mean),
+        samples.len(),
+        iters_per_sample,
+    );
+    record_estimate(
+        label,
+        "measure",
+        min,
+        median,
+        mean,
         samples.len(),
         iters_per_sample,
     );
