@@ -6,6 +6,7 @@ use std::borrow::Cow;
 use busytime_graph::IntervalGraph;
 
 use crate::algo::{Scheduler, SchedulerError};
+use crate::cancel::CancelToken;
 use crate::instance::Instance;
 use crate::machine::MachineLoad;
 use crate::schedule::Schedule;
@@ -26,7 +27,11 @@ impl Scheduler for MinMachines {
         Cow::Borrowed("MinMachines")
     }
 
-    fn schedule(&self, inst: &Instance) -> Result<Schedule, SchedulerError> {
+    fn schedule_with(
+        &self,
+        inst: &Instance,
+        _cancel: &CancelToken,
+    ) -> Result<Schedule, SchedulerError> {
         let graph = IntervalGraph::new(inst.jobs());
         let (colors, _) = graph.optimal_coloring();
         let g = inst.g() as usize;
@@ -45,7 +50,11 @@ impl Scheduler for NextFitArrival {
         Cow::Borrowed("NextFitArrival")
     }
 
-    fn schedule(&self, inst: &Instance) -> Result<Schedule, SchedulerError> {
+    fn schedule_with(
+        &self,
+        inst: &Instance,
+        _cancel: &CancelToken,
+    ) -> Result<Schedule, SchedulerError> {
         let g = inst.g();
         let mut raw = vec![0usize; inst.len()];
         let mut current = MachineLoad::new();
@@ -79,7 +88,11 @@ impl Scheduler for BestFit {
         Cow::Borrowed("BestFit")
     }
 
-    fn schedule(&self, inst: &Instance) -> Result<Schedule, SchedulerError> {
+    fn schedule_with(
+        &self,
+        inst: &Instance,
+        _cancel: &CancelToken,
+    ) -> Result<Schedule, SchedulerError> {
         let g = inst.g();
         let mut order: Vec<usize> = (0..inst.len()).collect();
         order.sort_by_key(|&i| std::cmp::Reverse(inst.job(i).len()));
@@ -124,7 +137,11 @@ impl Scheduler for RandomFit {
         Cow::Owned(format!("RandomFit[seed{}]", self.seed))
     }
 
-    fn schedule(&self, inst: &Instance) -> Result<Schedule, SchedulerError> {
+    fn schedule_with(
+        &self,
+        inst: &Instance,
+        _cancel: &CancelToken,
+    ) -> Result<Schedule, SchedulerError> {
         let g = inst.g();
         let mut order: Vec<usize> = (0..inst.len()).collect();
         order.sort_by_key(|&i| std::cmp::Reverse(inst.job(i).len()));

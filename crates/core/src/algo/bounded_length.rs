@@ -28,6 +28,7 @@
 use std::borrow::Cow;
 
 use crate::algo::{FirstFit, Scheduler, SchedulerError};
+use crate::cancel::CancelToken;
 use crate::instance::Instance;
 use crate::schedule::Schedule;
 
@@ -104,7 +105,11 @@ impl<S: Scheduler> Scheduler for BoundedLength<S> {
         })
     }
 
-    fn schedule(&self, inst: &Instance) -> Result<Schedule, SchedulerError> {
+    fn schedule_with(
+        &self,
+        inst: &Instance,
+        cancel: &CancelToken,
+    ) -> Result<Schedule, SchedulerError> {
         let d = self.effective_width(inst);
         if inst.max_len() > d {
             return Err(SchedulerError::UnsupportedInstance {
@@ -117,9 +122,33 @@ impl<S: Scheduler> Scheduler for BoundedLength<S> {
         }
         let mut raw = vec![0usize; inst.len()];
         let mut offset = 0usize;
+        // Cancellation check per sweep candidate (segment): once the token
+        // expires, the remaining segments are completed with FirstFit — a
+        // feasible incumbent in polynomial time — instead of the (possibly
+        // expensive) configured segment solver. Segment borders are still
+        // respected, so the Lemma 3.3 structure of the schedule survives;
+        // only the per-segment quality degrades to FirstFit's.
+        let mut cut = false;
         for ids in self.segments(inst) {
             let sub = inst.restrict(&ids);
-            let sched = self.segment_solver.schedule(&sub)?;
+            cut = cut || cancel.is_cancelled();
+            let sched = if cut {
+                FirstFit::paper().schedule_with(&sub, cancel)?
+            } else {
+                match self.segment_solver.schedule_with(&sub, cancel) {
+                    Ok(sched) => sched,
+                    // a segment solver with no incumbent (e.g. a cut exact
+                    // solver) refuses on expiry; complete the segment with
+                    // FirstFit rather than losing the whole sweep. Only the
+                    // expiry refusal is absorbed — class/size errors keep
+                    // failing loudly regardless of the clock.
+                    Err(SchedulerError::Infeasible { .. }) if cancel.is_cancelled() => {
+                        cut = true;
+                        FirstFit::paper().schedule_with(&sub, cancel)?
+                    }
+                    Err(e) => return Err(e),
+                }
+            };
             for (local, &orig) in ids.iter().enumerate() {
                 raw[orig] = offset + sched.machine_of(local);
             }

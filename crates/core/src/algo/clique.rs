@@ -17,6 +17,7 @@
 use std::borrow::Cow;
 
 use crate::algo::{Scheduler, SchedulerError};
+use crate::cancel::CancelToken;
 use crate::instance::Instance;
 use crate::schedule::Schedule;
 use busytime_interval::relations;
@@ -57,7 +58,11 @@ impl Scheduler for CliqueScheduler {
         Cow::Borrowed("Clique")
     }
 
-    fn schedule(&self, inst: &Instance) -> Result<Schedule, SchedulerError> {
+    fn schedule_with(
+        &self,
+        inst: &Instance,
+        _cancel: &CancelToken,
+    ) -> Result<Schedule, SchedulerError> {
         if inst.is_empty() {
             return Ok(Schedule::from_assignment(Vec::new()));
         }

@@ -17,6 +17,7 @@
 use std::borrow::Cow;
 
 use crate::algo::{Scheduler, SchedulerError};
+use crate::cancel::CancelToken;
 use crate::instance::Instance;
 use crate::machine::MachineLoad;
 use crate::schedule::Schedule;
@@ -114,7 +115,11 @@ impl Scheduler for FirstFit {
         Cow::Owned(format!("FirstFit[{order},{tie}]"))
     }
 
-    fn schedule(&self, inst: &Instance) -> Result<Schedule, SchedulerError> {
+    fn schedule_with(
+        &self,
+        inst: &Instance,
+        _cancel: &CancelToken,
+    ) -> Result<Schedule, SchedulerError> {
         let g = inst.g();
         let mut machines: Vec<MachineLoad> = Vec::new();
         let mut raw = vec![0usize; inst.len()];

@@ -29,6 +29,7 @@ use busytime_graph::max_b_matching;
 use busytime_interval::Interval;
 
 use crate::algo::{Scheduler, SchedulerError};
+use crate::cancel::CancelToken;
 use crate::instance::Instance;
 use crate::schedule::Schedule;
 
@@ -119,6 +120,10 @@ struct Search<'a> {
     g: u32,
     best_cost: i64,
     best: Option<Vec<usize>>,
+    cancel: &'a CancelToken,
+    /// Latched once `cancel` fires; stops the enumeration at the next
+    /// window candidate.
+    cut: bool,
 }
 
 impl Search<'_> {
@@ -127,6 +132,12 @@ impl Search<'_> {
     fn enumerate(&mut self, from: usize, slots_left: usize, cost: i64, chosen: &mut Vec<usize>) {
         if slots_left == 0 {
             self.try_vector(chosen, cost);
+            return;
+        }
+        // cooperative check per window candidate: the incumbent (if any)
+        // is returned once the whole enumeration unwinds
+        if self.cut || self.cancel.is_cancelled() {
+            self.cut = true;
             return;
         }
         for w in from..self.windows.len() {
@@ -199,7 +210,11 @@ impl Scheduler for GuessMatch {
         }
     }
 
-    fn schedule(&self, inst: &Instance) -> Result<Schedule, SchedulerError> {
+    fn schedule_with(
+        &self,
+        inst: &Instance,
+        cancel: &CancelToken,
+    ) -> Result<Schedule, SchedulerError> {
         let n = inst.len();
         if n == 0 {
             return Ok(Schedule::from_assignment(Vec::new()));
@@ -236,13 +251,23 @@ impl Scheduler for GuessMatch {
             g,
             best_cost: i64::MAX,
             best: None,
+            cancel,
+            cut: false,
         };
         for k in k_min..=n {
             let mut chosen = Vec::with_capacity(k);
             search.enumerate(0, k, 0, &mut chosen);
         }
-        let assign = search.best.expect("singleton windows always feasible");
-        Ok(Schedule::from_assignment(assign))
+        match search.best {
+            Some(assign) => Ok(Schedule::from_assignment(assign)),
+            // only reachable when the enumeration was cut before any
+            // feasible vector (the singleton-windows vector guarantees one
+            // on a completed run)
+            None => Err(SchedulerError::Infeasible {
+                scheduler: Scheduler::name(self).into_owned(),
+                budget: String::from("deadline expired before a feasible window vector"),
+            }),
+        }
     }
 }
 

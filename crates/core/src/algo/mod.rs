@@ -35,6 +35,7 @@ pub use next_fit_proper::NextFitProper;
 
 use std::borrow::Cow;
 
+use crate::cancel::CancelToken;
 use crate::instance::Instance;
 use crate::schedule::Schedule;
 
@@ -89,6 +90,14 @@ impl std::fmt::Display for SchedulerError {
 impl std::error::Error for SchedulerError {}
 
 /// A busy-time scheduling algorithm.
+///
+/// Every solver loop is written against a [`CancelToken`]: implementations
+/// of [`Scheduler::schedule_with`] poll [`CancelToken::is_cancelled`] at
+/// the granularity of their inner loop (per branch, per DP row, per sweep
+/// segment) and, on expiry, return their best incumbent schedule — or
+/// [`SchedulerError::Infeasible`] when they hold nothing feasible yet.
+/// Polynomial-time solvers whose whole run fits comfortably inside any
+/// realistic deadline may ignore the token.
 pub trait Scheduler {
     /// Human-readable name including parameterization (used in experiment
     /// tables and solver registries).
@@ -98,14 +107,36 @@ pub trait Scheduler {
     /// string.
     fn name(&self) -> Cow<'static, str>;
 
-    /// Produces a feasible schedule for `inst`, or an error when the
-    /// instance is outside the algorithm's class or size limits.
-    fn schedule(&self, inst: &Instance) -> Result<Schedule, SchedulerError>;
+    /// Produces a feasible schedule for `inst`, checking `cancel`
+    /// cooperatively. On cancellation/expiry the solver stops early and
+    /// returns its incumbent (a feasible, possibly suboptimal schedule) or
+    /// [`SchedulerError::Infeasible`] when it has no incumbent; errors for
+    /// instances outside the algorithm's class or size limits are
+    /// unchanged.
+    fn schedule_with(
+        &self,
+        inst: &Instance,
+        cancel: &CancelToken,
+    ) -> Result<Schedule, SchedulerError>;
+
+    /// Produces a feasible schedule for `inst` with no deadline
+    /// ([`CancelToken::never`]) — the convenience entry point for direct
+    /// calls.
+    fn schedule(&self, inst: &Instance) -> Result<Schedule, SchedulerError> {
+        self.schedule_with(inst, &CancelToken::never())
+    }
 }
 
 impl<S: Scheduler + ?Sized> Scheduler for &S {
     fn name(&self) -> Cow<'static, str> {
         (**self).name()
+    }
+    fn schedule_with(
+        &self,
+        inst: &Instance,
+        cancel: &CancelToken,
+    ) -> Result<Schedule, SchedulerError> {
+        (**self).schedule_with(inst, cancel)
     }
     fn schedule(&self, inst: &Instance) -> Result<Schedule, SchedulerError> {
         (**self).schedule(inst)
@@ -115,6 +146,13 @@ impl<S: Scheduler + ?Sized> Scheduler for &S {
 impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
     fn name(&self) -> Cow<'static, str> {
         (**self).name()
+    }
+    fn schedule_with(
+        &self,
+        inst: &Instance,
+        cancel: &CancelToken,
+    ) -> Result<Schedule, SchedulerError> {
+        (**self).schedule_with(inst, cancel)
     }
     fn schedule(&self, inst: &Instance) -> Result<Schedule, SchedulerError> {
         (**self).schedule(inst)
@@ -142,11 +180,19 @@ impl<S: Scheduler> Scheduler for Decomposed<S> {
         Cow::Owned(format!("Decomposed({})", self.inner.name()))
     }
 
-    fn schedule(&self, inst: &Instance) -> Result<Schedule, SchedulerError> {
+    fn schedule_with(
+        &self,
+        inst: &Instance,
+        cancel: &CancelToken,
+    ) -> Result<Schedule, SchedulerError> {
         let mut raw = vec![0usize; inst.len()];
         let mut offset = 0usize;
         for (sub, ids) in inst.components() {
-            let sched = self.inner.schedule(&sub)?;
+            // the token threads straight through: a cut component returns
+            // its incumbent (or refuses) and the remaining components see
+            // the same expired token, so the whole decomposition stays
+            // within one cooperative check of the deadline
+            let sched = self.inner.schedule_with(&sub, cancel)?;
             for (local, &orig) in ids.iter().enumerate() {
                 raw[orig] = offset + sched.machine_of(local);
             }

@@ -20,6 +20,7 @@
 use std::borrow::Cow;
 
 use crate::algo::{Scheduler, SchedulerError};
+use crate::cancel::CancelToken;
 use crate::instance::Instance;
 use crate::machine::MachineLoad;
 use crate::schedule::Schedule;
@@ -54,7 +55,11 @@ impl Scheduler for NextFitProper {
         Cow::Borrowed("NextFitProper")
     }
 
-    fn schedule(&self, inst: &Instance) -> Result<Schedule, SchedulerError> {
+    fn schedule_with(
+        &self,
+        inst: &Instance,
+        _cancel: &CancelToken,
+    ) -> Result<Schedule, SchedulerError> {
         if self.require_proper && !inst.is_proper() {
             return Err(SchedulerError::UnsupportedInstance {
                 scheduler: self.name().into_owned(),

@@ -1,0 +1,253 @@
+//! Cooperative cancellation: a shared deadline plus a poison flag.
+//!
+//! The serving layer fans records over a fixed worker pool, so one
+//! pathological record (an exact solve near its size guard, a wide
+//! segmented sweep) must not pin a worker for seconds. [`CancelToken`] is
+//! the contract that prevents that: every [`Scheduler`] receives one
+//! through [`Scheduler::schedule_with`] and polls [`is_cancelled`] at the
+//! granularity of its inner loop — per branch in branch-and-bound, per DP
+//! row, per segment of a sweep. On expiry the solver stops *cooperatively*:
+//! it returns its best incumbent schedule if it holds one, or
+//! [`SchedulerError::Infeasible`] when it has nothing feasible yet.
+//!
+//! Tokens form a tree. [`CancelToken::child`] creates a token with its own
+//! poison flag that also observes every ancestor, so a portfolio can cancel
+//! one raced arm (the loser) without poisoning its siblings, while a
+//! pool-level deadline still cuts all arms at once. Checks are cheap — one
+//! relaxed atomic load per tree level plus a single monotonic clock read —
+//! so polling every few hundred loop iterations is free compared to any
+//! scheduling work.
+//!
+//! ```
+//! use busytime_core::cancel::CancelToken;
+//! use std::time::Duration;
+//!
+//! let pool = CancelToken::after(Duration::from_millis(50));
+//! let arm = pool.child();
+//! assert!(!arm.is_cancelled());
+//! arm.cancel(); // the losing arm stops...
+//! assert!(arm.is_cancelled());
+//! assert!(!pool.is_cancelled()); // ...without poisoning the pool token
+//! ```
+//!
+//! [`Scheduler`]: crate::algo::Scheduler
+//! [`Scheduler::schedule_with`]: crate::algo::Scheduler::schedule_with
+//! [`SchedulerError::Infeasible`]: crate::algo::SchedulerError::Infeasible
+//! [`is_cancelled`]: CancelToken::is_cancelled
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Default)]
+struct Inner {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+    parent: Option<Arc<Inner>>,
+}
+
+impl Inner {
+    fn cancelled_at(&self, now: Instant) -> bool {
+        self.cancelled.load(Ordering::Relaxed)
+            || self.deadline.is_some_and(|d| now >= d)
+            || self.parent.as_ref().is_some_and(|p| p.cancelled_at(now))
+    }
+
+    fn effective_deadline(&self) -> Option<Instant> {
+        let inherited = self.parent.as_ref().and_then(|p| p.effective_deadline());
+        match (self.deadline, inherited) {
+            (Some(own), Some(up)) => Some(own.min(up)),
+            (own, up) => own.or(up),
+        }
+    }
+}
+
+/// A cheap, clonable cancellation handle: an optional hard deadline plus an
+/// explicit poison flag, observed cooperatively by solver loops.
+///
+/// Clones share state — cancelling any clone cancels them all. Children
+/// created with [`CancelToken::child`] observe their ancestors but carry
+/// their own flag, so cancelling a child never affects the parent.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl CancelToken {
+    /// A token that never expires and is only cancelled explicitly — the
+    /// default for direct [`Scheduler::schedule`] calls.
+    ///
+    /// [`Scheduler::schedule`]: crate::algo::Scheduler::schedule
+    pub fn never() -> Self {
+        CancelToken::default()
+    }
+
+    /// A token that expires at `deadline`.
+    pub fn at(deadline: Instant) -> Self {
+        CancelToken {
+            inner: Arc::new(Inner {
+                deadline: Some(deadline),
+                ..Inner::default()
+            }),
+        }
+    }
+
+    /// A token that expires `budget` from now. A zero budget is already
+    /// expired — solvers receiving it must return their cheapest feasible
+    /// answer (or refuse) without doing speculative work.
+    ///
+    /// A `budget` too large to represent saturates to [`CancelToken::never`].
+    pub fn after(budget: Duration) -> Self {
+        match Instant::now().checked_add(budget) {
+            Some(deadline) => CancelToken::at(deadline),
+            None => CancelToken::never(),
+        }
+    }
+
+    /// A child token: its own poison flag, plus visibility of every
+    /// ancestor's flag and deadline. Cancelling the child leaves the parent
+    /// (and any sibling) untouched; cancelling the parent cuts all
+    /// children.
+    pub fn child(&self) -> Self {
+        CancelToken {
+            inner: Arc::new(Inner {
+                parent: Some(Arc::clone(&self.inner)),
+                ..Inner::default()
+            }),
+        }
+    }
+
+    /// A child token that additionally expires at `deadline` (the effective
+    /// deadline is the minimum over the chain).
+    pub fn child_until(&self, deadline: Instant) -> Self {
+        CancelToken {
+            inner: Arc::new(Inner {
+                deadline: Some(deadline),
+                parent: Some(Arc::clone(&self.inner)),
+                ..Inner::default()
+            }),
+        }
+    }
+
+    /// A child token that additionally expires `budget` from now.
+    pub fn child_after(&self, budget: Duration) -> Self {
+        match Instant::now().checked_add(budget) {
+            Some(deadline) => self.child_until(deadline),
+            None => self.child(),
+        }
+    }
+
+    /// Sets the poison flag on this token (and every clone sharing it).
+    /// Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// True once this token should stop work: its flag (or any ancestor's)
+    /// is set, or any deadline on the chain has passed. The poll solver
+    /// loops issue at their checkpoint granularity.
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled_at(Instant::now())
+    }
+
+    /// The effective deadline — the earliest along the ancestor chain —
+    /// or `None` when the token can only be cancelled explicitly.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.inner.effective_deadline()
+    }
+
+    /// Time left until the effective deadline (`None` = unbounded,
+    /// `Some(ZERO)` = already expired).
+    pub fn remaining(&self) -> Option<Duration> {
+        self.deadline()
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_is_not_cancelled_until_poisoned() {
+        let t = CancelToken::never();
+        assert!(!t.is_cancelled());
+        assert_eq!(t.deadline(), None);
+        assert_eq!(t.remaining(), None);
+        t.cancel();
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn zero_budget_is_expired_immediately() {
+        let t = CancelToken::after(Duration::ZERO);
+        assert!(t.is_cancelled());
+        assert_eq!(t.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn generous_budget_is_live() {
+        let t = CancelToken::after(Duration::from_secs(3600));
+        assert!(!t.is_cancelled());
+        assert!(t.remaining().unwrap() > Duration::from_secs(3000));
+    }
+
+    #[test]
+    fn clones_share_the_flag() {
+        let a = CancelToken::never();
+        let b = a.clone();
+        b.cancel();
+        assert!(a.is_cancelled() && b.is_cancelled());
+    }
+
+    #[test]
+    fn child_cancel_does_not_poison_parent_or_sibling() {
+        let parent = CancelToken::never();
+        let loser = parent.child();
+        let winner = parent.child();
+        loser.cancel();
+        assert!(loser.is_cancelled());
+        assert!(!parent.is_cancelled());
+        assert!(!winner.is_cancelled());
+    }
+
+    #[test]
+    fn parent_cancel_cuts_all_children() {
+        let parent = CancelToken::never();
+        let a = parent.child();
+        let b = a.child(); // grandchild
+        parent.cancel();
+        assert!(a.is_cancelled() && b.is_cancelled());
+    }
+
+    #[test]
+    fn expiry_ordering_earliest_deadline_wins() {
+        // a child may only tighten the chain's deadline, never loosen it
+        let soon = Instant::now() + Duration::from_millis(5);
+        let late = Instant::now() + Duration::from_secs(3600);
+        let parent = CancelToken::at(soon);
+        let child = parent.child_until(late);
+        assert_eq!(child.deadline(), Some(soon));
+        let tight = CancelToken::at(late).child_until(soon);
+        assert_eq!(tight.deadline(), Some(soon));
+        // the earlier deadline expires first on both chains
+        std::thread::sleep(Duration::from_millis(10));
+        assert!(child.is_cancelled());
+        assert!(tight.is_cancelled());
+    }
+
+    #[test]
+    fn expired_parent_cuts_live_child() {
+        let parent = CancelToken::after(Duration::ZERO);
+        let child = parent.child_after(Duration::from_secs(3600));
+        assert!(child.is_cancelled(), "child must observe the parent expiry");
+    }
+
+    #[test]
+    fn saturating_budget_never_expires() {
+        let t = CancelToken::after(Duration::MAX);
+        assert!(!t.is_cancelled());
+        let child = CancelToken::never().child_after(Duration::MAX);
+        assert!(!child.is_cancelled());
+    }
+}

@@ -64,6 +64,7 @@
 
 pub mod algo;
 pub mod bounds;
+pub mod cancel;
 pub mod instance;
 pub mod machine;
 pub mod pool;
@@ -72,6 +73,7 @@ pub mod schedule;
 pub mod solve;
 pub mod verify;
 
+pub use cancel::CancelToken;
 pub use instance::{Instance, JobId};
 pub use machine::MachineLoad;
 pub use schedule::{MachineId, Schedule, ScheduleViolation};

@@ -8,9 +8,20 @@
 //! writes results into pre-allocated slots so the output order matches the
 //! input order regardless of scheduling. [`par_map`] is the
 //! all-available-cores convenience wrapper.
+//!
+//! [`par_map_deadline_with`] is the deadline-enforcing variant the batch
+//! server uses: each item gets a per-item [`CancelToken`] armed when a
+//! worker picks the item up, and the pool stamps every completion with its
+//! elapsed time and an `over_deadline` verdict. The verdict is the pool's
+//! *own* clock comparison, independent of the item's cooperation — a solver
+//! that misses (or lacks) its cooperative check is still reported as
+//! over-deadline, so batch summaries never undercount pinned workers.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::cancel::CancelToken;
 
 /// The number of workers [`par_map`] uses: every available core.
 pub fn default_workers() -> usize {
@@ -42,7 +53,65 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let n = items.len();
+    run_pool(workers, items.len(), |i| f(&items[i]))
+}
+
+/// One completed item of [`par_map_deadline_with`]: the result plus the
+/// pool's own timing verdict.
+#[derive(Clone, Debug)]
+pub struct DeadlineOutcome<R> {
+    /// What `f` returned.
+    pub result: R,
+    /// Wall-clock time from worker pickup to completion.
+    pub elapsed: Duration,
+    /// True iff the item had a budget and `elapsed` exceeded it — measured
+    /// by the pool, so it holds even when the item never polled its token.
+    pub over_deadline: bool,
+}
+
+/// Deadline-enforcing [`par_map_with`]: `budget_of` names each item's time
+/// budget (`None` = unbounded), a fresh [`CancelToken`] armed with that
+/// budget is handed to `f` when a worker picks the item up, and every
+/// completion is stamped with its elapsed time and the pool's
+/// `over_deadline` verdict. Results are returned in input order; the panic
+/// contract matches [`par_map_with`].
+pub fn par_map_deadline_with<T, R, B, F>(
+    workers: usize,
+    items: &[T],
+    budget_of: B,
+    f: F,
+) -> Vec<DeadlineOutcome<R>>
+where
+    T: Sync,
+    R: Send,
+    B: Fn(&T) -> Option<Duration> + Sync,
+    F: Fn(&T, &CancelToken) -> R + Sync,
+{
+    run_pool(workers, items.len(), |i| {
+        let item = &items[i];
+        let budget = budget_of(item);
+        let token = match budget {
+            Some(b) => CancelToken::after(b),
+            None => CancelToken::never(),
+        };
+        let started = Instant::now();
+        let result = f(item, &token);
+        let elapsed = started.elapsed();
+        DeadlineOutcome {
+            result,
+            elapsed,
+            over_deadline: budget.is_some_and(|b| elapsed > b),
+        }
+    })
+}
+
+/// The shared worker loop: `job(i)` for every `i < n` over a fixed pool,
+/// results in index order.
+fn run_pool<R, F>(workers: usize, n: usize, job: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
     let workers = if workers == 0 {
         default_workers()
     } else {
@@ -52,9 +121,8 @@ where
     if workers <= 1 || n <= 1 {
         // Same panic contract as the threaded path: a panicking item
         // surfaces as "worker panicked" regardless of pool size.
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            items.iter().map(&f).collect()
-        }));
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (0..n).map(&job).collect()));
         return result.unwrap_or_else(|_| panic!("worker panicked"));
     }
     let cursor = AtomicUsize::new(0);
@@ -67,7 +135,7 @@ where
                     if i >= n {
                         break;
                     }
-                    let r = f(&items[i]);
+                    let r = job(i);
                     *slots[i].lock().unwrap() = Some(r);
                 })
             })
@@ -132,6 +200,58 @@ mod tests {
         for (i, (j, _)) in out.iter().enumerate() {
             assert_eq!(i, *j);
         }
+    }
+
+    #[test]
+    fn deadline_outcomes_keep_order_and_stamp_budgets() {
+        let items: Vec<u64> = (0..40).collect();
+        let out = par_map_deadline_with(
+            4,
+            &items,
+            |&x| (x % 2 == 0).then_some(Duration::from_secs(3600)),
+            |&x, token| {
+                assert_eq!(token.deadline().is_some(), x % 2 == 0);
+                x * 3
+            },
+        );
+        for (i, o) in out.iter().enumerate() {
+            assert_eq!(o.result, i as u64 * 3);
+            assert!(!o.over_deadline, "generous budget flagged on item {i}");
+        }
+    }
+
+    #[test]
+    fn uncooperative_item_is_still_flagged_over_deadline() {
+        // the closure ignores its token entirely and sleeps past the
+        // budget: the pool's own clock must catch it
+        let items = vec![0u32, 1];
+        let out = par_map_deadline_with(
+            2,
+            &items,
+            |&x| (x == 1).then_some(Duration::from_millis(1)),
+            |&x, _token| {
+                if x == 1 {
+                    std::thread::sleep(Duration::from_millis(15));
+                }
+                x
+            },
+        );
+        assert!(!out[0].over_deadline);
+        assert!(out[1].over_deadline);
+        assert!(out[1].elapsed >= Duration::from_millis(15));
+    }
+
+    #[test]
+    fn zero_budget_token_arrives_expired() {
+        let items = vec![()];
+        let out = par_map_deadline_with(
+            1,
+            &items,
+            |_| Some(Duration::ZERO),
+            |_, token| token.is_cancelled(),
+        );
+        assert!(out[0].result, "token must already be expired at pickup");
+        assert!(out[0].over_deadline);
     }
 
     #[test]

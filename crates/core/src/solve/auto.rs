@@ -4,17 +4,23 @@
 //! Algorithms for Minimizing Active and Busy Time*) frames the paper's
 //! algorithms as a portfolio of structure-conditional solvers; `Auto` makes
 //! that operational. It detects the instance's class
-//! ([`InstanceFeatures`]), runs the specialist with the best guarantee for
-//! that class, *and* always runs [`FirstFit::paper`] as the general-purpose
-//! fallback — returning whichever schedule is cheaper. The result is
-//! therefore never worse than FirstFit while inheriting the specialist's
-//! 2- or (2+ε)-approximation whenever the structure allows one.
+//! ([`InstanceFeatures`]), races the specialist with the best guarantee for
+//! that class against the [`FirstFit::paper`] general-purpose fallback and
+//! returns whichever schedule is cheaper. The arms are raced under child
+//! [`CancelToken`]s: a specialist finishing with a certified-optimal
+//! schedule cancels the fallback arm (no wasted FirstFit run), and a
+//! portfolio-level deadline cuts both arms. The result is never worse than
+//! FirstFit — the fallback is only skipped when the specialist is provably
+//! optimal — while inheriting the specialist's 2- or (2+ε)-approximation
+//! whenever the structure allows one.
 
 use std::borrow::Cow;
 
 use crate::algo::{
     BoundedLength, CliqueScheduler, FirstFit, NextFitProper, Scheduler, SchedulerError,
 };
+use crate::bounds;
+use crate::cancel::CancelToken;
 use crate::instance::Instance;
 use crate::schedule::Schedule;
 use crate::solve::InstanceFeatures;
@@ -128,21 +134,67 @@ impl Scheduler for Auto {
         Cow::Borrowed("Auto")
     }
 
-    /// Detects structure, runs the matching specialist plus the FirstFit
-    /// fallback, and returns the cheaper schedule (the specialist wins
-    /// ties). Never fails on a valid instance: a specialist error — which
-    /// would indicate a feature-detection/specialist disagreement — falls
-    /// back to FirstFit instead of surfacing.
-    fn schedule(&self, inst: &Instance) -> Result<Schedule, SchedulerError> {
+    /// Detects structure, races the matching specialist against the
+    /// FirstFit fallback and returns the cheaper schedule (the specialist
+    /// wins ties). The arms share the portfolio's [`CancelToken`] through
+    /// per-arm children: a specialist that finishes with a *provably
+    /// optimal* schedule (cost equal to the certified lower bound) cancels
+    /// the fallback arm instead of letting it run to completion, and an
+    /// expired portfolio token makes the specialist's incumbent the final
+    /// answer without starting the fallback. Never fails on a valid
+    /// instance: a specialist error — class disagreement, or a cut
+    /// exhaustive segment with no incumbent — falls back to FirstFit
+    /// instead of surfacing.
+    fn schedule_with(
+        &self,
+        inst: &Instance,
+        cancel: &CancelToken,
+    ) -> Result<Schedule, SchedulerError> {
+        self.race(inst, cancel).map(|(sched, _)| sched)
+    }
+}
+
+impl Auto {
+    /// The portfolio race behind [`Scheduler::schedule_with`]; also reports
+    /// whether the fallback arm was skipped (decided race or expired
+    /// portfolio token), which the short-circuit tests assert on.
+    fn race(
+        &self,
+        inst: &Instance,
+        cancel: &CancelToken,
+    ) -> Result<(Schedule, bool), SchedulerError> {
         let features = InstanceFeatures::detect(inst);
         let choice = self.decide(&features);
-        let fallback = FirstFit::paper().schedule(inst)?;
         let Some(specialist) = self.specialist(choice) else {
-            return Ok(fallback);
+            return Ok((FirstFit::paper().schedule_with(inst, cancel)?, false));
         };
-        match specialist.schedule(inst) {
-            Ok(sched) if sched.cost(inst) <= fallback.cost(inst) => Ok(sched),
-            Ok(_) | Err(_) => Ok(fallback),
+        let fallback_arm = cancel.child();
+        match specialist.schedule_with(inst, &cancel.child()) {
+            Ok(spec) => {
+                if fallback_arm.is_cancelled() {
+                    // the portfolio deadline expired while the specialist
+                    // ran — its result is the incumbent; no bound needed
+                    return Ok((spec, true));
+                }
+                let spec_cost = spec.cost(inst);
+                // Certification uses the same bound as the report's gap
+                // (`gap == 1.0` ⇔ cost == best_lower_bound), so the two
+                // never disagree. The sweep it costs is repaid whenever it
+                // fires: the cancelled FirstFit arm is strictly more work.
+                if spec_cost <= bounds::best_lower_bound(inst) {
+                    // certified optimal: the race is decided, cancel the
+                    // losing arm rather than running FirstFit to completion
+                    fallback_arm.cancel();
+                    return Ok((spec, true));
+                }
+                let fallback = FirstFit::paper().schedule_with(inst, &fallback_arm)?;
+                if spec_cost <= fallback.cost(inst) {
+                    Ok((spec, false))
+                } else {
+                    Ok((fallback, false))
+                }
+            }
+            Err(_) => Ok((FirstFit::paper().schedule_with(inst, cancel)?, false)),
         }
     }
 }
@@ -215,6 +267,43 @@ mod tests {
             let ff = FirstFit::paper().schedule(&inst).unwrap();
             auto.validate(&inst).unwrap();
             assert!(auto.cost(&inst) <= ff.cost(&inst));
+        }
+    }
+
+    #[test]
+    fn optimal_specialist_short_circuits_the_fallback_arm() {
+        // 4 identical jobs, g = 2: the clique specialist hits the δ-bound
+        // exactly (cost 20 = lower bound), so the FirstFit arm is cancelled
+        let inst = Instance::from_pairs([(0, 10); 4], 2);
+        let (sched, skipped) = Auto::new().race(&inst, &CancelToken::never()).unwrap();
+        assert!(skipped, "provably optimal specialist must cancel the race");
+        assert_eq!(sched.cost(&inst), 20);
+    }
+
+    #[test]
+    fn undecided_race_still_runs_both_arms() {
+        // no specialist certificate here: bounded-length dispatch with a
+        // strictly positive gap keeps the fallback arm alive
+        let inst = Instance::from_pairs([(0, 2), (1, 2), (100, 101)], 2);
+        let (sched, skipped) = Auto::new().race(&inst, &CancelToken::never()).unwrap();
+        sched.validate(&inst).unwrap();
+        if sched.cost(&inst) > crate::bounds::best_lower_bound(&inst) {
+            assert!(!skipped, "an undecided race must not skip the fallback");
+        }
+    }
+
+    #[test]
+    fn expired_token_returns_valid_schedule_from_every_dispatch() {
+        let expired = CancelToken::after(std::time::Duration::ZERO);
+        for pairs in [
+            vec![(0i64, 4i64), (1, 5), (2, 6), (3, 7)],    // clique
+            vec![(0, 3), (2, 5), (4, 7), (6, 9), (8, 11)], // proper
+            vec![(0, 2), (1, 2), (10, 12), (11, 12)],      // bounded
+            vec![(0, 1), (0, 100), (200, 201)],            // general
+        ] {
+            let inst = Instance::from_pairs(pairs, 2);
+            let sched = Auto::new().schedule_with(&inst, &expired).unwrap();
+            sched.validate(&inst).unwrap();
         }
     }
 

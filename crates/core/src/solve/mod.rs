@@ -7,11 +7,15 @@
 //!
 //! * [`SolveRequest`] — a builder holding the instance, a solver selection
 //!   (registry key, or a custom boxed [`Scheduler`]) and options:
-//!   component decomposition, validation level, seed, size/time budgets.
+//!   component decomposition, validation level, seed, size/time budgets,
+//!   and a hard per-solve [`SolveRequest::deadline`] enforced inside
+//!   solver loops through a [`crate::cancel::CancelToken`].
 //! * [`SolveReport`] — the rich result: schedule, cost, the best lower
 //!   bound of [`crate::bounds`], the approximation gap, detected
 //!   [`InstanceFeatures`], wall-clock per-phase timings, and the resolved
-//!   solver name. Renders as text ([`std::fmt::Display`]) and JSON
+//!   solver name; deadline-cut solves come back flagged
+//!   [`SolveReport::deadline_hit`] with the phase they were cut in.
+//!   Renders as text ([`std::fmt::Display`]) and JSON
 //!   ([`SolveReport::to_json`]).
 //!
 //! Solvers are looked up in a [`SolverRegistry`] (string key → factory), so
@@ -41,6 +45,7 @@ use std::time::{Duration, Instant};
 
 use crate::algo::{Decomposed, Scheduler, SchedulerError};
 use crate::bounds;
+use crate::cancel::CancelToken;
 use crate::instance::Instance;
 use crate::schedule::{Schedule, ScheduleViolation};
 
@@ -83,8 +88,14 @@ pub struct SolveOptions {
     /// validation phase (including [`ValidationLevel::Strict`] consistency
     /// checks) is skipped and the report's `budget_exhausted` flag is set.
     /// The lower-bound phase still runs (the report's `gap` needs it), and
-    /// solvers are not interrupted mid-run.
+    /// solvers are not interrupted mid-run — for that, use `deadline`.
     pub time_budget: Option<Duration>,
+    /// Hard per-solve deadline, enforced *inside* solver loops through a
+    /// [`CancelToken`]: on expiry the solver stops at its next cooperative
+    /// checkpoint and the report comes back flagged `deadline_hit` with the
+    /// solver's incumbent schedule, or the solve fails with
+    /// [`SchedulerError::Infeasible`] when the solver held no incumbent.
+    pub deadline: Option<Duration>,
 }
 
 impl Default for SolveOptions {
@@ -95,6 +106,7 @@ impl Default for SolveOptions {
             seed: 0,
             max_jobs: None,
             time_budget: None,
+            deadline: None,
         }
     }
 }
@@ -210,6 +222,14 @@ pub struct SolveReport {
     /// True iff the time budget expired and post-schedule phases were
     /// skipped.
     pub budget_exhausted: bool,
+    /// True iff the request's deadline (or an externally supplied
+    /// [`CancelToken`]) expired before the pipeline finished: the schedule
+    /// is the solver's incumbent — feasible but with no optimality or
+    /// approximation certificate beyond its reported `gap`.
+    pub deadline_hit: bool,
+    /// The pipeline phase during which the deadline expiry was first
+    /// observed (`Some` iff `deadline_hit`).
+    pub cut_phase: Option<&'static str>,
 }
 
 /// Version stamp emitted in every report JSON document (the
@@ -315,10 +335,19 @@ impl SolveReport {
             out.push('}');
         }
         out.push_str(&format!(
-            "]{sep}\"total_ms\": {}{sep}\"budget_exhausted\": {}{sep}\"assignment\": [",
+            "]{sep}\"total_ms\": {}{sep}\"budget_exhausted\": {}{sep}\"deadline_hit\": {}",
             ms(self.total),
-            self.budget_exhausted
+            self.budget_exhausted,
+            self.deadline_hit
         ));
+        out.push_str(sep);
+        out.push_str("\"cut_phase\": ");
+        match self.cut_phase {
+            Some(phase) => esc(&mut out, phase),
+            None => out.push_str("null"),
+        }
+        out.push_str(sep);
+        out.push_str("\"assignment\": [");
         for (i, m) in self.schedule.assignment().iter().enumerate() {
             if i > 0 {
                 out.push_str(", ");
@@ -382,6 +411,9 @@ impl std::fmt::Display for SolveReport {
         if self.budget_exhausted {
             write!(f, "  (time budget exhausted)")?;
         }
+        if let Some(phase) = self.cut_phase {
+            write!(f, "  (deadline hit in {phase}; incumbent returned)")?;
+        }
         Ok(())
     }
 }
@@ -396,6 +428,7 @@ pub struct SolveRequest<'a> {
     choice: SolverChoice,
     options: SolveOptions,
     precomputed: Option<InstanceFeatures>,
+    cancel: Option<CancelToken>,
 }
 
 impl<'a> SolveRequest<'a> {
@@ -406,6 +439,7 @@ impl<'a> SolveRequest<'a> {
             choice: SolverChoice::Named("auto".to_string()),
             options: SolveOptions::default(),
             precomputed: None,
+            cancel: None,
         }
     }
 
@@ -453,6 +487,43 @@ impl<'a> SolveRequest<'a> {
         self
     }
 
+    /// Sets a hard per-solve deadline, enforced *inside* solver loops: the
+    /// pipeline hands every solver a [`CancelToken`] expiring `deadline`
+    /// from the start of the solve, solvers poll it at branch/DP-row/sweep
+    /// granularity, and on expiry the report carries the solver's incumbent
+    /// schedule flagged [`SolveReport::deadline_hit`] (with the phase it
+    /// was cut in) — or the solve fails with
+    /// [`SchedulerError::Infeasible`] when the solver held no incumbent.
+    ///
+    /// ```
+    /// use busytime_core::{Instance, solve::SolveRequest};
+    /// use std::time::Duration;
+    ///
+    /// let inst = Instance::from_pairs([(0, 4), (1, 5), (6, 9)], 2);
+    /// // an already-expired deadline still yields a feasible schedule —
+    /// // the portfolio returns its cheapest incumbent and flags the report
+    /// let report = SolveRequest::new(&inst)
+    ///     .deadline(Duration::ZERO)
+    ///     .solve()
+    ///     .unwrap();
+    /// assert!(report.deadline_hit);
+    /// assert!(report.cut_phase.is_some());
+    /// report.schedule.validate(&inst).unwrap();
+    /// ```
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.options.deadline = Some(deadline);
+        self
+    }
+
+    /// Attaches an externally owned [`CancelToken`] (e.g. a serving pool's
+    /// per-record token). The solve observes it alongside any
+    /// [`SolveRequest::deadline`]: whichever expires or is cancelled first
+    /// cuts the solve.
+    pub fn cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
     /// Replaces all options at once.
     pub fn options(mut self, options: SolveOptions) -> Self {
         self.options = options;
@@ -493,6 +564,18 @@ impl<'a> SolveRequest<'a> {
             }
         }
 
+        // the cooperative token every solver loop polls: the caller's
+        // token (if any), tightened by the request's own deadline
+        let token = match (self.cancel, self.options.deadline) {
+            (Some(outer), Some(deadline)) => outer.child_after(deadline),
+            (Some(outer), None) => outer,
+            (None, Some(deadline)) => CancelToken::after(deadline),
+            (None, None) => CancelToken::never(),
+        };
+        // the first phase after which the token is observed expired — the
+        // phase the solve was "cut in"
+        let mut cut_phase: Option<&'static str> = None;
+
         // detect
         let t = Instant::now();
         let cached = self.precomputed.is_some();
@@ -512,6 +595,9 @@ impl<'a> SolveRequest<'a> {
                 features.length_width()
             ),
         });
+        if cut_phase.is_none() && token.is_cancelled() {
+            cut_phase = Some("detect");
+        }
 
         // build
         let t = Instant::now();
@@ -547,15 +633,21 @@ impl<'a> SolveRequest<'a> {
                 None => solver_name.clone(),
             },
         });
+        if cut_phase.is_none() && token.is_cancelled() {
+            cut_phase = Some("build");
+        }
 
-        // schedule
+        // schedule — the token rides along into every solver loop
         let t = Instant::now();
-        let schedule = solver.schedule(self.inst)?;
+        let schedule = solver.schedule_with(self.inst, &token)?;
         phases.push(PhaseStat {
             name: "schedule",
             duration: t.elapsed(),
             detail: format!("{} machines", schedule.machine_count()),
         });
+        if cut_phase.is_none() && token.is_cancelled() {
+            cut_phase = Some("schedule");
+        }
 
         let budget_exhausted = self
             .options
@@ -570,6 +662,9 @@ impl<'a> SolveRequest<'a> {
             duration: t.elapsed(),
             detail: "best_lower_bound (component + clique δ)".to_string(),
         });
+        if cut_phase.is_none() && token.is_cancelled() {
+            cut_phase = Some("bound");
+        }
 
         let cost = schedule.cost(self.inst);
         let gap = if lower_bound > 0 {
@@ -578,8 +673,13 @@ impl<'a> SolveRequest<'a> {
             1.0
         };
 
-        // validate
-        if self.options.validation != ValidationLevel::Skip && !budget_exhausted {
+        // validate — skipped once the soft budget or the hard deadline has
+        // expired (a cut record should leave the pipeline promptly; callers
+        // that need certainty re-validate the incumbent themselves)
+        if self.options.validation != ValidationLevel::Skip
+            && !budget_exhausted
+            && cut_phase.is_none()
+        {
             let t = Instant::now();
             schedule
                 .validate(self.inst)
@@ -592,6 +692,9 @@ impl<'a> SolveRequest<'a> {
                 duration: t.elapsed(),
                 detail: format!("{:?}", self.options.validation),
             });
+            if cut_phase.is_none() && token.is_cancelled() {
+                cut_phase = Some("validate");
+            }
         }
 
         Ok(SolveReport {
@@ -607,6 +710,8 @@ impl<'a> SolveRequest<'a> {
             phases,
             total: started.elapsed(),
             budget_exhausted,
+            deadline_hit: cut_phase.is_some(),
+            cut_phase,
         })
     }
 }
@@ -773,6 +878,60 @@ mod tests {
         // dispatch still works off the injected features
         assert!(report.auto_choice.is_some());
         report.schedule.validate(&inst).unwrap();
+    }
+
+    #[test]
+    fn expired_deadline_flags_report_with_cut_phase() {
+        let inst = inst();
+        let report = SolveRequest::new(&inst)
+            .deadline(Duration::ZERO)
+            .solve()
+            .unwrap();
+        assert!(report.deadline_hit);
+        assert_eq!(report.cut_phase, Some("detect"));
+        // validation is skipped on cut solves, but the incumbent is valid
+        assert!(!report.phases.iter().any(|p| p.name == "validate"));
+        report.schedule.validate(&inst).unwrap();
+        let json = report.to_json_line();
+        assert!(json.contains("\"deadline_hit\": true"), "{json}");
+        assert!(json.contains("\"cut_phase\": \"detect\""), "{json}");
+    }
+
+    #[test]
+    fn generous_deadline_leaves_report_unflagged() {
+        let inst = inst();
+        let report = SolveRequest::new(&inst)
+            .deadline(Duration::from_secs(3600))
+            .solve()
+            .unwrap();
+        assert!(!report.deadline_hit);
+        assert_eq!(report.cut_phase, None);
+        assert!(report.to_json().contains("\"cut_phase\": null"));
+    }
+
+    #[test]
+    fn external_cancel_token_cuts_the_solve() {
+        let inst = inst();
+        let token = CancelToken::never();
+        token.cancel();
+        let report = SolveRequest::new(&inst).cancel(token).solve().unwrap();
+        assert!(report.deadline_hit);
+        report.schedule.validate(&inst).unwrap();
+    }
+
+    #[test]
+    fn caller_token_is_tightened_not_replaced_by_deadline() {
+        let inst = inst();
+        let outer = CancelToken::never();
+        let report = SolveRequest::new(&inst)
+            .cancel(outer.clone())
+            .deadline(Duration::from_secs(3600))
+            .solve()
+            .unwrap();
+        assert!(!report.deadline_hit);
+        // cancelling the outer token after the solve must not have been
+        // visible during it — and the request's child never poisons it
+        assert!(!outer.is_cancelled());
     }
 
     #[test]

@@ -1,8 +1,10 @@
 //! Structural verification: checks that concrete schedules exhibit the
 //! combinatorial structure the paper's proofs rely on.
 //!
-//! These are *not* feasibility checks (see [`Schedule::validate`]); they
-//! verify the internal invariants of the analysis itself on real runs:
+//! Apart from [`check_schedule`] — the named feasibility gate of the
+//! deadline contract — these are *not* feasibility checks (see
+//! [`Schedule::validate`]); they verify the internal invariants of the
+//! analysis itself on real runs:
 //!
 //! * [`observation_2_2`] — the blocking witnesses of FirstFit: a job placed
 //!   on machine `M_i` was rejected by every earlier machine `M_k` because
@@ -20,7 +22,17 @@
 use busytime_interval::{span, sweep, Interval};
 
 use crate::instance::Instance;
-use crate::schedule::Schedule;
+use crate::schedule::{Schedule, ScheduleViolation};
+
+/// Full feasibility check of a schedule against its instance: every job
+/// assigned, machine ids dense, and no machine ever running more than `g`
+/// jobs at once. Delegates to [`Schedule::validate`]; it exists here so the
+/// deadline contract has one named check — an incumbent returned by a
+/// deadline-cut solver must still pass `check_schedule`, no matter how
+/// early the cut came.
+pub fn check_schedule(inst: &Instance, sched: &Schedule) -> Result<(), ScheduleViolation> {
+    sched.validate(inst)
+}
 
 /// Checks Observation 2.2 on a FirstFit schedule produced with the given
 /// processing order (`order[r]` = the job placed r-th).

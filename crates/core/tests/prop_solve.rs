@@ -103,4 +103,50 @@ proptest! {
             .unwrap();
         prop_assert!(report.cost >= report.lower_bound);
     }
+
+    /// (d) The deadline contract, for *every* registered solver: an
+    /// already-expired deadline (`deadline_ms: 0` on the wire) returns
+    /// within one pool tick — operationally, well under a second even on a
+    /// loaded CI box — and whatever comes back is either a feasible,
+    /// `check_schedule`-passing incumbent flagged `deadline_hit`, or an
+    /// honest refusal (`Infeasible` from a solver with no incumbent, or a
+    /// class/size refusal predating any search).
+    #[test]
+    fn zero_deadline_returns_fast_with_checkable_incumbent(inst in arb_instance(30)) {
+        let registry = SolverRegistry::with_defaults();
+        for name in registry.names() {
+            let started = std::time::Instant::now();
+            let result = SolveRequest::new(&inst)
+                .solver(name)
+                .deadline(std::time::Duration::ZERO)
+                .solve_with(&registry);
+            let elapsed = started.elapsed();
+            prop_assert!(elapsed < std::time::Duration::from_secs(1),
+                "`{}` held an expired token for {elapsed:?}", name);
+            // an Err is an honest refusal; holding the worker is not
+            if let Ok(report) = result {
+                prop_assert!(report.deadline_hit,
+                    "`{}` finished under an expired deadline unflagged", name);
+                prop_assert!(report.cut_phase.is_some());
+                prop_assert_eq!(
+                    busytime_core::verify::check_schedule(&inst, &report.schedule),
+                    Ok(()),
+                    "`{}` returned an infeasible incumbent", name);
+            }
+        }
+    }
+
+    /// (e) A generous deadline changes nothing: same cost as the undeadlined
+    /// request, no flag.
+    #[test]
+    fn generous_deadline_is_a_no_op(inst in arb_instance(30)) {
+        let plain = SolveRequest::new(&inst).solver("first-fit").solve().unwrap();
+        let budgeted = SolveRequest::new(&inst)
+            .solver("first-fit")
+            .deadline(std::time::Duration::from_secs(3600))
+            .solve()
+            .unwrap();
+        prop_assert!(!budgeted.deadline_hit);
+        prop_assert_eq!(budgeted.cost, plain.cost);
+    }
 }

@@ -5,7 +5,7 @@ use std::borrow::Cow;
 use busytime_core::algo::{
     BestFit, Decomposed, FirstFit, NextFitProper, Scheduler, SchedulerError,
 };
-use busytime_core::{bounds, Instance, MachineLoad, Schedule};
+use busytime_core::{bounds, CancelToken, Instance, MachineLoad, Schedule};
 use busytime_interval::IntervalSet;
 
 /// Exact optimum by depth-first branch-and-bound.
@@ -66,7 +66,11 @@ impl ExactBB {
         Ok(self.schedule(inst)?.cost(inst))
     }
 
-    fn solve_component(&self, inst: &Instance) -> Result<Schedule, SchedulerError> {
+    fn solve_component(
+        &self,
+        inst: &Instance,
+        cancel: &CancelToken,
+    ) -> Result<Schedule, SchedulerError> {
         let n = inst.len();
         if n == 0 {
             return Ok(Schedule::from_assignment(Vec::new()));
@@ -99,6 +103,11 @@ impl ExactBB {
         if best_cost == global_lb {
             return Ok(Schedule::from_assignment(best_assign));
         }
+        // an already-expired token means no search at all: the warm-start
+        // incumbent is the answer (feasible, flagged upstream)
+        if cancel.is_cancelled() {
+            return Ok(Schedule::from_assignment(best_assign));
+        }
 
         // jobs in start order; suffix union sets for the coverage bound
         let mut order: Vec<usize> = (0..n).collect();
@@ -121,6 +130,10 @@ impl ExactBB {
             nodes: u64,
             node_budget: u64,
             exhausted: bool,
+            cancel: &'a CancelToken,
+            /// Latched when `cancel` fires at a branch checkpoint; the
+            /// search unwinds and the incumbent is returned.
+            cut: bool,
         }
 
         fn busy_total(machines: &[MachineLoad]) -> i64 {
@@ -140,6 +153,12 @@ impl ExactBB {
             ctx.nodes += 1;
             if ctx.nodes > ctx.node_budget {
                 ctx.exhausted = true;
+                return;
+            }
+            // cooperative deadline check at branch granularity; the stride
+            // keeps the clock read off the per-node hot path
+            if ctx.nodes & 0x3FF == 0 && ctx.cancel.is_cancelled() {
+                ctx.cut = true;
                 return;
             }
             let current = busy_total(machines);
@@ -171,7 +190,7 @@ impl ExactBB {
                 machines[idx].push(job_id, &iv);
                 ctx.assign[job_id] = idx;
                 dfs(ctx, pos + 1, machines);
-                if ctx.exhausted {
+                if ctx.exhausted || ctx.cut {
                     return;
                 }
                 // rebuild the machine without the job (MachineLoad has no
@@ -212,6 +231,8 @@ impl ExactBB {
             nodes: 0,
             node_budget: self.node_budget,
             exhausted: false,
+            cancel,
+            cut: false,
         };
         let mut machines: Vec<MachineLoad> = Vec::new();
         dfs(&mut ctx, 0, &mut machines);
@@ -221,6 +242,9 @@ impl ExactBB {
                 limit: format!("node budget {} exhausted", self.node_budget),
             });
         }
+        // a cut search returns its incumbent (the warm start guarantees
+        // one exists) — feasible but no longer certified optimal; the
+        // pipeline flags the report `deadline_hit`
         best_cost = ctx.best_cost;
         let _ = best_cost;
         Ok(Schedule::from_assignment(ctx.best_assign))
@@ -232,18 +256,26 @@ impl Scheduler for ExactBB {
         Cow::Borrowed("ExactBB")
     }
 
-    fn schedule(&self, inst: &Instance) -> Result<Schedule, SchedulerError> {
+    fn schedule_with(
+        &self,
+        inst: &Instance,
+        cancel: &CancelToken,
+    ) -> Result<Schedule, SchedulerError> {
         // optimal schedules never span components: solve per component
         struct Component<'a>(&'a ExactBB);
         impl Scheduler for Component<'_> {
             fn name(&self) -> Cow<'static, str> {
                 Cow::Borrowed("ExactBB/component")
             }
-            fn schedule(&self, inst: &Instance) -> Result<Schedule, SchedulerError> {
-                self.0.solve_component(inst)
+            fn schedule_with(
+                &self,
+                inst: &Instance,
+                cancel: &CancelToken,
+            ) -> Result<Schedule, SchedulerError> {
+                self.0.solve_component(inst, cancel)
             }
         }
-        Decomposed::new(Component(self)).schedule(inst)
+        Decomposed::new(Component(self)).schedule_with(inst, cancel)
     }
 }
 

@@ -12,7 +12,7 @@
 use std::borrow::Cow;
 
 use busytime_core::algo::{Decomposed, Scheduler, SchedulerError};
-use busytime_core::{Instance, Schedule};
+use busytime_core::{CancelToken, Instance, Schedule};
 use busytime_interval::{span, sweep, Interval};
 
 /// Exact optimum by bitmask DP over job subsets.
@@ -39,8 +39,23 @@ impl ExactDp {
         Ok(self.schedule(inst)?.cost(inst))
     }
 
+    /// How a deadline cut is reported: the DP holds no feasible incumbent
+    /// until the table is complete, so expiry is *true exhaustion* —
+    /// [`SchedulerError::Infeasible`] — unlike the branch-and-bound solver,
+    /// which always carries a warm-start incumbent.
+    fn cut_error(&self, done: usize, total: usize) -> SchedulerError {
+        SchedulerError::Infeasible {
+            scheduler: Scheduler::name(self).into_owned(),
+            budget: format!("deadline expired after {done} of {total} DP rows"),
+        }
+    }
+
     #[allow(clippy::needless_range_loop)] // bitmask code reads clearer indexed
-    fn solve_component(&self, inst: &Instance) -> Result<Schedule, SchedulerError> {
+    fn solve_component(
+        &self,
+        inst: &Instance,
+        cancel: &CancelToken,
+    ) -> Result<Schedule, SchedulerError> {
         let n = inst.len();
         if n == 0 {
             return Ok(Schedule::from_assignment(Vec::new()));
@@ -58,6 +73,10 @@ impl ExactDp {
         let mut part_cost = vec![i64::MAX; full + 1];
         let mut scratch: Vec<Interval> = Vec::with_capacity(n);
         for mask in 1..=full {
+            // cooperative deadline check per DP row (strided clock read)
+            if mask & 0xFFF == 0 && cancel.is_cancelled() {
+                return Err(self.cut_error(mask, full));
+            }
             scratch.clear();
             for j in 0..n {
                 if mask & (1 << j) != 0 {
@@ -73,6 +92,9 @@ impl ExactDp {
         let mut choice = vec![0usize; full + 1];
         dp[0] = 0;
         for mask in 1..=full {
+            if mask & 0xFFF == 0 && cancel.is_cancelled() {
+                return Err(self.cut_error(mask, full));
+            }
             let low = mask & mask.wrapping_neg(); // bit of the lowest job
                                                   // iterate submasks of mask containing `low`
             let rest = mask ^ low;
@@ -117,17 +139,25 @@ impl Scheduler for ExactDp {
         Cow::Borrowed("ExactDp")
     }
 
-    fn schedule(&self, inst: &Instance) -> Result<Schedule, SchedulerError> {
+    fn schedule_with(
+        &self,
+        inst: &Instance,
+        cancel: &CancelToken,
+    ) -> Result<Schedule, SchedulerError> {
         struct Component<'a>(&'a ExactDp);
         impl Scheduler for Component<'_> {
             fn name(&self) -> Cow<'static, str> {
                 Cow::Borrowed("ExactDp/component")
             }
-            fn schedule(&self, inst: &Instance) -> Result<Schedule, SchedulerError> {
-                self.0.solve_component(inst)
+            fn schedule_with(
+                &self,
+                inst: &Instance,
+                cancel: &CancelToken,
+            ) -> Result<Schedule, SchedulerError> {
+                self.0.solve_component(inst, cancel)
             }
         }
-        Decomposed::new(Component(self)).schedule(inst)
+        Decomposed::new(Component(self)).schedule_with(inst, cancel)
     }
 }
 

@@ -14,9 +14,10 @@ use busytime_instances::clique::random_clique;
 use busytime_instances::proper::random_proper;
 use busytime_instances::random::{uniform, LengthDist};
 
-use crate::solve::solve_cell;
+use crate::solve::{solve_cell, solve_cell_with_deadline};
 use crate::table::fmt_ratio;
 use busytime_core::pool::par_map;
+use busytime_core::verify;
 
 use crate::{RatioStats, Scale, Table};
 
@@ -43,8 +44,10 @@ fn nominal_choice(name: &str) -> AutoChoice {
 
 /// E15 — portfolio dispatch and quality. For every family: how often the
 /// `auto` choice equals the family's nominal specialist, the gap achieved,
-/// and whether `auto` ever lost to FirstFit (it must not — FirstFit is its
-/// safety net).
+/// whether `auto` ever lost to FirstFit (it must not — FirstFit is its
+/// safety net), and whether every cell stays *interruptible*: the same
+/// request under an already-expired deadline must still return a feasible,
+/// `check_schedule`-passing incumbent flagged `deadline_hit`.
 pub fn e15_portfolio(scale: Scale) -> Table {
     let seeds: u64 = scale.pick(6, 30);
     let n = scale.pick(60usize, 300);
@@ -58,10 +61,11 @@ pub fn e15_portfolio(scale: Scale) -> Table {
             "gap(auto) mean",
             "gap(FF) mean",
             "auto ≤ FF always",
+            "deadline(0) incumbent ok",
         ],
     );
     for name in ["proper", "clique", "bounded d=3", "uniform wide"] {
-        let cells: Vec<(AutoChoice, f64, f64, bool)> =
+        let cells: Vec<(AutoChoice, f64, f64, bool, bool)> =
             par_map(&(0..seeds).collect::<Vec<u64>>(), |&seed| {
                 let inst = family(name, n, seed);
                 let auto = solve_cell(&inst, "auto");
@@ -77,21 +81,32 @@ pub fn e15_portfolio(scale: Scale) -> Table {
                     }
                     AutoChoice::General => {}
                 }
-                (choice, auto.gap, ff.gap, auto.cost <= ff.cost)
+                // interruptibility probe: an expired deadline still yields
+                // a feasible incumbent, flagged
+                let cut = solve_cell_with_deadline(&inst, "auto", std::time::Duration::ZERO);
+                let cut_ok =
+                    cut.deadline_hit && verify::check_schedule(&inst, &cut.schedule).is_ok();
+                (choice, auto.gap, ff.gap, auto.cost <= ff.cost, cut_ok)
             });
         let mut auto_gaps = RatioStats::new();
         let mut ff_gaps = RatioStats::new();
         let mut nominal = 0usize;
         let mut never_lost = true;
-        for (choice, auto_gap, ff_gap, dominated) in &cells {
+        let mut always_interruptible = true;
+        for (choice, auto_gap, ff_gap, dominated, cut_ok) in &cells {
             if *choice == nominal_choice(name) {
                 nominal += 1;
             }
             auto_gaps.push(*auto_gap);
             ff_gaps.push(*ff_gap);
             never_lost &= dominated;
+            always_interruptible &= cut_ok;
         }
         assert!(never_lost, "auto lost to FirstFit on family {name}");
+        assert!(
+            always_interruptible,
+            "a deadline(0) cell returned no valid incumbent on family {name}"
+        );
         table.push_row(vec![
             name.into(),
             nominal_choice(name).to_string(),
@@ -100,6 +115,7 @@ pub fn e15_portfolio(scale: Scale) -> Table {
             fmt_ratio(auto_gaps.mean()),
             fmt_ratio(ff_gaps.mean()),
             never_lost.to_string(),
+            always_interruptible.to_string(),
         ]);
     }
     table
@@ -115,6 +131,7 @@ mod tests {
         assert_eq!(t.len(), 4);
         for row in &t.rows {
             assert_eq!(row[6], "true", "auto lost to FirstFit: {row:?}");
+            assert_eq!(row[7], "true", "deadline(0) incumbent invalid: {row:?}");
             // generator families are built to trigger their specialist on
             // every seed (the clique generator is a clique by construction,
             // etc.); allow no misses for clique, which is structural

@@ -35,6 +35,25 @@ pub fn solve_cell(inst: &Instance, key: &str) -> SolveReport {
         .unwrap_or_else(|e| panic!("solver `{key}` failed on an experiment cell: {e}"))
 }
 
+/// Solves one experiment cell under a hard deadline — the interruptibility
+/// probe the portfolio experiment runs next to every regular cell.
+///
+/// # Panics
+///
+/// Panics when the solver errors; the portfolio solvers always hold an
+/// incumbent, so even an already-expired deadline must yield a report.
+pub fn solve_cell_with_deadline(
+    inst: &Instance,
+    key: &str,
+    deadline: std::time::Duration,
+) -> SolveReport {
+    SolveRequest::new(inst)
+        .solver(key)
+        .deadline(deadline)
+        .solve_with(registry())
+        .unwrap_or_else(|e| panic!("solver `{key}` failed under deadline on a cell: {e}"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

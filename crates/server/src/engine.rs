@@ -8,14 +8,24 @@
 //! response line per request line, in input order. Order is guaranteed by
 //! construction: the pool writes results into input-order slots and the
 //! writer drains chunks sequentially.
+//!
+//! Deadlines are enforced at the pool layer: each record's budget (its
+//! `deadline_ms`, else the batch default) arms a
+//! [`busytime_core::CancelToken`] when a worker picks the record up, the
+//! token rides through the solve pipeline into every solver loop, and the
+//! pool independently stamps each completion `over_deadline` when its own
+//! clock says the budget was blown — so even a solver that misses its
+//! cooperative check is counted in [`BatchSummary::deadline_hits`], and one
+//! pathological record can no longer pin a worker for seconds.
 
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::io::{BufRead, Write};
 use std::time::{Duration, Instant};
 
-use busytime_core::pool::{default_workers, par_map_with};
-use busytime_core::solve::{SolveOptions, SolverRegistry, REPORT_SCHEMA_VERSION};
+use busytime_core::algo::SchedulerError;
+use busytime_core::pool::{default_workers, par_map_deadline_with, par_map_with};
+use busytime_core::solve::{SolveError, SolveOptions, SolverRegistry, REPORT_SCHEMA_VERSION};
 use busytime_core::{Instance, InstanceFeatures, SolveRequest};
 
 use crate::protocol::{error_line, report_line, BatchRecord};
@@ -126,6 +136,13 @@ pub struct BatchSummary {
     pub cache_misses: usize,
     /// Workers the pool actually used.
     pub workers: usize,
+    /// Records whose deadline cut the solve: the report came back flagged
+    /// `deadline_hit`, the solver refused with `Infeasible` under a
+    /// budget, or the pool's own clock caught the worker over its budget
+    /// (the enforcement of last resort for uncooperative solves). These
+    /// records are excluded from `p50_solve`/`p99_solve`, which describe
+    /// unaffected records only.
+    pub deadline_hits: usize,
 }
 
 impl BatchSummary {
@@ -136,7 +153,7 @@ impl BatchSummary {
              \"errors\": {}, \"total_cost\": {}, \"total_lower_bound\": {}, \
              \"aggregate_gap\": {:.6}, \"wall_ms\": {:.3}, \"throughput_per_s\": {:.3}, \
              \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"cache_hits\": {}, \"cache_misses\": {}, \
-             \"workers\": {}}}",
+             \"workers\": {}, \"deadline_hits\": {}}}",
             self.records,
             self.solved,
             self.errors,
@@ -150,6 +167,7 @@ impl BatchSummary {
             self.cache_hits,
             self.cache_misses,
             self.workers,
+            self.deadline_hits,
         )
     }
 }
@@ -168,11 +186,13 @@ impl std::fmt::Display for BatchSummary {
         )?;
         write!(
             f,
-            "solve latency: p50 {:.2} ms, p99 {:.2} ms | aggregate gap ≤ {:.3} | \
+            "solve latency: p50 {:.2} ms, p99 {:.2} ms (unaffected records) | \
+             aggregate gap ≤ {:.3} | deadline hits: {} | \
              feature cache: {} hits / {} misses",
             self.p50_solve.as_secs_f64() * 1e3,
             self.p99_solve.as_secs_f64() * 1e3,
             self.aggregate_gap,
+            self.deadline_hits,
             self.cache_hits,
             self.cache_misses,
         )
@@ -238,6 +258,11 @@ struct SolveItem {
     key: u64,
     /// Filled by the chunk's batched detection pass before solving.
     features: Option<InstanceFeatures>,
+    /// Effective solve budget: the record's `deadline_ms`, else the
+    /// batch-level default. The *pool* arms the token with it at pickup,
+    /// so the clock starts when a worker takes the record, not when the
+    /// batch starts queuing.
+    budget: Option<Duration>,
 }
 
 fn percentile(sorted: &[Duration], pct: f64) -> Duration {
@@ -280,6 +305,7 @@ pub fn serve<R: BufRead, W: Write>(
     let mut total_lower_bound = 0i64;
     let mut cache_hits = 0usize;
     let mut cache_misses = 0usize;
+    let mut deadline_hits = 0usize;
 
     let mut line_no = 0usize;
     let mut eof = false;
@@ -311,6 +337,10 @@ pub fn serve<R: BufRead, W: Write>(
                 Ok(Some(record)) => {
                     records += 1;
                     let inst = record.instance();
+                    let budget = record
+                        .deadline_ms
+                        .map(Duration::from_millis)
+                        .or(config.base_options.deadline);
                     entries.push(Entry::Solve { item: items.len() });
                     items.push(SolveItem {
                         line: line_no,
@@ -318,6 +348,7 @@ pub fn serve<R: BufRead, W: Write>(
                         key: instance_key(&inst),
                         inst,
                         features: None,
+                        budget,
                     });
                 }
                 Err(message) => {
@@ -363,22 +394,32 @@ pub fn serve<R: BufRead, W: Write>(
             });
         }
 
-        // fan the solves out; results land in input order
-        let results = par_map_with(workers, &items, |item| {
-            let t = Instant::now();
-            let solver = item
-                .record
-                .solver
-                .as_deref()
-                .unwrap_or(&config.default_solver);
-            let features = item.features.clone().expect("filled by detection pass");
-            let result = SolveRequest::new(&item.inst)
-                .options(item.record.apply_overrides(config.base_options.clone()))
-                .solver(solver)
-                .features(features)
-                .solve_with(registry);
-            (t.elapsed(), result)
-        });
+        // fan the solves out under pool-enforced deadlines; results land
+        // in input order
+        let results = par_map_deadline_with(
+            workers,
+            &items,
+            |item| item.budget,
+            |item, token| {
+                let solver = item
+                    .record
+                    .solver
+                    .as_deref()
+                    .unwrap_or(&config.default_solver);
+                let features = item.features.clone().expect("filled by detection pass");
+                // the pool token is the single deadline authority here:
+                // clear the option so the pipeline does not re-arm a second
+                // (later) deadline on top of it
+                let mut options = item.record.apply_overrides(config.base_options.clone());
+                options.deadline = None;
+                SolveRequest::new(&item.inst)
+                    .options(options)
+                    .solver(solver)
+                    .features(features)
+                    .cancel(token.clone())
+                    .solve_with(registry)
+            },
+        );
 
         // stream response lines in input order
         for entry in &entries {
@@ -395,14 +436,38 @@ pub fn serve<R: BufRead, W: Write>(
                     writeln!(out, "{}", error_line(*line, None, message))?;
                 }
                 Entry::Solve { item } => {
-                    let SolveItem { line, record, .. } = &items[*item];
-                    let (latency, result) = &results[*item];
-                    match result {
+                    let SolveItem {
+                        line,
+                        record,
+                        budget,
+                        ..
+                    } = &items[*item];
+                    let outcome = &results[*item];
+                    // a record is a deadline hit when the pipeline flagged
+                    // it, when a budgeted solver refused with Infeasible,
+                    // or when the pool clock caught the worker over budget
+                    // (solver missed its cooperative check)
+                    let hit = outcome.over_deadline
+                        || match &outcome.result {
+                            Ok(report) => report.deadline_hit,
+                            Err(SolveError::Scheduler(SchedulerError::Infeasible { .. })) => {
+                                budget.is_some()
+                            }
+                            Err(_) => false,
+                        };
+                    if hit {
+                        deadline_hits += 1;
+                    }
+                    match &outcome.result {
                         Ok(report) => {
                             solved += 1;
                             total_cost += report.cost;
                             total_lower_bound += report.lower_bound;
-                            latencies.push(*latency);
+                            if !hit {
+                                // p50/p99 describe unaffected records; cut
+                                // records are counted in deadline_hits
+                                latencies.push(outcome.elapsed);
+                            }
                             writeln!(out, "{}", report_line(*line, record.id.as_deref(), report))?;
                         }
                         Err(e) => {
@@ -451,6 +516,7 @@ pub fn serve<R: BufRead, W: Write>(
         cache_hits,
         cache_misses,
         workers,
+        deadline_hits,
     })
 }
 
@@ -577,5 +643,73 @@ mod tests {
         let json = summary.to_json_line();
         assert!(!json.contains('\n'));
         assert!(json.contains("\"records\": 0"));
+        assert!(json.contains("\"deadline_hits\": 0"));
+    }
+
+    #[test]
+    fn record_deadline_cuts_and_is_counted() {
+        // deadline_ms: 0 expires before any solver work: the portfolio
+        // returns its cheapest incumbent, flagged, and the summary counts
+        // the hit while keeping the latency stats clean of it
+        let input = concat!(
+            r#"{"id": "cut", "instance": {"g": 2, "jobs": [[0, 4], [1, 5]]}, "deadline_ms": 0}"#,
+            "\n",
+            r#"{"id": "free", "instance": {"g": 2, "jobs": [[0, 4], [1, 5]]}}"#,
+            "\n",
+        );
+        let (lines, summary) = run(input, &ServeConfig::default());
+        assert_eq!(summary.solved, 2);
+        assert_eq!(summary.deadline_hits, 1);
+        assert!(lines[0].contains("\"deadline_hit\": true"), "{}", lines[0]);
+        assert!(lines[1].contains("\"deadline_hit\": false"), "{}", lines[1]);
+        match crate::protocol::parse_output_line(&lines[0]).unwrap() {
+            crate::protocol::OutputLine::Report { report, .. } => {
+                assert!(report.deadline_hit);
+                assert_eq!(report.assignment.len(), 2);
+            }
+            other => panic!("expected report line, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_level_deadline_applies_to_every_record() {
+        let input = concat!(
+            r#"{"instance": {"g": 2, "jobs": [[0, 4]]}}"#,
+            "\n",
+            r#"{"instance": {"g": 2, "jobs": [[1, 5]]}}"#,
+            "\n",
+        );
+        let config = ServeConfig {
+            base_options: SolveOptions {
+                deadline: Some(Duration::ZERO),
+                ..SolveOptions::default()
+            },
+            ..ServeConfig::default()
+        };
+        let (lines, summary) = run(input, &config);
+        assert_eq!(summary.deadline_hits, 2);
+        for line in &lines {
+            assert!(line.contains("\"deadline_hit\": true"), "{line}");
+        }
+    }
+
+    #[test]
+    fn record_deadline_overrides_batch_default() {
+        // batch default of 0 would cut everything; the record's generous
+        // per-record deadline_ms must win
+        let input = concat!(
+            r#"{"instance": {"g": 2, "jobs": [[0, 4]]}, "deadline_ms": 60000}"#,
+            "\n",
+        );
+        let config = ServeConfig {
+            base_options: SolveOptions {
+                deadline: Some(Duration::ZERO),
+                ..SolveOptions::default()
+            },
+            ..ServeConfig::default()
+        };
+        let (lines, summary) = run(input, &config);
+        assert_eq!(summary.deadline_hits, 0);
+        assert!(lines[0].contains("\"deadline_hit\": false"), "{}", lines[0]);
     }
 }

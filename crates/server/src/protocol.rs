@@ -11,8 +11,18 @@
 //! ```
 //!
 //! Optional fields (`id`, `solver`, `seed`, `decompose`, `validation`,
-//! `max_jobs`) default to the server's configuration; unknown fields are
-//! ignored, so clients may stamp their own metadata onto request lines.
+//! `max_jobs`, `deadline_ms`) default to the server's configuration;
+//! unknown fields are ignored, so clients may stamp their own metadata
+//! onto request lines.
+//!
+//! `deadline_ms` is the record's hard solve deadline, counted from the
+//! moment a pool worker picks the record up: the solver is cut at its next
+//! cooperative checkpoint and the embedded report carries
+//! `deadline_hit: true` with the solver's incumbent schedule (or the
+//! record fails with an `Infeasible` error line when the solver held no
+//! incumbent). A record-level value overrides the server's
+//! `--deadline-ms` batch default. `deadline_ms: 0` means "no speculative
+//! work at all" — the cheapest feasible answer, immediately.
 //!
 //! # Response lines
 //!
@@ -62,6 +72,9 @@ pub struct BatchRecord {
     pub validation: Option<ValidationLevel>,
     /// Per-record size budget.
     pub max_jobs: Option<usize>,
+    /// Per-record hard solve deadline in milliseconds (overrides the
+    /// batch-level default).
+    pub deadline_ms: Option<u64>,
 }
 
 impl BatchRecord {
@@ -112,6 +125,7 @@ impl BatchRecord {
             decompose: opt_bool(&value, "decompose")?,
             validation,
             max_jobs: json::opt_int(&value, "max_jobs")?,
+            deadline_ms: json::opt_int(&value, "deadline_ms")?,
         })
     }
 
@@ -138,6 +152,9 @@ impl BatchRecord {
         }
         if let Some(max_jobs) = self.max_jobs {
             options.max_jobs = Some(max_jobs);
+        }
+        if let Some(ms) = self.deadline_ms {
+            options.deadline = Some(std::time::Duration::from_millis(ms));
         }
         options
     }
@@ -242,6 +259,10 @@ pub struct ReportSummary {
     pub lower_bound: i64,
     /// `cost / lower_bound`.
     pub gap: f64,
+    /// True iff the record's deadline cut the solve and the assignment is
+    /// the solver's incumbent. Absent on lines recorded by pre-deadline
+    /// servers; parsed as `false` then.
+    pub deadline_hit: bool,
     /// Machine of each job.
     pub assignment: Vec<usize>,
 }
@@ -343,6 +364,7 @@ pub fn parse_output_line(input: &str) -> Result<OutputLine, JsonError> {
             machines: int("machines")?,
             lower_bound: int("lower_bound")?,
             gap,
+            deadline_hit: matches!(report.get("deadline_hit"), Some(Value::Bool(true))),
             assignment,
         },
     })
@@ -358,17 +380,20 @@ mod tests {
         let rec = BatchRecord::parse(
             r#"{"id": "x", "instance": {"g": 2, "jobs": [[0, 4], [1, 5]]},
                "solver": "first-fit", "seed": 9, "decompose": false,
-               "validation": "strict", "max_jobs": 10, "client_tag": "ignored"}"#,
+               "validation": "strict", "max_jobs": 10, "deadline_ms": 250,
+               "client_tag": "ignored"}"#,
         )
         .unwrap();
         assert_eq!(rec.id.as_deref(), Some("x"));
         assert_eq!(rec.solver.as_deref(), Some("first-fit"));
         assert_eq!(rec.instance().len(), 2);
+        assert_eq!(rec.deadline_ms, Some(250));
         let opts = rec.apply_overrides(SolveOptions::default());
         assert_eq!(opts.seed, 9);
         assert!(!opts.decompose);
         assert_eq!(opts.validation, ValidationLevel::Strict);
         assert_eq!(opts.max_jobs, Some(10));
+        assert_eq!(opts.deadline, Some(std::time::Duration::from_millis(250)));
     }
 
     #[test]

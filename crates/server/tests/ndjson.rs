@@ -202,3 +202,32 @@ fn fail_fast_reports_offending_line_and_id() {
     assert!(message.contains("doomed"), "{message}");
     assert!(message.contains("martian"), "{message}");
 }
+
+#[test]
+fn deadline_ms_round_trips_through_the_wire() {
+    // pre-deadline golden line (no deadline_hit field): parses as false
+    let recorded = r#"{"schema_version": 1, "line": 1, "id": "old", "ok": true, "report": {"schema_version": 1, "solver": "FirstFit[paper]", "cost": 8, "machines": 2, "lower_bound": 8, "gap": 1.0, "assignment": [0, 0, 1]}}"#;
+    match parse_output_line(recorded).unwrap() {
+        OutputLine::Report { report, .. } => assert!(!report.deadline_hit),
+        other => panic!("expected a report line, got {other:?}"),
+    }
+
+    // a live record cut by `deadline_ms: 0` round-trips flagged, with a
+    // full incumbent assignment, and the summary counts the hit
+    let input = concat!(
+        r#"{"id": "cut", "instance": {"g": 2, "jobs": [[0, 4], [1, 5], [6, 9]]}, "deadline_ms": 0}"#,
+        "\n",
+    );
+    let (lines, summary) = run(input, &ServeConfig::default());
+    assert_eq!(summary.deadline_hits, 1);
+    match parse_output_line(&lines[0]).unwrap() {
+        OutputLine::Report { report, id, .. } => {
+            assert_eq!(id.as_deref(), Some("cut"));
+            assert!(report.deadline_hit);
+            assert_eq!(report.assignment.len(), 3);
+            assert!(report.cost >= report.lower_bound);
+        }
+        other => panic!("expected a report line, got {other:?}"),
+    }
+    assert!(summary.to_json_line().contains("\"deadline_hits\": 1"));
+}

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Compare a BENCH_PR.json against the committed BENCH_BASELINE.json.
+
+Prints a GitHub-flavored markdown table of per-benchmark deltas on stdout
+(suitable for $GITHUB_STEP_SUMMARY) and emits `::warning::` annotations on
+stderr for large regressions — stderr so the annotations reach the runner's
+log parser without breaking the markdown table. Always exits 0 — the
+comparison is advisory (single-iteration smoke estimates on shared runners
+are noisy); the table exists so the perf trajectory is visible on every PR,
+not to gate it. A hard gate can be added once variance data accumulates.
+
+Usage: bench_delta.py BENCH_BASELINE.json BENCH_PR.json [--warn-pct 50]
+"""
+import argparse
+import json
+import sys
+
+
+def estimates(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {e["id"]: e for e in doc.get("estimates", [])}, doc
+
+
+def fmt_ns(ns):
+    if ns >= 1e9:
+        return f"{ns / 1e9:.2f} s"
+    if ns >= 1e6:
+        return f"{ns / 1e6:.2f} ms"
+    if ns >= 1e3:
+        return f"{ns / 1e3:.2f} µs"
+    return f"{ns:.0f} ns"
+
+
+def warn(message):
+    print(f"::warning::{message}", file=sys.stderr)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed BENCH_BASELINE.json")
+    parser.add_argument("pr", help="this run's BENCH_PR.json")
+    parser.add_argument("--warn-pct", type=float, default=50.0,
+                        help="regression percentage that draws a ::warning:: (default 50)")
+    args = parser.parse_args()
+    base, base_doc = estimates(args.baseline)
+    pr, _ = estimates(args.pr)
+
+    print(f"### Bench smoke vs baseline (`{base_doc.get('commit', 'unknown')[:12]}`)\n")
+    print("| benchmark | baseline | PR | delta |")
+    print("|---|---:|---:|---:|")
+    for bid in sorted(set(base) | set(pr)):
+        b, p = base.get(bid), pr.get(bid)
+        if b is None:
+            print(f"| `{bid}` | — | {fmt_ns(p['median_ns'])} | new |")
+            continue
+        if p is None:
+            print(f"| `{bid}` | {fmt_ns(b['median_ns'])} | — | removed |")
+            warn(f"bench `{bid}` disappeared from the PR run")
+            continue
+        delta = (p["median_ns"] - b["median_ns"]) / b["median_ns"] * 100.0
+        marker = ""
+        if delta > args.warn_pct:
+            marker = " ⚠️"
+            warn(f"bench `{bid}` regressed {delta:+.1f}% "
+                 f"({fmt_ns(b['median_ns'])} → {fmt_ns(p['median_ns'])}) — "
+                 "advisory only (single-iteration smoke)")
+        print(f"| `{bid}` | {fmt_ns(b['median_ns'])} | {fmt_ns(p['median_ns'])} "
+              f"| {delta:+.1f}%{marker} |")
+    print("\n_single-iteration smoke estimates; warn-only, no hard gate_")
+
+
+if __name__ == "__main__":
+    main()

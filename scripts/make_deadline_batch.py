@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Emit the deadline-smoke NDJSON batch on stdout.
+
+1000 records: clean generator records plus 10 adversarial exact-solver
+records (a dense 24-job single component that pins `exact-bb` for tens of
+seconds when uncancelled), each carrying `deadline_ms: 50`. The CI
+`deadline-smoke` job pipes this through `busytime-cli serve` and fails when
+the batch is not cut promptly or a cut record comes back unflagged —
+the regression gate for cooperative cancellation.
+
+Usage: make_deadline_batch.py [records] [adversarial]
+"""
+import json
+import sys
+
+# Fixed adversarial component (seed 0 of the probe that found it): >20 s of
+# branch-and-bound uncancelled, cut to ~50 ms by the deadline.
+ADVERSARIAL_JOBS = [
+    [24, 45], [2, 18], [32, 55], [25, 42], [30, 49], [37, 51],
+    [32, 44], [18, 30], [6, 33], [16, 41], [38, 50], [19, 30],
+    [4, 33], [21, 44], [35, 46], [22, 43], [16, 25], [5, 25],
+    [40, 48], [40, 54], [35, 58], [28, 52], [20, 47], [35, 43],
+]
+
+
+def main() -> None:
+    records = int(sys.argv[1]) if len(sys.argv) > 1 else 1000
+    adversarial = int(sys.argv[2]) if len(sys.argv) > 2 else 10
+    stride = max(records // max(adversarial, 1), 1)
+    emitted_adv = 0
+    for i in range(records):
+        if emitted_adv < adversarial and i % stride == stride // 2:
+            emitted_adv += 1
+            line = {
+                "id": f"adv-{emitted_adv}",
+                "instance": {"g": 2, "jobs": ADVERSARIAL_JOBS},
+                "solver": "exact-bb",
+                "deadline_ms": 50,
+            }
+        else:
+            line = {
+                "id": f"clean-{i}",
+                "generator": {"family": "uniform", "n": 40, "seed": i},
+            }
+        print(json.dumps(line))
+
+
+if __name__ == "__main__":
+    main()

@@ -79,11 +79,15 @@ commands:
            F ∈ uniform | proper | clique | bounded | laminar | fig4 | shifts
   solve    --input FILE [--solver NAME] [--json] [--gantt] [--out FILE]
            [--seed S] [--no-decompose] [--validation skip|basic|strict]
+           [--deadline-ms MS]   hard solve deadline; cut solves return the
+           solver's incumbent flagged `deadline_hit`
            NAME: any registry entry (see `solvers`); default `auto`
   serve    batch solve server: NDJSON records on stdin, one report line per
            record on stdout (input order), summary on stderr
            [--workers N] [--solver NAME] [--chunk N] [--quiet]
            [--fail-fast | --keep-going] [--summary-json]
+           [--deadline-ms MS]   per-record deadline default (a record's own
+           `deadline_ms` field overrides it)
   batch    FILE                (like `serve`, reading records from FILE)
   solvers  list every registered solver with its guarantee
   bounds   --input FILE
@@ -142,6 +146,19 @@ fn get_num<T: std::str::FromStr>(
     }
 }
 
+fn opt_num<T: std::str::FromStr>(
+    opts: &HashMap<String, String>,
+    key: &str,
+) -> Result<Option<T>, String> {
+    match opts.get(key) {
+        None => Ok(None),
+        Some(raw) => raw
+            .parse()
+            .map(Some)
+            .map_err(|_| format!("--{key}: cannot parse '{raw}'")),
+    }
+}
+
 fn cmd_generate(opts: &HashMap<String, String>) -> Result<(), String> {
     let family: Family = opts
         .get("family")
@@ -188,13 +205,15 @@ fn cmd_solve(opts: &HashMap<String, String>) -> Result<(), String> {
         Some(other) => return Err(format!("--validation: unknown level '{other}'")),
     };
     let registry = full_registry();
-    let report = SolveRequest::new(&inst)
+    let mut request = SolveRequest::new(&inst)
         .solver(solver)
         .seed(get_num(opts, "seed", 0u64)?)
         .decompose(!opts.contains_key("no-decompose"))
-        .validation(validation)
-        .solve_with(&registry)
-        .map_err(|e| e.to_string())?;
+        .validation(validation);
+    if let Some(ms) = opt_num::<u64>(opts, "deadline-ms")? {
+        request = request.deadline(std::time::Duration::from_millis(ms));
+    }
+    let report = request.solve_with(&registry).map_err(|e| e.to_string())?;
     if opts.contains_key("json") {
         emit(report.to_json());
     } else {
@@ -223,7 +242,7 @@ fn cmd_serve(opts: &HashMap<String, String>, input: Option<&str>) -> Result<(), 
     if opts.contains_key("fail-fast") && opts.contains_key("keep-going") {
         return Err("--fail-fast and --keep-going are mutually exclusive".to_string());
     }
-    let config = ServeConfig {
+    let mut config = ServeConfig {
         workers: get_num(opts, "workers", 0usize)?,
         default_solver: opts
             .get("solver")
@@ -237,6 +256,9 @@ fn cmd_serve(opts: &HashMap<String, String>, input: Option<&str>) -> Result<(), 
         chunk_size: get_num(opts, "chunk", 0usize)?,
         ..ServeConfig::default()
     };
+    if let Some(ms) = opt_num::<u64>(opts, "deadline-ms")? {
+        config.base_options.deadline = Some(std::time::Duration::from_millis(ms));
+    }
     let registry = full_registry();
     let stdout = std::io::stdout().lock();
     let out = std::io::BufWriter::new(stdout);

@@ -44,6 +44,14 @@
 //! assert_eq!(opt.gap, 1.0);
 //! ```
 //!
+//! Solves are *interruptible*: [`SolveRequest::deadline`] arms a
+//! cooperative [`busytime_core::CancelToken`] that every solver loop
+//! polls, so even an exact solve near its size guard returns its best
+//! incumbent within the deadline, flagged
+//! [`SolveReport::deadline_hit`] — see the "Deadlines & interruption"
+//! section of the README and the per-record `deadline_ms` field of the
+//! serving protocol.
+//!
 //! The bare [`busytime_core::algo::Scheduler`] trait remains the low-level
 //! extension point: implement it, then register a factory
 //! ([`SolverRegistry::register`]) or pass a boxed instance via
@@ -93,6 +101,7 @@
 //! .unwrap();
 //! assert_eq!(summary.solved, 1);
 //! assert!(summary.aggregate_gap >= 1.0);
+//! assert_eq!(summary.deadline_hits, 0);
 //! ```
 //!
 //! See the repository README for a guided tour and `examples/` for runnable

@@ -1,0 +1,209 @@
+//! End-to-end coverage of the deadline contract through the CLI: the
+//! committed `tests/fixtures/deadline_smoke.ndjson` batch weaves three
+//! adversarial exact-solver records (a dense 24-job component that pins
+//! `exact-bb` for tens of seconds uncancelled) between clean records, each
+//! with `deadline_ms: 50`. The batch must finish promptly, every
+//! adversarial record must come back `deadline_hit: true` with a feasible
+//! incumbent, and the summary must count the hits. The CI `deadline-smoke`
+//! job runs the same check at 1000-record scale on every push.
+
+use std::process::Command;
+use std::time::{Duration, Instant};
+
+use busytime::core::verify;
+use busytime::instances::json;
+use busytime::server::{parse_output_line, OutputLine};
+use busytime::{Instance, Interval};
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_busytime-cli"))
+}
+
+fn fixture() -> String {
+    format!(
+        "{}/tests/fixtures/deadline_smoke.ndjson",
+        env!("CARGO_MANIFEST_DIR")
+    )
+}
+
+#[test]
+fn adversarial_batch_is_cut_not_pinned() {
+    let started = Instant::now();
+    let out = cli()
+        .args(["batch", &fixture(), "--workers", "2", "--summary-json"])
+        .output()
+        .unwrap();
+    let wall = started.elapsed();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // 3 × >20 s of uncancelled exact search rides in this batch; the
+    // cooperative cut must keep the whole run in interactive territory
+    // (generous bound: debug builds and loaded CI boxes)
+    assert!(
+        wall < Duration::from_secs(30),
+        "batch took {wall:?}; a worker was pinned past its deadline"
+    );
+
+    let fixture_text = std::fs::read_to_string(fixture()).unwrap();
+    let fixture_jobs: Vec<(String, Instance)> = fixture_text
+        .lines()
+        .map(|line| {
+            let v = json::parse(line).unwrap();
+            let id = v.get("id").unwrap().as_str().unwrap().to_string();
+            let inst = match v.get("instance") {
+                Some(obj) => {
+                    let g = obj.get("g").unwrap().as_i64().unwrap() as u32;
+                    let jobs: Vec<Interval> = obj
+                        .get("jobs")
+                        .unwrap()
+                        .as_array()
+                        .unwrap()
+                        .iter()
+                        .map(|p| {
+                            let p = p.as_array().unwrap();
+                            Interval::new(p[0].as_i64().unwrap(), p[1].as_i64().unwrap())
+                        })
+                        .collect();
+                    Instance::new(jobs, g)
+                }
+                None => Instance::new(vec![], 1), // generated record: skip recheck
+            };
+            (id, inst)
+        })
+        .collect();
+
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), fixture_jobs.len());
+    let mut adversarial_seen = 0usize;
+    for (line, (id, inst)) in lines.iter().zip(&fixture_jobs) {
+        match parse_output_line(line).unwrap() {
+            OutputLine::Report {
+                id: echoed, report, ..
+            } => {
+                assert_eq!(echoed.as_deref(), Some(id.as_str()));
+                if id.starts_with("adv-") {
+                    adversarial_seen += 1;
+                    assert!(
+                        report.deadline_hit,
+                        "adversarial record {id} was not flagged: {line}"
+                    );
+                    // the incumbent must be a checkable, feasible schedule
+                    let sched =
+                        busytime::core::Schedule::from_assignment(report.assignment.clone());
+                    assert_eq!(verify::check_schedule(inst, &sched), Ok(()), "{id}");
+                    assert!(report.cost >= report.lower_bound);
+                } else {
+                    assert!(!report.deadline_hit, "clean record {id} was cut: {line}");
+                }
+            }
+            OutputLine::Error { error, .. } => {
+                panic!("record {id} failed: {error}")
+            }
+        }
+    }
+    assert_eq!(adversarial_seen, 3);
+
+    // the machine-readable summary counts exactly the adversarial hits
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    let summary = json::parse(stderr.lines().last().unwrap()).unwrap();
+    assert_eq!(
+        summary.get("deadline_hits").and_then(|v| v.as_i64()),
+        Some(3),
+        "{stderr}"
+    );
+}
+
+#[test]
+fn batch_level_deadline_default_via_flag() {
+    // --deadline-ms 0 cuts every record in the stream; all still answer
+    let out = cli()
+        .args(["batch", &fixture(), "--deadline-ms", "0", "--quiet"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    for line in stdout.lines() {
+        // exact-bb warm-starts an incumbent, generators go through `auto`:
+        // every record answers ok with the flag set
+        match parse_output_line(line).unwrap() {
+            OutputLine::Report { report, .. } => assert!(report.deadline_hit, "{line}"),
+            OutputLine::Error { error, .. } => panic!("unexpected error line: {error}"),
+        }
+    }
+}
+
+#[test]
+fn solve_command_honors_deadline_flag() {
+    // a single adversarial solve through `busytime-cli solve --deadline-ms`
+    let dir = std::env::temp_dir().join("busytime_deadline_e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("adv.json");
+    let first = std::fs::read_to_string(fixture())
+        .unwrap()
+        .lines()
+        .find(|l| l.contains("adv-1"))
+        .unwrap()
+        .to_string();
+    let record = json::parse(&first).unwrap();
+    let inst = record.get("instance").unwrap();
+    let mut doc =
+        String::from("{\"name\": \"adv\", \"comment\": \"deadline e2e\", \"g\": 2, \"jobs\": ");
+    let mut jobs = String::from("[");
+    for (i, pair) in inst
+        .get("jobs")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .iter()
+        .enumerate()
+    {
+        let p = pair.as_array().unwrap();
+        if i > 0 {
+            jobs.push_str(", ");
+        }
+        jobs.push_str(&format!(
+            "[{}, {}]",
+            p[0].as_i64().unwrap(),
+            p[1].as_i64().unwrap()
+        ));
+    }
+    jobs.push(']');
+    doc.push_str(&jobs);
+    doc.push('}');
+    std::fs::write(&path, doc).unwrap();
+
+    let started = Instant::now();
+    let out = cli()
+        .args([
+            "solve",
+            "--input",
+            path.to_str().unwrap(),
+            "--solver",
+            "exact-bb",
+            "--deadline-ms",
+            "50",
+            "--json",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "solve ignored --deadline-ms"
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("\"deadline_hit\": true"), "{stdout}");
+    assert!(stdout.contains("\"cut_phase\": \"schedule\""), "{stdout}");
+}
