@@ -16,6 +16,9 @@
 //! *own* clock comparison, independent of the item's cooperation — a solver
 //! that misses (or lacks) its cooperative check is still reported as
 //! over-deadline, so batch summaries never undercount pinned workers.
+//! [`par_map_deadline_under`] additionally parents every per-item token to
+//! a caller-owned [`CancelToken`], which is how a long-lived listener
+//! drains in-flight solves on shutdown without waiting out their budgets.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -87,12 +90,35 @@ where
     B: Fn(&T) -> Option<Duration> + Sync,
     F: Fn(&T, &CancelToken) -> R + Sync,
 {
+    par_map_deadline_under(workers, &CancelToken::never(), items, budget_of, f)
+}
+
+/// [`par_map_deadline_with`] under a caller-owned `parent` token: every
+/// per-item token is a child of `parent`, so cancelling `parent` (a
+/// listener draining on SIGINT, a session torn down mid-batch) cuts every
+/// in-flight solve at its next cooperative checkpoint while each item's
+/// own budget still expires independently. The `over_deadline` verdict
+/// stays a pure budget comparison — a parent cancellation does not flag
+/// items as over their deadline.
+pub fn par_map_deadline_under<T, R, B, F>(
+    workers: usize,
+    parent: &CancelToken,
+    items: &[T],
+    budget_of: B,
+    f: F,
+) -> Vec<DeadlineOutcome<R>>
+where
+    T: Sync,
+    R: Send,
+    B: Fn(&T) -> Option<Duration> + Sync,
+    F: Fn(&T, &CancelToken) -> R + Sync,
+{
     run_pool(workers, items.len(), |i| {
         let item = &items[i];
         let budget = budget_of(item);
         let token = match budget {
-            Some(b) => CancelToken::after(b),
-            None => CancelToken::never(),
+            Some(b) => parent.child_after(b),
+            None => parent.child(),
         };
         let started = Instant::now();
         let result = f(item, &token);
@@ -239,6 +265,26 @@ mod tests {
         assert!(!out[0].over_deadline);
         assert!(out[1].over_deadline);
         assert!(out[1].elapsed >= Duration::from_millis(15));
+    }
+
+    #[test]
+    fn cancelled_parent_cuts_every_item_token() {
+        // listener shutdown drain: per-item tokens are children of the
+        // session token, so a poisoned parent is visible at pickup even
+        // when the item carries a generous (or no) budget — and the
+        // poison alone never counts as over_deadline
+        let parent = CancelToken::never();
+        parent.cancel();
+        let items = vec![0u32, 1];
+        let out = par_map_deadline_under(
+            2,
+            &parent,
+            &items,
+            |&x| (x == 1).then_some(Duration::from_secs(3600)),
+            |_, token| token.is_cancelled(),
+        );
+        assert!(out[0].result && out[1].result);
+        assert!(!out[0].over_deadline && !out[1].over_deadline);
     }
 
     #[test]

@@ -210,8 +210,11 @@ pub struct SolveReport {
     pub machines: usize,
     /// The strongest lower bound of [`bounds::best_lower_bound`].
     pub lower_bound: i64,
-    /// `cost / lower_bound` (`1.0` when the bound is 0 — empty instances).
-    /// An upper bound on the true approximation ratio achieved.
+    /// `cost / lower_bound` — an upper bound on the true approximation
+    /// ratio achieved. When the bound is 0 this is `1.0` only if the cost
+    /// is also 0 (empty instances); a positive cost over a zero bound is
+    /// [`f64::INFINITY`] (JSON `null`) rather than a false optimality
+    /// claim.
     pub gap: f64,
     /// Detected structure of the instance.
     pub features: InstanceFeatures,
@@ -300,9 +303,16 @@ impl SolveReport {
             Some(c) => esc(&mut out, c.solver_key()),
             None => out.push_str("null"),
         }
+        let gap = if self.gap.is_finite() {
+            format!("{:.6}", self.gap)
+        } else {
+            // f64 infinities have no JSON literal; consumers parse null
+            // back as infinity
+            String::from("null")
+        };
         out.push_str(&format!(
-            "{sep}\"cost\": {}{sep}\"machines\": {}{sep}\"lower_bound\": {}{sep}\"gap\": {:.6}",
-            self.cost, self.machines, self.lower_bound, self.gap
+            "{sep}\"cost\": {}{sep}\"machines\": {}{sep}\"lower_bound\": {}{sep}\"gap\": {gap}",
+            self.cost, self.machines, self.lower_bound
         ));
         let f = &self.features;
         out.push_str(&format!(
@@ -667,10 +677,15 @@ impl<'a> SolveRequest<'a> {
         }
 
         let cost = schedule.cost(self.inst);
+        // a zero bound is only vacuously optimal when the cost is zero
+        // too (empty / all-zero-length instances); a positive cost over a
+        // zero bound must not claim gap 1.0 (it serializes as JSON null)
         let gap = if lower_bound > 0 {
             cost as f64 / lower_bound as f64
-        } else {
+        } else if cost == 0 {
             1.0
+        } else {
+            f64::INFINITY
         };
 
         // validate — skipped once the soft budget or the hard deadline has
@@ -845,6 +860,22 @@ mod tests {
         assert!(json.contains("\"solver\""));
         assert!(json.contains("\"assignment\""));
         assert!(json.contains("\"auto_choice\""));
+    }
+
+    #[test]
+    fn non_finite_gap_serializes_as_json_null() {
+        // a positive cost over a zero certified bound must not serialize
+        // as a finite (optimality-claiming) gap — and `inf` is not a JSON
+        // token, so the wire form is null
+        let inst = inst();
+        let mut report = SolveRequest::new(&inst).solve().unwrap();
+        assert!(report
+            .to_json_line()
+            .contains(&format!("\"gap\": {:.6}", report.gap)));
+        report.gap = f64::INFINITY;
+        let line = report.to_json_line();
+        assert!(line.contains("\"gap\": null"), "{line}");
+        assert!(!line.contains("inf"), "{line}");
     }
 
     #[test]

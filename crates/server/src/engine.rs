@@ -1,13 +1,17 @@
 //! The batch solve engine: NDJSON in, NDJSON out, a worker pool in the
 //! middle.
 //!
-//! [`serve`] reads request lines in chunks, runs batched feature detection
-//! (each distinct instance is detected once per batch — repeated identical
-//! instances hit a hash-keyed cache), fans the solves of a chunk out over a
-//! fixed pool of [`busytime_core::pool`] workers, and streams exactly one
-//! response line per request line, in input order. Order is guaranteed by
-//! construction: the pool writes results into input-order slots and the
-//! writer drains chunks sequentially.
+//! [`BatchSession`] is the reusable core any `BufRead`/`Write` pair can
+//! drive — stdin/stdout ([`serve`] is the thin wrapper), a file, or one
+//! socket connection of the [`crate::listener`]. A session reads request
+//! lines in chunks, runs batched feature detection (each distinct instance
+//! is detected once — repeated identical instances hit the hash-keyed
+//! [`SharedFeatureCache`], which long-lived listeners share *across*
+//! connections), fans the solves of a chunk out over a fixed pool of
+//! [`busytime_core::pool`] workers, and streams exactly one response line
+//! per request line, in input order. Order is guaranteed by construction:
+//! the pool writes results into input-order slots and the writer drains
+//! chunks sequentially.
 //!
 //! Deadlines are enforced at the pool layer: each record's budget (its
 //! `deadline_ms`, else the batch default) arms a
@@ -17,14 +21,27 @@
 //! clock says the budget was blown — so even a solver that misses its
 //! cooperative check is counted in [`BatchSummary::deadline_hits`], and one
 //! pathological record can no longer pin a worker for seconds.
+//!
+//! Sessions are also *interruptible*: [`BatchSession::cancel`] installs a
+//! session token that (a) parents every record's deadline token, cutting
+//! in-flight solves at their next cooperative checkpoint, and (b) stops the
+//! read loop at the next line boundary, so a listener draining on SIGINT
+//! finishes the records it already parsed and then summarizes. Transports
+//! with a read timeout (sockets) surface `WouldBlock`/`TimedOut` from their
+//! reads; the session treats those as polling points — it re-checks the
+//! session token and, when records are already pending, dispatches the
+//! partial chunk instead of waiting for a full one, which is what keeps
+//! interactive socket clients from stalling behind the chunk size.
 
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::io::{BufRead, Write};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use busytime_core::algo::SchedulerError;
-use busytime_core::pool::{default_workers, par_map_deadline_with, par_map_with};
+use busytime_core::cancel::CancelToken;
+use busytime_core::pool::{default_workers, par_map_deadline_under, par_map_with};
 use busytime_core::solve::{SolveError, SolveOptions, SolverRegistry, REPORT_SCHEMA_VERSION};
 use busytime_core::{Instance, InstanceFeatures, SolveRequest};
 
@@ -120,12 +137,20 @@ pub struct BatchSummary {
     pub total_cost: i64,
     /// Summed certified lower bounds over solved records.
     pub total_lower_bound: i64,
-    /// `total_cost / total_lower_bound` (`1.0` when the bound sum is 0).
+    /// `total_cost / total_lower_bound`. When the bound sum is 0 this is
+    /// `1.0` only if the cost sum is also 0 (vacuously optimal — an empty
+    /// or all-error batch); a positive cost over a zero bound reports
+    /// [`f64::INFINITY`] (`null` in [`BatchSummary::to_json_line`]) rather
+    /// than silently claiming optimality.
     pub aggregate_gap: f64,
     /// Wall-clock time of the whole batch.
     pub wall: Duration,
-    /// Solved records per wall-clock second.
+    /// Records *processed* per wall-clock second (solved and error records
+    /// alike — an error answer is still work done and an answer streamed).
     pub throughput: f64,
+    /// Records *solved* per wall-clock second. An error-heavy batch keeps
+    /// an honest `throughput` while this field exposes the useful yield.
+    pub solved_per_s: f64,
     /// Median per-record solve latency.
     pub p50_solve: Duration,
     /// 99th-percentile per-record solve latency.
@@ -136,32 +161,56 @@ pub struct BatchSummary {
     pub cache_misses: usize,
     /// Workers the pool actually used.
     pub workers: usize,
-    /// Records whose deadline cut the solve: the report came back flagged
-    /// `deadline_hit`, the solver refused with `Infeasible` under a
-    /// budget, or the pool's own clock caught the worker over its budget
-    /// (the enforcement of last resort for uncooperative solves). These
+    /// Records whose *deadline budget* actually cut the solve: the
+    /// record's deadline chain had expired when a flagged report (or an
+    /// `Infeasible` refusal) came back, or the pool's own clock caught the
+    /// worker over its budget (the enforcement of last resort for
+    /// uncooperative solves). A record cut by a session *shutdown drain*
+    /// still answers `deadline_hit: true` on its response line (the solve
+    /// was cut and the assignment is an incumbent) but is not counted
+    /// here — this statistic describes deadlines, not drains. Counted
     /// records are excluded from `p50_solve`/`p99_solve`, which describe
     /// unaffected records only.
     pub deadline_hits: usize,
 }
 
 impl BatchSummary {
+    /// The aggregate gap for the given cost/bound sums: their ratio when
+    /// the bound sum is positive, `1.0` when both sums are zero (vacuously
+    /// optimal), and [`f64::INFINITY`] when a positive cost rides over a
+    /// zero bound — a summary must not claim optimality it cannot certify.
+    pub fn aggregate_gap(total_cost: i64, total_lower_bound: i64) -> f64 {
+        if total_lower_bound > 0 {
+            total_cost as f64 / total_lower_bound as f64
+        } else if total_cost == 0 {
+            1.0
+        } else {
+            f64::INFINITY
+        }
+    }
+
     /// One summary JSON line (no trailing newline), for machine consumers.
+    /// A non-finite [`BatchSummary::aggregate_gap`] serializes as `null`.
     pub fn to_json_line(&self) -> String {
+        let gap = if self.aggregate_gap.is_finite() {
+            format!("{:.6}", self.aggregate_gap)
+        } else {
+            String::from("null")
+        };
         format!(
             "{{\"schema_version\": {REPORT_SCHEMA_VERSION}, \"records\": {}, \"solved\": {}, \
              \"errors\": {}, \"total_cost\": {}, \"total_lower_bound\": {}, \
-             \"aggregate_gap\": {:.6}, \"wall_ms\": {:.3}, \"throughput_per_s\": {:.3}, \
-             \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"cache_hits\": {}, \"cache_misses\": {}, \
-             \"workers\": {}, \"deadline_hits\": {}}}",
+             \"aggregate_gap\": {gap}, \"wall_ms\": {:.3}, \"throughput_per_s\": {:.3}, \
+             \"solved_per_s\": {:.3}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"cache_hits\": {}, \
+             \"cache_misses\": {}, \"workers\": {}, \"deadline_hits\": {}}}",
             self.records,
             self.solved,
             self.errors,
             self.total_cost,
             self.total_lower_bound,
-            self.aggregate_gap,
             self.wall.as_secs_f64() * 1e3,
             self.throughput,
+            self.solved_per_s,
             self.p50_solve.as_secs_f64() * 1e3,
             self.p99_solve.as_secs_f64() * 1e3,
             self.cache_hits,
@@ -176,12 +225,14 @@ impl std::fmt::Display for BatchSummary {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "batch: {} records ({} solved, {} errors) in {:.2} s | {:.0} rec/s | {} workers",
+            "batch: {} records ({} solved, {} errors) in {:.2} s | {:.0} rec/s \
+             ({:.0} solved/s) | {} workers",
             self.records,
             self.solved,
             self.errors,
             self.wall.as_secs_f64(),
             self.throughput,
+            self.solved_per_s,
             self.workers,
         )?;
         write!(
@@ -242,6 +293,45 @@ impl FeatureCache {
     }
 }
 
+/// A lock-guarded [`InstanceFeatures`] cache shared across batch sessions.
+///
+/// Clones share storage, so a listener hands one handle to every
+/// connection and a repeated instance is detected once *process-wide*, not
+/// once per connection — the cross-batch reuse a long-lived server wants.
+/// The lock is held only for lookups and inserts (never during detection),
+/// and the epoch-eviction bound of the underlying cache caps memory.
+#[derive(Clone, Default)]
+pub struct SharedFeatureCache {
+    inner: Arc<Mutex<FeatureCache>>,
+}
+
+/// Lock tolerating poisoning, for mutexes whose contents are always valid
+/// (caches, counters, clocks): one thread that panicked mid-access must
+/// not cascade into every other session of a long-lived server.
+pub(crate) fn lock_ignoring_poison<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl SharedFeatureCache {
+    /// A fresh, empty cache handle.
+    pub fn new() -> Self {
+        SharedFeatureCache::default()
+    }
+
+    fn lookup(&self, key: u64, inst: &Instance) -> Option<InstanceFeatures> {
+        // poison-tolerant: cached features are immutable once inserted, so
+        // the data stays sound; at worst an interrupted insert costs a
+        // re-detection
+        lock_ignoring_poison(&self.inner).get(key, inst).cloned()
+    }
+
+    fn insert(&self, key: u64, inst: Instance, features: InstanceFeatures) {
+        lock_ignoring_poison(&self.inner).insert(key, inst, features);
+    }
+}
+
 /// One record of a chunk, in input order.
 enum Entry {
     /// The line failed to parse; answer with an error line.
@@ -273,263 +363,486 @@ fn percentile(sorted: &[Duration], pct: f64) -> Duration {
     sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
-/// Streams one response line per request line from `input` to `out`.
+/// What one solve worker hands back: the pipeline result plus whether the
+/// record's *own deadline chain* had expired by the time the solver
+/// returned — the signal that separates "`Infeasible` because the budget
+/// ran out" from "genuinely infeasible, refused instantly".
+struct RecordResult {
+    result: Result<busytime_core::SolveReport, SolveError>,
+    deadline_expired: bool,
+}
+
+/// What [`BatchSession::run`] got out of one attempt to read a line.
+enum ReadOutcome {
+    /// A complete, newline-terminated line.
+    Line(Vec<u8>),
+    /// The stream's final, unterminated line — process it, then stop.
+    FinalLine(Vec<u8>),
+    /// A read timeout with records already pending: dispatch the partial
+    /// chunk now instead of waiting for more input.
+    Flush,
+    /// The stream is done (EOF, or the session token asked for a drain).
+    Eof,
+}
+
+/// One batch session: the chunked parse → batched feature-detect →
+/// deadline-pool solve → in-order stream core, reusable over any
+/// `BufRead`/`Write` pair.
+///
+/// [`serve`] wraps one session around stdin-style streams with a private
+/// cache; the [`crate::listener`] builds one session per connection,
+/// shares a [`SharedFeatureCache`] across all of them, and installs its
+/// shutdown token via [`BatchSession::cancel`] so SIGINT drains in-flight
+/// chunks instead of severing them.
+pub struct BatchSession<'a> {
+    registry: &'a SolverRegistry,
+    config: &'a ServeConfig,
+    cache: SharedFeatureCache,
+    cancel: CancelToken,
+}
+
+impl<'a> BatchSession<'a> {
+    /// A session over `registry`/`config` with a private feature cache and
+    /// no cancellation (runs to EOF).
+    pub fn new(registry: &'a SolverRegistry, config: &'a ServeConfig) -> Self {
+        BatchSession {
+            registry,
+            config,
+            cache: SharedFeatureCache::new(),
+            cancel: CancelToken::never(),
+        }
+    }
+
+    /// Uses `cache` instead of a private one — hand clones of one handle
+    /// to many sessions and repeated instances are detected once
+    /// process-wide.
+    pub fn cache(mut self, cache: SharedFeatureCache) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// Installs `cancel` as the session token. Once it fires the session
+    /// drains: in-flight solves are cut at their next cooperative
+    /// checkpoint (the token parents every record's deadline token), the
+    /// records already parsed are answered, and `run` returns its summary
+    /// without reading further input. Reads only notice mid-line
+    /// cancellation when the transport has a read timeout (sockets); plain
+    /// pipes notice at the next chunk boundary.
+    pub fn cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
+        self
+    }
+
+    /// Reads the next line into/out of `carry`, which persists across
+    /// calls: a timed-out read can leave a partial line in it (the bytes
+    /// stay put for the next call), so pending records can flush while a
+    /// half-received line is still in flight.
+    fn next_line<R: BufRead>(
+        &self,
+        input: &mut R,
+        carry: &mut Vec<u8>,
+        have_pending: bool,
+    ) -> Result<ReadOutcome, ServeError> {
+        loop {
+            match input.read_until(b'\n', carry) {
+                // EOF; an earlier timed-out attempt may have left a partial
+                // line in `carry`, which is then the stream's final line
+                Ok(0) => {
+                    return Ok(if carry.is_empty() {
+                        ReadOutcome::Eof
+                    } else {
+                        ReadOutcome::FinalLine(std::mem::take(carry))
+                    });
+                }
+                Ok(_) => {
+                    return Ok(if carry.ends_with(b"\n") {
+                        ReadOutcome::Line(std::mem::take(carry))
+                    } else {
+                        // read_until only stops short of its delimiter at
+                        // EOF: an unterminated final line
+                        ReadOutcome::FinalLine(std::mem::take(carry))
+                    });
+                }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock
+                            | std::io::ErrorKind::TimedOut
+                            | std::io::ErrorKind::Interrupted
+                    ) =>
+                {
+                    // a transport read timeout is a polling point, not an
+                    // error: check for shutdown, flush pending records
+                    // (the partial line stays in `carry`), else keep
+                    // accumulating
+                    if self.cancel.is_cancelled() {
+                        return Ok(ReadOutcome::Eof);
+                    }
+                    if have_pending {
+                        return Ok(ReadOutcome::Flush);
+                    }
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    /// Streams one response line per request line from `input` to `out`,
+    /// returning the session's summary once the input ends (or the session
+    /// token fires). Under [`ErrorPolicy::FailFast`] the first failed
+    /// record aborts with [`ServeError::FailFast`] (lines before it are
+    /// already written).
+    pub fn run<R: BufRead, W: Write>(
+        &self,
+        mut input: R,
+        mut out: W,
+    ) -> Result<BatchSummary, ServeError> {
+        let config = self.config;
+        let started = Instant::now();
+        let workers = if config.workers == 0 {
+            default_workers()
+        } else {
+            config.workers
+        };
+        let chunk_size = if config.chunk_size == 0 {
+            (workers * 32).clamp(64, 1024)
+        } else {
+            config.chunk_size
+        };
+
+        let mut latencies: Vec<Duration> = Vec::new();
+        let mut records = 0usize;
+        let mut solved = 0usize;
+        let mut errors = 0usize;
+        let mut total_cost = 0i64;
+        let mut total_lower_bound = 0i64;
+        let mut cache_hits = 0usize;
+        let mut cache_misses = 0usize;
+        let mut deadline_hits = 0usize;
+
+        let mut line_no = 0usize;
+        let mut eof = false;
+        // a partially-received line survives chunk dispatches here
+        let mut carry: Vec<u8> = Vec::new();
+        while !eof && !self.cancel.is_cancelled() {
+            // read one chunk of request lines (raw bytes: a line that is
+            // not valid UTF-8 is a bad record, not a fatal stream error)
+            let mut entries: Vec<Entry> = Vec::new();
+            let mut items: Vec<SolveItem> = Vec::new();
+            'chunk: while entries.len() < chunk_size {
+                let buf = match self.next_line(&mut input, &mut carry, !entries.is_empty())? {
+                    ReadOutcome::Eof => {
+                        eof = true;
+                        break 'chunk;
+                    }
+                    ReadOutcome::Flush => break 'chunk,
+                    ReadOutcome::Line(buf) => buf,
+                    ReadOutcome::FinalLine(buf) => {
+                        eof = true;
+                        buf
+                    }
+                };
+                line_no += 1;
+                let parsed = std::str::from_utf8(&buf)
+                    .map_err(|e| format!("line is not valid UTF-8: {e}"))
+                    .and_then(|line| {
+                        let trimmed = line.trim();
+                        if trimmed.is_empty() {
+                            return Ok(None); // blank lines are not records
+                        }
+                        BatchRecord::parse(trimmed)
+                            .map(Some)
+                            .map_err(|e| e.to_string())
+                    });
+                match parsed {
+                    Ok(None) => {
+                        if eof {
+                            break 'chunk;
+                        }
+                    }
+                    Ok(Some(record)) => {
+                        records += 1;
+                        let inst = record.instance();
+                        let budget = record
+                            .deadline_ms
+                            .map(Duration::from_millis)
+                            .or(config.base_options.deadline);
+                        entries.push(Entry::Solve { item: items.len() });
+                        items.push(SolveItem {
+                            line: line_no,
+                            record,
+                            key: instance_key(&inst),
+                            inst,
+                            features: None,
+                            budget,
+                        });
+                        if eof {
+                            break 'chunk;
+                        }
+                    }
+                    Err(message) => {
+                        records += 1;
+                        entries.push(Entry::Bad {
+                            line: line_no,
+                            message,
+                        });
+                        if eof || config.error_policy == ErrorPolicy::FailFast {
+                            // no point reading (or solving) past the abort
+                            // point; records before it still stream below
+                            break 'chunk;
+                        }
+                    }
+                }
+            }
+
+            // batched feature detection: detect each distinct instance
+            // once, consulting (and feeding) the shared cross-session cache
+            let mut fresh: Vec<(u64, Instance)> = Vec::new();
+            for item in &mut items {
+                if let Some(features) = self.cache.lookup(item.key, &item.inst) {
+                    cache_hits += 1;
+                    item.features = Some(features);
+                } else if fresh
+                    .iter()
+                    .any(|(k, inst)| *k == item.key && inst == &item.inst)
+                {
+                    cache_hits += 1; // repeated within this chunk
+                } else {
+                    fresh.push((item.key, item.inst.clone()));
+                }
+            }
+            let detected =
+                par_map_with(workers, &fresh, |(_, inst)| InstanceFeatures::detect(inst));
+            cache_misses += fresh.len();
+            for ((key, inst), features) in fresh.into_iter().zip(detected) {
+                self.cache.insert(key, inst, features);
+            }
+            for item in &mut items {
+                if item.features.is_some() {
+                    continue;
+                }
+                // filled from the cache the fresh detections just fed; the
+                // epoch eviction (or another session's churn) can drop
+                // entries in between, so re-detect inline in that rare case
+                item.features = Some(match self.cache.lookup(item.key, &item.inst) {
+                    Some(features) => features,
+                    None => InstanceFeatures::detect(&item.inst),
+                });
+            }
+
+            // fan the solves out under pool-enforced deadlines, every
+            // record token a child of the session token; results land in
+            // input order
+            let results = par_map_deadline_under(
+                workers,
+                &self.cancel,
+                &items,
+                |item| item.budget,
+                |item, token| {
+                    let solver = item
+                        .record
+                        .solver
+                        .as_deref()
+                        .unwrap_or(&config.default_solver);
+                    let features = item.features.clone().expect("filled by detection pass");
+                    // the pool token is the single deadline authority here:
+                    // clear the option so the pipeline does not re-arm a
+                    // second (later) deadline on top of it
+                    let mut options = item.record.apply_overrides(config.base_options.clone());
+                    options.deadline = None;
+                    let result = SolveRequest::new(&item.inst)
+                        .options(options)
+                        .solver(solver)
+                        .features(features)
+                        .cancel(token.clone())
+                        .solve_with(self.registry);
+                    // deadlines never un-expire, so sampling after the
+                    // solve is exact; the session token carries no deadline
+                    // of its own, so a shutdown drain does not masquerade
+                    // as a budget expiry
+                    let deadline_expired = token.remaining().is_some_and(|r| r.is_zero());
+                    RecordResult {
+                        result,
+                        deadline_expired,
+                    }
+                },
+            );
+
+            // stream response lines in input order
+            for entry in &entries {
+                match entry {
+                    Entry::Bad { line, message } => {
+                        if config.error_policy == ErrorPolicy::FailFast {
+                            return Err(ServeError::FailFast {
+                                line: *line,
+                                id: None,
+                                message: message.clone(),
+                            });
+                        }
+                        errors += 1;
+                        writeln!(out, "{}", error_line(*line, None, message))?;
+                    }
+                    Entry::Solve { item } => {
+                        let SolveItem { line, record, .. } = &items[*item];
+                        let outcome = &results[*item];
+                        // a record is a deadline hit only when its *budget*
+                        // cut the solve: the pool clock caught the worker
+                        // over budget, or the deadline chain had actually
+                        // expired when a flagged report / `Infeasible`
+                        // refusal came back. A report flagged because the
+                        // *session* token was poisoned (shutdown drain) is
+                        // a cut solve but not a deadline hit, and an
+                        // instant, genuine refusal under a generous budget
+                        // is an error, not a hit.
+                        let hit = outcome.over_deadline
+                            || (outcome.result.deadline_expired
+                                && match &outcome.result.result {
+                                    Ok(report) => report.deadline_hit,
+                                    Err(SolveError::Scheduler(SchedulerError::Infeasible {
+                                        ..
+                                    })) => true,
+                                    Err(_) => false,
+                                });
+                        if hit {
+                            deadline_hits += 1;
+                        }
+                        match &outcome.result.result {
+                            Ok(report) => {
+                                solved += 1;
+                                total_cost += report.cost;
+                                total_lower_bound += report.lower_bound;
+                                if !hit && !report.deadline_hit {
+                                    // p50/p99 describe unaffected records
+                                    // only: budget cuts land in
+                                    // deadline_hits, and a shutdown-drain
+                                    // cut (flagged but not a hit) must not
+                                    // skew the percentiles low either
+                                    latencies.push(outcome.elapsed);
+                                }
+                                writeln!(
+                                    out,
+                                    "{}",
+                                    report_line(*line, record.id.as_deref(), report)
+                                )?;
+                            }
+                            Err(e) => {
+                                if config.error_policy == ErrorPolicy::FailFast {
+                                    return Err(ServeError::FailFast {
+                                        line: *line,
+                                        id: record.id.clone(),
+                                        message: e.to_string(),
+                                    });
+                                }
+                                errors += 1;
+                                writeln!(
+                                    out,
+                                    "{}",
+                                    error_line(*line, record.id.as_deref(), &e.to_string())
+                                )?;
+                            }
+                        }
+                    }
+                }
+            }
+            out.flush()?;
+        }
+
+        let wall = started.elapsed();
+        latencies.sort_unstable();
+        let per_second = |n: usize| {
+            if wall.as_secs_f64() > 0.0 {
+                n as f64 / wall.as_secs_f64()
+            } else {
+                0.0
+            }
+        };
+        Ok(BatchSummary {
+            records,
+            solved,
+            errors,
+            total_cost,
+            total_lower_bound,
+            aggregate_gap: BatchSummary::aggregate_gap(total_cost, total_lower_bound),
+            throughput: per_second(records),
+            solved_per_s: per_second(solved),
+            wall,
+            p50_solve: percentile(&latencies, 50.0),
+            p99_solve: percentile(&latencies, 99.0),
+            cache_hits,
+            cache_misses,
+            workers,
+            deadline_hits,
+        })
+    }
+}
+
+/// Streams one response line per request line from `input` to `out` — one
+/// [`BatchSession`] with a private cache, run to EOF.
 ///
 /// Returns the batch summary on success; under
 /// [`ErrorPolicy::FailFast`] the first failed record aborts the batch with
 /// [`ServeError::FailFast`] (lines before it are already written).
 pub fn serve<R: BufRead, W: Write>(
-    mut input: R,
-    mut out: W,
+    input: R,
+    out: W,
     registry: &SolverRegistry,
     config: &ServeConfig,
 ) -> Result<BatchSummary, ServeError> {
-    let started = Instant::now();
-    let workers = if config.workers == 0 {
-        default_workers()
-    } else {
-        config.workers
-    };
-    let chunk_size = if config.chunk_size == 0 {
-        (workers * 32).clamp(64, 1024)
-    } else {
-        config.chunk_size
-    };
-
-    let mut cache = FeatureCache::default();
-    let mut latencies: Vec<Duration> = Vec::new();
-    let mut records = 0usize;
-    let mut solved = 0usize;
-    let mut errors = 0usize;
-    let mut total_cost = 0i64;
-    let mut total_lower_bound = 0i64;
-    let mut cache_hits = 0usize;
-    let mut cache_misses = 0usize;
-    let mut deadline_hits = 0usize;
-
-    let mut line_no = 0usize;
-    let mut eof = false;
-    while !eof {
-        // read one chunk of request lines (raw bytes: a line that is not
-        // valid UTF-8 is a bad record, not a fatal stream error)
-        let mut entries: Vec<Entry> = Vec::new();
-        let mut items: Vec<SolveItem> = Vec::new();
-        while entries.len() < chunk_size {
-            let mut buf = Vec::new();
-            if input.read_until(b'\n', &mut buf)? == 0 {
-                eof = true;
-                break;
-            }
-            line_no += 1;
-            let parsed = std::str::from_utf8(&buf)
-                .map_err(|e| format!("line is not valid UTF-8: {e}"))
-                .and_then(|line| {
-                    let trimmed = line.trim();
-                    if trimmed.is_empty() {
-                        return Ok(None); // blank lines are not records
-                    }
-                    BatchRecord::parse(trimmed)
-                        .map(Some)
-                        .map_err(|e| e.to_string())
-                });
-            match parsed {
-                Ok(None) => continue,
-                Ok(Some(record)) => {
-                    records += 1;
-                    let inst = record.instance();
-                    let budget = record
-                        .deadline_ms
-                        .map(Duration::from_millis)
-                        .or(config.base_options.deadline);
-                    entries.push(Entry::Solve { item: items.len() });
-                    items.push(SolveItem {
-                        line: line_no,
-                        record,
-                        key: instance_key(&inst),
-                        inst,
-                        features: None,
-                        budget,
-                    });
-                }
-                Err(message) => {
-                    records += 1;
-                    entries.push(Entry::Bad {
-                        line: line_no,
-                        message,
-                    });
-                    if config.error_policy == ErrorPolicy::FailFast {
-                        // no point reading (or solving) past the abort
-                        // point; records before it still stream below
-                        break;
-                    }
-                }
-            }
-        }
-
-        // batched feature detection: detect each distinct instance once
-        let mut fresh: Vec<(u64, Instance)> = Vec::new();
-        for item in &items {
-            if cache.get(item.key, &item.inst).is_some()
-                || fresh
-                    .iter()
-                    .any(|(k, inst)| *k == item.key && inst == &item.inst)
-            {
-                cache_hits += 1; // already cached, or repeated within this chunk
-            } else {
-                fresh.push((item.key, item.inst.clone()));
-            }
-        }
-        let detected = par_map_with(workers, &fresh, |(_, inst)| InstanceFeatures::detect(inst));
-        cache_misses += fresh.len();
-        for ((key, inst), features) in fresh.into_iter().zip(detected) {
-            cache.insert(key, inst, features);
-        }
-        for item in &mut items {
-            // the epoch eviction can drop entries mid-chunk when the chunk
-            // holds more distinct instances than the cache cap; re-detect
-            // inline in that (rare) case
-            item.features = Some(match cache.get(item.key, &item.inst) {
-                Some(features) => features.clone(),
-                None => InstanceFeatures::detect(&item.inst),
-            });
-        }
-
-        // fan the solves out under pool-enforced deadlines; results land
-        // in input order
-        let results = par_map_deadline_with(
-            workers,
-            &items,
-            |item| item.budget,
-            |item, token| {
-                let solver = item
-                    .record
-                    .solver
-                    .as_deref()
-                    .unwrap_or(&config.default_solver);
-                let features = item.features.clone().expect("filled by detection pass");
-                // the pool token is the single deadline authority here:
-                // clear the option so the pipeline does not re-arm a second
-                // (later) deadline on top of it
-                let mut options = item.record.apply_overrides(config.base_options.clone());
-                options.deadline = None;
-                SolveRequest::new(&item.inst)
-                    .options(options)
-                    .solver(solver)
-                    .features(features)
-                    .cancel(token.clone())
-                    .solve_with(registry)
-            },
-        );
-
-        // stream response lines in input order
-        for entry in &entries {
-            match entry {
-                Entry::Bad { line, message } => {
-                    if config.error_policy == ErrorPolicy::FailFast {
-                        return Err(ServeError::FailFast {
-                            line: *line,
-                            id: None,
-                            message: message.clone(),
-                        });
-                    }
-                    errors += 1;
-                    writeln!(out, "{}", error_line(*line, None, message))?;
-                }
-                Entry::Solve { item } => {
-                    let SolveItem {
-                        line,
-                        record,
-                        budget,
-                        ..
-                    } = &items[*item];
-                    let outcome = &results[*item];
-                    // a record is a deadline hit when the pipeline flagged
-                    // it, when a budgeted solver refused with Infeasible,
-                    // or when the pool clock caught the worker over budget
-                    // (solver missed its cooperative check)
-                    let hit = outcome.over_deadline
-                        || match &outcome.result {
-                            Ok(report) => report.deadline_hit,
-                            Err(SolveError::Scheduler(SchedulerError::Infeasible { .. })) => {
-                                budget.is_some()
-                            }
-                            Err(_) => false,
-                        };
-                    if hit {
-                        deadline_hits += 1;
-                    }
-                    match &outcome.result {
-                        Ok(report) => {
-                            solved += 1;
-                            total_cost += report.cost;
-                            total_lower_bound += report.lower_bound;
-                            if !hit {
-                                // p50/p99 describe unaffected records; cut
-                                // records are counted in deadline_hits
-                                latencies.push(outcome.elapsed);
-                            }
-                            writeln!(out, "{}", report_line(*line, record.id.as_deref(), report))?;
-                        }
-                        Err(e) => {
-                            if config.error_policy == ErrorPolicy::FailFast {
-                                return Err(ServeError::FailFast {
-                                    line: *line,
-                                    id: record.id.clone(),
-                                    message: e.to_string(),
-                                });
-                            }
-                            errors += 1;
-                            writeln!(
-                                out,
-                                "{}",
-                                error_line(*line, record.id.as_deref(), &e.to_string())
-                            )?;
-                        }
-                    }
-                }
-            }
-        }
-        out.flush()?;
-    }
-
-    let wall = started.elapsed();
-    latencies.sort_unstable();
-    Ok(BatchSummary {
-        records,
-        solved,
-        errors,
-        total_cost,
-        total_lower_bound,
-        aggregate_gap: if total_lower_bound > 0 {
-            total_cost as f64 / total_lower_bound as f64
-        } else {
-            1.0
-        },
-        throughput: if wall.as_secs_f64() > 0.0 {
-            solved as f64 / wall.as_secs_f64()
-        } else {
-            0.0
-        },
-        wall,
-        p50_solve: percentile(&latencies, 50.0),
-        p99_solve: percentile(&latencies, 99.0),
-        cache_hits,
-        cache_misses,
-        workers,
-        deadline_hits,
-    })
+    BatchSession::new(registry, config).run(input, out)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use busytime_core::algo::Scheduler;
+    use busytime_core::Schedule;
+    use std::borrow::Cow;
 
     fn run(input: &str, config: &ServeConfig) -> (Vec<String>, BatchSummary) {
-        let registry = SolverRegistry::with_defaults();
+        run_with(&SolverRegistry::with_defaults(), input, config)
+    }
+
+    fn run_with(
+        registry: &SolverRegistry,
+        input: &str,
+        config: &ServeConfig,
+    ) -> (Vec<String>, BatchSummary) {
         let mut out = Vec::new();
-        let summary = serve(input.as_bytes(), &mut out, &registry, config).unwrap();
+        let summary = serve(input.as_bytes(), &mut out, registry, config).unwrap();
         let text = String::from_utf8(out).unwrap();
         (text.lines().map(str::to_string).collect(), summary)
+    }
+
+    /// A solver that is *genuinely* infeasible, instantly — it never
+    /// consults its token, so any `Infeasible` it returns has nothing to
+    /// do with deadlines.
+    struct Refuser;
+
+    impl Scheduler for Refuser {
+        fn name(&self) -> Cow<'static, str> {
+            Cow::Borrowed("Refuser")
+        }
+        fn schedule_with(
+            &self,
+            _inst: &Instance,
+            _cancel: &CancelToken,
+        ) -> Result<Schedule, SchedulerError> {
+            Err(SchedulerError::Infeasible {
+                scheduler: "Refuser".into(),
+                budget: "refuses every instance on principle".into(),
+            })
+        }
+    }
+
+    fn registry_with_refuser() -> SolverRegistry {
+        let mut registry = SolverRegistry::with_defaults();
+        registry.register(
+            "refuser",
+            "always refuses with Infeasible (test stub)",
+            None,
+            Box::new(|_| Box::new(Refuser)),
+        );
+        registry
     }
 
     #[test]
@@ -644,6 +957,211 @@ mod tests {
         assert!(!json.contains('\n'));
         assert!(json.contains("\"records\": 0"));
         assert!(json.contains("\"deadline_hits\": 0"));
+        assert!(json.contains("\"solved_per_s\": "));
+    }
+
+    #[test]
+    fn infeasible_refusal_under_generous_deadline_is_not_a_deadline_hit() {
+        // regression: an instantly-infeasible record used to count as a
+        // deadline hit whenever the batch carried *any* deadline budget
+        let registry = registry_with_refuser();
+        let input = concat!(
+            r#"{"id": "no", "instance": {"g": 2, "jobs": [[0, 4]]}, "solver": "refuser"}"#,
+            "\n",
+            r#"{"id": "yes", "instance": {"g": 2, "jobs": [[0, 4]]}}"#,
+            "\n",
+        );
+        let config = ServeConfig {
+            base_options: SolveOptions {
+                deadline: Some(Duration::from_secs(600)),
+                ..SolveOptions::default()
+            },
+            ..ServeConfig::default()
+        };
+        let (lines, summary) = run_with(&registry, input, &config);
+        assert_eq!(summary.records, 2);
+        assert_eq!(summary.solved, 1);
+        assert_eq!(summary.errors, 1);
+        assert_eq!(
+            summary.deadline_hits, 0,
+            "a genuine instant refusal must not be counted as a deadline hit"
+        );
+        assert!(lines[0].contains("\"ok\": false"), "{}", lines[0]);
+    }
+
+    #[test]
+    fn infeasible_refusal_with_expired_deadline_still_counts() {
+        // the complementary direction: `Infeasible` returned under an
+        // *expired* budget is a cut with no incumbent — a real hit
+        let registry = registry_with_refuser();
+        let input = concat!(
+            r#"{"id": "cut", "instance": {"g": 2, "jobs": [[0, 4]]}, "solver": "refuser", "deadline_ms": 0}"#,
+            "\n",
+        );
+        let (lines, summary) = run_with(&registry, input, &ServeConfig::default());
+        assert_eq!(summary.errors, 1);
+        assert_eq!(summary.deadline_hits, 1);
+        assert!(lines[0].contains("\"ok\": false"), "{}", lines[0]);
+    }
+
+    /// A solver that poisons the *session* token mid-solve (standing in
+    /// for a SIGINT arriving while the record is on a worker), then
+    /// finishes with a feasible FirstFit schedule.
+    struct Drainer {
+        session: CancelToken,
+    }
+
+    impl Scheduler for Drainer {
+        fn name(&self) -> Cow<'static, str> {
+            Cow::Borrowed("Drainer")
+        }
+        fn schedule_with(
+            &self,
+            inst: &Instance,
+            _cancel: &CancelToken,
+        ) -> Result<Schedule, SchedulerError> {
+            self.session.cancel();
+            busytime_core::algo::FirstFit::paper().schedule_with(inst, &CancelToken::never())
+        }
+    }
+
+    #[test]
+    fn shutdown_drain_cuts_flag_the_report_but_not_deadline_hits() {
+        // regression companion to the Infeasible fix: a record cut by the
+        // session shutdown token (no deadline configured anywhere) must
+        // answer deadline_hit: true (the solve *was* cut) without
+        // inflating the summary's deadline_hits
+        let session = CancelToken::never();
+        let mut registry = SolverRegistry::with_defaults();
+        let handle = session.clone();
+        registry.register(
+            "drainer",
+            "poisons the session token mid-solve (test stub)",
+            None,
+            Box::new(move |_| {
+                Box::new(Drainer {
+                    session: handle.clone(),
+                })
+            }),
+        );
+        let input = concat!(
+            r#"{"id": "drained", "instance": {"g": 2, "jobs": [[0, 4]]}, "solver": "drainer"}"#,
+            "\n",
+        );
+        let config = ServeConfig::default();
+        let mut out = Vec::new();
+        let summary = BatchSession::new(&registry, &config)
+            .cancel(session)
+            .run(input.as_bytes(), &mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(summary.solved, 1);
+        assert!(
+            text.contains("\"deadline_hit\": true"),
+            "the cut must still be visible on the response line: {text}"
+        );
+        assert_eq!(
+            summary.deadline_hits, 0,
+            "a shutdown drain is not a deadline hit"
+        );
+    }
+
+    #[test]
+    fn aggregate_gap_does_not_claim_optimality_over_a_zero_bound() {
+        // regression: positive cost over a zero bound summarized as 1.0
+        assert_eq!(BatchSummary::aggregate_gap(0, 0), 1.0);
+        assert_eq!(BatchSummary::aggregate_gap(10, 5), 2.0);
+        assert!(BatchSummary::aggregate_gap(10, 0).is_infinite());
+
+        let (_, mut summary) = run("", &ServeConfig::default());
+        summary.total_cost = 10;
+        summary.aggregate_gap = BatchSummary::aggregate_gap(10, 0);
+        let json = summary.to_json_line();
+        assert!(
+            json.contains("\"aggregate_gap\": null"),
+            "non-finite gap must serialize as null: {json}"
+        );
+    }
+
+    #[test]
+    fn throughput_counts_processed_records_not_just_solved() {
+        // regression: an error-heavy batch reported near-zero throughput
+        // despite answering every record
+        let input = concat!(
+            r#"{"instance": {"g": 2, "jobs": [[0, 4]]}}"#,
+            "\n",
+            "garbage\n",
+            "also garbage\n",
+        );
+        let (_, summary) = run(input, &ServeConfig::default());
+        assert_eq!(summary.records, 3);
+        assert_eq!(summary.solved, 1);
+        let wall = summary.wall.as_secs_f64();
+        assert!(
+            (summary.throughput * wall - 3.0).abs() < 1e-6,
+            "throughput must cover all {} records: {} rec/s over {} s",
+            summary.records,
+            summary.throughput,
+            wall
+        );
+        assert!(
+            (summary.solved_per_s * wall - 1.0).abs() < 1e-6,
+            "solved_per_s must cover the solved record only"
+        );
+    }
+
+    #[test]
+    fn shared_cache_carries_detections_across_sessions() {
+        let registry = SolverRegistry::with_defaults();
+        let config = ServeConfig::default();
+        let cache = SharedFeatureCache::new();
+        let line = r#"{"generator": {"family": "proper", "n": 16, "seed": 4}}"#;
+        let input = format!("{line}\n");
+
+        let mut out = Vec::new();
+        let first = BatchSession::new(&registry, &config)
+            .cache(cache.clone())
+            .run(input.as_bytes(), &mut out)
+            .unwrap();
+        assert_eq!((first.cache_hits, first.cache_misses), (0, 1));
+
+        let mut out = Vec::new();
+        let second = BatchSession::new(&registry, &config)
+            .cache(cache)
+            .run(input.as_bytes(), &mut out)
+            .unwrap();
+        assert_eq!(
+            (second.cache_hits, second.cache_misses),
+            (1, 0),
+            "the second session must reuse the first session's detection"
+        );
+    }
+
+    #[test]
+    fn cancelled_session_stops_reading_at_the_next_chunk() {
+        let registry = SolverRegistry::with_defaults();
+        let config = ServeConfig {
+            chunk_size: 1,
+            ..ServeConfig::default()
+        };
+        let token = CancelToken::never();
+        token.cancel();
+        let input = concat!(
+            r#"{"instance": {"g": 2, "jobs": [[0, 4]]}}"#,
+            "\n",
+            r#"{"instance": {"g": 2, "jobs": [[1, 5]]}}"#,
+            "\n",
+        );
+        let mut out = Vec::new();
+        let summary = BatchSession::new(&registry, &config)
+            .cancel(token)
+            .run(input.as_bytes(), &mut out)
+            .unwrap();
+        assert_eq!(
+            summary.records, 0,
+            "a pre-cancelled session must drain without reading records"
+        );
+        assert!(out.is_empty());
     }
 
     #[test]

@@ -13,14 +13,25 @@
 //!   record per input line (instance inline or by
 //!   [`busytime_instances::GeneratorSpec`]), one response line per record,
 //!   in input order, every line stamped with the stable `schema_version`.
-//! * [`engine`] — [`engine::serve`]: chunked reading, batched feature
-//!   detection with a hash-keyed cache for repeated identical instances,
-//!   solve fan-out over a fixed [`busytime_core::pool`] worker pool, and a
-//!   [`engine::BatchSummary`] (throughput, p50/p99 solve latency,
-//!   aggregate gap, cache hits) once the batch drains.
+//! * [`engine`] — [`engine::BatchSession`], the chunked parse → batched
+//!   feature-detect → deadline-pool solve → in-order stream core over any
+//!   `BufRead`/`Write` pair ([`engine::serve`] is the stdin-shaped
+//!   wrapper): batched feature detection with a hash-keyed
+//!   [`engine::SharedFeatureCache`] (shareable across sessions), solve
+//!   fan-out over a fixed [`busytime_core::pool`] worker pool, and a
+//!   [`engine::BatchSummary`] (throughput + solved/s, p50/p99 solve
+//!   latency, aggregate gap, cache hits, deadline hits) once the batch
+//!   drains.
+//! * [`listener`] — the long-lived socket front-end: NDJSON over TCP or
+//!   Unix-domain sockets plus a minimal HTTP/1.1 `POST /solve` +
+//!   `GET /healthz` mode, one [`engine::BatchSession`] per connection
+//!   multiplexed onto the shared pool, the feature cache shared across
+//!   connections, per-connection summary trailer lines, and graceful
+//!   drain on shutdown/idle-timeout.
 //!
-//! The CLI front-ends are `busytime-cli serve` (stdin → stdout) and
-//! `busytime-cli batch FILE`:
+//! The CLI front-ends are `busytime-cli serve` (stdin → stdout),
+//! `busytime-cli batch FILE`, and `busytime-cli listen`
+//! (`--tcp ADDR | --unix PATH | --http ADDR`):
 //!
 //! ```text
 //! $ echo '{"instance": {"g": 2, "jobs": [[0, 4], [1, 5], [6, 9]]}}' \
@@ -43,7 +54,11 @@
 //! ```
 
 pub mod engine;
+pub mod listener;
 pub mod protocol;
 
-pub use engine::{serve, BatchSummary, ErrorPolicy, ServeConfig, ServeError};
+pub use engine::{
+    serve, BatchSession, BatchSummary, ErrorPolicy, ServeConfig, ServeError, SharedFeatureCache,
+};
+pub use listener::{ConnLog, ListenConfig, ListenMode, ListenReport, Listener};
 pub use protocol::{parse_output_line, BatchRecord, OutputLine, RecordInput, ReportSummary};

@@ -1,0 +1,1116 @@
+//! The long-lived socket front-end: NDJSON over TCP/Unix sockets, plus a
+//! minimal HTTP/1.1 mode.
+//!
+//! [`Listener`] turns the batch engine into an actual network service. It
+//! accepts connections on one endpoint ([`ListenMode`]) and drives one
+//! [`BatchSession`] per connection, so every connection speaks exactly the
+//! stdin protocol of `busytime-cli serve`: NDJSON request records in,
+//! one response line per record, in input order — followed by one
+//! [`BatchSummary`] JSON line once the client half-closes its write side.
+//! All connections share the process-wide [`SharedFeatureCache`] (a
+//! repeated instance is detected once across the whole server, not once
+//! per connection) and fan their solves out through the shared
+//! [`busytime_core::pool`] machinery. Note the worker budget is
+//! *per connection*: each session runs its chunks on its own set of up to
+//! `workers` pool threads, so total solve parallelism is bounded by
+//! `workers × max_conns`, not by `workers` alone — size `--workers` and
+//! `--max-conns` together (a single process-wide executor is on the
+//! roadmap alongside cross-process sharding). Per-record `deadline_ms`
+//! budgets (or the server's `--deadline-ms` default) ride the same
+//! [`busytime_core::CancelToken`] path as the batch tool, making them the
+//! request timeout of the service.
+//!
+//! The HTTP mode ([`ListenMode::Http`]) serves two routes for clients that
+//! would rather not speak a raw socket: `POST /solve` takes an NDJSON
+//! batch as its body and answers with the response lines plus the summary
+//! line as `application/x-ndjson`, and `GET /healthz` answers a liveness
+//! probe. It is deliberately minimal HTTP/1.1 — `Content-Length` bodies,
+//! keep-alive, nothing else — because the protocol payload is NDJSON
+//! either way.
+//!
+//! Shutdown is graceful by construction: cancelling the listener's
+//! [`Listener::shutdown_token`] (the CLI wires SIGINT/SIGTERM to it) stops
+//! the accept loop, cuts in-flight solves at their next cooperative
+//! checkpoint through the session-token tree, lets every connection answer
+//! the records it already parsed, write its summary and close, and then
+//! returns the aggregate [`ListenReport`]. An optional idle timeout
+//! triggers the same drain when no connection has been active for the
+//! configured duration.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use busytime_core::solve::SolverRegistry;
+//! use busytime_server::listener::{ListenConfig, ListenMode, Listener};
+//!
+//! let registry = Arc::new(SolverRegistry::with_defaults());
+//! let mode = ListenMode::Tcp("127.0.0.1:0".into());
+//! let listener = Listener::bind(&mode, registry, ListenConfig::default()).unwrap();
+//! eprintln!("listening on {}", listener.endpoint());
+//! let report = listener.run().unwrap(); // until shutdown_token fires
+//! eprintln!("served {} connections", report.connections);
+//! ```
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use busytime_core::cancel::CancelToken;
+use busytime_core::pool::default_workers;
+use busytime_core::solve::{SolverRegistry, REPORT_SCHEMA_VERSION};
+
+use crate::engine::{
+    lock_ignoring_poison, BatchSession, BatchSummary, ServeConfig, ServeError, SharedFeatureCache,
+};
+use crate::protocol::error_line;
+
+/// Which endpoint (and wire protocol) the listener serves.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ListenMode {
+    /// NDJSON over a TCP socket; the string is a `bind` address like
+    /// `127.0.0.1:7171` (`:0` picks an ephemeral port — read it back via
+    /// [`Listener::local_addr`]).
+    Tcp(String),
+    /// NDJSON over a Unix-domain socket at the given path. The path is
+    /// removed when the listener shuts down.
+    Unix(PathBuf),
+    /// Minimal HTTP/1.1 over TCP: `POST /solve` (NDJSON body in, NDJSON
+    /// body out) and `GET /healthz`.
+    Http(String),
+}
+
+/// Where per-connection summaries go as connections close.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ConnLog {
+    /// No per-connection logging.
+    Quiet,
+    /// One human-readable line per connection on stderr (the default).
+    #[default]
+    Text,
+    /// One [`BatchSummary::to_json_line`] per connection on stderr.
+    Json,
+}
+
+/// Listener configuration on top of the per-session [`ServeConfig`].
+#[derive(Clone, Debug)]
+pub struct ListenConfig {
+    /// The batch-engine configuration every connection's session runs
+    /// under (workers, default solver, chunking, error policy, and the
+    /// batch-default deadline that acts as the request timeout).
+    pub serve: ServeConfig,
+    /// Concurrent-connection cap (`0` = 64). Connections beyond the cap
+    /// are answered with a structured at-capacity error (HTTP 503 in HTTP
+    /// mode) and closed immediately.
+    pub max_conns: usize,
+    /// Shut the listener down once no connection has been active for this
+    /// long (`None` = serve until the shutdown token fires).
+    pub idle_timeout: Option<Duration>,
+    /// Cut a single connection that has sent no byte for this long
+    /// (`None` = let clients idle forever). The cut is polite: the session
+    /// treats it as the client's end-of-batch, answers what it has,
+    /// writes its summary and closes. Without this, `max_conns` silent
+    /// connections would hold their capacity slots indefinitely.
+    pub conn_idle_timeout: Option<Duration>,
+    /// Socket read timeout: the granularity at which blocked connection
+    /// reads poll the shutdown token and flush partial chunks. Not a
+    /// client-visible timeout — a slow client just gets polled more often.
+    pub read_timeout: Duration,
+    /// Socket write timeout (default one minute): how long a single write
+    /// may block on a client that has stopped reading its responses
+    /// before the connection is aborted. Without it a stalled reader
+    /// wedges its connection thread in `write`, holds a capacity slot
+    /// forever, and hangs the shutdown drain.
+    pub write_timeout: Duration,
+    /// Per-connection summary logging.
+    pub log: ConnLog,
+}
+
+impl Default for ListenConfig {
+    fn default() -> Self {
+        ListenConfig {
+            serve: ServeConfig::default(),
+            max_conns: 0,
+            idle_timeout: None,
+            conn_idle_timeout: None,
+            read_timeout: Duration::from_millis(100),
+            write_timeout: Duration::from_secs(60),
+            log: ConnLog::default(),
+        }
+    }
+}
+
+/// Aggregate statistics over a listener's lifetime, returned by
+/// [`Listener::run`] after the drain completes.
+#[derive(Clone, Debug, Default)]
+pub struct ListenReport {
+    /// Connections accepted and served to completion (including ones that
+    /// ended in a transport error mid-batch).
+    pub connections: usize,
+    /// Connections refused at the [`ListenConfig::max_conns`] cap.
+    pub rejected: usize,
+    /// Records processed across connections that completed their batch.
+    /// A connection whose transport died mid-batch counts in
+    /// `connections` but its partial batch is not aggregated (its session
+    /// never produced a summary).
+    pub records: usize,
+    /// Records solved across completed connections.
+    pub solved: usize,
+    /// Records answered with an error line across completed connections.
+    pub errors: usize,
+    /// Deadline hits across completed connections.
+    pub deadline_hits: usize,
+}
+
+impl ListenReport {
+    fn absorb(&mut self, summary: &BatchSummary) {
+        self.records += summary.records;
+        self.solved += summary.solved;
+        self.errors += summary.errors;
+        self.deadline_hits += summary.deadline_hits;
+    }
+}
+
+impl std::fmt::Display for ListenReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "listener: {} connections ({} rejected) | {} records ({} solved, {} errors) | \
+             deadline hits: {}",
+            self.connections,
+            self.rejected,
+            self.records,
+            self.solved,
+            self.errors,
+            self.deadline_hits,
+        )
+    }
+}
+
+/// One accepted connection, abstracted over the socket family.
+enum Conn {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Conn {
+    fn try_clone(&self) -> std::io::Result<Conn> {
+        Ok(match self {
+            Conn::Tcp(s) => Conn::Tcp(s.try_clone()?),
+            #[cfg(unix)]
+            Conn::Unix(s) => Conn::Unix(s.try_clone()?),
+        })
+    }
+
+    fn prepare(&self, read_timeout: Duration, write_timeout: Duration) -> std::io::Result<()> {
+        // the write timeout is the defense against a client that sends a
+        // batch and then never reads its responses: without it the
+        // connection thread wedges in a blocking write once the socket
+        // buffer fills, holds its capacity slot forever, and hangs the
+        // shutdown drain's join
+        match self {
+            Conn::Tcp(s) => {
+                // accepted sockets do not inherit the acceptor's
+                // non-blocking flag on Linux, but make it explicit
+                s.set_nonblocking(false)?;
+                s.set_read_timeout(Some(read_timeout))?;
+                s.set_write_timeout(Some(write_timeout))
+            }
+            #[cfg(unix)]
+            Conn::Unix(s) => {
+                s.set_nonblocking(false)?;
+                s.set_read_timeout(Some(read_timeout))?;
+                s.set_write_timeout(Some(write_timeout))
+            }
+        }
+    }
+
+    /// Half-close: the client sees EOF after the summary line, while its
+    /// own pending writes still drain.
+    fn shutdown_write(&self) {
+        let _ = match self {
+            Conn::Tcp(s) => s.shutdown(Shutdown::Write),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.shutdown(Shutdown::Write),
+        };
+    }
+
+    fn peer(&self) -> String {
+        match self {
+            Conn::Tcp(s) => s
+                .peer_addr()
+                .map(|a| a.to_string())
+                .unwrap_or_else(|_| String::from("tcp-peer")),
+            #[cfg(unix)]
+            Conn::Unix(_) => String::from("unix-peer"),
+        }
+    }
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.write(buf),
+        }
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// The bound socket, abstracted over the socket family.
+enum Acceptor {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(UnixListener, PathBuf),
+}
+
+impl Acceptor {
+    fn accept(&self) -> std::io::Result<Conn> {
+        match self {
+            Acceptor::Tcp(l) => l.accept().map(|(s, _)| Conn::Tcp(s)),
+            #[cfg(unix)]
+            Acceptor::Unix(l, _) => l.accept().map(|(s, _)| Conn::Unix(s)),
+        }
+    }
+}
+
+/// Everything a connection thread needs, bundled so spawning stays tidy.
+struct ConnShared {
+    registry: Arc<SolverRegistry>,
+    config: ListenConfig,
+    cache: SharedFeatureCache,
+    shutdown: CancelToken,
+    http: bool,
+    active: AtomicUsize,
+    /// Live polite-rejection threads; bounded by [`MAX_REJECT_THREADS`].
+    rejecting: AtomicUsize,
+    report: Mutex<ListenReport>,
+    last_activity: Mutex<Instant>,
+}
+
+/// Polite rejections (write the at-capacity answer, drain the client's
+/// pending bytes) each take a short-lived thread; past this many at once a
+/// connect flood is being shed, and further connections are dropped
+/// outright — overload must not mint unbounded threads.
+const MAX_REJECT_THREADS: usize = 32;
+
+/// A long-lived front-end accepting batch-solve connections; see the
+/// [module docs](self) for the protocol and shutdown contract.
+pub struct Listener {
+    acceptor: Acceptor,
+    http: bool,
+    registry: Arc<SolverRegistry>,
+    config: ListenConfig,
+    shutdown: CancelToken,
+    cache: SharedFeatureCache,
+}
+
+impl Listener {
+    /// Binds `mode`'s endpoint and prepares (but does not start) the
+    /// accept loop. The socket is open once this returns — clients may
+    /// connect and will be served as soon as [`Listener::run`] starts.
+    pub fn bind(
+        mode: &ListenMode,
+        registry: Arc<SolverRegistry>,
+        config: ListenConfig,
+    ) -> std::io::Result<Listener> {
+        let (acceptor, http) = match mode {
+            ListenMode::Tcp(addr) => (Acceptor::Tcp(bind_tcp(addr)?), false),
+            ListenMode::Http(addr) => (Acceptor::Tcp(bind_tcp(addr)?), true),
+            #[cfg(unix)]
+            ListenMode::Unix(path) => {
+                let listener = UnixListener::bind(path).map_err(|e| {
+                    std::io::Error::new(
+                        e.kind(),
+                        format!(
+                            "{}: {e} (a stale socket file from an unclean \
+                             shutdown must be removed first)",
+                            path.display()
+                        ),
+                    )
+                })?;
+                listener.set_nonblocking(true)?;
+                (Acceptor::Unix(listener, path.clone()), false)
+            }
+            #[cfg(not(unix))]
+            ListenMode::Unix(_) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::Unsupported,
+                    "unix-domain sockets are not available on this platform",
+                ))
+            }
+        };
+        Ok(Listener {
+            acceptor,
+            http,
+            registry,
+            config,
+            shutdown: CancelToken::never(),
+            cache: SharedFeatureCache::new(),
+        })
+    }
+
+    /// The actually-bound TCP address (resolves `:0` ephemeral ports);
+    /// `None` for Unix-domain endpoints.
+    pub fn local_addr(&self) -> Option<SocketAddr> {
+        match &self.acceptor {
+            Acceptor::Tcp(l) => l.local_addr().ok(),
+            #[cfg(unix)]
+            Acceptor::Unix(..) => None,
+        }
+    }
+
+    /// A URL-ish description of the bound endpoint, e.g.
+    /// `tcp://127.0.0.1:7171`, `http://127.0.0.1:8080` or
+    /// `unix:///run/busytime.sock`.
+    pub fn endpoint(&self) -> String {
+        match &self.acceptor {
+            Acceptor::Tcp(l) => {
+                let scheme = if self.http { "http" } else { "tcp" };
+                match l.local_addr() {
+                    Ok(addr) => format!("{scheme}://{addr}"),
+                    Err(_) => format!("{scheme}://?"),
+                }
+            }
+            #[cfg(unix)]
+            Acceptor::Unix(_, path) => format!("unix://{}", path.display()),
+        }
+    }
+
+    /// The shutdown token: cancel it (from a signal handler thread, a
+    /// supervisor, a test) to drain and stop the listener.
+    pub fn shutdown_token(&self) -> CancelToken {
+        self.shutdown.clone()
+    }
+
+    /// The cross-connection feature cache (shared with every session this
+    /// listener spawns) — exposed so embedders can pre-warm or share it
+    /// wider than one listener.
+    pub fn feature_cache(&self) -> SharedFeatureCache {
+        self.cache.clone()
+    }
+
+    /// Accepts and serves connections until the shutdown token fires or
+    /// the idle timeout elapses, then drains every live connection and
+    /// returns the aggregate report.
+    pub fn run(self) -> std::io::Result<ListenReport> {
+        let max_conns = if self.config.max_conns == 0 {
+            64
+        } else {
+            self.config.max_conns
+        };
+        let read_timeout = self.config.read_timeout;
+        let write_timeout = self.config.write_timeout;
+        let idle_timeout = self.config.idle_timeout;
+        let shared = Arc::new(ConnShared {
+            registry: self.registry,
+            config: self.config,
+            cache: self.cache,
+            shutdown: self.shutdown,
+            http: self.http,
+            active: AtomicUsize::new(0),
+            rejecting: AtomicUsize::new(0),
+            report: Mutex::new(ListenReport::default()),
+            last_activity: Mutex::new(Instant::now()),
+        });
+        let mut handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        let mut conn_id = 0usize;
+
+        // a fatal accept error must still fall through to the drain and
+        // socket-file cleanup below, so it is captured, not returned
+        let mut fatal: Option<std::io::Error> = None;
+        while !shared.shutdown.is_cancelled() {
+            match self.acceptor.accept() {
+                Ok(conn) => {
+                    *lock_ignoring_poison(&shared.last_activity) = Instant::now();
+                    if shared.active.load(Ordering::SeqCst) >= max_conns {
+                        lock_ignoring_poison(&shared.report).rejected += 1;
+                        // rejection politely drains the request the client
+                        // is mid-sending, which can take a moment — keep
+                        // the accept loop responsive by doing it aside.
+                        // Under a connect flood the polite path itself is
+                        // capped: past MAX_REJECT_THREADS the connection
+                        // is simply dropped (shed), never an unbounded
+                        // thread per connect.
+                        if shared.rejecting.load(Ordering::SeqCst) < MAX_REJECT_THREADS {
+                            shared.rejecting.fetch_add(1, Ordering::SeqCst);
+                            let shared = Arc::clone(&shared);
+                            handles.push(std::thread::spawn(move || {
+                                reject_at_capacity(
+                                    conn,
+                                    shared.http,
+                                    max_conns,
+                                    read_timeout,
+                                    write_timeout,
+                                );
+                                shared.rejecting.fetch_sub(1, Ordering::SeqCst);
+                            }));
+                            // sustained rejection traffic is the steady
+                            // state of a full server — bound the handle
+                            // list here too, not just on the accept path
+                            if handles.len() >= 2 * max_conns {
+                                handles.retain(|h| !h.is_finished());
+                            }
+                        }
+                        continue;
+                    }
+                    conn_id += 1;
+                    shared.active.fetch_add(1, Ordering::SeqCst);
+                    let shared = Arc::clone(&shared);
+                    handles.push(std::thread::spawn(move || {
+                        // the guard decrements `active` (and stamps the
+                        // idle clock) even if the handler panics — a
+                        // panicking connection must not leak its capacity
+                        // slot until restart
+                        let _slot = ActiveSlot {
+                            shared: Arc::clone(&shared),
+                        };
+                        handle_connection(conn, conn_id, &shared);
+                    }));
+                    // keep the handle list from growing unboundedly on a
+                    // long-lived server
+                    if handles.len() >= 2 * max_conns {
+                        handles.retain(|h| !h.is_finished());
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if let Some(idle) = idle_timeout {
+                        let quiet = shared.active.load(Ordering::SeqCst) == 0
+                            && lock_ignoring_poison(&shared.last_activity).elapsed() >= idle;
+                        if quiet {
+                            break;
+                        }
+                    }
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                // transient per-connection accept failures (the peer reset
+                // before we got to it) must not take the server down
+                Err(e) if e.kind() == std::io::ErrorKind::ConnectionAborted => continue,
+                Err(e) => {
+                    fatal = Some(e);
+                    break;
+                }
+            }
+        }
+
+        // drain: every live connection finishes its parsed records, writes
+        // its summary and closes. Cancelling the token here makes that
+        // prompt on every exit path (fatal accept errors included) — it
+        // cuts in-flight solves cooperatively and stops session reads.
+        shared.shutdown.cancel();
+        for handle in handles {
+            let _ = handle.join();
+        }
+        #[cfg(unix)]
+        if let Acceptor::Unix(_, path) = &self.acceptor {
+            let _ = std::fs::remove_file(path);
+        }
+        match fatal {
+            Some(e) => Err(e),
+            None => Ok(lock_ignoring_poison(&shared.report).clone()),
+        }
+    }
+}
+
+/// Decrements the active-connection count when its thread ends, panicking
+/// or not, and stamps the listener's idle clock.
+struct ActiveSlot {
+    shared: Arc<ConnShared>,
+}
+
+impl Drop for ActiveSlot {
+    fn drop(&mut self) {
+        *lock_ignoring_poison(&self.shared.last_activity) = Instant::now();
+        self.shared.active.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn bind_tcp(addr: &str) -> std::io::Result<TcpListener> {
+    let listener = TcpListener::bind(addr)
+        .map_err(|e| std::io::Error::new(e.kind(), format!("{addr}: {e}")))?;
+    listener.set_nonblocking(true)?;
+    Ok(listener)
+}
+
+fn reject_at_capacity(
+    conn: Conn,
+    http: bool,
+    max_conns: usize,
+    read_timeout: Duration,
+    write_timeout: Duration,
+) {
+    let _ = conn.prepare(read_timeout, write_timeout);
+    let message = format!("server at capacity ({max_conns} connections); retry later");
+    let mut conn = conn;
+    if http {
+        let body = format!("{{\"error\": {:?}}}\n", message);
+        let _ = write_http_response(
+            &mut conn,
+            "503 Service Unavailable",
+            "application/json",
+            body.as_bytes(),
+            false,
+        );
+    } else {
+        let _ = writeln!(conn, "{}", error_line(0, None, &message));
+        let _ = conn.flush();
+    }
+    conn.shutdown_write();
+    drain_briefly(&mut conn);
+}
+
+/// Briefly drains whatever the client was mid-sending before the socket is
+/// dropped: closing with unread bytes in the receive buffer would turn
+/// into a TCP RST that can discard the response just written. Bounded
+/// (~10 reads / first timeout), so a firehose client cannot pin a thread.
+fn drain_briefly<R: Read>(reader: &mut R) {
+    let mut scratch = [0u8; 4096];
+    for _ in 0..10 {
+        match reader.read(&mut scratch) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => continue,
+        }
+    }
+}
+
+fn handle_connection(conn: Conn, conn_id: usize, shared: &ConnShared) {
+    let peer = conn.peer();
+    if conn
+        .prepare(shared.config.read_timeout, shared.config.write_timeout)
+        .is_err()
+    {
+        return;
+    }
+    let outcome = if shared.http {
+        serve_http_conn(conn, conn_id, &peer, shared)
+    } else {
+        serve_ndjson_conn(conn, conn_id, &peer, shared)
+    };
+    lock_ignoring_poison(&shared.report).connections += 1;
+    if let Err(e) = outcome {
+        log_line(
+            shared.config.log,
+            format!("conn {conn_id} ({peer}): aborted: {e}"),
+        );
+    }
+}
+
+/// Turns a silent connection into a polite end-of-batch: every read
+/// timeout checks how long the peer has sent nothing, and past the limit
+/// the stream reports EOF — so the session (or HTTP loop) summarizes and
+/// closes instead of holding a capacity slot forever.
+struct IdleCutReader {
+    inner: Conn,
+    limit: Option<Duration>,
+    /// Time spent *blocked in reads* since the last byte arrived. Only
+    /// wall-clock actually spent waiting on the client accrues — gaps
+    /// where nobody reads the socket (a long solve, response writes)
+    /// charge the client nothing, so a well-behaved client waiting out a
+    /// slow batch is never cut.
+    idle_spent: Duration,
+}
+
+impl IdleCutReader {
+    fn new(inner: Conn, limit: Option<Duration>) -> Self {
+        IdleCutReader {
+            inner,
+            limit,
+            idle_spent: Duration::ZERO,
+        }
+    }
+}
+
+impl Read for IdleCutReader {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let started = Instant::now();
+        match self.inner.read(buf) {
+            Ok(n) => {
+                self.idle_spent = Duration::ZERO;
+                Ok(n)
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                self.idle_spent += started.elapsed();
+                if self.limit.is_some_and(|l| self.idle_spent >= l) {
+                    Ok(0) // synthetic EOF: the idle budget is spent
+                } else {
+                    Err(e)
+                }
+            }
+            other => other,
+        }
+    }
+}
+
+/// One NDJSON connection = one batch session over the socket, then the
+/// summary line, then half-close.
+fn serve_ndjson_conn(
+    conn: Conn,
+    conn_id: usize,
+    peer: &str,
+    shared: &ConnShared,
+) -> Result<(), ServeError> {
+    let mut reader = BufReader::new(IdleCutReader::new(
+        conn.try_clone().map_err(ServeError::Io)?,
+        shared.config.conn_idle_timeout,
+    ));
+    let mut writer = BufWriter::new(conn);
+    let session = BatchSession::new(&shared.registry, &shared.config.serve)
+        .cache(shared.cache.clone())
+        .cancel(shared.shutdown.clone());
+    let summary = session.run(&mut reader, &mut writer)?;
+    writeln!(writer, "{}", summary.to_json_line()).map_err(ServeError::Io)?;
+    writer.flush().map_err(ServeError::Io)?;
+    writer.get_ref().shutdown_write();
+    // a drain/idle cut can leave the client's next bytes unread; drain so
+    // the close is a FIN and the summary line survives in flight
+    drain_briefly(&mut reader);
+    record_summary(shared, conn_id, peer, &summary);
+    Ok(())
+}
+
+fn record_summary(shared: &ConnShared, conn_id: usize, peer: &str, summary: &BatchSummary) {
+    lock_ignoring_poison(&shared.report).absorb(summary);
+    match shared.config.log {
+        ConnLog::Quiet => {}
+        ConnLog::Text => log_line(
+            shared.config.log,
+            format!(
+                "conn {conn_id} ({peer}): {} records ({} solved, {} errors), {} deadline hits",
+                summary.records, summary.solved, summary.errors, summary.deadline_hits
+            ),
+        ),
+        ConnLog::Json => log_line(shared.config.log, summary.to_json_line()),
+    }
+}
+
+fn log_line(log: ConnLog, line: String) {
+    if log != ConnLog::Quiet {
+        eprintln!("{line}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Minimal HTTP/1.1
+// ---------------------------------------------------------------------------
+
+/// Upper bound on a request head (request line + headers).
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Upper bound on a `POST /solve` body.
+const MAX_BODY_BYTES: usize = 64 * 1024 * 1024;
+
+struct HttpRequest {
+    method: String,
+    path: String,
+    content_length: Option<usize>,
+    keep_alive: bool,
+}
+
+/// Serves HTTP requests on one connection until the client closes (or
+/// sends `Connection: close`).
+fn serve_http_conn(
+    conn: Conn,
+    conn_id: usize,
+    peer: &str,
+    shared: &ConnShared,
+) -> Result<(), ServeError> {
+    let mut reader = BufReader::new(IdleCutReader::new(
+        conn.try_clone().map_err(ServeError::Io)?,
+        shared.config.conn_idle_timeout,
+    ));
+    let mut writer = BufWriter::new(conn);
+    loop {
+        let request = match read_http_head(&mut reader, &shared.shutdown) {
+            Ok(Some(request)) => request,
+            Ok(None) => break, // EOF, idle cut, or shutdown drain between requests
+            Err(HttpError::Malformed(reason)) => {
+                let body = format!("{{\"error\": {reason:?}}}\n");
+                write_http_response(
+                    &mut writer,
+                    "400 Bad Request",
+                    "application/json",
+                    body.as_bytes(),
+                    false,
+                )
+                .map_err(ServeError::Io)?;
+                break;
+            }
+            Err(HttpError::Io(e)) => return Err(ServeError::Io(e)),
+        };
+        let mut keep_alive = request.keep_alive && !shared.shutdown.is_cancelled();
+        match (request.method.as_str(), request.path.as_str()) {
+            ("GET", "/healthz") => {
+                // a body on a probe is unusual but legal; leaving it
+                // unread would corrupt the next request on a keep-alive
+                // connection, so drain it (or give up on keep-alive when
+                // it is unreasonably large)
+                match request.content_length {
+                    None | Some(0) => {}
+                    Some(length) if length <= MAX_HEAD_BYTES => {
+                        match read_http_body(&mut reader, length, &shared.shutdown) {
+                            Ok(Some(_)) => {}
+                            Ok(None) => keep_alive = false,
+                            Err(e) => return Err(ServeError::Io(e)),
+                        }
+                    }
+                    Some(_) => keep_alive = false,
+                }
+                let workers = if shared.config.serve.workers == 0 {
+                    default_workers()
+                } else {
+                    shared.config.serve.workers
+                };
+                let body = format!(
+                    "{{\"schema_version\": {REPORT_SCHEMA_VERSION}, \"status\": \"ok\", \
+                     \"workers\": {workers}, \"active_connections\": {}}}\n",
+                    shared.active.load(Ordering::SeqCst)
+                );
+                write_http_response(
+                    &mut writer,
+                    "200 OK",
+                    "application/json",
+                    body.as_bytes(),
+                    keep_alive,
+                )
+                .map_err(ServeError::Io)?;
+            }
+            ("POST", "/solve") => {
+                let Some(length) = request.content_length else {
+                    write_http_response(
+                        &mut writer,
+                        "411 Length Required",
+                        "application/json",
+                        b"{\"error\": \"POST /solve needs a Content-Length body\"}\n",
+                        false,
+                    )
+                    .map_err(ServeError::Io)?;
+                    break;
+                };
+                if length > MAX_BODY_BYTES {
+                    write_http_response(
+                        &mut writer,
+                        "413 Content Too Large",
+                        "application/json",
+                        b"{\"error\": \"batch body too large\"}\n",
+                        false,
+                    )
+                    .map_err(ServeError::Io)?;
+                    break;
+                }
+                let body = match read_http_body(&mut reader, length, &shared.shutdown) {
+                    Ok(Some(body)) => body,
+                    Ok(None) => break, // shutdown drain mid-body
+                    Err(e) => return Err(ServeError::Io(e)),
+                };
+                let session = BatchSession::new(&shared.registry, &shared.config.serve)
+                    .cache(shared.cache.clone())
+                    .cancel(shared.shutdown.clone());
+                let mut response_body = Vec::new();
+                match session.run(body.as_slice(), &mut response_body) {
+                    Ok(summary) => {
+                        writeln!(response_body, "{}", summary.to_json_line())
+                            .map_err(ServeError::Io)?;
+                        write_http_response(
+                            &mut writer,
+                            "200 OK",
+                            "application/x-ndjson",
+                            &response_body,
+                            keep_alive,
+                        )
+                        .map_err(ServeError::Io)?;
+                        record_summary(shared, conn_id, peer, &summary);
+                    }
+                    Err(ServeError::FailFast { line, id, message }) => {
+                        let cause = ServeError::FailFast { line, id, message }.to_string();
+                        let body = format!("{{\"error\": {cause:?}}}\n");
+                        write_http_response(
+                            &mut writer,
+                            "422 Unprocessable Entity",
+                            "application/json",
+                            body.as_bytes(),
+                            false,
+                        )
+                        .map_err(ServeError::Io)?;
+                        break;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            (_, "/healthz") | (_, "/solve") => {
+                write_http_response(
+                    &mut writer,
+                    "405 Method Not Allowed",
+                    "application/json",
+                    b"{\"error\": \"use GET /healthz or POST /solve\"}\n",
+                    false,
+                )
+                .map_err(ServeError::Io)?;
+                break;
+            }
+            _ => {
+                write_http_response(
+                    &mut writer,
+                    "404 Not Found",
+                    "application/json",
+                    b"{\"error\": \"unknown path; this server has /healthz and /solve\"}\n",
+                    false,
+                )
+                .map_err(ServeError::Io)?;
+                break;
+            }
+        }
+        if !keep_alive {
+            break;
+        }
+    }
+    writer.flush().map_err(ServeError::Io)?;
+    writer.get_ref().shutdown_write();
+    // error paths (404/405/411/413/400) close with the client's request
+    // body possibly still in flight — drain it so the close is a FIN and
+    // the status line survives, exactly as the rejection path does
+    drain_briefly(&mut reader);
+    Ok(())
+}
+
+enum HttpError {
+    Malformed(String),
+    Io(std::io::Error),
+}
+
+/// Reads one request head (request line + headers). `Ok(None)` = the
+/// client closed between requests, or the shutdown token fired while the
+/// connection was idle.
+fn read_http_head<R: BufRead>(
+    reader: &mut R,
+    shutdown: &CancelToken,
+) -> Result<Option<HttpRequest>, HttpError> {
+    let mut head = Vec::new();
+    // hard-bound the whole head read: `read_until` only returns at a
+    // delimiter or EOF, so without this `Take` a newline-free stream would
+    // grow `head` without limit before the size check below could ever run
+    let mut limited = reader.by_ref().take(MAX_HEAD_BYTES as u64 + 1);
+    loop {
+        match limited.read_until(b'\n', &mut head) {
+            Ok(0) => {
+                return if head.is_empty() {
+                    Ok(None)
+                } else if head.len() > MAX_HEAD_BYTES {
+                    Err(HttpError::Malformed("request head too large".into()))
+                } else {
+                    Err(HttpError::Malformed("truncated request head".into()))
+                };
+            }
+            Ok(_) => {
+                if head.ends_with(b"\r\n\r\n") || head.ends_with(b"\n\n") {
+                    break;
+                }
+                if head.len()
+                    == head
+                        .iter()
+                        .take_while(|&&b| b == b'\r' || b == b'\n')
+                        .count()
+                {
+                    // tolerate leading blank lines between pipelined
+                    // requests (RFC 9112 §2.2)
+                    head.clear();
+                    continue;
+                }
+                if head.len() > MAX_HEAD_BYTES {
+                    return Err(HttpError::Malformed("request head too large".into()));
+                }
+                // single-line head ("GET /healthz HTTP/1.1\r\n") still
+                // needs its terminating blank line; keep reading
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) =>
+            {
+                if shutdown.is_cancelled() {
+                    return Ok(None);
+                }
+            }
+            Err(e) => return Err(HttpError::Io(e)),
+        }
+    }
+    parse_http_head(&head).map(Some)
+}
+
+fn parse_http_head(head: &[u8]) -> Result<HttpRequest, HttpError> {
+    let text = std::str::from_utf8(head)
+        .map_err(|_| HttpError::Malformed("request head is not valid UTF-8".into()))?;
+    let mut lines = text.lines().filter(|l| !l.is_empty());
+    let request_line = lines
+        .next()
+        .ok_or_else(|| HttpError::Malformed("empty request".into()))?;
+    let mut parts = request_line.split_whitespace();
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v)) => (m, p, v),
+        _ => {
+            return Err(HttpError::Malformed(format!(
+                "malformed request line: {request_line:?}"
+            )))
+        }
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed(format!(
+            "unsupported protocol version {version:?}"
+        )));
+    }
+    let mut content_length = None;
+    // HTTP/1.1 defaults to keep-alive, HTTP/1.0 to close
+    let mut keep_alive = version == "HTTP/1.1";
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = Some(
+                value
+                    .parse::<usize>()
+                    .map_err(|_| HttpError::Malformed(format!("bad Content-Length {value:?}")))?,
+            );
+        } else if name.eq_ignore_ascii_case("connection") {
+            keep_alive = !value.eq_ignore_ascii_case("close");
+        } else if name.eq_ignore_ascii_case("transfer-encoding") {
+            return Err(HttpError::Malformed(
+                "Transfer-Encoding is not supported; send a Content-Length body".into(),
+            ));
+        }
+    }
+    Ok(HttpRequest {
+        method: method.to_string(),
+        path: path.to_string(),
+        content_length,
+        keep_alive,
+    })
+}
+
+/// Reads exactly `length` body bytes, polling the shutdown token across
+/// read timeouts. `Ok(None)` = shutdown fired mid-body.
+fn read_http_body<R: BufRead>(
+    reader: &mut R,
+    length: usize,
+    shutdown: &CancelToken,
+) -> std::io::Result<Option<Vec<u8>>> {
+    // grow with the bytes that actually arrive — allocating the claimed
+    // Content-Length up front would let a header alone (64 half-open
+    // requests × 64 MiB claims) pin gigabytes without sending a byte
+    let mut body = Vec::with_capacity(length.min(64 * 1024));
+    let mut chunk = [0u8; 64 * 1024];
+    while body.len() < length {
+        let want = (length - body.len()).min(chunk.len());
+        match reader.read(&mut chunk[..want]) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    format!("body ended after {} of {length} bytes", body.len()),
+                ));
+            }
+            Ok(n) => body.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) =>
+            {
+                if shutdown.is_cancelled() {
+                    return Ok(None);
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(Some(body))
+}
+
+fn write_http_response<W: Write>(
+    writer: &mut W,
+    status: &str,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    write!(
+        writer,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n\
+         Connection: {}\r\n\r\n",
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    )?;
+    writer.write_all(body)?;
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn head(text: &str) -> HttpRequest {
+        parse_http_head(text.as_bytes()).ok().unwrap()
+    }
+
+    #[test]
+    fn parses_request_heads() {
+        let get = head("GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert_eq!(get.method, "GET");
+        assert_eq!(get.path, "/healthz");
+        assert!(get.keep_alive);
+        assert_eq!(get.content_length, None);
+
+        let post = head("POST /solve HTTP/1.1\r\nContent-Length: 42\r\nConnection: close\r\n\r\n");
+        assert_eq!(post.method, "POST");
+        assert_eq!(post.content_length, Some(42));
+        assert!(!post.keep_alive);
+
+        let old = head("GET /healthz HTTP/1.0\r\n\r\n");
+        assert!(!old.keep_alive, "HTTP/1.0 defaults to close");
+    }
+
+    #[test]
+    fn rejects_malformed_heads() {
+        for bad in [
+            "GET\r\n\r\n",
+            "GET /healthz SPDY/3\r\n\r\n",
+            "POST /solve HTTP/1.1\r\nContent-Length: many\r\n\r\n",
+            "POST /solve HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+        ] {
+            assert!(
+                parse_http_head(bad.as_bytes()).is_err(),
+                "accepted: {bad:?}"
+            );
+        }
+    }
+}

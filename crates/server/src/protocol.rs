@@ -338,6 +338,9 @@ pub fn parse_output_line(input: &str) -> Result<OutputLine, JsonError> {
     let gap = match report.field("gap")? {
         Value::Int(n) => *n as f64,
         Value::Number(n) => *n,
+        // a non-finite gap (positive cost over a zero certified bound)
+        // serializes as null; parse it back as the infinity it stands for
+        Value::Null => f64::INFINITY,
         _ => return Err(JsonError("report field `gap` must be a number".into())),
     };
     let assignment = report
@@ -450,6 +453,20 @@ mod tests {
                 assert!(error.contains("bad \"line\""));
             }
             other => panic!("expected error line, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn output_parser_tolerates_null_gap() {
+        let inst = Instance::from_pairs([(0, 4)], 2);
+        let report = SolveRequest::new(&inst).solve().unwrap();
+        let line = report_line(1, None, &report);
+        let gap_field = format!("\"gap\": {:.6}", report.gap);
+        assert!(line.contains(&gap_field), "{line}");
+        let nulled = line.replacen(&gap_field, "\"gap\": null", 1);
+        match parse_output_line(&nulled).unwrap() {
+            OutputLine::Report { report, .. } => assert!(report.gap.is_infinite()),
+            other => panic!("expected report line, got {other:?}"),
         }
     }
 

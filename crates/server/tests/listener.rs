@@ -1,0 +1,477 @@
+//! Integration coverage of the socket front-end: concurrent NDJSON
+//! connections with per-connection in-order responses, the HTTP mode, a
+//! connection killed mid-batch, deadlines over the wire, capacity
+//! rejection, and graceful shutdown drain.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use busytime_core::cancel::CancelToken;
+use busytime_core::solve::SolverRegistry;
+use busytime_server::{
+    parse_output_line, ConnLog, ListenConfig, ListenMode, ListenReport, Listener, OutputLine,
+};
+
+/// A listener running on a background thread, on an ephemeral port.
+struct Server {
+    addr: SocketAddr,
+    shutdown: CancelToken,
+    handle: std::thread::JoinHandle<std::io::Result<ListenReport>>,
+}
+
+fn quiet_config() -> ListenConfig {
+    ListenConfig {
+        log: ConnLog::Quiet,
+        // quick poll so the tests' partial chunks flush promptly
+        read_timeout: Duration::from_millis(30),
+        ..ListenConfig::default()
+    }
+}
+
+fn start(mode: fn(String) -> ListenMode, config: ListenConfig) -> Server {
+    let mode = mode("127.0.0.1:0".to_string());
+    let registry = Arc::new(SolverRegistry::with_defaults());
+    let listener = Listener::bind(&mode, registry, config).unwrap();
+    let addr = listener.local_addr().unwrap();
+    let shutdown = listener.shutdown_token();
+    let handle = std::thread::spawn(move || listener.run());
+    Server {
+        addr,
+        shutdown,
+        handle,
+    }
+}
+
+impl Server {
+    fn stop(self) -> ListenReport {
+        self.shutdown.cancel();
+        self.handle.join().unwrap().unwrap()
+    }
+}
+
+/// One NDJSON client connection with blocking line reads (generous
+/// timeout so a hung server fails the test instead of wedging it).
+struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        let reader = BufReader::new(stream.try_clone().unwrap());
+        Client { stream, reader }
+    }
+
+    fn send(&mut self, line: &str) {
+        self.stream.write_all(line.as_bytes()).unwrap();
+        self.stream.write_all(b"\n").unwrap();
+        self.stream.flush().unwrap();
+    }
+
+    fn read_line(&mut self) -> String {
+        let mut line = String::new();
+        self.reader.read_line(&mut line).unwrap();
+        assert!(!line.is_empty(), "connection closed before expected line");
+        line.trim_end().to_string()
+    }
+
+    /// Half-close the write side; the server answers the batch, appends
+    /// its summary line, and closes.
+    fn finish(&mut self) {
+        self.stream.shutdown(Shutdown::Write).unwrap();
+    }
+
+    fn read_to_end(&mut self) -> Vec<String> {
+        let mut rest = String::new();
+        self.reader.read_to_string(&mut rest).unwrap();
+        rest.lines().map(str::to_string).collect()
+    }
+}
+
+fn record(id: &str) -> String {
+    format!(r#"{{"id": "{id}", "instance": {{"g": 2, "jobs": [[0, 4], [1, 5]]}}}}"#)
+}
+
+fn assert_report_id(line: &str, want: &str) {
+    match parse_output_line(line).unwrap() {
+        OutputLine::Report { id, .. } => assert_eq!(id.as_deref(), Some(want), "{line}"),
+        other => panic!("expected report line for {want}, got {other:?}"),
+    }
+}
+
+#[test]
+fn concurrent_connections_get_interleaved_in_order_service() {
+    let server = start(ListenMode::Tcp, quiet_config());
+    let mut a = Client::connect(server.addr);
+    let mut b = Client::connect(server.addr);
+
+    // both connections are live at once and get served without closing:
+    // the sessions flush partial chunks on their read-timeout polls
+    a.send(&record("a-1"));
+    a.send(&record("a-2"));
+    b.send(&record("b-1"));
+    assert_report_id(&a.read_line(), "a-1");
+    assert_report_id(&a.read_line(), "a-2");
+    assert_report_id(&b.read_line(), "b-1");
+
+    // interleave another round the other way
+    b.send(&record("b-2"));
+    a.send(&record("a-3"));
+    assert_report_id(&b.read_line(), "b-2");
+    assert_report_id(&a.read_line(), "a-3");
+
+    // per-connection summary trailers count each connection's own batch
+    a.finish();
+    let a_rest = a.read_to_end();
+    assert_eq!(a_rest.len(), 1, "exactly the summary after half-close");
+    assert!(a_rest[0].contains("\"records\": 3"), "{}", a_rest[0]);
+    b.finish();
+    let b_rest = b.read_to_end();
+    assert!(b_rest[0].contains("\"records\": 2"), "{}", b_rest[0]);
+
+    let report = server.stop();
+    assert_eq!(report.connections, 2);
+    assert_eq!(report.records, 5);
+    assert_eq!(report.solved, 5);
+    assert_eq!(report.rejected, 0);
+}
+
+#[test]
+fn responses_stay_in_input_order_within_a_connection() {
+    let config = ListenConfig {
+        serve: busytime_server::ServeConfig {
+            workers: 4,
+            ..busytime_server::ServeConfig::default()
+        },
+        ..quiet_config()
+    };
+    let server = start(ListenMode::Tcp, config);
+    let mut client = Client::connect(server.addr);
+    for i in 0..40 {
+        client.send(&record(&format!("r-{i}")));
+    }
+    client.finish();
+    let lines = client.read_to_end();
+    assert_eq!(lines.len(), 41, "40 responses + summary");
+    for (i, line) in lines[..40].iter().enumerate() {
+        let parsed = parse_output_line(line).unwrap();
+        assert_eq!(parsed.line(), i + 1, "{line}");
+        assert_report_id(line, &format!("r-{i}"));
+    }
+    server.stop();
+}
+
+#[test]
+fn http_solve_round_trip_and_healthz() {
+    let server = start(ListenMode::Http, quiet_config());
+
+    // POST /solve: NDJSON body in, response lines + summary out
+    let body = format!("{}\n{}\n", record("h-1"), record("h-2"));
+    let mut stream = TcpStream::connect(server.addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    write!(
+        stream,
+        "POST /solve HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    let (head, payload) = response.split_once("\r\n\r\n").unwrap();
+    assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+    assert!(head.contains("application/x-ndjson"), "{head}");
+    let lines: Vec<&str> = payload.lines().collect();
+    assert_eq!(lines.len(), 3, "2 responses + summary: {payload}");
+    assert_report_id(lines[0], "h-1");
+    assert_report_id(lines[1], "h-2");
+    assert!(lines[2].contains("\"records\": 2"), "{}", lines[2]);
+
+    // GET /healthz answers a liveness probe
+    let mut probe = TcpStream::connect(server.addr).unwrap();
+    probe
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    write!(
+        probe,
+        "GET /healthz HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut health = String::new();
+    probe.read_to_string(&mut health).unwrap();
+    assert!(health.starts_with("HTTP/1.1 200 OK"), "{health}");
+    assert!(health.contains("\"status\": \"ok\""), "{health}");
+
+    // unknown paths answer 404 without wedging the server
+    let mut lost = TcpStream::connect(server.addr).unwrap();
+    lost.set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    write!(lost, "GET /nope HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
+    let mut missing = String::new();
+    lost.read_to_string(&mut missing).unwrap();
+    assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+
+    let report = server.stop();
+    assert_eq!(report.records, 2);
+    assert_eq!(report.solved, 2);
+}
+
+#[test]
+fn killed_connection_leaves_the_server_serving_others() {
+    let server = start(ListenMode::Tcp, quiet_config());
+
+    // the victim sends a record plus a partial line, then vanishes
+    // without half-closing — the server must not let that take anything
+    // else down
+    {
+        let mut victim = Client::connect(server.addr);
+        victim.send(&record("doomed"));
+        victim
+            .stream
+            .write_all(br#"{"id": "torn", "instance"#)
+            .unwrap();
+        victim.stream.flush().unwrap();
+        // dropped here: full close, mid-batch
+    }
+
+    let mut survivor = Client::connect(server.addr);
+    survivor.send(&record("alive"));
+    assert_report_id(&survivor.read_line(), "alive");
+    survivor.finish();
+    let rest = survivor.read_to_end();
+    assert!(rest[0].contains("\"records\": 1"), "{}", rest[0]);
+
+    let report = server.stop();
+    assert_eq!(report.connections, 2, "the killed connection still counts");
+    assert!(report.solved >= 1);
+}
+
+#[test]
+fn deadline_ms_is_honored_over_the_socket() {
+    let server = start(ListenMode::Tcp, quiet_config());
+    let mut client = Client::connect(server.addr);
+    client
+        .send(r#"{"id": "cut", "instance": {"g": 2, "jobs": [[0, 4], [1, 5]]}, "deadline_ms": 0}"#);
+    client.send(&record("free"));
+    client.finish();
+    let lines = client.read_to_end();
+    assert_eq!(lines.len(), 3);
+    assert!(lines[0].contains("\"deadline_hit\": true"), "{}", lines[0]);
+    assert!(lines[1].contains("\"deadline_hit\": false"), "{}", lines[1]);
+    assert!(lines[2].contains("\"deadline_hits\": 1"), "{}", lines[2]);
+
+    let report = server.stop();
+    assert_eq!(report.deadline_hits, 1);
+}
+
+#[test]
+fn capacity_cap_rejects_politely() {
+    let config = ListenConfig {
+        max_conns: 1,
+        ..quiet_config()
+    };
+    let server = start(ListenMode::Tcp, config);
+
+    // occupy the single slot (a served record proves the slot is active)
+    let mut holder = Client::connect(server.addr);
+    holder.send(&record("held"));
+    assert_report_id(&holder.read_line(), "held");
+
+    // the second connection is answered with a structured error and closed
+    let mut refused = Client::connect(server.addr);
+    let line = refused.read_line();
+    assert!(line.contains("\"ok\": false"), "{line}");
+    assert!(line.contains("capacity"), "{line}");
+    assert!(refused.read_to_end().is_empty());
+
+    holder.finish();
+    let rest = holder.read_to_end();
+    assert!(rest[0].contains("\"records\": 1"), "{}", rest[0]);
+
+    let report = server.stop();
+    assert_eq!(report.connections, 1);
+    assert_eq!(report.rejected, 1);
+}
+
+#[test]
+fn shutdown_drains_an_inflight_connection() {
+    let server = start(ListenMode::Tcp, quiet_config());
+    let mut client = Client::connect(server.addr);
+    client.send(&record("draining"));
+    // the record is answered via the partial-chunk flush even though the
+    // client never half-closes...
+    assert_report_id(&client.read_line(), "draining");
+    // ...and shutdown makes the open connection summarize and close
+    server.shutdown.cancel();
+    let rest = client.read_to_end();
+    assert_eq!(rest.len(), 1, "summary then EOF: {rest:?}");
+    assert!(rest[0].contains("\"records\": 1"), "{}", rest[0]);
+
+    let report = server.handle.join().unwrap().unwrap();
+    assert_eq!(report.connections, 1);
+    assert_eq!(report.records, 1);
+}
+
+#[test]
+fn pending_records_flush_even_with_a_partial_line_buffered() {
+    // regression: a complete record followed by the *start* of the next
+    // one in the same burst must not block the first record's response —
+    // the partial line is carried while the pending chunk dispatches
+    let server = start(ListenMode::Tcp, quiet_config());
+    let mut client = Client::connect(server.addr);
+    client
+        .stream
+        .write_all(format!("{}\n{{\"id\": \"torn", record("whole")).as_bytes())
+        .unwrap();
+    client.stream.flush().unwrap();
+    assert_report_id(&client.read_line(), "whole");
+
+    // ...and the carried fragment still completes into a served record
+    client
+        .stream
+        .write_all(b"\", \"instance\": {\"g\": 2, \"jobs\": [[0, 3]]}}\n")
+        .unwrap();
+    client.stream.flush().unwrap();
+    assert_report_id(&client.read_line(), "torn");
+    client.finish();
+    let rest = client.read_to_end();
+    assert!(rest[0].contains("\"records\": 2"), "{}", rest[0]);
+    server.stop();
+}
+
+#[test]
+fn silent_connection_is_cut_by_the_conn_idle_timeout() {
+    let config = ListenConfig {
+        conn_idle_timeout: Some(Duration::from_millis(150)),
+        ..quiet_config()
+    };
+    let server = start(ListenMode::Tcp, config);
+    let mut mute = Client::connect(server.addr);
+    // send nothing at all: the idle cut must treat this as end-of-batch,
+    // summarize zero records and free the capacity slot
+    let lines = mute.read_to_end();
+    assert_eq!(lines.len(), 1, "empty summary then EOF: {lines:?}");
+    assert!(lines[0].contains("\"records\": 0"), "{}", lines[0]);
+
+    // the slot is free again: a real client still gets served
+    let mut live = Client::connect(server.addr);
+    live.send(&record("after"));
+    assert_report_id(&live.read_line(), "after");
+    live.finish();
+    live.read_to_end();
+
+    let report = server.stop();
+    assert_eq!(report.connections, 2);
+}
+
+#[test]
+fn http_keep_alive_survives_a_probe_with_a_body() {
+    let server = start(ListenMode::Http, quiet_config());
+    let mut stream = TcpStream::connect(server.addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    // a GET with a body is unusual but legal; the server must drain it so
+    // the follow-up request on the same connection parses cleanly
+    write!(
+        stream,
+        "GET /healthz HTTP/1.1\r\nHost: t\r\nContent-Length: 4\r\n\r\nblobGET /healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut both = String::new();
+    stream.read_to_string(&mut both).unwrap();
+    let ok_count = both.matches("HTTP/1.1 200 OK").count();
+    assert_eq!(
+        ok_count, 2,
+        "both keep-alive requests must answer 200: {both}"
+    );
+    server.stop();
+}
+
+#[test]
+fn oversized_http_head_is_rejected_not_buffered() {
+    let server = start(ListenMode::Http, quiet_config());
+    let mut stream = TcpStream::connect(server.addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    // a newline-free flood: the head cap must cut it off rather than
+    // buffering the stream without bound
+    let flood = vec![b'x'; 64 * 1024];
+    // the server may close mid-send once the cap trips; that's the point
+    let _ = stream.write_all(&flood);
+    let _ = stream.flush();
+    let mut response = String::new();
+    let _ = stream.read_to_string(&mut response);
+    assert!(
+        response.starts_with("HTTP/1.1 400") && response.contains("too large"),
+        "{response}"
+    );
+    server.stop();
+}
+
+#[test]
+fn idle_timeout_stops_a_quiet_listener() {
+    let config = ListenConfig {
+        idle_timeout: Some(Duration::from_millis(120)),
+        ..quiet_config()
+    };
+    let server = start(ListenMode::Tcp, config);
+    // one served connection resets the idle clock; after it closes the
+    // listener winds itself down without any shutdown signal
+    let mut client = Client::connect(server.addr);
+    client.send(&record("only"));
+    client.finish();
+    let lines = client.read_to_end();
+    assert_eq!(lines.len(), 2);
+    let report = server.handle.join().unwrap().unwrap();
+    assert_eq!(report.connections, 1);
+}
+
+#[cfg(unix)]
+#[test]
+fn unix_socket_round_trip_and_cleanup() {
+    use std::os::unix::net::UnixStream;
+
+    let path = std::env::temp_dir().join(format!(
+        "busytime-listener-test-{}.sock",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    let registry = Arc::new(SolverRegistry::with_defaults());
+    let listener =
+        Listener::bind(&ListenMode::Unix(path.clone()), registry, quiet_config()).unwrap();
+    assert!(listener.local_addr().is_none());
+    assert_eq!(listener.endpoint(), format!("unix://{}", path.display()));
+    let shutdown = listener.shutdown_token();
+    let handle = std::thread::spawn(move || listener.run());
+
+    let mut stream = UnixStream::connect(&path).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    stream.write_all(record("ux").as_bytes()).unwrap();
+    stream.write_all(b"\n").unwrap();
+    stream.shutdown(Shutdown::Write).unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    let lines: Vec<&str> = response.lines().collect();
+    assert_eq!(lines.len(), 2);
+    assert_report_id(lines[0], "ux");
+    assert!(lines[1].contains("\"records\": 1"), "{}", lines[1]);
+
+    shutdown.cancel();
+    let report = handle.join().unwrap().unwrap();
+    assert_eq!(report.connections, 1);
+    assert!(
+        !path.exists(),
+        "socket path must be removed on clean shutdown"
+    );
+}

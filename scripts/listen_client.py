@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""NDJSON socket client for the CI `listen-smoke` job.
+
+Connects to a running `busytime-cli listen --tcp` endpoint, streams a
+committed NDJSON fixture, half-closes, and verifies the reply stream:
+
+* exactly one response line per fixture record, plus one trailing
+  `BatchSummary` line (the line carrying `records` and no `line` field);
+* responses arrive in input order (`line` strictly increasing, ids echoed
+  in fixture order);
+* every response has `ok: true`;
+* every record that carried a `deadline_ms` in the fixture answers
+  `deadline_hit: true`, no clean record is flagged, and the summary's
+  `deadline_hits` matches — the per-record deadline machinery working as
+  the request timeout of the network service.
+
+Usage: listen_client.py HOST:PORT FIXTURE.ndjson
+Exits non-zero (with a message on stderr) on any violation.
+"""
+import json
+import socket
+import sys
+
+
+def fail(message: str) -> None:
+    print(f"listen_client: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    if len(sys.argv) != 3:
+        fail(f"usage: {sys.argv[0]} HOST:PORT FIXTURE.ndjson")
+    host, _, port = sys.argv[1].rpartition(":")
+    with open(sys.argv[2], "rb") as fh:
+        raw = [line for line in fh.read().splitlines() if line.strip()]
+    requests = [json.loads(line) for line in raw]
+
+    with socket.create_connection((host, int(port)), timeout=120) as sock:
+        sock.sendall(b"\n".join(raw) + b"\n")
+        sock.shutdown(socket.SHUT_WR)
+        data = b""
+        while True:
+            chunk = sock.recv(1 << 16)
+            if not chunk:
+                break
+            data += chunk
+
+    lines = [json.loads(line) for line in data.splitlines() if line.strip()]
+    if len(lines) != len(requests) + 1:
+        fail(f"expected {len(requests)} responses + summary, got {len(lines)} lines")
+    responses, summary = lines[:-1], lines[-1]
+    if "records" not in summary or "line" in summary:
+        fail(f"last line is not a batch summary: {summary}")
+
+    hits = 0
+    for i, (request, response) in enumerate(zip(requests, responses)):
+        if response.get("line") != i + 1:
+            fail(f"response {i} out of order: {response.get('line')} != {i + 1}")
+        if response.get("id") != request.get("id"):
+            fail(f"response {i} echoes id {response.get('id')!r}, sent {request.get('id')!r}")
+        if response.get("ok") is not True:
+            fail(f"record {request.get('id')!r} failed: {response.get('error')}")
+        flagged = bool(response.get("report", {}).get("deadline_hit"))
+        if "deadline_ms" in request and not flagged:
+            fail(f"deadlined record {request.get('id')!r} came back unflagged")
+        if "deadline_ms" not in request and flagged:
+            fail(f"clean record {request.get('id')!r} was flagged deadline_hit")
+        hits += flagged
+    if summary.get("records") != len(requests):
+        fail(f"summary counts {summary.get('records')} records, sent {len(requests)}")
+    if summary.get("deadline_hits") != hits:
+        fail(f"summary deadline_hits {summary.get('deadline_hits')} != {hits} flagged responses")
+
+    print(
+        f"listen_client: {len(responses)} responses in order, "
+        f"{hits} deadline hits, summary consistent"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -24,7 +24,9 @@ use busytime::core::solve::ValidationLevel;
 use busytime::core::{bounds, render};
 use busytime::instances::io::{read_instance, write_instance, InstanceFile};
 use busytime::instances::{Family, GeneratorSpec};
-use busytime::server::{serve, ErrorPolicy, ServeConfig};
+use busytime::server::{
+    serve, ConnLog, ErrorPolicy, ListenConfig, ListenMode, Listener, ServeConfig,
+};
 use busytime::{full_registry, Instance, SolveRequest};
 
 fn main() -> ExitCode {
@@ -49,6 +51,7 @@ fn main() -> ExitCode {
         "generate" => cmd_generate(&opts),
         "solve" => cmd_solve(&opts),
         "serve" => cmd_serve(&opts, None),
+        "listen" => cmd_listen(&opts),
         "batch" => match positional.or_else(|| opts.get("input").cloned()) {
             Some(file) => cmd_serve(&opts, Some(&file)),
             None => Err("batch requires an input FILE".to_string()),
@@ -89,6 +92,18 @@ commands:
            [--deadline-ms MS]   per-record deadline default (a record's own
            `deadline_ms` field overrides it)
   batch    FILE                (like `serve`, reading records from FILE)
+  listen   long-lived batch solve service over a socket; one NDJSON batch
+           per connection (response lines in input order, then one summary
+           line after the client half-closes)
+           --tcp ADDR | --unix PATH | --http ADDR   (exactly one; `--http`
+           serves POST /solve + GET /healthz; tcp `:0` picks a free port,
+           printed as `listening on ...` on stderr)
+           [--max-conns N] [--idle-timeout-ms MS] [--conn-idle-timeout-ms MS]
+           [--workers N]
+           [--solver NAME] [--chunk N] [--fail-fast | --keep-going]
+           [--quiet | --summary-json]
+           [--deadline-ms MS]   per-record request timeout default
+           SIGINT/SIGTERM drain in-flight batches, then exit cleanly
   solvers  list every registered solver with its guarantee
   bounds   --input FILE
   compare  --input FILE        (all registered solvers side by side)";
@@ -235,10 +250,8 @@ fn cmd_solve(opts: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-/// `serve` (stdin) and `batch FILE` (file input) share this driver: stream
-/// NDJSON records through the batch engine, reports to stdout, summary to
-/// stderr.
-fn cmd_serve(opts: &HashMap<String, String>, input: Option<&str>) -> Result<(), String> {
+/// The batch-engine configuration shared by `serve`, `batch` and `listen`.
+fn serve_config(opts: &HashMap<String, String>) -> Result<ServeConfig, String> {
     if opts.contains_key("fail-fast") && opts.contains_key("keep-going") {
         return Err("--fail-fast and --keep-going are mutually exclusive".to_string());
     }
@@ -259,6 +272,14 @@ fn cmd_serve(opts: &HashMap<String, String>, input: Option<&str>) -> Result<(), 
     if let Some(ms) = opt_num::<u64>(opts, "deadline-ms")? {
         config.base_options.deadline = Some(std::time::Duration::from_millis(ms));
     }
+    Ok(config)
+}
+
+/// `serve` (stdin) and `batch FILE` (file input) share this driver: stream
+/// NDJSON records through the batch engine, reports to stdout, summary to
+/// stderr.
+fn cmd_serve(opts: &HashMap<String, String>, input: Option<&str>) -> Result<(), String> {
+    let config = serve_config(opts)?;
     let registry = full_registry();
     let stdout = std::io::stdout().lock();
     let out = std::io::BufWriter::new(stdout);
@@ -284,6 +305,93 @@ fn cmd_serve(opts: &HashMap<String, String>, input: Option<&str>) -> Result<(), 
         eprintln!("{summary}");
     }
     Ok(())
+}
+
+/// `listen`: a long-lived socket/HTTP front-end over the same batch
+/// engine, drained gracefully on SIGINT/SIGTERM or idle timeout.
+fn cmd_listen(opts: &HashMap<String, String>) -> Result<(), String> {
+    let mut modes: Vec<ListenMode> = Vec::new();
+    if let Some(addr) = opts.get("tcp") {
+        modes.push(ListenMode::Tcp(addr.clone()));
+    }
+    if let Some(path) = opts.get("unix") {
+        modes.push(ListenMode::Unix(PathBuf::from(path)));
+    }
+    if let Some(addr) = opts.get("http") {
+        modes.push(ListenMode::Http(addr.clone()));
+    }
+    let mode = match modes.len() {
+        1 => modes.remove(0),
+        0 => return Err("listen needs exactly one of --tcp ADDR, --unix PATH, --http ADDR".into()),
+        _ => return Err("--tcp, --unix and --http are mutually exclusive".into()),
+    };
+    let mut config = ListenConfig {
+        serve: serve_config(opts)?,
+        max_conns: get_num(opts, "max-conns", 0usize)?,
+        log: if opts.contains_key("quiet") {
+            ConnLog::Quiet
+        } else if opts.contains_key("summary-json") {
+            ConnLog::Json
+        } else {
+            ConnLog::Text
+        },
+        ..ListenConfig::default()
+    };
+    if let Some(ms) = opt_num::<u64>(opts, "idle-timeout-ms")? {
+        config.idle_timeout = Some(std::time::Duration::from_millis(ms));
+    }
+    if let Some(ms) = opt_num::<u64>(opts, "conn-idle-timeout-ms")? {
+        config.conn_idle_timeout = Some(std::time::Duration::from_millis(ms));
+    }
+    let quiet = opts.contains_key("quiet");
+    let listener = Listener::bind(&mode, std::sync::Arc::new(full_registry()), config)
+        .map_err(|e| e.to_string())?;
+    // the bound endpoint resolves ephemeral ports; clients (and the CI
+    // smoke job) read it off stderr
+    eprintln!("listening on {}", listener.endpoint());
+    install_shutdown_signals(listener.shutdown_token());
+    let report = listener.run().map_err(|e| e.to_string())?;
+    if !quiet {
+        eprintln!("{report}");
+    }
+    Ok(())
+}
+
+/// Wires SIGINT/SIGTERM to the listener's shutdown token: the handler only
+/// flips an atomic (async-signal-safe), and a watcher thread turns the
+/// flip into a token cancellation the accept loop observes within its
+/// polling interval.
+#[cfg(unix)]
+fn install_shutdown_signals(token: busytime::core::cancel::CancelToken) {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static SIGNALLED: AtomicBool = AtomicBool::new(false);
+    extern "C" fn on_signal(_signum: i32) {
+        SIGNALLED.store(true, Ordering::SeqCst);
+    }
+    // the libc std already links against; no crate dependency needed
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_signal);
+        signal(SIGTERM, on_signal);
+    }
+    std::thread::spawn(move || loop {
+        if SIGNALLED.load(Ordering::SeqCst) {
+            token.cancel();
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    });
+}
+
+#[cfg(not(unix))]
+fn install_shutdown_signals(_token: busytime::core::cancel::CancelToken) {
+    // no signal story off unix; the idle timeout (or killing the process)
+    // remains the way to stop the listener
 }
 
 fn cmd_solvers() -> Result<(), String> {

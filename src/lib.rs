@@ -85,6 +85,16 @@
 //! {"schema_version": 1, "line": 1, "id": null, "ok": true, "report": {…}}
 //! ```
 //!
+//! The same engine runs as a long-lived network service through
+//! [`server::listener`] — `busytime-cli listen --tcp ADDR` (NDJSON over
+//! TCP; also `--unix PATH`, and `--http ADDR` for a minimal HTTP/1.1
+//! `POST /solve` + `GET /healthz` mode). Each connection drives its own
+//! [`server::BatchSession`] on the shared pool and ends with a
+//! [`server::BatchSummary`] trailer line; instance-feature detections are
+//! shared across connections via [`server::SharedFeatureCache`];
+//! per-record `deadline_ms` budgets act as request timeouts; and
+//! SIGINT/SIGTERM drain in-flight batches before exiting.
+//!
 //! From Rust:
 //!
 //! ```
