@@ -3,14 +3,18 @@
 //! → worker-pool solve → streamed report lines) at 1, 4 and 8 workers.
 //!
 //! The interesting read is the worker scaling: per-record solves are
-//! independent, so 4 workers should clear the batch well over 2x faster
-//! than 1 (the acceptance bar for the serving tentpole). Report lines are
+//! independent, so on a multi-core host 4 workers should clear the batch
+//! well over 2x faster than 1 (the acceptance bar for the serving
+//! tentpole). Each row pins its own `Executor::new(workers)` so the row
+//! really runs that many threads — the process-global pool (sized by the
+//! host's core count) would otherwise clamp the width. Report lines are
 //! written to `io::sink`, so the measurement is compute, not terminal IO.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
+use busytime_core::pool::Executor;
 use busytime_core::solve::SolverRegistry;
-use busytime_server::{serve, ServeConfig};
+use busytime_server::{BatchSession, ServeConfig};
 
 const BATCH: usize = 1000;
 
@@ -42,9 +46,12 @@ fn bench_server_throughput(c: &mut Criterion) {
                     workers,
                     ..ServeConfig::default()
                 };
+                let executor = Executor::new(workers);
                 b.iter(|| {
-                    let summary =
-                        serve(input.as_bytes(), std::io::sink(), &registry, &config).unwrap();
+                    let summary = BatchSession::new(&registry, &config)
+                        .executor(executor.clone())
+                        .run(input.as_bytes(), std::io::sink())
+                        .unwrap();
                     assert_eq!(summary.solved, BATCH);
                     summary.total_cost
                 });

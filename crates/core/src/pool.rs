@@ -1,66 +1,584 @@
-//! The shared parallel executor: scoped-thread worker pools.
+//! The shared parallel executor: one persistent, process-wide worker pool.
 //!
-//! Both the experiment harness (`busytime-lab`) and the batch solve server
-//! (`busytime-server`) fan independent solves out over cores; this module
-//! is the one executor they share. [`par_map_with`] runs a fixed number of
-//! workers over a shared atomic cursor (simple work stealing that balances
-//! heavily skewed item costs, e.g. exact solving next to first-fit), and
-//! writes results into pre-allocated slots so the output order matches the
-//! input order regardless of scheduling. [`par_map`] is the
-//! all-available-cores convenience wrapper.
+//! Every layer that fans independent work over cores — the experiment
+//! harness (`busytime-lab`), the batch solve server (`busytime-server`) and
+//! its socket listener — submits to the same [`Executor`]: a long-lived
+//! pool of exactly [`Executor::workers`] OS threads fed by an MPMC
+//! injection queue of boxed jobs. The process therefore has *one* worker
+//! budget: a listener serving many connections multiplexes all of their
+//! solve chunks over the same `W` threads instead of spawning `W` threads
+//! per call, so total solver parallelism is bounded by `W` regardless of
+//! how many batches are in flight.
 //!
-//! [`par_map_deadline_with`] is the deadline-enforcing variant the batch
-//! server uses: each item gets a per-item [`CancelToken`] armed when a
-//! worker picks the item up, and the pool stamps every completion with its
-//! elapsed time and an `over_deadline` verdict. The verdict is the pool's
-//! *own* clock comparison, independent of the item's cooperation — a solver
-//! that misses (or lacks) its cooperative check is still reported as
+//! [`Executor::global`] is the lazy process-wide instance (sized by the
+//! `BUSYTIME_WORKERS` environment variable, or every available core);
+//! [`Executor::configure_global`] lets a CLI size it from `--workers`
+//! before first use. Constructed instances ([`Executor::new`]) carry their
+//! own threads and shut them down on drop — tests use those to pin exact
+//! budgets. The module-level [`par_map`] family forwards to the global
+//! executor and keeps the historical calling convention.
+//!
+//! Batches preserve the scoped-thread contract they replaced: work is
+//! distributed over a shared atomic cursor (balancing heavily skewed item
+//! costs, e.g. exact solving next to first-fit), results are written into
+//! pre-allocated slots so output order matches input order, and a panic in
+//! any item re-raises as a `"worker panicked"` panic on the submitting
+//! thread once the batch has settled. Between items a batch task yields
+//! its worker whenever other submissions are queued, so concurrent batches
+//! (coflow-style arrivals on different connections) share the budget at
+//! item granularity instead of head-of-line blocking. A batch submitted
+//! *from* one of the same pool's workers (nested parallelism) runs inline
+//! on that worker — the thread is already part of the budget, and queuing
+//! would deadlock a saturated pool; submitting to a *different* pool
+//! queues normally, since that pool's budget is independent.
+//!
+//! [`Executor::par_map_deadline_with`] is the deadline-enforcing variant
+//! the batch server uses: each item gets a per-item [`CancelToken`] armed
+//! when a worker picks the item up (so queue time never counts against a
+//! record's budget), and the pool stamps every completion with its elapsed
+//! time and an `over_deadline` verdict. The verdict is the pool's *own*
+//! clock comparison, independent of the item's cooperation — a solver that
+//! misses (or lacks) its cooperative check is still reported as
 //! over-deadline, so batch summaries never undercount pinned workers.
-//! [`par_map_deadline_under`] additionally parents every per-item token to
-//! a caller-owned [`CancelToken`], which is how a long-lived listener
-//! drains in-flight solves on shutdown without waiting out their budgets.
+//! [`Executor::par_map_deadline_under`] additionally parents every
+//! per-item token to a caller-owned [`CancelToken`], which is how a
+//! long-lived listener drains on shutdown: cancelling the parent poisons
+//! the tokens of queued, not-yet-picked-up items, so they cut at pickup
+//! instead of waiting out their budgets.
+//!
+//! ```
+//! use busytime_core::pool::Executor;
+//!
+//! let executor = Executor::new(2); // its own 2-thread budget
+//! let squares = executor.par_map(&[1u64, 2, 3], |&x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9]);
+//! assert_eq!(executor.workers(), 2);
+//! ```
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
 use std::time::{Duration, Instant};
 
 use crate::cancel::CancelToken;
 
-/// The number of workers [`par_map`] uses: every available core.
+/// The worker count a sizing of `0` resolves to: every available core.
 pub fn default_workers() -> usize {
     std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1)
 }
 
-/// Applies `f` to every item on all available cores; results are returned
-/// in input order. Deterministic as long as `f` is.
+/// A queued unit of work. Batch tasks catch their own panics, so jobs never
+/// unwind into the worker loop.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+thread_local! {
+    /// The identity (its `ExecInner` address) of the pool this thread
+    /// works for, `0` on non-worker threads. A nested batch submission to
+    /// the *same* pool detects it and runs inline instead of deadlocking a
+    /// saturated queue; a submission to a *different* pool queues normally
+    /// — that pool's workers are independent, so its budget and width
+    /// still apply.
+    static WORKER_OF: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Lock tolerating poisoning: queue and completion state stay structurally
+/// valid across a panic (batch tasks catch item panics anyway), and one
+/// poisoned batch must not wedge the process-wide pool.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Shared pool state: the injection queue plus the stats counters the
+/// serving layer reports.
+struct ExecInner {
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    workers: usize,
+    /// Workers currently running a job.
+    busy: AtomicUsize,
+    /// Jobs pushed but not yet picked up (the queue depth, maintained as an
+    /// atomic so batch tasks can poll it without taking the queue lock).
+    pending: AtomicUsize,
+    shutdown: AtomicBool,
+}
+
+impl ExecInner {
+    fn push(&self, job: Job) {
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        lock(&self.queue).push_back(job);
+        self.available.notify_one();
+    }
+}
+
+fn worker_loop(inner: Arc<ExecInner>) {
+    WORKER_OF.set(Arc::as_ptr(&inner) as usize);
+    loop {
+        let job = {
+            let mut queue = lock(&inner.queue);
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    inner.pending.fetch_sub(1, Ordering::SeqCst);
+                    break job;
+                }
+                if inner.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                queue = inner
+                    .available
+                    .wait(queue)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        };
+        inner.busy.fetch_add(1, Ordering::SeqCst);
+        // batch tasks catch item panics themselves; this outer catch is the
+        // last line of defense so a stray unwind can never kill a worker
+        // and silently shrink the process budget
+        let _ = catch_unwind(AssertUnwindSafe(job));
+        inner.busy.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Owns the worker threads on behalf of every [`Executor`] clone: when the
+/// last handle drops, the workers are told to stop and joined. Workers
+/// themselves hold only [`ExecInner`], so they never keep the pool alive.
+struct ShutdownGuard {
+    inner: Arc<ExecInner>,
+    /// Written once at construction, drained only in `Drop` (which has
+    /// exclusive access) — no lock needed.
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Drop for ShutdownGuard {
+    fn drop(&mut self) {
+        // the store must happen under the queue mutex: a worker checks the
+        // flag and parks on the condvar atomically while holding that
+        // mutex, so a store outside it could land between a worker's check
+        // and its park — the notify would target no waiter, and the join
+        // below would hang on a worker that never wakes
+        {
+            let _queue = lock(&self.inner.queue);
+            self.inner.shutdown.store(true, Ordering::Release);
+        }
+        self.inner.available.notify_all();
+        // every batch blocks its submitter until completion, so at this
+        // point no batch is in flight and the queue is empty — the join is
+        // prompt
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The process-wide executor (see the [module docs](self)): a fixed worker
+/// budget, an injection queue, and order-preserving batch submission.
+///
+/// Clones are cheap handles onto the same pool; the worker threads stop
+/// when the last handle drops. [`Executor::global`] hands out handles to
+/// the one lazy process-wide instance.
+#[derive(Clone)]
+pub struct Executor {
+    inner: Arc<ExecInner>,
+    _guard: Arc<ShutdownGuard>,
+}
+
+static GLOBAL: OnceLock<Executor> = OnceLock::new();
+
+impl Executor {
+    /// A pool of exactly `workers` threads (`0` = [`default_workers`],
+    /// clamped to at least one).
+    pub fn new(workers: usize) -> Executor {
+        let workers = if workers == 0 {
+            default_workers()
+        } else {
+            workers
+        }
+        .max(1);
+        let inner = Arc::new(ExecInner {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            workers,
+            busy: AtomicUsize::new(0),
+            pending: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("busytime-worker-{i}"))
+                    .spawn(move || worker_loop(inner))
+                    .expect("spawn executor worker")
+            })
+            .collect();
+        Executor {
+            _guard: Arc::new(ShutdownGuard {
+                inner: Arc::clone(&inner),
+                handles,
+            }),
+            inner,
+        }
+    }
+
+    /// A handle onto the process-wide executor, created on first use. Its
+    /// size is [`Executor::configure_global`]'s, if called first; else the
+    /// `BUSYTIME_WORKERS` environment variable (when set to a positive
+    /// integer); else [`default_workers`]. The global pool lives for the
+    /// rest of the process.
+    pub fn global() -> Executor {
+        GLOBAL
+            .get_or_init(|| {
+                let workers = std::env::var("BUSYTIME_WORKERS")
+                    .ok()
+                    .and_then(|raw| raw.trim().parse::<usize>().ok())
+                    .unwrap_or(0);
+                Executor::new(workers)
+            })
+            .clone()
+    }
+
+    /// Sizes the global executor before first use (`busytime-cli` calls
+    /// this from `--workers`, making the flag a true process cap). Returns
+    /// `false` when the global pool already exists — the existing size
+    /// stays, because live batches may already depend on it.
+    pub fn configure_global(workers: usize) -> bool {
+        if GLOBAL.get().is_some() {
+            return false;
+        }
+        GLOBAL.set(Executor::new(workers)).is_ok()
+    }
+
+    /// The pool's worker budget: the number of threads it owns, which
+    /// bounds process-wide parallelism over all concurrent batches.
+    pub fn workers(&self) -> usize {
+        self.inner.workers
+    }
+
+    /// Workers currently running a job (`0..=workers`).
+    pub fn busy_workers(&self) -> usize {
+        self.inner.busy.load(Ordering::SeqCst)
+    }
+
+    /// Jobs queued but not yet picked up by a worker.
+    pub fn queue_depth(&self) -> usize {
+        self.inner.pending.load(Ordering::SeqCst)
+    }
+
+    /// Applies `f` to every item over the full worker budget; results are
+    /// returned in input order. Deterministic as long as `f` is.
+    pub fn par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        self.par_map_with(0, items, f)
+    }
+
+    /// [`Executor::par_map`] with a width cap: at most `width` of the
+    /// pool's workers serve this batch at any moment (`0` = the full
+    /// budget; always clamped to the budget and the item count). The cap
+    /// bounds one batch's *share*; the pool's thread count never changes.
+    ///
+    /// A panic in any invocation of `f` is re-raised as a
+    /// `"worker panicked"` panic on the calling thread once the batch has
+    /// settled.
+    pub fn par_map_with<T, R, F>(&self, width: usize, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        self.run_batch(width, items.len(), |i| f(&items[i]))
+    }
+
+    /// Deadline-enforcing [`Executor::par_map_with`]: `budget_of` names
+    /// each item's time budget (`None` = unbounded), a fresh
+    /// [`CancelToken`] armed with that budget is handed to `f` when a
+    /// worker picks the item up, and every completion is stamped with its
+    /// elapsed time and the pool's `over_deadline` verdict. Results are
+    /// returned in input order; the panic contract matches
+    /// [`Executor::par_map_with`].
+    pub fn par_map_deadline_with<T, R, B, F>(
+        &self,
+        width: usize,
+        items: &[T],
+        budget_of: B,
+        f: F,
+    ) -> Vec<DeadlineOutcome<R>>
+    where
+        T: Sync,
+        R: Send,
+        B: Fn(&T) -> Option<Duration> + Sync,
+        F: Fn(&T, &CancelToken) -> R + Sync,
+    {
+        self.par_map_deadline_under(width, &CancelToken::never(), items, budget_of, f)
+    }
+
+    /// [`Executor::par_map_deadline_with`] under a caller-owned `parent`
+    /// token: every per-item token is a child of `parent`, so cancelling
+    /// `parent` (a listener draining on SIGINT, a session torn down
+    /// mid-batch) cuts every in-flight solve at its next cooperative
+    /// checkpoint — and every *queued* item at pickup — while each item's
+    /// own budget still expires independently. The `over_deadline` verdict
+    /// stays a pure budget comparison — a parent cancellation does not
+    /// flag items as over their deadline.
+    pub fn par_map_deadline_under<T, R, B, F>(
+        &self,
+        width: usize,
+        parent: &CancelToken,
+        items: &[T],
+        budget_of: B,
+        f: F,
+    ) -> Vec<DeadlineOutcome<R>>
+    where
+        T: Sync,
+        R: Send,
+        B: Fn(&T) -> Option<Duration> + Sync,
+        F: Fn(&T, &CancelToken) -> R + Sync,
+    {
+        self.run_batch(width, items.len(), |i| {
+            let item = &items[i];
+            let budget = budget_of(item);
+            let token = match budget {
+                Some(b) => parent.child_after(b),
+                None => parent.child(),
+            };
+            let started = Instant::now();
+            let result = f(item, &token);
+            let elapsed = started.elapsed();
+            DeadlineOutcome {
+                result,
+                elapsed,
+                over_deadline: budget.is_some_and(|b| elapsed > b),
+            }
+        })
+    }
+
+    /// The batch engine: `job(i)` for every `i < n`, at most `width`
+    /// workers at a time, results in index order.
+    fn run_batch<R, F>(&self, width: usize, n: usize, job: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        if n == 0 {
+            return Vec::new();
+        }
+        if WORKER_OF.get() == Arc::as_ptr(&self.inner) as usize {
+            // nested submission from one of this pool's own workers: the
+            // thread is already part of the budget, so run inline —
+            // queuing and blocking here would deadlock a saturated pool.
+            // (A worker of a *different* pool falls through and queues:
+            // that pool's budget is independent and its workers are free
+            // to serve this batch.)
+            return run_sequential(n, &job);
+        }
+        let width = if width == 0 {
+            self.inner.workers
+        } else {
+            width
+        }
+        .min(self.inner.workers)
+        .min(n)
+        .max(1);
+        let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let state = BatchState {
+            cursor: AtomicUsize::new(0),
+            n,
+            job,
+            slots: &slots,
+        };
+        let completion = Arc::new(Completion {
+            status: Mutex::new(Status {
+                live_tasks: width,
+                panicked: false,
+            }),
+            done: Condvar::new(),
+        });
+        for _ in 0..width {
+            // SAFETY: see `make_task` — this call blocks below until every
+            // task (and every continuation it spawned) has finished, so
+            // `state` and `slots` outlive all uses of the erased pointer.
+            let task = unsafe { make_task(&self.inner, &state, &completion) };
+            self.inner.push(task);
+        }
+        let panicked = {
+            let mut status = lock(&completion.status);
+            while status.live_tasks > 0 {
+                status = completion
+                    .done
+                    .wait(status)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+            status.panicked
+        };
+        if panicked {
+            panic!("worker panicked");
+        }
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .expect("all slots filled")
+            })
+            .collect()
+    }
+}
+
+/// The inline path shared by tiny pools and nested submissions; same panic
+/// contract as the queued path.
+fn run_sequential<R, F>(n: usize, job: &F) -> Vec<R>
+where
+    F: Fn(usize) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| (0..n).map(job).collect()))
+        .unwrap_or_else(|_| panic!("worker panicked"))
+}
+
+/// One batch's shared state, allocated on the submitting thread's stack
+/// and reached from tasks through a lifetime-erased pointer.
+struct BatchState<'a, R, F> {
+    cursor: AtomicUsize,
+    n: usize,
+    job: F,
+    slots: &'a [Mutex<Option<R>>],
+}
+
+struct Status {
+    /// Tasks (or their queued continuations) still outstanding; the
+    /// submitting thread wakes when this reaches zero.
+    live_tasks: usize,
+    panicked: bool,
+}
+
+/// Completion channel between batch tasks and the submitting thread. Held
+/// in an `Arc` so the final notify races nothing: the stack-allocated
+/// [`BatchState`] is last touched *before* the final decrement, and the
+/// `Arc` keeps this signaling state alive past the caller's return.
+struct Completion {
+    status: Mutex<Status>,
+    done: Condvar,
+}
+
+/// A raw pointer that may cross threads; the batch protocol (submitter
+/// blocks until all tasks finish) guarantees the pointee outlives it.
+struct SendPtr<T>(*const T);
+unsafe impl<T: Sync> Send for SendPtr<T> {}
+
+/// Boxes one batch task for the injection queue.
+///
+/// # Safety
+///
+/// The returned job captures a pointer to `state`, which lives on the
+/// submitting thread's stack. The caller must block until the batch's
+/// `live_tasks` count reaches zero before `state` (or the slots it
+/// references) is dropped; every task touches `state` only before its
+/// final `finish_task` decrement, and a task that requeues a continuation
+/// does not decrement, so the count cannot reach zero while any queued
+/// continuation still holds the pointer.
+unsafe fn make_task<R, F>(
+    exec: &Arc<ExecInner>,
+    state: &BatchState<'_, R, F>,
+    completion: &Arc<Completion>,
+) -> Job
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let exec = Arc::clone(exec);
+    let completion = Arc::clone(completion);
+    let state = SendPtr(state as *const BatchState<'_, R, F>);
+    let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+        // move the whole `SendPtr` (edition-2021 closures would otherwise
+        // capture only the raw-pointer field, sidestepping its Send bound)
+        let state = state;
+        // SAFETY: the submitter is still blocked on `completion` (this
+        // task has not decremented `live_tasks` yet), so the pointee is
+        // alive.
+        let state = unsafe { &*state.0 };
+        run_task(&exec, state, &completion);
+    });
+    // SAFETY: lifetime erasure only — layout is identical, and the batch
+    // protocol above guarantees the borrows outlive the job.
+    unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Job>(task) }
+}
+
+fn run_task<R, F>(exec: &Arc<ExecInner>, state: &BatchState<'_, R, F>, completion: &Arc<Completion>)
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    loop {
+        let i = state.cursor.fetch_add(1, Ordering::Relaxed);
+        if i >= state.n {
+            return finish_task(completion, false);
+        }
+        match catch_unwind(AssertUnwindSafe(|| (state.job)(i))) {
+            Ok(result) => *lock(&state.slots[i]) = Some(result),
+            // the scoped-thread contract, preserved: the panicking
+            // "worker" stops, sibling tasks finish the cursor, and the
+            // submitter re-raises "worker panicked" once the batch settles
+            Err(_) => return finish_task(completion, true),
+        }
+        // cooperative yield: when other submissions are waiting and this
+        // batch still has items, requeue a continuation at the back of the
+        // line so concurrent batches share the budget at item granularity
+        // the depth read is heuristic — Relaxed keeps it free on the hot path
+        if state.cursor.load(Ordering::Relaxed) < state.n
+            && exec.pending.load(Ordering::Relaxed) > 0
+        {
+            // SAFETY: same protocol as `make_task` — `live_tasks` is not
+            // decremented on this path, so the submitter keeps waiting
+            // while the continuation holds the pointer.
+            let continuation = unsafe { make_task(exec, state, completion) };
+            exec.push(continuation);
+            return;
+        }
+    }
+}
+
+fn finish_task(completion: &Completion, panicked: bool) {
+    let mut status = lock(&completion.status);
+    status.live_tasks -= 1;
+    if panicked {
+        status.panicked = true;
+    }
+    if status.live_tasks == 0 {
+        completion.done.notify_all();
+    }
+}
+
+/// Applies `f` to every item on the [global](Executor::global) executor;
+/// results are returned in input order. Deterministic as long as `f` is.
 pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    par_map_with(default_workers(), items, f)
+    Executor::global().par_map(items, f)
 }
 
-/// Applies `f` to every item on a pool of exactly `workers` scoped threads
-/// (clamped to the item count; `0` means [`default_workers`]); results are
-/// returned in input order. Deterministic as long as `f` is.
-///
-/// A panic in any invocation of `f` is re-raised as a `"worker panicked"`
-/// panic on the calling thread once all workers have stopped.
+/// [`par_map`] with a width cap of `workers` (`0` = the global executor's
+/// full budget); see [`Executor::par_map_with`] for the contract.
 pub fn par_map_with<T, R, F>(workers: usize, items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    run_pool(workers, items.len(), |i| f(&items[i]))
+    Executor::global().par_map_with(workers, items, f)
 }
 
-/// One completed item of [`par_map_deadline_with`]: the result plus the
-/// pool's own timing verdict.
+/// One completed item of [`Executor::par_map_deadline_with`]: the result
+/// plus the pool's own timing verdict.
 #[derive(Clone, Debug)]
 pub struct DeadlineOutcome<R> {
     /// What `f` returned.
@@ -72,12 +590,7 @@ pub struct DeadlineOutcome<R> {
     pub over_deadline: bool,
 }
 
-/// Deadline-enforcing [`par_map_with`]: `budget_of` names each item's time
-/// budget (`None` = unbounded), a fresh [`CancelToken`] armed with that
-/// budget is handed to `f` when a worker picks the item up, and every
-/// completion is stamped with its elapsed time and the pool's
-/// `over_deadline` verdict. Results are returned in input order; the panic
-/// contract matches [`par_map_with`].
+/// [`Executor::par_map_deadline_with`] on the global executor.
 pub fn par_map_deadline_with<T, R, B, F>(
     workers: usize,
     items: &[T],
@@ -90,16 +603,10 @@ where
     B: Fn(&T) -> Option<Duration> + Sync,
     F: Fn(&T, &CancelToken) -> R + Sync,
 {
-    par_map_deadline_under(workers, &CancelToken::never(), items, budget_of, f)
+    Executor::global().par_map_deadline_with(workers, items, budget_of, f)
 }
 
-/// [`par_map_deadline_with`] under a caller-owned `parent` token: every
-/// per-item token is a child of `parent`, so cancelling `parent` (a
-/// listener draining on SIGINT, a session torn down mid-batch) cuts every
-/// in-flight solve at its next cooperative checkpoint while each item's
-/// own budget still expires independently. The `over_deadline` verdict
-/// stays a pure budget comparison — a parent cancellation does not flag
-/// items as over their deadline.
+/// [`Executor::par_map_deadline_under`] on the global executor.
 pub fn par_map_deadline_under<T, R, B, F>(
     workers: usize,
     parent: &CancelToken,
@@ -113,76 +620,7 @@ where
     B: Fn(&T) -> Option<Duration> + Sync,
     F: Fn(&T, &CancelToken) -> R + Sync,
 {
-    run_pool(workers, items.len(), |i| {
-        let item = &items[i];
-        let budget = budget_of(item);
-        let token = match budget {
-            Some(b) => parent.child_after(b),
-            None => parent.child(),
-        };
-        let started = Instant::now();
-        let result = f(item, &token);
-        let elapsed = started.elapsed();
-        DeadlineOutcome {
-            result,
-            elapsed,
-            over_deadline: budget.is_some_and(|b| elapsed > b),
-        }
-    })
-}
-
-/// The shared worker loop: `job(i)` for every `i < n` over a fixed pool,
-/// results in index order.
-fn run_pool<R, F>(workers: usize, n: usize, job: F) -> Vec<R>
-where
-    R: Send,
-    F: Fn(usize) -> R + Sync,
-{
-    let workers = if workers == 0 {
-        default_workers()
-    } else {
-        workers
-    }
-    .min(n.max(1));
-    if workers <= 1 || n <= 1 {
-        // Same panic contract as the threaded path: a panicking item
-        // surfaces as "worker panicked" regardless of pool size.
-        let result =
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (0..n).map(&job).collect()));
-        return result.unwrap_or_else(|_| panic!("worker panicked"));
-    }
-    let cursor = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(|| loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let r = job(i);
-                    *slots[i].lock().unwrap() = Some(r);
-                })
-            })
-            .collect();
-        let panicked_workers = handles
-            .into_iter()
-            .map(|handle| handle.join())
-            .filter(Result::is_err)
-            .count();
-        if panicked_workers > 0 {
-            panic!("worker panicked");
-        }
-    });
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("slot lock poisoned")
-                .expect("all slots filled")
-        })
-        .collect()
+    Executor::global().par_map_deadline_under(workers, parent, items, budget_of, f)
 }
 
 #[cfg(test)]
@@ -204,7 +642,7 @@ mod tests {
     }
 
     #[test]
-    fn fixed_worker_counts_agree() {
+    fn fixed_width_caps_agree() {
         let items: Vec<u64> = (0..100).collect();
         let expect: Vec<u64> = items.iter().map(|&x| x + 1).collect();
         for workers in [0, 1, 2, 4, 8, 200] {
@@ -226,6 +664,130 @@ mod tests {
         for (i, (j, _)) in out.iter().enumerate() {
             assert_eq!(i, *j);
         }
+    }
+
+    #[test]
+    fn instance_executor_bounds_concurrency_across_batches() {
+        // three submitters race batches onto a 2-worker pool: at no moment
+        // may more than 2 items run — the process-budget contract the
+        // listener relies on
+        let executor = Executor::new(2);
+        let live = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let submitters: Vec<_> = (0..3)
+            .map(|_| {
+                let executor = executor.clone();
+                let live = Arc::clone(&live);
+                let peak = Arc::clone(&peak);
+                std::thread::spawn(move || {
+                    let items: Vec<u32> = (0..8).collect();
+                    executor.par_map(&items, |&x| {
+                        let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+                        peak.fetch_max(now, Ordering::SeqCst);
+                        std::thread::sleep(Duration::from_millis(3));
+                        live.fetch_sub(1, Ordering::SeqCst);
+                        x
+                    })
+                })
+            })
+            .collect();
+        for submitter in submitters {
+            let out = submitter.join().unwrap();
+            assert_eq!(out, (0..8).collect::<Vec<u32>>());
+        }
+        assert!(
+            peak.load(Ordering::SeqCst) <= 2,
+            "2-worker pool ran {} items at once",
+            peak.load(Ordering::SeqCst)
+        );
+    }
+
+    #[test]
+    fn nested_par_map_on_a_worker_runs_inline() {
+        // a batch item submitting its own batch must not deadlock even on
+        // a single-worker pool: the nested call runs inline on the worker
+        let executor = Executor::new(1);
+        let items = vec![1u32, 2, 3];
+        let out = executor.par_map(&items, |&x| {
+            let inner = executor.par_map(&[x], |&y| y * 2);
+            inner[0]
+        });
+        assert_eq!(out, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn stats_settle_to_idle() {
+        let executor = Executor::new(2);
+        assert_eq!(executor.workers(), 2);
+        let items: Vec<u32> = (0..32).collect();
+        let _ = executor.par_map(&items, |&x| x);
+        assert_eq!(executor.queue_depth(), 0);
+        // the last worker decrements `busy` just after releasing the
+        // batch, so allow it a moment
+        let started = Instant::now();
+        while executor.busy_workers() != 0 && started.elapsed() < Duration::from_secs(5) {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(executor.busy_workers(), 0);
+    }
+
+    #[test]
+    fn nested_submission_to_a_different_pool_uses_that_pool() {
+        // a job on pool A submitting to pool B must run on B's workers
+        // (width 2 here), not inline-sequential on A's worker — verified
+        // by both items observing each other running concurrently
+        let a = Executor::new(1);
+        let b = Executor::new(2);
+        let live = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let out = a.par_map(&[()], |_| {
+            b.par_map(&[0u32, 1], |&x| {
+                let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+                peak.fetch_max(now, Ordering::SeqCst);
+                // stay live (bounded) until the sibling item overlaps;
+                // only B's two workers can make that happen — the inline
+                // path would run the items one after the other and peak
+                // would stay 1
+                let waited = Instant::now();
+                while peak.load(Ordering::SeqCst) < 2 && waited.elapsed() < Duration::from_secs(5) {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                live.fetch_sub(1, Ordering::SeqCst);
+                x
+            })
+        });
+        assert_eq!(out, vec![vec![0, 1]]);
+        assert_eq!(
+            peak.load(Ordering::SeqCst),
+            2,
+            "cross-pool nested batch must run on the target pool's workers"
+        );
+    }
+
+    #[test]
+    fn dropping_an_executor_joins_its_workers_promptly() {
+        // regression for a lost shutdown wakeup: the drop-time flag store
+        // must be ordered with the workers' check-then-park (both under
+        // the queue mutex), or a worker can park right past the only
+        // notify and the drop hangs in join
+        for _ in 0..50 {
+            let executor = Executor::new(2);
+            let _ = executor.par_map(&[1u32, 2, 3], |&x| x);
+            drop(executor);
+        }
+    }
+
+    #[test]
+    fn pool_survives_a_panicking_batch() {
+        // a panic fails its batch but must not kill pool threads — the
+        // process budget cannot silently shrink
+        let executor = Executor::new(1);
+        let exec = executor.clone();
+        let result = catch_unwind(AssertUnwindSafe(move || {
+            exec.par_map(&[1u32], |_| -> u32 { panic!("boom") })
+        }));
+        assert!(result.is_err());
+        assert_eq!(executor.par_map(&[2u32], |&x| x + 1), vec![3]);
     }
 
     #[test]
@@ -314,7 +876,7 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "worker panicked")]
-    fn propagates_panics_single_worker() {
+    fn propagates_panics_single_width() {
         let items = vec![1u32, 2, 3];
         let _ = par_map_with(1, &items, |&x| {
             if x == 2 {

@@ -15,9 +15,11 @@
 //! Infrastructure:
 //!
 //! * [`table`] — markdown/CSV tables experiments emit.
-//! * [`busytime_core::pool`] — the shared scoped-thread parallel map for
-//!   parameter sweeps (work-stealing over an atomic cursor; results land
-//!   in order); re-exported here as [`par_map`].
+//! * [`busytime_core::pool`] — the persistent process-wide executor every
+//!   parameter sweep submits to (shared atomic cursor balances skewed
+//!   cell costs; results land in input order); re-exported here as
+//!   [`par_map`]/[`par_map_with`], with [`Executor`] available for
+//!   harnesses that want their own pinned worker budget.
 //! * [`ratio`] — streaming min/mean/max ratio statistics.
 //! * [`experiments`] — one module per experiment.
 
@@ -26,7 +28,7 @@ pub mod ratio;
 pub mod solve;
 pub mod table;
 
-pub use busytime_core::pool::{par_map, par_map_with};
+pub use busytime_core::pool::{par_map, par_map_with, Executor};
 pub use ratio::RatioStats;
 pub use solve::{registry, solve_cell};
 pub use table::Table;

@@ -7,11 +7,13 @@
 //! lines in chunks, runs batched feature detection (each distinct instance
 //! is detected once — repeated identical instances hit the hash-keyed
 //! [`SharedFeatureCache`], which long-lived listeners share *across*
-//! connections), fans the solves of a chunk out over a fixed pool of
-//! [`busytime_core::pool`] workers, and streams exactly one response line
-//! per request line, in input order. Order is guaranteed by construction:
-//! the pool writes results into input-order slots and the writer drains
-//! chunks sequentially.
+//! connections), fans the solves of a chunk out over the process-wide
+//! [`busytime_core::pool::Executor`] (every session submits to the same
+//! persistent worker pool, so concurrent sessions share one worker budget
+//! instead of multiplying it), and streams exactly one response line per
+//! request line, in input order. Order is guaranteed by construction: the
+//! pool writes results into input-order slots and the writer drains chunks
+//! sequentially.
 //!
 //! Deadlines are enforced at the pool layer: each record's budget (its
 //! `deadline_ms`, else the batch default) arms a
@@ -33,7 +35,7 @@
 //! partial chunk instead of waiting for a full one, which is what keeps
 //! interactive socket clients from stalling behind the chunk size.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::hash::{Hash, Hasher};
 use std::io::{BufRead, Write};
 use std::sync::{Arc, Mutex};
@@ -41,7 +43,7 @@ use std::time::{Duration, Instant};
 
 use busytime_core::algo::SchedulerError;
 use busytime_core::cancel::CancelToken;
-use busytime_core::pool::{default_workers, par_map_deadline_under, par_map_with};
+use busytime_core::pool::Executor;
 use busytime_core::solve::{SolveError, SolveOptions, SolverRegistry, REPORT_SCHEMA_VERSION};
 use busytime_core::{Instance, InstanceFeatures, SolveRequest};
 
@@ -63,7 +65,12 @@ pub enum ErrorPolicy {
 /// Engine configuration.
 #[derive(Clone, Debug)]
 pub struct ServeConfig {
-    /// Worker threads for the solve pool (`0` = every available core).
+    /// Width cap: how many of the executor's workers one chunk of this
+    /// session may occupy at once (`0` = the executor's full budget). The
+    /// process-wide budget itself belongs to the [`Executor`] the session
+    /// runs on — [`Executor::global`], sized via `--workers` /
+    /// `BUSYTIME_WORKERS`, unless [`BatchSession::executor`] installs
+    /// another instance.
     pub workers: usize,
     /// Registry key used when a record names no solver.
     pub default_solver: String,
@@ -159,7 +166,8 @@ pub struct BatchSummary {
     pub cache_hits: usize,
     /// Feature-cache misses (distinct instances detected).
     pub cache_misses: usize,
-    /// Workers the pool actually used.
+    /// The session's effective solve width: how many of the process-wide
+    /// executor's workers its chunks could occupy at once.
     pub workers: usize,
     /// Records whose *deadline budget* actually cut the solve: the
     /// record's deadline chain had expired when a flagged report (or an
@@ -250,18 +258,32 @@ impl std::fmt::Display for BatchSummary {
     }
 }
 
-/// Hash-keyed feature cache; buckets hold `(Instance, features)` pairs so
-/// a hash collision degrades to an equality scan, never a wrong answer.
+/// Hash-keyed, recency-aware feature cache; buckets hold entry ids so a
+/// hash collision degrades to an equality scan, never a wrong answer.
 ///
-/// Bounded: once [`FeatureCache::CAP`] distinct instances are cached the
-/// whole cache is dropped and refilled (epoch eviction). A long-lived
-/// `serve` stream of mostly-distinct instances therefore holds at most
-/// one epoch of clones, while the intended repeat-heavy workloads keep
-/// their hits.
-#[derive(Default)]
+/// Bounded by true LRU eviction: every hit (and insert) stamps the entry
+/// with a monotone recency tick, and once the capacity is reached the
+/// least-recently-used entry is evicted — so a hot instance survives any
+/// amount of churn by cold ones. (The original epoch-reset policy dropped
+/// the *whole* cache at capacity, wiping hot entries along with cold.)
 struct FeatureCache {
-    buckets: HashMap<u64, Vec<(Instance, InstanceFeatures)>>,
-    entries: usize,
+    cap: usize,
+    /// Monotone recency clock, bumped on every hit and insert.
+    tick: u64,
+    next_id: u64,
+    /// Entry id → entry.
+    entries: HashMap<u64, CacheEntry>,
+    /// Instance hash → ids of the entries with that hash.
+    buckets: HashMap<u64, Vec<u64>>,
+    /// Recency tick → entry id; the first entry is the eviction victim.
+    order: BTreeMap<u64, u64>,
+}
+
+struct CacheEntry {
+    key: u64,
+    tick: u64,
+    inst: Instance,
+    features: InstanceFeatures,
 }
 
 fn instance_key(inst: &Instance) -> u64 {
@@ -271,25 +293,82 @@ fn instance_key(inst: &Instance) -> u64 {
     h.finish()
 }
 
+impl Default for FeatureCache {
+    fn default() -> Self {
+        FeatureCache::with_capacity(Self::CAP)
+    }
+}
+
 impl FeatureCache {
-    /// Distinct instances retained before the epoch resets.
+    /// Distinct instances retained before LRU eviction kicks in.
     const CAP: usize = 4096;
 
-    fn get(&self, key: u64, inst: &Instance) -> Option<&InstanceFeatures> {
-        self.buckets
+    fn with_capacity(cap: usize) -> Self {
+        FeatureCache {
+            cap: cap.max(1),
+            tick: 0,
+            next_id: 0,
+            entries: HashMap::new(),
+            buckets: HashMap::new(),
+            order: BTreeMap::new(),
+        }
+    }
+
+    /// The id of the entry caching `inst`, recency-bumped, if present.
+    fn find_and_touch(&mut self, key: u64, inst: &Instance) -> Option<u64> {
+        let id = *self
+            .buckets
             .get(&key)?
             .iter()
-            .find(|(cached, _)| cached == inst)
-            .map(|(_, features)| features)
+            .find(|&&id| self.entries.get(&id).is_some_and(|e| e.inst == *inst))?;
+        self.touch(id);
+        Some(id)
+    }
+
+    fn get(&mut self, key: u64, inst: &Instance) -> Option<InstanceFeatures> {
+        let id = self.find_and_touch(key, inst)?;
+        Some(self.entries[&id].features.clone())
+    }
+
+    /// Moves `id` to the most-recently-used position.
+    fn touch(&mut self, id: u64) {
+        let entry = self.entries.get_mut(&id).expect("entry for cached id");
+        self.order.remove(&entry.tick);
+        self.tick += 1;
+        entry.tick = self.tick;
+        self.order.insert(self.tick, id);
     }
 
     fn insert(&mut self, key: u64, inst: Instance, features: InstanceFeatures) {
-        if self.entries >= Self::CAP {
-            self.buckets.clear();
-            self.entries = 0;
+        // another session may have inserted the same instance between this
+        // session's miss and its detection finishing: refresh the recency
+        // instead of duplicating the entry
+        if self.find_and_touch(key, &inst).is_some() {
+            return;
         }
-        self.buckets.entry(key).or_default().push((inst, features));
-        self.entries += 1;
+        while self.entries.len() >= self.cap {
+            let (_, id) = self.order.pop_first().expect("order tracks entries");
+            let victim = self.entries.remove(&id).expect("entry for LRU id");
+            let bucket = self.buckets.get_mut(&victim.key).expect("bucket for entry");
+            bucket.retain(|&b| b != id);
+            if bucket.is_empty() {
+                self.buckets.remove(&victim.key);
+            }
+        }
+        self.tick += 1;
+        self.next_id += 1;
+        let id = self.next_id;
+        self.entries.insert(
+            id,
+            CacheEntry {
+                key,
+                tick: self.tick,
+                inst,
+                features,
+            },
+        );
+        self.buckets.entry(key).or_default().push(id);
+        self.order.insert(self.tick, id);
     }
 }
 
@@ -299,7 +378,8 @@ impl FeatureCache {
 /// connection and a repeated instance is detected once *process-wide*, not
 /// once per connection — the cross-batch reuse a long-lived server wants.
 /// The lock is held only for lookups and inserts (never during detection),
-/// and the epoch-eviction bound of the underlying cache caps memory.
+/// and the LRU eviction of the underlying cache caps memory while keeping
+/// hot instances resident through cold churn.
 #[derive(Clone, Default)]
 pub struct SharedFeatureCache {
     inner: Arc<Mutex<FeatureCache>>,
@@ -320,11 +400,20 @@ impl SharedFeatureCache {
         SharedFeatureCache::default()
     }
 
+    /// A cache handle retaining at most `cap` distinct instances before
+    /// LRU eviction (clamped to at least one); tests pin small capacities
+    /// to exercise churn.
+    pub fn with_capacity(cap: usize) -> Self {
+        SharedFeatureCache {
+            inner: Arc::new(Mutex::new(FeatureCache::with_capacity(cap))),
+        }
+    }
+
     fn lookup(&self, key: u64, inst: &Instance) -> Option<InstanceFeatures> {
         // poison-tolerant: cached features are immutable once inserted, so
         // the data stays sound; at worst an interrupted insert costs a
         // re-detection
-        lock_ignoring_poison(&self.inner).get(key, inst).cloned()
+        lock_ignoring_poison(&self.inner).get(key, inst)
     }
 
     fn insert(&self, key: u64, inst: Instance, features: InstanceFeatures) {
@@ -399,17 +488,23 @@ pub struct BatchSession<'a> {
     config: &'a ServeConfig,
     cache: SharedFeatureCache,
     cancel: CancelToken,
+    /// `None` = resolve [`Executor::global`] lazily at [`BatchSession::run`]
+    /// time — building a session with a pinned pool must not materialize
+    /// the process-wide one as a side effect.
+    executor: Option<Executor>,
 }
 
 impl<'a> BatchSession<'a> {
-    /// A session over `registry`/`config` with a private feature cache and
-    /// no cancellation (runs to EOF).
+    /// A session over `registry`/`config` with a private feature cache, no
+    /// cancellation (runs to EOF), and the process-wide
+    /// [`Executor::global`] as its pool.
     pub fn new(registry: &'a SolverRegistry, config: &'a ServeConfig) -> Self {
         BatchSession {
             registry,
             config,
             cache: SharedFeatureCache::new(),
             cancel: CancelToken::never(),
+            executor: None,
         }
     }
 
@@ -418,6 +513,14 @@ impl<'a> BatchSession<'a> {
     /// process-wide.
     pub fn cache(mut self, cache: SharedFeatureCache) -> Self {
         self.cache = cache;
+        self
+    }
+
+    /// Submits this session's chunks to `executor` instead of the global
+    /// pool — tests pin exact worker budgets this way, and embedders can
+    /// isolate a session from the process pool.
+    pub fn executor(mut self, executor: Executor) -> Self {
+        self.executor = Some(executor);
         self
     }
 
@@ -499,10 +602,13 @@ impl<'a> BatchSession<'a> {
     ) -> Result<BatchSummary, ServeError> {
         let config = self.config;
         let started = Instant::now();
+        let executor = self.executor.clone().unwrap_or_else(Executor::global);
+        // the session's effective width: its share of the process-wide
+        // executor budget, never more than the budget itself
         let workers = if config.workers == 0 {
-            default_workers()
+            executor.workers()
         } else {
-            config.workers
+            config.workers.min(executor.workers())
         };
         let chunk_size = if config.chunk_size == 0 {
             (workers * 32).clamp(64, 1024)
@@ -612,7 +718,7 @@ impl<'a> BatchSession<'a> {
                 }
             }
             let detected =
-                par_map_with(workers, &fresh, |(_, inst)| InstanceFeatures::detect(inst));
+                executor.par_map_with(workers, &fresh, |(_, inst)| InstanceFeatures::detect(inst));
             cache_misses += fresh.len();
             for ((key, inst), features) in fresh.into_iter().zip(detected) {
                 self.cache.insert(key, inst, features);
@@ -621,9 +727,9 @@ impl<'a> BatchSession<'a> {
                 if item.features.is_some() {
                     continue;
                 }
-                // filled from the cache the fresh detections just fed; the
-                // epoch eviction (or another session's churn) can drop
-                // entries in between, so re-detect inline in that rare case
+                // filled from the cache the fresh detections just fed; LRU
+                // eviction (or another session's churn) can drop entries in
+                // between, so re-detect inline in that rare case
                 item.features = Some(match self.cache.lookup(item.key, &item.inst) {
                     Some(features) => features,
                     None => InstanceFeatures::detect(&item.inst),
@@ -633,7 +739,7 @@ impl<'a> BatchSession<'a> {
             // fan the solves out under pool-enforced deadlines, every
             // record token a child of the session token; results land in
             // input order
-            let results = par_map_deadline_under(
+            let results = executor.par_map_deadline_under(
                 workers,
                 &self.cancel,
                 &items,
@@ -1134,6 +1240,73 @@ mod tests {
             (second.cache_hits, second.cache_misses),
             (1, 0),
             "the second session must reuse the first session's detection"
+        );
+    }
+
+    #[test]
+    fn lru_cache_keeps_a_hot_key_through_churn() {
+        // regression for the epoch-reset eviction this cache replaced: a
+        // hot instance touched between inserts used to be wiped whenever
+        // the fill crossed capacity; true LRU must keep it resident
+        let cache = SharedFeatureCache::with_capacity(4);
+        let hot = Instance::from_pairs([(0, 4), (1, 5)], 2);
+        let hot_key = instance_key(&hot);
+        cache.insert(hot_key, hot.clone(), InstanceFeatures::detect(&hot));
+        for i in 0..16i64 {
+            assert!(
+                cache.lookup(hot_key, &hot).is_some(),
+                "hot entry evicted at churn step {i}"
+            );
+            let cold = Instance::from_pairs([(10 + i, 13 + i), (11 + i, 14 + i)], 2);
+            cache.insert(
+                instance_key(&cold),
+                cold.clone(),
+                InstanceFeatures::detect(&cold),
+            );
+        }
+        assert!(
+            cache.lookup(hot_key, &hot).is_some(),
+            "hot entry must survive churn past capacity"
+        );
+        // the capacity bound still holds: the earliest cold entry is gone
+        let first_cold = Instance::from_pairs([(10, 13), (11, 14)], 2);
+        assert!(
+            cache
+                .lookup(instance_key(&first_cold), &first_cold)
+                .is_none(),
+            "LRU victim must have been evicted"
+        );
+    }
+
+    #[test]
+    fn duplicate_insert_refreshes_instead_of_duplicating() {
+        // two sessions can race miss → detect → insert on one instance;
+        // the second insert must not spend a capacity slot
+        let cache = SharedFeatureCache::with_capacity(2);
+        let a = Instance::from_pairs([(0, 4)], 2);
+        let b = Instance::from_pairs([(1, 5)], 2);
+        cache.insert(instance_key(&a), a.clone(), InstanceFeatures::detect(&a));
+        cache.insert(instance_key(&b), b.clone(), InstanceFeatures::detect(&b));
+        cache.insert(instance_key(&a), a.clone(), InstanceFeatures::detect(&a));
+        assert!(cache.lookup(instance_key(&b), &b).is_some());
+        assert!(cache.lookup(instance_key(&a), &a).is_some());
+    }
+
+    #[test]
+    fn session_runs_on_a_provided_executor() {
+        let registry = SolverRegistry::with_defaults();
+        let config = ServeConfig::default();
+        let executor = busytime_core::pool::Executor::new(1);
+        let input = concat!(r#"{"instance": {"g": 2, "jobs": [[0, 4], [1, 5]]}}"#, "\n");
+        let mut out = Vec::new();
+        let summary = BatchSession::new(&registry, &config)
+            .executor(executor)
+            .run(input.as_bytes(), &mut out)
+            .unwrap();
+        assert_eq!(summary.solved, 1);
+        assert_eq!(
+            summary.workers, 1,
+            "effective width must be the provided executor's budget"
         );
     }
 

@@ -17,17 +17,19 @@
 //!   feature-detect → deadline-pool solve → in-order stream core over any
 //!   `BufRead`/`Write` pair ([`engine::serve`] is the stdin-shaped
 //!   wrapper): batched feature detection with a hash-keyed
-//!   [`engine::SharedFeatureCache`] (shareable across sessions), solve
-//!   fan-out over a fixed [`busytime_core::pool`] worker pool, and a
-//!   [`engine::BatchSummary`] (throughput + solved/s, p50/p99 solve
-//!   latency, aggregate gap, cache hits, deadline hits) once the batch
-//!   drains.
+//!   [`engine::SharedFeatureCache`] (shareable across sessions, with true
+//!   LRU eviction), solve fan-out over the persistent process-wide
+//!   [`busytime_core::pool::Executor`], and a [`engine::BatchSummary`]
+//!   (throughput + solved/s, p50/p99 solve latency, aggregate gap, cache
+//!   hits, deadline hits) once the batch drains.
 //! * [`listener`] — the long-lived socket front-end: NDJSON over TCP or
 //!   Unix-domain sockets plus a minimal HTTP/1.1 `POST /solve` +
-//!   `GET /healthz` mode, one [`engine::BatchSession`] per connection
-//!   multiplexed onto the shared pool, the feature cache shared across
-//!   connections, per-connection summary trailer lines, and graceful
-//!   drain on shutdown/idle-timeout.
+//!   `GET /healthz` mode, one [`engine::BatchSession`] per connection, all
+//!   of them multiplexed onto the *one* process-wide executor (so
+//!   `--workers` bounds total solver parallelism no matter how many
+//!   connections are live), the feature cache shared across connections,
+//!   per-connection summary trailer lines, and graceful drain on
+//!   shutdown/idle-timeout.
 //!
 //! The CLI front-ends are `busytime-cli serve` (stdin → stdout),
 //! `busytime-cli batch FILE`, and `busytime-cli listen`

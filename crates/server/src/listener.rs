@@ -9,16 +9,19 @@
 //! [`BatchSummary`] JSON line once the client half-closes its write side.
 //! All connections share the process-wide [`SharedFeatureCache`] (a
 //! repeated instance is detected once across the whole server, not once
-//! per connection) and fan their solves out through the shared
-//! [`busytime_core::pool`] machinery. Note the worker budget is
-//! *per connection*: each session runs its chunks on its own set of up to
-//! `workers` pool threads, so total solve parallelism is bounded by
-//! `workers × max_conns`, not by `workers` alone — size `--workers` and
-//! `--max-conns` together (a single process-wide executor is on the
-//! roadmap alongside cross-process sharding). Per-record `deadline_ms`
-//! budgets (or the server's `--deadline-ms` default) ride the same
-//! [`busytime_core::CancelToken`] path as the batch tool, making them the
-//! request timeout of the service.
+//! per connection) and submit their solve chunks to one persistent
+//! [`busytime_core::pool::Executor`] — by default the process-wide
+//! [`Executor::global`], sized via `--workers` / `BUSYTIME_WORKERS`. The
+//! worker budget is therefore a true *process* cap: no matter how many
+//! connections are live, at most `workers` solver threads run at once;
+//! concurrent connections multiplex fairly over the pool's injection
+//! queue, and `GET /healthz` (plus the per-connection log lines) reports
+//! the pool's busy-worker count and queue depth alongside the budget.
+//! Per-record `deadline_ms` budgets (or the server's `--deadline-ms`
+//! default) ride the same [`busytime_core::CancelToken`] path as the batch
+//! tool, making them the request timeout of the service; a record's budget
+//! is armed when a worker picks it up, so time spent queued behind other
+//! connections never counts against it.
 //!
 //! The HTTP mode ([`ListenMode::Http`]) serves two routes for clients that
 //! would rather not speak a raw socket: `POST /solve` takes an NDJSON
@@ -60,7 +63,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use busytime_core::cancel::CancelToken;
-use busytime_core::pool::default_workers;
+use busytime_core::pool::Executor;
 use busytime_core::solve::{SolverRegistry, REPORT_SCHEMA_VERSION};
 
 use crate::engine::{
@@ -300,6 +303,7 @@ struct ConnShared {
     registry: Arc<SolverRegistry>,
     config: ListenConfig,
     cache: SharedFeatureCache,
+    executor: Executor,
     shutdown: CancelToken,
     http: bool,
     active: AtomicUsize,
@@ -324,6 +328,9 @@ pub struct Listener {
     config: ListenConfig,
     shutdown: CancelToken,
     cache: SharedFeatureCache,
+    /// `None` = resolve [`Executor::global`] lazily in [`Listener::run`] —
+    /// binding with a pinned pool must not materialize the global one.
+    executor: Option<Executor>,
 }
 
 impl Listener {
@@ -368,7 +375,17 @@ impl Listener {
             config,
             shutdown: CancelToken::never(),
             cache: SharedFeatureCache::new(),
+            executor: None,
         })
+    }
+
+    /// Runs every connection's solve chunks on `executor` instead of the
+    /// process-wide [`Executor::global`] — tests pin exact worker budgets
+    /// this way, and embedders running several listeners can give each its
+    /// own pool.
+    pub fn executor(mut self, executor: Executor) -> Self {
+        self.executor = Some(executor);
+        self
     }
 
     /// The actually-bound TCP address (resolves `:0` ephemeral ports);
@@ -427,6 +444,7 @@ impl Listener {
             registry: self.registry,
             config: self.config,
             cache: self.cache,
+            executor: self.executor.unwrap_or_else(Executor::global),
             shutdown: self.shutdown,
             http: self.http,
             active: AtomicUsize::new(0),
@@ -683,6 +701,7 @@ fn serve_ndjson_conn(
     let mut writer = BufWriter::new(conn);
     let session = BatchSession::new(&shared.registry, &shared.config.serve)
         .cache(shared.cache.clone())
+        .executor(shared.executor.clone())
         .cancel(shared.shutdown.clone());
     let summary = session.run(&mut reader, &mut writer)?;
     writeln!(writer, "{}", summary.to_json_line()).map_err(ServeError::Io)?;
@@ -702,8 +721,15 @@ fn record_summary(shared: &ConnShared, conn_id: usize, peer: &str, summary: &Bat
         ConnLog::Text => log_line(
             shared.config.log,
             format!(
-                "conn {conn_id} ({peer}): {} records ({} solved, {} errors), {} deadline hits",
-                summary.records, summary.solved, summary.errors, summary.deadline_hits
+                "conn {conn_id} ({peer}): {} records ({} solved, {} errors), {} deadline hits \
+                 | pool {}/{} busy, {} queued",
+                summary.records,
+                summary.solved,
+                summary.errors,
+                summary.deadline_hits,
+                shared.executor.busy_workers(),
+                shared.executor.workers(),
+                shared.executor.queue_depth(),
             ),
         ),
         ConnLog::Json => log_line(shared.config.log, summary.to_json_line()),
@@ -781,14 +807,16 @@ fn serve_http_conn(
                     }
                     Some(_) => keep_alive = false,
                 }
-                let workers = if shared.config.serve.workers == 0 {
-                    default_workers()
-                } else {
-                    shared.config.serve.workers
-                };
+                // honest capacity: the process-wide worker budget plus the
+                // pool's live load — not the per-session width figure that
+                // used to masquerade as capacity here
                 let body = format!(
                     "{{\"schema_version\": {REPORT_SCHEMA_VERSION}, \"status\": \"ok\", \
-                     \"workers\": {workers}, \"active_connections\": {}}}\n",
+                     \"workers\": {}, \"busy_workers\": {}, \"queue_depth\": {}, \
+                     \"active_connections\": {}}}\n",
+                    shared.executor.workers(),
+                    shared.executor.busy_workers(),
+                    shared.executor.queue_depth(),
                     shared.active.load(Ordering::SeqCst)
                 );
                 write_http_response(
@@ -830,6 +858,7 @@ fn serve_http_conn(
                 };
                 let session = BatchSession::new(&shared.registry, &shared.config.serve)
                     .cache(shared.cache.clone())
+                    .executor(shared.executor.clone())
                     .cancel(shared.shutdown.clone());
                 let mut response_body = Vec::new();
                 match session.run(body.as_slice(), &mut response_body) {

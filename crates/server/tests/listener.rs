@@ -1,15 +1,21 @@
 //! Integration coverage of the socket front-end: concurrent NDJSON
 //! connections with per-connection in-order responses, the HTTP mode, a
 //! connection killed mid-batch, deadlines over the wire, capacity
-//! rejection, and graceful shutdown drain.
+//! rejection, executor saturation (the process-wide worker budget), and
+//! graceful shutdown drain.
 
+use std::borrow::Cow;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
+use busytime_core::algo::{FirstFit, Scheduler, SchedulerError};
 use busytime_core::cancel::CancelToken;
+use busytime_core::pool::Executor;
 use busytime_core::solve::SolverRegistry;
+use busytime_core::{Instance, Schedule};
 use busytime_server::{
     parse_output_line, ConnLog, ListenConfig, ListenMode, ListenReport, Listener, OutputLine,
 };
@@ -42,6 +48,82 @@ fn start(mode: fn(String) -> ListenMode, config: ListenConfig) -> Server {
         shutdown,
         handle,
     }
+}
+
+/// [`start`] with a custom registry and a pinned executor — the harness
+/// for the process-wide-budget tests.
+fn start_on(executor: Executor, registry: SolverRegistry, config: ListenConfig) -> Server {
+    let mode = ListenMode::Tcp("127.0.0.1:0".to_string());
+    let listener = Listener::bind(&mode, Arc::new(registry), config)
+        .unwrap()
+        .executor(executor);
+    let addr = listener.local_addr().unwrap();
+    let shutdown = listener.shutdown_token();
+    let handle = std::thread::spawn(move || listener.run());
+    Server {
+        addr,
+        shutdown,
+        handle,
+    }
+}
+
+/// A solver that holds its worker for `hold` (polling its token, so a
+/// drain cuts it early) while counting how many of itself run at once —
+/// the probe for the process-wide worker budget.
+struct Gate {
+    live: Arc<AtomicUsize>,
+    peak: Arc<AtomicUsize>,
+    hold: Duration,
+}
+
+impl Scheduler for Gate {
+    fn name(&self) -> Cow<'static, str> {
+        Cow::Borrowed("Gate")
+    }
+
+    fn schedule_with(
+        &self,
+        inst: &Instance,
+        cancel: &CancelToken,
+    ) -> Result<Schedule, SchedulerError> {
+        let now = self.live.fetch_add(1, Ordering::SeqCst) + 1;
+        self.peak.fetch_max(now, Ordering::SeqCst);
+        let started = Instant::now();
+        while started.elapsed() < self.hold && !cancel.is_cancelled() {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        self.live.fetch_sub(1, Ordering::SeqCst);
+        FirstFit::paper().schedule_with(inst, &CancelToken::never())
+    }
+}
+
+fn gate_registry(
+    live: &Arc<AtomicUsize>,
+    peak: &Arc<AtomicUsize>,
+    hold: Duration,
+) -> SolverRegistry {
+    let mut registry = SolverRegistry::with_defaults();
+    let live = Arc::clone(live);
+    let peak = Arc::clone(peak);
+    registry.register(
+        "gate",
+        "holds a worker, counting concurrency (test stub)",
+        None,
+        Box::new(move |_| {
+            Box::new(Gate {
+                live: live.clone(),
+                peak: peak.clone(),
+                hold,
+            })
+        }),
+    );
+    registry
+}
+
+fn gate_record(id: &str) -> String {
+    format!(
+        r#"{{"id": "{id}", "instance": {{"g": 2, "jobs": [[0, 4], [1, 5]]}}, "solver": "gate"}}"#
+    )
 }
 
 impl Server {
@@ -433,6 +515,91 @@ fn idle_timeout_stops_a_quiet_listener() {
     assert_eq!(lines.len(), 2);
     let report = server.handle.join().unwrap().unwrap();
     assert_eq!(report.connections, 1);
+}
+
+#[test]
+fn executor_caps_process_wide_parallelism_across_connections() {
+    // more connections than workers: a pinned 2-worker executor must
+    // bound *total* live solver threads at 2 no matter how many
+    // connections are in flight, while every connection still gets its
+    // responses in input order
+    let live = Arc::new(AtomicUsize::new(0));
+    let peak = Arc::new(AtomicUsize::new(0));
+    let registry = gate_registry(&live, &peak, Duration::from_millis(40));
+    let server = start_on(Executor::new(2), registry, quiet_config());
+
+    let mut clients: Vec<Client> = (0..4).map(|_| Client::connect(server.addr)).collect();
+    for (c, client) in clients.iter_mut().enumerate() {
+        for r in 0..3 {
+            client.send(&gate_record(&format!("c{c}-r{r}")));
+        }
+        client.finish();
+    }
+    for (c, client) in clients.iter_mut().enumerate() {
+        let lines = client.read_to_end();
+        assert_eq!(lines.len(), 4, "3 responses + summary: {lines:?}");
+        for (r, line) in lines[..3].iter().enumerate() {
+            assert_report_id(line, &format!("c{c}-r{r}"));
+        }
+        assert!(lines[3].contains("\"records\": 3"), "{}", lines[3]);
+    }
+    assert!(
+        peak.load(Ordering::SeqCst) <= 2,
+        "2-worker budget ran {} solves at once",
+        peak.load(Ordering::SeqCst)
+    );
+    assert_eq!(live.load(Ordering::SeqCst), 0);
+
+    let report = server.stop();
+    assert_eq!(report.connections, 4);
+    assert_eq!(report.records, 12);
+    assert_eq!(report.solved, 12);
+}
+
+#[test]
+fn shutdown_drain_cuts_records_still_queued_on_the_executor() {
+    // a single worker and a batch of slow records: once the first solve
+    // is on the worker, SIGINT-style shutdown must cut it cooperatively
+    // and poison the tokens of the records still queued, so the whole
+    // batch answers promptly (flagged) instead of waiting out every hold
+    let live = Arc::new(AtomicUsize::new(0));
+    let peak = Arc::new(AtomicUsize::new(0));
+    // 2 s per record uncancelled — six of them would hold the drain for
+    // 12 s; the cut must finish far inside that
+    let registry = gate_registry(&live, &peak, Duration::from_secs(2));
+    let server = start_on(Executor::new(1), registry, quiet_config());
+
+    let mut client = Client::connect(server.addr);
+    for r in 0..6 {
+        client.send(&gate_record(&format!("q-{r}")));
+    }
+    let started = Instant::now();
+    // wait until the first record is actually on the worker, then drain
+    while live.load(Ordering::SeqCst) == 0 && started.elapsed() < Duration::from_secs(10) {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(live.load(Ordering::SeqCst) > 0, "no solve ever started");
+    server.shutdown.cancel();
+
+    let lines = client.read_to_end();
+    let drained_in = started.elapsed();
+    assert_eq!(lines.len(), 7, "6 responses + summary: {lines:?}");
+    for (r, line) in lines[..6].iter().enumerate() {
+        assert_report_id(line, &format!("q-{r}"));
+        assert!(
+            line.contains("\"deadline_hit\": true"),
+            "record q-{r} must answer as cut: {line}"
+        );
+    }
+    assert!(lines[6].contains("\"records\": 6"), "{}", lines[6]);
+    assert!(
+        drained_in < Duration::from_secs(8),
+        "drain took {drained_in:?}; queued records were not cut"
+    );
+
+    let report = server.handle.join().unwrap().unwrap();
+    assert_eq!(report.connections, 1);
+    assert_eq!(report.records, 6);
 }
 
 #[cfg(unix)]

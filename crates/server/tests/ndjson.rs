@@ -2,16 +2,28 @@
 //! records, input-order preservation under a wide worker pool, and the
 //! empty-batch edge case.
 
+use busytime_core::pool::Executor;
 use busytime_core::solve::SolverRegistry;
 use busytime_instances::json;
 use busytime_server::{
-    parse_output_line, serve, BatchSummary, ErrorPolicy, OutputLine, ServeConfig,
+    parse_output_line, serve, BatchSession, BatchSummary, ErrorPolicy, OutputLine, ServeConfig,
 };
 
 fn run(input: &str, config: &ServeConfig) -> (Vec<String>, BatchSummary) {
     let registry = SolverRegistry::with_defaults();
     let mut out = Vec::new();
     let summary = serve(input.as_bytes(), &mut out, &registry, config).unwrap();
+    let text = String::from_utf8(out).unwrap();
+    (text.lines().map(str::to_string).collect(), summary)
+}
+
+fn run_on(executor: Executor, input: &str, config: &ServeConfig) -> (Vec<String>, BatchSummary) {
+    let registry = SolverRegistry::with_defaults();
+    let mut out = Vec::new();
+    let summary = BatchSession::new(&registry, config)
+        .executor(executor)
+        .run(input.as_bytes(), &mut out)
+        .unwrap();
     let text = String::from_utf8(out).unwrap();
     (text.lines().map(str::to_string).collect(), summary)
 }
@@ -115,7 +127,10 @@ fn input_order_is_preserved_under_eight_workers() {
         chunk_size: 16,
         ..ServeConfig::default()
     };
-    let (lines, summary) = run(&input, &config);
+    // a pinned 8-worker executor: the width must not be clamped below 8
+    // by whatever budget the host machine's global pool happens to have
+    let executor = busytime_core::pool::Executor::new(8);
+    let (lines, summary) = run_on(executor, &input, &config);
     assert_eq!(lines.len(), 200);
     assert_eq!(summary.records, 200);
     assert_eq!(summary.workers, 8);

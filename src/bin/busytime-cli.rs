@@ -99,7 +99,8 @@ commands:
            serves POST /solve + GET /healthz; tcp `:0` picks a free port,
            printed as `listening on ...` on stderr)
            [--max-conns N] [--idle-timeout-ms MS] [--conn-idle-timeout-ms MS]
-           [--workers N]
+           [--workers N]        process-wide worker budget shared by every
+           connection (also via BUSYTIME_WORKERS; default: all cores)
            [--solver NAME] [--chunk N] [--fail-fast | --keep-going]
            [--quiet | --summary-json]
            [--deadline-ms MS]   per-record request timeout default
@@ -255,8 +256,15 @@ fn serve_config(opts: &HashMap<String, String>) -> Result<ServeConfig, String> {
     if opts.contains_key("fail-fast") && opts.contains_key("keep-going") {
         return Err("--fail-fast and --keep-going are mutually exclusive".to_string());
     }
+    let workers = get_num(opts, "workers", 0usize)?;
+    if workers > 0 {
+        // size the process-wide executor before its first use: `--workers`
+        // is a true process cap, shared by every connection/batch, not a
+        // per-connection figure
+        busytime::core::pool::Executor::configure_global(workers);
+    }
     let mut config = ServeConfig {
-        workers: get_num(opts, "workers", 0usize)?,
+        workers,
         default_solver: opts
             .get("solver")
             .cloned()
@@ -347,8 +355,14 @@ fn cmd_listen(opts: &HashMap<String, String>) -> Result<(), String> {
     let listener = Listener::bind(&mode, std::sync::Arc::new(full_registry()), config)
         .map_err(|e| e.to_string())?;
     // the bound endpoint resolves ephemeral ports; clients (and the CI
-    // smoke job) read it off stderr
-    eprintln!("listening on {}", listener.endpoint());
+    // smoke job) read it off stderr. The worker figure is the honest one:
+    // the process-wide executor budget shared by every connection.
+    let executor = busytime::core::pool::Executor::global();
+    eprintln!(
+        "listening on {} ({} workers process-wide)",
+        listener.endpoint(),
+        executor.workers()
+    );
     install_shutdown_signals(listener.shutdown_token());
     let report = listener.run().map_err(|e| e.to_string())?;
     if !quiet {

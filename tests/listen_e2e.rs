@@ -30,11 +30,20 @@ fn spawn_listener(extra: &[&str]) -> (Child, String, BufReader<std::process::Chi
     let mut stderr = BufReader::new(child.stderr.take().unwrap());
     let mut banner = String::new();
     stderr.read_line(&mut banner).unwrap();
+    // the banner is `listening on tcp://ADDR (N workers process-wide)`;
+    // the address is the first token after the scheme
     let addr = banner
         .trim()
         .strip_prefix("listening on tcp://")
         .unwrap_or_else(|| panic!("unexpected banner: {banner:?}"))
+        .split_whitespace()
+        .next()
+        .unwrap()
         .to_string();
+    assert!(
+        banner.contains("workers process-wide"),
+        "banner must report the honest process budget: {banner:?}"
+    );
     (child, addr, stderr)
 }
 
