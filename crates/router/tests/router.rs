@@ -1,0 +1,424 @@
+//! End-to-end coverage of the shard router over in-process listeners:
+//! in-order fan-in across skewed shards, the additive-capacity speedup,
+//! shard death mid-batch (retry on the survivor, no drops, no
+//! duplicates), all-shards-down degradation, sticky pinning, and the
+//! sniffed fleet health endpoint.
+
+use std::borrow::Cow;
+use std::collections::HashSet;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use busytime_core::algo::{FirstFit, Scheduler, SchedulerError};
+use busytime_core::cancel::CancelToken;
+use busytime_core::pool::Executor;
+use busytime_core::solve::SolverRegistry;
+use busytime_core::{Instance, Schedule};
+use busytime_router::{RouteConfig, RouteReport, Router, ShardState};
+use busytime_server::{
+    parse_output_line, ConnLog, ListenConfig, ListenMode, ListenReport, Listener, OutputLine,
+};
+
+/// A solver that sleeps `hold` before delegating to FirstFit — the knob
+/// that makes per-shard latency visible and skewable in these tests.
+struct Nap {
+    hold: Duration,
+}
+
+impl Scheduler for Nap {
+    fn name(&self) -> Cow<'static, str> {
+        Cow::Borrowed("Nap")
+    }
+
+    fn schedule_with(
+        &self,
+        inst: &Instance,
+        cancel: &CancelToken,
+    ) -> Result<Schedule, SchedulerError> {
+        let started = Instant::now();
+        while started.elapsed() < self.hold && !cancel.is_cancelled() {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        FirstFit::paper().schedule_with(inst, &CancelToken::never())
+    }
+}
+
+fn nap_registry(hold: Duration) -> SolverRegistry {
+    let mut registry = SolverRegistry::with_defaults();
+    registry.register(
+        "nap",
+        "sleeps, then first-fit (test stub)",
+        None,
+        Box::new(move |_| Box::new(Nap { hold })),
+    );
+    registry
+}
+
+fn record(id: &str) -> String {
+    format!(
+        r#"{{"id": "{id}", "instance": {{"g": 2, "jobs": [[0, 4], [1, 5]]}}, "solver": "nap"}}"#
+    )
+}
+
+/// One in-process shard: a real listener on an ephemeral port with its
+/// own 1-worker executor and a `nap` solver of the given latency.
+struct Shard {
+    addr: SocketAddr,
+    shutdown: CancelToken,
+    handle: std::thread::JoinHandle<std::io::Result<ListenReport>>,
+}
+
+fn start_shard(nap: Duration, workers: usize, shard_id: &str) -> Shard {
+    let config = ListenConfig {
+        log: ConnLog::Quiet,
+        read_timeout: Duration::from_millis(30),
+        shard_id: Some(shard_id.to_string()),
+        ..ListenConfig::default()
+    };
+    let mode = ListenMode::Tcp("127.0.0.1:0".to_string());
+    let listener = Listener::bind(&mode, Arc::new(nap_registry(nap)), config)
+        .unwrap()
+        .executor(Executor::new(workers));
+    let addr = listener.local_addr().unwrap();
+    let shutdown = listener.shutdown_token();
+    let handle = std::thread::spawn(move || listener.run());
+    Shard {
+        addr,
+        shutdown,
+        handle,
+    }
+}
+
+impl Shard {
+    fn stop(self) -> ListenReport {
+        self.shutdown.cancel();
+        self.handle.join().unwrap().unwrap()
+    }
+}
+
+/// The router under test, on its own ephemeral port.
+struct Front {
+    addr: SocketAddr,
+    shutdown: CancelToken,
+    handle: std::thread::JoinHandle<std::io::Result<RouteReport>>,
+}
+
+fn quiet_route_config() -> RouteConfig {
+    RouteConfig {
+        quiet: true,
+        read_timeout: Duration::from_millis(30),
+        probe_interval: Duration::from_millis(100),
+        ..RouteConfig::default()
+    }
+}
+
+fn start_router(shards: Vec<Arc<ShardState>>, config: RouteConfig) -> Front {
+    let mode = ListenMode::Tcp("127.0.0.1:0".to_string());
+    let router = Router::bind(&mode, shards, config).unwrap();
+    let addr = router.local_addr().unwrap();
+    let shutdown = router.shutdown_token();
+    let handle = std::thread::spawn(move || router.run());
+    Front {
+        addr,
+        shutdown,
+        handle,
+    }
+}
+
+impl Front {
+    fn stop(self) -> RouteReport {
+        self.shutdown.cancel();
+        self.handle.join().unwrap().unwrap()
+    }
+}
+
+/// One NDJSON client connection with blocking line reads (generous
+/// timeout so a hung router fails the test instead of wedging it).
+struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        let reader = BufReader::new(stream.try_clone().unwrap());
+        Client { stream, reader }
+    }
+
+    fn send(&mut self, line: &str) {
+        self.stream.write_all(line.as_bytes()).unwrap();
+        self.stream.write_all(b"\n").unwrap();
+        self.stream.flush().unwrap();
+    }
+
+    /// Half-close the write side; the router answers the batch, appends
+    /// the merged trailer, and closes.
+    fn finish(&mut self) {
+        self.stream.shutdown(Shutdown::Write).unwrap();
+    }
+
+    fn read_to_end(&mut self) -> Vec<String> {
+        let mut rest = String::new();
+        self.reader.read_to_string(&mut rest).unwrap();
+        rest.lines().map(str::to_string).collect()
+    }
+}
+
+/// Sends `ids` as one batch and returns all response lines (trailer
+/// included, as the last line).
+fn run_batch(addr: SocketAddr, ids: &[String]) -> Vec<String> {
+    let mut client = Client::connect(addr);
+    for id in ids {
+        client.send(&record(id));
+    }
+    client.finish();
+    client.read_to_end()
+}
+
+/// Asserts the first `n` lines are in-order responses answering lines
+/// `1..=n` with each id exactly once, and returns the trailer line.
+fn assert_ordered_batch(lines: &[String], ids: &[String]) -> String {
+    assert_eq!(
+        lines.len(),
+        ids.len() + 1,
+        "one response per record plus the trailer: {lines:#?}"
+    );
+    let mut seen = HashSet::new();
+    for (i, line) in lines[..ids.len()].iter().enumerate() {
+        let parsed = parse_output_line(line).unwrap_or_else(|e| panic!("{line}: {e:?}"));
+        assert_eq!(parsed.line(), i + 1, "responses in input order: {line}");
+        match parsed {
+            OutputLine::Report { id, .. } => {
+                let id = id.expect("ids echoed");
+                assert_eq!(id, ids[i], "each line answers its own record");
+                assert!(seen.insert(id), "no duplicated answers: {line}");
+            }
+            OutputLine::Error { .. } => panic!("unexpected error line: {line}"),
+        }
+    }
+    lines[ids.len()].clone()
+}
+
+#[test]
+fn responses_stay_in_input_order_across_skewed_shards() {
+    // shard 0 is 25x slower than shard 1: late answers from the slow
+    // shard force the fan-in to hold the fast shard's answers back
+    let slow = start_shard(Duration::from_millis(25), 1, "slow");
+    let fast = start_shard(Duration::from_millis(1), 1, "fast");
+    let shards = vec![
+        ShardState::new(0, slow.addr.to_string()),
+        ShardState::new(1, fast.addr.to_string()),
+    ];
+    let front = start_router(shards, quiet_route_config());
+
+    let ids: Vec<String> = (0..12).map(|i| format!("r-{i}")).collect();
+    let lines = run_batch(front.addr, &ids);
+    let trailer = assert_ordered_batch(&lines, &ids);
+    assert!(trailer.contains("\"records\": 12"), "{trailer}");
+    assert!(trailer.contains("\"solved\": 12"), "{trailer}");
+    assert!(
+        !trailer.contains("\"line\""),
+        "the trailer is a summary, not a response: {trailer}"
+    );
+
+    let report = front.stop();
+    assert_eq!(report.connections, 1);
+    assert_eq!(report.records, 12);
+    assert_eq!(report.failed, 0);
+    // both shards actually served (the slow one was not starved out)
+    let slow_report = slow.stop();
+    let fast_report = fast.stop();
+    assert_eq!(slow_report.records + fast_report.records, 12);
+    assert!(
+        slow_report.records > 0,
+        "slow shard served part of the batch"
+    );
+    assert!(
+        fast_report.records > 0,
+        "fast shard served part of the batch"
+    );
+}
+
+#[test]
+fn two_one_worker_shards_beat_one_through_the_router() {
+    // the additive-capacity claim: 8 records of ~40ms on one 1-worker
+    // shard cost >= 320ms serialized; the same batch through a router
+    // over TWO 1-worker shards must be strictly faster
+    let nap = Duration::from_millis(40);
+    let ids: Vec<String> = (0..8).map(|i| format!("p-{i}")).collect();
+
+    let solo = start_shard(nap, 1, "solo");
+    let started = Instant::now();
+    let shards = vec![ShardState::new(0, solo.addr.to_string())];
+    let front = start_router(shards, quiet_route_config());
+    let lines = run_batch(front.addr, &ids);
+    let solo_elapsed = started.elapsed();
+    assert_ordered_batch(&lines, &ids);
+    front.stop();
+    solo.stop();
+
+    let a = start_shard(nap, 1, "a");
+    let b = start_shard(nap, 1, "b");
+    let started = Instant::now();
+    let shards = vec![
+        ShardState::new(0, a.addr.to_string()),
+        ShardState::new(1, b.addr.to_string()),
+    ];
+    let front = start_router(shards, quiet_route_config());
+    let lines = run_batch(front.addr, &ids);
+    let dual_elapsed = started.elapsed();
+    assert_ordered_batch(&lines, &ids);
+    front.stop();
+    let served_a = a.stop().records;
+    let served_b = b.stop().records;
+    assert_eq!(served_a + served_b, 8);
+    assert!(
+        dual_elapsed < solo_elapsed,
+        "two shards must beat one: dual {dual_elapsed:?} vs solo {solo_elapsed:?}"
+    );
+}
+
+#[test]
+fn shard_death_mid_batch_retries_on_the_survivor() {
+    // shard 0 is a stub that accepts one connection, reads a single
+    // record, then drops everything without answering — the worst-timed
+    // death. Its records must be re-dispatched to the survivor with
+    // their original line stamps.
+    let stub = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let stub_addr = stub.local_addr().unwrap();
+    let stub_thread = std::thread::spawn(move || {
+        let (conn, _) = stub.accept().unwrap();
+        let mut reader = BufReader::new(conn);
+        let mut line = String::new();
+        let _ = reader.read_line(&mut line);
+        // conn and listener drop here: EOF towards the router, refused
+        // connects afterwards
+    });
+    let survivor = start_shard(Duration::from_millis(5), 1, "survivor");
+    let shards = vec![
+        ShardState::new(0, stub_addr.to_string()),
+        ShardState::new(1, survivor.addr.to_string()),
+    ];
+    let front = start_router(shards, quiet_route_config());
+
+    let ids: Vec<String> = (0..8).map(|i| format!("k-{i}")).collect();
+    let lines = run_batch(front.addr, &ids);
+    let trailer = assert_ordered_batch(&lines, &ids);
+    assert!(trailer.contains("\"records\": 8"), "{trailer}");
+
+    let report = front.stop();
+    assert_eq!(report.records, 8);
+    assert!(report.retried >= 1, "the stub's record was re-dispatched");
+    assert_eq!(report.failed, 0);
+    stub_thread.join().unwrap();
+    assert_eq!(
+        survivor.stop().records,
+        8,
+        "the survivor answered everything"
+    );
+}
+
+#[test]
+fn all_shards_down_degrades_to_structured_errors_without_hanging() {
+    // two bound-then-dropped ports: connects are refused immediately
+    let dead_addr = |_| {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.local_addr().unwrap().to_string()
+    };
+    let shards = vec![
+        ShardState::new(0, dead_addr(0)),
+        ShardState::new(1, dead_addr(1)),
+    ];
+    let front = start_router(shards, quiet_route_config());
+
+    let mut client = Client::connect(front.addr);
+    for i in 0..3 {
+        client.send(&record(&format!("d-{i}")));
+    }
+    client.finish();
+    let lines = client.read_to_end();
+    assert_eq!(
+        lines.len(),
+        4,
+        "three error lines plus the trailer: {lines:#?}"
+    );
+    for (i, line) in lines[..3].iter().enumerate() {
+        match parse_output_line(line).unwrap() {
+            OutputLine::Error { line: l, id, error } => {
+                assert_eq!(l, i + 1, "error lines keep input order");
+                assert_eq!(id.as_deref(), Some(format!("d-{i}").as_str()));
+                assert!(error.contains("no healthy shard"), "{error}");
+            }
+            other => panic!("expected error line, got {other:?}"),
+        }
+    }
+    assert!(lines[3].contains("\"records\": 3"), "{}", lines[3]);
+    assert!(lines[3].contains("\"errors\": 3"), "{}", lines[3]);
+
+    let report = front.stop();
+    assert_eq!(report.failed, 3);
+}
+
+#[test]
+fn sticky_mode_pins_a_connection_to_one_shard() {
+    let a = start_shard(Duration::from_millis(1), 1, "a");
+    let b = start_shard(Duration::from_millis(1), 1, "b");
+    let shards = vec![
+        ShardState::new(0, a.addr.to_string()),
+        ShardState::new(1, b.addr.to_string()),
+    ];
+    let config = RouteConfig {
+        sticky: true,
+        ..quiet_route_config()
+    };
+    let front = start_router(shards, config);
+
+    let ids: Vec<String> = (0..6).map(|i| format!("s-{i}")).collect();
+    let lines = run_batch(front.addr, &ids);
+    assert_ordered_batch(&lines, &ids);
+    front.stop();
+
+    let mut served = [a.stop().records, b.stop().records];
+    served.sort_unstable();
+    assert_eq!(
+        served,
+        [0, 6],
+        "sticky mode keeps the whole connection on one shard"
+    );
+}
+
+#[test]
+fn health_probe_on_the_ndjson_endpoint_reports_the_fleet() {
+    let a = start_shard(Duration::from_millis(1), 1, "a");
+    let b = start_shard(Duration::from_millis(1), 1, "b");
+    let shards = vec![
+        ShardState::new(0, a.addr.to_string()),
+        ShardState::new(1, b.addr.to_string()),
+    ];
+    let front = start_router(shards, quiet_route_config());
+
+    let mut stream = TcpStream::connect(front.addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    stream
+        .write_all(b"GET /healthz HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+    assert!(response.contains("\"role\": \"router\""), "{response}");
+    assert!(response.contains("\"shards\": 2"), "{response}");
+
+    let report = front.stop();
+    assert_eq!(report.health_probes, 1, "a probe is not a connection");
+    assert_eq!(report.connections, 0);
+    a.stop();
+    b.stop();
+}

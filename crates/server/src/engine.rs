@@ -46,6 +46,7 @@ use busytime_core::cancel::CancelToken;
 use busytime_core::pool::Executor;
 use busytime_core::solve::{SolveError, SolveOptions, SolverRegistry, REPORT_SCHEMA_VERSION};
 use busytime_core::{Instance, InstanceFeatures, SolveRequest};
+use busytime_instances::json::{self, JsonError, Value};
 
 use crate::protocol::{error_line, report_line, BatchRecord};
 
@@ -226,6 +227,121 @@ impl BatchSummary {
             self.workers,
             self.deadline_hits,
         )
+    }
+
+    /// Parses a line written by [`BatchSummary::to_json_line`] back into a
+    /// summary — how the shard router recognizes and collects each
+    /// backend's trailer before merging. Distinguishing shape: a summary
+    /// line carries `records` and never `line` (every per-record response
+    /// line carries `line`). Numeric fields absent from an older
+    /// producer's line default to zero; a `null` `aggregate_gap`
+    /// round-trips to [`f64::INFINITY`].
+    pub fn from_json_line(line: &str) -> Result<BatchSummary, JsonError> {
+        let value = json::parse(line.trim())?;
+        if value.get("line").is_some() {
+            return Err(JsonError(
+                "not a batch summary: carries a `line` field".into(),
+            ));
+        }
+        if value.get("records").is_none() {
+            return Err(JsonError("not a batch summary: no `records` field".into()));
+        }
+        let count = |key: &str| -> Result<usize, JsonError> {
+            match value.get(key) {
+                None => Ok(0),
+                Some(v) => v
+                    .as_i64()
+                    .and_then(|n| usize::try_from(n).ok())
+                    .ok_or_else(|| JsonError(format!("summary `{key}` is not a count"))),
+            }
+        };
+        let int = |key: &str| -> Result<i64, JsonError> {
+            match value.get(key) {
+                None => Ok(0),
+                Some(v) => v
+                    .as_i64()
+                    .ok_or_else(|| JsonError(format!("summary `{key}` is not an integer"))),
+            }
+        };
+        let num = |key: &str| -> Result<f64, JsonError> {
+            match value.get(key) {
+                None => Ok(0.0),
+                Some(Value::Int(n)) => Ok(*n as f64),
+                Some(Value::Number(n)) => Ok(*n),
+                Some(_) => Err(JsonError(format!("summary `{key}` is not a number"))),
+            }
+        };
+        let millis = |key: &str| -> Result<Duration, JsonError> {
+            Ok(Duration::from_secs_f64(num(key)?.max(0.0) / 1e3))
+        };
+        let total_cost = int("total_cost")?;
+        let total_lower_bound = int("total_lower_bound")?;
+        let aggregate_gap = match value.get("aggregate_gap") {
+            Some(Value::Null) => f64::INFINITY,
+            Some(_) => num("aggregate_gap")?,
+            None => Self::aggregate_gap(total_cost, total_lower_bound),
+        };
+        Ok(BatchSummary {
+            records: count("records")?,
+            solved: count("solved")?,
+            errors: count("errors")?,
+            total_cost,
+            total_lower_bound,
+            aggregate_gap,
+            wall: millis("wall_ms")?,
+            throughput: num("throughput_per_s")?,
+            solved_per_s: num("solved_per_s")?,
+            p50_solve: millis("p50_ms")?,
+            p99_solve: millis("p99_ms")?,
+            cache_hits: count("cache_hits")?,
+            cache_misses: count("cache_misses")?,
+            workers: count("workers")?,
+            deadline_hits: count("deadline_hits")?,
+        })
+    }
+
+    /// Folds another batch's summary into this one — the aggregation the
+    /// shard router uses to merge per-shard trailers into the one trailer
+    /// its client sees.
+    ///
+    /// Counts and sums (`records`, `solved`, `errors`, costs, bounds,
+    /// cache statistics, `workers`, `deadline_hits`) add. The rates add
+    /// too: shards solve concurrently, so the fleet's records-per-second
+    /// is the sum of its parts — additive capacity is the point of
+    /// sharding. `wall` takes the max (concurrent, not sequential), and
+    /// `aggregate_gap` is recomputed from the summed cost and bound,
+    /// exactly what one undivided batch over the same records would have
+    /// reported (a positive cost sum over a zero bound sum stays
+    /// [`f64::INFINITY`]).
+    ///
+    /// The latency percentiles cannot be recombined exactly without the
+    /// per-record samples, so they are approximated: `p50_solve` is the
+    /// solved-weighted mean of the two medians (always between them), and
+    /// `p99_solve` takes the max (conservative — the merged tail is never
+    /// reported better than the worst shard's).
+    pub fn merge(&mut self, other: &BatchSummary) {
+        let (a, b) = (self.solved, other.solved);
+        if a + b > 0 {
+            self.p50_solve = Duration::from_secs_f64(
+                (self.p50_solve.as_secs_f64() * a as f64
+                    + other.p50_solve.as_secs_f64() * b as f64)
+                    / (a + b) as f64,
+            );
+        }
+        self.p99_solve = self.p99_solve.max(other.p99_solve);
+        self.records += other.records;
+        self.solved += other.solved;
+        self.errors += other.errors;
+        self.total_cost += other.total_cost;
+        self.total_lower_bound += other.total_lower_bound;
+        self.aggregate_gap = Self::aggregate_gap(self.total_cost, self.total_lower_bound);
+        self.wall = self.wall.max(other.wall);
+        self.throughput += other.throughput;
+        self.solved_per_s += other.solved_per_s;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.workers += other.workers;
+        self.deadline_hits += other.deadline_hits;
     }
 }
 
@@ -1402,5 +1518,133 @@ mod tests {
         let (lines, summary) = run(input, &config);
         assert_eq!(summary.deadline_hits, 0);
         assert!(lines[0].contains("\"deadline_hit\": false"), "{}", lines[0]);
+    }
+
+    /// A shard-shaped summary built from an explicit latency sample set,
+    /// the way a real per-shard batch computes its percentiles.
+    fn shard_summary(samples_ms: &[u64], cost: i64, bound: i64) -> BatchSummary {
+        let mut sorted: Vec<Duration> = samples_ms
+            .iter()
+            .map(|&ms| Duration::from_millis(ms))
+            .collect();
+        sorted.sort();
+        let wall = Duration::from_millis(samples_ms.iter().sum::<u64>().max(1));
+        let solved = sorted.len();
+        BatchSummary {
+            records: solved,
+            solved,
+            errors: 0,
+            total_cost: cost,
+            total_lower_bound: bound,
+            aggregate_gap: BatchSummary::aggregate_gap(cost, bound),
+            wall,
+            throughput: solved as f64 / wall.as_secs_f64(),
+            solved_per_s: solved as f64 / wall.as_secs_f64(),
+            p50_solve: percentile(&sorted, 50.0),
+            p99_solve: percentile(&sorted, 99.0),
+            cache_hits: 0,
+            cache_misses: solved,
+            workers: 1,
+            deadline_hits: 0,
+        }
+    }
+
+    #[test]
+    fn merge_recombines_percentiles_from_per_shard_samples() {
+        // a fast shard and a slow shard, percentiles computed from real
+        // sample sets by the same `percentile` the engine uses
+        let fast = shard_summary(&[1, 2, 3, 4, 5], 10, 10);
+        let slow = shard_summary(&[40, 50, 60], 30, 15);
+        let (p50_fast, p50_slow) = (fast.p50_solve, slow.p50_solve);
+        let p99_worst = fast.p99_solve.max(slow.p99_solve);
+
+        let mut merged = fast.clone();
+        merged.merge(&slow);
+
+        assert_eq!(merged.records, 8);
+        assert_eq!(merged.solved, 8);
+        // the weighted-mean median always lands between the shard medians
+        assert!(merged.p50_solve > p50_fast, "{merged:?}");
+        assert!(merged.p50_solve < p50_slow, "{merged:?}");
+        // exact: (3*5 + 50*3) / 8
+        let expect = (p50_fast.as_secs_f64() * 5.0 + p50_slow.as_secs_f64() * 3.0) / 8.0;
+        assert!((merged.p50_solve.as_secs_f64() - expect).abs() < 1e-9);
+        // the merged tail is the worst shard's tail, never better
+        assert_eq!(merged.p99_solve, p99_worst);
+        // wall is concurrent (max), not sequential (sum)
+        assert_eq!(merged.wall, fast.wall.max(slow.wall));
+        // gap recomputed from the sums: (10+30)/(10+15)
+        assert!((merged.aggregate_gap - 40.0 / 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_propagates_infinite_gap_and_null_round_trips() {
+        // one shard certified nothing (bound 0, positive cost): its gap is
+        // infinite, and the merged bound sum stays 0 — the merged summary
+        // must not claim a finite gap it cannot certify
+        let certified_nothing = shard_summary(&[2], 7, 0);
+        assert!(certified_nothing.aggregate_gap.is_infinite());
+        let mut merged = shard_summary(&[1], 0, 0);
+        merged.merge(&certified_nothing);
+        assert!(merged.aggregate_gap.is_infinite(), "{merged:?}");
+
+        // ... and the wire form survives the round trip: infinity is
+        // `null` on the wire and comes back as infinity
+        let line = merged.to_json_line();
+        assert!(line.contains("\"aggregate_gap\": null"), "{line}");
+        let back = BatchSummary::from_json_line(&line).unwrap();
+        assert!(back.aggregate_gap.is_infinite());
+        assert_eq!(back.records, merged.records);
+
+        // a *positive* bound on the other side makes the recomputed gap
+        // finite again — exactly what one undivided batch would report
+        let mut merged = shard_summary(&[1], 10, 20);
+        merged.merge(&certified_nothing);
+        assert!((merged.aggregate_gap - 17.0 / 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_counts_and_rates() {
+        let mut a = shard_summary(&[10, 10], 8, 8);
+        a.deadline_hits = 1;
+        a.errors = 1;
+        a.records += 1; // the error record
+        let mut b = shard_summary(&[20], 5, 5);
+        b.deadline_hits = 2;
+        let (rate_a, rate_b) = (a.solved_per_s, b.solved_per_s);
+
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.deadline_hits, 3);
+        assert_eq!(merged.errors, 1);
+        assert_eq!(merged.records, 4);
+        assert_eq!(merged.workers, 2);
+        // concurrent shards: the fleet's solve rate is the sum of parts
+        assert!((merged.solved_per_s - (rate_a + rate_b)).abs() < 1e-9);
+        assert!((merged.throughput - (a.throughput + b.throughput)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_json_line_round_trips() {
+        let (_, summary) = run(
+            "{\"instance\": {\"g\": 2, \"jobs\": [[0, 4], [1, 5]]}}\n",
+            &ServeConfig::default(),
+        );
+        let back = BatchSummary::from_json_line(&summary.to_json_line()).unwrap();
+        assert_eq!(back.records, summary.records);
+        assert_eq!(back.solved, summary.solved);
+        assert_eq!(back.total_cost, summary.total_cost);
+        assert_eq!(back.total_lower_bound, summary.total_lower_bound);
+        assert_eq!(back.workers, summary.workers);
+        assert!((back.aggregate_gap - summary.aggregate_gap).abs() < 1e-5);
+        assert!((back.wall.as_secs_f64() - summary.wall.as_secs_f64()).abs() < 1e-3);
+
+        // response lines and junk must be rejected, never mis-merged
+        assert!(BatchSummary::from_json_line(
+            "{\"schema_version\": 1, \"line\": 3, \"id\": null, \"ok\": true}"
+        )
+        .is_err());
+        assert!(BatchSummary::from_json_line("{\"status\": \"ok\"}").is_err());
+        assert!(BatchSummary::from_json_line("not json").is_err());
     }
 }

@@ -30,6 +30,10 @@
 //!   connections are live), the feature cache shared across connections,
 //!   per-connection summary trailer lines, and graceful drain on
 //!   shutdown/idle-timeout.
+//! * [`http`] — the minimal HTTP/1.1 plumbing behind the listener's HTTP
+//!   mode and health endpoint, including the client-side response reader
+//!   and [`http::parse_healthz`] decoder that `busytime-router` uses to
+//!   probe and score backend shards.
 //!
 //! The CLI front-ends are `busytime-cli serve` (stdin → stdout),
 //! `busytime-cli batch FILE`, and `busytime-cli listen`
@@ -56,11 +60,16 @@
 //! ```
 
 pub mod engine;
+pub mod http;
 pub mod listener;
 pub mod protocol;
 
 pub use engine::{
     serve, BatchSession, BatchSummary, ErrorPolicy, ServeConfig, ServeError, SharedFeatureCache,
 };
+pub use http::{parse_healthz, HealthSnapshot};
 pub use listener::{ConnLog, ListenConfig, ListenMode, ListenReport, Listener};
-pub use protocol::{parse_output_line, BatchRecord, OutputLine, RecordInput, ReportSummary};
+pub use protocol::{
+    parse_output_line, reline_output, BatchRecord, OutputLine, RecordInput, RelinedOutput,
+    ReportSummary,
+};

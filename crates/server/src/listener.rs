@@ -65,9 +65,13 @@ use std::time::{Duration, Instant};
 use busytime_core::cancel::CancelToken;
 use busytime_core::pool::Executor;
 use busytime_core::solve::{SolverRegistry, REPORT_SCHEMA_VERSION};
+use busytime_instances::json;
 
 use crate::engine::{
     lock_ignoring_poison, BatchSession, BatchSummary, ServeConfig, ServeError, SharedFeatureCache,
+};
+use crate::http::{
+    read_http_body, read_http_head, write_http_response, HttpError, MAX_BODY_BYTES, MAX_HEAD_BYTES,
 };
 use crate::protocol::error_line;
 
@@ -130,6 +134,11 @@ pub struct ListenConfig {
     pub write_timeout: Duration,
     /// Per-connection summary logging.
     pub log: ConnLog,
+    /// An identity for this listener when it serves as one backend of a
+    /// sharded fleet (`--shard-id`). Reported in the `/healthz` body and
+    /// tagged onto every per-connection log line so a merged stderr stream
+    /// stays attributable.
+    pub shard_id: Option<String>,
 }
 
 impl Default for ListenConfig {
@@ -142,6 +151,7 @@ impl Default for ListenConfig {
             read_timeout: Duration::from_millis(100),
             write_timeout: Duration::from_secs(60),
             log: ConnLog::default(),
+            shard_id: None,
         }
     }
 }
@@ -166,6 +176,10 @@ pub struct ListenReport {
     pub errors: usize,
     /// Deadline hits across completed connections.
     pub deadline_hits: usize,
+    /// One-shot `GET` health probes answered on an NDJSON endpoint. Kept
+    /// out of `connections` so a router polling `/healthz` twice a second
+    /// does not swamp the count of batches actually served.
+    pub health_probes: usize,
 }
 
 impl ListenReport {
@@ -189,7 +203,11 @@ impl std::fmt::Display for ListenReport {
             self.solved,
             self.errors,
             self.deadline_hits,
-        )
+        )?;
+        if self.health_probes > 0 {
+            write!(f, " | health probes: {}", self.health_probes)?;
+        }
+        Ok(())
     }
 }
 
@@ -311,6 +329,8 @@ struct ConnShared {
     rejecting: AtomicUsize,
     report: Mutex<ListenReport>,
     last_activity: Mutex<Instant>,
+    /// When the listener started serving, for the `/healthz` uptime field.
+    started: Instant,
 }
 
 /// Polite rejections (write the at-capacity answer, drain the client's
@@ -451,6 +471,7 @@ impl Listener {
             rejecting: AtomicUsize::new(0),
             report: Mutex::new(ListenReport::default()),
             last_activity: Mutex::new(Instant::now()),
+            started: Instant::now(),
         });
         let mut handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
         let mut conn_id = 0usize;
@@ -613,6 +634,15 @@ fn drain_briefly<R: Read>(reader: &mut R) {
     }
 }
 
+/// What one accepted socket turned out to be.
+enum ConnOutcome {
+    /// A real client connection (batch served, or died trying).
+    Served,
+    /// A one-shot `GET /healthz` probe on an NDJSON endpoint — answered
+    /// and counted separately, never as a connection.
+    HealthProbe,
+}
+
 fn handle_connection(conn: Conn, conn_id: usize, shared: &ConnShared) {
     let peer = conn.peer();
     if conn
@@ -622,16 +652,34 @@ fn handle_connection(conn: Conn, conn_id: usize, shared: &ConnShared) {
         return;
     }
     let outcome = if shared.http {
-        serve_http_conn(conn, conn_id, &peer, shared)
+        serve_http_conn(conn, conn_id, &peer, shared).map(|()| ConnOutcome::Served)
     } else {
         serve_ndjson_conn(conn, conn_id, &peer, shared)
     };
-    lock_ignoring_poison(&shared.report).connections += 1;
-    if let Err(e) = outcome {
-        log_line(
-            shared.config.log,
-            format!("conn {conn_id} ({peer}): aborted: {e}"),
-        );
+    match outcome {
+        Ok(ConnOutcome::HealthProbe) => {
+            lock_ignoring_poison(&shared.report).health_probes += 1;
+        }
+        Ok(ConnOutcome::Served) => lock_ignoring_poison(&shared.report).connections += 1,
+        Err(e) => {
+            lock_ignoring_poison(&shared.report).connections += 1;
+            log_line(
+                shared.config.log,
+                format!(
+                    "conn {conn_id}{} ({peer}): aborted: {e}",
+                    shard_tag(&shared.config)
+                ),
+            );
+        }
+    }
+}
+
+/// ` [shard-id]` when this listener has one, empty otherwise — spliced
+/// into log lines so a fleet's merged stderr stays attributable.
+fn shard_tag(config: &ListenConfig) -> String {
+    match &config.shard_id {
+        Some(id) => format!(" [{id}]"),
+        None => String::new(),
     }
 }
 
@@ -688,30 +736,96 @@ impl Read for IdleCutReader {
 
 /// One NDJSON connection = one batch session over the socket, then the
 /// summary line, then half-close.
+///
+/// The first line is sniffed before the session starts: an HTTP `GET `
+/// opener means a health probe (a router, `curl`) reached the NDJSON
+/// port, and it is answered with the one-shot `/healthz` response instead
+/// of a parse-error line — so one endpoint serves both batches and
+/// liveness checks. Anything else (including the sniffed line itself) is
+/// fed to the batch session unchanged.
 fn serve_ndjson_conn(
     conn: Conn,
     conn_id: usize,
     peer: &str,
     shared: &ConnShared,
-) -> Result<(), ServeError> {
+) -> Result<ConnOutcome, ServeError> {
     let mut reader = BufReader::new(IdleCutReader::new(
         conn.try_clone().map_err(ServeError::Io)?,
         shared.config.conn_idle_timeout,
     ));
     let mut writer = BufWriter::new(conn);
+    let mut first = Vec::new();
+    loop {
+        match reader.read_until(b'\n', &mut first) {
+            // a complete line, or EOF mid-line / before any byte
+            Ok(_) => break,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) =>
+            {
+                // partial bytes stay accumulated in `first` across retries
+                if shared.shutdown.is_cancelled() {
+                    break;
+                }
+            }
+            Err(e) => return Err(ServeError::Io(e)),
+        }
+    }
+    if first.starts_with(b"GET ") {
+        let body = healthz_body(shared);
+        write_http_response(
+            &mut writer,
+            "200 OK",
+            "application/json",
+            body.as_bytes(),
+            false,
+        )
+        .map_err(ServeError::Io)?;
+        writer.get_ref().shutdown_write();
+        drain_briefly(&mut reader);
+        return Ok(ConnOutcome::HealthProbe);
+    }
+    let mut input = std::io::Cursor::new(first).chain(reader);
     let session = BatchSession::new(&shared.registry, &shared.config.serve)
         .cache(shared.cache.clone())
         .executor(shared.executor.clone())
         .cancel(shared.shutdown.clone());
-    let summary = session.run(&mut reader, &mut writer)?;
+    let summary = session.run(&mut input, &mut writer)?;
     writeln!(writer, "{}", summary.to_json_line()).map_err(ServeError::Io)?;
     writer.flush().map_err(ServeError::Io)?;
     writer.get_ref().shutdown_write();
     // a drain/idle cut can leave the client's next bytes unread; drain so
     // the close is a FIN and the summary line survives in flight
-    drain_briefly(&mut reader);
+    drain_briefly(&mut input);
     record_summary(shared, conn_id, peer, &summary);
-    Ok(())
+    Ok(ConnOutcome::Served)
+}
+
+/// The `/healthz` body: the honest process-wide capacity picture plus the
+/// listener's age and (when sharded) identity.
+fn healthz_body(shared: &ConnShared) -> String {
+    let shard = match &shared.config.shard_id {
+        Some(id) => {
+            let mut quoted = String::new();
+            json::write_string(&mut quoted, id);
+            quoted
+        }
+        None => String::from("null"),
+    };
+    format!(
+        "{{\"schema_version\": {REPORT_SCHEMA_VERSION}, \"status\": \"ok\", \
+         \"workers\": {}, \"busy_workers\": {}, \"queue_depth\": {}, \
+         \"active_connections\": {}, \"uptime_ms\": {}, \"shard_id\": {shard}}}\n",
+        shared.executor.workers(),
+        shared.executor.busy_workers(),
+        shared.executor.queue_depth(),
+        shared.active.load(Ordering::SeqCst),
+        shared.started.elapsed().as_millis(),
+    )
 }
 
 fn record_summary(shared: &ConnShared, conn_id: usize, peer: &str, summary: &BatchSummary) {
@@ -721,8 +835,9 @@ fn record_summary(shared: &ConnShared, conn_id: usize, peer: &str, summary: &Bat
         ConnLog::Text => log_line(
             shared.config.log,
             format!(
-                "conn {conn_id} ({peer}): {} records ({} solved, {} errors), {} deadline hits \
+                "conn {conn_id}{} ({peer}): {} records ({} solved, {} errors), {} deadline hits \
                  | pool {}/{} busy, {} queued",
+                shard_tag(&shared.config),
                 summary.records,
                 summary.solved,
                 summary.errors,
@@ -743,20 +858,8 @@ fn log_line(log: ConnLog, line: String) {
 }
 
 // ---------------------------------------------------------------------------
-// Minimal HTTP/1.1
+// HTTP mode (the head/body plumbing lives in [`crate::http`])
 // ---------------------------------------------------------------------------
-
-/// Upper bound on a request head (request line + headers).
-const MAX_HEAD_BYTES: usize = 16 * 1024;
-/// Upper bound on a `POST /solve` body.
-const MAX_BODY_BYTES: usize = 64 * 1024 * 1024;
-
-struct HttpRequest {
-    method: String,
-    path: String,
-    content_length: Option<usize>,
-    keep_alive: bool,
-}
 
 /// Serves HTTP requests on one connection until the client closes (or
 /// sends `Connection: close`).
@@ -810,15 +913,7 @@ fn serve_http_conn(
                 // honest capacity: the process-wide worker budget plus the
                 // pool's live load — not the per-session width figure that
                 // used to masquerade as capacity here
-                let body = format!(
-                    "{{\"schema_version\": {REPORT_SCHEMA_VERSION}, \"status\": \"ok\", \
-                     \"workers\": {}, \"busy_workers\": {}, \"queue_depth\": {}, \
-                     \"active_connections\": {}}}\n",
-                    shared.executor.workers(),
-                    shared.executor.busy_workers(),
-                    shared.executor.queue_depth(),
-                    shared.active.load(Ordering::SeqCst)
-                );
+                let body = healthz_body(shared);
                 write_http_response(
                     &mut writer,
                     "200 OK",
@@ -925,221 +1020,4 @@ fn serve_http_conn(
     // the status line survives, exactly as the rejection path does
     drain_briefly(&mut reader);
     Ok(())
-}
-
-enum HttpError {
-    Malformed(String),
-    Io(std::io::Error),
-}
-
-/// Reads one request head (request line + headers). `Ok(None)` = the
-/// client closed between requests, or the shutdown token fired while the
-/// connection was idle.
-fn read_http_head<R: BufRead>(
-    reader: &mut R,
-    shutdown: &CancelToken,
-) -> Result<Option<HttpRequest>, HttpError> {
-    let mut head = Vec::new();
-    // hard-bound the whole head read: `read_until` only returns at a
-    // delimiter or EOF, so without this `Take` a newline-free stream would
-    // grow `head` without limit before the size check below could ever run
-    let mut limited = reader.by_ref().take(MAX_HEAD_BYTES as u64 + 1);
-    loop {
-        match limited.read_until(b'\n', &mut head) {
-            Ok(0) => {
-                return if head.is_empty() {
-                    Ok(None)
-                } else if head.len() > MAX_HEAD_BYTES {
-                    Err(HttpError::Malformed("request head too large".into()))
-                } else {
-                    Err(HttpError::Malformed("truncated request head".into()))
-                };
-            }
-            Ok(_) => {
-                if head.ends_with(b"\r\n\r\n") || head.ends_with(b"\n\n") {
-                    break;
-                }
-                if head.len()
-                    == head
-                        .iter()
-                        .take_while(|&&b| b == b'\r' || b == b'\n')
-                        .count()
-                {
-                    // tolerate leading blank lines between pipelined
-                    // requests (RFC 9112 §2.2)
-                    head.clear();
-                    continue;
-                }
-                if head.len() > MAX_HEAD_BYTES {
-                    return Err(HttpError::Malformed("request head too large".into()));
-                }
-                // single-line head ("GET /healthz HTTP/1.1\r\n") still
-                // needs its terminating blank line; keep reading
-            }
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    std::io::ErrorKind::WouldBlock
-                        | std::io::ErrorKind::TimedOut
-                        | std::io::ErrorKind::Interrupted
-                ) =>
-            {
-                if shutdown.is_cancelled() {
-                    return Ok(None);
-                }
-            }
-            Err(e) => return Err(HttpError::Io(e)),
-        }
-    }
-    parse_http_head(&head).map(Some)
-}
-
-fn parse_http_head(head: &[u8]) -> Result<HttpRequest, HttpError> {
-    let text = std::str::from_utf8(head)
-        .map_err(|_| HttpError::Malformed("request head is not valid UTF-8".into()))?;
-    let mut lines = text.lines().filter(|l| !l.is_empty());
-    let request_line = lines
-        .next()
-        .ok_or_else(|| HttpError::Malformed("empty request".into()))?;
-    let mut parts = request_line.split_whitespace();
-    let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
-        (Some(m), Some(p), Some(v)) => (m, p, v),
-        _ => {
-            return Err(HttpError::Malformed(format!(
-                "malformed request line: {request_line:?}"
-            )))
-        }
-    };
-    if !version.starts_with("HTTP/1.") {
-        return Err(HttpError::Malformed(format!(
-            "unsupported protocol version {version:?}"
-        )));
-    }
-    let mut content_length = None;
-    // HTTP/1.1 defaults to keep-alive, HTTP/1.0 to close
-    let mut keep_alive = version == "HTTP/1.1";
-    for line in lines {
-        let Some((name, value)) = line.split_once(':') else {
-            continue;
-        };
-        let value = value.trim();
-        if name.eq_ignore_ascii_case("content-length") {
-            content_length = Some(
-                value
-                    .parse::<usize>()
-                    .map_err(|_| HttpError::Malformed(format!("bad Content-Length {value:?}")))?,
-            );
-        } else if name.eq_ignore_ascii_case("connection") {
-            keep_alive = !value.eq_ignore_ascii_case("close");
-        } else if name.eq_ignore_ascii_case("transfer-encoding") {
-            return Err(HttpError::Malformed(
-                "Transfer-Encoding is not supported; send a Content-Length body".into(),
-            ));
-        }
-    }
-    Ok(HttpRequest {
-        method: method.to_string(),
-        path: path.to_string(),
-        content_length,
-        keep_alive,
-    })
-}
-
-/// Reads exactly `length` body bytes, polling the shutdown token across
-/// read timeouts. `Ok(None)` = shutdown fired mid-body.
-fn read_http_body<R: BufRead>(
-    reader: &mut R,
-    length: usize,
-    shutdown: &CancelToken,
-) -> std::io::Result<Option<Vec<u8>>> {
-    // grow with the bytes that actually arrive — allocating the claimed
-    // Content-Length up front would let a header alone (64 half-open
-    // requests × 64 MiB claims) pin gigabytes without sending a byte
-    let mut body = Vec::with_capacity(length.min(64 * 1024));
-    let mut chunk = [0u8; 64 * 1024];
-    while body.len() < length {
-        let want = (length - body.len()).min(chunk.len());
-        match reader.read(&mut chunk[..want]) {
-            Ok(0) => {
-                return Err(std::io::Error::new(
-                    std::io::ErrorKind::UnexpectedEof,
-                    format!("body ended after {} of {length} bytes", body.len()),
-                ));
-            }
-            Ok(n) => body.extend_from_slice(&chunk[..n]),
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    std::io::ErrorKind::WouldBlock
-                        | std::io::ErrorKind::TimedOut
-                        | std::io::ErrorKind::Interrupted
-                ) =>
-            {
-                if shutdown.is_cancelled() {
-                    return Ok(None);
-                }
-            }
-            Err(e) => return Err(e),
-        }
-    }
-    Ok(Some(body))
-}
-
-fn write_http_response<W: Write>(
-    writer: &mut W,
-    status: &str,
-    content_type: &str,
-    body: &[u8],
-    keep_alive: bool,
-) -> std::io::Result<()> {
-    write!(
-        writer,
-        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n\
-         Connection: {}\r\n\r\n",
-        body.len(),
-        if keep_alive { "keep-alive" } else { "close" },
-    )?;
-    writer.write_all(body)?;
-    writer.flush()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn head(text: &str) -> HttpRequest {
-        parse_http_head(text.as_bytes()).ok().unwrap()
-    }
-
-    #[test]
-    fn parses_request_heads() {
-        let get = head("GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
-        assert_eq!(get.method, "GET");
-        assert_eq!(get.path, "/healthz");
-        assert!(get.keep_alive);
-        assert_eq!(get.content_length, None);
-
-        let post = head("POST /solve HTTP/1.1\r\nContent-Length: 42\r\nConnection: close\r\n\r\n");
-        assert_eq!(post.method, "POST");
-        assert_eq!(post.content_length, Some(42));
-        assert!(!post.keep_alive);
-
-        let old = head("GET /healthz HTTP/1.0\r\n\r\n");
-        assert!(!old.keep_alive, "HTTP/1.0 defaults to close");
-    }
-
-    #[test]
-    fn rejects_malformed_heads() {
-        for bad in [
-            "GET\r\n\r\n",
-            "GET /healthz SPDY/3\r\n\r\n",
-            "POST /solve HTTP/1.1\r\nContent-Length: many\r\n\r\n",
-            "POST /solve HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
-        ] {
-            assert!(
-                parse_http_head(bad.as_bytes()).is_err(),
-                "accepted: {bad:?}"
-            );
-        }
-    }
 }

@@ -241,6 +241,77 @@ pub fn error_line(line: usize, id: Option<&str>, error: &str) -> String {
     out
 }
 
+/// A response line restamped by [`reline_output`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RelinedOutput {
+    /// The response line with its `line` field rewritten.
+    pub text: String,
+    /// The line's `ok` flag, read positionally off the stable prefix.
+    pub ok: bool,
+}
+
+/// Rewrites the `line` number of a response line without parsing (or
+/// re-serializing) the full JSON — the restamp the shard router applies
+/// when it forwards a backend's answer under the client's original input
+/// numbering.
+///
+/// Returns `None` when `text` does not open with the exact prefix every
+/// response line carries (`{"schema_version": N, "line": L, "id": …,
+/// "ok": …`) — which is also how the router tells a per-record response
+/// apart from a [`crate::engine::BatchSummary`] trailer, whose line has
+/// no `line` field. The `id` is skipped structurally (escapes honored),
+/// never substring-matched, so an adversarial id cannot spoof the `ok`
+/// flag.
+pub fn reline_output(text: &str, line: usize) -> Option<RelinedOutput> {
+    let rest = text.strip_prefix("{\"schema_version\": ")?;
+    let digits = rest.bytes().take_while(u8::is_ascii_digit).count();
+    if digits == 0 {
+        return None;
+    }
+    let rest = rest[digits..].strip_prefix(", \"line\": ")?;
+    let old_start = text.len() - rest.len();
+    let old_digits = rest.bytes().take_while(u8::is_ascii_digit).count();
+    if old_digits == 0 {
+        return None;
+    }
+    let tail = &rest[old_digits..];
+    let after_id = tail.strip_prefix(", \"id\": ").and_then(|after_key| {
+        after_key
+            .strip_prefix("null")
+            .or_else(|| skip_json_string(after_key))
+    })?;
+    let ok = if after_id.starts_with(", \"ok\": true") {
+        true
+    } else if after_id.starts_with(", \"ok\": false") {
+        false
+    } else {
+        return None;
+    };
+    let mut out = String::with_capacity(text.len() + 20);
+    out.push_str(&text[..old_start]);
+    out.push_str(&line.to_string());
+    out.push_str(tail);
+    Some(RelinedOutput { text: out, ok })
+}
+
+/// Skips one JSON string literal at the start of `s` (honoring `\"` and
+/// other backslash escapes), returning the rest after the closing quote.
+fn skip_json_string(s: &str) -> Option<&str> {
+    let bytes = s.as_bytes();
+    if bytes.first() != Some(&b'"') {
+        return None;
+    }
+    let mut i = 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return Some(&s[i + 1..]),
+            _ => i += 1,
+        }
+    }
+    None
+}
+
 /// The fields of an embedded report a protocol consumer relies on.
 ///
 /// Deliberately a summary, not a full [`SolveReport`]: response lines may
@@ -467,6 +538,58 @@ mod tests {
         match parse_output_line(&nulled).unwrap() {
             OutputLine::Report { report, .. } => assert!(report.gap.is_infinite()),
             other => panic!("expected report line, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reline_restamps_without_reparsing() {
+        let inst = Instance::from_pairs([(0, 4), (1, 5)], 2);
+        let report = SolveRequest::new(&inst).solve().unwrap();
+        let original = report_line(42, Some("abc"), &report);
+        let relined = reline_output(&original, 7).unwrap();
+        assert!(relined.ok);
+        assert!(relined.text.starts_with(&format!(
+            "{{\"schema_version\": {REPORT_SCHEMA_VERSION}, \"line\": 7, \"id\": \"abc\""
+        )));
+        // nothing but the line number changed
+        match parse_output_line(&relined.text).unwrap() {
+            OutputLine::Report {
+                line,
+                id,
+                report: parsed,
+            } => {
+                assert_eq!(line, 7);
+                assert_eq!(id.as_deref(), Some("abc"));
+                assert_eq!(parsed.cost, report.cost);
+            }
+            other => panic!("expected report line, got {other:?}"),
+        }
+
+        let err = error_line(3, None, "boom");
+        let relined = reline_output(&err, 11).unwrap();
+        assert!(!relined.ok);
+        assert_eq!(parse_output_line(&relined.text).unwrap().line(), 11);
+    }
+
+    #[test]
+    fn reline_rejects_trailers_and_spoofed_ids() {
+        // a batch-summary trailer has no `line` field: not a response line
+        assert!(
+            reline_output("{\"schema_version\": 1, \"records\": 3, \"solved\": 3}", 1).is_none()
+        );
+        assert!(reline_output("free text", 1).is_none());
+
+        // an id crafted to *contain* the ok-prefix must not fool the
+        // positional scan: the real flag after the string wins
+        let tricky = error_line(1, Some("x\", \"ok\": true"), "nope");
+        let relined = reline_output(&tricky, 9).unwrap();
+        assert!(!relined.ok, "spoofed id flipped the ok flag: {tricky}");
+        match parse_output_line(&relined.text).unwrap() {
+            OutputLine::Error { line, id, .. } => {
+                assert_eq!(line, 9);
+                assert_eq!(id.as_deref(), Some("x\", \"ok\": true"));
+            }
+            other => panic!("expected error line, got {other:?}"),
         }
     }
 

@@ -24,6 +24,7 @@ use busytime::core::solve::ValidationLevel;
 use busytime::core::{bounds, render};
 use busytime::instances::io::{read_instance, write_instance, InstanceFile};
 use busytime::instances::{Family, GeneratorSpec};
+use busytime::router::{RouteConfig, Router, ShardFleet, ShardState};
 use busytime::server::{
     serve, ConnLog, ErrorPolicy, ListenConfig, ListenMode, Listener, ServeConfig,
 };
@@ -52,6 +53,7 @@ fn main() -> ExitCode {
         "solve" => cmd_solve(&opts),
         "serve" => cmd_serve(&opts, None),
         "listen" => cmd_listen(&opts),
+        "route" => cmd_route(&opts),
         "batch" => match positional.or_else(|| opts.get("input").cloned()) {
             Some(file) => cmd_serve(&opts, Some(&file)),
             None => Err("batch requires an input FILE".to_string()),
@@ -100,11 +102,27 @@ commands:
            printed as `listening on ...` on stderr)
            [--max-conns N] [--idle-timeout-ms MS] [--conn-idle-timeout-ms MS]
            [--workers N]        process-wide worker budget shared by every
-           connection (also via BUSYTIME_WORKERS; default: all cores)
+           connection (also via BUSYTIME_WORKERS; default: all cores;
+           0 is rejected — it would leave no worker at all)
+           [--shard-id ID]      tag /healthz and connection logs (the
+           router's --spawn mode sets this on its children)
            [--solver NAME] [--chunk N] [--fail-fast | --keep-going]
            [--quiet | --summary-json]
            [--deadline-ms MS]   per-record request timeout default
            SIGINT/SIGTERM drain in-flight batches, then exit cleanly
+  route    shard router: N `listen` backends behind one endpoint speaking
+           the same protocol — records fan out across the fleet, responses
+           come back in input order, one merged summary trailer per
+           connection, GET /healthz reports the whole fleet
+           --tcp ADDR | --unix PATH | --http ADDR   (exactly one)
+           --shards A,B,…       pre-started backend addresses, or
+           --spawn N            launch + supervise N local shards
+           (crashed shards restart with backoff; in-flight records retry
+           on a healthy shard; SIGINT drains the whole tree)
+           [--spawn-workers N]  worker budget per spawned shard
+           [--sticky]           pin each connection to one shard
+           [--max-conns N] [--probe-interval-ms MS] [--quiet]
+           [--solver NAME] [--deadline-ms MS]  forwarded to spawned shards
   solvers  list every registered solver with its guarantee
   bounds   --input FILE
   compare  --input FILE        (all registered solvers side by side)";
@@ -118,6 +136,7 @@ const FLAGS: &[&str] = &[
     "keep-going",
     "quiet",
     "summary-json",
+    "sticky",
 ];
 
 /// Writes to stdout, tolerating a closed pipe (`busytime-cli ... | head`
@@ -251,11 +270,32 @@ fn cmd_solve(opts: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// `--workers 0` (or `BUSYTIME_WORKERS=0`) would size the process-wide
+/// executor to zero — every solve would queue forever. Reject it up front
+/// with a usage error; `0` is not a "default" spelling anywhere (omitting
+/// the flag is how you ask for all cores).
+fn reject_zero_workers(opts: &HashMap<String, String>) -> Result<(), String> {
+    if opts.get("workers").is_some() && get_num(opts, "workers", 1usize)? == 0 {
+        return Err("--workers 0 would leave no worker to run a solve; \
+             use a positive count, or omit the flag for all cores"
+            .to_string());
+    }
+    if let Ok(raw) = std::env::var("BUSYTIME_WORKERS") {
+        if raw.trim().parse::<usize>() == Ok(0) {
+            return Err("BUSYTIME_WORKERS=0 would leave no worker to run a solve; \
+                 set a positive count, or unset it for all cores"
+                .to_string());
+        }
+    }
+    Ok(())
+}
+
 /// The batch-engine configuration shared by `serve`, `batch` and `listen`.
 fn serve_config(opts: &HashMap<String, String>) -> Result<ServeConfig, String> {
     if opts.contains_key("fail-fast") && opts.contains_key("keep-going") {
         return Err("--fail-fast and --keep-going are mutually exclusive".to_string());
     }
+    reject_zero_workers(opts)?;
     let workers = get_num(opts, "workers", 0usize)?;
     if workers > 0 {
         // size the process-wide executor before its first use: `--workers`
@@ -343,6 +383,7 @@ fn cmd_listen(opts: &HashMap<String, String>) -> Result<(), String> {
         } else {
             ConnLog::Text
         },
+        shard_id: opts.get("shard-id").cloned(),
         ..ListenConfig::default()
     };
     if let Some(ms) = opt_num::<u64>(opts, "idle-timeout-ms")? {
@@ -365,6 +406,127 @@ fn cmd_listen(opts: &HashMap<String, String>) -> Result<(), String> {
     );
     install_shutdown_signals(listener.shutdown_token());
     let report = listener.run().map_err(|e| e.to_string())?;
+    if !quiet {
+        eprintln!("{report}");
+    }
+    Ok(())
+}
+
+/// `route`: the shard router — N `listen` backends behind one endpoint
+/// speaking the same wire protocol. Backends are either pre-started
+/// (`--shards A,B,…`) or spawned and supervised locally (`--spawn N`).
+fn cmd_route(opts: &HashMap<String, String>) -> Result<(), String> {
+    reject_zero_workers(opts)?;
+    let mut modes: Vec<ListenMode> = Vec::new();
+    if let Some(addr) = opts.get("tcp") {
+        modes.push(ListenMode::Tcp(addr.clone()));
+    }
+    if let Some(path) = opts.get("unix") {
+        modes.push(ListenMode::Unix(PathBuf::from(path)));
+    }
+    if let Some(addr) = opts.get("http") {
+        modes.push(ListenMode::Http(addr.clone()));
+    }
+    let mode = match modes.len() {
+        1 => modes.remove(0),
+        0 => return Err("route needs exactly one of --tcp ADDR, --unix PATH, --http ADDR".into()),
+        _ => return Err("--tcp, --unix and --http are mutually exclusive".into()),
+    };
+    let spawn: usize = get_num(opts, "spawn", 0usize)?;
+    let spawn_workers = opt_num::<usize>(opts, "spawn-workers")?;
+    if spawn_workers == Some(0) {
+        return Err("--spawn-workers 0 would leave every shard with no worker; \
+             use a positive count, or omit the flag for all cores"
+            .to_string());
+    }
+    if spawn == 0 && spawn_workers.is_some() {
+        return Err("--spawn-workers only makes sense with --spawn N".into());
+    }
+    let states: Vec<_> = match (opts.get("shards"), spawn) {
+        (Some(_), n) if n > 0 => {
+            return Err("--shards and --spawn are mutually exclusive".into());
+        }
+        (Some(list), _) => {
+            let addrs: Vec<&str> = list
+                .split(',')
+                .map(str::trim)
+                .filter(|a| !a.is_empty())
+                .collect();
+            if addrs.is_empty() {
+                return Err("--shards needs at least one ADDR".into());
+            }
+            addrs
+                .iter()
+                .enumerate()
+                .map(|(i, a)| ShardState::new(i, *a))
+                .collect()
+        }
+        (None, 0) => return Err("route needs --shards A,B,… or --spawn N".into()),
+        // spawn mode: addresses arrive later, from the children's banners
+        (None, n) => (0..n).map(|i| ShardState::new(i, "")).collect(),
+    };
+    let n_shards = states.len();
+    let sticky = opts.contains_key("sticky");
+    let quiet = opts.contains_key("quiet");
+    let mut config = RouteConfig {
+        max_conns: get_num(opts, "max-conns", 0usize)?,
+        sticky,
+        quiet,
+        ..RouteConfig::default()
+    };
+    if let Some(ms) = opt_num::<u64>(opts, "probe-interval-ms")? {
+        config.probe_interval = std::time::Duration::from_millis(ms);
+    }
+    let router = Router::bind(&mode, states.clone(), config).map_err(|e| e.to_string())?;
+    let token = router.shutdown_token();
+    install_shutdown_signals(token.clone());
+    let fleet = if spawn > 0 {
+        let exe = std::env::current_exe().map_err(|e| format!("cannot locate own binary: {e}"))?;
+        let solver = opts.get("solver").cloned();
+        let deadline = opts.get("deadline-ms").cloned();
+        let fleet = ShardFleet::launch(states, token.clone(), move |index| {
+            let mut command = std::process::Command::new(&exe);
+            command
+                .arg("listen")
+                .arg("--tcp")
+                .arg("127.0.0.1:0")
+                .arg("--shard-id")
+                .arg(format!("shard-{index}"));
+            if let Some(workers) = spawn_workers {
+                command.arg("--workers").arg(workers.to_string());
+            }
+            if let Some(solver) = &solver {
+                command.arg("--solver").arg(solver);
+            }
+            if let Some(ms) = &deadline {
+                command.arg("--deadline-ms").arg(ms);
+            }
+            if quiet {
+                command.arg("--quiet");
+            }
+            command
+        });
+        // every child must report its banner before the router advertises
+        // itself, or the first client races shard discovery
+        if let Err(e) = fleet.wait_ready(std::time::Duration::from_secs(30)) {
+            fleet.shutdown_and_wait();
+            return Err(e.to_string());
+        }
+        Some(fleet)
+    } else {
+        None
+    };
+    eprintln!(
+        "routing on {} ({} shards, {})",
+        router.endpoint(),
+        n_shards,
+        if sticky { "sticky" } else { "per-record" }
+    );
+    let report = router.run().map_err(|e| e.to_string());
+    if let Some(fleet) = fleet {
+        fleet.shutdown_and_wait();
+    }
+    let report = report?;
     if !quiet {
         eprintln!("{report}");
     }

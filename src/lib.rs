@@ -69,6 +69,8 @@
 //!   constructions.
 //! * [`lab`] — the experiment harness reproducing every figure/claim.
 //! * [`server`] — the batched NDJSON solve server over the registry.
+//! * [`router`] — the cross-process shard router: N `listen` backends
+//!   served as one endpoint (`busytime-cli route`).
 //!
 //! # Serving
 //!
@@ -95,6 +97,11 @@
 //! [`server::SharedFeatureCache`]; per-record `deadline_ms` budgets act
 //! as request timeouts; and SIGINT/SIGTERM drain in-flight batches before
 //! exiting.
+//!
+//! To scale past one process, `busytime-cli route` puts the [`router`] in
+//! front of N `listen` shards (pre-started via `--shards A,B,…` or
+//! spawned and supervised via `--spawn N`): same wire protocol, responses
+//! still in input order, one merged trailer per connection.
 //!
 //! From Rust:
 //!
@@ -125,6 +132,7 @@ pub use busytime_instances as instances;
 pub use busytime_interval as interval;
 pub use busytime_lab as lab;
 pub use busytime_optical as optical;
+pub use busytime_router as router;
 pub use busytime_server as server;
 
 pub use busytime_core::solve::{

@@ -1,0 +1,210 @@
+//! End-to-end coverage of `busytime-cli route`: a real router child in
+//! `--spawn` mode supervising two shard children, a raw-socket NDJSON
+//! client, in-order responses with a merged summary trailer, and a clean
+//! SIGINT drain of the whole process tree — the same flow the CI
+//! `route-smoke` job runs at fixture scale.
+//!
+//! Unix-only: the drain assertions shell out to `kill -INT`, and signal
+//! handling is a documented no-op off unix.
+#![cfg(unix)]
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_busytime-cli"))
+}
+
+/// Spawns `route --tcp 127.0.0.1:0 --spawn 2 --spawn-workers 1` and reads
+/// the bound address off the child's stderr `routing on tcp://...` banner.
+/// The shard children's own `[shard-k]` banners interleave on the same
+/// stderr; the router banner only appears once both shards are ready.
+fn spawn_router(extra: &[&str]) -> (Child, String, BufReader<std::process::ChildStderr>) {
+    let mut child = cli()
+        .args([
+            "route",
+            "--tcp",
+            "127.0.0.1:0",
+            "--spawn",
+            "2",
+            "--spawn-workers",
+            "1",
+        ])
+        .args(extra)
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    let mut stderr = BufReader::new(child.stderr.take().unwrap());
+    let mut seen = String::new();
+    let addr = loop {
+        let mut line = String::new();
+        assert!(
+            stderr.read_line(&mut line).unwrap() > 0,
+            "router exited before its banner; stderr so far: {seen}"
+        );
+        seen.push_str(&line);
+        if let Some(rest) = line.trim().strip_prefix("routing on tcp://") {
+            assert!(
+                line.contains("(2 shards, per-record)"),
+                "banner must report the fleet: {line:?}"
+            );
+            break rest.split_whitespace().next().unwrap().to_string();
+        }
+    };
+    assert!(
+        seen.contains("[shard-0]") && seen.contains("[shard-1]"),
+        "both shard banners precede the router banner: {seen}"
+    );
+    (child, addr, stderr)
+}
+
+fn sigint(child: &Child) {
+    let status = Command::new("kill")
+        .args(["-INT", &child.id().to_string()])
+        .status()
+        .unwrap();
+    assert!(status.success(), "kill -INT failed");
+}
+
+#[test]
+fn route_spawns_shards_serves_in_order_and_drains_on_sigint() {
+    let (mut child, addr, mut stderr) = spawn_router(&[]);
+
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    stream
+        .write_all(
+            concat!(
+                r#"{"id": "one", "instance": {"g": 2, "jobs": [[0, 4], [1, 5]]}}"#,
+                "\n",
+                r#"{"id": "cut", "instance": {"g": 2, "jobs": [[0, 4]]}, "deadline_ms": 0}"#,
+                "\n",
+                r#"{"id": "two", "generator": {"family": "uniform", "n": 20, "seed": 7}}"#,
+                "\n",
+            )
+            .as_bytes(),
+        )
+        .unwrap();
+    stream.shutdown(Shutdown::Write).unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    let lines: Vec<&str> = response.lines().collect();
+    assert_eq!(lines.len(), 4, "3 responses + merged summary: {response}");
+    for (i, (line, id)) in lines.iter().zip(["one", "cut", "two"]).enumerate() {
+        assert!(line.contains(&format!("\"line\": {}", i + 1)), "{line}");
+        assert!(line.contains(&format!("\"id\": \"{id}\"")), "{line}");
+        assert!(line.contains("\"ok\": true"), "{line}");
+    }
+    assert!(lines[1].contains("\"deadline_hit\": true"), "{}", lines[1]);
+    // the trailer is the shards' summaries merged back into one
+    assert!(lines[3].contains("\"records\": 3"), "{}", lines[3]);
+    assert!(lines[3].contains("\"deadline_hits\": 1"), "{}", lines[3]);
+    assert!(
+        !lines[3].contains("\"line\""),
+        "trailer has no line: {}",
+        lines[3]
+    );
+
+    // SIGINT must drain the whole tree — router and both shard children —
+    // and exit zero, reporting the served connection
+    sigint(&child);
+    let status = child.wait().unwrap();
+    assert!(status.success(), "route exited {status:?} on SIGINT");
+    let mut rest = String::new();
+    stderr.read_to_string(&mut rest).unwrap();
+    assert!(
+        rest.contains("router: 1 connections"),
+        "missing final report in stderr: {rest:?}"
+    );
+}
+
+#[test]
+fn route_requires_an_endpoint_and_a_fleet() {
+    let out = cli().args(["route", "--spawn", "2"]).output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("exactly one of"), "{stderr}");
+
+    let out = cli()
+        .args(["route", "--tcp", "127.0.0.1:0"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--shards A,B,… or --spawn N"), "{stderr}");
+
+    let out = cli()
+        .args([
+            "route",
+            "--tcp",
+            "127.0.0.1:0",
+            "--shards",
+            "127.0.0.1:1",
+            "--spawn",
+            "2",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("mutually exclusive"), "{stderr}");
+}
+
+#[test]
+fn workers_zero_is_a_usage_error_everywhere() {
+    for args in [
+        &["listen", "--tcp", "127.0.0.1:0", "--workers", "0"][..],
+        &["serve", "--workers", "0"][..],
+        &[
+            "route",
+            "--tcp",
+            "127.0.0.1:0",
+            "--spawn",
+            "1",
+            "--workers",
+            "0",
+        ][..],
+    ] {
+        let out = cli().args(args).stdin(Stdio::null()).output().unwrap();
+        assert!(!out.status.success(), "{args:?} must fail");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("--workers 0 would leave no worker"),
+            "{args:?}: {stderr}"
+        );
+    }
+
+    // --spawn-workers 0 would starve every shard the same way
+    let out = cli()
+        .args([
+            "route",
+            "--tcp",
+            "127.0.0.1:0",
+            "--spawn",
+            "1",
+            "--spawn-workers",
+            "0",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--spawn-workers 0"), "{stderr}");
+
+    // the env spelling is caught too, and names the env var
+    let out = cli()
+        .args(["serve"])
+        .env("BUSYTIME_WORKERS", "0")
+        .stdin(Stdio::null())
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("BUSYTIME_WORKERS=0"), "{stderr}");
+}
