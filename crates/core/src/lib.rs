@@ -67,6 +67,7 @@ pub mod bounds;
 pub mod cancel;
 pub mod instance;
 pub mod machine;
+pub mod memo;
 pub mod pool;
 pub mod render;
 pub mod schedule;
@@ -76,5 +77,6 @@ pub mod verify;
 pub use cancel::CancelToken;
 pub use instance::{Instance, JobId};
 pub use machine::MachineLoad;
+pub use memo::{CachePolicy, CanonicalInstance, SolutionCache, SolveFingerprint, WarmStart};
 pub use schedule::{MachineId, Schedule, ScheduleViolation};
 pub use solve::{Auto, InstanceFeatures, SolveError, SolveReport, SolveRequest, SolverRegistry};

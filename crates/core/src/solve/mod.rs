@@ -47,7 +47,13 @@ use crate::algo::{Decomposed, Scheduler, SchedulerError};
 use crate::bounds;
 use crate::cancel::CancelToken;
 use crate::instance::Instance;
+use crate::memo::{CachePolicy, CanonicalInstance, SolutionCache, SolveFingerprint, WarmStart};
 use crate::schedule::{Schedule, ScheduleViolation};
+
+/// The near-match edit budget used when a [`SolutionCache`] warm-starts a
+/// miss: cached entries whose job multiset differs by at most this many
+/// insertions/deletions may seed the exact solver's incumbent.
+pub const WARM_EDIT_BUDGET: usize = 2;
 
 /// How much checking [`SolveRequest::solve`] performs on the produced
 /// schedule.
@@ -96,6 +102,12 @@ pub struct SolveOptions {
     /// solver's incumbent schedule, or the solve fails with
     /// [`SchedulerError::Infeasible`] when the solver held no incumbent.
     pub deadline: Option<Duration>,
+    /// A machine-grouping hint from a cached near-match solution,
+    /// consumed by solvers that accept a starting incumbent (currently
+    /// `exact-bb`); other solvers ignore it. Usually injected by the
+    /// pipeline from an attached [`SolutionCache`] rather than set by
+    /// hand.
+    pub warm_start: Option<WarmStart>,
 }
 
 impl Default for SolveOptions {
@@ -107,6 +119,7 @@ impl Default for SolveOptions {
             max_jobs: None,
             time_budget: None,
             deadline: None,
+            warm_start: None,
         }
     }
 }
@@ -233,6 +246,14 @@ pub struct SolveReport {
     /// The pipeline phase during which the deadline expiry was first
     /// observed (`Some` iff `deadline_hit`).
     pub cut_phase: Option<&'static str>,
+    /// True iff this report was served from a [`SolutionCache`] rather
+    /// than solved fresh (the assignment is remapped to the caller's job
+    /// order; everything else is the original solve verbatim).
+    pub cached: bool,
+    /// True iff the solve started from a near-match warm-start hint
+    /// ([`SolveOptions::warm_start`]) — set whenever a hint was attached,
+    /// whether injected by an attached cache or supplied by the caller.
+    pub warm_started: bool,
 }
 
 /// Version stamp emitted in every report JSON document (the
@@ -345,10 +366,13 @@ impl SolveReport {
             out.push('}');
         }
         out.push_str(&format!(
-            "]{sep}\"total_ms\": {}{sep}\"budget_exhausted\": {}{sep}\"deadline_hit\": {}",
+            "]{sep}\"total_ms\": {}{sep}\"budget_exhausted\": {}{sep}\"deadline_hit\": {}\
+             {sep}\"cached\": {}{sep}\"warm_started\": {}",
             ms(self.total),
             self.budget_exhausted,
-            self.deadline_hit
+            self.deadline_hit,
+            self.cached,
+            self.warm_started
         ));
         out.push_str(sep);
         out.push_str("\"cut_phase\": ");
@@ -424,6 +448,12 @@ impl std::fmt::Display for SolveReport {
         if let Some(phase) = self.cut_phase {
             write!(f, "  (deadline hit in {phase}; incumbent returned)")?;
         }
+        if self.cached {
+            write!(f, "  (served from solution cache)")?;
+        }
+        if self.warm_started {
+            write!(f, "  (warm-started from a cached near match)")?;
+        }
         Ok(())
     }
 }
@@ -439,6 +469,8 @@ pub struct SolveRequest<'a> {
     options: SolveOptions,
     precomputed: Option<InstanceFeatures>,
     cancel: Option<CancelToken>,
+    cache: Option<SolutionCache>,
+    cache_policy: CachePolicy,
 }
 
 impl<'a> SolveRequest<'a> {
@@ -450,6 +482,8 @@ impl<'a> SolveRequest<'a> {
             options: SolveOptions::default(),
             precomputed: None,
             cancel: None,
+            cache: None,
+            cache_policy: CachePolicy::default(),
         }
     }
 
@@ -540,6 +574,53 @@ impl<'a> SolveRequest<'a> {
         self
     }
 
+    /// Attaches a shared [`SolutionCache`]: under the request's
+    /// [`CachePolicy`] (default [`CachePolicy::ReadWrite`]) the solve is
+    /// served from the cache when an equivalent solve — same canonical
+    /// instance, solver, seed and decomposition — is stored, warm-started
+    /// from a near match when the solver is exact, and inserted after a
+    /// clean fresh solve.
+    ///
+    /// ```
+    /// use busytime_core::{memo::SolutionCache, Instance, SolveRequest};
+    ///
+    /// let cache = SolutionCache::new(64);
+    /// let inst = Instance::from_pairs([(0, 4), (1, 5), (6, 9)], 2);
+    /// let cold = SolveRequest::new(&inst)
+    ///     .solution_cache(cache.clone())
+    ///     .solve()
+    ///     .unwrap();
+    /// assert!(!cold.cached);
+    /// // a permuted copy of the instance is the same canonical instance
+    /// let permuted = Instance::from_pairs([(6, 9), (1, 5), (0, 4)], 2);
+    /// let hit = SolveRequest::new(&permuted)
+    ///     .solution_cache(cache)
+    ///     .solve()
+    ///     .unwrap();
+    /// assert!(hit.cached);
+    /// assert_eq!(hit.cost, cold.cost);
+    /// hit.schedule.validate(&permuted).unwrap();
+    /// ```
+    pub fn solution_cache(mut self, cache: SolutionCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Sets how the attached [`SolutionCache`] participates in this solve
+    /// (default [`CachePolicy::ReadWrite`]); without an attached cache the
+    /// policy is inert.
+    pub fn cache_policy(mut self, policy: CachePolicy) -> Self {
+        self.cache_policy = policy;
+        self
+    }
+
+    /// Supplies a machine-grouping warm-start hint directly (the
+    /// cache-independent form of [`SolveOptions::warm_start`]).
+    pub fn warm_start(mut self, warm: WarmStart) -> Self {
+        self.options.warm_start = Some(warm);
+        self
+    }
+
     /// Supplies already-detected features for this instance, skipping the
     /// detect phase (its `PhaseStat` is recorded as `cached`). Serving
     /// layers solving many identical instances use this to pay detection
@@ -562,21 +643,64 @@ impl<'a> SolveRequest<'a> {
     /// Runs against a caller-provided registry (e.g. one extended with the
     /// exact solvers of `busytime-exact`).
     pub fn solve_with(self, registry: &SolverRegistry) -> Result<SolveReport, SolveError> {
+        let SolveRequest {
+            inst,
+            choice,
+            mut options,
+            precomputed,
+            cancel,
+            cache,
+            cache_policy,
+        } = self;
         let started = Instant::now();
         let mut phases: Vec<PhaseStat> = Vec::new();
 
-        if let Some(max) = self.options.max_jobs {
-            if self.inst.len() > max {
+        if let Some(max) = options.max_jobs {
+            if inst.len() > max {
                 return Err(SolveError::BudgetExceeded {
-                    jobs: self.inst.len(),
+                    jobs: inst.len(),
                     max_jobs: max,
                 });
             }
         }
 
+        // solution-cache consult: an exact hit short-circuits the whole
+        // pipeline; on a miss, a near match may still warm-start an exact
+        // solver's incumbent
+        let memo_key = match &cache {
+            Some(_) if cache_policy != CachePolicy::Off => {
+                let solver = match &choice {
+                    SolverChoice::Named(key) => registry
+                        .get(key)
+                        .map(|e| e.key().to_string())
+                        .unwrap_or_else(|| key.clone()),
+                    SolverChoice::Custom(s) => owned_name(&**s),
+                };
+                Some((
+                    CanonicalInstance::of(inst),
+                    SolveFingerprint {
+                        solver,
+                        seed: options.seed,
+                        decompose: options.decompose,
+                    },
+                ))
+            }
+            _ => None,
+        };
+        if let (Some(cache), Some((canon, fp))) = (&cache, &memo_key) {
+            if cache_policy.read_enabled() {
+                if let Some(report) = cache.lookup(canon, fp) {
+                    return Ok(report);
+                }
+                if options.warm_start.is_none() && fp.solver.starts_with("exact") {
+                    options.warm_start = cache.warm_hint(canon, WARM_EDIT_BUDGET);
+                }
+            }
+        }
+
         // the cooperative token every solver loop polls: the caller's
         // token (if any), tightened by the request's own deadline
-        let token = match (self.cancel, self.options.deadline) {
+        let token = match (cancel, options.deadline) {
             (Some(outer), Some(deadline)) => outer.child_after(deadline),
             (Some(outer), None) => outer,
             (None, Some(deadline)) => CancelToken::after(deadline),
@@ -588,10 +712,10 @@ impl<'a> SolveRequest<'a> {
 
         // detect
         let t = Instant::now();
-        let cached = self.precomputed.is_some();
-        let features = match self.precomputed {
+        let cached = precomputed.is_some();
+        let features = match precomputed {
             Some(f) => f,
-            None => InstanceFeatures::detect(self.inst),
+            None => InstanceFeatures::detect(inst),
         };
         phases.push(PhaseStat {
             name: "detect",
@@ -611,9 +735,9 @@ impl<'a> SolveRequest<'a> {
 
         // build
         let t = Instant::now();
-        let (requested, base): (String, Box<dyn Scheduler>) = match self.choice {
+        let (requested, base): (String, Box<dyn Scheduler>) = match choice {
             SolverChoice::Named(key) => {
-                let solver = registry.build(&key, &self.options)?;
+                let solver = registry.build(&key, &options)?;
                 (key, solver)
             }
             SolverChoice::Custom(s) => (owned_name(&*s), s),
@@ -622,7 +746,7 @@ impl<'a> SolveRequest<'a> {
             registry.get(&requested).is_some_and(|e| e.key() == "auto") || base.name() == "Auto";
         let auto_choice = is_auto.then(|| Auto::new().decide(&features));
         let solver_name = owned_name(&*base);
-        let solver: Box<dyn Scheduler> = if self.options.decompose {
+        let solver: Box<dyn Scheduler> = if options.decompose {
             Box::new(Decomposed::new(base))
         } else {
             base
@@ -630,7 +754,7 @@ impl<'a> SolveRequest<'a> {
         // With decomposition on, Auto re-decides per connected component, so
         // the whole-instance decision recorded here may be refined per
         // component (see the `auto_choice` field docs).
-        let multi_component = self.options.decompose && features.components > 1;
+        let multi_component = options.decompose && features.components > 1;
         phases.push(PhaseStat {
             name: "build",
             duration: t.elapsed(),
@@ -649,7 +773,7 @@ impl<'a> SolveRequest<'a> {
 
         // schedule — the token rides along into every solver loop
         let t = Instant::now();
-        let schedule = solver.schedule_with(self.inst, &token)?;
+        let schedule = solver.schedule_with(inst, &token)?;
         phases.push(PhaseStat {
             name: "schedule",
             duration: t.elapsed(),
@@ -659,14 +783,13 @@ impl<'a> SolveRequest<'a> {
             cut_phase = Some("schedule");
         }
 
-        let budget_exhausted = self
-            .options
+        let budget_exhausted = options
             .time_budget
             .is_some_and(|budget| started.elapsed() > budget);
 
         // bound
         let t = Instant::now();
-        let lower_bound = bounds::best_lower_bound(self.inst);
+        let lower_bound = bounds::best_lower_bound(inst);
         phases.push(PhaseStat {
             name: "bound",
             duration: t.elapsed(),
@@ -676,7 +799,7 @@ impl<'a> SolveRequest<'a> {
             cut_phase = Some("bound");
         }
 
-        let cost = schedule.cost(self.inst);
+        let cost = schedule.cost(inst);
         // a zero bound is only vacuously optimal when the cost is zero
         // too (empty / all-zero-length instances); a positive cost over a
         // zero bound must not claim gap 1.0 (it serializes as JSON null)
@@ -691,28 +814,23 @@ impl<'a> SolveRequest<'a> {
         // validate — skipped once the soft budget or the hard deadline has
         // expired (a cut record should leave the pipeline promptly; callers
         // that need certainty re-validate the incumbent themselves)
-        if self.options.validation != ValidationLevel::Skip
-            && !budget_exhausted
-            && cut_phase.is_none()
-        {
+        if options.validation != ValidationLevel::Skip && !budget_exhausted && cut_phase.is_none() {
             let t = Instant::now();
-            schedule
-                .validate(self.inst)
-                .map_err(SolveError::Validation)?;
-            if self.options.validation == ValidationLevel::Strict && cost < lower_bound {
+            schedule.validate(inst).map_err(SolveError::Validation)?;
+            if options.validation == ValidationLevel::Strict && cost < lower_bound {
                 return Err(SolveError::CostBelowBound { cost, lower_bound });
             }
             phases.push(PhaseStat {
                 name: "validate",
                 duration: t.elapsed(),
-                detail: format!("{:?}", self.options.validation),
+                detail: format!("{:?}", options.validation),
             });
             if cut_phase.is_none() && token.is_cancelled() {
                 cut_phase = Some("validate");
             }
         }
 
-        Ok(SolveReport {
+        let report = SolveReport {
             requested,
             solver: solver_name,
             auto_choice,
@@ -727,7 +845,15 @@ impl<'a> SolveRequest<'a> {
             budget_exhausted,
             deadline_hit: cut_phase.is_some(),
             cut_phase,
-        })
+            cached: false,
+            warm_started: options.warm_start.is_some(),
+        };
+        if let (Some(cache), Some((canon, fp))) = (&cache, &memo_key) {
+            if cache_policy.write_enabled() {
+                cache.insert(canon, fp, &report);
+            }
+        }
+        Ok(report)
     }
 }
 

@@ -211,3 +211,61 @@ proptest! {
         prop_assert!(d >= inst.max_len());
     }
 }
+
+proptest! {
+    /// The canonical content hash (the solution/feature cache key) is
+    /// invariant under any permutation of the job list, the canonical
+    /// forms compare equal, and remapping a canonical assignment back to
+    /// the shuffled order round-trips through a valid schedule.
+    #[test]
+    fn canonical_hash_is_permutation_invariant(
+        inst in arb_instance(30),
+        seed in 0u64..1_000,
+    ) {
+        use busytime_core::memo::{canonical_hash, CanonicalInstance};
+
+        // deterministic Fisher–Yates driven by the proptest-drawn seed
+        let mut order: Vec<usize> = (0..inst.len()).collect();
+        let mut state = seed.wrapping_mul(0x5851_f42d_4c95_7f2d).wrapping_add(1);
+        for i in (1..order.len()).rev() {
+            state = state
+                .wrapping_mul(0x5851_f42d_4c95_7f2d)
+                .wrapping_add(0x1405_7b7e_f767_814f);
+            let j = (state >> 33) as usize % (i + 1);
+            order.swap(i, j);
+        }
+        let shuffled = Instance::new(
+            order.iter().map(|&i| inst.job(i)).collect(),
+            inst.g(),
+        );
+        prop_assert_eq!(canonical_hash(&inst), canonical_hash(&shuffled));
+        prop_assert_eq!(CanonicalInstance::of(&inst), CanonicalInstance::of(&shuffled));
+
+        // a schedule computed on the original maps through canonical form
+        // into a valid schedule of the shuffled copy
+        let sched = FirstFit::paper().schedule(&inst).unwrap();
+        let canon = CanonicalInstance::of(&inst);
+        let canonical_assign = canon.assignment_to_canonical(sched.assignment());
+        let shuffled_assign =
+            CanonicalInstance::of(&shuffled).assignment_to_original(&canonical_assign);
+        let remapped = busytime_core::Schedule::from_assignment(shuffled_assign);
+        prop_assert_eq!(remapped.validate(&shuffled), Ok(()));
+        prop_assert_eq!(remapped.cost(&shuffled), sched.cost(&inst));
+    }
+
+    /// The canonical hash discriminates: nudging one job's end, or bumping
+    /// `g`, changes the key (so permuted repeats hit, edits do not).
+    #[test]
+    fn canonical_hash_discriminates_edits(inst in arb_instance(30), pick in 0usize..64) {
+        use busytime_core::memo::canonical_hash;
+
+        let mut jobs: Vec<Interval> = inst.jobs().to_vec();
+        let k = pick % jobs.len();
+        jobs[k] = Interval::new(jobs[k].start, jobs[k].end + 1);
+        let nudged = Instance::new(jobs, inst.g());
+        prop_assert_ne!(canonical_hash(&inst), canonical_hash(&nudged));
+
+        let regeared = Instance::new(inst.jobs().to_vec(), inst.g() + 1);
+        prop_assert_ne!(canonical_hash(&inst), canonical_hash(&regeared));
+    }
+}

@@ -2,11 +2,14 @@
 
 use std::borrow::Cow;
 
+use std::collections::HashMap;
+
 use busytime_core::algo::{
     BestFit, Decomposed, FirstFit, NextFitProper, Scheduler, SchedulerError,
 };
+use busytime_core::memo::WarmStart;
 use busytime_core::{bounds, CancelToken, Instance, MachineLoad, Schedule};
-use busytime_interval::IntervalSet;
+use busytime_interval::{Interval, IntervalSet};
 
 /// Exact optimum by depth-first branch-and-bound.
 ///
@@ -30,12 +33,18 @@ use busytime_interval::IntervalSet;
 ///   measure of `∪(remaining jobs) \ ∪(current busy sets)` — uncovered time
 ///   where some remaining job is active forces some machine to become busy;
 /// * global: Observation 1.1's `max(⌈len/g⌉, span)` per component.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ExactBB {
     /// Refuse component instances larger than this (default 24).
     pub max_jobs: usize,
     /// Abort after this many search nodes (default 200 million).
     pub node_budget: u64,
+    /// A machine-grouping hint from a cached near-match solution (see
+    /// [`busytime_core::memo`]): jobs hinted to the same label start on
+    /// one machine, and the resulting candidate seeds the incumbent when
+    /// it beats the approximation warm starts. Purely an accelerator —
+    /// the search still certifies optimality.
+    pub warm: Option<WarmStart>,
 }
 
 impl Default for ExactBB {
@@ -43,6 +52,7 @@ impl Default for ExactBB {
         ExactBB {
             max_jobs: 24,
             node_budget: 200_000_000,
+            warm: None,
         }
     }
 }
@@ -59,6 +69,12 @@ impl ExactBB {
             max_jobs,
             ..Self::default()
         }
+    }
+
+    /// Attaches (or clears) a near-match warm-start hint.
+    pub fn with_warm_start(mut self, warm: Option<WarmStart>) -> Self {
+        self.warm = warm;
+        self
     }
 
     /// Optimal cost of an instance (convenience wrapper).
@@ -95,6 +111,15 @@ impl ExactBB {
             let cost = warm.cost(inst);
             if incumbent.as_ref().is_none_or(|(c, _)| cost < *c) {
                 incumbent = Some((cost, warm.assignment().to_vec()));
+            }
+        }
+        // a cached near-match grouping, when supplied, competes with the
+        // approximations for the starting incumbent
+        if let Some(warm) = &self.warm {
+            if let Some((cost, assign)) = warm_candidate(inst, warm) {
+                if incumbent.as_ref().is_none_or(|(c, _)| cost < *c) {
+                    incumbent = Some((cost, assign));
+                }
             }
         }
         let (mut best_cost, mut best_assign) = incumbent.expect("warm start always succeeds");
@@ -249,6 +274,63 @@ impl ExactBB {
         let _ = best_cost;
         Ok(Schedule::from_assignment(ctx.best_assign))
     }
+}
+
+/// Builds a feasible candidate from a [`WarmStart`] hint: jobs whose
+/// interval occurrence carries a cached machine label are grouped with
+/// their label-mates (capacity permitting); everything else — and any
+/// hinted job its label machine can no longer hold — falls back to first
+/// fit. Returns the candidate's cost and assignment, or `None` when the
+/// hint labels none of this component's jobs.
+fn warm_candidate(inst: &Instance, warm: &WarmStart) -> Option<(i64, Vec<usize>)> {
+    let n = inst.len();
+    let g = inst.g();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| (inst.job(i).start, inst.job(i).end));
+    let mut machines: Vec<MachineLoad> = Vec::new();
+    let mut label_machine: HashMap<usize, usize> = HashMap::new();
+    let mut occurrence: HashMap<Interval, usize> = HashMap::new();
+    let mut assign = vec![0usize; n];
+    let mut hinted_jobs = 0usize;
+    for &i in &order {
+        let iv = inst.job(i);
+        let occ = {
+            let count = occurrence.entry(iv).or_insert(0);
+            let o = *count;
+            *count += 1;
+            o
+        };
+        let hint = warm.labels(&iv).and_then(|labels| labels.get(occ)).copied();
+        if hint.is_some() {
+            hinted_jobs += 1;
+        }
+        let target = hint.and_then(|label| match label_machine.get(&label).copied() {
+            Some(m) if machines[m].can_fit(&iv, g) => Some(m),
+            // the label's machine is full here (the near match differed
+            // around this job) — first-fit below
+            Some(_) => None,
+            None => {
+                machines.push(MachineLoad::new());
+                let m = machines.len() - 1;
+                label_machine.insert(label, m);
+                Some(m)
+            }
+        });
+        let m = target.unwrap_or_else(|| {
+            (0..machines.len())
+                .find(|&m| machines[m].can_fit(&iv, g))
+                .unwrap_or_else(|| {
+                    machines.push(MachineLoad::new());
+                    machines.len() - 1
+                })
+        });
+        machines[m].push(i, &iv);
+        assign[i] = m;
+    }
+    if hinted_jobs == 0 {
+        return None;
+    }
+    Some((machines.iter().map(MachineLoad::busy_time).sum(), assign))
 }
 
 impl Scheduler for ExactBB {

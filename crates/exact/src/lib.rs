@@ -41,7 +41,7 @@ pub fn register(registry: &mut SolverRegistry) {
         "exact-bb",
         "exact optimum by branch-and-bound (size-guarded, ≤ 24 jobs/component)",
         Some("= OPT (exponential time)"),
-        Box::new(|_| Box::new(ExactBB::new())),
+        Box::new(|opts| Box::new(ExactBB::new().with_warm_start(opts.warm_start.clone()))),
     );
     registry.register(
         "exact-dp",

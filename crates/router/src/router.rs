@@ -1053,6 +1053,8 @@ fn route_session<R: BufRead, W: Write + Send>(
         p99_solve: Duration::ZERO,
         cache_hits: 0,
         cache_misses: 0,
+        solution_cache_hits: 0,
+        solution_cache_misses: 0,
         workers: 0,
         deadline_hits: 0,
     };

@@ -246,6 +246,50 @@ fn responses_stay_in_input_order_across_skewed_shards() {
 }
 
 #[test]
+fn merged_trailer_sums_solution_cache_counts_across_shards() {
+    // two shards, two batches of one identical instance: the first batch
+    // fills each shard's solution cache, the second is served from it, and
+    // the router's merged trailer must report the *summed* per-shard
+    // counts
+    let a = start_shard(Duration::from_millis(5), 1, "a");
+    let b = start_shard(Duration::from_millis(5), 1, "b");
+    let shards = vec![
+        ShardState::new(0, a.addr.to_string()),
+        ShardState::new(1, b.addr.to_string()),
+    ];
+    let front = start_router(shards, quiet_route_config());
+
+    let counts = |trailer: &str| {
+        let summary = busytime_server::BatchSummary::from_json_line(trailer).unwrap();
+        (summary.solution_cache_hits, summary.solution_cache_misses)
+    };
+
+    let ids: Vec<String> = (0..6).map(|i| format!("fill-{i}")).collect();
+    let lines = run_batch(front.addr, &ids);
+    let trailer = assert_ordered_batch(&lines, &ids);
+    let (hits, misses) = counts(&trailer);
+    assert_eq!(
+        hits + misses,
+        6,
+        "every record consults the cache: {trailer}"
+    );
+
+    // repeats of an instance every shard has now solved: each shard
+    // answers its share from its cache, at worst missing once per shard
+    // (a shard the first batch never reached)
+    let ids: Vec<String> = (0..6).map(|i| format!("hit-{i}")).collect();
+    let lines = run_batch(front.addr, &ids);
+    let trailer = assert_ordered_batch(&lines, &ids);
+    let (hits, misses) = counts(&trailer);
+    assert_eq!(hits + misses, 6, "{trailer}");
+    assert!(hits >= 4, "warm shards serve repeats from cache: {trailer}");
+
+    front.stop();
+    a.stop();
+    b.stop();
+}
+
+#[test]
 fn two_one_worker_shards_beat_one_through_the_router() {
     // the additive-capacity claim: 8 records of ~40ms on one 1-worker
     // shard cost >= 320ms serialized; the same batch through a router
@@ -293,10 +337,18 @@ fn shard_death_mid_batch_retries_on_the_survivor() {
     let stub = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
     let stub_addr = stub.local_addr().unwrap();
     let stub_thread = std::thread::spawn(move || {
-        let (conn, _) = stub.accept().unwrap();
-        let mut reader = BufReader::new(conn);
-        let mut line = String::new();
-        let _ = reader.read_line(&mut line);
+        // the background prober may connect first (HTTP healthz probes);
+        // shrug those off and keep accepting until the record dispatch
+        // connection shows up, so the death is always record-holding
+        loop {
+            let (conn, _) = stub.accept().unwrap();
+            let mut reader = BufReader::new(conn);
+            let mut line = String::new();
+            let _ = reader.read_line(&mut line);
+            if !line.starts_with("GET ") {
+                break;
+            }
+        }
         // conn and listener drop here: EOF towards the router, refused
         // connects afterwards
     });

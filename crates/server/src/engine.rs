@@ -15,6 +15,18 @@
 //! pool writes results into input-order slots and the writer drains chunks
 //! sequentially.
 //!
+//! Above the feature cache sits the *solution* cache
+//! ([`busytime_core::SolutionCache`]): before a record is dispatched to the
+//! executor at all, the session looks its canonical instance + solve
+//! fingerprint up and, on a hit, streams the cached validated report
+//! (assignment remapped to the record's own job order, `cached: true`)
+//! without occupying a worker. Misses are solved as usual and written back;
+//! exact solves additionally ask the cache for a near-match warm start
+//! ([`busytime_core::solve::WARM_EDIT_BUDGET`]). Per-record `cache` policies
+//! (`off`/`read`/`write`/`readwrite`) gate both directions, and the
+//! [`crate::listener`] shares one cache handle across connections the same
+//! way it shares the feature cache.
+//!
 //! Deadlines are enforced at the pool layer: each record's budget (its
 //! `deadline_ms`, else the batch default) arms a
 //! [`busytime_core::CancelToken`] when a worker picks the record up, the
@@ -36,15 +48,17 @@
 //! interactive socket clients from stalling behind the chunk size.
 
 use std::collections::{BTreeMap, HashMap};
-use std::hash::{Hash, Hasher};
 use std::io::{BufRead, Write};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use busytime_core::algo::SchedulerError;
 use busytime_core::cancel::CancelToken;
+use busytime_core::memo::{CachePolicy, CanonicalInstance, SolutionCache, SolveFingerprint};
 use busytime_core::pool::Executor;
-use busytime_core::solve::{SolveError, SolveOptions, SolverRegistry, REPORT_SCHEMA_VERSION};
+use busytime_core::solve::{
+    SolveError, SolveOptions, SolverRegistry, REPORT_SCHEMA_VERSION, WARM_EDIT_BUDGET,
+};
 use busytime_core::{Instance, InstanceFeatures, SolveRequest};
 use busytime_instances::json::{self, JsonError, Value};
 
@@ -80,9 +94,19 @@ pub struct ServeConfig {
     /// Records per dispatch wave (`0` = sized from the worker count).
     /// Smaller chunks stream earlier; larger chunks amortize pool startup.
     pub chunk_size: usize,
+    /// Capacity of the session's [`SolutionCache`] (validated reports,
+    /// LRU-evicted); `0` disables solution caching entirely. Only the
+    /// capacity of the cache a session builds *itself* — a shared handle
+    /// installed via [`BatchSession::solutions`] keeps its own capacity.
+    pub solution_cache: usize,
     /// Base options for every record (per-record fields override).
     pub base_options: SolveOptions,
 }
+
+/// Default [`ServeConfig::solution_cache`] capacity: validated reports are
+/// small (an assignment vector plus scalars), so a few thousand entries
+/// cost megabytes at most.
+pub const DEFAULT_SOLUTION_CACHE: usize = 1024;
 
 impl Default for ServeConfig {
     fn default() -> Self {
@@ -91,6 +115,7 @@ impl Default for ServeConfig {
             default_solver: "auto".to_string(),
             error_policy: ErrorPolicy::KeepGoing,
             chunk_size: 0,
+            solution_cache: DEFAULT_SOLUTION_CACHE,
             base_options: SolveOptions::default(),
         }
     }
@@ -167,6 +192,15 @@ pub struct BatchSummary {
     pub cache_hits: usize,
     /// Feature-cache misses (distinct instances detected).
     pub cache_misses: usize,
+    /// Solution-cache hits: records answered straight from the memo
+    /// (validated cached report, assignment remapped to the record's job
+    /// order) without dispatching a solve. Excluded from
+    /// `p50_solve`/`p99_solve` — a lookup is not a solve latency.
+    pub solution_cache_hits: usize,
+    /// Solution-cache lookups that missed: records solved fresh under a
+    /// read-enabled cache policy. Records with caching off (policy or a
+    /// disabled cache) count in neither solution-cache statistic.
+    pub solution_cache_misses: usize,
     /// The session's effective solve width: how many of the process-wide
     /// executor's workers its chunks could occupy at once.
     pub workers: usize,
@@ -211,7 +245,8 @@ impl BatchSummary {
              \"errors\": {}, \"total_cost\": {}, \"total_lower_bound\": {}, \
              \"aggregate_gap\": {gap}, \"wall_ms\": {:.3}, \"throughput_per_s\": {:.3}, \
              \"solved_per_s\": {:.3}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"cache_hits\": {}, \
-             \"cache_misses\": {}, \"workers\": {}, \"deadline_hits\": {}}}",
+             \"cache_misses\": {}, \"solution_cache_hits\": {}, \"solution_cache_misses\": {}, \
+             \"workers\": {}, \"deadline_hits\": {}}}",
             self.records,
             self.solved,
             self.errors,
@@ -224,6 +259,8 @@ impl BatchSummary {
             self.p99_solve.as_secs_f64() * 1e3,
             self.cache_hits,
             self.cache_misses,
+            self.solution_cache_hits,
+            self.solution_cache_misses,
             self.workers,
             self.deadline_hits,
         )
@@ -295,6 +332,8 @@ impl BatchSummary {
             p99_solve: millis("p99_ms")?,
             cache_hits: count("cache_hits")?,
             cache_misses: count("cache_misses")?,
+            solution_cache_hits: count("solution_cache_hits")?,
+            solution_cache_misses: count("solution_cache_misses")?,
             workers: count("workers")?,
             deadline_hits: count("deadline_hits")?,
         })
@@ -340,6 +379,8 @@ impl BatchSummary {
         self.solved_per_s += other.solved_per_s;
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
+        self.solution_cache_hits += other.solution_cache_hits;
+        self.solution_cache_misses += other.solution_cache_misses;
         self.workers += other.workers;
         self.deadline_hits += other.deadline_hits;
     }
@@ -363,13 +404,16 @@ impl std::fmt::Display for BatchSummary {
             f,
             "solve latency: p50 {:.2} ms, p99 {:.2} ms (unaffected records) | \
              aggregate gap ≤ {:.3} | deadline hits: {} | \
-             feature cache: {} hits / {} misses",
+             feature cache: {} hits / {} misses | \
+             solution cache: {} hits / {} misses",
             self.p50_solve.as_secs_f64() * 1e3,
             self.p99_solve.as_secs_f64() * 1e3,
             self.aggregate_gap,
             self.deadline_hits,
             self.cache_hits,
             self.cache_misses,
+            self.solution_cache_hits,
+            self.solution_cache_misses,
         )
     }
 }
@@ -398,15 +442,13 @@ struct FeatureCache {
 struct CacheEntry {
     key: u64,
     tick: u64,
-    inst: Instance,
+    /// The instance in canonical (order-invariant) form: permuted-identical
+    /// instances share one entry, keyed and compared canonically. (The
+    /// original cache hashed and compared jobs *in record order*, so the
+    /// same instance with its jobs shuffled was detected — and stored —
+    /// twice.)
+    canon: CanonicalInstance,
     features: InstanceFeatures,
-}
-
-fn instance_key(inst: &Instance) -> u64 {
-    let mut h = std::collections::hash_map::DefaultHasher::new();
-    inst.g().hash(&mut h);
-    inst.jobs().hash(&mut h);
-    h.finish()
 }
 
 impl Default for FeatureCache {
@@ -430,19 +472,19 @@ impl FeatureCache {
         }
     }
 
-    /// The id of the entry caching `inst`, recency-bumped, if present.
-    fn find_and_touch(&mut self, key: u64, inst: &Instance) -> Option<u64> {
+    /// The id of the entry caching `canon`, recency-bumped, if present.
+    fn find_and_touch(&mut self, canon: &CanonicalInstance) -> Option<u64> {
         let id = *self
             .buckets
-            .get(&key)?
+            .get(&canon.hash())?
             .iter()
-            .find(|&&id| self.entries.get(&id).is_some_and(|e| e.inst == *inst))?;
+            .find(|&&id| self.entries.get(&id).is_some_and(|e| e.canon == *canon))?;
         self.touch(id);
         Some(id)
     }
 
-    fn get(&mut self, key: u64, inst: &Instance) -> Option<InstanceFeatures> {
-        let id = self.find_and_touch(key, inst)?;
+    fn get(&mut self, canon: &CanonicalInstance) -> Option<InstanceFeatures> {
+        let id = self.find_and_touch(canon)?;
         Some(self.entries[&id].features.clone())
     }
 
@@ -455,13 +497,14 @@ impl FeatureCache {
         self.order.insert(self.tick, id);
     }
 
-    fn insert(&mut self, key: u64, inst: Instance, features: InstanceFeatures) {
+    fn insert(&mut self, canon: CanonicalInstance, features: InstanceFeatures) {
         // another session may have inserted the same instance between this
         // session's miss and its detection finishing: refresh the recency
         // instead of duplicating the entry
-        if self.find_and_touch(key, &inst).is_some() {
+        if self.find_and_touch(&canon).is_some() {
             return;
         }
+        let key = canon.hash();
         while self.entries.len() >= self.cap {
             let (_, id) = self.order.pop_first().expect("order tracks entries");
             let victim = self.entries.remove(&id).expect("entry for LRU id");
@@ -479,7 +522,7 @@ impl FeatureCache {
             CacheEntry {
                 key,
                 tick: self.tick,
-                inst,
+                canon,
                 features,
             },
         );
@@ -525,15 +568,15 @@ impl SharedFeatureCache {
         }
     }
 
-    fn lookup(&self, key: u64, inst: &Instance) -> Option<InstanceFeatures> {
+    fn lookup(&self, canon: &CanonicalInstance) -> Option<InstanceFeatures> {
         // poison-tolerant: cached features are immutable once inserted, so
         // the data stays sound; at worst an interrupted insert costs a
         // re-detection
-        lock_ignoring_poison(&self.inner).get(key, inst)
+        lock_ignoring_poison(&self.inner).get(canon)
     }
 
-    fn insert(&self, key: u64, inst: Instance, features: InstanceFeatures) {
-        lock_ignoring_poison(&self.inner).insert(key, inst, features);
+    fn insert(&self, canon: CanonicalInstance, features: InstanceFeatures) {
+        lock_ignoring_poison(&self.inner).insert(canon, features);
     }
 }
 
@@ -549,8 +592,22 @@ struct SolveItem {
     line: usize,
     record: BatchRecord,
     inst: Instance,
-    /// [`instance_key`] of `inst`, computed once at parse time.
-    key: u64,
+    /// Canonical (order-invariant) form of `inst`, computed once at parse
+    /// time: the key into both the feature cache and the solution cache.
+    canon: CanonicalInstance,
+    /// The record's effective cache policy (`record.cache`, defaulting to
+    /// read-write).
+    policy: CachePolicy,
+    /// Solution-cache identity of this solve (canonical solver key, seed,
+    /// decompose). `None` when the solution cache is out of play for this
+    /// record — disabled cache, `cache: "off"`, or a `max_jobs` refusal —
+    /// so the solve neither looks up nor writes back.
+    fingerprint: Option<SolveFingerprint>,
+    /// A solution-cache hit, resolved before dispatch: the cached report
+    /// (assignment already remapped to this record's job order,
+    /// `cached: true`). Hit records skip feature detection and never reach
+    /// the executor.
+    hit: Option<busytime_core::SolveReport>,
     /// Filled by the chunk's batched detection pass before solving.
     features: Option<InstanceFeatures>,
     /// Effective solve budget: the record's `deadline_ms`, else the
@@ -603,6 +660,7 @@ pub struct BatchSession<'a> {
     registry: &'a SolverRegistry,
     config: &'a ServeConfig,
     cache: SharedFeatureCache,
+    solutions: SolutionCache,
     cancel: CancelToken,
     /// `None` = resolve [`Executor::global`] lazily at [`BatchSession::run`]
     /// time — building a session with a pinned pool must not materialize
@@ -619,6 +677,7 @@ impl<'a> BatchSession<'a> {
             registry,
             config,
             cache: SharedFeatureCache::new(),
+            solutions: SolutionCache::new(config.solution_cache),
             cancel: CancelToken::never(),
             executor: None,
         }
@@ -629,6 +688,15 @@ impl<'a> BatchSession<'a> {
     /// process-wide.
     pub fn cache(mut self, cache: SharedFeatureCache) -> Self {
         self.cache = cache;
+        self
+    }
+
+    /// Uses `solutions` as the session's [`SolutionCache`] instead of the
+    /// private one sized by [`ServeConfig::solution_cache`] — the listener
+    /// hands clones of one handle to every connection so a record solved on
+    /// one connection is a lookup on the next.
+    pub fn solutions(mut self, solutions: SolutionCache) -> Self {
+        self.solutions = solutions;
         self
     }
 
@@ -740,6 +808,8 @@ impl<'a> BatchSession<'a> {
         let mut total_lower_bound = 0i64;
         let mut cache_hits = 0usize;
         let mut cache_misses = 0usize;
+        let mut solution_cache_hits = 0usize;
+        let mut solution_cache_misses = 0usize;
         let mut deadline_hits = 0usize;
 
         let mut line_no = 0usize;
@@ -789,11 +859,54 @@ impl<'a> BatchSession<'a> {
                             .deadline_ms
                             .map(Duration::from_millis)
                             .or(config.base_options.deadline);
+                        let canon = CanonicalInstance::of(&inst);
+                        let policy = record.cache.unwrap_or_default();
+                        // the solution cache only sees records it could
+                        // legitimately answer: caching enabled, and not a
+                        // record the pipeline would refuse on `max_jobs`
+                        // before solving
+                        let effective = record.apply_overrides(config.base_options.clone());
+                        let fingerprint = if !self.solutions.is_disabled()
+                            && policy != CachePolicy::Off
+                            && effective.max_jobs.is_none_or(|cap| inst.len() <= cap)
+                        {
+                            let named = record.solver.as_deref().unwrap_or(&config.default_solver);
+                            let solver = self
+                                .registry
+                                .get(named)
+                                .map(|e| e.key().to_string())
+                                .unwrap_or_else(|| named.to_string());
+                            Some(SolveFingerprint {
+                                solver,
+                                seed: effective.seed,
+                                decompose: effective.decompose,
+                            })
+                        } else {
+                            None
+                        };
+                        // consult the solution cache *before* dispatch: a
+                        // hit is answered at lookup speed and never costs a
+                        // worker (or a feature detection)
+                        let mut hit = None;
+                        if let Some(fp) = &fingerprint {
+                            if policy.read_enabled() {
+                                match self.solutions.lookup(&canon, fp) {
+                                    Some(report) => {
+                                        solution_cache_hits += 1;
+                                        hit = Some(report);
+                                    }
+                                    None => solution_cache_misses += 1,
+                                }
+                            }
+                        }
                         entries.push(Entry::Solve { item: items.len() });
                         items.push(SolveItem {
                             line: line_no,
                             record,
-                            key: instance_key(&inst),
+                            canon,
+                            policy,
+                            fingerprint,
+                            hit,
                             inst,
                             features: None,
                             budget,
@@ -818,47 +931,59 @@ impl<'a> BatchSession<'a> {
             }
 
             // batched feature detection: detect each distinct instance
-            // once, consulting (and feeding) the shared cross-session cache
-            let mut fresh: Vec<(u64, Instance)> = Vec::new();
+            // once, consulting (and feeding) the shared cross-session
+            // cache; solution-cache hits are already answered and need no
+            // features at all
+            let mut fresh: Vec<(CanonicalInstance, Instance)> = Vec::new();
             for item in &mut items {
-                if let Some(features) = self.cache.lookup(item.key, &item.inst) {
+                if item.hit.is_some() {
+                    continue;
+                }
+                if let Some(features) = self.cache.lookup(&item.canon) {
                     cache_hits += 1;
                     item.features = Some(features);
-                } else if fresh
-                    .iter()
-                    .any(|(k, inst)| *k == item.key && inst == &item.inst)
-                {
+                } else if fresh.iter().any(|(canon, _)| *canon == item.canon) {
                     cache_hits += 1; // repeated within this chunk
                 } else {
-                    fresh.push((item.key, item.inst.clone()));
+                    fresh.push((item.canon.clone(), item.inst.clone()));
                 }
             }
             let detected =
                 executor.par_map_with(workers, &fresh, |(_, inst)| InstanceFeatures::detect(inst));
             cache_misses += fresh.len();
-            for ((key, inst), features) in fresh.into_iter().zip(detected) {
-                self.cache.insert(key, inst, features);
+            for ((canon, _), features) in fresh.into_iter().zip(detected) {
+                self.cache.insert(canon, features);
             }
             for item in &mut items {
-                if item.features.is_some() {
+                if item.hit.is_some() || item.features.is_some() {
                     continue;
                 }
                 // filled from the cache the fresh detections just fed; LRU
                 // eviction (or another session's churn) can drop entries in
                 // between, so re-detect inline in that rare case
-                item.features = Some(match self.cache.lookup(item.key, &item.inst) {
+                item.features = Some(match self.cache.lookup(&item.canon) {
                     Some(features) => features,
                     None => InstanceFeatures::detect(&item.inst),
                 });
             }
 
             // fan the solves out under pool-enforced deadlines, every
-            // record token a child of the session token; results land in
-            // input order
+            // record token a child of the session token; solution-cache
+            // hits are already answered and stay off the pool entirely.
+            // Results land in dispatch order; `result_of` maps item index →
+            // result index for the in-order writer below.
+            let dispatch_ids: Vec<usize> = (0..items.len())
+                .filter(|&i| items[i].hit.is_none())
+                .collect();
+            let dispatch: Vec<&SolveItem> = dispatch_ids.iter().map(|&i| &items[i]).collect();
+            let mut result_of = vec![usize::MAX; items.len()];
+            for (ri, &ii) in dispatch_ids.iter().enumerate() {
+                result_of[ii] = ri;
+            }
             let results = executor.par_map_deadline_under(
                 workers,
                 &self.cancel,
-                &items,
+                &dispatch,
                 |item| item.budget,
                 |item, token| {
                     let solver = item
@@ -872,12 +997,29 @@ impl<'a> BatchSession<'a> {
                     // second (later) deadline on top of it
                     let mut options = item.record.apply_overrides(config.base_options.clone());
                     options.deadline = None;
+                    // a read-enabled exact solve that missed the cache may
+                    // still warm-start from a cached near match (same jobs
+                    // up to a small edit budget)
+                    if let Some(fp) = &item.fingerprint {
+                        if item.policy.read_enabled() && fp.solver.starts_with("exact") {
+                            options.warm_start =
+                                self.solutions.warm_hint(&item.canon, WARM_EDIT_BUDGET);
+                        }
+                    }
                     let result = SolveRequest::new(&item.inst)
                         .options(options)
                         .solver(solver)
                         .features(features)
                         .cancel(token.clone())
                         .solve_with(self.registry);
+                    // write-back happens worker-side, off the streaming
+                    // path; the cache itself refuses cut or truncated
+                    // reports and re-validates before storing
+                    if let (Some(fp), Ok(report)) = (&item.fingerprint, &result) {
+                        if item.policy.write_enabled() {
+                            self.solutions.insert(&item.canon, fp, report);
+                        }
+                    }
                     // deadlines never un-expire, so sampling after the
                     // solve is exact; the session token carries no deadline
                     // of its own, so a shutdown drain does not masquerade
@@ -905,8 +1047,22 @@ impl<'a> BatchSession<'a> {
                         writeln!(out, "{}", error_line(*line, None, message))?;
                     }
                     Entry::Solve { item } => {
-                        let SolveItem { line, record, .. } = &items[*item];
-                        let outcome = &results[*item];
+                        let SolveItem {
+                            line, record, hit, ..
+                        } = &items[*item];
+                        if let Some(report) = hit {
+                            // answered from the solution cache before
+                            // dispatch: stream the cached (re-validated,
+                            // remapped) report. Not a solve, so it joins
+                            // neither the deadline statistics nor the
+                            // latency percentiles.
+                            solved += 1;
+                            total_cost += report.cost;
+                            total_lower_bound += report.lower_bound;
+                            writeln!(out, "{}", report_line(*line, record.id.as_deref(), report))?;
+                            continue;
+                        }
+                        let outcome = &results[result_of[*item]];
                         // a record is a deadline hit only when its *budget*
                         // cut the solve: the pool clock caught the worker
                         // over budget, or the deadline chain had actually
@@ -992,6 +1148,8 @@ impl<'a> BatchSession<'a> {
             p99_solve: percentile(&latencies, 99.0),
             cache_hits,
             cache_misses,
+            solution_cache_hits,
+            solution_cache_misses,
             workers,
             deadline_hits,
         })
@@ -1093,6 +1251,89 @@ mod tests {
         assert_eq!(lines.len(), 3);
         assert_eq!(summary.cache_misses, 1);
         assert_eq!(summary.cache_hits, 2);
+    }
+
+    #[test]
+    fn repeated_records_hit_the_solution_cache() {
+        // chunk_size 1 so the first record's solve lands in the cache
+        // before the later records are parsed
+        let line = r#"{"instance": {"g": 2, "jobs": [[0, 4], [1, 5], [6, 9]]}}"#;
+        let permuted = r#"{"instance": {"g": 2, "jobs": [[6, 9], [0, 4], [1, 5]]}}"#;
+        let input = format!("{line}\n{line}\n{permuted}\n");
+        let config = ServeConfig {
+            chunk_size: 1,
+            ..ServeConfig::default()
+        };
+        let (lines, summary) = run(&input, &config);
+        assert_eq!(summary.solved, 3);
+        assert_eq!(summary.solution_cache_misses, 1);
+        assert_eq!(summary.solution_cache_hits, 2);
+        assert!(lines[0].contains("\"cached\": false"), "{}", lines[0]);
+        assert!(lines[1].contains("\"cached\": true"), "{}", lines[1]);
+        // the hit is the original response verbatim, modulo the line stamp
+        // and the `cached` provenance flag
+        assert_eq!(
+            lines[1]
+                .replace("\"line\": 2", "\"line\": 1")
+                .replace("\"cached\": true", "\"cached\": false"),
+            lines[0]
+        );
+        // the permuted record hits too (canonical identity), with its
+        // assignment remapped into its own job order
+        assert!(lines[2].contains("\"cached\": true"), "{}", lines[2]);
+        assert!(lines[2].contains("\"ok\": true"), "{}", lines[2]);
+    }
+
+    #[test]
+    fn cache_off_policy_bypasses_the_solution_cache() {
+        let fill = r#"{"instance": {"g": 2, "jobs": [[0, 4], [1, 5]]}}"#;
+        let off = r#"{"instance": {"g": 2, "jobs": [[0, 4], [1, 5]]}, "cache": "off"}"#;
+        let input = format!("{fill}\n{off}\n");
+        let config = ServeConfig {
+            chunk_size: 1,
+            ..ServeConfig::default()
+        };
+        let (lines, summary) = run(&input, &config);
+        assert_eq!(summary.solved, 2);
+        // the off record neither read the cache (no hit despite the
+        // identical fill record) nor counted as a miss
+        assert_eq!(summary.solution_cache_hits, 0);
+        assert_eq!(summary.solution_cache_misses, 1);
+        assert!(lines[1].contains("\"cached\": false"), "{}", lines[1]);
+    }
+
+    #[test]
+    fn zero_capacity_disables_the_solution_cache() {
+        let line = r#"{"instance": {"g": 2, "jobs": [[0, 4], [1, 5]]}}"#;
+        let input = format!("{line}\n{line}\n");
+        let config = ServeConfig {
+            chunk_size: 1,
+            solution_cache: 0,
+            ..ServeConfig::default()
+        };
+        let (lines, summary) = run(&input, &config);
+        assert_eq!(summary.solution_cache_hits, 0);
+        assert_eq!(summary.solution_cache_misses, 0);
+        assert!(lines[1].contains("\"cached\": false"), "{}", lines[1]);
+    }
+
+    #[test]
+    fn permuted_identical_instances_share_one_feature_detection() {
+        // regression: the feature-cache key used to hash jobs in record
+        // order, so the same instance with its jobs shuffled was detected
+        // twice
+        let a = r#"{"instance": {"g": 2, "jobs": [[0, 4], [1, 5], [6, 9]]}}"#;
+        let b = r#"{"instance": {"g": 2, "jobs": [[6, 9], [1, 5], [0, 4]]}}"#;
+        let input = format!("{a}\n{b}\n");
+        let config = ServeConfig {
+            // solution caching off so both records reach feature detection
+            solution_cache: 0,
+            ..ServeConfig::default()
+        };
+        let (lines, summary) = run(&input, &config);
+        assert_eq!(lines.len(), 2);
+        assert_eq!(summary.cache_misses, 1);
+        assert_eq!(summary.cache_hits, 1);
     }
 
     #[test]
@@ -1366,30 +1607,27 @@ mod tests {
         // the fill crossed capacity; true LRU must keep it resident
         let cache = SharedFeatureCache::with_capacity(4);
         let hot = Instance::from_pairs([(0, 4), (1, 5)], 2);
-        let hot_key = instance_key(&hot);
-        cache.insert(hot_key, hot.clone(), InstanceFeatures::detect(&hot));
+        let hot_canon = CanonicalInstance::of(&hot);
+        cache.insert(hot_canon.clone(), InstanceFeatures::detect(&hot));
         for i in 0..16i64 {
             assert!(
-                cache.lookup(hot_key, &hot).is_some(),
+                cache.lookup(&hot_canon).is_some(),
                 "hot entry evicted at churn step {i}"
             );
             let cold = Instance::from_pairs([(10 + i, 13 + i), (11 + i, 14 + i)], 2);
             cache.insert(
-                instance_key(&cold),
-                cold.clone(),
+                CanonicalInstance::of(&cold),
                 InstanceFeatures::detect(&cold),
             );
         }
         assert!(
-            cache.lookup(hot_key, &hot).is_some(),
+            cache.lookup(&hot_canon).is_some(),
             "hot entry must survive churn past capacity"
         );
         // the capacity bound still holds: the earliest cold entry is gone
         let first_cold = Instance::from_pairs([(10, 13), (11, 14)], 2);
         assert!(
-            cache
-                .lookup(instance_key(&first_cold), &first_cold)
-                .is_none(),
+            cache.lookup(&CanonicalInstance::of(&first_cold)).is_none(),
             "LRU victim must have been evicted"
         );
     }
@@ -1401,11 +1639,12 @@ mod tests {
         let cache = SharedFeatureCache::with_capacity(2);
         let a = Instance::from_pairs([(0, 4)], 2);
         let b = Instance::from_pairs([(1, 5)], 2);
-        cache.insert(instance_key(&a), a.clone(), InstanceFeatures::detect(&a));
-        cache.insert(instance_key(&b), b.clone(), InstanceFeatures::detect(&b));
-        cache.insert(instance_key(&a), a.clone(), InstanceFeatures::detect(&a));
-        assert!(cache.lookup(instance_key(&b), &b).is_some());
-        assert!(cache.lookup(instance_key(&a), &a).is_some());
+        let (ca, cb) = (CanonicalInstance::of(&a), CanonicalInstance::of(&b));
+        cache.insert(ca.clone(), InstanceFeatures::detect(&a));
+        cache.insert(cb.clone(), InstanceFeatures::detect(&b));
+        cache.insert(ca.clone(), InstanceFeatures::detect(&a));
+        assert!(cache.lookup(&cb).is_some());
+        assert!(cache.lookup(&ca).is_some());
     }
 
     #[test]
@@ -1544,6 +1783,8 @@ mod tests {
             p99_solve: percentile(&sorted, 99.0),
             cache_hits: 0,
             cache_misses: solved,
+            solution_cache_hits: 0,
+            solution_cache_misses: 0,
             workers: 1,
             deadline_hits: 0,
         }
@@ -1636,6 +1877,8 @@ mod tests {
         assert_eq!(back.total_cost, summary.total_cost);
         assert_eq!(back.total_lower_bound, summary.total_lower_bound);
         assert_eq!(back.workers, summary.workers);
+        assert_eq!(back.solution_cache_hits, summary.solution_cache_hits);
+        assert_eq!(back.solution_cache_misses, summary.solution_cache_misses);
         assert!((back.aggregate_gap - summary.aggregate_gap).abs() < 1e-5);
         assert!((back.wall.as_secs_f64() - summary.wall.as_secs_f64()).abs() < 1e-3);
 

@@ -66,6 +66,7 @@ pub mod protocol;
 
 pub use engine::{
     serve, BatchSession, BatchSummary, ErrorPolicy, ServeConfig, ServeError, SharedFeatureCache,
+    DEFAULT_SOLUTION_CACHE,
 };
 pub use http::{parse_healthz, HealthSnapshot};
 pub use listener::{ConnLog, ListenConfig, ListenMode, ListenReport, Listener};

@@ -63,6 +63,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use busytime_core::cancel::CancelToken;
+use busytime_core::memo::SolutionCache;
 use busytime_core::pool::Executor;
 use busytime_core::solve::{SolverRegistry, REPORT_SCHEMA_VERSION};
 use busytime_instances::json;
@@ -321,6 +322,7 @@ struct ConnShared {
     registry: Arc<SolverRegistry>,
     config: ListenConfig,
     cache: SharedFeatureCache,
+    solutions: SolutionCache,
     executor: Executor,
     shutdown: CancelToken,
     http: bool,
@@ -348,6 +350,7 @@ pub struct Listener {
     config: ListenConfig,
     shutdown: CancelToken,
     cache: SharedFeatureCache,
+    solutions: SolutionCache,
     /// `None` = resolve [`Executor::global`] lazily in [`Listener::run`] —
     /// binding with a pinned pool must not materialize the global one.
     executor: Option<Executor>,
@@ -388,6 +391,7 @@ impl Listener {
                 ))
             }
         };
+        let solutions = SolutionCache::new(config.serve.solution_cache);
         Ok(Listener {
             acceptor,
             http,
@@ -395,6 +399,7 @@ impl Listener {
             config,
             shutdown: CancelToken::never(),
             cache: SharedFeatureCache::new(),
+            solutions,
             executor: None,
         })
     }
@@ -448,6 +453,15 @@ impl Listener {
         self.cache.clone()
     }
 
+    /// The cross-connection [`SolutionCache`] (shared with every session
+    /// this listener spawns, sized by [`ServeConfig::solution_cache`]) — a
+    /// record solved on one connection is a cache hit on the next.
+    /// Exposed so embedders can pre-warm it or share it wider than one
+    /// listener.
+    pub fn solution_cache(&self) -> SolutionCache {
+        self.solutions.clone()
+    }
+
     /// Accepts and serves connections until the shutdown token fires or
     /// the idle timeout elapses, then drains every live connection and
     /// returns the aggregate report.
@@ -464,6 +478,7 @@ impl Listener {
             registry: self.registry,
             config: self.config,
             cache: self.cache,
+            solutions: self.solutions,
             executor: self.executor.unwrap_or_else(Executor::global),
             shutdown: self.shutdown,
             http: self.http,
@@ -792,6 +807,7 @@ fn serve_ndjson_conn(
     let mut input = std::io::Cursor::new(first).chain(reader);
     let session = BatchSession::new(&shared.registry, &shared.config.serve)
         .cache(shared.cache.clone())
+        .solutions(shared.solutions.clone())
         .executor(shared.executor.clone())
         .cancel(shared.shutdown.clone());
     let summary = session.run(&mut input, &mut writer)?;
@@ -806,7 +822,8 @@ fn serve_ndjson_conn(
 }
 
 /// The `/healthz` body: the honest process-wide capacity picture plus the
-/// listener's age and (when sharded) identity.
+/// listener's age, solution-cache effectiveness and (when sharded)
+/// identity.
 fn healthz_body(shared: &ConnShared) -> String {
     let shard = match &shared.config.shard_id {
         Some(id) => {
@@ -816,15 +833,22 @@ fn healthz_body(shared: &ConnShared) -> String {
         }
         None => String::from("null"),
     };
+    let cache = shared.solutions.stats();
     format!(
         "{{\"schema_version\": {REPORT_SCHEMA_VERSION}, \"status\": \"ok\", \
          \"workers\": {}, \"busy_workers\": {}, \"queue_depth\": {}, \
-         \"active_connections\": {}, \"uptime_ms\": {}, \"shard_id\": {shard}}}\n",
+         \"active_connections\": {}, \"uptime_ms\": {}, \
+         \"solution_cache\": {{\"entries\": {}, \"capacity\": {}, \
+         \"hit_rate\": {:.4}, \"warm_starts\": {}}}, \"shard_id\": {shard}}}\n",
         shared.executor.workers(),
         shared.executor.busy_workers(),
         shared.executor.queue_depth(),
         shared.active.load(Ordering::SeqCst),
         shared.started.elapsed().as_millis(),
+        cache.entries,
+        cache.capacity,
+        cache.hit_rate(),
+        cache.warm_starts,
     )
 }
 
@@ -953,6 +977,7 @@ fn serve_http_conn(
                 };
                 let session = BatchSession::new(&shared.registry, &shared.config.serve)
                     .cache(shared.cache.clone())
+                    .solutions(shared.solutions.clone())
                     .executor(shared.executor.clone())
                     .cancel(shared.shutdown.clone());
                 let mut response_body = Vec::new();

@@ -11,9 +11,16 @@
 //! ```
 //!
 //! Optional fields (`id`, `solver`, `seed`, `decompose`, `validation`,
-//! `max_jobs`, `deadline_ms`) default to the server's configuration;
-//! unknown fields are ignored, so clients may stamp their own metadata
-//! onto request lines.
+//! `max_jobs`, `deadline_ms`, `cache`) default to the server's
+//! configuration; unknown fields are ignored, so clients may stamp their
+//! own metadata onto request lines.
+//!
+//! `cache` controls the record's participation in the server's solution
+//! cache: `"off"` bypasses it entirely, `"read"` may be served from it
+//! but never inserts, `"write"` inserts but never reads, and
+//! `"readwrite"` (the default) does both. Reports served from the cache
+//! carry `"cached": true`; solves whose incumbent was seeded from a
+//! cached near match carry `"warm_started": true`.
 //!
 //! `deadline_ms` is the record's hard solve deadline, counted from the
 //! moment a pool worker picks the record up: the solver is cut at its next
@@ -40,6 +47,7 @@
 //! downstream tooling) and tolerates unknown fields, so recorded lines
 //! keep parsing as the protocol grows additively.
 
+use busytime_core::memo::CachePolicy;
 use busytime_core::solve::{SolveOptions, ValidationLevel, REPORT_SCHEMA_VERSION};
 use busytime_core::{Instance, SolveReport};
 use busytime_instances::json::{self, JsonError, Value};
@@ -75,6 +83,10 @@ pub struct BatchRecord {
     /// Per-record hard solve deadline in milliseconds (overrides the
     /// batch-level default).
     pub deadline_ms: Option<u64>,
+    /// Solution-cache participation (`"off"`/`"read"`/`"write"`/
+    /// `"readwrite"`); the server default — [`CachePolicy::ReadWrite`] —
+    /// when absent.
+    pub cache: Option<CachePolicy>,
 }
 
 impl BatchRecord {
@@ -117,6 +129,15 @@ impl BatchRecord {
                 JsonError("field `validation` must be a string".into())
             })?)?),
         };
+        let cache = match value.get("cache") {
+            None | Some(Value::Null) => None,
+            Some(v) => Some(
+                v.as_str()
+                    .ok_or_else(|| JsonError("field `cache` must be a string".into()))?
+                    .parse::<CachePolicy>()
+                    .map_err(JsonError)?,
+            ),
+        };
         Ok(BatchRecord {
             id,
             input,
@@ -126,6 +147,7 @@ impl BatchRecord {
             validation,
             max_jobs: json::opt_int(&value, "max_jobs")?,
             deadline_ms: json::opt_int(&value, "deadline_ms")?,
+            cache,
         })
     }
 
@@ -334,6 +356,12 @@ pub struct ReportSummary {
     /// the solver's incumbent. Absent on lines recorded by pre-deadline
     /// servers; parsed as `false` then.
     pub deadline_hit: bool,
+    /// True iff the report was served from the solution cache. Absent on
+    /// lines recorded by pre-cache servers; parsed as `false` then.
+    pub cached: bool,
+    /// True iff the solve was warm-started from a cached near match.
+    /// Absent on older lines; parsed as `false` then.
+    pub warm_started: bool,
     /// Machine of each job.
     pub assignment: Vec<usize>,
 }
@@ -439,6 +467,8 @@ pub fn parse_output_line(input: &str) -> Result<OutputLine, JsonError> {
             lower_bound: int("lower_bound")?,
             gap,
             deadline_hit: matches!(report.get("deadline_hit"), Some(Value::Bool(true))),
+            cached: matches!(report.get("cached"), Some(Value::Bool(true))),
+            warm_started: matches!(report.get("warm_started"), Some(Value::Bool(true))),
             assignment,
         },
     })

@@ -290,6 +290,13 @@ fn http_solve_round_trip_and_healthz() {
     probe.read_to_string(&mut health).unwrap();
     assert!(health.starts_with("HTTP/1.1 200 OK"), "{health}");
     assert!(health.contains("\"status\": \"ok\""), "{health}");
+    // the probe reports solution-cache effectiveness: h-1 filled an entry,
+    // the identical h-2 (same body) was a lookup
+    assert!(
+        health.contains("\"solution_cache\": {\"entries\": 1"),
+        "{health}"
+    );
+    assert!(health.contains("\"warm_starts\": 0"), "{health}");
 
     // unknown paths answer 404 without wedging the server
     let mut lost = TcpStream::connect(server.addr).unwrap();
@@ -303,6 +310,48 @@ fn http_solve_round_trip_and_healthz() {
     let report = server.stop();
     assert_eq!(report.records, 2);
     assert_eq!(report.solved, 2);
+}
+
+#[test]
+fn solution_cache_serves_repeats_across_connections() {
+    let server = start(ListenMode::Tcp, quiet_config());
+
+    // first connection: a fresh solve fills the shared solution cache
+    let mut warm = Client::connect(server.addr);
+    warm.send(&record("fill"));
+    warm.finish();
+    let lines = warm.read_to_end();
+    assert!(lines[0].contains("\"cached\": false"), "{}", lines[0]);
+    let trailer = lines.last().unwrap();
+    assert!(trailer.contains("\"solution_cache_hits\": 0"), "{trailer}");
+    assert!(
+        trailer.contains("\"solution_cache_misses\": 1"),
+        "{trailer}"
+    );
+
+    // second connection, same instance: answered from the cache
+    let mut repeat = Client::connect(server.addr);
+    repeat.send(&record("hit"));
+    repeat.finish();
+    let lines = repeat.read_to_end();
+    assert!(lines[0].contains("\"cached\": true"), "{}", lines[0]);
+    assert_report_id(&lines[0], "hit");
+    let trailer = lines.last().unwrap();
+    assert!(trailer.contains("\"solution_cache_hits\": 1"), "{trailer}");
+    assert!(
+        trailer.contains("\"solution_cache_misses\": 0"),
+        "{trailer}"
+    );
+
+    // a record opting out still solves fresh on a warm cache
+    let mut opt_out = Client::connect(server.addr);
+    opt_out
+        .send(r#"{"id": "off", "instance": {"g": 2, "jobs": [[0, 4], [1, 5]]}, "cache": "off"}"#);
+    opt_out.finish();
+    let lines = opt_out.read_to_end();
+    assert!(lines[0].contains("\"cached\": false"), "{}", lines[0]);
+
+    server.stop();
 }
 
 #[test]

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""NDJSON socket client for the CI `cache-smoke` job.
+
+Connects to a running `busytime-cli listen --tcp` endpoint and streams the
+fixture PASSES times over the one connection, waiting for each pass's
+responses before sending the next — the input stall flushes the engine's
+chunk, so by the time a repeat pass arrives the first pass's reports are
+already in the process-wide solution cache. After the last pass the client
+half-closes and reads the `BatchSummary` trailer.
+
+Verified per run:
+
+* every response `ok: true`, ids echoed in order across all passes;
+* `cold` mode (first connection): pass 1 serves no `cached` report, every
+  later pass serves nothing *but* `cached` reports, the trailer's
+  `solution_cache_misses` equals one fixture of records, and each repeat
+  pass clears in less wall time than the cold pass;
+* `warm` mode (a later connection): every response is `cached` and the
+  trailer counts zero misses — the cache outlives connections.
+
+Usage: cache_client.py HOST:PORT FIXTURE.ndjson PASSES cold|warm
+Exits non-zero (with a message on stderr) on any violation.
+"""
+import json
+import socket
+import sys
+import time
+
+
+def fail(message: str) -> None:
+    print(f"cache_client: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def read_lines(sock_file, count):
+    lines = []
+    for _ in range(count):
+        line = sock_file.readline()
+        if not line:
+            fail(f"connection closed after {len(lines)} of {count} responses")
+        lines.append(json.loads(line))
+    return lines
+
+
+def main() -> None:
+    if len(sys.argv) != 5 or sys.argv[4] not in ("cold", "warm"):
+        fail(f"usage: {sys.argv[0]} HOST:PORT FIXTURE.ndjson PASSES cold|warm")
+    host, _, port = sys.argv[1].rpartition(":")
+    passes, mode = int(sys.argv[3]), sys.argv[4]
+    with open(sys.argv[2], "rb") as fh:
+        raw = [line for line in fh.read().splitlines() if line.strip()]
+    requests = [json.loads(line) for line in raw]
+    payload = b"\n".join(raw) + b"\n"
+
+    walls, cached_counts = [], []
+    with socket.create_connection((host, int(port)), timeout=120) as sock:
+        sock_file = sock.makefile("rb")
+        for p in range(passes):
+            start = time.monotonic()
+            sock.sendall(payload)
+            responses = read_lines(sock_file, len(requests))
+            walls.append(time.monotonic() - start)
+            cached = 0
+            for i, (request, response) in enumerate(zip(requests, responses)):
+                line_no = p * len(requests) + i + 1
+                if response.get("line") != line_no:
+                    fail(f"pass {p} response {i}: line {response.get('line')} != {line_no}")
+                if response.get("id") != request.get("id"):
+                    fail(f"pass {p} response {i} echoes id {response.get('id')!r}")
+                if response.get("ok") is not True:
+                    fail(f"record {request.get('id')!r} failed: {response.get('error')}")
+                cached += bool(response.get("report", {}).get("cached"))
+            cached_counts.append(cached)
+        sock.shutdown(socket.SHUT_WR)
+        summary = json.loads(sock_file.readline() or "{}")
+
+    if "records" not in summary or "line" in summary:
+        fail(f"last line is not a batch summary: {summary}")
+    if summary.get("records") != passes * len(requests):
+        fail(f"summary counts {summary.get('records')}, sent {passes * len(requests)}")
+    hits, misses = summary.get("solution_cache_hits"), summary.get("solution_cache_misses")
+
+    if mode == "cold":
+        if cached_counts[0] != 0:
+            fail(f"cold pass served {cached_counts[0]} cached reports")
+        for p in range(1, passes):
+            if cached_counts[p] != len(requests):
+                fail(f"repeat pass {p}: only {cached_counts[p]}/{len(requests)} cached")
+            if walls[p] >= walls[0]:
+                fail(f"repeat pass {p} ({walls[p]:.3f}s) not faster than cold ({walls[0]:.3f}s)")
+        if misses != len(requests):
+            fail(f"cold connection counted {misses} misses, expected {len(requests)}")
+        if hits != (passes - 1) * len(requests):
+            fail(f"cold connection counted {hits} hits, expected {(passes - 1) * len(requests)}")
+    else:
+        if any(c != len(requests) for c in cached_counts):
+            fail(f"warm connection served uncached reports: {cached_counts}")
+        if misses != 0 or hits != passes * len(requests):
+            fail(f"warm connection counted {hits} hits / {misses} misses")
+
+    timings = " ".join(f"{w:.3f}s" for w in walls)
+    print(f"cache_client[{mode}]: {passes}x{len(requests)} records, "
+          f"{hits} hits / {misses} misses, walls: {timings}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+#!/usr/bin/env python3
+"""Emit the cache-smoke NDJSON batch on stdout.
+
+Each record is the 20-job "double decoy" adversarial instance (the one
+committed in `crates/exact/tests/warm_start.rs`) shifted wholesale in
+time, solved by `exact-bb`: every record is a genuinely slow cold solve
+(~100 ms optimized) with a distinct canonical hash, so a repeat pass over
+the same batch shows the solution cache's lookup-speed hits against an
+unmistakably more expensive cold baseline.
+
+Usage: make_cache_batch.py [distinct]
+"""
+import json
+import sys
+
+DOUBLE_DECOY = [
+    [0, 9], [0, 60], [0, 60],
+    [10, 59], [10, 59], [10, 59], [10, 60],
+    [12, 20], [12, 20], [12, 20], [22, 30], [22, 30], [22, 30],
+    [58, 69], [58, 106], [58, 106], [70, 106],
+    [70, 107], [70, 107], [70, 107],
+]
+
+
+def main() -> None:
+    distinct = int(sys.argv[1]) if len(sys.argv) > 1 else 6
+    for d in range(distinct):
+        shift = d * 1000
+        jobs = [[s + shift, e + shift] for s, e in DOUBLE_DECOY]
+        print(json.dumps({
+            "id": f"cc-{d}",
+            "instance": {"g": 3, "jobs": jobs},
+            "solver": "exact-bb",
+        }))
+
+
+if __name__ == "__main__":
+    main()

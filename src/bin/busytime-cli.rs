@@ -27,6 +27,7 @@ use busytime::instances::{Family, GeneratorSpec};
 use busytime::router::{RouteConfig, Router, ShardFleet, ShardState};
 use busytime::server::{
     serve, ConnLog, ErrorPolicy, ListenConfig, ListenMode, Listener, ServeConfig,
+    DEFAULT_SOLUTION_CACHE,
 };
 use busytime::{full_registry, Instance, SolveRequest};
 
@@ -86,6 +87,7 @@ commands:
            [--seed S] [--no-decompose] [--validation skip|basic|strict]
            [--deadline-ms MS]   hard solve deadline; cut solves return the
            solver's incumbent flagged `deadline_hit`
+           [--solution-cache N | --no-cache]
            NAME: any registry entry (see `solvers`); default `auto`
   serve    batch solve server: NDJSON records on stdin, one report line per
            record on stdout (input order), summary on stderr
@@ -93,6 +95,9 @@ commands:
            [--fail-fast | --keep-going] [--summary-json]
            [--deadline-ms MS]   per-record deadline default (a record's own
            `deadline_ms` field overrides it)
+           [--solution-cache N] capacity of the validated-solution cache
+           (repeat records answer `cached: true` at lookup speed; a
+           record's `cache` field opts out); [--no-cache] disables it
   batch    FILE                (like `serve`, reading records from FILE)
   listen   long-lived batch solve service over a socket; one NDJSON batch
            per connection (response lines in input order, then one summary
@@ -109,6 +114,8 @@ commands:
            [--solver NAME] [--chunk N] [--fail-fast | --keep-going]
            [--quiet | --summary-json]
            [--deadline-ms MS]   per-record request timeout default
+           [--solution-cache N | --no-cache]   one solution cache shared by
+           every connection (/healthz reports its hit rate)
            SIGINT/SIGTERM drain in-flight batches, then exit cleanly
   route    shard router: N `listen` backends behind one endpoint speaking
            the same protocol — records fan out across the fleet, responses
@@ -123,6 +130,8 @@ commands:
            [--sticky]           pin each connection to one shard
            [--max-conns N] [--probe-interval-ms MS] [--quiet]
            [--solver NAME] [--deadline-ms MS]  forwarded to spawned shards
+           [--solution-cache N | --no-cache]   forwarded to spawned shards
+           (each shard caches its own solutions; trailers merge hit counts)
   solvers  list every registered solver with its guarantee
   bounds   --input FILE
   compare  --input FILE        (all registered solvers side by side)";
@@ -132,6 +141,7 @@ const FLAGS: &[&str] = &[
     "gantt",
     "json",
     "no-decompose",
+    "no-cache",
     "fail-fast",
     "keep-going",
     "quiet",
@@ -248,6 +258,12 @@ fn cmd_solve(opts: &HashMap<String, String>) -> Result<(), String> {
     if let Some(ms) = opt_num::<u64>(opts, "deadline-ms")? {
         request = request.deadline(std::time::Duration::from_millis(ms));
     }
+    // one-shot solves see no repeats, but the flag keeps `solve` honest
+    // with the serving commands (and embedders can pass a warm cache)
+    let cache_cap = solution_cache_capacity(opts)?;
+    if cache_cap > 0 {
+        request = request.solution_cache(busytime::core::SolutionCache::new(cache_cap));
+    }
     let report = request.solve_with(&registry).map_err(|e| e.to_string())?;
     if opts.contains_key("json") {
         emit(report.to_json());
@@ -290,6 +306,18 @@ fn reject_zero_workers(opts: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// The effective solution-cache capacity: `--no-cache` wins, then
+/// `--solution-cache N` (`0` also disables), then the engine default.
+fn solution_cache_capacity(opts: &HashMap<String, String>) -> Result<usize, String> {
+    if opts.contains_key("no-cache") && opts.contains_key("solution-cache") {
+        return Err("--no-cache and --solution-cache are mutually exclusive".to_string());
+    }
+    if opts.contains_key("no-cache") {
+        return Ok(0);
+    }
+    get_num(opts, "solution-cache", DEFAULT_SOLUTION_CACHE)
+}
+
 /// The batch-engine configuration shared by `serve`, `batch` and `listen`.
 fn serve_config(opts: &HashMap<String, String>) -> Result<ServeConfig, String> {
     if opts.contains_key("fail-fast") && opts.contains_key("keep-going") {
@@ -315,6 +343,7 @@ fn serve_config(opts: &HashMap<String, String>) -> Result<ServeConfig, String> {
             ErrorPolicy::KeepGoing
         },
         chunk_size: get_num(opts, "chunk", 0usize)?,
+        solution_cache: solution_cache_capacity(opts)?,
         ..ServeConfig::default()
     };
     if let Some(ms) = opt_num::<u64>(opts, "deadline-ms")? {
@@ -417,6 +446,9 @@ fn cmd_listen(opts: &HashMap<String, String>) -> Result<(), String> {
 /// (`--shards A,B,…`) or spawned and supervised locally (`--spawn N`).
 fn cmd_route(opts: &HashMap<String, String>) -> Result<(), String> {
     reject_zero_workers(opts)?;
+    // validated here (not just in the shards) so a bad combination fails
+    // before any child process spawns
+    solution_cache_capacity(opts)?;
     let mut modes: Vec<ListenMode> = Vec::new();
     if let Some(addr) = opts.get("tcp") {
         modes.push(ListenMode::Tcp(addr.clone()));
@@ -484,6 +516,8 @@ fn cmd_route(opts: &HashMap<String, String>) -> Result<(), String> {
         let exe = std::env::current_exe().map_err(|e| format!("cannot locate own binary: {e}"))?;
         let solver = opts.get("solver").cloned();
         let deadline = opts.get("deadline-ms").cloned();
+        let no_cache = opts.contains_key("no-cache");
+        let solution_cache = opts.get("solution-cache").cloned();
         let fleet = ShardFleet::launch(states, token.clone(), move |index| {
             let mut command = std::process::Command::new(&exe);
             command
@@ -500,6 +534,11 @@ fn cmd_route(opts: &HashMap<String, String>) -> Result<(), String> {
             }
             if let Some(ms) = &deadline {
                 command.arg("--deadline-ms").arg(ms);
+            }
+            if no_cache {
+                command.arg("--no-cache");
+            } else if let Some(cap) = &solution_cache {
+                command.arg("--solution-cache").arg(cap);
             }
             if quiet {
                 command.arg("--quiet");
