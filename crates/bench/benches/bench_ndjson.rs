@@ -1,0 +1,103 @@
+//! NDJSON request-line parsing: the PR 8 zero-copy fast path against the
+//! owned parser it fronts.
+//!
+//! * `ndjson_parse/owned` — [`BatchRecord::parse_owned`], the full
+//!   tree-building parser (the pre-PR-8 only path);
+//! * `ndjson_parse/zerocopy` — [`BatchRecord::parse`], which dispatches
+//!   hot-shaped lines to the borrowing scanner and falls back to the
+//!   owned parser otherwise.
+//!
+//! One iteration parses a ~1k-line batch of representative request
+//! shapes (small and large inline instances, optional knobs), so smoke
+//! estimates are batch-scale. Agreement between the two paths is
+//! asserted outside the timing loops; `zerocopy_parse.rs` carries the
+//! adversarial corpus.
+
+use std::hint::black_box;
+
+use busytime_bench::config;
+use busytime_server::protocol::BatchRecord;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+/// A batch of hot-shaped request lines: the mix a bulk `solve-batch`
+/// client actually sends (inline instances of varying size, optional
+/// id / solver / deadline knobs).
+fn request_batch(lines: usize) -> Vec<String> {
+    (0..lines)
+        .map(|i| {
+            let jobs: String = (0..(4 + i % 32))
+                .map(|j| {
+                    let s = (i * 7 + j * 3) as i64 % 500;
+                    format!("[{}, {}]", s, s + 10 + (j as i64 % 40))
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            match i % 4 {
+                0 => format!(r#"{{"instance": {{"g": {}, "jobs": [{jobs}]}}}}"#, 1 + i % 5),
+                1 => format!(
+                    r#"{{"id": "req-{i}", "instance": {{"g": {}, "jobs": [{jobs}]}}, "solver": "auto"}}"#,
+                    1 + i % 5
+                ),
+                2 => format!(
+                    r#"{{"id": "req-{i}", "instance": {{"g": {}, "jobs": [{jobs}]}}, "deadline_ms": 250, "cache": "off"}}"#,
+                    1 + i % 5
+                ),
+                _ => format!(
+                    r#"{{"instance": {{"g": {}, "jobs": [{jobs}]}}, "seed": {i}, "validation": "basic"}}"#,
+                    1 + i % 5
+                ),
+            }
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let batch = request_batch(1_000);
+
+    // sanity outside the timing loops: every line is hot (takes the fast
+    // path) and both paths agree on every line
+    for line in &batch {
+        let fast = BatchRecord::parse_fast(line)
+            .unwrap_or_else(|| panic!("bench line fell off the fast path: {line}"));
+        let owned = BatchRecord::parse_owned(line).expect("owned parser accepts bench line");
+        assert_eq!(fast, owned, "paths disagree on: {line}");
+    }
+
+    let mut group = c.benchmark_group("ndjson_parse");
+    group.throughput(Throughput::Elements(batch.len() as u64));
+
+    group.bench_with_input(
+        BenchmarkId::new("zerocopy", "1k-lines"),
+        &batch,
+        |b, batch| {
+            b.iter(|| {
+                let mut jobs = 0usize;
+                for line in batch {
+                    let record = BatchRecord::parse(black_box(line)).expect("parses");
+                    jobs += record.instance().len();
+                }
+                black_box(jobs)
+            })
+        },
+    );
+
+    group.bench_with_input(BenchmarkId::new("owned", "1k-lines"), &batch, |b, batch| {
+        b.iter(|| {
+            let mut jobs = 0usize;
+            for line in batch {
+                let record = BatchRecord::parse_owned(black_box(line)).expect("parses");
+                jobs += record.instance().len();
+            }
+            black_box(jobs)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench
+}
+criterion_main!(benches);

@@ -84,9 +84,19 @@ impl FirstFit {
 
     /// The processing order of job ids this configuration induces.
     pub fn job_order(&self, inst: &Instance) -> Vec<usize> {
-        let mut ids: Vec<usize> = (0..inst.len()).collect();
+        let mut ids = Vec::new();
+        self.job_order_into(inst, &mut ids);
+        ids
+    }
+
+    /// [`FirstFit::job_order`] into a caller-supplied buffer (cleared
+    /// first) — the greedy pass stages its order in per-thread scratch so
+    /// batched solves allocate no order vector per record.
+    fn job_order_into(&self, inst: &Instance, ids: &mut Vec<usize>) {
+        ids.clear();
+        ids.extend(0..inst.len());
         if let TieBreak::Seeded(seed) = self.tie {
-            shuffle(&mut ids, seed);
+            shuffle(ids, seed);
         }
         if let TieBreak::EarliestStart = self.tie {
             ids.sort_by_key(|&i| inst.job(i).start);
@@ -96,7 +106,6 @@ impl FirstFit {
             SortOrder::ShortestFirst => ids.sort_by_key(|&i| inst.job(i).len()),
             SortOrder::Arrival => {}
         }
-        ids
     }
 }
 
@@ -123,18 +132,22 @@ impl Scheduler for FirstFit {
         let g = inst.g();
         let mut machines: Vec<MachineLoad> = Vec::new();
         let mut raw = vec![0usize; inst.len()];
-        for id in self.job_order(inst) {
-            let iv = inst.job(id);
-            let slot = machines
-                .iter()
-                .position(|m| m.can_fit(&iv, g))
-                .unwrap_or_else(|| {
-                    machines.push(MachineLoad::new());
-                    machines.len() - 1
-                });
-            machines[slot].push(id, &iv);
-            raw[id] = slot;
-        }
+        crate::pool::scratch::with(|arena| {
+            let order = &mut arena.ids;
+            self.job_order_into(inst, order);
+            for &id in order.iter() {
+                let iv = inst.job(id);
+                let slot = machines
+                    .iter()
+                    .position(|m| m.can_fit(&iv, g))
+                    .unwrap_or_else(|| {
+                        machines.push(MachineLoad::new());
+                        machines.len() - 1
+                    });
+                machines[slot].push(id, &iv);
+                raw[id] = slot;
+            }
+        });
         Ok(Schedule::from_assignment(raw))
     }
 }

@@ -11,8 +11,18 @@
 //! parallelism bound tightens to `⌈len(J) / g⌉`. Applying both bounds per
 //! connected component and summing ([`component_lower_bound`]) dominates
 //! both global bounds and is what experiments report as "LB".
+//!
+//! The per-component bounds aggregate over sorted `(start, end)` slices
+//! from one fused sweep ([`busytime_interval::family::for_each_component`])
+//! instead of materializing a cloned sub-[`Instance`] per component, and
+//! the δ-bound sorts its deltas in a per-thread scratch vector
+//! ([`crate::pool::scratch`]) — on the serving hot path both run
+//! allocation-free.
+
+use busytime_interval::family;
 
 use crate::instance::Instance;
+use crate::pool::scratch;
 
 /// `⌈len(J) / g⌉` — the parallelism bound of Observation 1.1, rounded up
 /// (schedule costs are integral in the tick model).
@@ -45,10 +55,20 @@ pub fn lower_bound(inst: &Instance) -> i64 {
 /// solution splits them at no cost), the optimum separates per component and
 /// the bounds add up. Always ≥ [`lower_bound`].
 pub fn component_lower_bound(inst: &Instance) -> i64 {
-    inst.components()
-        .iter()
-        .map(|(sub, _)| lower_bound(sub))
-        .sum()
+    let g = i64::from(inst.g());
+    let mut sum = 0i64;
+    family::for_each_component(inst.jobs(), |comp| sum += pair_lower_bound(comp, g));
+    sum
+}
+
+/// `max(⌈len/g⌉, span)` over one component's sorted `(start, end)` slice.
+fn pair_lower_bound(comp: &[(i64, i64)], g: i64) -> i64 {
+    let len: i64 = comp.iter().map(|&(s, e)| e - s).sum();
+    // one connected component: its span is reach − leftmost start
+    let reach = comp.iter().map(|&(_, e)| e).max().unwrap_or(0);
+    let span = comp.first().map_or(0, |&(s, _)| reach - s);
+    let parallelism = len.div_euclid(g) + i64::from(len.rem_euclid(g) != 0);
+    parallelism.max(span)
 }
 
 /// The δ-bound for clique instances, extracted from the proof of
@@ -67,25 +87,43 @@ pub fn component_lower_bound(inst: &Instance) -> i64 {
 /// bounds — see the tests.
 pub fn clique_delta_bound(inst: &Instance) -> Option<i64> {
     let t = busytime_interval::relations::common_point(inst.jobs())?;
-    let mut deltas: Vec<i64> = inst
-        .jobs()
-        .iter()
-        .map(|iv| (t - iv.start).max(iv.end - t))
-        .collect();
-    deltas.sort_unstable_by_key(|&d| std::cmp::Reverse(d));
-    Some(deltas.iter().step_by(inst.g() as usize).sum())
+    Some(scratch::with(|arena| {
+        let deltas = &mut arena.keys;
+        deltas.clear();
+        deltas.extend(inst.jobs().iter().map(|iv| (t - iv.start).max(iv.end - t)));
+        deltas.sort_unstable_by_key(|&d| std::cmp::Reverse(d));
+        deltas.iter().step_by(inst.g() as usize).sum()
+    }))
+}
+
+/// The δ-bound over one component's sorted `(start, end)` slice, or `None`
+/// when the component is not a clique. Sorted by `(start, end)`, the
+/// latest start is the last pair's.
+fn pair_delta_bound(comp: &[(i64, i64)], g: u32) -> Option<i64> {
+    let t = comp.last()?.0;
+    let earliest_end = comp.iter().map(|&(_, e)| e).min()?;
+    if t > earliest_end {
+        return None;
+    }
+    Some(scratch::with(|arena| {
+        let deltas = &mut arena.keys;
+        deltas.clear();
+        deltas.extend(comp.iter().map(|&(s, e)| (t - s).max(e - t)));
+        deltas.sort_unstable_by_key(|&d| std::cmp::Reverse(d));
+        deltas.iter().step_by(g as usize).sum()
+    }))
 }
 
 /// The strongest bound this crate offers: the component bound, improved by
 /// the δ-bound on components that are cliques.
 pub fn best_lower_bound(inst: &Instance) -> i64 {
-    inst.components()
-        .iter()
-        .map(|(sub, _)| {
-            let base = lower_bound(sub);
-            clique_delta_bound(sub).map_or(base, |d| base.max(d))
-        })
-        .sum()
+    let g = inst.g();
+    let mut sum = 0i64;
+    family::for_each_component(inst.jobs(), |comp| {
+        let base = pair_lower_bound(comp, i64::from(g));
+        sum += pair_delta_bound(comp, g).map_or(base, |d| base.max(d));
+    });
+    sum
 }
 
 #[cfg(test)]
@@ -185,6 +223,37 @@ mod tests {
     fn best_bound_never_below_component_bound() {
         let inst = Instance::from_pairs([(0, 10), (2, 12), (100, 110)], 2);
         assert!(best_lower_bound(&inst) >= component_lower_bound(&inst));
+    }
+
+    #[test]
+    fn sweep_bounds_match_materializing_route() {
+        // per-component aggregation over sorted pair slices must agree with
+        // the old route that cloned a sub-Instance per component
+        let cases = [
+            Instance::from_pairs([(0, 10), (2, 12), (100, 110)], 2),
+            Instance::from_pairs([(0, 10), (0, 10), (0, 10), (0, 1)], 2),
+            Instance::from_pairs([(0, 1), (1, 2), (3, 5), (4, 6), (50, 54)], 3),
+            Instance::from_pairs([(-50, 0), (0, 50), (-50, 0), (0, 50)], 3),
+            Instance::from_pairs([(0, 0), (0, 0), (5, 5)], 1),
+            Instance::new(vec![], 4),
+        ];
+        for inst in &cases {
+            let component_ref: i64 = inst
+                .components()
+                .iter()
+                .map(|(sub, _)| lower_bound(sub))
+                .sum();
+            let best_ref: i64 = inst
+                .components()
+                .iter()
+                .map(|(sub, _)| {
+                    let base = lower_bound(sub);
+                    clique_delta_bound(sub).map_or(base, |d| base.max(d))
+                })
+                .sum();
+            assert_eq!(component_lower_bound(inst), component_ref, "{inst:?}");
+            assert_eq!(best_lower_bound(inst), best_ref, "{inst:?}");
+        }
     }
 
     #[test]

@@ -202,9 +202,20 @@ impl CanonicalInstance {
 /// full [`CanonicalInstance`] (used by feature caches that only need the
 /// key, not the permutation).
 pub fn canonical_hash(inst: &Instance) -> u64 {
-    let mut jobs: Vec<Interval> = inst.jobs().to_vec();
-    jobs.sort_unstable_by_key(|iv| (iv.start, iv.end));
-    hash_content(&jobs, inst.g())
+    crate::pool::scratch::with(|arena| {
+        let pairs = &mut arena.pairs;
+        pairs.clear();
+        pairs.extend(inst.jobs().iter().map(|iv| (iv.start, iv.end)));
+        pairs.sort_unstable();
+        let mut h = Fnv::new();
+        h.write_u64(pairs.len() as u64);
+        h.write_u64(u64::from(inst.g()));
+        for &(s, e) in pairs.iter() {
+            h.write_u64(s as u64);
+            h.write_u64(e as u64);
+        }
+        h.finish()
+    })
 }
 
 /// FNV-1a over the sorted job coordinates and `g` — deterministic across

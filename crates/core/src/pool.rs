@@ -886,3 +886,117 @@ mod tests {
         });
     }
 }
+
+pub mod scratch {
+    //! Per-thread scratch arenas: reset-not-freed buffers reused across
+    //! records by executor workers and batch sessions.
+    //!
+    //! The serving hot path repeats the same small allocations for every
+    //! record: a line buffer per read, an id permutation per greedy solve,
+    //! a delta vector per clique bound, a pair vector per canonical hash.
+    //! Each executor worker (and each session thread) instead holds one
+    //! [`Arena`] in a `thread_local`, cleared between uses but never
+    //! shrunk, so steady-state batch traffic runs these paths
+    //! allocation-free. Sibling scratch for the interval sweeps lives in
+    //! `busytime_interval::family` (this crate sits above it in the
+    //! dependency order).
+    //!
+    //! Access is always through [`with`], which tolerates reentrancy (a
+    //! nested call sees a fresh arena instead of a borrow panic), so
+    //! holding the arena across a callback is safe, just wasteful.
+
+    use std::cell::RefCell;
+
+    /// The per-thread buffer set. All buffers start empty; users must
+    /// `clear()` before use (contents of a previous user are otherwise
+    /// still present) and leave whatever capacity they grew for the next
+    /// record.
+    #[derive(Default)]
+    pub struct Arena {
+        /// Raw byte staging (line reads, serialization).
+        pub bytes: Vec<u8>,
+        /// Job-id staging (scheduler orderings, permutations).
+        pub ids: Vec<usize>,
+        /// Coordinate staging (sorted deltas, keys).
+        pub keys: Vec<i64>,
+        /// Interval-pair staging (canonical hashing).
+        pub pairs: Vec<(i64, i64)>,
+    }
+
+    thread_local! {
+        static ARENA: RefCell<Arena> = RefCell::new(Arena::default());
+    }
+
+    /// Runs `f` with the calling thread's arena. Reentrant calls get a
+    /// fresh (empty, unpooled) arena rather than panicking.
+    pub fn with<R>(f: impl FnOnce(&mut Arena) -> R) -> R {
+        ARENA.with(|arena| match arena.try_borrow_mut() {
+            Ok(mut arena) => f(&mut arena),
+            Err(_) => f(&mut Arena::default()),
+        })
+    }
+
+    /// Detaches the thread's byte buffer (cleared, capacity kept) for uses
+    /// that must own the buffer across await-like boundaries — e.g. a batch
+    /// session's line carry. Pair with [`recycle_bytes`].
+    pub fn take_bytes() -> Vec<u8> {
+        with(|arena| {
+            let mut buf = std::mem::take(&mut arena.bytes);
+            buf.clear();
+            buf
+        })
+    }
+
+    /// Returns a buffer taken by [`take_bytes`] (or any buffer worth
+    /// pooling) to the thread's arena. Keeps the larger of the two
+    /// capacities.
+    pub fn recycle_bytes(buf: Vec<u8>) {
+        with(|arena| {
+            if buf.capacity() > arena.bytes.capacity() {
+                arena.bytes = buf;
+            }
+        });
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn arena_keeps_capacity_across_uses() {
+            with(|arena| {
+                arena.ids.clear();
+                arena.ids.extend(0..128);
+            });
+            let cap = with(|arena| arena.ids.capacity());
+            assert!(cap >= 128);
+            with(|arena| {
+                arena.ids.clear();
+                assert!(arena.ids.capacity() >= 128);
+            });
+        }
+
+        #[test]
+        fn reentrant_with_gets_fresh_arena() {
+            with(|outer| {
+                outer.keys.push(7);
+                with(|inner| {
+                    assert!(inner.keys.is_empty());
+                    inner.keys.push(9);
+                });
+                assert_eq!(outer.keys, vec![7]);
+            });
+        }
+
+        #[test]
+        fn byte_buffer_round_trips_capacity() {
+            let mut buf = take_bytes();
+            buf.extend_from_slice(&[0u8; 4096]);
+            recycle_bytes(buf);
+            let again = take_bytes();
+            assert!(again.is_empty());
+            assert!(again.capacity() >= 4096);
+            recycle_bytes(again);
+        }
+    }
+}

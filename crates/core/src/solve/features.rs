@@ -5,7 +5,11 @@
 //! §3.2, cliques Appendix A). [`InstanceFeatures::detect`] measures every
 //! class membership the portfolio cares about in one pass, so dispatch
 //! logic ([`crate::solve::Auto`]) and reports ([`crate::solve::SolveReport`])
-//! share a single, cheap (`O(n log n)`) detection step.
+//! share a single, cheap (`O(n log n)`) detection step — one fused
+//! [`FamilyScan`] sweep (a single `(start, end)` sort reused for every
+//! aggregate) rather than a sort per predicate.
+
+use busytime_interval::FamilyScan;
 
 use crate::instance::Instance;
 
@@ -37,19 +41,20 @@ pub struct InstanceFeatures {
 }
 
 impl InstanceFeatures {
-    /// Runs every detector on `inst`.
+    /// Runs every detector on `inst` via one fused [`FamilyScan`] sweep.
     pub fn detect(inst: &Instance) -> Self {
+        let scan = FamilyScan::scan(inst.jobs());
         InstanceFeatures {
-            jobs: inst.len(),
+            jobs: scan.len,
             g: inst.g(),
-            proper: inst.is_proper(),
-            clique: !inst.is_empty() && inst.is_clique(),
-            components: inst.components().len(),
-            max_overlap: inst.max_overlap(),
-            min_len: inst.min_len(),
-            max_len: inst.max_len(),
-            span: inst.span(),
-            total_len: inst.total_len(),
+            proper: scan.proper,
+            clique: scan.len > 0 && scan.clique,
+            components: scan.components,
+            max_overlap: scan.max_overlap,
+            min_len: scan.min_len,
+            max_len: scan.max_len,
+            span: scan.span,
+            total_len: scan.total_len,
         }
     }
 
@@ -140,5 +145,30 @@ mod tests {
     fn min_machines_rounds_up() {
         let inst = Instance::from_pairs([(0, 4); 5], 2);
         assert_eq!(InstanceFeatures::detect(&inst).min_machines(), 3);
+    }
+
+    #[test]
+    fn fused_scan_matches_per_predicate_detection() {
+        // the fused sweep must agree with the single-purpose instance
+        // predicates it replaced, field for field
+        let cases = [
+            Instance::from_pairs([(0, 3), (1, 4), (2, 5)], 2),
+            Instance::from_pairs([(0, 10), (4, 6)], 2),
+            Instance::from_pairs([(0, 2), (100, 109)], 3),
+            Instance::from_pairs([(0, 0), (0, 5), (5, 5), (5, 9)], 1),
+            Instance::from_pairs([(0, 1), (1, 2), (2, 3), (10, 11)], 4),
+            Instance::new(vec![], 2),
+        ];
+        for inst in &cases {
+            let f = InstanceFeatures::detect(inst);
+            assert_eq!(f.proper, inst.is_proper());
+            assert_eq!(f.clique, !inst.is_empty() && inst.is_clique());
+            assert_eq!(f.components, inst.components().len());
+            assert_eq!(f.max_overlap, inst.max_overlap());
+            assert_eq!(f.min_len, inst.min_len());
+            assert_eq!(f.max_len, inst.max_len());
+            assert_eq!(f.span, inst.span());
+            assert_eq!(f.total_len, inst.total_len());
+        }
     }
 }

@@ -345,6 +345,133 @@ pub fn write_string(out: &mut String, s: &str) {
     out.push('"');
 }
 
+/// Zero-copy scanning primitives over raw JSON text.
+///
+/// These are the building blocks of the NDJSON fast path: borrowing
+/// cursors that resolve hot fields without building a [`Value`] tree. The
+/// contract is *conservative agreement* with [`parse`]: every function
+/// returns `None` the moment the input needs semantic work (escape
+/// sequences, non-integer numbers, nested objects) or could disagree with
+/// the owned parser — callers then fall back to [`parse`], so the fast
+/// path can never accept what the owned parser rejects or vice versa.
+///
+/// All functions take the full text plus a byte offset and return the new
+/// offset on success; whitespace/structure handling between values stays
+/// with the caller.
+pub mod scan {
+    /// Advances past JSON whitespace (space, tab, CR, LF).
+    pub fn skip_ws(s: &str, mut pos: usize) -> usize {
+        let bytes = s.as_bytes();
+        while let Some(&b) = bytes.get(pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                pos += 1;
+            } else {
+                break;
+            }
+        }
+        pos
+    }
+
+    /// Borrows a quoted string containing no escapes: expects `"` at
+    /// `pos`, returns the content slice and the offset past the closing
+    /// quote. `None` on a missing/unterminated quote **or any backslash**
+    /// (escape decoding needs an owned buffer — fall back).
+    pub fn string_borrowed(s: &str, pos: usize) -> Option<(&str, usize)> {
+        let bytes = s.as_bytes();
+        if bytes.get(pos) != Some(&b'"') {
+            return None;
+        }
+        let start = pos + 1;
+        let mut i = start;
+        while let Some(&b) = bytes.get(i) {
+            match b {
+                b'"' => return Some((&s[start..i], i + 1)),
+                b'\\' => return None,
+                _ => i += 1,
+            }
+        }
+        None
+    }
+
+    /// Reads a strictly integral number: `-?[0-9]+` not followed by any
+    /// of `.eE+-` (those shapes may still be valid JSON numbers — `4.0`,
+    /// `1e3` — which the owned parser accepts as integers; deciding that
+    /// needs float semantics, so the fast path declines).
+    pub fn int_strict(s: &str, pos: usize) -> Option<(i64, usize)> {
+        let bytes = s.as_bytes();
+        let mut i = pos;
+        if bytes.get(i) == Some(&b'-') {
+            i += 1;
+        }
+        let digits = i;
+        while matches!(bytes.get(i), Some(b'0'..=b'9')) {
+            i += 1;
+        }
+        if i == digits {
+            return None;
+        }
+        if matches!(bytes.get(i), Some(b'.' | b'e' | b'E' | b'+' | b'-')) {
+            return None;
+        }
+        s[pos..i].parse::<i64>().ok().map(|n| (n, i))
+    }
+
+    /// Matches an exact literal (`true`, `false`, `null`) at `pos`.
+    pub fn literal(s: &str, pos: usize, lit: &str) -> Option<usize> {
+        s.as_bytes()[pos..]
+            .starts_with(lit.as_bytes())
+            .then(|| pos + lit.len())
+    }
+
+    /// Skips one value the fast path does not need, *without* accepting
+    /// anything [`super::parse`] would reject: strings must be
+    /// escape-free, numbers must actually parse (`12-3` is consumed by the
+    /// owned lexer's character class and then rejected — so it is rejected
+    /// here too), arrays recurse to a fixed depth, and objects always
+    /// return `None` (an unknown object field forces the owned parser).
+    pub fn skip_simple_value(s: &str, pos: usize, depth: usize) -> Option<usize> {
+        let bytes = s.as_bytes();
+        match bytes.get(pos)? {
+            b'"' => string_borrowed(s, pos).map(|(_, next)| next),
+            b't' => literal(s, pos, "true"),
+            b'f' => literal(s, pos, "false"),
+            b'n' => literal(s, pos, "null"),
+            b'-' | b'0'..=b'9' => {
+                let mut i = pos;
+                if bytes[i] == b'-' {
+                    i += 1;
+                }
+                while matches!(
+                    bytes.get(i),
+                    Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+                ) {
+                    i += 1;
+                }
+                let text = &s[pos..i];
+                (text.parse::<i64>().is_ok() || text.parse::<f64>().is_ok()).then_some(i)
+            }
+            b'[' => {
+                if depth == 0 {
+                    return None;
+                }
+                let mut i = skip_ws(s, pos + 1);
+                if bytes.get(i) == Some(&b']') {
+                    return Some(i + 1);
+                }
+                loop {
+                    i = skip_ws(s, skip_simple_value(s, i, depth - 1)?);
+                    match bytes.get(i)? {
+                        b',' => i = skip_ws(s, i + 1),
+                        b']' => return Some(i + 1),
+                        _ => return None,
+                    }
+                }
+            }
+            _ => None,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -401,5 +528,65 @@ mod tests {
         let v = parse(r#"{"a": 1}"#).unwrap();
         let err = v.field("b").unwrap_err();
         assert!(err.to_string().contains("`b`"));
+    }
+
+    #[test]
+    fn scan_string_borrowed() {
+        assert_eq!(scan::string_borrowed("\"abc\"", 0), Some(("abc", 5)));
+        assert_eq!(scan::string_borrowed("\"\"", 0), Some(("", 2)));
+        assert_eq!(scan::string_borrowed("\"héé\"x", 0), Some(("héé", 7)));
+        // escapes, missing quote, unterminated → decline
+        assert_eq!(scan::string_borrowed("\"a\\nb\"", 0), None);
+        assert_eq!(scan::string_borrowed("abc", 0), None);
+        assert_eq!(scan::string_borrowed("\"abc", 0), None);
+    }
+
+    #[test]
+    fn scan_int_strict() {
+        assert_eq!(scan::int_strict("42,", 0), Some((42, 2)));
+        assert_eq!(scan::int_strict("-7]", 0), Some((-7, 2)));
+        assert_eq!(scan::int_strict("0123", 0), Some((123, 4))); // as parse()
+                                                                 // float shapes and overflow decline (fall back)
+        assert_eq!(scan::int_strict("4.0", 0), None);
+        assert_eq!(scan::int_strict("1e3", 0), None);
+        assert_eq!(scan::int_strict("99999999999999999999", 0), None);
+        assert_eq!(scan::int_strict("-", 0), None);
+        assert_eq!(scan::int_strict("x", 0), None);
+    }
+
+    #[test]
+    fn scan_skip_simple_value_agrees_with_parse() {
+        // whatever skip accepts, parse must accept too (the reverse may
+        // not hold: skip is deliberately conservative)
+        let cases = [
+            "true",
+            "false",
+            "null",
+            "\"str\"",
+            "42",
+            "-1.5",
+            "1e3",
+            "[]",
+            "[1, 2, 3]",
+            "[[0, 4], [1, 5]]",
+            "\"a\\\"b\"",
+            "12-3",
+            "{\"a\":1}",
+            "tru",
+        ];
+        for case in cases {
+            if let Some(next) = scan::skip_simple_value(case, 0, 8) {
+                assert_eq!(next, case.len(), "{case}");
+                assert!(
+                    parse(case).is_ok(),
+                    "skip accepted what parse rejects: {case}"
+                );
+            }
+        }
+        // the conservative declines
+        assert_eq!(scan::skip_simple_value("{\"a\":1}", 0, 8), None); // object
+        assert_eq!(scan::skip_simple_value("\"a\\\"b\"", 0, 8), None); // escape
+        assert_eq!(scan::skip_simple_value("12-3", 0, 8), None); // bad number
+        assert_eq!(scan::skip_simple_value("[[[[1]]]]", 0, 2), None); // depth
     }
 }

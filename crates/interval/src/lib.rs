@@ -25,17 +25,22 @@
 //! * [`set`] — [`IntervalSet`]: a normalized union of disjoint intervals with
 //!   exact measure (the paper's `span`).
 //! * [`sweep`] — static sweep-line routines (max overlap, overlap profile).
+//! * [`family`] — [`FamilyScan`]: every family aggregate the feature
+//!   detector needs from one fused sort+sweep, plus a per-component
+//!   visitor over `(start, end)` slices.
 //! * [`profile`] — [`OverlapProfile`]: a dynamic step function of active-job
 //!   counts with range-max queries; the feasibility oracle for FirstFit.
 //! * [`relations`] — instance-class predicates: proper / clique / laminar /
 //!   connected families.
 
+pub mod family;
 pub mod interval;
 pub mod profile;
 pub mod relations;
 pub mod set;
 pub mod sweep;
 
+pub use family::FamilyScan;
 pub use interval::{Interval, Time};
 pub use profile::OverlapProfile;
 pub use set::IntervalSet;

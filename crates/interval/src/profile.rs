@@ -8,17 +8,19 @@
 //! range-increment when the job is placed. This type supports both in
 //! `O(log n + k)` where `k` is the number of profile steps inside the range.
 
-use std::collections::BTreeMap;
-
 use crate::interval::Interval;
 
 /// Dynamic count profile over doubled coordinates (see
 /// [`Interval::dkey_lo`]): a step function `count: ℝ → ℕ` that is zero
 /// outside the tracked region.
 ///
-/// Representation: `steps[k] = c` means the count is `c` on `[k, k')` where
-/// `k'` is the next key (and the final entry is always zero). Counts before
-/// the first key are zero.
+/// Representation: a sorted vector of `(key, count)` steps; `(k, c)` means
+/// the count is `c` on `[k, k')` where `k'` is the next key (and the final
+/// entry is always zero). Counts before the first key are zero. The flat
+/// vector keeps the scheduler's inner-loop range-max a binary search plus a
+/// contiguous scan, and mutation is an in-place splice — no per-node
+/// allocation under add/remove churn, unlike the `BTreeMap` representation
+/// this replaced (kept verbatim as the comparator in `bench_interval`).
 ///
 /// ```
 /// use busytime_interval::{Interval, OverlapProfile};
@@ -33,7 +35,8 @@ use crate::interval::Interval;
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct OverlapProfile {
-    steps: BTreeMap<i64, u32>,
+    /// Steps sorted by strictly increasing key.
+    steps: Vec<(i64, u32)>,
     /// Number of intervals currently contributing to the profile.
     len: usize,
 }
@@ -59,9 +62,17 @@ impl OverlapProfile {
         self.steps.len()
     }
 
+    /// Index of the first step with key strictly greater than `dkey`.
+    fn upper_bound(&self, dkey: i64) -> usize {
+        self.steps.partition_point(|&(k, _)| k <= dkey)
+    }
+
     /// Count at doubled coordinate `dkey`.
     fn value_at(&self, dkey: i64) -> u32 {
-        self.steps.range(..=dkey).next_back().map_or(0, |(_, &c)| c)
+        match self.upper_bound(dkey) {
+            0 => 0,
+            idx => self.steps[idx - 1].1,
+        }
     }
 
     /// Count of active intervals at time `t` (a real tick).
@@ -73,10 +84,15 @@ impl OverlapProfile {
     pub fn max_in(&self, iv: &Interval) -> u32 {
         let lo = iv.dkey_lo();
         let hi = iv.dkey_hi();
-        let entry = self.value_at(lo);
-        self.steps
-            .range(lo + 1..hi)
-            .map(|(_, &c)| c)
+        let from = self.upper_bound(lo);
+        let entry = match from {
+            0 => 0,
+            idx => self.steps[idx - 1].1,
+        };
+        let to = self.steps.partition_point(|&(k, _)| k < hi);
+        self.steps[from..to]
+            .iter()
+            .map(|&(_, c)| c)
             .fold(entry, u32::max)
     }
 
@@ -87,12 +103,15 @@ impl OverlapProfile {
         self.max_in(iv) < g
     }
 
-    /// Ensures a step boundary exists exactly at `dkey`.
-    fn ensure_boundary(&mut self, dkey: i64) {
-        if !self.steps.contains_key(&dkey) {
-            let v = self.value_at(dkey);
-            self.steps.insert(dkey, v);
+    /// Ensures a step boundary exists exactly at `dkey`; returns its index.
+    fn ensure_boundary(&mut self, dkey: i64) -> usize {
+        let idx = self.upper_bound(dkey);
+        if idx > 0 && self.steps[idx - 1].0 == dkey {
+            return idx - 1;
         }
+        let value = if idx == 0 { 0 } else { self.steps[idx - 1].1 };
+        self.steps.insert(idx, (dkey, value));
+        idx
     }
 
     /// Adds a closed interval: count += 1 on `iv`.
@@ -104,12 +123,10 @@ impl OverlapProfile {
     /// the capacitated-demand extension where a job consumes `w ≤ g` units
     /// of a machine's parallelism.
     pub fn add_weighted(&mut self, iv: &Interval, w: u32) {
-        let lo = iv.dkey_lo();
-        let hi = iv.dkey_hi();
-        self.ensure_boundary(lo);
-        self.ensure_boundary(hi);
-        for (_, c) in self.steps.range_mut(lo..hi) {
-            *c += w;
+        let lo_idx = self.ensure_boundary(iv.dkey_lo());
+        let hi_idx = self.ensure_boundary(iv.dkey_hi());
+        for step in &mut self.steps[lo_idx..hi_idx] {
+            step.1 += w;
         }
         self.len += 1;
     }
@@ -127,28 +144,35 @@ impl OverlapProfile {
     /// Panics (in debug builds) if the interval was not previously added —
     /// i.e. if any count in the range is already zero.
     pub fn remove(&mut self, iv: &Interval) {
-        let lo = iv.dkey_lo();
-        let hi = iv.dkey_hi();
-        self.ensure_boundary(lo);
-        self.ensure_boundary(hi);
-        for (_, c) in self.steps.range_mut(lo..hi) {
-            debug_assert!(*c > 0, "removing an interval that was never added");
-            *c = c.saturating_sub(1);
+        let lo_idx = self.ensure_boundary(iv.dkey_lo());
+        let hi_idx = self.ensure_boundary(iv.dkey_hi());
+        for step in &mut self.steps[lo_idx..hi_idx] {
+            debug_assert!(step.1 > 0, "removing an interval that was never added");
+            step.1 = step.1.saturating_sub(1);
         }
         self.len = self.len.saturating_sub(1);
-        self.compact(lo, hi);
+        self.compact(lo_idx, hi_idx);
     }
 
-    /// Drops redundant boundaries in `[lo, hi]` (equal consecutive values and
-    /// leading/trailing zeros) to bound memory under churn.
-    fn compact(&mut self, lo: i64, hi: i64) {
-        let keys: Vec<i64> = self.steps.range(lo..=hi).map(|(&k, _)| k).collect();
-        for k in keys {
-            let v = self.steps[&k];
-            let prev = self.steps.range(..k).next_back().map_or(0, |(_, &c)| c);
-            if prev == v {
-                self.steps.remove(&k);
+    /// Drops redundant boundaries in the index window `[from, to]` (equal
+    /// consecutive values and leading zeros) with one in-place shift, to
+    /// bound memory under churn.
+    fn compact(&mut self, from: usize, to: usize) {
+        let to = to.min(self.steps.len().saturating_sub(1));
+        let mut write = from;
+        for read in from..=to {
+            let prev = if write == 0 {
+                0
+            } else {
+                self.steps[write - 1].1
+            };
+            if self.steps[read].1 != prev {
+                self.steps[write] = self.steps[read];
+                write += 1;
             }
+        }
+        if write <= to {
+            self.steps.drain(write..=to);
         }
     }
 
@@ -159,16 +183,10 @@ impl OverlapProfile {
     /// whole-tick spans count, so we convert by halving rounded down.
     pub fn busy_measure(&self) -> i64 {
         let mut total = 0i64;
-        let mut prev_key: Option<i64> = None;
-        let mut prev_val: u32 = 0;
-        for (&k, &v) in &self.steps {
-            if let Some(pk) = prev_key {
-                if prev_val > 0 {
-                    total += dkey_range_measure(pk, k);
-                }
+        for pair in self.steps.windows(2) {
+            if pair[0].1 > 0 {
+                total += dkey_range_measure(pair[0].0, pair[1].0);
             }
-            prev_key = Some(k);
-            prev_val = v;
         }
         total
     }
@@ -251,7 +269,7 @@ mod tests {
         p.remove(&iv(2, 6));
         assert!(p.is_empty());
         assert_eq!(p.max_in(&iv(-10, 10)), 0);
-        // after compaction the map should not grow unboundedly
+        // after compaction the vector should not grow unboundedly
         assert_eq!(p.step_count(), 0);
     }
 
@@ -311,5 +329,93 @@ mod tests {
         assert_eq!(p.interval_count(), 25);
         // counts halve roughly; max with every second interval of length 10 is 6
         assert_eq!(p.max_in(&iv(0, 60)), 6);
+    }
+
+    /// The `BTreeMap`-backed reference implementation the flat vector
+    /// replaced; the stress test below checks behavioural equality under
+    /// random churn.
+    #[derive(Default)]
+    struct MapProfile {
+        steps: std::collections::BTreeMap<i64, u32>,
+    }
+
+    impl MapProfile {
+        fn value_at(&self, dkey: i64) -> u32 {
+            self.steps.range(..=dkey).next_back().map_or(0, |(_, &c)| c)
+        }
+
+        fn ensure_boundary(&mut self, dkey: i64) {
+            if !self.steps.contains_key(&dkey) {
+                let v = self.value_at(dkey);
+                self.steps.insert(dkey, v);
+            }
+        }
+
+        fn add(&mut self, iv: &Interval) {
+            self.ensure_boundary(iv.dkey_lo());
+            self.ensure_boundary(iv.dkey_hi());
+            for (_, c) in self.steps.range_mut(iv.dkey_lo()..iv.dkey_hi()) {
+                *c += 1;
+            }
+        }
+
+        fn remove(&mut self, iv: &Interval) {
+            self.ensure_boundary(iv.dkey_lo());
+            self.ensure_boundary(iv.dkey_hi());
+            for (_, c) in self.steps.range_mut(iv.dkey_lo()..iv.dkey_hi()) {
+                *c = c.saturating_sub(1);
+            }
+            let keys: Vec<i64> = self
+                .steps
+                .range(iv.dkey_lo()..=iv.dkey_hi())
+                .map(|(&k, _)| k)
+                .collect();
+            for k in keys {
+                let v = self.steps[&k];
+                let prev = self.steps.range(..k).next_back().map_or(0, |(_, &c)| c);
+                if prev == v {
+                    self.steps.remove(&k);
+                }
+            }
+        }
+
+        fn max_in(&self, iv: &Interval) -> u32 {
+            let entry = self.value_at(iv.dkey_lo());
+            self.steps
+                .range(iv.dkey_lo() + 1..iv.dkey_hi())
+                .map(|(_, &c)| c)
+                .fold(entry, u32::max)
+        }
+    }
+
+    #[test]
+    fn vec_profile_matches_btreemap_reference_under_churn() {
+        let mut state = 7u64;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let mut vec_p = OverlapProfile::new();
+        let mut map_p = MapProfile::default();
+        let mut live: Vec<Interval> = Vec::new();
+        for _ in 0..500 {
+            let s = (next() % 40) as i64 - 20;
+            let probe = iv(s, s + (next() % 12) as i64);
+            if !live.is_empty() && next() % 3 == 0 {
+                let victim = live.swap_remove((next() % live.len() as u64) as usize);
+                vec_p.remove(&victim);
+                map_p.remove(&victim);
+            } else {
+                vec_p.add(&probe);
+                map_p.add(&probe);
+                live.push(probe);
+            }
+            assert_eq!(vec_p.max_in(&probe), map_p.max_in(&probe));
+            assert_eq!(vec_p.count_at(s), map_p.value_at(2 * s));
+            assert_eq!(vec_p.interval_count(), live.len());
+        }
     }
 }

@@ -55,7 +55,7 @@ use std::time::{Duration, Instant};
 use busytime_core::algo::SchedulerError;
 use busytime_core::cancel::CancelToken;
 use busytime_core::memo::{CachePolicy, CanonicalInstance, SolutionCache, SolveFingerprint};
-use busytime_core::pool::Executor;
+use busytime_core::pool::{self, Executor};
 use busytime_core::solve::{
     SolveError, SolveOptions, SolverRegistry, REPORT_SCHEMA_VERSION, WARM_EDIT_BUDGET,
 };
@@ -814,8 +814,10 @@ impl<'a> BatchSession<'a> {
 
         let mut line_no = 0usize;
         let mut eof = false;
-        // a partially-received line survives chunk dispatches here
-        let mut carry: Vec<u8> = Vec::new();
+        // a partially-received line survives chunk dispatches here; the
+        // buffer starts from per-thread scratch and is recycled line to
+        // line below, so a steady-state session reads without allocating
+        let mut carry: Vec<u8> = pool::scratch::take_bytes();
         while !eof && !self.cancel.is_cancelled() {
             // read one chunk of request lines (raw bytes: a line that is
             // not valid UTF-8 is a bad record, not a fatal stream error)
@@ -846,6 +848,13 @@ impl<'a> BatchSession<'a> {
                             .map(Some)
                             .map_err(|e| e.to_string())
                     });
+                // `parsed` owns everything it needs: hand the line buffer
+                // back to `carry` so the next read reuses its capacity
+                if carry.capacity() < buf.capacity() {
+                    let mut buf = buf;
+                    buf.clear();
+                    carry = buf;
+                }
                 match parsed {
                     Ok(None) => {
                         if eof {
@@ -1124,6 +1133,8 @@ impl<'a> BatchSession<'a> {
             }
             out.flush()?;
         }
+
+        pool::scratch::recycle_bytes(carry);
 
         let wall = started.elapsed();
         latencies.sort_unstable();

@@ -90,8 +90,158 @@ pub struct BatchRecord {
 }
 
 impl BatchRecord {
-    /// Parses one request line.
+    /// Parses one request line: the zero-copy fast path when the line is
+    /// simple enough ([`BatchRecord::parse_fast`]), the [`Value`]-tree
+    /// parser otherwise. The two agree byte for byte on every line — the
+    /// fast path declines (rather than erring) on anything it cannot
+    /// prove it handles identically.
     pub fn parse(line: &str) -> Result<BatchRecord, JsonError> {
+        match Self::parse_fast(line) {
+            Some(record) => Ok(record),
+            None => Self::parse_owned(line),
+        }
+    }
+
+    /// Zero-copy parse of a request line. Resolves the hot fields (`id`,
+    /// `solver`, `deadline_ms`, `cache`, inline `instance` arrays, …) with
+    /// borrowing cursors ([`json::scan`]) and never builds a [`Value`]
+    /// tree. Returns `None` — *never* an error — whenever the line needs
+    /// the owned parser: escape sequences, `generator` records,
+    /// non-integer numbers, unknown object-valued fields, or any shape
+    /// [`BatchRecord::parse_owned`] would reject. Public so differential
+    /// tests and benches can pin the fast path against the owned one.
+    pub fn parse_fast(line: &str) -> Option<BatchRecord> {
+        use json::scan;
+
+        /// Top-level key budget: lines stamping more client metadata than
+        /// this take the owned path (the dup-key check is a linear scan
+        /// over a fixed array — keep it cheap).
+        const MAX_KEYS: usize = 24;
+
+        let bytes = line.as_bytes();
+        let mut pos = scan::skip_ws(line, 0);
+        if bytes.get(pos) != Some(&b'{') {
+            return None;
+        }
+        pos = scan::skip_ws(line, pos + 1);
+
+        let mut seen: [&str; MAX_KEYS] = [""; MAX_KEYS];
+        let mut nkeys = 0usize;
+        let mut id = None;
+        let mut input: Option<RecordInput> = None;
+        let mut solver = None;
+        let mut seed: Option<u64> = None;
+        let mut decompose = None;
+        let mut validation = None;
+        let mut max_jobs: Option<usize> = None;
+        let mut deadline_ms: Option<u64> = None;
+        let mut cache = None;
+
+        if bytes.get(pos) == Some(&b'}') {
+            pos += 1;
+        } else {
+            loop {
+                let (key, next) = scan::string_borrowed(line, pos)?;
+                if nkeys == MAX_KEYS || seen[..nkeys].contains(&key) {
+                    return None; // owned parser rejects duplicate keys
+                }
+                seen[nkeys] = key;
+                nkeys += 1;
+                pos = scan::skip_ws(line, next);
+                if bytes.get(pos) != Some(&b':') {
+                    return None;
+                }
+                pos = scan::skip_ws(line, pos + 1);
+                match key {
+                    "id" => {
+                        if let Some(p) = scan::literal(line, pos, "null") {
+                            pos = p; // null id means no id
+                        } else {
+                            let (v, p) = scan::string_borrowed(line, pos)?;
+                            id = Some(v.to_string());
+                            pos = p;
+                        }
+                    }
+                    "instance" => {
+                        let (inst, p) = fast_inline_instance(line, pos)?;
+                        input = Some(RecordInput::Inline(inst));
+                        pos = p;
+                    }
+                    "solver" => {
+                        // null `solver` is an owned-parser error — decline
+                        let (v, p) = scan::string_borrowed(line, pos)?;
+                        solver = Some(v.to_string());
+                        pos = p;
+                    }
+                    "seed" => (seed, pos) = fast_opt_int(line, pos)?,
+                    "max_jobs" => (max_jobs, pos) = fast_opt_int(line, pos)?,
+                    "deadline_ms" => (deadline_ms, pos) = fast_opt_int(line, pos)?,
+                    "decompose" => {
+                        if let Some(p) = scan::literal(line, pos, "null") {
+                            pos = p;
+                        } else if let Some(p) = scan::literal(line, pos, "true") {
+                            decompose = Some(true);
+                            pos = p;
+                        } else if let Some(p) = scan::literal(line, pos, "false") {
+                            decompose = Some(false);
+                            pos = p;
+                        } else {
+                            return None;
+                        }
+                    }
+                    "validation" => {
+                        let (v, p) = scan::string_borrowed(line, pos)?;
+                        validation = Some(match v {
+                            "skip" => ValidationLevel::Skip,
+                            "basic" => ValidationLevel::Basic,
+                            "strict" => ValidationLevel::Strict,
+                            _ => return None,
+                        });
+                        pos = p;
+                    }
+                    "cache" => {
+                        if let Some(p) = scan::literal(line, pos, "null") {
+                            pos = p; // null cache means server default
+                        } else {
+                            let (v, p) = scan::string_borrowed(line, pos)?;
+                            cache = Some(v.parse::<CachePolicy>().ok()?);
+                            pos = p;
+                        }
+                    }
+                    // unknown client metadata — and `generator` records,
+                    // whose object value makes the skip decline
+                    _ => pos = scan::skip_simple_value(line, pos, 8)?,
+                }
+                pos = scan::skip_ws(line, pos);
+                match bytes.get(pos)? {
+                    b',' => pos = scan::skip_ws(line, pos + 1),
+                    b'}' => {
+                        pos += 1;
+                        break;
+                    }
+                    _ => return None,
+                }
+            }
+        }
+        if scan::skip_ws(line, pos) != line.len() {
+            return None; // trailing garbage is an owned-parser error
+        }
+        Some(BatchRecord {
+            id,
+            input: input?,
+            solver,
+            seed,
+            decompose,
+            validation,
+            max_jobs,
+            deadline_ms,
+            cache,
+        })
+    }
+
+    /// Parses one request line through the owned [`Value`]-tree parser —
+    /// the semantic reference [`BatchRecord::parse_fast`] must agree with.
+    pub fn parse_owned(line: &str) -> Result<BatchRecord, JsonError> {
         let value = json::parse(line)?;
         let id = match value.get("id") {
             None | Some(Value::Null) => None,
@@ -222,6 +372,114 @@ fn parse_inline_instance(value: &Value) -> Result<Instance, JsonError> {
         })
         .collect::<Result<Vec<Interval>, _>>()?;
     Ok(Instance::new(jobs, g))
+}
+
+/// Zero-copy read of an optional integer field value: `null` is absent,
+/// a strict integer converts or declines (the owned parser turns
+/// out-of-range values into errors — those must go through it).
+fn fast_opt_int<T: TryFrom<i64>>(line: &str, pos: usize) -> Option<(Option<T>, usize)> {
+    use json::scan;
+    if let Some(p) = scan::literal(line, pos, "null") {
+        return Some((None, p));
+    }
+    let (n, p) = scan::int_strict(line, pos)?;
+    T::try_from(n).ok().map(|v| (Some(v), p))
+}
+
+/// Zero-copy read of an inline `{"g": …, "jobs": [[s, c], …]}` object.
+/// Declines on anything [`parse_inline_instance`] would reject (`g`
+/// missing/0/out-of-range, malformed pairs, `start > end`) and on float
+/// endpoints, which only the owned parser can normalize.
+fn fast_inline_instance(line: &str, pos: usize) -> Option<(Instance, usize)> {
+    use json::scan;
+    let bytes = line.as_bytes();
+    if bytes.get(pos) != Some(&b'{') {
+        return None;
+    }
+    let mut pos = scan::skip_ws(line, pos + 1);
+    let mut seen: [&str; 8] = [""; 8];
+    let mut nkeys = 0usize;
+    let mut g: Option<u32> = None;
+    let mut jobs: Option<Vec<Interval>> = None;
+    if bytes.get(pos) == Some(&b'}') {
+        pos += 1;
+    } else {
+        loop {
+            let (key, next) = scan::string_borrowed(line, pos)?;
+            if nkeys == seen.len() || seen[..nkeys].contains(&key) {
+                return None;
+            }
+            seen[nkeys] = key;
+            nkeys += 1;
+            pos = scan::skip_ws(line, next);
+            if bytes.get(pos) != Some(&b':') {
+                return None;
+            }
+            pos = scan::skip_ws(line, pos + 1);
+            match key {
+                "g" => {
+                    let (n, p) = scan::int_strict(line, pos)?;
+                    let value = u32::try_from(n).ok()?;
+                    if value == 0 {
+                        return None;
+                    }
+                    g = Some(value);
+                    pos = p;
+                }
+                "jobs" => (jobs, pos) = fast_job_pairs(line, pos).map(|(j, p)| (Some(j), p))?,
+                _ => pos = scan::skip_simple_value(line, pos, 8)?,
+            }
+            pos = scan::skip_ws(line, pos);
+            match bytes.get(pos)? {
+                b',' => pos = scan::skip_ws(line, pos + 1),
+                b'}' => {
+                    pos += 1;
+                    break;
+                }
+                _ => return None,
+            }
+        }
+    }
+    Some((Instance::new(jobs?, g?), pos))
+}
+
+/// Zero-copy read of a `[[start, end], …]` jobs array of strict-integer
+/// pairs with `start ≤ end`.
+fn fast_job_pairs(line: &str, pos: usize) -> Option<(Vec<Interval>, usize)> {
+    use json::scan;
+    let bytes = line.as_bytes();
+    if bytes.get(pos) != Some(&b'[') {
+        return None;
+    }
+    let mut pos = scan::skip_ws(line, pos + 1);
+    let mut jobs = Vec::new();
+    if bytes.get(pos) == Some(&b']') {
+        return Some((jobs, pos + 1));
+    }
+    loop {
+        if bytes.get(pos) != Some(&b'[') {
+            return None;
+        }
+        pos = scan::skip_ws(line, pos + 1);
+        let (s, p) = scan::int_strict(line, pos)?;
+        pos = scan::skip_ws(line, p);
+        if bytes.get(pos) != Some(&b',') {
+            return None;
+        }
+        pos = scan::skip_ws(line, pos + 1);
+        let (c, p) = scan::int_strict(line, pos)?;
+        pos = scan::skip_ws(line, p);
+        if bytes.get(pos) != Some(&b']') || s > c {
+            return None;
+        }
+        jobs.push(Interval::new(s, c));
+        pos = scan::skip_ws(line, pos + 1);
+        match bytes.get(pos)? {
+            b',' => pos = scan::skip_ws(line, pos + 1),
+            b']' => return Some((jobs, pos + 1)),
+            _ => return None,
+        }
+    }
 }
 
 fn opt_bool(value: &Value, key: &str) -> Result<Option<bool>, JsonError> {

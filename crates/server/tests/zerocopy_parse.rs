@@ -1,0 +1,244 @@
+//! Differential coverage for the zero-copy NDJSON fast path.
+//!
+//! The contract under test: [`BatchRecord::parse_fast`] may *decline* any
+//! line (returning `None`), but whenever it produces a record, the owned
+//! parser must produce an equal one — and [`BatchRecord::parse`], which
+//! dispatches between the two, must agree with [`BatchRecord::parse_owned`]
+//! on every input, errors included. An adversarial corpus pins the edge
+//! cases; a property test sweeps randomized records end to end.
+
+use busytime_server::protocol::{BatchRecord, RecordInput};
+use proptest::prelude::*;
+
+/// Every corpus line, hostile or benign: the dispatching parser and the
+/// owned parser must return identical results (same record or same error).
+#[test]
+fn corpus_fast_and_owned_agree() {
+    for line in CORPUS {
+        let owned = BatchRecord::parse_owned(line);
+        let dispatched = BatchRecord::parse(line);
+        assert_eq!(dispatched, owned, "parse != parse_owned on: {line}");
+        if let Some(fast) = BatchRecord::parse_fast(line) {
+            assert_eq!(
+                Ok(fast),
+                owned,
+                "fast path accepted a line the owned parser treats differently: {line}"
+            );
+        }
+    }
+}
+
+/// The representative hot lines must actually take the fast path — a
+/// regression that silently sends everything to the owned parser would
+/// otherwise keep all tests green while losing the optimization.
+#[test]
+fn hot_lines_take_the_fast_path() {
+    let hot = [
+        r#"{"instance": {"g": 2, "jobs": [[0, 4], [1, 5]]}}"#,
+        r#"{"id": "a", "instance": {"g": 2, "jobs": [[0, 4]]}, "solver": "auto"}"#,
+        r#"{"id": "b", "instance": {"g": 3, "jobs": []}, "deadline_ms": 250, "cache": "off"}"#,
+        r#"{"instance": {"g": 1, "jobs": [[-5, -1]]}, "seed": 7, "decompose": true,
+           "validation": "strict", "max_jobs": 100, "client_tag": "meta"}"#,
+    ];
+    for line in hot {
+        assert!(
+            BatchRecord::parse_fast(line).is_some(),
+            "expected the fast path to handle: {line}"
+        );
+    }
+}
+
+/// Lines the fast path must decline (they need owned-parser semantics),
+/// while the dispatching parser still accepts them.
+#[test]
+fn escape_and_float_lines_fall_back_but_parse() {
+    let fallback = [
+        // escaped id decodes only in the owned parser
+        r#"{"id": "a\nb", "instance": {"g": 2, "jobs": [[0, 4]]}}"#,
+        // the key *decodes* to "id" — byte-level scanning cannot see
+        // that, the owned parser must
+        r#"{"i\u0064": "x", "instance": {"g": 2, "jobs": [[0, 4]]}}"#,
+        // integral floats are valid integers to the owned parser
+        r#"{"instance": {"g": 2.0, "jobs": [[0, 4]]}}"#,
+        r#"{"instance": {"g": 2, "jobs": [[0.0, 4.0]]}}"#,
+        r#"{"instance": {"g": 2, "jobs": [[0, 4]]}, "deadline_ms": 4.0}"#,
+        // generator records always take the owned path
+        r#"{"generator": {"family": "uniform", "n": 10, "seed": 1}}"#,
+        // unknown object-valued metadata
+        r#"{"instance": {"g": 2, "jobs": [[0, 4]]}, "meta": {"k": 1}}"#,
+    ];
+    for line in fallback {
+        assert!(
+            BatchRecord::parse_fast(line).is_none(),
+            "fast path should decline: {line}"
+        );
+        assert!(
+            BatchRecord::parse(line).is_ok(),
+            "owned fallback should accept: {line}"
+        );
+    }
+}
+
+/// The adversarial corpus: escapes, unicode, duplicate keys, truncations,
+/// overflow, nulls, huge and garbage lines.
+const CORPUS: &[&str] = &[
+    // benign shapes
+    r#"{"instance": {"g": 2, "jobs": [[0, 4], [1, 5]]}}"#,
+    r#"{"id": "x", "instance": {"g": 2, "jobs": [[0, 4]]}, "solver": "first-fit",
+       "seed": 9, "decompose": false, "validation": "basic", "max_jobs": 10,
+       "deadline_ms": 250, "cache": "readwrite"}"#,
+    r#"  {  "instance" : { "jobs" : [ [ 0 , 4 ] ] , "g" : 2 } }  "#,
+    r#"{"instance": {"g": 4294967295, "jobs": []}}"#,
+    r#"{"id": null, "instance": {"g": 1, "jobs": [[0, 0]]}, "cache": null, "seed": null}"#,
+    r#"{"instance": {"g": 1, "jobs": [[-9223372036854775808, 9223372036854775807]]}}"#,
+    // escapes and unicode
+    r#"{"id": "café \"quoted\" \\slash\\ \t", "instance": {"g": 2, "jobs": []}}"#,
+    "{\"id\": \"caf\u{e9} → 日本語\", \"instance\": {\"g\": 2, \"jobs\": []}}",
+    r#"{"id": "\u0041BC", "instance": {"g": 2, "jobs": [[0, 4]]}}"#,
+    r#"{"id": "bad \u escape", "instance": {"g": 2, "jobs": []}}"#,
+    r#"{"id": "\ud800", "instance": {"g": 2, "jobs": []}}"#,
+    // unknown fields of every simple shape, plus object (owned-only)
+    r#"{"instance": {"g": 2, "jobs": []}, "tag": "s", "n": 1, "x": 1.5, "b": true,
+       "z": null, "arr": [1, [2, "three"], []], "obj": {"nested": [1]}}"#,
+    // numbers at and past the edge
+    r#"{"instance": {"g": 2, "jobs": []}, "seed": 18446744073709551615}"#,
+    r#"{"instance": {"g": 2, "jobs": []}, "seed": 99999999999999999999}"#,
+    r#"{"instance": {"g": 2, "jobs": []}, "seed": -1}"#,
+    r#"{"instance": {"g": 2, "jobs": []}, "deadline_ms": 1e3}"#,
+    r#"{"instance": {"g": 2, "jobs": [[0, 12-3]]}}"#,
+    r#"{"instance": {"g": 0123, "jobs": []}}"#,
+    // structural violations
+    r#"{"id": "a"}"#,
+    r#"{}"#,
+    r#""just a string""#,
+    r#"[1, 2]"#,
+    r#"42"#,
+    r#"{"instance": {"g": 2, "jobs": []}, "generator": {"family": "uniform"}}"#,
+    r#"{"instance": {"g": 0, "jobs": []}}"#,
+    r#"{"instance": {"g": -2, "jobs": []}}"#,
+    r#"{"instance": {"g": 4294967296, "jobs": []}}"#,
+    r#"{"instance": {"jobs": [[0, 4]]}}"#,
+    r#"{"instance": {"g": 2, "jobs": [[4, 0]]}}"#,
+    r#"{"instance": {"g": 2, "jobs": [[0]]}}"#,
+    r#"{"instance": {"g": 2, "jobs": [[0, 1, 2]]}}"#,
+    r#"{"instance": {"g": 2, "jobs": [0, 4]}}"#,
+    r#"{"instance": {"g": 2, "jobs": "none"}}"#,
+    r#"{"solver": null, "instance": {"g": 2, "jobs": []}}"#,
+    r#"{"validation": "paranoid", "instance": {"g": 2, "jobs": []}}"#,
+    r#"{"validation": null, "instance": {"g": 2, "jobs": []}}"#,
+    r#"{"cache": "sometimes", "instance": {"g": 2, "jobs": []}}"#,
+    r#"{"decompose": "yes", "instance": {"g": 2, "jobs": []}}"#,
+    r#"{"decompose": 1, "instance": {"g": 2, "jobs": []}}"#,
+    // duplicate keys at both levels
+    r#"{"id": "a", "id": "b", "instance": {"g": 2, "jobs": []}}"#,
+    r#"{"instance": {"g": 2, "g": 3, "jobs": []}}"#,
+    r#"{"tag": 1, "tag": 2, "instance": {"g": 2, "jobs": []}}"#,
+    // truncations
+    r#"{"instance": {"g": 2, "jobs": [[0, 4]"#,
+    r#"{"instance": {"g": 2, "jobs": [[0, "#,
+    r#"{"id": "unterminated"#,
+    r#"{"instance": {"g": 2, "jobs": []}"#,
+    r#"{"instance""#,
+    r#"{"#,
+    r#""#,
+    // trailing garbage
+    r#"{"instance": {"g": 2, "jobs": []}} extra"#,
+    r#"{"instance": {"g": 2, "jobs": []}}{"#,
+    // not the protocol at all
+    r#"not json"#,
+    r#"null"#,
+    r#"true"#,
+];
+
+/// A huge line (thousands of jobs) parses identically on both paths and
+/// takes the fast one.
+#[test]
+fn huge_line_agrees_and_stays_fast() {
+    let mut line = String::from(r#"{"id": "big", "instance": {"g": 7, "jobs": ["#);
+    for i in 0..5000i64 {
+        if i > 0 {
+            line.push_str(", ");
+        }
+        line.push_str(&format!("[{}, {}]", i, i + 40));
+    }
+    line.push_str("]}}");
+    let fast = BatchRecord::parse_fast(&line).expect("huge simple line stays on the fast path");
+    let owned = BatchRecord::parse_owned(&line).expect("owned parser accepts");
+    assert_eq!(fast, owned);
+    match &fast.input {
+        RecordInput::Inline(inst) => assert_eq!(inst.len(), 5000),
+        other => panic!("expected inline instance, got {other:?}"),
+    }
+}
+
+fn arb_id() -> impl Strategy<Value = Option<String>> {
+    (0u32..4, proptest::collection::vec(0u32..96, 0..12)).prop_map(|(kind, chars)| {
+        match kind {
+            0 => None,
+            // plain ASCII ids stay on the fast path; ids with quotes,
+            // backslashes, control chars or unicode exercise the fallback
+            _ => Some(
+                chars
+                    .into_iter()
+                    .map(|c| char::from_u32(c + 0x20).unwrap_or('é'))
+                    .collect(),
+            ),
+        }
+    })
+}
+
+fn arb_jobs() -> impl Strategy<Value = Vec<(i64, i64)>> {
+    proptest::collection::vec((-1_000i64..1_000, 0i64..100), 0..20)
+        .prop_map(|pairs| pairs.into_iter().map(|(s, l)| (s, s + l)).collect())
+}
+
+proptest! {
+    /// Round-trip: a record rendered to NDJSON (ids escaped through the
+    /// writer) parses back to exactly the intended values, and the
+    /// dispatching parser always matches the owned one.
+    #[test]
+    fn randomized_records_round_trip(
+        id in arb_id(),
+        g in 1u32..10,
+        jobs in arb_jobs(),
+        seed in (0u32..2, 0u64..1_000_000).prop_map(|(on, v)| (on == 1).then_some(v)),
+        deadline in (0u32..2, 0u64..100_000).prop_map(|(on, v)| (on == 1).then_some(v)),
+    ) {
+        let mut line = String::from("{");
+        if let Some(id) = &id {
+            line.push_str("\"id\": ");
+            busytime_instances::json::write_string(&mut line, id);
+            line.push_str(", ");
+        }
+        line.push_str(&format!("\"instance\": {{\"g\": {g}, \"jobs\": ["));
+        for (i, (s, c)) in jobs.iter().enumerate() {
+            if i > 0 {
+                line.push_str(", ");
+            }
+            line.push_str(&format!("[{s}, {c}]"));
+        }
+        line.push_str("]}");
+        if let Some(seed) = seed {
+            line.push_str(&format!(", \"seed\": {seed}"));
+        }
+        if let Some(ms) = deadline {
+            line.push_str(&format!(", \"deadline_ms\": {ms}"));
+        }
+        line.push('}');
+
+        let record = BatchRecord::parse(&line).expect("rendered record parses");
+        let owned = BatchRecord::parse_owned(&line);
+        prop_assert_eq!(Ok(&record), owned.as_ref());
+        if let Some(fast) = BatchRecord::parse_fast(&line) {
+            prop_assert_eq!(&fast, &record);
+        }
+        prop_assert_eq!(&record.id, &id);
+        prop_assert_eq!(record.seed, seed);
+        prop_assert_eq!(record.deadline_ms, deadline);
+        let inst = record.instance();
+        prop_assert_eq!(inst.g(), g);
+        let parsed_jobs: Vec<(i64, i64)> =
+            inst.jobs().iter().map(|iv| (iv.start, iv.end)).collect();
+        prop_assert_eq!(parsed_jobs, jobs);
+    }
+}

@@ -1,18 +1,32 @@
 #!/usr/bin/env python3
-"""Compare a BENCH_PR.json against the committed BENCH_BASELINE.json.
+"""Enforce per-benchmark budgets: BENCH_PR.json vs committed BENCH_BASELINE.json.
 
 Prints a GitHub-flavored markdown table of per-benchmark deltas on stdout
-(suitable for $GITHUB_STEP_SUMMARY) and emits `::warning::` annotations on
-stderr for large regressions — stderr so the annotations reach the runner's
-log parser without breaking the markdown table. Always exits 0 — the
-comparison is advisory (single-iteration smoke estimates on shared runners
-are noisy); the table exists so the perf trajectory is visible on every PR,
-not to gate it. A hard gate can be added once variance data accumulates.
+(suitable for $GITHUB_STEP_SUMMARY) and emits `::error::` annotations on
+stderr for budget breaches — stderr so the annotations reach the runner's
+log parser without breaking the markdown table. Exits nonzero when any
+benchmark breaches its budget or disappears from the PR run; this is a
+hard gate, not advisory.
 
-Usage: bench_delta.py BENCH_BASELINE.json BENCH_PR.json [--warn-pct 50]
+Budgets come from a JSON file (default: bench_budgets.json next to this
+script): a `default` entry plus per-bench overrides, each with
+
+    budget_pct — regression percentage over the baseline median that breaches
+    floor_ns   — absolute slack; a delta under this many nanoseconds never
+                 breaches, so micro-benchmark jitter on shared runners
+                 cannot trip the percentage gate
+
+A bench id present only in the PR run prints an explicit `new:` line (not a
+breach — refresh the baseline to adopt it); one present only in the baseline
+prints a `removed:` line and fails, because silently rotting benches are
+exactly what this gate exists to catch. After an intentional change, refresh
+the committed baseline with scripts/refresh_baseline.sh.
+
+Usage: bench_delta.py BENCH_BASELINE.json BENCH_PR.json [--budgets FILE]
 """
 import argparse
 import json
+import os
 import sys
 
 
@@ -20,6 +34,22 @@ def estimates(path):
     with open(path) as f:
         doc = json.load(f)
     return {e["id"]: e for e in doc.get("estimates", [])}, doc
+
+
+def load_budgets(path):
+    with open(path) as f:
+        doc = json.load(f)
+    default = doc.get("default", {})
+    overrides = doc.get("benches", {})
+
+    def lookup(bid):
+        entry = overrides.get(bid, {})
+        return (
+            float(entry.get("budget_pct", default.get("budget_pct", 50.0))),
+            float(entry.get("floor_ns", default.get("floor_ns", 50000.0))),
+        )
+
+    return lookup
 
 
 def fmt_ns(ns):
@@ -32,42 +62,71 @@ def fmt_ns(ns):
     return f"{ns:.0f} ns"
 
 
-def warn(message):
-    print(f"::warning::{message}", file=sys.stderr)
+def fmt_allocs(estimate):
+    allocs = estimate.get("allocs_per_iter")
+    return "—" if allocs is None else f"{allocs:,.0f}"
+
+
+def error(message):
+    print(f"::error::{message}", file=sys.stderr)
 
 
 def main():
+    default_budgets = os.path.join(os.path.dirname(__file__), "bench_budgets.json")
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline", help="committed BENCH_BASELINE.json")
     parser.add_argument("pr", help="this run's BENCH_PR.json")
-    parser.add_argument("--warn-pct", type=float, default=50.0,
-                        help="regression percentage that draws a ::warning:: (default 50)")
+    parser.add_argument("--budgets", default=default_budgets,
+                        help="per-bench budget file (default: bench_budgets.json "
+                             "next to this script)")
     args = parser.parse_args()
     base, base_doc = estimates(args.baseline)
     pr, _ = estimates(args.pr)
+    budget_for = load_budgets(args.budgets)
 
+    breaches = []
     print(f"### Bench smoke vs baseline (`{base_doc.get('commit', 'unknown')[:12]}`)\n")
-    print("| benchmark | baseline | PR | delta |")
-    print("|---|---:|---:|---:|")
+    print("| benchmark | baseline | PR | delta | budget | allocs/iter |")
+    print("|---|---:|---:|---:|---:|---:|")
     for bid in sorted(set(base) | set(pr)):
         b, p = base.get(bid), pr.get(bid)
+        budget_pct, floor_ns = budget_for(bid)
         if b is None:
-            print(f"| `{bid}` | — | {fmt_ns(p['median_ns'])} | new |")
+            print(f"| `{bid}` | — | {fmt_ns(p['median_ns'])} | new | "
+                  f"{budget_pct:.0f}% | {fmt_allocs(p)} |")
+            print(f"new: {bid} — not in the baseline; refresh it "
+                  "(scripts/refresh_baseline.sh) to adopt this bench",
+                  file=sys.stderr)
             continue
         if p is None:
-            print(f"| `{bid}` | {fmt_ns(b['median_ns'])} | — | removed |")
-            warn(f"bench `{bid}` disappeared from the PR run")
+            print(f"| `{bid}` | {fmt_ns(b['median_ns'])} | — | removed | — | — |")
+            print(f"removed: {bid}", file=sys.stderr)
+            error(f"bench `{bid}` disappeared from the PR run — delete it from "
+                  "the baseline (scripts/refresh_baseline.sh) if intentional")
+            breaches.append(bid)
             continue
-        delta = (p["median_ns"] - b["median_ns"]) / b["median_ns"] * 100.0
+        delta_ns = p["median_ns"] - b["median_ns"]
+        delta = delta_ns / b["median_ns"] * 100.0
         marker = ""
-        if delta > args.warn_pct:
-            marker = " ⚠️"
-            warn(f"bench `{bid}` regressed {delta:+.1f}% "
-                 f"({fmt_ns(b['median_ns'])} → {fmt_ns(p['median_ns'])}) — "
-                 "advisory only (single-iteration smoke)")
+        if delta > budget_pct and delta_ns > floor_ns:
+            marker = " ❌"
+            error(f"bench `{bid}` regressed {delta:+.1f}% "
+                  f"({fmt_ns(b['median_ns'])} → {fmt_ns(p['median_ns'])}), "
+                  f"over its {budget_pct:.0f}% budget")
+            breaches.append(bid)
         print(f"| `{bid}` | {fmt_ns(b['median_ns'])} | {fmt_ns(p['median_ns'])} "
-              f"| {delta:+.1f}%{marker} |")
-    print("\n_single-iteration smoke estimates; warn-only, no hard gate_")
+              f"| {delta:+.1f}%{marker} | {budget_pct:.0f}% | {fmt_allocs(p)} |")
+
+    if breaches:
+        print(f"\n**{len(breaches)} budget breach(es):** "
+              + ", ".join(f"`{b}`" for b in breaches))
+        print("\n_single-iteration smoke estimates; budgets in "
+              "`scripts/bench_budgets.json`, refresh via "
+              "`scripts/refresh_baseline.sh`_")
+        sys.exit(1)
+    print("\n_single-iteration smoke estimates; budgets in "
+          "`scripts/bench_budgets.json`, refresh via "
+          "`scripts/refresh_baseline.sh`_")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Refresh the committed BENCH_BASELINE.json that the CI perf gate
+# (scripts/bench_delta.py + scripts/bench_budgets.json) compares against.
+#
+# Run this after an intentional perf change — an optimization you want the
+# gate to defend, a new benchmark, or a deliberate trade-off — then commit
+# the refreshed file in the same PR so reviewers see the before/after in
+# the diff. Run it on a quiet machine: the estimates are single-iteration
+# smoke numbers, so background load skews them.
+#
+# Mirrors the bench-smoke CI job exactly: every bench in --test mode
+# (one timed iteration each), allocation counting on, estimates
+# assembled with jq into the committed schema.
+#
+# Usage: scripts/refresh_baseline.sh   (from the repo root; needs jq)
+set -euo pipefail
+cd "$(git rev-parse --show-toplevel)"
+
+estimates=$(mktemp)
+trap 'rm -f "$estimates"' EXIT
+
+BUSYTIME_BENCH_JSON="$estimates" \
+  cargo bench -p busytime-bench --features bench-alloc -- --test
+
+jq -s \
+  --arg commit "$(git rev-parse HEAD)" \
+  '{schema_version: 1, commit: $commit, ref: "baseline", mode: "test", estimates: .}' \
+  "$estimates" > BENCH_BASELINE.json
+
+count=$(jq '.estimates | length' BENCH_BASELINE.json)
+echo "BENCH_BASELINE.json refreshed: $count estimates at $(git rev-parse --short HEAD)"
+echo "Review the diff, then commit it together with the change it blesses."

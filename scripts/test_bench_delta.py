@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Self-test for the bench_delta.py perf gate.
+
+Runs the gate as a subprocess against synthetic baseline/PR documents and
+asserts the behaviors the gate is trusted for in CI: a budget breach and a
+removed bench must exit nonzero with `::error::` annotations; a
+within-budget run, a sub-floor micro-regression, and a new bench must pass
+(the latter with an explicit `new:` line). CI runs this before trusting
+the real comparison, so a gate that silently stops failing fails the build
+itself.
+
+Usage: test_bench_delta.py   (no arguments; exits nonzero on any failure)
+"""
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+SCRIPT = os.path.join(os.path.dirname(__file__), "bench_delta.py")
+
+BUDGETS = {
+    "default": {"budget_pct": 50.0, "floor_ns": 50000},
+    "benches": {"tight/bench": {"budget_pct": 30.0, "floor_ns": 1000}},
+}
+
+
+def doc(pairs):
+    return {
+        "schema_version": 1,
+        "commit": "selftest0000",
+        "ref": "selftest",
+        "mode": "test",
+        "estimates": [
+            {"id": bid, "mode": "test", "min_ns": ns, "median_ns": ns,
+             "mean_ns": ns, "samples": 1, "iters_per_sample": 1}
+            for bid, ns in pairs
+        ],
+    }
+
+
+def run_gate(tmp, name, baseline, pr):
+    paths = {}
+    for label, payload in (("baseline", baseline), ("pr", pr)):
+        path = os.path.join(tmp, f"{name}-{label}.json")
+        with open(path, "w") as f:
+            json.dump(payload, f)
+        paths[label] = path
+    budgets = os.path.join(tmp, "budgets.json")
+    with open(budgets, "w") as f:
+        json.dump(BUDGETS, f)
+    return subprocess.run(
+        [sys.executable, SCRIPT, paths["baseline"], paths["pr"],
+         "--budgets", budgets],
+        capture_output=True, text=True)
+
+
+def check(label, ok, detail=""):
+    status = "ok" if ok else "FAIL"
+    print(f"{status}: {label}" + (f" — {detail}" if detail and not ok else ""))
+    return ok
+
+
+def main():
+    failures = 0
+    with tempfile.TemporaryDirectory() as tmp:
+        # 1. a clear breach (10x over a 50% budget, far past the floor)
+        #    must fail the build with an ::error:: annotation
+        res = run_gate(tmp, "breach",
+                       doc([("solver/bench", 1_000_000)]),
+                       doc([("solver/bench", 10_000_000)]))
+        failures += not check(
+            "budget breach exits nonzero", res.returncode != 0, res.stdout)
+        failures += not check(
+            "budget breach emits ::error::", "::error::" in res.stderr, res.stderr)
+
+        # 2. within budget: +20% under a 50% budget passes
+        res = run_gate(tmp, "within",
+                       doc([("solver/bench", 1_000_000)]),
+                       doc([("solver/bench", 1_200_000)]))
+        failures += not check(
+            "within-budget run exits zero", res.returncode == 0, res.stderr)
+
+        # 3. micro-noise: +100% but only 1 µs absolute stays under the
+        #    50 µs floor and must not breach
+        res = run_gate(tmp, "floor",
+                       doc([("micro/bench", 1_000)]),
+                       doc([("micro/bench", 2_000)]))
+        failures += not check(
+            "sub-floor jitter exits zero", res.returncode == 0, res.stderr)
+
+        # 4. per-bench override: +40% breaches a 30% budget even though
+        #    the default budget is 50%
+        res = run_gate(tmp, "override",
+                       doc([("tight/bench", 1_000_000)]),
+                       doc([("tight/bench", 1_400_000)]))
+        failures += not check(
+            "tightened per-bench budget breaches", res.returncode != 0, res.stdout)
+
+        # 5. a bench only in the PR run passes with an explicit new: line
+        res = run_gate(tmp, "new",
+                       doc([("solver/bench", 1_000_000)]),
+                       doc([("solver/bench", 1_000_000),
+                            ("fresh/bench", 5_000)]))
+        failures += not check(
+            "new bench exits zero", res.returncode == 0, res.stderr)
+        failures += not check(
+            "new bench announced", "new: fresh/bench" in res.stderr, res.stderr)
+
+        # 6. a bench missing from the PR run fails with an explicit
+        #    removed: line — rotted benches are what the gate catches
+        res = run_gate(tmp, "removed",
+                       doc([("solver/bench", 1_000_000),
+                            ("gone/bench", 5_000)]),
+                       doc([("solver/bench", 1_000_000)]))
+        failures += not check(
+            "removed bench exits nonzero", res.returncode != 0, res.stdout)
+        failures += not check(
+            "removed bench announced", "removed: gone/bench" in res.stderr,
+            res.stderr)
+
+    if failures:
+        print(f"{failures} gate self-test assertion(s) failed")
+        sys.exit(1)
+    print("bench_delta gate self-test passed")
+
+
+if __name__ == "__main__":
+    main()

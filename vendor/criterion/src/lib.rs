@@ -14,7 +14,9 @@
 //!   mode: no warm-up, no sampling) and prints `test <name> ... ok`.
 //! * When `BUSYTIME_BENCH_JSON` names a file, one JSON estimate line per
 //!   benchmark is appended to it (`id`, `mode`, `min_ns`/`median_ns`/
-//!   `mean_ns`, sample shape) — the artifact CI uploads per PR.
+//!   `mean_ns`, sample shape) — the artifact CI uploads per PR. With the
+//!   `bench-alloc` feature a counting global allocator adds
+//!   `allocs_per_iter` / `alloc_bytes_per_iter` to every estimate.
 
 use std::fmt::Display;
 use std::io::Write as _;
@@ -22,6 +24,83 @@ use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// Allocation counting behind the `bench-alloc` feature: a counting
+/// [`GlobalAlloc`](std::alloc::GlobalAlloc) wrapper over the system
+/// allocator, installed process-wide so every benchmark iteration's
+/// allocations are visible. Counts are relaxed atomics — cheap enough to
+/// leave in the measurement path, precise enough for per-iteration
+/// estimates (`allocs_per_iter` / `alloc_bytes_per_iter` in the JSON
+/// lines), which is what the perf gate diffs.
+#[cfg(feature = "bench-alloc")]
+mod alloc_counter {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static ALLOCS: AtomicU64 = AtomicU64::new(0);
+    static BYTES: AtomicU64 = AtomicU64::new(0);
+
+    struct CountingAlloc;
+
+    // SAFETY: delegates every operation to `System`; the counters are
+    // side effects only.
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+            System.alloc(layout)
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout)
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            // a grow is a fresh allocation as far as hot-path accounting
+            // is concerned
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+            System.realloc(ptr, layout, new_size)
+        }
+    }
+
+    #[global_allocator]
+    static GLOBAL: CountingAlloc = CountingAlloc;
+
+    /// Current `(allocation count, allocated bytes)` totals.
+    pub fn snapshot() -> (u64, u64) {
+        (
+            ALLOCS.load(Ordering::Relaxed),
+            BYTES.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// `(allocs, bytes)` so far, or zeros when counting is compiled out.
+fn alloc_snapshot() -> (u64, u64) {
+    #[cfg(feature = "bench-alloc")]
+    {
+        alloc_counter::snapshot()
+    }
+    #[cfg(not(feature = "bench-alloc"))]
+    {
+        (0, 0)
+    }
+}
+
+/// Per-iteration allocation estimate between two snapshots, `None` when
+/// counting is compiled out.
+fn alloc_per_iter(before: (u64, u64), after: (u64, u64), iters: u64) -> Option<(f64, f64)> {
+    if cfg!(feature = "bench-alloc") {
+        let n = iters.max(1) as f64;
+        Some((
+            after.0.saturating_sub(before.0) as f64 / n,
+            after.1.saturating_sub(before.1) as f64 / n,
+        ))
+    } else {
+        None
+    }
+}
 
 /// Benchmark harness configuration and entry point.
 #[derive(Clone, Debug)]
@@ -190,11 +269,10 @@ fn cli_test_mode() -> bool {
 fn record_estimate(
     label: &str,
     mode: &str,
-    min: f64,
-    median: f64,
-    mean: f64,
+    (min, median, mean): (f64, f64, f64),
     samples: usize,
     iters: u64,
+    alloc: Option<(f64, f64)>,
 ) {
     let Some(path) = std::env::var_os("BUSYTIME_BENCH_JSON") else {
         return;
@@ -207,9 +285,15 @@ fn record_estimate(
             c => id.push(c),
         }
     }
+    let alloc_fields = match alloc {
+        Some((allocs, bytes)) => {
+            format!(", \"allocs_per_iter\": {allocs:.1}, \"alloc_bytes_per_iter\": {bytes:.1}")
+        }
+        None => String::new(),
+    };
     let line = format!(
         "{{\"id\": \"{id}\", \"mode\": \"{mode}\", \"min_ns\": {:.1}, \"median_ns\": {:.1}, \
-         \"mean_ns\": {:.1}, \"samples\": {samples}, \"iters_per_sample\": {iters}}}\n",
+         \"mean_ns\": {:.1}, \"samples\": {samples}, \"iters_per_sample\": {iters}{alloc_fields}}}\n",
         min * 1e9,
         median * 1e9,
         mean * 1e9,
@@ -232,10 +316,12 @@ fn record_estimate(
 
 fn run_benchmark<F: FnMut(&mut Bencher)>(config: &Criterion, label: &str, f: &mut F) {
     if cli_test_mode() {
+        let before = alloc_snapshot();
         let elapsed = time_batch(1, f);
+        let alloc = alloc_per_iter(before, alloc_snapshot(), 1);
         println!("test {label} ... ok ({})", fmt_time(elapsed.as_secs_f64()));
         let s = elapsed.as_secs_f64();
-        record_estimate(label, "test", s, s, s, 1, 1);
+        record_estimate(label, "test", (s, s, s), 1, 1, alloc);
         return;
     }
     // Warm up and size the iteration batch so one sample lasts roughly
@@ -258,10 +344,16 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(config: &Criterion, label: &str, f: &mu
         .clamp(1, u128::from(u64::MAX)) as u64;
 
     let mut samples: Vec<f64> = Vec::with_capacity(config.sample_size);
+    let before = alloc_snapshot();
     for _ in 0..config.sample_size {
         let t = time_batch(iters_per_sample, f);
         samples.push(t.as_secs_f64() / iters_per_sample as f64);
     }
+    let alloc = alloc_per_iter(
+        before,
+        alloc_snapshot(),
+        iters_per_sample.saturating_mul(config.sample_size as u64),
+    );
     samples.sort_by(|a, b| a.total_cmp(b));
     let min = samples[0];
     let median = samples[samples.len() / 2];
@@ -277,11 +369,10 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(config: &Criterion, label: &str, f: &mu
     record_estimate(
         label,
         "measure",
-        min,
-        median,
-        mean,
+        (min, median, mean),
         samples.len(),
         iters_per_sample,
+        alloc,
     );
 }
 
@@ -358,5 +449,25 @@ mod tests {
     fn ids_format() {
         assert_eq!(BenchmarkId::new("f", 3).id, "f/3");
         assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+
+    #[cfg(feature = "bench-alloc")]
+    #[test]
+    fn alloc_counter_counts_allocations() {
+        let before = alloc_snapshot();
+        let v: Vec<u8> = Vec::with_capacity(4096);
+        black_box(&v);
+        let after = alloc_snapshot();
+        assert!(after.0 > before.0, "allocation not counted");
+        assert!(after.1 >= before.1 + 4096, "bytes not counted");
+        let per_iter = alloc_per_iter(before, after, 2).expect("feature on");
+        assert!(per_iter.0 >= 0.5);
+    }
+
+    #[cfg(not(feature = "bench-alloc"))]
+    #[test]
+    fn alloc_counting_compiled_out() {
+        assert_eq!(alloc_snapshot(), (0, 0));
+        assert!(alloc_per_iter((0, 0), (0, 0), 1).is_none());
     }
 }
