@@ -32,6 +32,16 @@
 //! would deadlock a saturated pool; submitting to a *different* pool
 //! queues normally, since that pool's budget is independent.
 //!
+//! Not every caller can park a thread on a batch. [`Executor::spawn`] is
+//! the nonblocking submission path: it queues one fire-and-forget job and
+//! returns immediately, which is how the readiness-loop socket front-end
+//! stays event-driven — a reactor thread hands each parsed record's solve
+//! to the pool and goes straight back to `epoll_wait`, and the job's last
+//! act is to post its completion to the owning reactor's wakeable queue.
+//! Spawned jobs draw on the same `W`-thread budget and fairness queue as
+//! batch items, so a connection flood cannot out-schedule the batch
+//! paths.
+//!
 //! [`Executor::par_map_deadline_with`] is the deadline-enforcing variant
 //! the batch server uses: each item gets a per-item [`CancelToken`] armed
 //! when a worker picks the item up (so queue time never counts against a
@@ -267,6 +277,26 @@ impl Executor {
     /// Jobs queued but not yet picked up by a worker.
     pub fn queue_depth(&self) -> usize {
         self.inner.pending.load(Ordering::SeqCst)
+    }
+
+    /// Queues one fire-and-forget job and returns immediately.
+    ///
+    /// This is the submission path for callers that must never block —
+    /// the event-driven listener's I/O threads hand each record's solve
+    /// to the pool this way and learn of completion through their own
+    /// wakeable queues, unlike the [`Executor::par_map`] family, which
+    /// parks the submitting thread until the whole batch settles. The
+    /// job shares the same worker budget, fairness queue, and stats
+    /// counters as batch items; a panic inside it is caught by the
+    /// worker (the pool never shrinks) but is otherwise unobservable,
+    /// so jobs that can fail should report through their own channel.
+    ///
+    /// Called from one of the pool's own workers, the job is queued (not
+    /// run inline): `spawn` never executes `job` on the calling thread.
+    /// Unlike a nested batch, a queued fire-and-forget job cannot
+    /// deadlock its submitter — nothing blocks on it.
+    pub fn spawn(&self, job: impl FnOnce() + Send + 'static) {
+        self.inner.push(Box::new(job));
     }
 
     /// Applies `f` to every item over the full worker budget; results are
@@ -713,6 +743,66 @@ mod tests {
             inner[0]
         });
         assert_eq!(out, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn spawn_runs_without_blocking_the_submitter() {
+        let executor = Executor::new(1);
+        let (send, recv) = std::sync::mpsc::channel::<u32>();
+        // a spawned job may itself spawn (completion-callback style)
+        // without deadlocking the single worker
+        let nested_exec = executor.clone();
+        let nested_send = send.clone();
+        executor.spawn(move || {
+            nested_exec.spawn(move || {
+                let _ = nested_send.send(2);
+            });
+            let _ = send.send(1);
+        });
+        let mut got: Vec<u32> = (0..2)
+            .map(|_| recv.recv_timeout(Duration::from_secs(5)).unwrap())
+            .collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2]);
+    }
+
+    #[test]
+    fn spawn_shares_the_batch_worker_budget() {
+        // spawned jobs and batch items drain through the same two
+        // workers: at no point may three run concurrently
+        let executor = Executor::new(2);
+        let live = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let (send, recv) = std::sync::mpsc::channel::<()>();
+        for _ in 0..8 {
+            let live = Arc::clone(&live);
+            let peak = Arc::clone(&peak);
+            let send = send.clone();
+            executor.spawn(move || {
+                let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+                peak.fetch_max(now, Ordering::SeqCst);
+                std::thread::sleep(Duration::from_millis(3));
+                live.fetch_sub(1, Ordering::SeqCst);
+                let _ = send.send(());
+            });
+        }
+        let items: Vec<u32> = (0..8).collect();
+        let out = executor.par_map(&items, |&x| {
+            let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(Duration::from_millis(3));
+            live.fetch_sub(1, Ordering::SeqCst);
+            x
+        });
+        assert_eq!(out, items);
+        for _ in 0..8 {
+            recv.recv_timeout(Duration::from_secs(5)).unwrap();
+        }
+        assert!(
+            peak.load(Ordering::SeqCst) <= 2,
+            "2-worker pool ran {} jobs at once",
+            peak.load(Ordering::SeqCst)
+        );
     }
 
     #[test]

@@ -19,8 +19,17 @@
 //! shard with their original `line` stamps, so the client still sees every
 //! record answered exactly once, in order. Only when no healthy shard
 //! remains does a record answer as a structured error line.
+//!
+//! The connection front-end is a readiness loop over the [`polling`]
+//! epoll shim: one thread owns the acceptor, every not-yet-classified
+//! connection, capacity rejections, and the NDJSON-endpoint `GET
+//! /healthz` probes — none of which cost a thread. A connection is
+//! sniffed nonblockingly; only once it shows real batch traffic is it
+//! switched back to blocking mode and handed a session thread running
+//! the fan-out/fan-in engine below (whose shard reader threads are
+//! scoped to the batch and exit with it).
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 #[cfg(unix)]
@@ -39,6 +48,7 @@ use busytime_server::http::{
 };
 use busytime_server::protocol::error_line;
 use busytime_server::{reline_output, BatchSummary, ListenMode};
+use polling::{Event, Interest, Poller, RawFd};
 
 use crate::shard::{connect, lock, pick, ShardState};
 
@@ -138,6 +148,31 @@ impl RConn {
         })
     }
 
+    fn set_nonblocking(&self) -> std::io::Result<()> {
+        // accepted sockets do not inherit the acceptor's non-blocking
+        // flag on Linux — it must be set per connection
+        match self {
+            RConn::Tcp(s) => s.set_nonblocking(true),
+            #[cfg(unix)]
+            RConn::Unix(s) => s.set_nonblocking(true),
+        }
+    }
+
+    #[cfg(unix)]
+    fn raw_fd(&self) -> RawFd {
+        use std::os::fd::AsRawFd;
+        match self {
+            RConn::Tcp(s) => s.as_raw_fd(),
+            RConn::Unix(s) => s.as_raw_fd(),
+        }
+    }
+
+    #[cfg(not(unix))]
+    fn raw_fd(&self) -> RawFd {
+        // the poller itself is Unsupported off Unix; this is never polled
+        -1
+    }
+
     fn prepare(&self, read_timeout: Duration, write_timeout: Duration) -> std::io::Result<()> {
         match self {
             RConn::Tcp(s) => {
@@ -218,6 +253,20 @@ impl RAcceptor {
             RAcceptor::Unix(l, _) => l.accept().map(|(s, _)| RConn::Unix(s)),
         }
     }
+
+    #[cfg(unix)]
+    fn raw_fd(&self) -> RawFd {
+        use std::os::fd::AsRawFd;
+        match self {
+            RAcceptor::Tcp(l) => l.as_raw_fd(),
+            RAcceptor::Unix(l, _) => l.as_raw_fd(),
+        }
+    }
+
+    #[cfg(not(unix))]
+    fn raw_fd(&self) -> RawFd {
+        -1
+    }
 }
 
 /// Everything a connection thread needs, bundled so spawning stays tidy.
@@ -227,14 +276,28 @@ struct RouteShared {
     shutdown: CancelToken,
     http: bool,
     active: AtomicUsize,
-    rejecting: AtomicUsize,
     report: Mutex<RouteReport>,
     started: Instant,
 }
 
-/// Bound on concurrent polite-rejection threads, mirroring the listener:
-/// past it a connect flood is shed by dropping connections outright.
-const MAX_REJECT_THREADS: usize = 32;
+/// Poller key of the accept socket; client connections start at
+/// [`FIRST_CONN_KEY`].
+const KEY_ACCEPT: usize = 1;
+const FIRST_CONN_KEY: usize = 2;
+
+/// How long a flushed rejection or health-probe response lingers
+/// half-closed waiting for the peer's FIN before the socket is dropped,
+/// so the response survives in flight.
+const FRONT_LINGER: Duration = Duration::from_millis(150);
+
+/// Poll-wait granularity of the front loop — the shutdown-token and
+/// linger-deadline check cadence.
+const FRONT_POLL: Duration = Duration::from_millis(25);
+
+/// Bound on rejections concurrently flushing in the front loop. A
+/// rejection costs one poller slot and a ~100-byte outbox (no thread);
+/// past this a connect flood is shed by dropping connections outright.
+const REJECT_BACKLOG_CAP: usize = 1024;
 
 /// How long a shard reader keeps draining responses after shutdown is
 /// signalled — in-flight solves finish cooperatively on the shard, and
@@ -333,23 +396,21 @@ impl Router {
 
     /// Accepts and routes connections until the shutdown token fires,
     /// then drains every live connection and returns the aggregate
-    /// report. A background prober keeps every shard's health snapshot
-    /// fresh for the whole run.
+    /// report. The caller's thread runs the readiness front loop; a
+    /// background prober keeps every shard's health snapshot fresh for
+    /// the whole run.
     pub fn run(self) -> std::io::Result<RouteReport> {
         let max_conns = if self.config.max_conns == 0 {
             64
         } else {
             self.config.max_conns
         };
-        let read_timeout = self.config.read_timeout;
-        let write_timeout = self.config.write_timeout;
         let shared = Arc::new(RouteShared {
             shards: self.shards,
             config: self.config,
             shutdown: self.shutdown,
             http: self.http,
             active: AtomicUsize::new(0),
-            rejecting: AtomicUsize::new(0),
             report: Mutex::new(RouteReport::default()),
             started: Instant::now(),
         });
@@ -359,57 +420,23 @@ impl Router {
             std::thread::spawn(move || run_prober(&shared))
         };
 
-        let mut handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
-        let mut conn_id = 0usize;
-        let mut fatal: Option<std::io::Error> = None;
-        while !shared.shutdown.is_cancelled() {
-            match self.acceptor.accept() {
-                Ok(conn) => {
-                    if shared.active.load(Ordering::SeqCst) >= max_conns {
-                        lock(&shared.report).rejected += 1;
-                        if shared.rejecting.load(Ordering::SeqCst) < MAX_REJECT_THREADS {
-                            shared.rejecting.fetch_add(1, Ordering::SeqCst);
-                            let shared = Arc::clone(&shared);
-                            handles.push(std::thread::spawn(move || {
-                                reject_at_capacity(
-                                    conn,
-                                    shared.http,
-                                    max_conns,
-                                    read_timeout,
-                                    write_timeout,
-                                );
-                                shared.rejecting.fetch_sub(1, Ordering::SeqCst);
-                            }));
-                            if handles.len() >= 2 * max_conns {
-                                handles.retain(|h| !h.is_finished());
-                            }
-                        }
-                        continue;
-                    }
-                    conn_id += 1;
-                    shared.active.fetch_add(1, Ordering::SeqCst);
-                    let shared = Arc::clone(&shared);
-                    handles.push(std::thread::spawn(move || {
-                        let _slot = ActiveSlot {
-                            shared: Arc::clone(&shared),
-                        };
-                        handle_connection(conn, conn_id, &shared);
-                    }));
-                    if handles.len() >= 2 * max_conns {
-                        handles.retain(|h| !h.is_finished());
-                    }
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(Duration::from_millis(10));
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-                Err(e) if e.kind() == std::io::ErrorKind::ConnectionAborted => continue,
-                Err(e) => {
-                    fatal = Some(e);
-                    break;
-                }
-            }
-        }
+        let poller = Poller::new()?;
+        poller.add(self.acceptor.raw_fd(), KEY_ACCEPT, Interest::READ)?;
+        let mut front = FrontEnd {
+            poller,
+            acceptor: &self.acceptor,
+            shared: &shared,
+            max_conns,
+            conns: HashMap::new(),
+            next_key: FIRST_CONN_KEY,
+            conn_id: 0,
+            rejects_open: 0,
+            handles: Vec::new(),
+            draining: false,
+            fatal: None,
+        };
+        front.run();
+        let FrontEnd { handles, fatal, .. } = front;
 
         shared.shutdown.cancel();
         for handle in handles {
@@ -470,31 +497,398 @@ fn run_prober(shared: &RouteShared) {
     }
 }
 
-fn reject_at_capacity(
+/// What a front-loop connection is tallied as when it closes in the
+/// front loop (connections that are handed off tally in their session
+/// thread instead).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum FrontTally {
+    /// A real client, still being sniffed.
+    Client,
+    /// A `GET /healthz` probe on the NDJSON endpoint, answered inline.
+    Probe,
+    /// An at-capacity rejection flushing its structured error.
+    Reject,
+}
+
+/// One connection owned by the front loop: either still being sniffed
+/// (waiting for its first bytes) or flushing a threadless response
+/// (health probe / capacity rejection) before a lingered close.
+struct FrontConn {
     conn: RConn,
-    http: bool,
+    conn_id: usize,
+    peer: String,
+    tally: FrontTally,
+    /// Bytes read while sniffing; prepended to the session's reader at
+    /// hand-off so nothing is lost.
+    sniffed: Vec<u8>,
+    /// Response bytes to flush before closing (probe / rejection).
+    outbox: Vec<u8>,
+    sent: usize,
+    /// `true` once the connection is in flush-then-close mode.
+    flushing: bool,
+    half_closed: bool,
+    peer_eof: bool,
+    linger_until: Option<Instant>,
+    interest: (bool, bool),
+}
+
+/// The readiness front loop: acceptor, sniffing connections, threadless
+/// rejections and probes. Runs on the [`Router::run`] caller's thread.
+struct FrontEnd<'a> {
+    poller: Poller,
+    acceptor: &'a RAcceptor,
+    shared: &'a Arc<RouteShared>,
     max_conns: usize,
-    read_timeout: Duration,
-    write_timeout: Duration,
-) {
-    let _ = conn.prepare(read_timeout, write_timeout);
+    conns: HashMap<usize, FrontConn>,
+    next_key: usize,
+    conn_id: usize,
+    rejects_open: usize,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    draining: bool,
+    fatal: Option<std::io::Error>,
+}
+
+impl FrontEnd<'_> {
+    fn run(&mut self) {
+        let mut events: Vec<Event> = Vec::new();
+        loop {
+            if self.shared.shutdown.is_cancelled() && !self.draining {
+                self.draining = true;
+                let _ = self.poller.delete(self.acceptor.raw_fd());
+                // sniffing connections hand off so their sessions can
+                // write drain trailers; flushers close after one last try
+                let keys: Vec<usize> = self.conns.keys().copied().collect();
+                for key in keys {
+                    self.service(key);
+                }
+            }
+            if self.draining && self.conns.is_empty() {
+                break;
+            }
+            let mut timeout = FRONT_POLL;
+            let now = Instant::now();
+            for state in self.conns.values() {
+                if let Some(when) = state.linger_until {
+                    let until = when.saturating_duration_since(now);
+                    timeout = timeout.min(until.max(Duration::from_millis(1)));
+                }
+            }
+            events.clear();
+            match self.poller.wait(&mut events, Some(timeout)) {
+                Ok(_) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    self.fatal = Some(e);
+                    self.shared.shutdown.cancel();
+                    continue; // the drain branch above cleans up and exits
+                }
+            }
+            let now = Instant::now();
+            let expired: Vec<usize> = self
+                .conns
+                .iter()
+                .filter(|(_, s)| s.linger_until.is_some_and(|when| now >= when))
+                .map(|(key, _)| *key)
+                .collect();
+            for key in expired {
+                self.close(key);
+            }
+            let keys: Vec<usize> = events.iter().map(|event| event.key).collect();
+            for key in keys {
+                match key {
+                    KEY_ACCEPT => self.accept_some(),
+                    key => self.service(key),
+                }
+            }
+        }
+    }
+
+    fn accept_some(&mut self) {
+        loop {
+            match self.acceptor.accept() {
+                Ok(conn) => {
+                    if conn.set_nonblocking().is_err() {
+                        continue; // broken before it said anything
+                    }
+                    if self.shared.active.load(Ordering::SeqCst) >= self.max_conns {
+                        lock(&self.shared.report).rejected += 1;
+                        if self.rejects_open >= REJECT_BACKLOG_CAP {
+                            continue; // flood: shed without the courtesy
+                        }
+                        let outbox = rejection_bytes(self.shared.http, self.max_conns);
+                        self.register(conn, FrontTally::Reject, outbox);
+                        continue;
+                    }
+                    self.conn_id += 1;
+                    self.shared.active.fetch_add(1, Ordering::SeqCst);
+                    self.register(conn, FrontTally::Client, Vec::new());
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) if e.kind() == std::io::ErrorKind::ConnectionAborted => continue,
+                Err(e) => {
+                    self.fatal = Some(e);
+                    self.shared.shutdown.cancel();
+                    break;
+                }
+            }
+        }
+    }
+
+    fn register(&mut self, conn: RConn, tally: FrontTally, outbox: Vec<u8>) {
+        let key = self.next_key;
+        self.next_key += 1;
+        let flushing = tally != FrontTally::Client;
+        let interest = if flushing {
+            (false, true)
+        } else {
+            (true, false)
+        };
+        if self
+            .poller
+            .add(conn.raw_fd(), key, interest_of(interest))
+            .is_err()
+        {
+            if tally != FrontTally::Reject {
+                self.shared.active.fetch_sub(1, Ordering::SeqCst);
+            }
+            return;
+        }
+        if tally == FrontTally::Reject {
+            self.rejects_open += 1;
+        }
+        let peer = conn.peer();
+        self.conns.insert(
+            key,
+            FrontConn {
+                conn,
+                conn_id: self.conn_id,
+                peer,
+                tally,
+                sniffed: Vec::new(),
+                outbox,
+                sent: 0,
+                flushing,
+                half_closed: false,
+                peer_eof: false,
+                linger_until: None,
+                interest,
+            },
+        );
+        // service immediately: a rejection usually flushes in one write,
+        // and a fast client may already have bytes waiting
+        self.service(key);
+    }
+
+    fn service(&mut self, key: usize) {
+        let Some(state) = self.conns.get_mut(&key) else {
+            return;
+        };
+        if !state.flushing {
+            // HTTP mode needs no sniff: the only front-loop job is
+            // noticing the first readable byte and handing off
+            if self.shared.http {
+                return self.hand_off(key);
+            }
+            let mut eof = false;
+            let mut scratch = [0u8; 512];
+            loop {
+                match state.conn.read(&mut scratch) {
+                    Ok(0) => {
+                        eof = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        state.sniffed.extend_from_slice(&scratch[..n]);
+                        if state.sniffed.len() >= 4 || state.sniffed.contains(&b'\n') {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(e) => return self.close_aborted(key, &e),
+                }
+            }
+            // four bytes tell "GET " apart from NDJSON; EOF and drain
+            // decide with whatever arrived
+            let decided =
+                state.sniffed.len() >= 4 || state.sniffed.contains(&b'\n') || eof || self.draining;
+            if !decided {
+                return;
+            }
+            if !state.sniffed.starts_with(b"GET ") {
+                return self.hand_off(key);
+            }
+            let body = router_healthz(self.shared);
+            let _ = write_http_response(
+                &mut state.outbox,
+                "200 OK",
+                "application/json",
+                body.as_bytes(),
+                false,
+            );
+            state.tally = FrontTally::Probe;
+            state.flushing = true;
+            state.peer_eof = eof;
+        }
+        self.flush_and_linger(key);
+    }
+
+    /// Drives a flush-then-close connection: write the outbox, half-close,
+    /// linger-drain the peer's unread bytes until its FIN (or the linger
+    /// deadline), then close.
+    fn flush_and_linger(&mut self, key: usize) {
+        let Some(state) = self.conns.get_mut(&key) else {
+            return;
+        };
+        if !state.half_closed {
+            match flush_front_outbox(state) {
+                Err(_) => return self.close(key),
+                Ok(false) => {} // WouldBlock: wait for writability
+                Ok(true) => {
+                    state.conn.shutdown_write();
+                    state.half_closed = true;
+                    state.linger_until = Some(Instant::now() + FRONT_LINGER);
+                }
+            }
+        }
+        if state.half_closed {
+            let mut scratch = [0u8; 4096];
+            loop {
+                match state.conn.read(&mut scratch) {
+                    Ok(0) => {
+                        state.peer_eof = true;
+                        break;
+                    }
+                    Ok(_) => continue,
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        state.peer_eof = true;
+                        break;
+                    }
+                }
+            }
+            let expired = state
+                .linger_until
+                .is_some_and(|when| Instant::now() >= when);
+            if state.peer_eof || expired || self.draining {
+                return self.close(key);
+            }
+        }
+        let want = (
+            state.half_closed,
+            !state.half_closed && state.sent < state.outbox.len(),
+        );
+        if want != state.interest
+            && self
+                .poller
+                .modify(state.conn.raw_fd(), key, interest_of(want))
+                .is_ok()
+        {
+            state.interest = want;
+        }
+    }
+
+    /// Deregisters a classified-as-real connection and gives it a session
+    /// thread, with the sniffed bytes prepended to its reader.
+    fn hand_off(&mut self, key: usize) {
+        let Some(state) = self.conns.remove(&key) else {
+            return;
+        };
+        let _ = self.poller.delete(state.conn.raw_fd());
+        let shared = Arc::clone(self.shared);
+        let (conn, sniffed, conn_id) = (state.conn, state.sniffed, state.conn_id);
+        self.handles.push(std::thread::spawn(move || {
+            let _slot = ActiveSlot {
+                shared: Arc::clone(&shared),
+            };
+            handle_connection(conn, sniffed, conn_id, &shared);
+        }));
+        if self.handles.len() >= 2 * self.max_conns {
+            self.handles.retain(|h| !h.is_finished());
+        }
+    }
+
+    /// A sniffing client broke before classification: close and account
+    /// for it here, since no session thread will.
+    fn close_aborted(&mut self, key: usize, e: &std::io::Error) {
+        let Some(state) = self.conns.remove(&key) else {
+            return;
+        };
+        let _ = self.poller.delete(state.conn.raw_fd());
+        lock(&self.shared.report).connections += 1;
+        log_unless_quiet(
+            self.shared,
+            format!("conn {} ({}): aborted: {e}", state.conn_id, state.peer),
+        );
+        self.shared.active.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    fn close(&mut self, key: usize) {
+        let Some(state) = self.conns.remove(&key) else {
+            return;
+        };
+        let _ = self.poller.delete(state.conn.raw_fd());
+        match state.tally {
+            FrontTally::Reject => {
+                self.rejects_open -= 1;
+                return; // rejected was tallied at accept; no active slot
+            }
+            FrontTally::Probe => lock(&self.shared.report).health_probes += 1,
+            FrontTally::Client => {}
+        }
+        self.shared.active.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn interest_of((read, write): (bool, bool)) -> Interest {
+    match (read, write) {
+        (true, true) => Interest::BOTH,
+        (true, false) => Interest::READ,
+        (false, true) => Interest::WRITE,
+        (false, false) => Interest::NONE,
+    }
+}
+
+/// The prefilled outbox of an at-capacity rejection.
+fn rejection_bytes(http: bool, max_conns: usize) -> Vec<u8> {
     let message = format!("router at capacity ({max_conns} connections); retry later");
-    let mut conn = conn;
+    let mut out = Vec::new();
     if http {
-        let body = format!("{{\"error\": {:?}}}\n", message);
+        let body = format!("{{\"error\": {message:?}}}\n");
         let _ = write_http_response(
-            &mut conn,
+            &mut out,
             "503 Service Unavailable",
             "application/json",
             body.as_bytes(),
             false,
         );
     } else {
-        let _ = writeln!(conn, "{}", error_line(0, None, &message));
-        let _ = conn.flush();
+        out.extend_from_slice(error_line(0, None, &message).as_bytes());
+        out.push(b'\n');
     }
-    conn.shutdown_write();
-    drain_briefly(&mut conn);
+    out
+}
+
+/// Writes as much of the outbox as the socket takes right now.
+/// `Ok(true)` = fully flushed, `Ok(false)` = the socket would block.
+fn flush_front_outbox(state: &mut FrontConn) -> std::io::Result<bool> {
+    while state.sent < state.outbox.len() {
+        match state.conn.write(&state.outbox[state.sent..]) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WriteZero,
+                    "socket accepted zero bytes",
+                ))
+            }
+            Ok(n) => state.sent += n,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(false),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
 }
 
 /// Briefly drains whatever the client was mid-sending before the socket
@@ -509,7 +903,11 @@ fn drain_briefly<R: Read>(reader: &mut R) {
     }
 }
 
-fn handle_connection(conn: RConn, conn_id: usize, shared: &RouteShared) {
+/// One handed-off connection: restore blocking mode + socket timeouts,
+/// then run the batch session with the front loop's sniffed bytes
+/// prepended. Health probes never get here — the front loop answers them
+/// inline.
+fn handle_connection(conn: RConn, sniffed: Vec<u8>, conn_id: usize, shared: &RouteShared) {
     let peer = conn.peer();
     if conn
         .prepare(shared.config.read_timeout, shared.config.write_timeout)
@@ -517,23 +915,14 @@ fn handle_connection(conn: RConn, conn_id: usize, shared: &RouteShared) {
     {
         return;
     }
-    if shared.http {
-        match serve_http_route_conn(conn, conn_id, &peer, shared) {
-            Ok(()) => lock(&shared.report).connections += 1,
-            Err(e) => {
-                lock(&shared.report).connections += 1;
-                log_unless_quiet(shared, format!("conn {conn_id} ({peer}): aborted: {e}"));
-            }
-        }
+    let served = if shared.http {
+        serve_http_route_conn(conn, sniffed, conn_id, &peer, shared)
     } else {
-        match serve_ndjson_route_conn(conn, conn_id, &peer, shared) {
-            Ok(RouteOutcome::HealthProbe) => lock(&shared.report).health_probes += 1,
-            Ok(RouteOutcome::Served) => lock(&shared.report).connections += 1,
-            Err(e) => {
-                lock(&shared.report).connections += 1;
-                log_unless_quiet(shared, format!("conn {conn_id} ({peer}): aborted: {e}"));
-            }
-        }
+        serve_ndjson_route_conn(conn, sniffed, conn_id, &peer, shared)
+    };
+    lock(&shared.report).connections += 1;
+    if let Err(e) = served {
+        log_unless_quiet(shared, format!("conn {conn_id} ({peer}): aborted: {e}"));
     }
 }
 
@@ -543,55 +932,17 @@ fn log_unless_quiet(shared: &RouteShared, line: String) {
     }
 }
 
-/// What one accepted socket turned out to be.
-enum RouteOutcome {
-    Served,
-    HealthProbe,
-}
-
-/// One NDJSON connection: sniff a health probe, otherwise run one routed
-/// batch session, write the merged trailer, half-close.
+/// One NDJSON connection: run one routed batch session (the front loop's
+/// sniffed bytes first), write the merged trailer, half-close.
 fn serve_ndjson_route_conn(
     conn: RConn,
+    first: Vec<u8>,
     conn_id: usize,
     peer: &str,
     shared: &RouteShared,
-) -> std::io::Result<RouteOutcome> {
-    let mut reader = BufReader::new(conn.try_clone()?);
+) -> std::io::Result<()> {
+    let reader = BufReader::new(conn.try_clone()?);
     let mut writer = BufWriter::new(conn);
-    let mut first = Vec::new();
-    loop {
-        match reader.read_until(b'\n', &mut first) {
-            Ok(_) => break,
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    std::io::ErrorKind::WouldBlock
-                        | std::io::ErrorKind::TimedOut
-                        | std::io::ErrorKind::Interrupted
-                ) =>
-            {
-                // partial bytes stay accumulated in `first` across retries
-                if shared.shutdown.is_cancelled() {
-                    break;
-                }
-            }
-            Err(e) => return Err(e),
-        }
-    }
-    if first.starts_with(b"GET ") {
-        let body = router_healthz(shared);
-        write_http_response(
-            &mut writer,
-            "200 OK",
-            "application/json",
-            body.as_bytes(),
-            false,
-        )?;
-        writer.get_ref().shutdown_write();
-        drain_briefly(&mut reader);
-        return Ok(RouteOutcome::HealthProbe);
-    }
     let mut input = std::io::Cursor::new(first).chain(reader);
     let stats = route_session(
         &mut input,
@@ -604,7 +955,7 @@ fn serve_ndjson_route_conn(
     writer.get_ref().shutdown_write();
     drain_briefly(&mut input);
     absorb_session(shared, conn_id, peer, &stats);
-    Ok(RouteOutcome::Served)
+    Ok(())
 }
 
 fn absorb_session(shared: &RouteShared, conn_id: usize, peer: &str, stats: &SessionStats) {
@@ -662,11 +1013,12 @@ fn router_healthz(shared: &RouteShared) -> String {
 /// trailer.
 fn serve_http_route_conn(
     conn: RConn,
+    first: Vec<u8>,
     conn_id: usize,
     peer: &str,
     shared: &RouteShared,
 ) -> std::io::Result<()> {
-    let mut reader = BufReader::new(conn.try_clone()?);
+    let mut reader = std::io::Cursor::new(first).chain(BufReader::new(conn.try_clone()?));
     let mut writer = BufWriter::new(conn);
     loop {
         let request = match read_http_head(&mut reader, &shared.shutdown) {

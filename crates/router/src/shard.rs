@@ -245,4 +245,28 @@ mod tests {
         let unbound = ShardState::new(2, "");
         assert!(!unbound.is_healthy(), "no address = not dispatchable");
     }
+
+    #[test]
+    fn load_score_ignores_the_reactor_gauges() {
+        // a readiness-loop listener reports open_connections / io_threads /
+        // outbox_bytes; the dispatch score must keep ranking on solver
+        // pressure (busy + queue per worker), not on idle socket counts
+        let shard = ShardState::new(0, "127.0.0.1:1");
+        let snap = parse_healthz(
+            "{\"schema_version\": 1, \"status\": \"ok\", \"workers\": 4, \
+             \"busy_workers\": 2, \"queue_depth\": 2, \"active_connections\": 1, \
+             \"uptime_ms\": 5, \"open_connections\": 900, \"io_threads\": 2, \
+             \"outbox_bytes\": 1048576}",
+        )
+        .unwrap();
+        assert_eq!(snap.open_connections, 900);
+        assert_eq!(snap.io_threads, 2);
+        assert_eq!(snap.outbox_bytes, 1048576);
+        *lock(&shard.last) = Some(snap);
+        assert!(
+            (shard.load_score() - 1.0).abs() < 1e-9,
+            "(0 in-flight + 2 busy + 2 queued) / 4 workers = 1.0, got {}",
+            shard.load_score()
+        );
+    }
 }

@@ -568,14 +568,14 @@ impl SharedFeatureCache {
         }
     }
 
-    fn lookup(&self, canon: &CanonicalInstance) -> Option<InstanceFeatures> {
+    pub(crate) fn lookup(&self, canon: &CanonicalInstance) -> Option<InstanceFeatures> {
         // poison-tolerant: cached features are immutable once inserted, so
         // the data stays sound; at worst an interrupted insert costs a
         // re-detection
         lock_ignoring_poison(&self.inner).get(canon)
     }
 
-    fn insert(&self, canon: CanonicalInstance, features: InstanceFeatures) {
+    pub(crate) fn insert(&self, canon: CanonicalInstance, features: InstanceFeatures) {
         lock_ignoring_poison(&self.inner).insert(canon, features);
     }
 }
@@ -588,33 +588,37 @@ enum Entry {
     Solve { item: usize },
 }
 
-struct SolveItem {
-    line: usize,
-    record: BatchRecord,
-    inst: Instance,
+/// One prepared (parsed and cache-consulted) record, ready to dispatch.
+/// Shared between the blocking [`BatchSession`] and the listener's
+/// event-driven session machine ([`crate::machine`]) — both build items
+/// with [`prepare_record`] and solve them with [`solve_prepared`].
+pub(crate) struct SolveItem {
+    pub(crate) line: usize,
+    pub(crate) record: BatchRecord,
+    pub(crate) inst: Instance,
     /// Canonical (order-invariant) form of `inst`, computed once at parse
     /// time: the key into both the feature cache and the solution cache.
-    canon: CanonicalInstance,
+    pub(crate) canon: CanonicalInstance,
     /// The record's effective cache policy (`record.cache`, defaulting to
     /// read-write).
-    policy: CachePolicy,
+    pub(crate) policy: CachePolicy,
     /// Solution-cache identity of this solve (canonical solver key, seed,
     /// decompose). `None` when the solution cache is out of play for this
     /// record — disabled cache, `cache: "off"`, or a `max_jobs` refusal —
     /// so the solve neither looks up nor writes back.
-    fingerprint: Option<SolveFingerprint>,
+    pub(crate) fingerprint: Option<SolveFingerprint>,
     /// A solution-cache hit, resolved before dispatch: the cached report
     /// (assignment already remapped to this record's job order,
     /// `cached: true`). Hit records skip feature detection and never reach
     /// the executor.
-    hit: Option<busytime_core::SolveReport>,
+    pub(crate) hit: Option<busytime_core::SolveReport>,
     /// Filled by the chunk's batched detection pass before solving.
-    features: Option<InstanceFeatures>,
+    pub(crate) features: Option<InstanceFeatures>,
     /// Effective solve budget: the record's `deadline_ms`, else the
-    /// batch-level default. The *pool* arms the token with it at pickup,
-    /// so the clock starts when a worker takes the record, not when the
+    /// batch-level default. Armed onto the record's token when a worker
+    /// picks the record up, so the clock starts at pickup, not when the
     /// batch starts queuing.
-    budget: Option<Duration>,
+    pub(crate) budget: Option<Duration>,
 }
 
 fn percentile(sorted: &[Duration], pct: f64) -> Duration {
@@ -629,9 +633,290 @@ fn percentile(sorted: &[Duration], pct: f64) -> Duration {
 /// record's *own deadline chain* had expired by the time the solver
 /// returned — the signal that separates "`Infeasible` because the budget
 /// ran out" from "genuinely infeasible, refused instantly".
-struct RecordResult {
-    result: Result<busytime_core::SolveReport, SolveError>,
-    deadline_expired: bool,
+pub(crate) struct RecordResult {
+    pub(crate) result: Result<busytime_core::SolveReport, SolveError>,
+    pub(crate) deadline_expired: bool,
+}
+
+/// Running per-record statistics, shared by the blocking [`BatchSession`]
+/// and the listener's event-driven session machine so both serving paths
+/// count records, caches, deadlines and latencies identically.
+#[derive(Default)]
+pub(crate) struct SessionStats {
+    pub(crate) records: usize,
+    pub(crate) solved: usize,
+    pub(crate) errors: usize,
+    pub(crate) total_cost: i64,
+    pub(crate) total_lower_bound: i64,
+    pub(crate) cache_hits: usize,
+    pub(crate) cache_misses: usize,
+    pub(crate) solution_cache_hits: usize,
+    pub(crate) solution_cache_misses: usize,
+    pub(crate) deadline_hits: usize,
+    /// Latencies of unaffected solves only: budget cuts, drain cuts and
+    /// solution-cache hits stay out of the percentiles.
+    latencies: Vec<Duration>,
+}
+
+impl SessionStats {
+    /// Freezes the running counts into the batch's [`BatchSummary`].
+    pub(crate) fn summarize(mut self, wall: Duration, workers: usize) -> BatchSummary {
+        self.latencies.sort_unstable();
+        let per_second = |n: usize| {
+            if wall.as_secs_f64() > 0.0 {
+                n as f64 / wall.as_secs_f64()
+            } else {
+                0.0
+            }
+        };
+        BatchSummary {
+            records: self.records,
+            solved: self.solved,
+            errors: self.errors,
+            total_cost: self.total_cost,
+            total_lower_bound: self.total_lower_bound,
+            aggregate_gap: BatchSummary::aggregate_gap(self.total_cost, self.total_lower_bound),
+            throughput: per_second(self.records),
+            solved_per_s: per_second(self.solved),
+            wall,
+            p50_solve: percentile(&self.latencies, 50.0),
+            p99_solve: percentile(&self.latencies, 99.0),
+            cache_hits: self.cache_hits,
+            cache_misses: self.cache_misses,
+            solution_cache_hits: self.solution_cache_hits,
+            solution_cache_misses: self.solution_cache_misses,
+            workers,
+            deadline_hits: self.deadline_hits,
+        }
+    }
+}
+
+/// The session's effective solve width: its share of the executor budget,
+/// never more than the budget itself.
+pub(crate) fn effective_width(config: &ServeConfig, executor: &Executor) -> usize {
+    if config.workers == 0 {
+        executor.workers()
+    } else {
+        config.workers.min(executor.workers())
+    }
+}
+
+/// Records per dispatch wave for the given width (`config.chunk_size`
+/// unless that is `0` = sized from the width).
+pub(crate) fn effective_chunk_size(config: &ServeConfig, width: usize) -> usize {
+    if config.chunk_size == 0 {
+        (width * 32).clamp(64, 1024)
+    } else {
+        config.chunk_size
+    }
+}
+
+/// Builds the [`SolveItem`] for one parsed record: canonical instance,
+/// cache policy, solve fingerprint, deadline budget, and the pre-dispatch
+/// solution-cache consultation. Lookup accounting happens here, at parse
+/// time, so both serving paths agree on when a lookup was made.
+pub(crate) fn prepare_record(
+    record: BatchRecord,
+    line: usize,
+    registry: &SolverRegistry,
+    config: &ServeConfig,
+    solutions: &SolutionCache,
+    stats: &mut SessionStats,
+) -> SolveItem {
+    let inst = record.instance();
+    let budget = record
+        .deadline_ms
+        .map(Duration::from_millis)
+        .or(config.base_options.deadline);
+    let canon = CanonicalInstance::of(&inst);
+    let policy = record.cache.unwrap_or_default();
+    // the solution cache only sees records it could legitimately answer:
+    // caching enabled, and not a record the pipeline would refuse on
+    // `max_jobs` before solving
+    let effective = record.apply_overrides(config.base_options.clone());
+    let fingerprint = if !solutions.is_disabled()
+        && policy != CachePolicy::Off
+        && effective.max_jobs.is_none_or(|cap| inst.len() <= cap)
+    {
+        let named = record.solver.as_deref().unwrap_or(&config.default_solver);
+        let solver = registry
+            .get(named)
+            .map(|e| e.key().to_string())
+            .unwrap_or_else(|| named.to_string());
+        Some(SolveFingerprint {
+            solver,
+            seed: effective.seed,
+            decompose: effective.decompose,
+        })
+    } else {
+        None
+    };
+    // consult the solution cache *before* dispatch: a hit is answered at
+    // lookup speed and never costs a worker (or a feature detection)
+    let mut hit = None;
+    if let Some(fp) = &fingerprint {
+        if policy.read_enabled() {
+            match solutions.lookup(&canon, fp) {
+                Some(report) => {
+                    stats.solution_cache_hits += 1;
+                    hit = Some(report);
+                }
+                None => stats.solution_cache_misses += 1,
+            }
+        }
+    }
+    SolveItem {
+        line,
+        record,
+        inst,
+        canon,
+        policy,
+        fingerprint,
+        hit,
+        features: None,
+        budget,
+    }
+}
+
+/// The worker-side solve of one prepared item, under `token` (already
+/// armed with the record's budget, a child of the session token). The
+/// item's `features` must be filled by a detection pass first.
+pub(crate) fn solve_prepared(
+    item: &SolveItem,
+    registry: &SolverRegistry,
+    config: &ServeConfig,
+    solutions: &SolutionCache,
+    token: &CancelToken,
+) -> RecordResult {
+    let solver = item
+        .record
+        .solver
+        .as_deref()
+        .unwrap_or(&config.default_solver);
+    let features = item.features.clone().expect("filled by detection pass");
+    // the record token is the single deadline authority here: clear the
+    // option so the pipeline does not re-arm a second (later) deadline on
+    // top of it
+    let mut options = item.record.apply_overrides(config.base_options.clone());
+    options.deadline = None;
+    // a read-enabled exact solve that missed the cache may still
+    // warm-start from a cached near match (same jobs up to a small edit
+    // budget)
+    if let Some(fp) = &item.fingerprint {
+        if item.policy.read_enabled() && fp.solver.starts_with("exact") {
+            options.warm_start = solutions.warm_hint(&item.canon, WARM_EDIT_BUDGET);
+        }
+    }
+    let result = SolveRequest::new(&item.inst)
+        .options(options)
+        .solver(solver)
+        .features(features)
+        .cancel(token.clone())
+        .solve_with(registry);
+    // write-back happens worker-side, off the streaming path; the cache
+    // itself refuses cut or truncated reports and re-validates before
+    // storing
+    if let (Some(fp), Ok(report)) = (&item.fingerprint, &result) {
+        if item.policy.write_enabled() {
+            solutions.insert(&item.canon, fp, report);
+        }
+    }
+    // deadlines never un-expire, so sampling after the solve is exact; the
+    // session token carries no deadline of its own, so a shutdown drain
+    // does not masquerade as a budget expiry
+    let deadline_expired = token.remaining().is_some_and(|r| r.is_zero());
+    RecordResult {
+        result,
+        deadline_expired,
+    }
+}
+
+/// Settles an unparseable line in input order: the error line to stream,
+/// or the [`ServeError::FailFast`] abort under that policy.
+pub(crate) fn settle_bad(
+    line: usize,
+    message: &str,
+    policy: ErrorPolicy,
+    stats: &mut SessionStats,
+) -> Result<String, ServeError> {
+    if policy == ErrorPolicy::FailFast {
+        return Err(ServeError::FailFast {
+            line,
+            id: None,
+            message: message.to_string(),
+        });
+    }
+    stats.errors += 1;
+    Ok(error_line(line, None, message))
+}
+
+/// Settles a record answered from the solution cache before dispatch:
+/// streams the cached (re-validated, remapped) report. Not a solve, so it
+/// joins neither the deadline statistics nor the latency percentiles.
+pub(crate) fn settle_hit(
+    line: usize,
+    id: Option<&str>,
+    report: &busytime_core::SolveReport,
+    stats: &mut SessionStats,
+) -> String {
+    stats.solved += 1;
+    stats.total_cost += report.cost;
+    stats.total_lower_bound += report.lower_bound;
+    report_line(line, id, report)
+}
+
+/// Settles one completed solve in input order: counts it, classifies the
+/// deadline hit, and returns the response line to stream (or the
+/// [`ServeError::FailFast`] abort).
+///
+/// A record is a deadline hit only when its *budget* cut the solve: the
+/// dispatching clock caught the worker over budget, or the deadline chain
+/// had actually expired when a flagged report / `Infeasible` refusal came
+/// back. A report flagged because the *session* token was poisoned
+/// (shutdown drain) is a cut solve but not a deadline hit, and an instant,
+/// genuine refusal under a generous budget is an error, not a hit.
+pub(crate) fn settle_outcome(
+    line: usize,
+    id: Option<&str>,
+    outcome: &pool::DeadlineOutcome<RecordResult>,
+    policy: ErrorPolicy,
+    stats: &mut SessionStats,
+) -> Result<String, ServeError> {
+    let hit = outcome.over_deadline
+        || (outcome.result.deadline_expired
+            && match &outcome.result.result {
+                Ok(report) => report.deadline_hit,
+                Err(SolveError::Scheduler(SchedulerError::Infeasible { .. })) => true,
+                Err(_) => false,
+            });
+    if hit {
+        stats.deadline_hits += 1;
+    }
+    match &outcome.result.result {
+        Ok(report) => {
+            stats.solved += 1;
+            stats.total_cost += report.cost;
+            stats.total_lower_bound += report.lower_bound;
+            if !hit && !report.deadline_hit {
+                // p50/p99 describe unaffected records only: budget cuts
+                // land in deadline_hits, and a shutdown-drain cut (flagged
+                // but not a hit) must not skew the percentiles low either
+                stats.latencies.push(outcome.elapsed);
+            }
+            Ok(report_line(line, id, report))
+        }
+        Err(e) => {
+            if policy == ErrorPolicy::FailFast {
+                return Err(ServeError::FailFast {
+                    line,
+                    id: id.map(str::to_string),
+                    message: e.to_string(),
+                });
+            }
+            stats.errors += 1;
+            Ok(error_line(line, id, &e.to_string()))
+        }
+    }
 }
 
 /// What [`BatchSession::run`] got out of one attempt to read a line.
@@ -787,31 +1072,10 @@ impl<'a> BatchSession<'a> {
         let config = self.config;
         let started = Instant::now();
         let executor = self.executor.clone().unwrap_or_else(Executor::global);
-        // the session's effective width: its share of the process-wide
-        // executor budget, never more than the budget itself
-        let workers = if config.workers == 0 {
-            executor.workers()
-        } else {
-            config.workers.min(executor.workers())
-        };
-        let chunk_size = if config.chunk_size == 0 {
-            (workers * 32).clamp(64, 1024)
-        } else {
-            config.chunk_size
-        };
+        let workers = effective_width(config, &executor);
+        let chunk_size = effective_chunk_size(config, workers);
 
-        let mut latencies: Vec<Duration> = Vec::new();
-        let mut records = 0usize;
-        let mut solved = 0usize;
-        let mut errors = 0usize;
-        let mut total_cost = 0i64;
-        let mut total_lower_bound = 0i64;
-        let mut cache_hits = 0usize;
-        let mut cache_misses = 0usize;
-        let mut solution_cache_hits = 0usize;
-        let mut solution_cache_misses = 0usize;
-        let mut deadline_hits = 0usize;
-
+        let mut stats = SessionStats::default();
         let mut line_no = 0usize;
         let mut eof = false;
         // a partially-received line survives chunk dispatches here; the
@@ -862,70 +1126,22 @@ impl<'a> BatchSession<'a> {
                         }
                     }
                     Ok(Some(record)) => {
-                        records += 1;
-                        let inst = record.instance();
-                        let budget = record
-                            .deadline_ms
-                            .map(Duration::from_millis)
-                            .or(config.base_options.deadline);
-                        let canon = CanonicalInstance::of(&inst);
-                        let policy = record.cache.unwrap_or_default();
-                        // the solution cache only sees records it could
-                        // legitimately answer: caching enabled, and not a
-                        // record the pipeline would refuse on `max_jobs`
-                        // before solving
-                        let effective = record.apply_overrides(config.base_options.clone());
-                        let fingerprint = if !self.solutions.is_disabled()
-                            && policy != CachePolicy::Off
-                            && effective.max_jobs.is_none_or(|cap| inst.len() <= cap)
-                        {
-                            let named = record.solver.as_deref().unwrap_or(&config.default_solver);
-                            let solver = self
-                                .registry
-                                .get(named)
-                                .map(|e| e.key().to_string())
-                                .unwrap_or_else(|| named.to_string());
-                            Some(SolveFingerprint {
-                                solver,
-                                seed: effective.seed,
-                                decompose: effective.decompose,
-                            })
-                        } else {
-                            None
-                        };
-                        // consult the solution cache *before* dispatch: a
-                        // hit is answered at lookup speed and never costs a
-                        // worker (or a feature detection)
-                        let mut hit = None;
-                        if let Some(fp) = &fingerprint {
-                            if policy.read_enabled() {
-                                match self.solutions.lookup(&canon, fp) {
-                                    Some(report) => {
-                                        solution_cache_hits += 1;
-                                        hit = Some(report);
-                                    }
-                                    None => solution_cache_misses += 1,
-                                }
-                            }
-                        }
+                        stats.records += 1;
                         entries.push(Entry::Solve { item: items.len() });
-                        items.push(SolveItem {
-                            line: line_no,
+                        items.push(prepare_record(
                             record,
-                            canon,
-                            policy,
-                            fingerprint,
-                            hit,
-                            inst,
-                            features: None,
-                            budget,
-                        });
+                            line_no,
+                            self.registry,
+                            config,
+                            &self.solutions,
+                            &mut stats,
+                        ));
                         if eof {
                             break 'chunk;
                         }
                     }
                     Err(message) => {
-                        records += 1;
+                        stats.records += 1;
                         entries.push(Entry::Bad {
                             line: line_no,
                             message,
@@ -949,17 +1165,17 @@ impl<'a> BatchSession<'a> {
                     continue;
                 }
                 if let Some(features) = self.cache.lookup(&item.canon) {
-                    cache_hits += 1;
+                    stats.cache_hits += 1;
                     item.features = Some(features);
                 } else if fresh.iter().any(|(canon, _)| *canon == item.canon) {
-                    cache_hits += 1; // repeated within this chunk
+                    stats.cache_hits += 1; // repeated within this chunk
                 } else {
                     fresh.push((item.canon.clone(), item.inst.clone()));
                 }
             }
             let detected =
                 executor.par_map_with(workers, &fresh, |(_, inst)| InstanceFeatures::detect(inst));
-            cache_misses += fresh.len();
+            stats.cache_misses += fresh.len();
             for ((canon, _), features) in fresh.into_iter().zip(detected) {
                 self.cache.insert(canon, features);
             }
@@ -994,140 +1210,35 @@ impl<'a> BatchSession<'a> {
                 &self.cancel,
                 &dispatch,
                 |item| item.budget,
-                |item, token| {
-                    let solver = item
-                        .record
-                        .solver
-                        .as_deref()
-                        .unwrap_or(&config.default_solver);
-                    let features = item.features.clone().expect("filled by detection pass");
-                    // the pool token is the single deadline authority here:
-                    // clear the option so the pipeline does not re-arm a
-                    // second (later) deadline on top of it
-                    let mut options = item.record.apply_overrides(config.base_options.clone());
-                    options.deadline = None;
-                    // a read-enabled exact solve that missed the cache may
-                    // still warm-start from a cached near match (same jobs
-                    // up to a small edit budget)
-                    if let Some(fp) = &item.fingerprint {
-                        if item.policy.read_enabled() && fp.solver.starts_with("exact") {
-                            options.warm_start =
-                                self.solutions.warm_hint(&item.canon, WARM_EDIT_BUDGET);
-                        }
-                    }
-                    let result = SolveRequest::new(&item.inst)
-                        .options(options)
-                        .solver(solver)
-                        .features(features)
-                        .cancel(token.clone())
-                        .solve_with(self.registry);
-                    // write-back happens worker-side, off the streaming
-                    // path; the cache itself refuses cut or truncated
-                    // reports and re-validates before storing
-                    if let (Some(fp), Ok(report)) = (&item.fingerprint, &result) {
-                        if item.policy.write_enabled() {
-                            self.solutions.insert(&item.canon, fp, report);
-                        }
-                    }
-                    // deadlines never un-expire, so sampling after the
-                    // solve is exact; the session token carries no deadline
-                    // of its own, so a shutdown drain does not masquerade
-                    // as a budget expiry
-                    let deadline_expired = token.remaining().is_some_and(|r| r.is_zero());
-                    RecordResult {
-                        result,
-                        deadline_expired,
-                    }
-                },
+                |item, token| solve_prepared(item, self.registry, config, &self.solutions, token),
             );
 
-            // stream response lines in input order
+            // stream response lines in input order; the settle helpers do
+            // the shared accounting (counts, deadline classification,
+            // latency exclusions) for both serving paths
             for entry in &entries {
                 match entry {
                     Entry::Bad { line, message } => {
-                        if config.error_policy == ErrorPolicy::FailFast {
-                            return Err(ServeError::FailFast {
-                                line: *line,
-                                id: None,
-                                message: message.clone(),
-                            });
-                        }
-                        errors += 1;
-                        writeln!(out, "{}", error_line(*line, None, message))?;
+                        let answer = settle_bad(*line, message, config.error_policy, &mut stats)?;
+                        writeln!(out, "{answer}")?;
                     }
                     Entry::Solve { item } => {
                         let SolveItem {
                             line, record, hit, ..
                         } = &items[*item];
-                        if let Some(report) = hit {
-                            // answered from the solution cache before
-                            // dispatch: stream the cached (re-validated,
-                            // remapped) report. Not a solve, so it joins
-                            // neither the deadline statistics nor the
-                            // latency percentiles.
-                            solved += 1;
-                            total_cost += report.cost;
-                            total_lower_bound += report.lower_bound;
-                            writeln!(out, "{}", report_line(*line, record.id.as_deref(), report))?;
-                            continue;
-                        }
-                        let outcome = &results[result_of[*item]];
-                        // a record is a deadline hit only when its *budget*
-                        // cut the solve: the pool clock caught the worker
-                        // over budget, or the deadline chain had actually
-                        // expired when a flagged report / `Infeasible`
-                        // refusal came back. A report flagged because the
-                        // *session* token was poisoned (shutdown drain) is
-                        // a cut solve but not a deadline hit, and an
-                        // instant, genuine refusal under a generous budget
-                        // is an error, not a hit.
-                        let hit = outcome.over_deadline
-                            || (outcome.result.deadline_expired
-                                && match &outcome.result.result {
-                                    Ok(report) => report.deadline_hit,
-                                    Err(SolveError::Scheduler(SchedulerError::Infeasible {
-                                        ..
-                                    })) => true,
-                                    Err(_) => false,
-                                });
-                        if hit {
-                            deadline_hits += 1;
-                        }
-                        match &outcome.result.result {
-                            Ok(report) => {
-                                solved += 1;
-                                total_cost += report.cost;
-                                total_lower_bound += report.lower_bound;
-                                if !hit && !report.deadline_hit {
-                                    // p50/p99 describe unaffected records
-                                    // only: budget cuts land in
-                                    // deadline_hits, and a shutdown-drain
-                                    // cut (flagged but not a hit) must not
-                                    // skew the percentiles low either
-                                    latencies.push(outcome.elapsed);
-                                }
-                                writeln!(
-                                    out,
-                                    "{}",
-                                    report_line(*line, record.id.as_deref(), report)
-                                )?;
+                        let answer = match hit {
+                            Some(report) => {
+                                settle_hit(*line, record.id.as_deref(), report, &mut stats)
                             }
-                            Err(e) => {
-                                if config.error_policy == ErrorPolicy::FailFast {
-                                    return Err(ServeError::FailFast {
-                                        line: *line,
-                                        id: record.id.clone(),
-                                        message: e.to_string(),
-                                    });
-                                }
-                                errors += 1;
-                                writeln!(
-                                    out,
-                                    "{}",
-                                    error_line(*line, record.id.as_deref(), &e.to_string())
-                                )?;
-                            }
-                        }
+                            None => settle_outcome(
+                                *line,
+                                record.id.as_deref(),
+                                &results[result_of[*item]],
+                                config.error_policy,
+                                &mut stats,
+                            )?,
+                        };
+                        writeln!(out, "{answer}")?;
                     }
                 }
             }
@@ -1136,34 +1247,7 @@ impl<'a> BatchSession<'a> {
 
         pool::scratch::recycle_bytes(carry);
 
-        let wall = started.elapsed();
-        latencies.sort_unstable();
-        let per_second = |n: usize| {
-            if wall.as_secs_f64() > 0.0 {
-                n as f64 / wall.as_secs_f64()
-            } else {
-                0.0
-            }
-        };
-        Ok(BatchSummary {
-            records,
-            solved,
-            errors,
-            total_cost,
-            total_lower_bound,
-            aggregate_gap: BatchSummary::aggregate_gap(total_cost, total_lower_bound),
-            throughput: per_second(records),
-            solved_per_s: per_second(solved),
-            wall,
-            p50_solve: percentile(&latencies, 50.0),
-            p99_solve: percentile(&latencies, 99.0),
-            cache_hits,
-            cache_misses,
-            solution_cache_hits,
-            solution_cache_misses,
-            workers,
-            deadline_hits,
-        })
+        Ok(stats.summarize(started.elapsed(), workers))
     }
 }
 

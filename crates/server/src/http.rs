@@ -307,6 +307,17 @@ pub struct HealthSnapshot {
     pub active_connections: usize,
     /// Milliseconds since the backend started listening.
     pub uptime_ms: u64,
+    /// Sockets currently registered with the backend's I/O reactors
+    /// (includes connections still flushing a rejection). Additive (new
+    /// in the readiness-loop PR); `0` for older listeners.
+    pub open_connections: usize,
+    /// The backend's reactor thread count. Additive; `0` for older
+    /// listeners.
+    pub io_threads: usize,
+    /// Bytes buffered in per-connection outboxes waiting for slow
+    /// clients, summed across connections. Additive; `0` for older
+    /// listeners.
+    pub outbox_bytes: usize,
     /// The backend's `--shard-id`, when it was started with one.
     pub shard_id: Option<String>,
 }
@@ -340,6 +351,9 @@ pub fn parse_healthz(body: &str) -> Result<HealthSnapshot, JsonError> {
         queue_depth: count("queue_depth")?,
         active_connections: count("active_connections")?,
         uptime_ms: count("uptime_ms")? as u64,
+        open_connections: count("open_connections")?,
+        io_threads: count("io_threads")?,
+        outbox_bytes: count("outbox_bytes")?,
         shard_id,
     })
 }
@@ -426,6 +440,19 @@ mod tests {
         .unwrap();
         assert_eq!(new.uptime_ms, 1234);
         assert_eq!(new.shard_id.as_deref(), Some("shard-1"));
+        assert_eq!(new.open_connections, 0, "absent gauge defaults to 0");
+
+        // a readiness-loop listener body: reactor gauges present
+        let reactor = parse_healthz(
+            "{\"schema_version\": 1, \"status\": \"ok\", \"workers\": 2, \
+             \"busy_workers\": 0, \"queue_depth\": 0, \"active_connections\": 3, \
+             \"uptime_ms\": 10, \"open_connections\": 5, \"io_threads\": 2, \
+             \"outbox_bytes\": 4096, \"shard_id\": null}",
+        )
+        .unwrap();
+        assert_eq!(reactor.open_connections, 5);
+        assert_eq!(reactor.io_threads, 2);
+        assert_eq!(reactor.outbox_bytes, 4096);
 
         assert!(parse_healthz("{\"workers\": 1}").is_err(), "no status");
         assert!(parse_healthz("nope").is_err());

@@ -62,6 +62,7 @@
 pub mod engine;
 pub mod http;
 pub mod listener;
+mod machine;
 pub mod protocol;
 
 pub use engine::{

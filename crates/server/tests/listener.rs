@@ -691,3 +691,179 @@ fn unix_socket_round_trip_and_cleanup() {
         "socket path must be removed on clean shutdown"
     );
 }
+
+/// Kernel-reported thread count of this test process.
+#[cfg(target_os = "linux")]
+fn os_thread_count() -> usize {
+    std::fs::read_to_string("/proc/self/status")
+        .unwrap()
+        .lines()
+        .find_map(|line| line.strip_prefix("Threads:"))
+        .unwrap()
+        .trim()
+        .parse()
+        .unwrap()
+}
+
+/// A connect flood far past `--max-conns` answers every extra connection
+/// with a structured rejection without spawning a single thread: the
+/// rejections are prefilled outboxes flushed by the reactors themselves.
+#[cfg(target_os = "linux")]
+#[test]
+fn rejection_flood_spawns_no_threads() {
+    let config = ListenConfig {
+        max_conns: 4,
+        ..quiet_config()
+    };
+    let server = start(ListenMode::Tcp, config);
+
+    // fill the four slots (a served record proves each slot is active)
+    let mut holders: Vec<Client> = (0..4).map(|_| Client::connect(server.addr)).collect();
+    for (i, holder) in holders.iter_mut().enumerate() {
+        holder.send(&record(&format!("hold-{i}")));
+        assert_report_id(&holder.read_line(), &format!("hold-{i}"));
+    }
+
+    let before = os_thread_count();
+    let flood: Vec<Client> = (0..100).map(|_| Client::connect(server.addr)).collect();
+    // let the reactor accept and reject the whole flood, then sample the
+    // thread count while all 100 rejections are (or were) in flight
+    std::thread::sleep(Duration::from_millis(150));
+    let during = os_thread_count();
+    assert!(
+        during <= before + 2,
+        "rejections must not cost threads: {before} before the flood, {during} during \
+         (thread-per-rejection would add dozens)"
+    );
+
+    for mut refused in flood {
+        let line = refused.read_line();
+        assert!(line.contains("\"ok\": false"), "{line}");
+        assert!(line.contains("capacity"), "{line}");
+        assert!(refused.read_to_end().is_empty(), "error line then EOF");
+    }
+
+    for holder in &mut holders {
+        holder.finish();
+        let rest = holder.read_to_end();
+        assert!(rest[0].contains("\"records\": 1"), "{}", rest[0]);
+    }
+    let report = server.stop();
+    assert_eq!(report.connections, 4);
+    assert_eq!(report.rejected, 100);
+}
+
+/// Clamps a socket's kernel receive buffer (disabling autotuning, which
+/// on loopback balloons into the tens of megabytes and would absorb any
+/// realistic response volume before back-pressure could bite).
+#[cfg(target_os = "linux")]
+fn clamp_recv_buffer(stream: &std::net::TcpStream, bytes: i32) {
+    use std::os::fd::AsRawFd;
+    extern "C" {
+        fn setsockopt(
+            fd: i32,
+            level: i32,
+            name: i32,
+            value: *const std::ffi::c_void,
+            len: u32,
+        ) -> i32;
+    }
+    const SOL_SOCKET: i32 = 1;
+    const SO_RCVBUF: i32 = 8;
+    let rc = unsafe {
+        setsockopt(
+            stream.as_raw_fd(),
+            SOL_SOCKET,
+            SO_RCVBUF,
+            &bytes as *const i32 as *const std::ffi::c_void,
+            std::mem::size_of::<i32>() as u32,
+        )
+    };
+    assert_eq!(rc, 0, "setsockopt(SO_RCVBUF) failed");
+}
+
+/// A client that stops reading caps its per-connection outbox and gets
+/// its socket reads suspended — without wedging the executor or any
+/// other connection — and still receives every response, in order, once
+/// it resumes.
+#[cfg(target_os = "linux")]
+#[test]
+fn slow_reader_backpressure_suspends_reads_not_the_executor() {
+    let config = ListenConfig {
+        outbox_limit: 8 * 1024,
+        ..quiet_config()
+    };
+    let server = start(ListenMode::Tcp, config);
+
+    // pre-warm the shared solution cache with the one instance the flood
+    // uses, so the flood's responses come at lookup speed, not solve speed
+    let warm_record = r#"{"id": "warm", "generator": {"family": "uniform", "n": 2500, "g": 4, "seed": 7}, "solver": "first-fit"}"#;
+    let mut warm = Client::connect(server.addr);
+    warm.send(warm_record);
+    assert_report_id(&warm.read_line(), "warm");
+    warm.finish();
+    warm.read_to_end();
+
+    // tiny generator records with 2500-entry assignments: ~6 MB of
+    // responses against a clamped ~16 KiB receive buffer (every record
+    // is a solution-cache hit, so the responses pile up far faster than
+    // the stalled client drains them)
+    let mut slow = Client::connect(server.addr);
+    clamp_recv_buffer(&slow.stream, 16 * 1024);
+    for i in 0..720 {
+        slow.send(&format!(
+            r#"{{"id": "big-{i}", "generator": {{"family": "uniform", "n": 2500, "g": 4, "seed": 7}}, "solver": "first-fit"}}"#
+        ));
+    }
+    slow.finish();
+    // ...and deliberately read nothing yet
+
+    // the stalled connection must not block the executor: fresh
+    // connections keep getting solved end to end
+    for i in 0..3 {
+        let mut brisk = Client::connect(server.addr);
+        brisk.send(&record(&format!("brisk-{i}")));
+        assert_report_id(&brisk.read_line(), &format!("brisk-{i}"));
+        brisk.finish();
+        brisk.read_to_end();
+    }
+
+    // the healthz gauges see the parked bytes once the kernel buffers
+    // fill (solve speed varies wildly across build profiles, so poll)
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let snapshot = loop {
+        let mut probe = Client::connect(server.addr);
+        probe
+            .stream
+            .write_all(b"GET /healthz HTTP/1.1\r\n\r\n")
+            .unwrap();
+        let mut response = String::new();
+        probe.reader.read_to_string(&mut response).unwrap();
+        let body = response.split("\r\n\r\n").nth(1).unwrap_or("");
+        let snapshot = busytime_server::parse_healthz(body).unwrap();
+        if snapshot.outbox_bytes > 0 || Instant::now() >= deadline {
+            break snapshot;
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    };
+    assert!(
+        snapshot.outbox_bytes > 0,
+        "responses must be parked in the outbox while the client stalls: {snapshot:?}"
+    );
+    assert!(snapshot.io_threads > 0, "{snapshot:?}");
+    assert!(snapshot.open_connections > 0, "{snapshot:?}");
+
+    // resume reading: all 720 responses arrive, in input order, then the
+    // summary trailer — nothing was dropped under back-pressure
+    let lines = slow.read_to_end();
+    assert_eq!(lines.len(), 721, "720 responses + summary");
+    for (i, line) in lines[..720].iter().enumerate() {
+        assert_report_id(line, &format!("big-{i}"));
+    }
+    assert!(lines[720].contains("\"records\": 720"), "{}", lines[720]);
+
+    let report = server.stop();
+    assert_eq!(report.connections, 5);
+    assert_eq!(report.records, 724);
+    assert!(report.health_probes >= 1, "{report:?}");
+}

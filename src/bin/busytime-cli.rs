@@ -106,6 +106,12 @@ commands:
            serves POST /solve + GET /healthz; tcp `:0` picks a free port,
            printed as `listening on ...` on stderr)
            [--max-conns N] [--idle-timeout-ms MS] [--conn-idle-timeout-ms MS]
+           [--io-threads N]     readiness-loop reactor threads multiplexing
+           every connection (default 2; connections cost a poller slot,
+           not a thread)
+           [--outbox-limit B]   per-connection pending-write cap in bytes
+           (default 256 KiB); past it the listener stops reading that
+           connection until the client drains its responses
            [--workers N]        process-wide worker budget shared by every
            connection (also via BUSYTIME_WORKERS; default: all cores;
            0 is rejected — it would leave no worker at all)
@@ -405,6 +411,8 @@ fn cmd_listen(opts: &HashMap<String, String>) -> Result<(), String> {
     let mut config = ListenConfig {
         serve: serve_config(opts)?,
         max_conns: get_num(opts, "max-conns", 0usize)?,
+        io_threads: get_num(opts, "io-threads", 0usize)?,
+        outbox_limit: get_num(opts, "outbox-limit", 0usize)?,
         log: if opts.contains_key("quiet") {
             ConnLog::Quiet
         } else if opts.contains_key("summary-json") {

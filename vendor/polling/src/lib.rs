@@ -1,0 +1,547 @@
+//! Offline stand-in for a readiness-polling crate: a minimal,
+//! level-triggered epoll wrapper plus an [`eventfd`]-backed [`Waker`].
+//!
+//! The build environment has no network access, so instead of depending
+//! on `mio`/`polling` from crates.io this shim talks to the kernel
+//! directly through `extern "C"` declarations resolved by the libc that
+//! `std` already links (the same approach `busytime-server` uses for
+//! `signal(2)`). Only the subset the workspace needs is implemented:
+//!
+//! - [`Poller::add`] / [`Poller::modify`] / [`Poller::delete`] register
+//!   file descriptors with an interest in readability and/or
+//!   writability, keyed by a caller-chosen `usize`;
+//! - [`Poller::wait`] blocks (with an optional timeout) until at least
+//!   one registered descriptor is ready and reports [`Event`]s;
+//! - [`Waker::wake`] makes a concurrent [`Poller::wait`] return with an
+//!   event carrying the waker's key — the cross-thread "completion
+//!   posted, go look at your inbox" signal.
+//!
+//! Everything is **level-triggered**: a descriptor with unread input
+//! keeps reporting readable on every `wait`, so a loop that processes a
+//! bounded slice per tick never loses an edge. On non-Linux targets the
+//! same API exists but every constructor returns
+//! [`std::io::ErrorKind::Unsupported`] (a kqueue backend would slot in
+//! here; the workspace's CI and deployment targets are Linux).
+//!
+//! [`eventfd`]: https://man7.org/linux/man-pages/man2/eventfd.2.html
+
+#![forbid(unsafe_op_in_unsafe_fn)]
+#![warn(missing_docs)]
+
+use std::io;
+use std::time::Duration;
+
+/// A raw file descriptor, mirroring `std::os::fd::RawFd` without
+/// requiring a Unix target for the crate to compile.
+pub type RawFd = i32;
+
+/// One readiness notification out of [`Poller::wait`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// The key the descriptor was registered with.
+    pub key: usize,
+    /// The descriptor has input ready (or a pending accept).
+    pub readable: bool,
+    /// The descriptor can take more output without blocking.
+    pub writable: bool,
+    /// The peer closed or the descriptor errored; the owner should
+    /// drain what remains and close. Reported even when the interest
+    /// set did not ask for it (epoll always reports HUP/ERR).
+    pub hangup: bool,
+}
+
+/// The readiness interest a registration asks for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interest {
+    /// Report when the descriptor becomes readable.
+    pub readable: bool,
+    /// Report when the descriptor becomes writable.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Read interest only — the steady state of an idle connection.
+    pub const READ: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    /// Write interest only — a connection flushing a full outbox while
+    /// input is suspended for back-pressure.
+    pub const WRITE: Interest = Interest {
+        readable: false,
+        writable: true,
+    };
+    /// Both directions.
+    pub const BOTH: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+    /// Neither direction: the descriptor stays registered (HUP/ERR are
+    /// still reported) but quiescent — full back-pressure suspension.
+    pub const NONE: Interest = Interest {
+        readable: false,
+        writable: false,
+    };
+}
+
+#[cfg(target_os = "linux")]
+mod sys {
+    use super::{Event, Interest, RawFd};
+    use std::io;
+    use std::time::Duration;
+
+    // Constants from <sys/epoll.h> / <sys/eventfd.h>; stable kernel ABI.
+    const EPOLLIN: u32 = 0x1;
+    const EPOLLOUT: u32 = 0x4;
+    const EPOLLERR: u32 = 0x8;
+    const EPOLLHUP: u32 = 0x10;
+    const EPOLLRDHUP: u32 = 0x2000;
+    const EPOLL_CTL_ADD: i32 = 1;
+    const EPOLL_CTL_DEL: i32 = 2;
+    const EPOLL_CTL_MOD: i32 = 3;
+    const EPOLL_CLOEXEC: i32 = 0x80000;
+    const EFD_CLOEXEC: i32 = 0x80000;
+    const EFD_NONBLOCK: i32 = 0x800;
+
+    // x86-64 is the one architecture where the kernel's epoll_event is
+    // packed; everywhere else it is naturally aligned.
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        fn eventfd(initval: u32, flags: i32) -> i32;
+        fn close(fd: i32) -> i32;
+        fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+        fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+    }
+
+    fn cvt(ret: i32) -> io::Result<i32> {
+        if ret < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(ret)
+        }
+    }
+
+    // EPOLLRDHUP rides along with read interest only: it is level-
+    // triggered like everything else, so keeping it armed on a
+    // suspended or write-only registration would busy-spin the poller
+    // for as long as a half-closed peer stays connected. A reader
+    // learns about the half-close from `read() == 0` the same instant
+    // it would from RDHUP; EPOLLHUP/EPOLLERR (full hangup) are
+    // unmaskable and still reported on every registration.
+    fn mask(interest: Interest) -> u32 {
+        let mut events = 0;
+        if interest.readable {
+            events |= EPOLLIN | EPOLLRDHUP;
+        }
+        if interest.writable {
+            events |= EPOLLOUT;
+        }
+        events
+    }
+
+    pub struct Poller {
+        epfd: i32,
+    }
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            let epfd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+            Ok(Poller { epfd })
+        }
+
+        pub fn add(&self, fd: RawFd, key: usize, interest: Interest) -> io::Result<()> {
+            let mut event = EpollEvent {
+                events: mask(interest),
+                data: key as u64,
+            };
+            cvt(unsafe { epoll_ctl(self.epfd, EPOLL_CTL_ADD, fd, &mut event) }).map(drop)
+        }
+
+        pub fn modify(&self, fd: RawFd, key: usize, interest: Interest) -> io::Result<()> {
+            let mut event = EpollEvent {
+                events: mask(interest),
+                data: key as u64,
+            };
+            cvt(unsafe { epoll_ctl(self.epfd, EPOLL_CTL_MOD, fd, &mut event) }).map(drop)
+        }
+
+        pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+            // The event argument is ignored for DEL on any kernel this
+            // century, but must be non-null on pre-2.6.9 ABIs; pass one.
+            let mut event = EpollEvent { events: 0, data: 0 };
+            cvt(unsafe { epoll_ctl(self.epfd, EPOLL_CTL_DEL, fd, &mut event) }).map(drop)
+        }
+
+        pub fn wait(
+            &self,
+            events: &mut Vec<Event>,
+            timeout: Option<Duration>,
+        ) -> io::Result<usize> {
+            const CAPACITY: usize = 64;
+            let mut raw = [EpollEvent { events: 0, data: 0 }; CAPACITY];
+            let timeout_ms: i32 = match timeout {
+                // round up so a 1ns timeout does not spin as 0ms
+                Some(t) => t
+                    .as_millis()
+                    .saturating_add(u128::from(t.subsec_nanos() % 1_000_000 != 0))
+                    .min(i32::MAX as u128) as i32,
+                None => -1,
+            };
+            let n = loop {
+                match cvt(unsafe {
+                    epoll_wait(self.epfd, raw.as_mut_ptr(), CAPACITY as i32, timeout_ms)
+                }) {
+                    Ok(n) => break n as usize,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {
+                        // retry with a zero timeout so EINTR cannot
+                        // stretch the caller's deadline unboundedly
+                        if timeout_ms >= 0 {
+                            break 0;
+                        }
+                    }
+                    Err(e) => return Err(e),
+                }
+            };
+            for ev in &raw[..n] {
+                let bits = ev.events;
+                events.push(Event {
+                    key: ev.data as usize,
+                    readable: bits & (EPOLLIN | EPOLLRDHUP) != 0,
+                    writable: bits & EPOLLOUT != 0,
+                    hangup: bits & (EPOLLHUP | EPOLLERR | EPOLLRDHUP) != 0,
+                });
+            }
+            Ok(n)
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            unsafe {
+                close(self.epfd);
+            }
+        }
+    }
+
+    pub struct Waker {
+        fd: i32,
+    }
+
+    impl Waker {
+        pub fn new(poller: &Poller, key: usize) -> io::Result<Waker> {
+            let fd = cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })?;
+            if let Err(e) = poller.add(fd, key, Interest::READ) {
+                unsafe {
+                    close(fd);
+                }
+                return Err(e);
+            }
+            Ok(Waker { fd })
+        }
+
+        pub fn wake(&self) -> io::Result<()> {
+            let one: u64 = 1;
+            let ret = unsafe { write(self.fd, (&one as *const u64).cast(), 8) };
+            if ret == 8 {
+                return Ok(());
+            }
+            let err = io::Error::last_os_error();
+            // EAGAIN: the counter is saturated — the poller is already
+            // as woken as it can get, which is what wake() promises.
+            if err.kind() == io::ErrorKind::WouldBlock {
+                Ok(())
+            } else {
+                Err(err)
+            }
+        }
+
+        pub fn drain(&self) {
+            let mut scratch = [0u8; 8];
+            unsafe {
+                // nonblocking: one read empties an eventfd counter
+                let _ = read(self.fd, scratch.as_mut_ptr(), 8);
+            }
+        }
+    }
+
+    impl Drop for Waker {
+        fn drop(&mut self) {
+            unsafe {
+                close(self.fd);
+            }
+        }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod sys {
+    use super::{Event, Interest, RawFd};
+    use std::io;
+    use std::time::Duration;
+
+    fn unsupported() -> io::Error {
+        io::Error::new(
+            io::ErrorKind::Unsupported,
+            "polling shim: only the epoll backend is implemented (Linux)",
+        )
+    }
+
+    pub struct Poller {}
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            Err(unsupported())
+        }
+        pub fn add(&self, _fd: RawFd, _key: usize, _interest: Interest) -> io::Result<()> {
+            Err(unsupported())
+        }
+        pub fn modify(&self, _fd: RawFd, _key: usize, _interest: Interest) -> io::Result<()> {
+            Err(unsupported())
+        }
+        pub fn delete(&self, _fd: RawFd) -> io::Result<()> {
+            Err(unsupported())
+        }
+        pub fn wait(
+            &self,
+            _events: &mut Vec<Event>,
+            _timeout: Option<Duration>,
+        ) -> io::Result<usize> {
+            Err(unsupported())
+        }
+    }
+
+    pub struct Waker {}
+
+    impl Waker {
+        pub fn new(_poller: &Poller, _key: usize) -> io::Result<Waker> {
+            Err(unsupported())
+        }
+        pub fn wake(&self) -> io::Result<()> {
+            Err(unsupported())
+        }
+        pub fn drain(&self) {}
+    }
+}
+
+/// A readiness queue over registered file descriptors (epoll on Linux).
+///
+/// Registrations are level-triggered and keyed by a caller-chosen
+/// `usize`; the poller never owns the descriptors it watches — callers
+/// must [`delete`](Poller::delete) before closing them.
+pub struct Poller {
+    inner: sys::Poller,
+}
+
+impl Poller {
+    /// Creates an empty poller.
+    pub fn new() -> io::Result<Poller> {
+        Ok(Poller {
+            inner: sys::Poller::new()?,
+        })
+    }
+
+    /// Registers `fd` under `key` with the given interest. The caller
+    /// keeps ownership of the descriptor and must keep it open (and
+    /// ideally nonblocking) while registered.
+    pub fn add(&self, fd: RawFd, key: usize, interest: Interest) -> io::Result<()> {
+        self.inner.add(fd, key, interest)
+    }
+
+    /// Replaces the interest set (and key) of an already-registered
+    /// descriptor — the back-pressure lever: dropping read interest
+    /// stops readable wakeups without losing buffered input
+    /// (level-triggered: restoring it reports again immediately).
+    pub fn modify(&self, fd: RawFd, key: usize, interest: Interest) -> io::Result<()> {
+        self.inner.modify(fd, key, interest)
+    }
+
+    /// Unregisters a descriptor. Must happen before the descriptor is
+    /// closed; a closed fd is silently dropped from epoll but its
+    /// number may be reused and alias a later registration.
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        self.inner.delete(fd)
+    }
+
+    /// Blocks until at least one registered descriptor is ready, the
+    /// timeout lapses, or a [`Waker`] fires; appends the ready set to
+    /// `events` and returns how many were appended (0 on timeout).
+    /// `None` blocks indefinitely.
+    pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
+        self.inner.wait(events, timeout)
+    }
+}
+
+/// A cross-thread wakeup for one [`Poller`], backed by an `eventfd`.
+///
+/// Cheap to fire from any thread (one 8-byte write, no locks); the
+/// owning poll loop sees an [`Event`] with the waker's key and calls
+/// [`drain`](Waker::drain) before going back to sleep — wakes coalesce,
+/// so N rapid `wake()`s cost one loop iteration.
+pub struct Waker {
+    inner: sys::Waker,
+}
+
+impl Waker {
+    /// Creates a waker registered on `poller` under `key`.
+    pub fn new(poller: &Poller, key: usize) -> io::Result<Waker> {
+        Ok(Waker {
+            inner: sys::Waker::new(&poller.inner, key)?,
+        })
+    }
+
+    /// Makes a concurrent or future [`Poller::wait`] return with this
+    /// waker's key. Coalesces; never blocks.
+    pub fn wake(&self) -> io::Result<()> {
+        self.inner.wake()
+    }
+
+    /// Resets the wakeup so the poller can sleep again. Call from the
+    /// poll loop when the waker's key is reported.
+    pub fn drain(&self) {
+        self.inner.drain()
+    }
+}
+
+#[cfg(all(test, target_os = "linux"))]
+mod tests {
+    use super::*;
+    use std::io::{Read as _, Write as _};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+
+    #[test]
+    fn readiness_tracks_pending_input_level_triggered() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        let poller = Poller::new().unwrap();
+        poller.add(server.as_raw_fd(), 7, Interest::READ).unwrap();
+
+        let mut events = Vec::new();
+        // nothing pending yet: a short wait times out
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert_eq!(n, 0, "no event before any input");
+
+        client.write_all(b"ping").unwrap();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].key, 7);
+        assert!(events[0].readable);
+
+        // level-triggered: unread input reports again on the next wait
+        events.clear();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.key == 7 && e.readable));
+
+        // consuming the input silences the readiness
+        let mut server = server;
+        let mut buf = [0u8; 16];
+        let got = server.read(&mut buf).unwrap();
+        assert_eq!(&buf[..got], b"ping");
+        events.clear();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert_eq!(n, 0, "readiness cleared once input is consumed");
+    }
+
+    #[test]
+    fn modify_suspends_and_restores_read_interest() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+
+        let poller = Poller::new().unwrap();
+        let fd = server.as_raw_fd();
+        poller.add(fd, 1, Interest::READ).unwrap();
+        client.write_all(b"x").unwrap();
+
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.key == 1 && e.readable));
+
+        // suspend: pending input no longer wakes the poller
+        poller.modify(fd, 1, Interest::NONE).unwrap();
+        events.clear();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(20)))
+            .unwrap();
+        assert_eq!(n, 0, "suspended interest reports nothing");
+
+        // restore: the same unread input reports again (level-triggered)
+        poller.modify(fd, 1, Interest::READ).unwrap();
+        events.clear();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.key == 1 && e.readable));
+    }
+
+    #[test]
+    fn hangup_is_reported_when_the_peer_closes() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+
+        let poller = Poller::new().unwrap();
+        poller.add(server.as_raw_fd(), 3, Interest::READ).unwrap();
+        drop(client);
+
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.key == 3 && e.hangup));
+    }
+
+    #[test]
+    fn waker_crosses_threads_and_coalesces() {
+        let poller = std::sync::Arc::new(Poller::new().unwrap());
+        let waker = std::sync::Arc::new(Waker::new(&poller, 0).unwrap());
+
+        let from_thread = std::sync::Arc::clone(&waker);
+        let handle = std::thread::spawn(move || {
+            for _ in 0..100 {
+                from_thread.wake().unwrap();
+            }
+        });
+
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.key == 0 && e.readable));
+        handle.join().unwrap();
+
+        // drain resets it: the next wait times out
+        waker.drain();
+        events.clear();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert_eq!(n, 0, "drained waker stays quiet");
+    }
+}
