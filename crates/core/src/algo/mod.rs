@@ -175,24 +175,64 @@ impl<S: Scheduler> Decomposed<S> {
     }
 }
 
-impl<S: Scheduler> Scheduler for Decomposed<S> {
+impl<S: Scheduler + Sync> Scheduler for Decomposed<S> {
     fn name(&self) -> Cow<'static, str> {
         Cow::Owned(format!("Decomposed({})", self.inner.name()))
     }
 
+    /// Every component runs under its **own child** of `cancel`: a cut
+    /// parent (deadline, session teardown) reaches every component at its
+    /// next cooperative check, while a component poisoning its own token
+    /// (a budget race loser inside the inner solver) never cuts its
+    /// siblings. When an intra-parallelism context is live
+    /// ([`crate::pool::intra`]) and the instance has at least two
+    /// components, the components are solved concurrently on the context's
+    /// executor — dispatched largest-first so the fork's critical path is
+    /// one big component, with results merged (and the first error
+    /// surfaced) in original component order, so the outcome is identical
+    /// to the sequential pass.
     fn schedule_with(
         &self,
         inst: &Instance,
         cancel: &CancelToken,
     ) -> Result<Schedule, SchedulerError> {
+        let comps = inst.components();
+        let intra = if comps.len() >= 2 {
+            crate::pool::intra::active()
+        } else {
+            None
+        };
+        let scheds: Vec<Schedule> = match intra {
+            Some((exec, width)) => {
+                // children minted before dispatch, in component order, so
+                // cancel semantics do not depend on scheduling
+                let tokens: Vec<CancelToken> = comps.iter().map(|_| cancel.child()).collect();
+                let mut order: Vec<usize> = (0..comps.len()).collect();
+                order.sort_by_key(|&i| std::cmp::Reverse(comps[i].0.len()));
+                let mut slots: Vec<Option<Result<Schedule, SchedulerError>>> =
+                    comps.iter().map(|_| None).collect();
+                let ran = exec.par_map_with(width, &order, |&i| {
+                    (i, self.inner.schedule_with(&comps[i].0, &tokens[i]))
+                });
+                for (i, result) in ran {
+                    slots[i] = Some(result);
+                }
+                slots
+                    .into_iter()
+                    .map(|slot| slot.expect("every component dispatched"))
+                    .collect::<Result<Vec<_>, _>>()?
+            }
+            None => {
+                let mut scheds = Vec::with_capacity(comps.len());
+                for (sub, _) in &comps {
+                    scheds.push(self.inner.schedule_with(sub, &cancel.child())?);
+                }
+                scheds
+            }
+        };
         let mut raw = vec![0usize; inst.len()];
         let mut offset = 0usize;
-        for (sub, ids) in inst.components() {
-            // the token threads straight through: a cut component returns
-            // its incumbent (or refuses) and the remaining components see
-            // the same expired token, so the whole decomposition stays
-            // within one cooperative check of the deadline
-            let sched = self.inner.schedule_with(&sub, cancel)?;
+        for ((_, ids), sched) in comps.iter().zip(&scheds) {
             for (local, &orig) in ids.iter().enumerate() {
                 raw[orig] = offset + sched.machine_of(local);
             }
@@ -223,6 +263,113 @@ mod tests {
         // jobs 0,2 form one component; 1,3 the other
         assert_ne!(sched.machine_of(0), sched.machine_of(1));
         assert_eq!(sched.machine_of(0), sched.machine_of(2));
+    }
+
+    /// Records each per-component token's state at entry; optionally
+    /// poisons that token to simulate a component giving up on itself.
+    struct TokenProbe {
+        seen: std::sync::Mutex<Vec<bool>>,
+        poison_own: bool,
+    }
+
+    impl TokenProbe {
+        fn new(poison_own: bool) -> Self {
+            TokenProbe {
+                seen: std::sync::Mutex::new(Vec::new()),
+                poison_own,
+            }
+        }
+    }
+
+    impl Scheduler for TokenProbe {
+        fn name(&self) -> Cow<'static, str> {
+            Cow::Borrowed("TokenProbe")
+        }
+        fn schedule_with(
+            &self,
+            inst: &Instance,
+            cancel: &CancelToken,
+        ) -> Result<Schedule, SchedulerError> {
+            self.seen.lock().unwrap().push(cancel.is_cancelled());
+            if self.poison_own {
+                cancel.cancel();
+            }
+            FirstFit::paper().schedule_with(inst, &CancelToken::never())
+        }
+    }
+
+    fn three_components() -> Instance {
+        Instance::from_pairs([(0, 2), (100, 102), (200, 202)], 2)
+    }
+
+    #[test]
+    fn decomposed_children_observe_a_cancelled_parent() {
+        for parallel in [false, true] {
+            let executor = crate::pool::Executor::new(2);
+            let _ctx = parallel.then(|| crate::pool::intra::enter(&executor, 2));
+            let parent = CancelToken::never();
+            parent.cancel();
+            let probe = TokenProbe::new(false);
+            let _ = Decomposed::new(&probe).schedule_with(&three_components(), &parent);
+            let seen = probe.seen.lock().unwrap();
+            assert_eq!(seen.len(), 3, "parallel={parallel}");
+            assert!(
+                seen.iter().all(|&cancelled| cancelled),
+                "parallel={parallel}: a cut parent must reach every component"
+            );
+        }
+    }
+
+    #[test]
+    fn decomposed_component_poison_spares_parent_and_siblings() {
+        for parallel in [false, true] {
+            let executor = crate::pool::Executor::new(2);
+            let _ctx = parallel.then(|| crate::pool::intra::enter(&executor, 2));
+            let inst = three_components();
+            let parent = CancelToken::never();
+            let probe = TokenProbe::new(true); // every component poisons its own token
+            let sched = Decomposed::new(&probe)
+                .schedule_with(&inst, &parent)
+                .unwrap();
+            sched.validate(&inst).unwrap();
+            assert!(
+                !parent.is_cancelled(),
+                "parallel={parallel}: a component's own cancel must not poison the parent"
+            );
+            let seen = probe.seen.lock().unwrap();
+            assert_eq!(seen.len(), 3, "parallel={parallel}");
+            assert!(
+                seen.iter().all(|&cancelled| !cancelled),
+                "parallel={parallel}: siblings must each get a fresh child token"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_decomposition_matches_sequential_assignment() {
+        // pseudorandom many-component instance: the parallel path must
+        // merge to exactly the sequential assignment
+        let mut state = 0x1234_5678u64;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z ^ (z >> 31)
+        };
+        let mut pairs = Vec::new();
+        for comp in 0..40i64 {
+            let base = comp * 1000;
+            for _ in 0..(1 + next() % 6) {
+                let s = base + (next() % 20) as i64;
+                pairs.push((s, s + 1 + (next() % 10) as i64));
+            }
+        }
+        let inst = Instance::from_pairs(pairs, 2);
+        let sequential = Decomposed::new(FirstFit::paper()).schedule(&inst).unwrap();
+        let executor = crate::pool::Executor::new(4);
+        let _ctx = crate::pool::intra::enter(&executor, 4);
+        let parallel = Decomposed::new(FirstFit::paper()).schedule(&inst).unwrap();
+        assert_eq!(sequential.assignment(), parallel.assignment());
     }
 
     #[test]

@@ -128,11 +128,18 @@ impl Eq for CanonicalInstance {}
 impl CanonicalInstance {
     /// Normalizes `inst`: a stable sort of job ids by `(start, end)`.
     pub fn of(inst: &Instance) -> Self {
-        let mut perm: Vec<usize> = (0..inst.len()).collect();
-        perm.sort_by_key(|&i| {
-            let iv = inst.job(i);
-            (iv.start, iv.end)
-        });
+        // (start, end, original id) triples with distinct ascending ids:
+        // an unstable sort of the triples reproduces the stable order
+        // exactly, as a plain `Ord + Copy` sort the intra context's
+        // parallel sort can serve on large instances
+        let mut keyed: Vec<(i64, i64, usize)> = inst
+            .jobs()
+            .iter()
+            .enumerate()
+            .map(|(i, iv)| (iv.start, iv.end, i))
+            .collect();
+        crate::pool::intra::sort_unstable(&mut keyed);
+        let perm: Vec<usize> = keyed.iter().map(|&(_, _, i)| i).collect();
         let jobs: Vec<Interval> = perm.iter().map(|&i| inst.job(i)).collect();
         let hash = hash_content(&jobs, inst.g());
         CanonicalInstance {
@@ -206,7 +213,7 @@ pub fn canonical_hash(inst: &Instance) -> u64 {
         let pairs = &mut arena.pairs;
         pairs.clear();
         pairs.extend(inst.jobs().iter().map(|iv| (iv.start, iv.end)));
-        pairs.sort_unstable();
+        crate::pool::intra::sort_unstable(pairs);
         let mut h = Fnv::new();
         h.write_u64(pairs.len() as u64);
         h.write_u64(u64::from(inst.g()));

@@ -74,7 +74,53 @@ enum SolverChoice {
     /// Look up this key in the registry at solve time.
     Named(String),
     /// Use this caller-supplied scheduler directly.
-    Custom(Box<dyn Scheduler>),
+    Custom(Box<dyn Scheduler + Send + Sync>),
+}
+
+/// When a solve forks one instance's work across the global executor
+/// (parallel component decomposition, parallel sort/bound kernels).
+///
+/// Whatever the policy, results are identical: the fork–join layer is
+/// deterministic (see [`crate::pool`]'s fork–join contract), so the policy
+/// trades wall-clock time only. The pipeline records the resolved width in
+/// the schedule phase's detail when a fork was active.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ParallelPolicy {
+    /// Fork iff the instance has at least
+    /// [`crate::pool::intra::JOB_THRESHOLD`] jobs *and* the global
+    /// executor has at least two idle workers — so single large solves
+    /// accelerate while solves already running inside a saturated batch
+    /// (whose workers are busy by definition) stay sequential and do not
+    /// thrash the budget.
+    #[default]
+    Auto,
+    /// Always enter the intra-parallelism context at the executor's full
+    /// width (still inert on a single-worker executor, and nested
+    /// submissions from pool workers always degrade to inline execution).
+    On,
+    /// Never fork; every kernel runs sequentially.
+    Off,
+}
+
+impl ParallelPolicy {
+    /// Parses the wire/CLI spelling (`auto` | `on` | `off`).
+    pub fn parse(raw: &str) -> Option<ParallelPolicy> {
+        match raw {
+            "auto" => Some(ParallelPolicy::Auto),
+            "on" => Some(ParallelPolicy::On),
+            "off" => Some(ParallelPolicy::Off),
+            _ => None,
+        }
+    }
+
+    /// The canonical spelling accepted by [`ParallelPolicy::parse`].
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ParallelPolicy::Auto => "auto",
+            ParallelPolicy::On => "on",
+            ParallelPolicy::Off => "off",
+        }
+    }
 }
 
 /// Options shared by every solver factory and the pipeline driver.
@@ -108,6 +154,12 @@ pub struct SolveOptions {
     /// pipeline from an attached [`SolutionCache`] rather than set by
     /// hand.
     pub warm_start: Option<WarmStart>,
+    /// Intra-instance parallelism policy (default
+    /// [`ParallelPolicy::Auto`]). Deliberately excluded from the
+    /// solution-cache fingerprint: the fork–join layer is deterministic,
+    /// so parallel and sequential solves of one instance are
+    /// interchangeable cache entries.
+    pub parallel: ParallelPolicy,
 }
 
 impl Default for SolveOptions {
@@ -120,6 +172,7 @@ impl Default for SolveOptions {
             time_budget: None,
             deadline: None,
             warm_start: None,
+            parallel: ParallelPolicy::Auto,
         }
     }
 }
@@ -494,9 +547,19 @@ impl<'a> SolveRequest<'a> {
     }
 
     /// Uses a caller-supplied scheduler instead of a registry lookup (the
-    /// low-level [`Scheduler`] extension point).
-    pub fn scheduler(mut self, scheduler: Box<dyn Scheduler>) -> Self {
+    /// low-level [`Scheduler`] extension point). `Send + Sync` because the
+    /// pipeline may share the scheduler across executor workers when
+    /// solving components in parallel; schedulers are stateless values, so
+    /// the bound is free in practice.
+    pub fn scheduler(mut self, scheduler: Box<dyn Scheduler + Send + Sync>) -> Self {
         self.choice = SolverChoice::Custom(scheduler);
+        self
+    }
+
+    /// Sets the intra-instance parallelism policy (default
+    /// [`ParallelPolicy::Auto`]).
+    pub fn parallel(mut self, policy: ParallelPolicy) -> Self {
+        self.options.parallel = policy;
         self
     }
 
@@ -664,6 +727,24 @@ impl<'a> SolveRequest<'a> {
             }
         }
 
+        // intra-instance parallelism: resolve the policy to a fork width
+        // and hold the context open for the whole pipeline, so canonical
+        // hashing, feature detection, scheduling and bounds all fork. Off
+        // never touches the global executor (it may not exist yet).
+        let intra_width = match options.parallel {
+            ParallelPolicy::Off => 1,
+            ParallelPolicy::On => crate::pool::Executor::global().workers(),
+            ParallelPolicy::Auto => {
+                if inst.len() >= crate::pool::intra::JOB_THRESHOLD {
+                    crate::pool::Executor::global().idle_workers()
+                } else {
+                    1
+                }
+            }
+        };
+        let _intra = (intra_width >= 2)
+            .then(|| crate::pool::intra::enter(&crate::pool::Executor::global(), intra_width));
+
         // solution-cache consult: an exact hit short-circuits the whole
         // pipeline; on a miss, a near match may still warm-start an exact
         // solver's incumbent
@@ -735,7 +816,7 @@ impl<'a> SolveRequest<'a> {
 
         // build
         let t = Instant::now();
-        let (requested, base): (String, Box<dyn Scheduler>) = match choice {
+        let (requested, base): (String, Box<dyn Scheduler + Send + Sync>) = match choice {
             SolverChoice::Named(key) => {
                 let solver = registry.build(&key, &options)?;
                 (key, solver)
@@ -746,7 +827,7 @@ impl<'a> SolveRequest<'a> {
             registry.get(&requested).is_some_and(|e| e.key() == "auto") || base.name() == "Auto";
         let auto_choice = is_auto.then(|| Auto::new().decide(&features));
         let solver_name = owned_name(&*base);
-        let solver: Box<dyn Scheduler> = if options.decompose {
+        let solver: Box<dyn Scheduler + Send + Sync> = if options.decompose {
             Box::new(Decomposed::new(base))
         } else {
             base
@@ -777,7 +858,14 @@ impl<'a> SolveRequest<'a> {
         phases.push(PhaseStat {
             name: "schedule",
             duration: t.elapsed(),
-            detail: format!("{} machines", schedule.machine_count()),
+            detail: if intra_width >= 2 {
+                format!(
+                    "{} machines (parallel width {intra_width})",
+                    schedule.machine_count()
+                )
+            } else {
+                format!("{} machines", schedule.machine_count())
+            },
         });
         if cut_phase.is_none() && token.is_cancelled() {
             cut_phase = Some("schedule");

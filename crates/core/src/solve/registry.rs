@@ -16,8 +16,12 @@ use crate::algo::{
 };
 use crate::solve::{Auto, SolveOptions};
 
-/// Builds a configured scheduler from request options.
-pub type SolverFactory = Box<dyn Fn(&SolveOptions) -> Box<dyn Scheduler> + Send + Sync>;
+/// Builds a configured scheduler from request options. The built scheduler
+/// is `Send + Sync` so the solve pipeline may share it across the
+/// executor's workers (parallel component decomposition); every registered
+/// solver is a stateless value, so the bound costs implementors nothing.
+pub type SolverFactory =
+    Box<dyn Fn(&SolveOptions) -> Box<dyn Scheduler + Send + Sync> + Send + Sync>;
 
 /// One registered solver: key, human description, guarantee note and
 /// factory.
@@ -45,7 +49,7 @@ impl SolverEntry {
     }
 
     /// Instantiates the solver for the given options.
-    pub fn build(&self, options: &SolveOptions) -> Box<dyn Scheduler> {
+    pub fn build(&self, options: &SolveOptions) -> Box<dyn Scheduler + Send + Sync> {
         (self.factory)(options)
     }
 }
@@ -208,7 +212,7 @@ impl SolverRegistry {
         &self,
         key: &str,
         options: &SolveOptions,
-    ) -> Result<Box<dyn Scheduler>, super::SolveError> {
+    ) -> Result<Box<dyn Scheduler + Send + Sync>, super::SolveError> {
         match self.get(key) {
             Some(entry) => Ok(entry.build(options)),
             None => Err(super::SolveError::UnknownSolver {

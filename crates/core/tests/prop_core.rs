@@ -269,3 +269,83 @@ proptest! {
         prop_assert_ne!(canonical_hash(&inst), canonical_hash(&regeared));
     }
 }
+
+/// Renders a report with its wall-clock-only fields (phase timings, total)
+/// cleared: everything left is required to be deterministic, so parallel
+/// and sequential solves must agree on it byte for byte.
+fn timeless_json(mut report: busytime_core::SolveReport) -> String {
+    report.phases.clear();
+    report.total = std::time::Duration::ZERO;
+    report.to_json_line()
+}
+
+proptest! {
+    /// The fork–join contract, end to end: one instance solved with the
+    /// kernels forced sequential and solved inside fork–join contexts of
+    /// widths 1, 2 and 4 renders byte-identical `SolveReport` JSON (modulo
+    /// the cleared wall-clock fields) — parallelism trades time only,
+    /// never the answer.
+    #[test]
+    fn parallel_and_sequential_reports_are_byte_identical(
+        inst in arb_instance(40),
+        seed in 0u64..100,
+    ) {
+        use busytime_core::pool::{intra, Executor};
+        use busytime_core::solve::ParallelPolicy;
+        use busytime_core::SolveRequest;
+
+        // `Off` keeps the pipeline from entering its own context; the
+        // test pins the width by entering one around the solve
+        let sequential = timeless_json(
+            SolveRequest::new(&inst)
+                .seed(seed)
+                .parallel(ParallelPolicy::Off)
+                .solve()
+                .unwrap(),
+        );
+        for width in [1usize, 2, 4] {
+            let exec = Executor::new(width);
+            let _ctx = intra::enter(&exec, width);
+            let forked = timeless_json(
+                SolveRequest::new(&inst)
+                    .seed(seed)
+                    .parallel(ParallelPolicy::Off)
+                    .solve()
+                    .unwrap(),
+            );
+            prop_assert_eq!(&forked, &sequential, "width {} diverged", width);
+        }
+    }
+
+    /// An already-expired deadline cuts the solve at its first cooperative
+    /// checkpoint — under fork–join exactly as it does sequentially: the
+    /// incumbent is feasible, flagged `deadline_hit`, and byte-identical
+    /// to the sequential cut (chunk cancellation never corrupts or
+    /// reorders the merged result).
+    #[test]
+    fn zero_deadline_cut_is_stable_under_fork_join(inst in arb_instance(40)) {
+        use busytime_core::pool::{intra, Executor};
+        use busytime_core::solve::ParallelPolicy;
+        use busytime_core::SolveRequest;
+
+        let cut = || {
+            SolveRequest::new(&inst)
+                .deadline(std::time::Duration::ZERO)
+                .parallel(ParallelPolicy::Off)
+                .solve()
+                .unwrap()
+        };
+        let sequential = cut();
+        prop_assert!(sequential.deadline_hit);
+        prop_assert_eq!(sequential.schedule.validate(&inst), Ok(()));
+        let sequential = timeless_json(sequential);
+        for width in [2usize, 4] {
+            let exec = Executor::new(width);
+            let _ctx = intra::enter(&exec, width);
+            let forked = cut();
+            prop_assert!(forked.deadline_hit);
+            prop_assert_eq!(forked.schedule.validate(&inst), Ok(()));
+            prop_assert_eq!(timeless_json(forked), sequential.clone(), "width {}", width);
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Injectable sorters for the large scratch buffers behind the sweeps.
+//!
+//! This crate sits at the bottom of the workspace dependency order, so it
+//! cannot reach the process-wide executor in `busytime_core::pool` — yet
+//! its fused sweeps ([`crate::family`]) and bulk profile construction
+//! ([`crate::profile::OverlapProfile::from_intervals`]) spend most of their
+//! time sorting, which is exactly what a fork–join pool accelerates on
+//! large single instances. The inversion is a pair of process-wide hook
+//! slots: a higher layer [`install`]s plain function pointers once (the
+//! core crate does this when an intra-instance parallelism context is first
+//! entered), and every sort site in this crate goes through
+//! [`sort_pairs`] / [`sort_keys`], which consult the hook first and fall
+//! back to [`slice::sort_unstable`].
+//!
+//! # Contract for installed hooks
+//!
+//! A hook receives the full buffer and returns `true` iff it sorted it.
+//! Returning `false` (e.g. the buffer is below the hook's parallel
+//! threshold, or no worker budget is currently available) falls back to
+//! the sequential sort — so a hook never has to handle the small-buffer
+//! case. Because the element types are totally ordered `Copy` values with
+//! indistinguishable equal elements, any correct sort produces the same
+//! buffer contents; hooks therefore cannot change observable results, only
+//! wall-clock time.
+
+use std::sync::OnceLock;
+
+/// A hook sorting a `(start, end)` pair buffer; returns `true` iff it
+/// handled the sort.
+pub type PairSorter = fn(&mut [(i64, i64)]) -> bool;
+
+/// A hook sorting an `i64` key buffer; returns `true` iff it handled the
+/// sort.
+pub type KeySorter = fn(&mut [i64]) -> bool;
+
+static PAIR_SORTER: OnceLock<PairSorter> = OnceLock::new();
+static KEY_SORTER: OnceLock<KeySorter> = OnceLock::new();
+
+/// Installs the process-wide sorter hooks. The first call wins (the slots
+/// are write-once); returns `true` iff this call installed its hooks.
+pub fn install(pairs: PairSorter, keys: KeySorter) -> bool {
+    let pairs_installed = PAIR_SORTER.set(pairs).is_ok();
+    let keys_installed = KEY_SORTER.set(keys).is_ok();
+    pairs_installed && keys_installed
+}
+
+/// Sorts a pair buffer ascending by `(start, end)`, through the installed
+/// hook when one exists and it accepts the buffer.
+pub fn sort_pairs(buf: &mut [(i64, i64)]) {
+    if let Some(hook) = PAIR_SORTER.get() {
+        if hook(buf) {
+            return;
+        }
+    }
+    buf.sort_unstable();
+}
+
+/// Sorts a key buffer ascending, through the installed hook when one
+/// exists and it accepts the buffer.
+pub fn sort_keys(buf: &mut [i64]) {
+    if let Some(hook) = KEY_SORTER.get() {
+        if hook(buf) {
+            return;
+        }
+    }
+    buf.sort_unstable();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fallback_sorts_without_hooks() {
+        // hooks may or may not be installed by other tests in this
+        // process; either way the result must be sorted
+        let mut pairs = vec![(3, 1), (0, 9), (3, 0), (-2, 5)];
+        sort_pairs(&mut pairs);
+        assert!(pairs.windows(2).all(|w| w[0] <= w[1]));
+        let mut keys = vec![5i64, -1, 3, 3, 0];
+        sort_keys(&mut keys);
+        assert_eq!(keys, vec![-1, 0, 3, 3, 5]);
+    }
+}

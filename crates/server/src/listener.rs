@@ -1849,6 +1849,10 @@ fn healthz_body(shared: &ListenShared) -> String {
         None => String::from("null"),
     };
     let cache = shared.ctx.solutions.stats();
+    // one coherent snapshot: `busy_workers` is clamped to `workers`, so a
+    // scrape racing a pool transition never reports more busy workers than
+    // exist (the gauge dashboards divide these two)
+    let pool = shared.executor().stats();
     format!(
         "{{\"schema_version\": {REPORT_SCHEMA_VERSION}, \"status\": \"ok\", \
          \"workers\": {}, \"busy_workers\": {}, \"queue_depth\": {}, \
@@ -1856,9 +1860,9 @@ fn healthz_body(shared: &ListenShared) -> String {
          \"open_connections\": {}, \"io_threads\": {}, \"outbox_bytes\": {}, \
          \"solution_cache\": {{\"entries\": {}, \"capacity\": {}, \
          \"hit_rate\": {:.4}, \"warm_starts\": {}}}, \"shard_id\": {shard}}}\n",
-        shared.executor().workers(),
-        shared.executor().busy_workers(),
-        shared.executor().queue_depth(),
+        pool.workers,
+        pool.busy,
+        pool.queued,
         shared.active.load(Ordering::SeqCst),
         shared.started.elapsed().as_millis(),
         shared.open.load(Ordering::SeqCst),
@@ -1875,21 +1879,24 @@ fn record_summary(shared: &ListenShared, conn_id: usize, peer: &str, summary: &B
     lock_ignoring_poison(&shared.report).absorb(summary);
     match shared.config.log {
         ConnLog::Quiet => {}
-        ConnLog::Text => log_line(
-            shared.config.log,
-            format!(
-                "conn {conn_id}{} ({peer}): {} records ({} solved, {} errors), {} deadline hits \
-                 | pool {}/{} busy, {} queued",
-                shard_tag(&shared.config),
-                summary.records,
-                summary.solved,
-                summary.errors,
-                summary.deadline_hits,
-                shared.executor().busy_workers(),
-                shared.executor().workers(),
-                shared.executor().queue_depth(),
-            ),
-        ),
+        ConnLog::Text => {
+            let pool = shared.executor().stats();
+            log_line(
+                shared.config.log,
+                format!(
+                    "conn {conn_id}{} ({peer}): {} records ({} solved, {} errors), {} deadline \
+                     hits | pool {}/{} busy, {} queued",
+                    shard_tag(&shared.config),
+                    summary.records,
+                    summary.solved,
+                    summary.errors,
+                    summary.deadline_hits,
+                    pool.busy,
+                    pool.workers,
+                    pool.queued,
+                ),
+            )
+        }
         ConnLog::Json => log_line(shared.config.log, summary.to_json_line()),
     }
 }

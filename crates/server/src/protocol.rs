@@ -11,7 +11,7 @@
 //! ```
 //!
 //! Optional fields (`id`, `solver`, `seed`, `decompose`, `validation`,
-//! `max_jobs`, `deadline_ms`, `cache`) default to the server's
+//! `max_jobs`, `deadline_ms`, `cache`, `parallel`) default to the server's
 //! configuration; unknown fields are ignored, so clients may stamp their
 //! own metadata onto request lines.
 //!
@@ -21,6 +21,12 @@
 //! `"readwrite"` (the default) does both. Reports served from the cache
 //! carry `"cached": true`; solves whose incumbent was seeded from a
 //! cached near match carry `"warm_started": true`.
+//!
+//! `parallel` is the record's intra-instance parallelism policy
+//! (`"auto"` / `"on"` / `"off"`): whether the solve may fork its own
+//! kernels across the executor's idle workers. The fork–join layer is
+//! deterministic, so the policy trades wall-clock time only — reports are
+//! byte-identical either way.
 //!
 //! `deadline_ms` is the record's hard solve deadline, counted from the
 //! moment a pool worker picks the record up: the solver is cut at its next
@@ -48,7 +54,7 @@
 //! keep parsing as the protocol grows additively.
 
 use busytime_core::memo::CachePolicy;
-use busytime_core::solve::{SolveOptions, ValidationLevel, REPORT_SCHEMA_VERSION};
+use busytime_core::solve::{ParallelPolicy, SolveOptions, ValidationLevel, REPORT_SCHEMA_VERSION};
 use busytime_core::{Instance, SolveReport};
 use busytime_instances::json::{self, JsonError, Value};
 use busytime_instances::GeneratorSpec;
@@ -87,6 +93,9 @@ pub struct BatchRecord {
     /// `"readwrite"`); the server default — [`CachePolicy::ReadWrite`] —
     /// when absent.
     pub cache: Option<CachePolicy>,
+    /// Intra-instance parallelism override (`"auto"`/`"on"`/`"off"`); the
+    /// server default when absent.
+    pub parallel: Option<ParallelPolicy>,
 }
 
 impl BatchRecord {
@@ -136,6 +145,7 @@ impl BatchRecord {
         let mut max_jobs: Option<usize> = None;
         let mut deadline_ms: Option<u64> = None;
         let mut cache = None;
+        let mut parallel = None;
 
         if bytes.get(pos) == Some(&b'}') {
             pos += 1;
@@ -208,6 +218,15 @@ impl BatchRecord {
                             pos = p;
                         }
                     }
+                    "parallel" => {
+                        if let Some(p) = scan::literal(line, pos, "null") {
+                            pos = p; // null parallel means server default
+                        } else {
+                            let (v, p) = scan::string_borrowed(line, pos)?;
+                            parallel = Some(ParallelPolicy::parse(v)?);
+                            pos = p;
+                        }
+                    }
                     // unknown client metadata — and `generator` records,
                     // whose object value makes the skip decline
                     _ => pos = scan::skip_simple_value(line, pos, 8)?,
@@ -236,6 +255,7 @@ impl BatchRecord {
             max_jobs,
             deadline_ms,
             cache,
+            parallel,
         })
     }
 
@@ -288,6 +308,19 @@ impl BatchRecord {
                     .map_err(JsonError)?,
             ),
         };
+        let parallel = match value.get("parallel") {
+            None | Some(Value::Null) => None,
+            Some(v) => {
+                let raw = v
+                    .as_str()
+                    .ok_or_else(|| JsonError("field `parallel` must be a string".into()))?;
+                Some(ParallelPolicy::parse(raw).ok_or_else(|| {
+                    JsonError(format!(
+                        "unknown parallel policy '{raw}' (expected auto, on or off)"
+                    ))
+                })?)
+            }
+        };
         Ok(BatchRecord {
             id,
             input,
@@ -298,6 +331,7 @@ impl BatchRecord {
             max_jobs: json::opt_int(&value, "max_jobs")?,
             deadline_ms: json::opt_int(&value, "deadline_ms")?,
             cache,
+            parallel,
         })
     }
 
@@ -327,6 +361,9 @@ impl BatchRecord {
         }
         if let Some(ms) = self.deadline_ms {
             options.deadline = Some(std::time::Duration::from_millis(ms));
+        }
+        if let Some(parallel) = self.parallel {
+            options.parallel = parallel;
         }
         options
     }
@@ -743,19 +780,21 @@ mod tests {
             r#"{"id": "x", "instance": {"g": 2, "jobs": [[0, 4], [1, 5]]},
                "solver": "first-fit", "seed": 9, "decompose": false,
                "validation": "strict", "max_jobs": 10, "deadline_ms": 250,
-               "client_tag": "ignored"}"#,
+               "parallel": "off", "client_tag": "ignored"}"#,
         )
         .unwrap();
         assert_eq!(rec.id.as_deref(), Some("x"));
         assert_eq!(rec.solver.as_deref(), Some("first-fit"));
         assert_eq!(rec.instance().len(), 2);
         assert_eq!(rec.deadline_ms, Some(250));
+        assert_eq!(rec.parallel, Some(ParallelPolicy::Off));
         let opts = rec.apply_overrides(SolveOptions::default());
         assert_eq!(opts.seed, 9);
         assert!(!opts.decompose);
         assert_eq!(opts.validation, ValidationLevel::Strict);
         assert_eq!(opts.max_jobs, Some(10));
         assert_eq!(opts.deadline, Some(std::time::Duration::from_millis(250)));
+        assert_eq!(opts.parallel, ParallelPolicy::Off);
     }
 
     #[test]
@@ -777,6 +816,7 @@ mod tests {
             r#"{"instance": {"g": 0, "jobs": []}}"#,
             r#"{"instance": {"g": 2, "jobs": [[4, 0]]}}"#,
             r#"{"instance": {"g": 2, "jobs": [[0, 4]]}, "validation": "paranoid"}"#,
+            r#"{"instance": {"g": 2, "jobs": [[0, 4]]}, "parallel": "sideways"}"#,
             r#"not json at all"#,
         ] {
             assert!(BatchRecord::parse(bad).is_err(), "accepted: {bad}");

@@ -867,3 +867,51 @@ fn slow_reader_backpressure_suspends_reads_not_the_executor() {
     assert_eq!(report.records, 724);
     assert!(report.health_probes >= 1, "{report:?}");
 }
+
+/// The `/healthz` pool gauges come from one coherent executor snapshot:
+/// no scrape may ever report more busy workers than the pool has, even
+/// while solves grab and release workers under the probe — and the gauges
+/// must actually move while solvers hold workers (a snapshot that always
+/// reads zero would pass the clamp vacuously).
+#[test]
+fn healthz_pool_gauges_stay_clamped_under_load() {
+    let live = Arc::new(AtomicUsize::new(0));
+    let peak = Arc::new(AtomicUsize::new(0));
+    let registry = gate_registry(&live, &peak, Duration::from_millis(400));
+    let server = start_on(Executor::new(2), registry, quiet_config());
+
+    let mut client = Client::connect(server.addr);
+    for i in 0..6 {
+        client.send(&gate_record(&format!("g-{i}")));
+    }
+    client.finish();
+
+    let mut saw_busy = false;
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while Instant::now() < deadline {
+        let mut probe = Client::connect(server.addr);
+        probe
+            .stream
+            .write_all(b"GET /healthz HTTP/1.1\r\n\r\n")
+            .unwrap();
+        let mut response = String::new();
+        probe.reader.read_to_string(&mut response).unwrap();
+        let body = response.split("\r\n\r\n").nth(1).unwrap_or("");
+        let snapshot = busytime_server::parse_healthz(body).unwrap();
+        assert_eq!(snapshot.workers, 2, "{snapshot:?}");
+        assert!(
+            snapshot.busy_workers <= snapshot.workers,
+            "scrape reported more busy workers than exist: {snapshot:?}"
+        );
+        saw_busy |= snapshot.busy_workers > 0;
+        if saw_busy && live.load(Ordering::SeqCst) == 0 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    assert!(saw_busy, "no scrape caught the pool busy");
+
+    let lines = client.read_to_end();
+    assert_eq!(lines.len(), 7, "6 responses + summary");
+    server.stop();
+}

@@ -37,6 +37,7 @@ fn hot_lines_take_the_fast_path() {
         r#"{"instance": {"g": 2, "jobs": [[0, 4], [1, 5]]}}"#,
         r#"{"id": "a", "instance": {"g": 2, "jobs": [[0, 4]]}, "solver": "auto"}"#,
         r#"{"id": "b", "instance": {"g": 3, "jobs": []}, "deadline_ms": 250, "cache": "off"}"#,
+        r#"{"instance": {"g": 2, "jobs": [[0, 4]]}, "parallel": "on"}"#,
         r#"{"instance": {"g": 1, "jobs": [[-5, -1]]}, "seed": 7, "decompose": true,
            "validation": "strict", "max_jobs": 100, "client_tag": "meta"}"#,
     ];
@@ -127,6 +128,10 @@ const CORPUS: &[&str] = &[
     r#"{"validation": "paranoid", "instance": {"g": 2, "jobs": []}}"#,
     r#"{"validation": null, "instance": {"g": 2, "jobs": []}}"#,
     r#"{"cache": "sometimes", "instance": {"g": 2, "jobs": []}}"#,
+    r#"{"parallel": "auto", "instance": {"g": 2, "jobs": []}}"#,
+    r#"{"parallel": null, "instance": {"g": 2, "jobs": []}}"#,
+    r#"{"parallel": "sideways", "instance": {"g": 2, "jobs": []}}"#,
+    r#"{"parallel": 2, "instance": {"g": 2, "jobs": []}}"#,
     r#"{"decompose": "yes", "instance": {"g": 2, "jobs": []}}"#,
     r#"{"decompose": 1, "instance": {"g": 2, "jobs": []}}"#,
     // duplicate keys at both levels

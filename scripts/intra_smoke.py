@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Driver for the CI `intra-smoke` job: intra-instance fork–join.
+
+Two checks against the committed many-component fixture
+(`tests/fixtures/intra_many_components.json`, 12 balanced
+fully-overlapping clusters — the shape the fork–join component dispatch
+is built for):
+
+* `speedup` — `busytime-cli solve` runs on the main thread, so
+  `--parallel on` with `BUSYTIME_WORKERS=2` forks the solve across both
+  pool workers. Requires min-of-RUNS parallel wall time to be at least
+  SPEEDUP_MIN (default 1.5) times faster than `--parallel off`, and
+  first verifies the two reports are byte-identical once the wall-clock
+  fields (`phases`, `total_ms`) are dropped — the speedup must be
+  invisible in the answer.
+
+* `saturated` — streams a batch of fixture records through
+  `busytime-cli serve --workers 2` twice: once plain, once with every
+  record carrying `"parallel": "on"`. Records already run *on* pool
+  workers there, where nested submissions execute inline, so the
+  explicit policy must change nothing: responses stay byte-identical
+  modulo wall-clock fields, and the `on` pass must not exceed the plain
+  pass by more than SLACK (default 1.35, pure timing noise allowance).
+
+Usage: intra_smoke.py CLI FIXTURE speedup|saturated
+Knobs via env: INTRA_RUNS, INTRA_SPEEDUP_MIN, INTRA_SLACK.
+Exits non-zero (with a message on stderr) on any violation.
+"""
+import json
+import os
+import subprocess
+import sys
+import time
+
+RUNS = int(os.environ.get("INTRA_RUNS", "3"))
+SPEEDUP_MIN = float(os.environ.get("INTRA_SPEEDUP_MIN", "1.5"))
+SLACK = float(os.environ.get("INTRA_SLACK", "1.35"))
+SATURATED_RECORDS = 6
+
+
+def fail(msg):
+    print(f"intra_smoke: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def timeless(report):
+    """Drop the only wall-clock fields a report carries."""
+    report = dict(report)
+    report.pop("phases", None)
+    report.pop("total_ms", None)
+    return report
+
+
+def solve_cmd(cli, fixture, policy, workers):
+    env = dict(os.environ, BUSYTIME_WORKERS=str(workers))
+    return dict(
+        args=[cli, "solve", "--input", fixture, "--solver", "first-fit",
+              "--parallel", policy, "--json"],
+        env=env,
+    )
+
+
+def run_json(cmd):
+    out = subprocess.run(
+        cmd["args"], env=cmd["env"], check=True, capture_output=True
+    )
+    return json.loads(out.stdout)
+
+
+def min_wall(cmd):
+    best = None
+    for _ in range(RUNS):
+        start = time.monotonic()
+        subprocess.run(
+            cmd["args"], env=cmd["env"], check=True, capture_output=True
+        )
+        elapsed = time.monotonic() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return best
+
+
+def check_speedup(cli, fixture):
+    seq = solve_cmd(cli, fixture, "off", 2)
+    par = solve_cmd(cli, fixture, "on", 2)
+    seq_report, par_report = run_json(seq), run_json(par)
+    if timeless(seq_report) != timeless(par_report):
+        fail("parallel and sequential reports differ beyond wall-clock fields")
+    print("reports byte-identical modulo phases/total_ms")
+    seq_s, par_s = min_wall(seq), min_wall(par)
+    ratio = seq_s / par_s
+    print(f"sequential {seq_s * 1e3:.1f} ms, "
+          f"2-worker fork-join {par_s * 1e3:.1f} ms -> {ratio:.2f}x "
+          f"(min of {RUNS})")
+    if ratio < SPEEDUP_MIN:
+        fail(f"fork-join speedup {ratio:.2f}x below the {SPEEDUP_MIN}x gate")
+
+
+def serve_pass(cli, payload):
+    start = time.monotonic()
+    out = subprocess.run(
+        [cli, "serve", "--workers", "2"],
+        input=payload, check=True, capture_output=True,
+    )
+    elapsed = time.monotonic() - start
+    reports = []
+    for line in out.stdout.splitlines():
+        response = json.loads(line)
+        if not response.get("ok"):
+            fail(f"record failed: {response}")
+        reports.append(timeless(response["report"]))
+    return elapsed, reports
+
+
+def check_saturated(cli, fixture):
+    with open(fixture, "r", encoding="utf-8") as fh:
+        inst = json.load(fh)
+    record = {"instance": {"g": inst["g"], "jobs": inst["jobs"]},
+              "solver": "first-fit"}
+    plain = b"".join(
+        json.dumps(dict(record, id=f"plain-{i}")).encode() + b"\n"
+        for i in range(SATURATED_RECORDS)
+    )
+    forked = b"".join(
+        json.dumps(dict(record, id=f"on-{i}", parallel="on")).encode() + b"\n"
+        for i in range(SATURATED_RECORDS)
+    )
+    plain_s, plain_reports = serve_pass(cli, plain)
+    forked_s, forked_reports = serve_pass(cli, forked)
+    if len(plain_reports) != SATURATED_RECORDS:
+        fail(f"expected {SATURATED_RECORDS} responses, got {len(plain_reports)}")
+    if plain_reports != forked_reports:
+        fail("saturated `parallel: on` batch changed some report")
+    print(f"saturated batch: plain {plain_s * 1e3:.0f} ms, "
+          f"parallel-on {forked_s * 1e3:.0f} ms "
+          f"({SATURATED_RECORDS} records, 2 workers)")
+    if forked_s > plain_s * SLACK:
+        fail(f"`parallel: on` slowed the saturated batch beyond "
+             f"{SLACK}x noise allowance")
+
+
+def main():
+    if len(sys.argv) != 4 or sys.argv[3] not in ("speedup", "saturated"):
+        fail("usage: intra_smoke.py CLI FIXTURE speedup|saturated")
+    cli, fixture, mode = sys.argv[1:4]
+    if mode == "speedup":
+        check_speedup(cli, fixture)
+    else:
+        check_saturated(cli, fixture)
+
+
+if __name__ == "__main__":
+    main()

@@ -20,7 +20,7 @@ use std::collections::HashMap;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use busytime::core::solve::ValidationLevel;
+use busytime::core::solve::{ParallelPolicy, ValidationLevel};
 use busytime::core::{bounds, render};
 use busytime::instances::io::{read_instance, write_instance, InstanceFile};
 use busytime::instances::{Family, GeneratorSpec};
@@ -88,11 +88,15 @@ commands:
            [--deadline-ms MS]   hard solve deadline; cut solves return the
            solver's incumbent flagged `deadline_hit`
            [--solution-cache N | --no-cache]
+           [--parallel auto|on|off]  fork one solve across idle workers
+           (deterministic: same report either way; default auto)
            NAME: any registry entry (see `solvers`); default `auto`
   serve    batch solve server: NDJSON records on stdin, one report line per
            record on stdout (input order), summary on stderr
            [--workers N] [--solver NAME] [--chunk N] [--quiet]
            [--fail-fast | --keep-going] [--summary-json]
+           [--parallel auto|on|off]  per-record intra-solve fork default (a
+           record's `parallel` field overrides it)
            [--deadline-ms MS]   per-record deadline default (a record's own
            `deadline_ms` field overrides it)
            [--solution-cache N] capacity of the validated-solution cache
@@ -118,7 +122,7 @@ commands:
            [--shard-id ID]      tag /healthz and connection logs (the
            router's --spawn mode sets this on its children)
            [--solver NAME] [--chunk N] [--fail-fast | --keep-going]
-           [--quiet | --summary-json]
+           [--quiet | --summary-json] [--parallel auto|on|off]
            [--deadline-ms MS]   per-record request timeout default
            [--solution-cache N | --no-cache]   one solution cache shared by
            every connection (/healthz reports its hit rate)
@@ -135,7 +139,8 @@ commands:
            [--spawn-workers N]  worker budget per spawned shard
            [--sticky]           pin each connection to one shard
            [--max-conns N] [--probe-interval-ms MS] [--quiet]
-           [--solver NAME] [--deadline-ms MS]  forwarded to spawned shards
+           [--solver NAME] [--deadline-ms MS] [--parallel auto|on|off]
+           forwarded to spawned shards
            [--solution-cache N | --no-cache]   forwarded to spawned shards
            (each shard caches its own solutions; trailers merge hit counts)
   solvers  list every registered solver with its guarantee
@@ -260,7 +265,8 @@ fn cmd_solve(opts: &HashMap<String, String>) -> Result<(), String> {
         .solver(solver)
         .seed(get_num(opts, "seed", 0u64)?)
         .decompose(!opts.contains_key("no-decompose"))
-        .validation(validation);
+        .validation(validation)
+        .parallel(parallel_policy(opts)?);
     if let Some(ms) = opt_num::<u64>(opts, "deadline-ms")? {
         request = request.deadline(std::time::Duration::from_millis(ms));
     }
@@ -312,6 +318,18 @@ fn reject_zero_workers(opts: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Parses `--parallel auto|on|off` — the intra-instance fork policy — with
+/// the same usage-error posture as `--workers 0`: an unknown spelling is a
+/// flag error up front, not a per-record failure later.
+fn parallel_policy(opts: &HashMap<String, String>) -> Result<ParallelPolicy, String> {
+    match opts.get("parallel") {
+        None => Ok(ParallelPolicy::Auto),
+        Some(raw) => ParallelPolicy::parse(raw).ok_or_else(|| {
+            format!("--parallel: unknown policy '{raw}' (expected auto, on or off)")
+        }),
+    }
+}
+
 /// The effective solution-cache capacity: `--no-cache` wins, then
 /// `--solution-cache N` (`0` also disables), then the engine default.
 fn solution_cache_capacity(opts: &HashMap<String, String>) -> Result<usize, String> {
@@ -355,6 +373,7 @@ fn serve_config(opts: &HashMap<String, String>) -> Result<ServeConfig, String> {
     if let Some(ms) = opt_num::<u64>(opts, "deadline-ms")? {
         config.base_options.deadline = Some(std::time::Duration::from_millis(ms));
     }
+    config.base_options.parallel = parallel_policy(opts)?;
     Ok(config)
 }
 
@@ -457,6 +476,7 @@ fn cmd_route(opts: &HashMap<String, String>) -> Result<(), String> {
     // validated here (not just in the shards) so a bad combination fails
     // before any child process spawns
     solution_cache_capacity(opts)?;
+    parallel_policy(opts)?;
     let mut modes: Vec<ListenMode> = Vec::new();
     if let Some(addr) = opts.get("tcp") {
         modes.push(ListenMode::Tcp(addr.clone()));
@@ -524,6 +544,7 @@ fn cmd_route(opts: &HashMap<String, String>) -> Result<(), String> {
         let exe = std::env::current_exe().map_err(|e| format!("cannot locate own binary: {e}"))?;
         let solver = opts.get("solver").cloned();
         let deadline = opts.get("deadline-ms").cloned();
+        let parallel = opts.get("parallel").cloned();
         let no_cache = opts.contains_key("no-cache");
         let solution_cache = opts.get("solution-cache").cloned();
         let fleet = ShardFleet::launch(states, token.clone(), move |index| {
@@ -542,6 +563,9 @@ fn cmd_route(opts: &HashMap<String, String>) -> Result<(), String> {
             }
             if let Some(ms) = &deadline {
                 command.arg("--deadline-ms").arg(ms);
+            }
+            if let Some(policy) = &parallel {
+                command.arg("--parallel").arg(policy);
             }
             if no_cache {
                 command.arg("--no-cache");
